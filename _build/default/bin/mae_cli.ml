@@ -1,0 +1,408 @@
+(* mae: the Module Area Estimator command line.
+
+   Subcommands mirror the Figure 1 pipeline and the evaluation harness:
+     mae estimate  -- estimate every module of an HDL or SPICE file
+     mae layout    -- run the place & route substrate on one module
+     mae floorplan -- floor-plan the modules of an estimate database
+     mae generate  -- emit a parameterized benchmark circuit as HDL
+     mae processes -- list known fabrication processes
+     mae table1 / mae table2 -- quick reproduction of the paper's tables *)
+
+open Cmdliner
+
+let registry_of tech_files =
+  let registry = Mae_tech.Registry.create () in
+  let rec load = function
+    | [] -> Ok registry
+    | path :: rest -> begin
+        match Mae_tech.Registry.load_file registry path with
+        | Ok _ -> load rest
+        | Error e ->
+            Error (Format.asprintf "%s: %a" path Mae_tech.Tech_parser.pp_error e)
+      end
+  in
+  load tech_files
+
+let tech_files_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "tech" ] ~docv:"FILE"
+        ~doc:"Load an additional fabrication process description (.tech).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1988
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the layout substrate.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hdl", `Hdl); ("spice", `Spice) ]) `Hdl
+    & info [ "format" ] ~docv:"FMT" ~doc:"Input format: hdl or spice.")
+
+let read_circuits ?flatten_top ~format ~registry:_ path =
+  match format with
+  | `Hdl -> begin
+      match Mae_hdl.Parser.parse_file path with
+      | Error e -> Error (Format.asprintf "%s: %a" path Mae_hdl.Parser.pp_error e)
+      | Ok design -> begin
+          match flatten_top with
+          | Some top -> begin
+              match Mae_hdl.Elaborate.flatten design ~top with
+              | Ok circuit -> Ok [ circuit ]
+              | Error e ->
+                  Error (Format.asprintf "%a" Mae_hdl.Elaborate.pp_error e)
+            end
+          | None -> begin
+              match Mae_hdl.Elaborate.design_to_circuits design with
+              | Ok circuits -> Ok circuits
+              | Error e ->
+                  Error (Format.asprintf "%a" Mae_hdl.Elaborate.pp_error e)
+            end
+        end
+    end
+  | `Spice -> begin
+      match Mae_hdl.Spice.parse_file path with
+      | Error e -> Error (Format.asprintf "%s: %a" path Mae_hdl.Spice.pp_error e)
+      | Ok circuits -> Ok circuits
+    end
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("mae: " ^ msg);
+      exit 1
+
+(* estimate *)
+
+let run_estimate tech_files format input db_out verbose flatten_top =
+  let registry = or_die (registry_of tech_files) in
+  let circuits = or_die (read_circuits ?flatten_top ~format ~registry input) in
+  let store = Mae_db.Store.create () in
+  List.iter
+    (fun circuit ->
+      match Mae.Driver.run_circuit ~registry circuit with
+      | Error e -> Format.eprintf "mae: %a@." Mae.Driver.pp_error e
+      | Ok report ->
+          Format.printf "== %a ==@." Mae_netlist.Circuit.pp_summary report.circuit;
+          List.iter
+            (fun issue ->
+              Format.printf "  %a@." Mae_netlist.Validate.pp_issue issue)
+            report.issues;
+          Format.printf "  %a@." Mae.Estimate.pp_stdcell report.stdcell;
+          Format.printf "  %a (exact)@." Mae.Estimate.pp_fullcustom
+            report.fullcustom_exact;
+          Format.printf "  %a (average)@." Mae.Estimate.pp_fullcustom
+            report.fullcustom_average;
+          begin
+            match
+              Mae.Gatearray.estimate_routable circuit report.Mae.Driver.process
+            with
+            | Ok ga -> Format.printf "  %a@." Mae.Gatearray.pp_estimate ga
+            | Error _ -> ()
+          end;
+          if verbose then begin
+            let process = report.Mae.Driver.process in
+            Format.printf "%a@."
+              Mae.Explain.pp_stdcell
+              (Mae.Explain.stdcell ~rows:report.stdcell.Mae.Estimate.rows
+                 circuit process);
+            let fc_circuit = Option.value report.expanded ~default:circuit in
+            Format.printf "%a@."
+              Mae.Explain.pp_fullcustom
+              (Mae.Explain.fullcustom ~mode:Mae.Config.Exact_areas fc_circuit
+                 process)
+          end;
+          Mae_db.Store.add store (Mae_db.Record.of_report report))
+    circuits;
+  match db_out with
+  | None -> ()
+  | Some path ->
+      or_die (Mae_db.Store.save store ~path);
+      Format.printf "database written to %s@." path
+
+let estimate_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let db_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:"Write the estimate database (floor-planner input) here.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print the per-net and per-degree-class breakdowns.")
+  in
+  let flatten_top =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flatten" ] ~docv:"TOP"
+          ~doc:
+            "Flatten the hierarchical design under module $(docv) before \
+             estimating (modules may instantiate other modules by name).")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate module areas from a schematic file.")
+    Term.(
+      const run_estimate $ tech_files_arg $ format_arg $ input $ db_out
+      $ verbose $ flatten_top)
+
+(* layout *)
+
+let run_layout tech_files format input module_name methodology rows seed svg_out =
+  let registry = or_die (registry_of tech_files) in
+  let circuits = or_die (read_circuits ~format ~registry input) in
+  let circuit =
+    match module_name with
+    | None -> begin
+        match circuits with
+        | [ c ] -> c
+        | _ -> or_die (Error "several modules in file; pass --module NAME")
+      end
+    | Some name -> begin
+        match
+          List.find_opt
+            (fun (c : Mae_netlist.Circuit.t) -> String.equal c.name name)
+            circuits
+        with
+        | Some c -> c
+        | None -> or_die (Error ("module " ^ name ^ " not found"))
+      end
+  in
+  let process =
+    match Mae_tech.Registry.find registry circuit.technology with
+    | Some p -> p
+    | None -> or_die (Error ("unknown process " ^ circuit.technology))
+  in
+  let rng = Mae_prob.Rng.create ~seed in
+  let layout =
+    match methodology with
+    | `Standard_cell ->
+        let rows =
+          match rows with
+          | Some r -> r
+          | None -> Mae.Row_select.initial_rows circuit process
+        in
+        Mae_layout.Sc_flow.run ~rng ~rows circuit process
+    | `Full_custom ->
+        Mae_layout.Fc_flow.run ?row_candidates:(Option.map (fun r -> [ r ]) rows)
+          ~rng circuit process
+  in
+  Format.printf
+    "%s: %d rows, %d tracks, %d feed-throughs, %.0f x %.0f L = %.0f L^2, \
+     aspect %a, wirelength %.0f L@."
+    circuit.name layout.Mae_layout.Row_layout.rows layout.total_tracks
+    layout.feed_through_count layout.width layout.height layout.area
+    Mae_geom.Aspect.pp layout.aspect layout.hpwl;
+  match svg_out with
+  | None -> ()
+  | Some path ->
+      let geometry, wiring =
+        match methodology with
+        | `Standard_cell ->
+            ( Mae_layout.Sc_flow.geometry circuit process layout,
+              Some (Mae_layout.Sc_flow.wiring circuit process layout) )
+        | `Full_custom ->
+            (Mae_layout.Fc_flow.geometry circuit process layout, None)
+      in
+      or_die
+        (Mae_report.Svg.write ~path
+           (Mae_layout.Render.svg_of_geometry ?wiring geometry));
+      begin
+        match wiring with
+        | Some w ->
+            let report = Mae_layout.Extract.lvs w circuit in
+            Format.printf "extraction: %a%s@." Mae_layout.Extract.pp_report
+              report
+              (if Mae_layout.Extract.clean report then " (clean)" else "")
+        | None -> ()
+      end;
+      Format.printf "layout drawing written to %s@." path
+
+let layout_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let module_name =
+    Arg.(
+      value & opt (some string) None
+      & info [ "module" ] ~docv:"NAME" ~doc:"Module to lay out.")
+  in
+  let methodology =
+    Arg.(
+      value
+      & opt (enum [ ("sc", `Standard_cell); ("fc", `Full_custom) ]) `Standard_cell
+      & info [ "methodology" ] ~docv:"M" ~doc:"sc (standard-cell) or fc.")
+  in
+  let rows =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rows" ] ~docv:"N" ~doc:"Row count (default: automatic).")
+  in
+  let svg_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Also write an SVG drawing here.")
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Place and route one module (the comparator flows).")
+    Term.(
+      const run_layout $ tech_files_arg $ format_arg $ input $ module_name
+      $ methodology $ rows $ seed_arg $ svg_out)
+
+(* floorplan *)
+
+let run_floorplan db_path allowance seed svg_out =
+  let store = or_die (Mae_db.Store.load ~path:db_path) in
+  match
+    Mae_floorplan.Chip.plan ~routing_allowance:allowance
+      ~rng:(Mae_prob.Rng.create ~seed) store
+  with
+  | Error e -> or_die (Error e)
+  | Ok plan ->
+      Format.printf "%a@." Mae_floorplan.Chip.pp_plan plan;
+      begin
+        match svg_out with
+        | None -> ()
+        | Some path ->
+            or_die
+              (Mae_report.Svg.write ~path
+                 (Mae_floorplan.Render.svg_of_plan plan));
+            Format.printf "floor plan drawing written to %s@." path
+      end
+
+let floorplan_cmd =
+  let db_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let allowance =
+    Arg.(
+      value & opt float 0.10
+      & info [ "allowance" ] ~docv:"FRAC"
+          ~doc:"Inter-module routing allowance (linear fraction).")
+  in
+  let svg_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Also write an SVG drawing here.")
+  in
+  Cmd.v
+    (Cmd.info "floorplan"
+       ~doc:"Floor-plan the modules of an estimate database (Figure 1 output).")
+    Term.(const run_floorplan $ db_path $ allowance $ seed_arg $ svg_out)
+
+(* generate *)
+
+let run_generate kind size technology =
+  let circuit =
+    match kind with
+    | `Counter -> Mae_workload.Generators.counter ~technology size
+    | `Alu -> Mae_workload.Generators.alu ~technology size
+    | `Adder -> Mae_workload.Generators.ripple_adder ~technology size
+    | `Decoder -> Mae_workload.Generators.decoder ~technology size
+    | `Parity -> Mae_workload.Generators.parity ~technology size
+    | `Shift -> Mae_workload.Generators.shift_register ~technology size
+    | `Random ->
+        Mae_workload.Random_circuit.generate
+          ~rng:(Mae_prob.Rng.create ~seed:size)
+          { Mae_workload.Random_circuit.default_params with
+            devices = size; technology }
+  in
+  print_string (Mae_hdl.Printer.to_string circuit)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("counter", `Counter); ("alu", `Alu); ("adder", `Adder);
+                  ("decoder", `Decoder); ("parity", `Parity); ("shift", `Shift);
+                  ("random", `Random) ]))
+          None
+      & info [] ~docv:"KIND")
+  in
+  let size =
+    Arg.(value & opt int 8 & info [ "size" ] ~docv:"N" ~doc:"Bits/stages/devices.")
+  in
+  let technology =
+    Arg.(
+      value & opt string "nmos25"
+      & info [ "technology" ] ~docv:"T" ~doc:"Target process name.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a parameterized benchmark circuit as HDL.")
+    Term.(const run_generate $ kind $ size $ technology)
+
+(* processes *)
+
+let run_processes tech_files =
+  let registry = or_die (registry_of tech_files) in
+  List.iter
+    (fun name ->
+      let p = Mae_tech.Registry.find_exn registry name in
+      Format.printf "%a@." Mae_tech.Process.pp p)
+    (Mae_tech.Registry.names registry)
+
+let processes_cmd =
+  Cmd.v
+    (Cmd.info "processes" ~doc:"List known fabrication processes.")
+    Term.(const run_processes $ tech_files_arg)
+
+(* table1 / table2: quick reproductions (the full harness is bench/main.exe) *)
+
+let run_table1 seed =
+  let process = Mae_tech.Builtin.nmos25 in
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let exact, average = Mae.Fullcustom.estimate_both e.circuit process in
+      let real =
+        Mae_layout.Fc_flow.run ~rng:(Mae_prob.Rng.create ~seed) e.circuit process
+      in
+      Format.printf
+        "%-10s est(exact) %7.0f  est(avg) %7.0f  real %7.0f  err %s@." e.name
+        exact.Mae.Estimate.area average.Mae.Estimate.area
+        real.Mae_layout.Row_layout.area
+        (Mae_report.Err.percent_string ~estimated:exact.Mae.Estimate.area
+           ~real:real.Mae_layout.Row_layout.area))
+    (Mae_workload.Bench_circuits.table1 ())
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Quick Table 1 reproduction (full-custom).")
+    Term.(const run_table1 $ seed_arg)
+
+let run_table2 seed =
+  let process = Mae_tech.Builtin.nmos25 in
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      List.iter
+        (fun rows ->
+          let est = Mae.Stdcell.estimate ~rows e.circuit process in
+          let real =
+            Mae_layout.Sc_flow.run ~rng:(Mae_prob.Rng.create ~seed) ~rows
+              e.circuit process
+          in
+          Format.printf "%-10s rows %d  est %8.0f  real %8.0f  err %s@." e.name
+            rows est.Mae.Estimate.area real.Mae_layout.Row_layout.area
+            (Mae_report.Err.percent_string ~estimated:est.Mae.Estimate.area
+               ~real:real.Mae_layout.Row_layout.area))
+        [ 2; 3; 4 ])
+    (Mae_workload.Bench_circuits.table2 ())
+
+let table2_cmd =
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Quick Table 2 reproduction (standard-cell).")
+    Term.(const run_table2 $ seed_arg)
+
+let main_cmd =
+  let doc = "pre-layout VLSI module area estimation (Chen & Bushnell, DAC'88)" in
+  Cmd.group
+    (Cmd.info "mae" ~version:"1.0.0" ~doc)
+    [
+      estimate_cmd; layout_cmd; floorplan_cmd; generate_cmd; processes_cmd;
+      table1_cmd; table2_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_technology.ml: Format List Mae Mae_geom Mae_report Mae_tech Mae_workload Printf String

@@ -1,0 +1,1 @@
+examples/floorplan_flow.ml: List Mae Mae_baselines Mae_floorplan Mae_layout Mae_netlist Mae_prob Mae_tech Mae_workload Printf String

@@ -1,0 +1,1 @@
+examples/mixed_methodology.ml: List Mae Mae_layout Mae_prob Mae_report Mae_tech Mae_workload

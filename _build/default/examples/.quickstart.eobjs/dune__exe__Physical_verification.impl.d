@@ -1,0 +1,1 @@
+examples/physical_verification.ml: Filename Format List Mae Mae_layout Mae_netlist Mae_prob Mae_report Mae_tech Mae_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mae Mae_db Mae_netlist Mae_tech

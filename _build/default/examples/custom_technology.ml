@@ -1,0 +1,82 @@
+(* Multiple fabrication processes (section 3): load a user-defined .tech
+   process into the registry and compare the same schematic's estimates
+   across technologies.
+
+     dune exec examples/custom_technology.exe *)
+
+(* A hypothetical 1.0 um CMOS process with a denser routing pitch. *)
+let custom_tech =
+  {|
+# cmos10: 1.0um CMOS, 3 routing layers
+process cmos10
+lambda 1.0
+row-height 40
+track-pitch 4
+feed-width 4
+port-pitch 6
+min-spacing 2
+device nenh nenh 4 8
+device pmos pmos 4 12
+device inv gate 9 40
+device buf gate 14 40
+device nand2 gate 14 40
+device nand3 gate 19 40
+device nand4 gate 24 40
+device nor2 gate 14 40
+device nor3 gate 19 40
+device aoi22 gate 22 40
+device xor2 gate 26 40
+device mux2 gate 26 40
+device latch storage 32 40
+device dff storage 46 40
+device iopad pad 70 70
+device feed feedthrough 4 40
+end
+|}
+
+let () =
+  let registry = Mae_tech.Registry.create () in
+  begin
+    match Mae_tech.Registry.load_string registry custom_tech with
+    | Ok n -> Printf.printf "loaded %d custom process(es)\n" n
+    | Error e ->
+        Format.printf "failed to load custom process: %a@."
+          Mae_tech.Tech_parser.pp_error e;
+        exit 1
+  end;
+  Printf.printf "registry knows: %s\n\n"
+    (String.concat ", " (Mae_tech.Registry.names registry));
+  let table =
+    Mae_report.Table.create
+      ~columns:
+        [
+          ("process", Mae_report.Table.Left);
+          ("rows", Mae_report.Table.Right);
+          ("tracks", Mae_report.Table.Right);
+          ("area (L^2)", Mae_report.Table.Right);
+          ("area (um^2)", Mae_report.Table.Right);
+          ("aspect", Mae_report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun tech ->
+      let circuit = Mae_workload.Generators.counter ~technology:tech 4 in
+      let process = Mae_tech.Registry.find_exn registry tech in
+      let est = Mae.Stdcell.estimate_auto circuit process in
+      let lam = process.Mae_tech.Process.lambda_microns in
+      Mae_report.Table.add_row table
+        [
+          tech;
+          string_of_int est.Mae.Estimate.rows;
+          string_of_int est.Mae.Estimate.tracks;
+          Mae_report.Err.f0 est.Mae.Estimate.area;
+          Mae_report.Err.f0 (est.Mae.Estimate.area *. lam *. lam);
+          Mae_report.Err.aspect_string
+            (Mae_geom.Aspect.ratio est.Mae.Estimate.aspect);
+        ])
+    [ "nmos25"; "cmos20"; "cmos15"; "cmos10" ];
+  print_endline "Standard-cell estimate of a 4-bit counter per technology:";
+  Mae_report.Table.print table;
+  print_endline
+    "Lambda^2 areas are similar across processes (the schematic is the \
+     same);\nphysical um^2 area shrinks with lambda, as it should."

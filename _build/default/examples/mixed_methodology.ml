@@ -1,0 +1,68 @@
+(* Choosing a layout methodology per module, the use case motivating the
+   paper's introduction: estimate each module under both methodologies
+   before any layout exists, then compare against layouts produced by the
+   place & route flows to see how trustworthy the choice was.
+
+     dune exec examples/mixed_methodology.exe *)
+
+let process = Mae_tech.Builtin.nmos25
+
+let analyze (entry : Mae_workload.Bench_circuits.entry) =
+  let circuit = entry.circuit in
+  (* Standard-cell estimate at the automatically chosen row count. *)
+  let sc_est = Mae.Stdcell.estimate_auto circuit process in
+  (* Full-custom estimate works on the transistor-level netlist. *)
+  let flat = Mae_workload.Bench_circuits.flatten circuit in
+  let fc_est, _ = Mae.Fullcustom.estimate_both flat process in
+  (* Real layouts from both flows. *)
+  let rng = Mae_prob.Rng.create ~seed:2026 in
+  let sc_real =
+    Mae_layout.Sc_flow.run ~rng ~rows:sc_est.Mae.Estimate.rows circuit process
+  in
+  let fc_real = Mae_layout.Fc_flow.run ~rng:(Mae_prob.Rng.split rng) flat process in
+  (entry, sc_est, fc_est, sc_real, fc_real)
+
+let () =
+  let table =
+    Mae_report.Table.create
+      ~columns:
+        [
+          ("module", Mae_report.Table.Left);
+          ("SC est (L^2)", Mae_report.Table.Right);
+          ("SC real (L^2)", Mae_report.Table.Right);
+          ("SC err", Mae_report.Table.Right);
+          ("FC est (L^2)", Mae_report.Table.Right);
+          ("FC real (L^2)", Mae_report.Table.Right);
+          ("FC err", Mae_report.Table.Right);
+          ("pick", Mae_report.Table.Left);
+        ]
+  in
+  List.iter
+    (fun entry ->
+      let entry, sc_est, fc_est, sc_real, fc_real = analyze entry in
+      let pick =
+        if fc_est.Mae.Estimate.area < sc_est.Mae.Estimate.area then
+          "full-custom"
+        else "standard-cell"
+      in
+      Mae_report.Table.add_row table
+        [
+          entry.name;
+          Mae_report.Err.f0 sc_est.Mae.Estimate.area;
+          Mae_report.Err.f0 sc_real.Mae_layout.Row_layout.area;
+          Mae_report.Err.percent_string ~estimated:sc_est.Mae.Estimate.area
+            ~real:sc_real.Mae_layout.Row_layout.area;
+          Mae_report.Err.f0 fc_est.Mae.Estimate.area;
+          Mae_report.Err.f0 fc_real.Mae_layout.Row_layout.area;
+          Mae_report.Err.percent_string ~estimated:fc_est.Mae.Estimate.area
+            ~real:fc_real.Mae_layout.Row_layout.area;
+          pick;
+        ])
+    (Mae_workload.Bench_circuits.table2 ());
+  print_endline
+    "Methodology choice from pre-layout estimates (nmos25), checked against";
+  print_endline "the place & route flows:";
+  Mae_report.Table.print table;
+  print_endline
+    "SC estimates sit above SC reality (the estimator is an upper bound:";
+  print_endline "it ignores routing-track sharing), so the pick is conservative."

@@ -1,0 +1,83 @@
+(* Physical verification of the comparator flow: place & route a module,
+   draw it, expand the channel routing into wires, and prove by geometric
+   extraction (no net ids used) that the wiring reconnects exactly the
+   source netlist.  This is the evidence that the "real" areas the
+   estimator is judged against come from layouts that work.
+
+     dune exec examples/physical_verification.exe *)
+
+let process = Mae_tech.Builtin.nmos25
+
+let () =
+  let circuit = Mae_workload.Generators.alu 4 in
+  let rows = Mae.Row_select.initial_rows circuit process in
+  Printf.printf "module %s: %d cells, %d nets; laying out at %d rows\n"
+    circuit.Mae_netlist.Circuit.name
+    (Mae_netlist.Circuit.device_count circuit)
+    (Mae_netlist.Circuit.net_count circuit)
+    rows;
+  let layout =
+    Mae_layout.Sc_flow.run ~rng:(Mae_prob.Rng.create ~seed:7) ~rows circuit
+      process
+  in
+  Printf.printf "placed & routed: %.0f x %.0f L = %.0f L^2, %d tracks, %d \
+                 feed-throughs\n"
+    layout.Mae_layout.Row_layout.width layout.height layout.area
+    layout.total_tracks layout.feed_through_count;
+  (* geometric legality *)
+  let geometry = Mae_layout.Sc_flow.geometry circuit process layout in
+  let violations =
+    Mae_layout.Check.verify
+      ~device_count:(Mae_netlist.Circuit.device_count circuit)
+      geometry
+  in
+  begin
+    match violations with
+    | [] -> print_endline "legality: clean (no overlaps, rows respected)"
+    | vs ->
+        List.iter
+          (fun v -> Format.printf "legality: %a@." Mae_layout.Check.pp_violation v)
+          vs
+  end;
+  (* detailed wiring + LVS *)
+  let wiring = Mae_layout.Sc_flow.wiring circuit process layout in
+  Printf.printf "wiring: %d segments, %d vias, %.0f L of wire (HPWL bound \
+                 was %.0f L)\n"
+    (Mae_layout.Wiring.segment_count wiring)
+    (List.length wiring.Mae_layout.Wiring.vias)
+    (Mae_layout.Wiring.wire_length wiring)
+    layout.hpwl;
+  let report = Mae_layout.Extract.lvs wiring circuit in
+  Format.printf "extraction vs netlist: %a -> %s@." Mae_layout.Extract.pp_report
+    report
+    (if Mae_layout.Extract.clean report then "LVS CLEAN" else "LVS DIRTY");
+  (* port placement along the boundary (section 5, physically) *)
+  let ports =
+    match Mae_layout.Ports.place ~port_pitch:8. circuit layout geometry with
+    | Ok placements ->
+        Printf.printf
+          "ports: %d placed on the boundary; fit-one-edge criterion: %b\n"
+          (List.length placements)
+          (Mae_layout.Ports.fits_one_edge geometry
+             ~port_count:(Mae_netlist.Circuit.port_count circuit)
+             ~port_pitch:8.);
+        Some placements
+    | Error e ->
+        Printf.printf "ports: %s\n" e;
+        None
+  in
+  (* drawing *)
+  let svg = Mae_layout.Render.svg_of_geometry ~wiring ?ports geometry in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "alu4_layout.svg" in
+  begin
+    match Mae_report.Svg.write ~path svg with
+    | Ok () -> Printf.printf "drawing written to %s\n" path
+    | Error e -> Printf.printf "could not write drawing: %s\n" e
+  end;
+  (* and the estimator's view of the same module, for contrast *)
+  let est = Mae.Stdcell.estimate ~rows circuit process in
+  Printf.printf
+    "the pre-layout estimate said %.0f L^2 (upper bound; actual %.0f L^2, \
+     %+.0f%%)\n"
+    est.Mae.Estimate.area layout.area
+    (Mae_report.Err.percent ~estimated:est.Mae.Estimate.area ~real:layout.area)

@@ -1,0 +1,53 @@
+(* Quickstart: describe a module in the structural HDL, run the Figure 1
+   pipeline (input interface -> both estimators -> output database) and
+   print what a floor planner would receive.
+
+     dune exec examples/quickstart.exe *)
+
+let hdl_text =
+  {|
+  // A one-bit full adder in the nMOS 2.5um process.
+  module full_adder {
+    technology nmos25;
+    port a in;  port b in;  port cin in;
+    port s out; port cout out;
+    device x1 xor2 (a, b, p);
+    device x2 xor2 (p, cin, s);
+    device g1 nand2 (a, b, g);
+    device g2 nand2 (p, cin, h);
+    device g3 nand2 (g, h, cout);
+  }
+|}
+
+let () =
+  let registry = Mae_tech.Registry.create () in
+  match Mae.Driver.run_string ~registry hdl_text with
+  | Error e -> Format.printf "estimation failed: %a@." Mae.Driver.pp_error e
+  | Ok reports ->
+      List.iter
+        (fun (r : Mae.Driver.module_report) ->
+          Format.printf "== %a ==@."
+            Mae_netlist.Circuit.pp_summary r.circuit;
+          begin
+            match r.expanded with
+            | Some tx ->
+                Format.printf "flattened for full-custom: %d transistors@."
+                  (Mae_netlist.Circuit.device_count tx)
+            | None -> ()
+          end;
+          Format.printf "%a@." Mae.Estimate.pp_stdcell r.stdcell;
+          Format.printf "row sweep:@.";
+          List.iter
+            (fun (e : Mae.Estimate.stdcell) ->
+              Format.printf "  %a@." Mae.Estimate.pp_stdcell e)
+            r.stdcell_sweep;
+          Format.printf "%a  (exact device areas)@." Mae.Estimate.pp_fullcustom
+            r.fullcustom_exact;
+          Format.printf "%a  (average device areas)@."
+            Mae.Estimate.pp_fullcustom r.fullcustom_average;
+          let record = Mae_db.Record.of_report r in
+          let store = Mae_db.Store.create () in
+          Mae_db.Store.add store record;
+          Format.printf "@.database entry for the floor planner:@.%s@."
+            (Mae_db.Store.to_string store))
+        reports

@@ -1,0 +1,1 @@
+lib/baselines/champ.ml: Float Int List Mae_prob

@@ -1,0 +1,1 @@
+lib/baselines/champ.mli: Mae_geom

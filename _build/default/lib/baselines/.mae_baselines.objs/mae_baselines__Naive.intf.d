@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Mae_geom Mae_netlist Mae_tech

@@ -1,0 +1,1 @@
+lib/baselines/pla.ml: Float Mae_tech

@@ -1,0 +1,1 @@
+lib/baselines/pla.mli: Mae_geom Mae_tech

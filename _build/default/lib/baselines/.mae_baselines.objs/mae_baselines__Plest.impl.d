@@ -1,0 +1,1 @@
+lib/baselines/plest.ml: Array Float Mae_layout Mae_netlist Mae_tech Stdlib

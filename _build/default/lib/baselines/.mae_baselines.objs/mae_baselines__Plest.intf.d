@@ -1,0 +1,1 @@
+lib/baselines/plest.mli: Mae_geom Mae_layout Mae_netlist Mae_tech

@@ -1,0 +1,42 @@
+type model = { coefficient : float; exponent : float }
+
+let fit pairs =
+  let valid = List.filter (fun (n, a) -> n > 0 && a > 0.) pairs in
+  let distinct =
+    List.sort_uniq Int.compare (List.map fst valid) |> List.length
+  in
+  if List.length valid < 2 then Error "need at least two training pairs"
+  else if distinct < 2 then Error "need two distinct device counts"
+  else begin
+    (* least squares on log area = log a + b log n *)
+    let points =
+      List.map
+        (fun (n, a) -> (Float.log (Float.of_int n), Float.log a))
+        valid
+    in
+    let m = Float.of_int (List.length points) in
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+    let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. points in
+    let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. points in
+    let denom = (m *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-12 then Error "degenerate training set"
+    else begin
+      let exponent = ((m *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (exponent *. sx)) /. m in
+      Ok { coefficient = Float.exp intercept; exponent }
+    end
+  end
+
+let estimate model ~devices =
+  if devices < 1 then invalid_arg "Champ.estimate: devices < 1";
+  model.coefficient *. (Float.of_int devices ** model.exponent)
+
+let mean_relative_error model pairs =
+  let errors =
+    List.map
+      (fun (n, actual) ->
+        Float.abs (estimate model ~devices:n -. actual) /. actual)
+      pairs
+  in
+  Mae_prob.Stats.mean errors

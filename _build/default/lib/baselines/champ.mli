@@ -1,0 +1,19 @@
+(** CHAMP-style empirical area estimation (Ueda, Kitazawa & Harada).
+
+    CHAMP estimated block areas with "empirical formulas obtained by
+    running numerous layout experiments".  We reproduce the approach: fit
+    a power law [area = a * devices^b] on (device count, real area)
+    training pairs by least squares in log space, then predict. *)
+
+type model = private { coefficient : float; exponent : float }
+
+val fit : (int * float) list -> (model, string) result
+(** Requires at least two training pairs with positive device counts and
+    areas, and at least two distinct device counts. *)
+
+val estimate : model -> devices:int -> Mae_geom.Lambda.area
+(** Raises [Invalid_argument] when [devices < 1]. *)
+
+val mean_relative_error : model -> (int * float) list -> float
+(** Mean |prediction - actual| / actual over a validation set; raises
+    [Invalid_argument] on an empty list. *)

@@ -1,0 +1,22 @@
+(** The zero-information baseline: active area over a packing factor.
+
+    A designer with no wiring model guesses module area as the summed
+    device area divided by an assumed utilization.  This is the seed the
+    floor-planning iteration study starts from when demonstrating how
+    much the real estimator helps. *)
+
+val estimate :
+  ?utilization:float ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Mae_geom.Lambda.area
+(** Default utilization 0.7.  Raises [Invalid_argument] on a utilization
+    outside (0, 1] or an empty circuit; raises
+    {!Mae_netlist.Stats.Unknown_kind}. *)
+
+val estimate_square :
+  ?utilization:float ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Mae_geom.Lambda.t * Mae_geom.Lambda.t
+(** The same area as a square (width, height). *)

@@ -1,0 +1,35 @@
+type spec = {
+  inputs : int;
+  outputs : int;
+  product_terms : int;
+}
+
+let validate s =
+  if s.inputs < 1 then Error "inputs must be >= 1"
+  else if s.outputs < 1 then Error "outputs must be >= 1"
+  else if s.product_terms < 1 then Error "product_terms must be >= 1"
+  else Ok s
+
+let check s =
+  match validate s with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Pla: " ^ msg)
+
+let margin_pitches = 2.
+
+let dims s (process : Mae_tech.Process.t) =
+  check s;
+  let pitch = process.track_pitch in
+  let columns = Float.of_int ((2 * s.inputs) + s.outputs) in
+  let rows = Float.of_int s.product_terms in
+  let width = (columns +. (2. *. margin_pitches)) *. pitch in
+  let height = (rows +. (2. *. margin_pitches)) *. pitch in
+  (width, height)
+
+let area s process =
+  let w, h = dims s process in
+  w *. h
+
+let device_count s =
+  check s;
+  s.product_terms * ((2 * s.inputs) + s.outputs)

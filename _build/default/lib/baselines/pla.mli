@@ -1,0 +1,30 @@
+(** Gerveshi's PLA area model (reference [1] of the paper).
+
+    For programmable logic arrays the module area is {e linear} in the
+    number of basic logic functions (product terms) and devices: the AND
+    plane is a grid of input columns by product-term rows, the OR plane a
+    grid of product-term rows by output columns.  This geometric model
+    realizes that linear relationship and serves as the contrast case to
+    the paper's probabilistic estimator (PLAs are regular; random logic is
+    not). *)
+
+type spec = {
+  inputs : int;
+  outputs : int;
+  product_terms : int;
+}
+
+val validate : spec -> (spec, string) result
+
+val area : spec -> Mae_tech.Process.t -> Mae_geom.Lambda.area
+(** AND plane: (2 * inputs) columns (true and complement lines); OR plane:
+    [outputs] columns; both [product_terms] rows tall; one track pitch per
+    line plus a two-pitch margin on each side.  Raises [Invalid_argument]
+    on an invalid spec. *)
+
+val dims : spec -> Mae_tech.Process.t -> Mae_geom.Lambda.t * Mae_geom.Lambda.t
+(** (width, height) of the same model. *)
+
+val device_count : spec -> int
+(** Worst-case programmed-device count: product_terms * (2*inputs +
+    outputs), the "number of devices" axis of the linear relationship. *)

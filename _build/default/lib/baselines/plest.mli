@@ -1,0 +1,26 @@
+(** PLEST-style standard-cell area estimation (Kurdahi & Parker, DAC'86).
+
+    PLEST predicts standard-cell area from the {e local wiring density} —
+    the average number of occupied tracks per routing channel.  The
+    paper's critique (section 2): that density "is known only when
+    physical layout is done", i.e. the model needs post-layout
+    information.  We reproduce both halves: an estimator parameterized by
+    a density, and an oracle that extracts the density from a finished
+    layout (which is the only way to get it right). *)
+
+type density = float
+(** Average occupied tracks per routing channel (>= 0). *)
+
+val oracle_density : Mae_layout.Row_layout.t -> density
+(** Extract the mean tracks-per-channel from a real layout, counting only
+    the channels between rows. *)
+
+val estimate :
+  density:density ->
+  rows:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Mae_geom.Lambda.area
+(** Cell area plus [rows + 1] channels of [density] tracks each, times the
+    mean row length.  Raises [Invalid_argument] on a negative density or
+    [rows < 1]; raises {!Mae_netlist.Stats.Unknown_kind}. *)

@@ -1,0 +1,1 @@
+lib/celllib/cell.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/celllib/cell.mli: Format

@@ -1,0 +1,1 @@
+lib/celllib/cmos_lib.ml: Cell Library List Nmos_lib Printf String

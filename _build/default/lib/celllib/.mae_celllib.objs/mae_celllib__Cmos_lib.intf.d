@@ -1,0 +1,1 @@
+lib/celllib/cmos_lib.mli: Cell Library

@@ -1,0 +1,1 @@
+lib/celllib/expand.ml: Array Cell Format Library List Mae_netlist Printf

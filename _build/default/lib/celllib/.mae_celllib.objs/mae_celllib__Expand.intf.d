@@ -1,0 +1,1 @@
+lib/celllib/expand.mli: Format Library Mae_netlist

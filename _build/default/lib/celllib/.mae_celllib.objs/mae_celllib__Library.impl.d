@@ -1,0 +1,1 @@
+lib/celllib/library.ml: Cell Hashtbl List Mae_tech Option String

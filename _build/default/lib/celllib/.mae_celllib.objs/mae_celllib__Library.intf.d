@@ -1,0 +1,1 @@
+lib/celllib/library.mli: Cell Mae_tech

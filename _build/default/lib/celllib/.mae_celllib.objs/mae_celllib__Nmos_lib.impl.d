@@ -1,0 +1,1 @@
+lib/celllib/nmos_lib.ml: Cell Library List Printf

@@ -1,0 +1,1 @@
+lib/celllib/nmos_lib.mli: Cell Library

@@ -1,0 +1,44 @@
+(** A standard-cell definition.
+
+    A cell couples a device kind (whose footprint lives in the process
+    database) with its logical pin list and a transistor-level template.
+    The template is what lets the same schematic be estimated under both
+    methodologies: the Standard-Cell estimator works on gate instances,
+    while the Full-Custom estimator works on the expanded transistor
+    network (section 4.2 "individual transistor layouts are used as
+    Standard-Cells"). *)
+
+type pin_role = Input | Output
+
+type terminal =
+  | Pin of int  (** index into the cell's pin list *)
+  | Internal of string  (** a net private to the cell instance *)
+  | Vdd
+  | Gnd
+
+type transistor = {
+  name : string;  (** suffix for the expanded instance name *)
+  kind : string;  (** transistor device kind in the process *)
+  drain : terminal;
+  gate : terminal;
+  source : terminal;
+}
+
+type t = {
+  name : string;  (** also the device-kind name of the gate *)
+  pins : (string * pin_role) list;
+      (** pin order matches HDL instantiation: inputs first, outputs last *)
+  transistors : transistor list;
+}
+
+val make : name:string -> pins:(string * pin_role) list -> transistors:transistor list -> t
+(** Validates pin indices in templates and uniqueness of transistor names;
+    raises [Invalid_argument] otherwise. *)
+
+val pin_count : t -> int
+
+val input_count : t -> int
+
+val transistor_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+let tx name kind ~d ~g ~s : Cell.transistor =
+  { name; kind; drain = d; gate = g; source = s }
+
+(* A complementary network: series pull-down of [nenh] from out to GND
+   implies parallel pull-up of [pmos] from VDD to out, and vice versa. *)
+let series ~prefix kind top bottom gates =
+  let n = List.length gates in
+  let node i =
+    if i = 0 then top else Cell.Internal (Printf.sprintf "%s_m%d" prefix i)
+  in
+  List.mapi
+    (fun i gate ->
+      let below = if i = n - 1 then bottom else node (i + 1) in
+      tx (Printf.sprintf "%s%d" prefix i) kind ~d:(node i) ~g:gate ~s:below)
+    gates
+
+let parallel ~prefix kind top bottom gates =
+  List.mapi
+    (fun i gate -> tx (Printf.sprintf "%s%d" prefix i) kind ~d:top ~g:gate ~s:bottom)
+    gates
+
+let inverter_pair ~prefix ~input ~output =
+  [
+    tx (prefix ^ "_p") "pmos" ~d:output ~g:input ~s:Cell.Vdd;
+    tx (prefix ^ "_n") "nenh" ~d:output ~g:input ~s:Cell.Gnd;
+  ]
+
+let input name = (name, Cell.Input)
+
+let output name = (name, Cell.Output)
+
+let nand_cell ~name ~inputs =
+  let pins = List.map input inputs @ [ output "y" ] in
+  let out = Cell.Pin (List.length inputs) in
+  let gates = List.mapi (fun i _ -> Cell.Pin i) inputs in
+  Cell.make ~name ~pins
+    ~transistors:
+      (parallel ~prefix:"pu" "pmos" out Cell.Vdd gates
+      @ series ~prefix:"pd" "nenh" out Cell.Gnd gates)
+
+let nor_cell ~name ~inputs =
+  let pins = List.map input inputs @ [ output "y" ] in
+  let out = Cell.Pin (List.length inputs) in
+  let gates = List.mapi (fun i _ -> Cell.Pin i) inputs in
+  Cell.make ~name ~pins
+    ~transistors:
+      (series ~prefix:"pu" "pmos" out Cell.Vdd gates
+      @ parallel ~prefix:"pd" "nenh" out Cell.Gnd gates)
+
+let inv =
+  Cell.make ~name:"inv"
+    ~pins:[ input "a"; output "y" ]
+    ~transistors:(inverter_pair ~prefix:"i" ~input:(Cell.Pin 0) ~output:(Cell.Pin 1))
+
+let buf =
+  let mid = Cell.Internal "n" in
+  Cell.make ~name:"buf"
+    ~pins:[ input "a"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"i1" ~input:(Cell.Pin 0) ~output:mid
+      @ inverter_pair ~prefix:"i2" ~input:mid ~output:(Cell.Pin 1))
+
+let nand2 = nand_cell ~name:"nand2" ~inputs:[ "a"; "b" ]
+
+let nand3 = nand_cell ~name:"nand3" ~inputs:[ "a"; "b"; "c" ]
+
+let nand4 = nand_cell ~name:"nand4" ~inputs:[ "a"; "b"; "c"; "d" ]
+
+let nor2 = nor_cell ~name:"nor2" ~inputs:[ "a"; "b" ]
+
+let nor3 = nor_cell ~name:"nor3" ~inputs:[ "a"; "b"; "c" ]
+
+(* y = NOT(a.b + c.d): series pmos pairs stacked over parallel branches. *)
+let aoi22 =
+  let out = Cell.Pin 4 in
+  let mid = Cell.Internal "pu_mid" in
+  Cell.make ~name:"aoi22"
+    ~pins:[ input "a"; input "b"; input "c"; input "d"; output "y" ]
+    ~transistors:
+      (parallel ~prefix:"pua" "pmos" mid Cell.Vdd [ Cell.Pin 0; Cell.Pin 1 ]
+      @ parallel ~prefix:"puc" "pmos" out mid [ Cell.Pin 2; Cell.Pin 3 ]
+      @ series ~prefix:"pdab" "nenh" out Cell.Gnd [ Cell.Pin 0; Cell.Pin 1 ]
+      @ series ~prefix:"pdcd" "nenh" out Cell.Gnd [ Cell.Pin 2; Cell.Pin 3 ])
+
+let xor2 =
+  let an = Cell.Internal "an" and bn = Cell.Internal "bn" in
+  let out = Cell.Pin 2 in
+  let mid = Cell.Internal "pu_mid" in
+  Cell.make ~name:"xor2"
+    ~pins:[ input "a"; input "b"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"ia" ~input:(Cell.Pin 0) ~output:an
+      @ inverter_pair ~prefix:"ib" ~input:(Cell.Pin 1) ~output:bn
+      @ parallel ~prefix:"pua" "pmos" mid Cell.Vdd [ Cell.Pin 0; an ]
+      @ parallel ~prefix:"pub" "pmos" out mid [ Cell.Pin 1; bn ]
+      @ series ~prefix:"pdt" "nenh" out Cell.Gnd [ Cell.Pin 0; Cell.Pin 1 ]
+      @ series ~prefix:"pdf" "nenh" out Cell.Gnd [ an; bn ])
+
+(* Transmission-gate multiplexer with a restoring output inverter pair. *)
+let tgate ~prefix ~a ~b ~ctl ~ctl_n =
+  [
+    tx (prefix ^ "_n") "nenh" ~d:a ~g:ctl ~s:b;
+    tx (prefix ^ "_p") "pmos" ~d:a ~g:ctl_n ~s:b;
+  ]
+
+let mux2 =
+  let sn = Cell.Internal "sn" in
+  let m = Cell.Internal "m" and mn = Cell.Internal "mn" in
+  Cell.make ~name:"mux2"
+    ~pins:[ input "a"; input "b"; input "s"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"is" ~input:(Cell.Pin 2) ~output:sn
+      @ tgate ~prefix:"ta" ~a:(Cell.Pin 0) ~b:m ~ctl:(Cell.Pin 2) ~ctl_n:sn
+      @ tgate ~prefix:"tb" ~a:(Cell.Pin 1) ~b:m ~ctl:sn ~ctl_n:(Cell.Pin 2)
+      @ inverter_pair ~prefix:"im" ~input:m ~output:mn
+      @ inverter_pair ~prefix:"io" ~input:mn ~output:(Cell.Pin 3))
+
+let latch_transistors ~prefix ~d ~g ~gn ~q =
+  let m = Cell.Internal (prefix ^ "_m") in
+  let qn = Cell.Internal (prefix ^ "_qn") in
+  tgate ~prefix:(prefix ^ "_in") ~a:d ~b:m ~ctl:g ~ctl_n:gn
+  @ inverter_pair ~prefix:(prefix ^ "_i1") ~input:m ~output:qn
+  @ inverter_pair ~prefix:(prefix ^ "_i2") ~input:qn ~output:q
+  @ tgate ~prefix:(prefix ^ "_fb") ~a:q ~b:m ~ctl:gn ~ctl_n:g
+
+let latch =
+  let gn = Cell.Internal "gn" in
+  Cell.make ~name:"latch"
+    ~pins:[ input "d"; input "g"; output "q" ]
+    ~transistors:
+      (inverter_pair ~prefix:"ig" ~input:(Cell.Pin 1) ~output:gn
+      @ latch_transistors ~prefix:"l" ~d:(Cell.Pin 0) ~g:(Cell.Pin 1) ~gn
+          ~q:(Cell.Pin 2))
+
+let dff =
+  let ckn = Cell.Internal "ckn" in
+  let mid = Cell.Internal "mid" in
+  Cell.make ~name:"dff"
+    ~pins:[ input "d"; input "clk"; output "q" ]
+    ~transistors:
+      (inverter_pair ~prefix:"ick" ~input:(Cell.Pin 1) ~output:ckn
+      @ latch_transistors ~prefix:"ms" ~d:(Cell.Pin 0) ~g:ckn ~gn:(Cell.Pin 1)
+          ~q:mid
+      @ latch_transistors ~prefix:"sl" ~d:mid ~g:(Cell.Pin 1) ~gn:ckn
+          ~q:(Cell.Pin 2))
+
+let library =
+  Library.make ~name:"cmos-std"
+    ~cells:
+      [ inv; buf; nand2; nand3; nand4; nor2; nor3; aoi22; xor2; mux2; latch; dff ]
+
+let find_exn name = Library.find_exn library name
+
+let for_technology tech_name =
+  let has_prefix prefix =
+    String.length tech_name >= String.length prefix
+    && String.equal (String.sub tech_name 0 (String.length prefix)) prefix
+  in
+  if has_prefix "nmos" then Some Nmos_lib.library
+  else if has_prefix "cmos" then Some library
+  else None

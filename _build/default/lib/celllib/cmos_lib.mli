@@ -1,0 +1,17 @@
+(** CMOS standard-cell library.
+
+    Same cell set and pin order as {!Nmos_lib} but with fully complementary
+    templates (a [pmos] pull-up network mirrors every [nenh] pull-down
+    network), so swapping technologies changes only cell footprints and
+    transistor counts, never schematic structure. *)
+
+val library : Library.t
+(** Cells: [inv], [buf], [nand2], [nand3], [nand4], [nor2], [nor3],
+    [aoi22], [xor2], [mux2], [latch], [dff]. *)
+
+val find_exn : string -> Cell.t
+(** Shorthand for [Library.find_exn library]; raises [Not_found]. *)
+
+val for_technology : string -> Library.t option
+(** Picks {!Nmos_lib.library} for nMOS process names and {!library} for
+    CMOS ones, by name prefix ("nmos" / "cmos"). *)

@@ -1,0 +1,77 @@
+type error = Unknown_cell of { device : string; kind : string }
+
+let pp_error ppf (Unknown_cell { device; kind }) =
+  Format.fprintf ppf "device %s: no cell template for kind %s" device kind
+
+(* A skipped pin marks a terminal that must not be wired (supply rails
+   when [include_supplies] is false). *)
+exception Skip
+
+let circuit ?(include_supplies = false) library (c : Mae_netlist.Circuit.t) =
+  let builder =
+    Mae_netlist.Builder.create ~name:(c.name ^ "_tx") ~technology:c.technology
+  in
+  let net_name i = c.nets.(i).Mae_netlist.Net.name in
+  let resolve (d : Mae_netlist.Device.t) = function
+    | Cell.Pin i ->
+        if i >= Array.length d.pins then
+          (* The schematic gave fewer pins than the cell defines; connect
+             the missing pin to a fresh private net so estimation can
+             proceed (matches how a layout tool would leave it floating). *)
+          Printf.sprintf "%s.unconnected%d" d.name i
+        else net_name d.pins.(i)
+    | Cell.Internal n -> Printf.sprintf "%s.%s" d.name n
+    | Cell.Vdd -> if include_supplies then "vdd!" else raise Skip
+    | Cell.Gnd -> if include_supplies then "gnd!" else raise Skip
+  in
+  let expand_device (d : Mae_netlist.Device.t) =
+    match Library.find library d.kind with
+    | None -> Error (Unknown_cell { device = d.name; kind = d.kind })
+    | Some cell ->
+        List.iter
+          (fun (t : Cell.transistor) ->
+            let terminals = [ t.drain; t.gate; t.source ] in
+            let nets =
+              List.filter_map
+                (fun term ->
+                  match resolve d term with
+                  | name -> Some name
+                  | exception Skip -> None)
+                terminals
+            in
+            ignore
+              (Mae_netlist.Builder.add_device builder
+                 ~name:(d.name ^ "." ^ t.name)
+                 ~kind:t.kind ~nets))
+          cell.transistors;
+        Ok ()
+  in
+  let rec go i =
+    if i >= Array.length c.devices then Ok ()
+    else begin
+      match expand_device c.devices.(i) with
+      | Ok () -> go (i + 1)
+      | Error e -> Error e
+    end
+  in
+  match go 0 with
+  | Error e -> Error e
+  | Ok () ->
+      Array.iter
+        (fun (p : Mae_netlist.Port.t) ->
+          Mae_netlist.Builder.add_port builder ~name:p.name
+            ~direction:p.direction ~net:(net_name p.net))
+        c.ports;
+      Ok (Mae_netlist.Builder.build builder)
+
+let transistor_count library (c : Mae_netlist.Circuit.t) =
+  let rec go acc i =
+    if i >= Array.length c.devices then Ok acc
+    else begin
+      let d = c.devices.(i) in
+      match Library.find library d.kind with
+      | None -> Error (Unknown_cell { device = d.name; kind = d.kind })
+      | Some cell -> go (acc + Cell.transistor_count cell) (i + 1)
+    end
+  in
+  go 0 0

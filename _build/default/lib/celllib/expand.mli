@@ -1,0 +1,31 @@
+(** Expansion of a gate-level schematic into a transistor-level one.
+
+    Section 4.2 estimates full-custom area at the transistor level
+    ("individual transistor layouts are used as Standard-Cells"), so a
+    gate-level schematic must be flattened before full-custom estimation.
+    Instance [x1] of a cell with internal net [m] produces devices
+    [x1.pd0], ... and nets [x1.m]. *)
+
+type error =
+  | Unknown_cell of { device : string; kind : string }
+      (** the library has no template for this device kind *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val circuit :
+  ?include_supplies:bool ->
+  Library.t ->
+  Mae_netlist.Circuit.t ->
+  (Mae_netlist.Circuit.t, error) result
+(** Flatten every device through its library template.  Devices whose kind
+    is already a transistor in the library's processes should not appear in
+    the input; any kind missing from the library is an error.
+
+    When [include_supplies] is false (the default) the VDD and GND rails
+    are omitted from the result: supply rails are routed as planned power
+    buses, not as signal wiring, and would otherwise dominate the net
+    degree histogram that drives the estimator.  Pass [true] to keep them
+    as nets named [vdd!] and [gnd!]. *)
+
+val transistor_count : Library.t -> Mae_netlist.Circuit.t -> (int, error) result
+(** Total transistors the expansion would produce, without building it. *)

@@ -1,0 +1,36 @@
+type t = { name : string; table : (string, Cell.t) Hashtbl.t }
+
+let make ~name ~cells =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Cell.t) ->
+      if Hashtbl.mem table c.name then
+        invalid_arg ("Library.make: duplicate cell " ^ c.name);
+      Hashtbl.add table c.name c)
+    cells;
+  { name; table }
+
+let name t = t.name
+
+let cells t = Hashtbl.fold (fun _ c acc -> c :: acc) t.table []
+
+let find t cell_name = Hashtbl.find_opt t.table cell_name
+
+let find_exn t cell_name =
+  match find t cell_name with Some c -> c | None -> raise Not_found
+
+let cell_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.table [] |> List.sort String.compare
+
+let check_against_process t process =
+  let missing = ref [] in
+  let check_kind owner kind =
+    if Option.is_none (Mae_tech.Process.find_device process kind) then
+      missing := (owner ^ ":" ^ kind) :: !missing
+  in
+  Hashtbl.iter
+    (fun _ (c : Cell.t) ->
+      check_kind c.name c.name;
+      List.iter (fun (tx : Cell.transistor) -> check_kind c.name tx.kind) c.transistors)
+    t.table;
+  List.sort_uniq String.compare !missing

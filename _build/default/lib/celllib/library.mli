@@ -1,0 +1,23 @@
+(** A named collection of standard cells. *)
+
+type t
+
+val make : name:string -> cells:Cell.t list -> t
+(** Raises [Invalid_argument] on duplicate cell names. *)
+
+val name : t -> string
+
+val cells : t -> Cell.t list
+
+val find : t -> string -> Cell.t option
+
+val find_exn : t -> string -> Cell.t
+(** Raises [Not_found]. *)
+
+val cell_names : t -> string list
+(** Sorted. *)
+
+val check_against_process : t -> Mae_tech.Process.t -> string list
+(** Names of cells (or their template transistors) whose device kinds are
+    missing from the process; empty when the library and process are
+    consistent. *)

@@ -1,0 +1,149 @@
+let tx name kind ~d ~g ~s : Cell.transistor =
+  { name; kind; drain = d; gate = g; source = s }
+
+(* Depletion pull-up: drain on VDD, gate tied to its own source (the
+   output node), giving the classic nMOS load. *)
+let load ?(name = "pu") out = tx name "ndep" ~d:Cell.Vdd ~g:out ~s:out
+
+(* Pull-down chain: enhancement transistors in series from [out] to GND,
+   one per gate input terminal. *)
+let series_chain ?(prefix = "pd") out gates =
+  let n = List.length gates in
+  let node i =
+    if i = 0 then out
+    else Cell.Internal (Printf.sprintf "%s_m%d" prefix i)
+  in
+  List.mapi
+    (fun i gate ->
+      let below = if i = n - 1 then Cell.Gnd else node (i + 1) in
+      tx (Printf.sprintf "%s%d" prefix i) "nenh" ~d:(node i) ~g:gate ~s:below)
+    gates
+
+(* Parallel pull-down: one enhancement transistor per input, all from
+   [out] to GND. *)
+let parallel_pulldown ?(prefix = "pd") out gates =
+  List.mapi
+    (fun i gate ->
+      tx (Printf.sprintf "%s%d" prefix i) "nenh" ~d:out ~g:gate ~s:Cell.Gnd)
+    gates
+
+let inverter_pair ~prefix ~input ~output =
+  [
+    load ~name:(prefix ^ "_pu") output;
+    tx (prefix ^ "_pd") "nenh" ~d:output ~g:input ~s:Cell.Gnd;
+  ]
+
+let input name = (name, Cell.Input)
+
+let output name = (name, Cell.Output)
+
+let nand_cell ~name ~inputs =
+  let pins = List.map input inputs @ [ output "y" ] in
+  let out = Cell.Pin (List.length inputs) in
+  let gates = List.mapi (fun i _ -> Cell.Pin i) inputs in
+  Cell.make ~name ~pins ~transistors:(load out :: series_chain out gates)
+
+let nor_cell ~name ~inputs =
+  let pins = List.map input inputs @ [ output "y" ] in
+  let out = Cell.Pin (List.length inputs) in
+  let gates = List.mapi (fun i _ -> Cell.Pin i) inputs in
+  Cell.make ~name ~pins ~transistors:(load out :: parallel_pulldown out gates)
+
+let inv =
+  Cell.make ~name:"inv"
+    ~pins:[ input "a"; output "y" ]
+    ~transistors:(inverter_pair ~prefix:"i" ~input:(Cell.Pin 0) ~output:(Cell.Pin 1))
+
+let buf =
+  let mid = Cell.Internal "n" in
+  Cell.make ~name:"buf"
+    ~pins:[ input "a"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"i1" ~input:(Cell.Pin 0) ~output:mid
+      @ inverter_pair ~prefix:"i2" ~input:mid ~output:(Cell.Pin 1))
+
+let nand2 = nand_cell ~name:"nand2" ~inputs:[ "a"; "b" ]
+
+let nand3 = nand_cell ~name:"nand3" ~inputs:[ "a"; "b"; "c" ]
+
+let nand4 = nand_cell ~name:"nand4" ~inputs:[ "a"; "b"; "c"; "d" ]
+
+let nor2 = nor_cell ~name:"nor2" ~inputs:[ "a"; "b" ]
+
+let nor3 = nor_cell ~name:"nor3" ~inputs:[ "a"; "b"; "c" ]
+
+(* AND-OR-INVERT: y = NOT(a.b + c.d); two series pairs in parallel. *)
+let aoi22 =
+  let out = Cell.Pin 4 in
+  Cell.make ~name:"aoi22"
+    ~pins:[ input "a"; input "b"; input "c"; input "d"; output "y" ]
+    ~transistors:
+      (load out
+      :: (series_chain ~prefix:"ab" out [ Cell.Pin 0; Cell.Pin 1 ]
+         @ series_chain ~prefix:"cd" out [ Cell.Pin 2; Cell.Pin 3 ]))
+
+(* y = a xor b = NOT(a.b + a'.b'), built from two input inverters feeding
+   an AOI structure. *)
+let xor2 =
+  let an = Cell.Internal "an" and bn = Cell.Internal "bn" in
+  let out = Cell.Pin 2 in
+  Cell.make ~name:"xor2"
+    ~pins:[ input "a"; input "b"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"ia" ~input:(Cell.Pin 0) ~output:an
+      @ inverter_pair ~prefix:"ib" ~input:(Cell.Pin 1) ~output:bn
+      @ (load out
+        :: (series_chain ~prefix:"tt" out [ Cell.Pin 0; Cell.Pin 1 ]
+           @ series_chain ~prefix:"ff" out [ an; bn ])))
+
+(* Pass-transistor multiplexer followed by a restoring double inverter. *)
+let mux2 =
+  let sn = Cell.Internal "sn" in
+  let m = Cell.Internal "m" and mn = Cell.Internal "mn" in
+  Cell.make ~name:"mux2"
+    ~pins:[ input "a"; input "b"; input "s"; output "y" ]
+    ~transistors:
+      (inverter_pair ~prefix:"is" ~input:(Cell.Pin 2) ~output:sn
+      @ [
+          tx "pa" "nenh" ~d:(Cell.Pin 0) ~g:(Cell.Pin 2) ~s:m;
+          tx "pb" "nenh" ~d:(Cell.Pin 1) ~g:sn ~s:m;
+        ]
+      @ inverter_pair ~prefix:"im" ~input:m ~output:mn
+      @ inverter_pair ~prefix:"io" ~input:mn ~output:(Cell.Pin 3))
+
+(* Transparent latch: pass gate into a two-inverter loop closed by a
+   feedback pass transistor on the complementary clock phase. *)
+let latch_transistors ~prefix ~d ~g ~q =
+  let gn = Cell.Internal (prefix ^ "_gn") in
+  let m = Cell.Internal (prefix ^ "_m") in
+  let qn = Cell.Internal (prefix ^ "_qn") in
+  inverter_pair ~prefix:(prefix ^ "_ig") ~input:g ~output:gn
+  @ [ tx (prefix ^ "_pd") "nenh" ~d ~g ~s:m ]
+  @ inverter_pair ~prefix:(prefix ^ "_i1") ~input:m ~output:qn
+  @ inverter_pair ~prefix:(prefix ^ "_i2") ~input:qn ~output:q
+  @ [ tx (prefix ^ "_fb") "nenh" ~d:q ~g:gn ~s:m ]
+
+let latch =
+  Cell.make ~name:"latch"
+    ~pins:[ input "d"; input "g"; output "q" ]
+    ~transistors:
+      (latch_transistors ~prefix:"l" ~d:(Cell.Pin 0) ~g:(Cell.Pin 1)
+         ~q:(Cell.Pin 2))
+
+(* Master-slave D flip-flop from two latches on opposite clock phases. *)
+let dff =
+  let ckn = Cell.Internal "ckn" in
+  let mid = Cell.Internal "mid" in
+  Cell.make ~name:"dff"
+    ~pins:[ input "d"; input "clk"; output "q" ]
+    ~transistors:
+      (inverter_pair ~prefix:"ick" ~input:(Cell.Pin 1) ~output:ckn
+      @ latch_transistors ~prefix:"ms" ~d:(Cell.Pin 0) ~g:ckn ~q:mid
+      @ latch_transistors ~prefix:"sl" ~d:mid ~g:(Cell.Pin 1) ~q:(Cell.Pin 2))
+
+let library =
+  Library.make ~name:"nmos-std"
+    ~cells:
+      [ inv; buf; nand2; nand3; nand4; nor2; nor3; aoi22; xor2; mux2; latch; dff ]
+
+let find_exn name = Library.find_exn library name

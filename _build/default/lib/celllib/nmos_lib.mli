@@ -1,0 +1,14 @@
+(** nMOS standard-cell library.
+
+    Each cell carries a transistor template in classic nMOS style: a
+    depletion-mode pull-up load ([ndep], gate tied to the output) and an
+    enhancement-mode ([nenh]) pull-down network.  Cell footprints come from
+    the [nmos25] process; this library supplies the logic and expansion
+    templates for the same kind names. *)
+
+val library : Library.t
+(** Cells: [inv], [buf], [nand2], [nand3], [nand4], [nor2], [nor3],
+    [aoi22], [xor2], [mux2], [latch], [dff]. *)
+
+val find_exn : string -> Cell.t
+(** Shorthand for [Library.find_exn library]; raises [Not_found]. *)

@@ -1,0 +1,1 @@
+lib/core/aspect_ratio.ml: Config Float Mae_geom Mae_tech

@@ -1,0 +1,1 @@
+lib/core/aspect_ratio.mli: Config Mae_geom Mae_tech

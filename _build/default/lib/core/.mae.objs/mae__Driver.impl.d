@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Estimate Format Fullcustom List Mae_celllib Mae_hdl Mae_netlist Mae_tech Option Row_select Stdcell

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config Estimate Format Mae_hdl Mae_netlist Mae_tech

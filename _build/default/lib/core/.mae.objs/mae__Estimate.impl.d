@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Float Format Mae_geom

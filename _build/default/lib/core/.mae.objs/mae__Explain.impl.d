@@ -1,0 +1,1 @@
+lib/core/explain.ml: Config Estimate Feedthrough Float Format Fullcustom List Mae_netlist Mae_tech Row_model Stdcell

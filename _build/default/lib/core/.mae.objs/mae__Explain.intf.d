@@ -1,0 +1,1 @@
+lib/core/explain.mli: Config Format Mae_netlist Mae_tech

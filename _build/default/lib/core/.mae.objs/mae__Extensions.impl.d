@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Aspect_ratio Config Estimate Float List Mae_geom Mae_prob Row_select Stdcell

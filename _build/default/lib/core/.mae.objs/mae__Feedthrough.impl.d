@@ -1,0 +1,1 @@
+lib/core/feedthrough.ml: Float Mae_prob

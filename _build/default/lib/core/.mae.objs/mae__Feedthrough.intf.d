@@ -1,0 +1,1 @@
+lib/core/feedthrough.mli: Mae_prob

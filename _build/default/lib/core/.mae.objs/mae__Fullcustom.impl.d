@@ -1,0 +1,1 @@
+lib/core/fullcustom.ml: Array Aspect_ratio Config Estimate Float List Mae_geom Mae_netlist Mae_tech

@@ -1,0 +1,1 @@
+lib/core/fullcustom.mli: Config Estimate Mae_geom Mae_netlist Mae_tech

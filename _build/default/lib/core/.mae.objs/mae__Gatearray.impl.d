@@ -1,0 +1,1 @@
+lib/core/gatearray.ml: Array Config Float Format Mae_celllib Mae_geom Mae_netlist Mae_tech Option Row_model Stdlib

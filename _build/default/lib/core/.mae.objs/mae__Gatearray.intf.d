@@ -1,0 +1,1 @@
+lib/core/gatearray.mli: Format Mae_geom Mae_netlist Mae_tech

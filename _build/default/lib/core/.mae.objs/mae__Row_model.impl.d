@@ -1,0 +1,1 @@
+lib/core/row_model.ml: Config List Mae_prob Stdlib

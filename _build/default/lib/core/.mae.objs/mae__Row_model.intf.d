@@ -1,0 +1,1 @@
+lib/core/row_model.mli: Config Mae_prob

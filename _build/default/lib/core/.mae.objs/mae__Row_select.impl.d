@@ -1,0 +1,1 @@
+lib/core/row_select.ml: Aspect_ratio Float List Mae_netlist Mae_tech Stdlib

@@ -1,0 +1,1 @@
+lib/core/row_select.mli: Mae_geom Mae_netlist Mae_tech

@@ -1,0 +1,1 @@
+lib/core/stdcell.ml: Aspect_ratio Config Estimate Feedthrough Float List Mae_geom Mae_netlist Mae_tech Row_model Row_select Stdlib

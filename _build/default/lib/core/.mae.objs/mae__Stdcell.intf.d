@@ -1,0 +1,1 @@
+lib/core/stdcell.mli: Config Estimate Mae_netlist Mae_tech

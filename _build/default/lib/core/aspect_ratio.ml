@@ -1,0 +1,26 @@
+let port_length ~port_count ~process =
+  Float.of_int port_count *. process.Mae_tech.Process.port_pitch
+
+let clamp config aspect =
+  match config.Config.aspect_clamp with
+  | None -> aspect
+  | Some (lo, hi) ->
+      let r = Mae_geom.Aspect.ratio aspect in
+      (* The band limits elongation in either orientation. *)
+      let clamped =
+        if r >= 1. then Float.min hi (Float.max lo r)
+        else 1. /. Float.min hi (Float.max lo (1. /. r))
+      in
+      Mae_geom.Aspect.of_ratio clamped
+
+let fullcustom ~area ~port_count ~process =
+  if area <= 0. then invalid_arg "Aspect_ratio.fullcustom: non-positive area";
+  if port_count < 0 then invalid_arg "Aspect_ratio.fullcustom: negative ports";
+  let edge = Float.sqrt area in
+  let ports = port_length ~port_count ~process in
+  if edge >= ports then (edge, edge, Mae_geom.Aspect.square)
+  else begin
+    let width = ports in
+    let height = area /. width in
+    (width, height, Mae_geom.Aspect.make ~width ~height)
+  end

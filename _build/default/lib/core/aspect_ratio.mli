@@ -1,0 +1,25 @@
+(** Section 5: aspect-ratio estimation.
+
+    The control criterion: all module I/O ports must fit along one edge
+    (ports occupy [port_pitch] each).  The full-custom algorithm starts
+    from a 1:1 square and widens the module until the ports fit; the
+    standard-cell ratio falls out of equation (14) directly (width over
+    height of the estimated module). *)
+
+val port_length : port_count:int -> process:Mae_tech.Process.t -> Mae_geom.Lambda.t
+(** Total edge length needed by the ports. *)
+
+val clamp : Config.t -> Mae_geom.Aspect.t -> Mae_geom.Aspect.t
+(** Apply the configured clamp band (identity when the configuration has
+    none).  The band constrains the long-side : short-side ratio, so a
+    0.4:1 module clamps to 0.5:1 under the (1, 2) band. *)
+
+val fullcustom :
+  area:Mae_geom.Lambda.area ->
+  port_count:int ->
+  process:Mae_tech.Process.t ->
+  Mae_geom.Lambda.t * Mae_geom.Lambda.t * Mae_geom.Aspect.t
+(** The section 5 full-custom algorithm: try 1:1 (edge = sqrt area); if
+    the edge is shorter than the port length, set width = port length and
+    height = area / width.  Returns (width, height, raw aspect).  Raises
+    [Invalid_argument] on a non-positive area or negative port count. *)

@@ -1,0 +1,28 @@
+type device_area_mode = Exact_areas | Average_areas
+
+type row_span_model = Paper_model | Exact_occupancy
+
+type t = {
+  row_span_model : row_span_model;
+  two_component_free : bool;
+  track_sharing_factor : float option;
+  aspect_clamp : (float * float) option;
+}
+
+let default =
+  {
+    row_span_model = Paper_model;
+    two_component_free = true;
+    track_sharing_factor = None;
+    aspect_clamp = Some (1.0, 2.0);
+  }
+
+let paper_raw = { default with aspect_clamp = None }
+
+let validate t =
+  match (t.track_sharing_factor, t.aspect_clamp) with
+  | Some f, _ when f <= 0. || f > 1. ->
+      Error "track_sharing_factor must be in (0, 1]"
+  | _, Some (lo, hi) when lo <= 0. || hi < lo ->
+      Error "aspect_clamp must satisfy 0 < lo <= hi"
+  | _, _ -> Ok t

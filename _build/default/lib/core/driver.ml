@@ -1,0 +1,113 @@
+type module_report = {
+  circuit : Mae_netlist.Circuit.t;
+  process : Mae_tech.Process.t;
+  issues : Mae_netlist.Validate.issue list;
+  expanded : Mae_netlist.Circuit.t option;
+  stdcell : Estimate.stdcell;
+  stdcell_sweep : Estimate.stdcell list;
+  fullcustom_exact : Estimate.fullcustom;
+  fullcustom_average : Estimate.fullcustom;
+}
+
+type error =
+  | Parse_error of Mae_hdl.Parser.error
+  | Elaborate_error of Mae_hdl.Elaborate.error
+  | Unknown_process of { module_name : string; technology : string }
+  | Validation_failed of {
+      module_name : string;
+      issues : Mae_netlist.Validate.issue list;
+    }
+
+let pp_error ppf = function
+  | Parse_error e -> Format.fprintf ppf "parse error: %a" Mae_hdl.Parser.pp_error e
+  | Elaborate_error e ->
+      Format.fprintf ppf "elaboration error: %a" Mae_hdl.Elaborate.pp_error e
+  | Unknown_process { module_name; technology } ->
+      Format.fprintf ppf "module %s: unknown process %s" module_name technology
+  | Validation_failed { module_name; issues } ->
+      Format.fprintf ppf "@[<v>module %s failed validation:@ %a@]" module_name
+        (Format.pp_print_list Mae_netlist.Validate.pp_issue)
+        issues
+
+(* A circuit is transistor-level when every device kind resolves to a
+   transistor in the process. *)
+let all_transistors (circuit : Mae_netlist.Circuit.t) process =
+  Array.for_all
+    (fun (d : Mae_netlist.Device.t) ->
+      match Mae_tech.Process.find_device process d.kind with
+      | Some kind -> Mae_tech.Device_kind.is_transistor kind
+      | None -> false)
+    circuit.devices
+
+let expand_for_fullcustom (circuit : Mae_netlist.Circuit.t) process =
+  if all_transistors circuit process then None
+  else begin
+    match Mae_celllib.Cmos_lib.for_technology circuit.technology with
+    | None -> None
+    | Some library -> begin
+        match Mae_celllib.Expand.circuit library circuit with
+        | Ok expanded -> Some expanded
+        | Error (Mae_celllib.Expand.Unknown_cell _) -> None
+      end
+  end
+
+let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+  match Mae_tech.Registry.find registry circuit.technology with
+  | None ->
+      Error
+        (Unknown_process
+           { module_name = circuit.name; technology = circuit.technology })
+  | Some process -> begin
+      let issues = Mae_netlist.Validate.check circuit process in
+      let errors = List.filter Mae_netlist.Validate.is_error issues in
+      match errors with
+      | _ :: _ ->
+          Error (Validation_failed { module_name = circuit.name; issues = errors })
+      | [] ->
+          let expanded = expand_for_fullcustom circuit process in
+          let fc_circuit = Option.value expanded ~default:circuit in
+          let fullcustom_exact, fullcustom_average =
+            Fullcustom.estimate_both ?config fc_circuit process
+          in
+          let stdcell = Stdcell.estimate_auto ?config circuit process in
+          let stdcell_sweep =
+            Stdcell.sweep ?config
+              ~rows:(Row_select.candidates circuit process)
+              circuit process
+          in
+          Ok
+            {
+              circuit;
+              process;
+              issues;
+              expanded;
+              stdcell;
+              stdcell_sweep;
+              fullcustom_exact;
+              fullcustom_average;
+            }
+    end
+
+let run_design ?config ~registry design =
+  match Mae_hdl.Elaborate.design_to_circuits design with
+  | Error e -> Error (Elaborate_error e)
+  | Ok circuits ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest -> begin
+            match run_circuit ?config ~registry c with
+            | Ok report -> go (report :: acc) rest
+            | Error e -> Error e
+          end
+      in
+      go [] circuits
+
+let run_string ?config ~registry text =
+  match Mae_hdl.Parser.parse_string text with
+  | Error e -> Error (Parse_error e)
+  | Ok design -> run_design ?config ~registry design
+
+let run_file ?config ~registry path =
+  match Mae_hdl.Parser.parse_file path with
+  | Error e -> Error (Parse_error e)
+  | Ok design -> run_design ?config ~registry design

@@ -1,0 +1,55 @@
+(** The end-to-end estimator pipeline of Figure 1.
+
+    Input interface (HDL text or an elaborated circuit) + fabrication
+    process database -> validation -> Standard-Cell and Full-Custom
+    estimates -> a per-module report ready for the output database.
+
+    Full-custom estimation runs at the transistor level: gate-level
+    schematics are flattened through the technology's cell library when
+    one exists ({!Mae_celllib.Cmos_lib.for_technology}); schematics that
+    are already transistor-level (or whose technology has no library) are
+    estimated as-is. *)
+
+type module_report = {
+  circuit : Mae_netlist.Circuit.t;
+  process : Mae_tech.Process.t;
+  issues : Mae_netlist.Validate.issue list;  (** warnings only; errors abort *)
+  expanded : Mae_netlist.Circuit.t option;
+      (** the transistor-level circuit used for full-custom estimation,
+          when expansion happened *)
+  stdcell : Estimate.stdcell;  (** at the automatically selected row count *)
+  stdcell_sweep : Estimate.stdcell list;  (** the Table 2 row-count sweep *)
+  fullcustom_exact : Estimate.fullcustom;
+  fullcustom_average : Estimate.fullcustom;
+}
+
+type error =
+  | Parse_error of Mae_hdl.Parser.error
+  | Elaborate_error of Mae_hdl.Elaborate.error
+  | Unknown_process of { module_name : string; technology : string }
+  | Validation_failed of {
+      module_name : string;
+      issues : Mae_netlist.Validate.issue list;
+    }
+
+val pp_error : Format.formatter -> error -> unit
+
+val run_circuit :
+  ?config:Config.t ->
+  registry:Mae_tech.Registry.t ->
+  Mae_netlist.Circuit.t ->
+  (module_report, error) result
+(** Estimate one already-elaborated circuit. *)
+
+val run_string :
+  ?config:Config.t ->
+  registry:Mae_tech.Registry.t ->
+  string ->
+  (module_report list, error) result
+(** Parse HDL text and estimate every module in it. *)
+
+val run_file :
+  ?config:Config.t ->
+  registry:Mae_tech.Registry.t ->
+  string ->
+  (module_report list, error) result

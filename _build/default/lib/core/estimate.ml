@@ -1,0 +1,38 @@
+type stdcell = {
+  rows : int;
+  tracks : int;
+  feed_throughs : int;
+  height : Mae_geom.Lambda.t;
+  width : Mae_geom.Lambda.t;
+  area : Mae_geom.Lambda.area;
+  aspect : Mae_geom.Aspect.t;
+  aspect_raw : Mae_geom.Aspect.t;
+}
+
+type fullcustom = {
+  device_area : Mae_geom.Lambda.area;
+  wire_area : Mae_geom.Lambda.area;
+  area : Mae_geom.Lambda.area;
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+  aspect : Mae_geom.Aspect.t;
+  aspect_raw : Mae_geom.Aspect.t;
+}
+
+let stdcell_area_check (t : stdcell) =
+  let expected = t.height *. t.width in
+  Float.abs (t.area -. expected) <= 1e-6 *. Float.max 1. expected
+
+let pp_stdcell ppf t =
+  Format.fprintf ppf
+    "std-cell: %d rows, %d tracks, %d feed-throughs, %.0f x %.0f L = %.0f \
+     L^2, aspect %a"
+    t.rows t.tracks t.feed_throughs t.width t.height t.area Mae_geom.Aspect.pp
+    t.aspect
+
+let pp_fullcustom ppf t =
+  Format.fprintf ppf
+    "full-custom: devices %.0f + wire %.0f = %.0f L^2 (%.0f x %.0f L), \
+     aspect %a"
+    t.device_area t.wire_area t.area t.width t.height Mae_geom.Aspect.pp
+    t.aspect

@@ -1,0 +1,29 @@
+(** Result records shared by the two estimators. *)
+
+type stdcell = {
+  rows : int;  (** n *)
+  tracks : int;  (** expected total routing tracks across all channels *)
+  feed_throughs : int;  (** E(M), feed-throughs in the widest (central) row *)
+  height : Mae_geom.Lambda.t;  (** n * row_height + tracks * track_pitch *)
+  width : Mae_geom.Lambda.t;  (** N * W_avg / n + E(M) * feed_width *)
+  area : Mae_geom.Lambda.area;
+  aspect : Mae_geom.Aspect.t;  (** equation (14), after any configured clamp *)
+  aspect_raw : Mae_geom.Aspect.t;  (** equation (14) before clamping *)
+}
+
+type fullcustom = {
+  device_area : Mae_geom.Lambda.area;
+  wire_area : Mae_geom.Lambda.area;  (** sum of per-net interconnect areas *)
+  area : Mae_geom.Lambda.area;  (** equation (13) *)
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+  aspect : Mae_geom.Aspect.t;  (** after any configured clamp *)
+  aspect_raw : Mae_geom.Aspect.t;
+}
+
+val stdcell_area_check : stdcell -> bool
+(** area = height * width up to round-off; exposed for tests. *)
+
+val pp_stdcell : Format.formatter -> stdcell -> unit
+
+val pp_fullcustom : Format.formatter -> fullcustom -> unit

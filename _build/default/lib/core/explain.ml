@@ -1,0 +1,103 @@
+type track_class = {
+  degree : int;
+  net_count : int;
+  expected_span : int;
+  tracks : int;
+}
+
+type stdcell_breakdown = {
+  rows : int;
+  classes : track_class list;
+  total_tracks : int;
+  feed_probability : float;
+  expected_feed_throughs : int;
+  cell_height : float;
+  track_height : float;
+  cell_width : float;
+  feed_width : float;
+}
+
+let stdcell ?(config = Config.default) ~rows circuit process =
+  let est = Stdcell.estimate ~config ~rows circuit process in
+  let stats = Mae_netlist.Stats.compute circuit process in
+  let classes =
+    List.map
+      (fun (degree, net_count) ->
+        let expected_span =
+          Row_model.expected_span ~model:config.Config.row_span_model ~rows
+            ~degree
+        in
+        { degree; net_count; expected_span; tracks = net_count * expected_span })
+      stats.degree_histogram
+  in
+  {
+    rows;
+    classes;
+    total_tracks = est.Estimate.tracks;
+    feed_probability = Feedthrough.prob_two_component ~rows;
+    expected_feed_throughs = est.feed_throughs;
+    cell_height = Float.of_int rows *. process.Mae_tech.Process.row_height;
+    track_height =
+      Float.of_int est.tracks *. process.Mae_tech.Process.track_pitch;
+    cell_width =
+      Float.of_int stats.device_count *. stats.average_width
+      /. Float.of_int rows;
+    feed_width =
+      Float.of_int est.feed_throughs
+      *. process.Mae_tech.Process.feed_through_width;
+  }
+
+let pp_stdcell ppf b =
+  Format.fprintf ppf "@[<v>standard-cell breakdown at %d rows:@ " b.rows;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %d nets of %d components: E(span) = %d -> %d tracks@ " c.net_count
+        c.degree c.expected_span c.tracks)
+    b.classes;
+  Format.fprintf ppf "  total tracks: %d (%.0fL of channel height)@ "
+    b.total_tracks b.track_height;
+  Format.fprintf ppf
+    "  P(feed-through) = %.3f per net -> E(M) = %d feed-throughs (%.0fL of \
+     row length)@ "
+    b.feed_probability b.expected_feed_throughs b.feed_width;
+  Format.fprintf ppf "  height = %.0fL cells + %.0fL channels@ " b.cell_height
+    b.track_height;
+  Format.fprintf ppf "  width  = %.0fL cells + %.0fL feed-throughs@]"
+    b.cell_width b.feed_width
+
+type fullcustom_breakdown = {
+  device_area : float;
+  free_nets : int;
+  charged_nets : (int * int * float) list;
+  wire_area : float;
+}
+
+let fullcustom ?(config = Config.default) ~mode circuit process =
+  let est = Fullcustom.estimate ~config ~mode circuit process in
+  let nets = Fullcustom.net_areas ~config ~mode circuit process in
+  let free, charged =
+    List.partition (fun (n : Fullcustom.net_area) -> n.interconnect_area = 0.) nets
+  in
+  {
+    device_area = est.Estimate.device_area;
+    free_nets = List.length free;
+    charged_nets =
+      List.map
+        (fun (n : Fullcustom.net_area) -> (n.net, n.degree, n.interconnect_area))
+        charged
+      |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a);
+    wire_area = est.wire_area;
+  }
+
+let pp_fullcustom ppf b =
+  Format.fprintf ppf
+    "@[<v>full-custom breakdown:@ \
+     \  device area: %.0fL^2@ \
+     \  %d nets free (<= 2 components)@ "
+    b.device_area b.free_nets;
+  List.iter
+    (fun (net, degree, area) ->
+      Format.fprintf ppf "  net #%d (%d components): %.0fL^2@ " net degree area)
+    b.charged_nets;
+  Format.fprintf ppf "  wire area: %.0fL^2@]" b.wire_area

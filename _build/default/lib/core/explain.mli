@@ -1,0 +1,54 @@
+(** Estimate breakdowns: where did the numbers come from?
+
+    An estimator a designer must trust needs to show its work.  These
+    reports decompose a standard-cell estimate into the per-degree-class
+    track charges of equations (2)-(3) and the feed-through expectation of
+    equations (9)-(11), and a full-custom estimate into its per-net
+    interconnect areas. *)
+
+type track_class = {
+  degree : int;  (** D *)
+  net_count : int;  (** y_D *)
+  expected_span : int;  (** ceil E(i), tracks charged per net *)
+  tracks : int;  (** y_D * expected_span *)
+}
+
+type stdcell_breakdown = {
+  rows : int;
+  classes : track_class list;  (** degree ascending *)
+  total_tracks : int;
+  feed_probability : float;  (** equation (9) *)
+  expected_feed_throughs : int;  (** equation (11) *)
+  cell_height : float;  (** n * row_height *)
+  track_height : float;  (** total_tracks * track_pitch *)
+  cell_width : float;  (** N * W_avg / n *)
+  feed_width : float;  (** E(M) * feed_through_width *)
+}
+
+val stdcell :
+  ?config:Config.t ->
+  rows:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  stdcell_breakdown
+(** Raises like {!Stdcell.estimate}. *)
+
+val pp_stdcell : Format.formatter -> stdcell_breakdown -> unit
+
+type fullcustom_breakdown = {
+  device_area : float;
+  free_nets : int;  (** nets with D <= 2: zero interconnect *)
+  charged_nets : (int * int * float) list;
+      (** (net index, degree, area) for nets that cost something, by
+          descending area *)
+  wire_area : float;
+}
+
+val fullcustom :
+  ?config:Config.t ->
+  mode:Config.device_area_mode ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  fullcustom_breakdown
+
+val pp_fullcustom : Format.formatter -> fullcustom_breakdown -> unit

@@ -1,0 +1,42 @@
+let with_track_sharing ~factor ~rows circuit process =
+  if factor <= 0. || factor > 1. then
+    invalid_arg "Extensions.with_track_sharing: factor outside (0, 1]";
+  let config = { Config.default with track_sharing_factor = Some factor } in
+  Stdcell.estimate ~config ~rows circuit process
+
+let calibrate_sharing_factor pairs =
+  let ratios =
+    List.filter_map
+      (fun ((est : Estimate.stdcell), real_area) ->
+        if est.area <= 0. || real_area <= 0. then None
+        else Some (real_area /. est.area))
+      pairs
+  in
+  match ratios with
+  | [] -> None
+  | _ :: _ ->
+      let mean = Mae_prob.Stats.mean ratios in
+      Some (Float.min 1. (Float.max 1e-3 mean))
+
+let fullcustom_aspect_candidates ?(count = 5) ~area ~port_count process =
+  if count < 1 then invalid_arg "Extensions: count < 1";
+  if area <= 0. then invalid_arg "Extensions: non-positive area";
+  let ports = Aspect_ratio.port_length ~port_count ~process in
+  let ratio_of i =
+    (* evenly spaced across the paper's 1:1 .. 1:2 band *)
+    if count = 1 then 1.
+    else 1. +. (Float.of_int i /. Float.of_int (count - 1))
+  in
+  let shape i =
+    let r = ratio_of i in
+    let height = Float.sqrt (area /. r) in
+    let width = r *. height in
+    (width, height, Mae_geom.Aspect.make ~width ~height)
+  in
+  let all = List.init count shape in
+  let feasible = List.filter (fun (w, _, _) -> w >= ports) all in
+  match feasible with [] -> all | _ :: _ -> feasible
+
+let stdcell_shape_candidates ?config ?(count = 5) circuit process =
+  let rows = Row_select.candidates ~max_count:count circuit process in
+  Stdcell.sweep ?config ~rows circuit process

@@ -1,0 +1,45 @@
+(** Section 7 future-work features.
+
+    The paper names three planned changes: accounting for routing-channel
+    track sharing in the Standard-Cell estimate, emitting four or five
+    aspect-ratio candidates so the floor planner can pick shapes, and
+    measuring the reduction in floor-planning iterations.  The first two
+    live here; the third is {!Mae_floorplan.Flow} in the floorplan
+    library. *)
+
+val with_track_sharing :
+  factor:float ->
+  rows:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.stdcell
+(** Standard-cell estimate with the expected track count scaled by
+    [factor] in (0, 1] — the correction for nets sharing tracks.
+    Raises [Invalid_argument] on a factor outside (0, 1]. *)
+
+val calibrate_sharing_factor :
+  (Estimate.stdcell * float) list -> float option
+(** Fit the sharing factor from (estimate, real area) pairs produced by a
+    layout flow: the mean of real/estimated area ratios, clipped into
+    (0, 1].  [None] on an empty list or non-positive estimates. *)
+
+val fullcustom_aspect_candidates :
+  ?count:int ->
+  area:Mae_geom.Lambda.area ->
+  port_count:int ->
+  Mae_tech.Process.t ->
+  (Mae_geom.Lambda.t * Mae_geom.Lambda.t * Mae_geom.Aspect.t) list
+(** [count] (default 5) candidate shapes of the same area with ratios
+    spread across the 1:1 .. 1:2 band, keeping only shapes whose longer
+    edge can host all ports (all candidates are kept when none can).
+    Width is the longer side.  Raises [Invalid_argument] on a non-positive
+    area or [count < 1]. *)
+
+val stdcell_shape_candidates :
+  ?config:Config.t ->
+  ?count:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.stdcell list
+(** Standard-cell shape menu: one estimate per candidate row count from
+    {!Row_select.candidates} (default [count] = 5). *)

@@ -1,0 +1,70 @@
+type net_area = {
+  net : int;
+  degree : int;
+  interconnect_area : Mae_geom.Lambda.area;
+}
+
+let half_rounded_up degree = (degree + 1) / 2
+
+let net_areas ?(config = Config.default) ~mode circuit process =
+  let stats = Mae_netlist.Stats.compute circuit process in
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  let track = process.Mae_tech.Process.track_pitch in
+  let area_of_net net =
+    let members = Mae_netlist.Circuit.devices_on_net circuit net in
+    let degree = Array.length members in
+    let free = degree <= 1 || (degree = 2 && config.Config.two_component_free) in
+    let interconnect_area =
+      if free then 0.
+      else begin
+        let mean_width =
+          match (mode : Config.device_area_mode) with
+          | Average_areas -> stats.average_width
+          | Exact_areas ->
+              Array.fold_left (fun acc d -> acc +. widths.(d)) 0. members
+              /. Float.of_int degree
+        in
+        let channel_length =
+          Float.of_int (half_rounded_up degree) *. mean_width
+        in
+        track *. channel_length
+      end
+    in
+    { net; degree; interconnect_area }
+  in
+  List.init (Mae_netlist.Circuit.net_count circuit) area_of_net
+
+let estimate ?(config = Config.default) ~mode circuit process =
+  let stats = Mae_netlist.Stats.compute circuit process in
+  if stats.device_count = 0 then
+    invalid_arg "Fullcustom.estimate: circuit has no devices";
+  let device_area =
+    match (mode : Config.device_area_mode) with
+    | Config.Exact_areas -> stats.total_device_area
+    | Config.Average_areas ->
+        Float.of_int stats.device_count *. stats.average_width
+        *. stats.average_height
+  in
+  let wire_area =
+    List.fold_left
+      (fun acc n -> acc +. n.interconnect_area)
+      0.
+      (net_areas ~config ~mode circuit process)
+  in
+  let area = device_area +. wire_area in
+  let width, height, aspect_raw =
+    Aspect_ratio.fullcustom ~area ~port_count:stats.port_count ~process
+  in
+  {
+    Estimate.device_area;
+    wire_area;
+    area;
+    width;
+    height;
+    aspect = Aspect_ratio.clamp config aspect_raw;
+    aspect_raw;
+  }
+
+let estimate_both ?config circuit process =
+  ( estimate ?config ~mode:Config.Exact_areas circuit process,
+    estimate ?config ~mode:Config.Average_areas circuit process )

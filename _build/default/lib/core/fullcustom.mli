@@ -1,0 +1,42 @@
+(** The Full-Custom area estimator (section 4.2, equation 13).
+
+    Device area is summed from the schematic (exactly, or via the average
+    device footprint); each net's minimum interconnection area uses the
+    two-row, one-track-channel model: the net's components split into two
+    facing rows of ceil(D/2) devices, and the channel between them is one
+    track high and one half-row long.  Per the Table 1 footnote, nets with
+    two or fewer components contribute nothing (the two devices abut). *)
+
+type net_area = {
+  net : int;  (** net index in the circuit *)
+  degree : int;  (** D, distinct devices on the net *)
+  interconnect_area : Mae_geom.Lambda.area;  (** the A_j of equation (13) *)
+}
+
+val net_areas :
+  ?config:Config.t ->
+  mode:Config.device_area_mode ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  net_area list
+(** Per-net interconnect areas, net index ascending.  In [Exact_areas]
+    mode the half-row length uses the mean width of the devices actually
+    on the net; in [Average_areas] mode it uses the module-wide W_avg.
+    Raises {!Mae_netlist.Stats.Unknown_kind}. *)
+
+val estimate :
+  ?config:Config.t ->
+  mode:Config.device_area_mode ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.fullcustom
+(** Equation (13) plus the section 5 aspect-ratio algorithm.  Raises
+    {!Mae_netlist.Stats.Unknown_kind} and [Invalid_argument] on an empty
+    circuit. *)
+
+val estimate_both :
+  ?config:Config.t ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.fullcustom * Estimate.fullcustom
+(** (exact, average): the two variants Table 1 reports side by side. *)

@@ -1,0 +1,186 @@
+type params = {
+  site_transistors : int;
+  site_width : Mae_geom.Lambda.t;
+  site_height : Mae_geom.Lambda.t;
+  channel_tracks : int;
+  utilization : float;
+}
+
+let default_params process =
+  let nand2 = Mae_tech.Process.find_device_exn process "nand2" in
+  {
+    site_transistors = 4;
+    site_width = nand2.Mae_tech.Device_kind.width;
+    site_height = nand2.Mae_tech.Device_kind.height;
+    channel_tracks = 10;
+    utilization = 0.85;
+  }
+
+let validate_params p =
+  if p.site_transistors < 1 then Error "site_transistors must be >= 1"
+  else if p.site_width <= 0. || p.site_height <= 0. then
+    Error "site dimensions must be positive"
+  else if p.channel_tracks < 1 then Error "channel_tracks must be >= 1"
+  else if p.utilization <= 0. || p.utilization > 1. then
+    Error "utilization must be in (0, 1]"
+  else Ok p
+
+type estimate = {
+  gate_equivalents : int;
+  sites : int;
+  array_rows : int;
+  array_columns : int;
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+  area : Mae_geom.Lambda.area;
+  aspect : Mae_geom.Aspect.t;
+  expected_tracks_per_channel : float;
+  routable : bool;
+}
+
+(* Transistor count of one device: a transistor is itself; a gate goes
+   through its library template. *)
+let transistor_count (circuit : Mae_netlist.Circuit.t) process
+    (d : Mae_netlist.Device.t) =
+  match Mae_tech.Process.find_device process d.kind with
+  | Some kind when Mae_tech.Device_kind.is_transistor kind -> Ok 1
+  | Some _ | None -> begin
+      match Mae_celllib.Cmos_lib.for_technology circuit.technology with
+      | None -> Error ("no cell library for technology " ^ circuit.technology)
+      | Some library -> begin
+          match Mae_celllib.Library.find library d.kind with
+          | Some cell -> Ok (Mae_celllib.Cell.transistor_count cell)
+          | None -> Error ("no site mapping for kind " ^ d.kind)
+        end
+    end
+
+let site_demand ?params (circuit : Mae_netlist.Circuit.t) process =
+  let params =
+    match params with Some p -> p | None -> default_params process
+  in
+  match validate_params params with
+  | Error e -> Error e
+  | Ok params ->
+      let rec go acc i =
+        if i >= Array.length circuit.devices then Ok acc
+        else begin
+          match transistor_count circuit process circuit.devices.(i) with
+          | Error e -> Error e
+          | Ok tx ->
+              let sites =
+                (tx + params.site_transistors - 1) / params.site_transistors
+              in
+              go (acc + sites) (i + 1)
+        end
+      in
+      go 0 0
+
+let estimate ?params (circuit : Mae_netlist.Circuit.t) process =
+  let params =
+    match params with Some p -> p | None -> default_params process
+  in
+  match validate_params params with
+  | Error e -> Error e
+  | Ok params -> begin
+      match site_demand ~params circuit process with
+      | Error e -> Error e
+      | Ok 0 -> Error "circuit has no devices"
+      | Ok demand ->
+          let sites =
+            Stdlib.max 1
+              (Float.to_int
+                 (Float.ceil (Float.of_int demand /. params.utilization)))
+          in
+          let pitch = process.Mae_tech.Process.track_pitch in
+          let row_pitch =
+            params.site_height
+            +. (Float.of_int params.channel_tracks *. pitch)
+          in
+          (* the squarest array offering at least [sites] sites *)
+          let best = ref None in
+          for rows = 1 to sites do
+            let columns = (sites + rows - 1) / rows in
+            let width = Float.of_int columns *. params.site_width in
+            let height = Float.of_int rows *. row_pitch in
+            let deviation = Float.abs (Float.log (width /. height)) in
+            match !best with
+            | Some (d, _, _) when d <= deviation -> ()
+            | Some _ | None -> best := Some (deviation, rows, columns)
+          done;
+          let _, array_rows, array_columns = Option.get !best in
+          let width = Float.of_int array_columns *. params.site_width in
+          let height = Float.of_int array_rows *. row_pitch in
+          (* routability via the paper's own track expectation *)
+          let stats = Mae_netlist.Stats.compute circuit process in
+          let expected_tracks =
+            Row_model.tracks_for_histogram ~model:Config.Paper_model
+              ~rows:array_rows ~degree_histogram:stats.degree_histogram
+          in
+          let per_channel =
+            Float.of_int expected_tracks /. Float.of_int array_rows
+          in
+          Ok
+            {
+              gate_equivalents = demand;
+              sites;
+              array_rows;
+              array_columns;
+              width;
+              height;
+              area = width *. height;
+              aspect = Mae_geom.Aspect.make ~width ~height;
+              expected_tracks_per_channel = per_channel;
+              routable = per_channel <= Float.of_int params.channel_tracks;
+            }
+    end
+
+let estimate_routable ?params ?(max_growth = 8) circuit process =
+  let params =
+    match params with Some p -> p | None -> default_params process
+  in
+  match estimate ~params circuit process with
+  | Error e -> Error e
+  | Ok base ->
+      let stats = Mae_netlist.Stats.compute circuit process in
+      let try_rows rows =
+        let columns = (base.sites + rows - 1) / rows in
+        let pitch = process.Mae_tech.Process.track_pitch in
+        let width = Float.of_int columns *. params.site_width in
+        let height =
+          Float.of_int rows
+          *. (params.site_height
+             +. (Float.of_int params.channel_tracks *. pitch))
+        in
+        let tracks =
+          Row_model.tracks_for_histogram ~model:Config.Paper_model ~rows
+            ~degree_histogram:stats.degree_histogram
+        in
+        let per_channel = Float.of_int tracks /. Float.of_int rows in
+        {
+          base with
+          array_rows = rows;
+          array_columns = columns;
+          width;
+          height;
+          area = width *. height;
+          aspect = Mae_geom.Aspect.make ~width ~height;
+          expected_tracks_per_channel = per_channel;
+          routable = per_channel <= Float.of_int params.channel_tracks;
+        }
+      in
+      let rec grow rows budget =
+        let candidate = try_rows rows in
+        if candidate.routable then Ok candidate
+        else if budget = 0 then
+          Error "no routable gate-array master within the growth budget"
+        else grow (rows * 2) (budget - 1)
+      in
+      if base.routable then Ok base else grow (Stdlib.max 1 base.array_rows) max_growth
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "gate-array: %d gate equivalents on a %d x %d array (%d sites), %.0f x \
+     %.0f L = %.0f L^2, aspect %a, %.1f expected tracks/channel (%s)"
+    e.gate_equivalents e.array_rows e.array_columns e.sites e.width e.height
+    e.area Mae_geom.Aspect.pp e.aspect e.expected_tracks_per_channel
+    (if e.routable then "routable" else "NOT routable")

@@ -1,0 +1,26 @@
+let prob_rows ~model ~rows ~degree =
+  if rows < 1 then invalid_arg "Row_model.prob_rows: rows < 1";
+  if degree < 1 then invalid_arg "Row_model.prob_rows: degree < 1";
+  let support = Stdlib.min rows degree in
+  let weight =
+    match (model : Config.row_span_model) with
+    | Paper_model ->
+        (* weight(i) = C(n,i) * b_k(i); the common (1/n)^k factor cancels
+           in the normalization performed by Dist.of_weights. *)
+        let k = Stdlib.min rows degree in
+        fun i -> Mae_prob.Comb.choose rows i *. Mae_prob.Comb.paper_b ~k i
+    | Exact_occupancy ->
+        fun i -> Mae_prob.Comb.choose rows i *. Mae_prob.Comb.surjections degree i
+  in
+  Mae_prob.Dist.of_weights (List.init support (fun j -> (j + 1, weight (j + 1))))
+
+let expected_span ~model ~rows ~degree =
+  Mae_prob.Dist.expectation_ceil (prob_rows ~model ~rows ~degree)
+
+let tracks_for_histogram ~model ~rows ~degree_histogram =
+  List.fold_left
+    (fun acc (degree, count) ->
+      if count < 0 then invalid_arg "Row_model.tracks_for_histogram: negative count";
+      if count = 0 then acc
+      else acc + (count * expected_span ~model ~rows ~degree))
+    0 degree_histogram

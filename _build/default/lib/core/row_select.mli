@@ -1,0 +1,28 @@
+(** Section 5: choosing the number of standard-cell rows.
+
+    The initial row count divides the square root of the total active-cell
+    area by twice the row height; if the resulting row length cannot host
+    all I/O ports, the divisor grows (fewer, longer rows) until it can.
+    Table 2 reports estimates for several candidate row counts, which
+    {!candidates} reproduces. *)
+
+val rows_for_divisor :
+  cell_area:Mae_geom.Lambda.area -> row_height:Mae_geom.Lambda.t -> divisor:int -> int
+(** Step 2 of the algorithm: ceil(sqrt(cell_area) / (divisor * row_height)),
+    floored at 1 row.  Raises [Invalid_argument] on non-positive inputs. *)
+
+val row_length :
+  cell_area:Mae_geom.Lambda.area -> row_height:Mae_geom.Lambda.t -> rows:int -> Mae_geom.Lambda.t
+(** Step 3: cell_area / (rows * row_height), the cell portion of a row. *)
+
+val initial_rows : Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int
+(** The full loop: starts at divisor 2 and accepts the first row count
+    whose row length fits the port length (always terminates: the row
+    count eventually reaches 1).  Raises {!Mae_netlist.Stats.Unknown_kind}
+    on a schematic/process mismatch and [Invalid_argument] on a circuit
+    with no devices. *)
+
+val candidates : ?max_count:int -> Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int list
+(** Distinct row counts visited by the loop, starting at the accepted one
+    and continuing toward fewer rows, at most [max_count] (default 3, the
+    Table 2 presentation).  Always non-empty, strictly decreasing. *)

@@ -1,0 +1,50 @@
+let estimate ?(config = Config.default) ~rows circuit process =
+  if rows < 1 then invalid_arg "Stdcell.estimate: rows < 1";
+  let stats = Mae_netlist.Stats.compute circuit process in
+  if stats.device_count = 0 then
+    invalid_arg "Stdcell.estimate: circuit has no devices";
+  let tracks_upper_bound =
+    Row_model.tracks_for_histogram ~model:config.row_span_model ~rows
+      ~degree_histogram:stats.degree_histogram
+  in
+  let tracks =
+    match config.track_sharing_factor with
+    | None -> tracks_upper_bound
+    | Some f ->
+        Stdlib.max 1
+          (Float.to_int (Float.ceil (Float.of_int tracks_upper_bound *. f)))
+  in
+  let connected_nets =
+    List.fold_left (fun acc (_, y) -> acc + y) 0 stats.degree_histogram
+  in
+  let feed_throughs =
+    Feedthrough.expected_feed_throughs ~net_count:connected_nets ~rows
+  in
+  let row_height = process.Mae_tech.Process.row_height in
+  let height =
+    (Float.of_int rows *. row_height)
+    +. (Float.of_int tracks *. process.Mae_tech.Process.track_pitch)
+  in
+  let width =
+    (Float.of_int stats.device_count *. stats.average_width /. Float.of_int rows)
+    +. Float.of_int feed_throughs *. process.Mae_tech.Process.feed_through_width
+  in
+  let area = height *. width in
+  let aspect_raw = Mae_geom.Aspect.make ~width ~height in
+  {
+    Estimate.rows;
+    tracks;
+    feed_throughs;
+    height;
+    width;
+    area;
+    aspect = Aspect_ratio.clamp config aspect_raw;
+    aspect_raw;
+  }
+
+let estimate_auto ?config circuit process =
+  let rows = Row_select.initial_rows circuit process in
+  estimate ?config ~rows circuit process
+
+let sweep ?config ~rows circuit process =
+  List.map (fun n -> estimate ?config ~rows:n circuit process) rows

@@ -1,0 +1,30 @@
+(** The Standard-Cell area estimator (section 4.1, equations 1-12, 14).
+
+    Module height = n rows plus the expected routing tracks (one net per
+    track: an upper bound); module width = the average cell content of a
+    row plus the expected feed-throughs of the central, most-loaded row. *)
+
+val estimate :
+  ?config:Config.t ->
+  rows:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.stdcell
+(** Equation (12) for a fixed row count.  Raises
+    {!Mae_netlist.Stats.Unknown_kind} on a schematic/process mismatch and
+    [Invalid_argument] when [rows < 1] or the circuit has no devices. *)
+
+val estimate_auto :
+  ?config:Config.t ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.stdcell
+(** {!estimate} at the row count chosen by {!Row_select.initial_rows}. *)
+
+val sweep :
+  ?config:Config.t ->
+  rows:int list ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Estimate.stdcell list
+(** One estimate per row count, in the given order (the Table 2 sweep). *)

@@ -1,0 +1,1 @@
+lib/db/record.ml: Float Format List Mae Mae_geom Mae_netlist String

@@ -1,0 +1,1 @@
+lib/db/store.ml: Buffer Hashtbl In_channel List Out_channel Printf Record String

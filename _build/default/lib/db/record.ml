@@ -1,0 +1,75 @@
+type t = {
+  module_name : string;
+  technology : string;
+  devices : int;
+  nets : int;
+  ports : int;
+  sc_rows : int;
+  sc_tracks : int;
+  sc_feed_throughs : int;
+  sc_width : float;
+  sc_height : float;
+  sc_area : float;
+  sc_aspect : float;
+  fc_exact_area : float;
+  fc_exact_aspect : float;
+  fc_average_area : float;
+  fc_average_aspect : float;
+  shapes : (float * float) list;
+}
+
+let of_report (r : Mae.Driver.module_report) =
+  let sc = r.stdcell in
+  let fce = r.fullcustom_exact and fca = r.fullcustom_average in
+  let sweep_shapes =
+    List.map
+      (fun (e : Mae.Estimate.stdcell) -> (e.width, e.height))
+      r.stdcell_sweep
+  in
+  let fc_shapes =
+    [ (fce.Mae.Estimate.width, fce.height); (fca.Mae.Estimate.width, fca.height) ]
+  in
+  {
+    module_name = r.circuit.Mae_netlist.Circuit.name;
+    technology = r.circuit.Mae_netlist.Circuit.technology;
+    devices = Mae_netlist.Circuit.device_count r.circuit;
+    nets = Mae_netlist.Circuit.net_count r.circuit;
+    ports = Mae_netlist.Circuit.port_count r.circuit;
+    sc_rows = sc.Mae.Estimate.rows;
+    sc_tracks = sc.tracks;
+    sc_feed_throughs = sc.feed_throughs;
+    sc_width = sc.width;
+    sc_height = sc.height;
+    sc_area = sc.area;
+    sc_aspect = Mae_geom.Aspect.ratio sc.aspect;
+    fc_exact_area = fce.area;
+    fc_exact_aspect = Mae_geom.Aspect.ratio fce.aspect;
+    fc_average_area = fca.area;
+    fc_average_aspect = Mae_geom.Aspect.ratio fca.aspect;
+    shapes = sweep_shapes @ fc_shapes;
+  }
+
+let equal a b =
+  String.equal a.module_name b.module_name
+  && String.equal a.technology b.technology
+  && a.devices = b.devices && a.nets = b.nets && a.ports = b.ports
+  && a.sc_rows = b.sc_rows && a.sc_tracks = b.sc_tracks
+  && a.sc_feed_throughs = b.sc_feed_throughs
+  && Float.equal a.sc_width b.sc_width
+  && Float.equal a.sc_height b.sc_height
+  && Float.equal a.sc_area b.sc_area
+  && Float.equal a.sc_aspect b.sc_aspect
+  && Float.equal a.fc_exact_area b.fc_exact_area
+  && Float.equal a.fc_exact_aspect b.fc_exact_aspect
+  && Float.equal a.fc_average_area b.fc_average_area
+  && Float.equal a.fc_average_aspect b.fc_average_aspect
+  && List.length a.shapes = List.length b.shapes
+  && List.for_all2
+       (fun (wa, ha) (wb, hb) -> Float.equal wa wb && Float.equal ha hb)
+       a.shapes b.shapes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s (%s): N=%d H=%d P=%d; SC %.0fL^2 @ %.2f; FC %.0f/%.0f L^2"
+    t.module_name t.technology t.devices t.nets t.ports t.sc_area t.sc_aspect
+    t.fc_exact_area t.fc_average_area

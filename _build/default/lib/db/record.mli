@@ -1,0 +1,35 @@
+(** One module's entry in the estimator's output database.
+
+    Figure 1: the estimates "are stored in a data base, which also
+    contains the global module descriptions ... This data base is input
+    to the floor planner."  A record is the flattened, tool-independent
+    summary of a {!Mae.Driver.module_report}. *)
+
+type t = {
+  module_name : string;
+  technology : string;
+  devices : int;
+  nets : int;
+  ports : int;
+  sc_rows : int;
+  sc_tracks : int;
+  sc_feed_throughs : int;
+  sc_width : float;
+  sc_height : float;
+  sc_area : float;
+  sc_aspect : float;
+  fc_exact_area : float;
+  fc_exact_aspect : float;
+  fc_average_area : float;
+  fc_average_aspect : float;
+  shapes : (float * float) list;
+      (** candidate module shapes for the floor planner (width, height) *)
+}
+
+val of_report : Mae.Driver.module_report -> t
+(** Shapes collect the standard-cell sweep plus the two full-custom
+    variants. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

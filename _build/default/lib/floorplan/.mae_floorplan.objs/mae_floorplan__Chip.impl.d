@@ -1,0 +1,1 @@
+lib/floorplan/chip.ml: Array Format Fp_anneal List Mae_db Mae_geom Shape Slicing

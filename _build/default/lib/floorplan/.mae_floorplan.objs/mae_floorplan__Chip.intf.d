@@ -1,0 +1,1 @@
+lib/floorplan/chip.mli: Format Mae_db Mae_geom Mae_layout Mae_prob

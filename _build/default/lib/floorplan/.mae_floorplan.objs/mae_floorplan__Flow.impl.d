@@ -1,0 +1,1 @@
+lib/floorplan/flow.ml: Array Float Fp_anneal List Mae_geom Mae_prob Shape Slicing

@@ -1,0 +1,1 @@
+lib/floorplan/flow.mli: Mae_layout Mae_prob Shape

@@ -1,0 +1,1 @@
+lib/floorplan/fp_anneal.ml: Array Mae_layout Polish Slicing

@@ -1,0 +1,1 @@
+lib/floorplan/fp_anneal.mli: Mae_layout Mae_prob Polish Shape Slicing

@@ -1,0 +1,1 @@
+lib/floorplan/polish.ml: Array Format List Mae_prob

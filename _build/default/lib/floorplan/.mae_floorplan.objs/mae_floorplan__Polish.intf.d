@@ -1,0 +1,1 @@
+lib/floorplan/polish.mli: Format Mae_prob

@@ -1,0 +1,1 @@
+lib/floorplan/render.ml: Chip List Mae_geom Mae_report

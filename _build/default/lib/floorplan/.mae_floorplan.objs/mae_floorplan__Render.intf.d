@@ -1,0 +1,1 @@
+lib/floorplan/render.mli: Chip

@@ -1,0 +1,1 @@
+lib/floorplan/shape.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/floorplan/slicing.ml: Array Float List Mae_geom Polish Shape

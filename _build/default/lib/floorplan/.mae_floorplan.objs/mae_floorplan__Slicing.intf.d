@@ -1,0 +1,1 @@
+lib/floorplan/slicing.mli: Mae_geom Polish Shape

@@ -1,0 +1,70 @@
+type plan = {
+  chip_width : float;
+  chip_height : float;
+  chip_area : float;
+  utilization : float;
+  placements : (string * Mae_geom.Rect.t) list;
+}
+
+let plan ?schedule ?(routing_allowance = 0.10) ~rng store =
+  if routing_allowance < 0. || routing_allowance > 1. then
+    Error "routing_allowance must be in [0, 1]"
+  else begin
+    let records = Mae_db.Store.records store in
+    match records with
+    | [] -> Error "the estimate database is empty"
+    | _ :: _ -> begin
+        let scale = 1. +. routing_allowance in
+        let shape_of (r : Mae_db.Record.t) =
+          match r.shapes with
+          | [] -> Error ("record " ^ r.module_name ^ " has no shapes")
+          | shapes ->
+              let inflated =
+                List.map (fun (w, h) -> (w *. scale, h *. scale)) shapes
+              in
+              Ok (Shape.with_rotations (Shape.of_list inflated))
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | r :: rest -> begin
+              match shape_of r with
+              | Ok s -> collect (s :: acc) rest
+              | Error e -> Error e
+            end
+        in
+        match collect [] records with
+        | Error e -> Error e
+        | Ok shapes ->
+            let result = Fp_anneal.run ?schedule ~rng (Array.of_list shapes) in
+            let placement = result.Fp_anneal.placement in
+            let chip = placement.Slicing.chip in
+            (* utilization: the modules' own area (the chosen shapes,
+               deflated back by the allowance) over the chip box *)
+            let module_area =
+              Array.fold_left
+                (fun acc rect -> acc +. (Mae_geom.Rect.area rect /. (scale *. scale)))
+                0. placement.Slicing.rects
+            in
+            Ok
+              {
+                chip_width = chip.Slicing.width;
+                chip_height = chip.Slicing.height;
+                chip_area = chip.Slicing.area;
+                utilization = module_area /. chip.Slicing.area;
+                placements =
+                  List.mapi
+                    (fun i (r : Mae_db.Record.t) ->
+                      (r.module_name, placement.Slicing.rects.(i)))
+                    records;
+              }
+      end
+  end
+
+let pp_plan ppf t =
+  Format.fprintf ppf "@[<v>chip %.0f x %.0f = %.0f (utilization %.0f%%)@ "
+    t.chip_width t.chip_height t.chip_area (100. *. t.utilization);
+  List.iter
+    (fun (name, rect) ->
+      Format.fprintf ppf "%-16s %a@ " name Mae_geom.Rect.pp rect)
+    t.placements;
+  Format.fprintf ppf "@]"

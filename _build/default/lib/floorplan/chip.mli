@@ -1,0 +1,31 @@
+(** Chip assembly from an estimate database.
+
+    The consumer side of Figure 1: take the per-module records the
+    estimator stored (each with its menu of candidate shapes), inflate
+    them by an inter-module routing allowance, and produce a floor plan.
+    The paper's estimator "is not intended for area estimation of entire
+    chips" — the chip area comes from this assembly step, not from
+    running the module estimator on the whole netlist. *)
+
+type plan = {
+  chip_width : float;
+  chip_height : float;
+  chip_area : float;
+  utilization : float;  (** module area (pre-allowance) / chip area *)
+  placements : (string * Mae_geom.Rect.t) list;
+      (** one rectangle per module, in record order *)
+}
+
+val plan :
+  ?schedule:Mae_layout.Anneal.schedule ->
+  ?routing_allowance:float ->
+  rng:Mae_prob.Rng.t ->
+  Mae_db.Store.t ->
+  (plan, string) result
+(** Floor-plan every module of the store.  [routing_allowance] (default
+    0.10) widens each module shape by that linear fraction on both axes
+    to reserve inter-module wiring space; the reported placements are the
+    inflated slots.  Errors on an empty store, a record without shapes,
+    or an allowance outside [0, 1]. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,60 @@
+type module_spec = {
+  name : string;
+  estimated_shapes : Shape.t;
+  real_area : float;
+}
+
+type round_report = {
+  chip_area : float;
+  misfits : string list;
+}
+
+type report = {
+  rounds : int;
+  final_chip_area : float;
+  history : round_report list;
+}
+
+let converge ?(tolerance = 0.05) ?(max_rounds = 10) ?schedule ~rng specs =
+  if specs = [] then invalid_arg "Flow.converge: no modules";
+  if tolerance < 0. then invalid_arg "Flow.converge: negative tolerance";
+  if max_rounds < 1 then invalid_arg "Flow.converge: max_rounds < 1";
+  List.iter
+    (fun s ->
+      if s.real_area <= 0. then
+        invalid_arg "Flow.converge: non-positive real area")
+    specs;
+  let specs = Array.of_list specs in
+  let shapes = Array.map (fun s -> s.estimated_shapes) specs in
+  let history = ref [] in
+  let rec round k =
+    let rng = Mae_prob.Rng.split rng in
+    let result = Fp_anneal.run ?schedule ~rng shapes in
+    let chip_area = result.placement.Slicing.chip.Slicing.area in
+    let misfits = ref [] in
+    Array.iteri
+      (fun i rect ->
+        let slot_area = Mae_geom.Rect.area rect in
+        if slot_area < specs.(i).real_area /. (1. +. tolerance) then begin
+          misfits := specs.(i).name :: !misfits;
+          (* The designer now knows this module's true size: update its
+             shape belief with real-area variants across the 1:1..1:2
+             band. *)
+          let area = specs.(i).real_area in
+          let variants =
+            List.map
+              (fun r ->
+                let h = Float.sqrt (area /. r) in
+                (r *. h, h))
+              [ 1.0; 1.25; 1.5; 1.75; 2.0 ]
+          in
+          shapes.(i) <- Shape.with_rotations (Shape.of_list variants)
+        end)
+      result.placement.Slicing.rects;
+    let misfits = List.rev !misfits in
+    history := { chip_area; misfits } :: !history;
+    if misfits = [] || k >= max_rounds then
+      { rounds = k; final_chip_area = chip_area; history = List.rev !history }
+    else round (k + 1)
+  in
+  round 1

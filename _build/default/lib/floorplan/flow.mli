@@ -1,0 +1,41 @@
+(** The floor-planning iteration study.
+
+    The paper's motivation: "inaccurate aspect ratio estimates may lead to
+    an unacceptable floor plan, requiring another design iteration.  More
+    accurate module aspect ratio estimates will significantly reduce the
+    number of floor planning iterations."  This flow simulates the
+    iterative process: floor-plan with the current shape beliefs, compare
+    each module's allotted slot against the module's {e real} area (known
+    only after layout), refine the shapes of modules that do not fit, and
+    repeat until every module fits.  Better initial estimates converge in
+    fewer rounds. *)
+
+type module_spec = {
+  name : string;
+  estimated_shapes : Shape.t;  (** the estimator's candidate shapes *)
+  real_area : float;  (** the area the module's layout actually needs *)
+}
+
+type round_report = {
+  chip_area : float;
+  misfits : string list;  (** modules whose slot was too small this round *)
+}
+
+type report = {
+  rounds : int;  (** floor-planning iterations until every module fit *)
+  final_chip_area : float;
+  history : round_report list;  (** oldest first *)
+}
+
+val converge :
+  ?tolerance:float ->
+  ?max_rounds:int ->
+  ?schedule:Mae_layout.Anneal.schedule ->
+  rng:Mae_prob.Rng.t ->
+  module_spec list ->
+  report
+(** [tolerance] (default 0.05): a module fits when its slot area is at
+    least [real_area / (1 + tolerance)].  [max_rounds] (default 10) caps
+    the loop; if the cap is hit the report's [rounds] equals the cap.
+    Raises [Invalid_argument] on an empty module list, a non-positive
+    real area, tolerance < 0 or max_rounds < 1. *)

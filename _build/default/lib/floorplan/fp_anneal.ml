@@ -1,0 +1,33 @@
+type result = {
+  expr : Polish.t;
+  placement : Slicing.placement;
+}
+
+let run ?(schedule = Mae_layout.Anneal.default_schedule) ~rng shapes =
+  let n = Array.length shapes in
+  if n = 0 then invalid_arg "Fp_anneal.run: no modules";
+  let current = ref (Polish.initial n) in
+  let best = ref !current in
+  let current_cost = ref (Slicing.eval !current shapes).Slicing.area in
+  let best_cost = ref !current_cost in
+  let propose rng =
+    let previous = !current in
+    let next = Polish.random_move rng previous in
+    let next_cost = (Slicing.eval next shapes).Slicing.area in
+    let delta = next_cost -. !current_cost in
+    current := next;
+    current_cost := next_cost;
+    if next_cost < !best_cost then begin
+      best_cost := next_cost;
+      best := next
+    end;
+    let undo () =
+      current := previous;
+      current_cost := !current_cost -. delta
+    in
+    Some (delta, undo)
+  in
+  let (_ : float) =
+    Mae_layout.Anneal.run ~rng ~schedule ~initial_cost:!current_cost ~propose
+  in
+  { expr = !best; placement = Slicing.place !best shapes }

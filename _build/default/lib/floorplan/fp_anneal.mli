@@ -1,0 +1,16 @@
+(** Simulated-annealing floor planning over Polish expressions
+    (Wong-Liu). *)
+
+type result = {
+  expr : Polish.t;
+  placement : Slicing.placement;
+}
+
+val run :
+  ?schedule:Mae_layout.Anneal.schedule ->
+  rng:Mae_prob.Rng.t ->
+  Shape.t array ->
+  result
+(** Minimize chip area over slicing structures of the given modules.
+    Deterministic for a given rng seed.  Raises [Invalid_argument] on an
+    empty module array. *)

@@ -1,0 +1,149 @@
+type element = Operand of int | Vertical_cut | Horizontal_cut
+
+type t = element array
+
+let is_operator = function
+  | Vertical_cut | Horizontal_cut -> true
+  | Operand _ -> false
+
+let operand_count t =
+  Array.fold_left
+    (fun acc e -> match e with Operand _ -> acc + 1 | Vertical_cut | Horizontal_cut -> acc)
+    0 t
+
+let validate arr =
+  let n = operand_count arr in
+  if n < 1 then Error "no operands"
+  else if Array.length arr <> (2 * n) - 1 then Error "wrong operator count"
+  else begin
+    let seen = Array.make n false in
+    let rec go i depth =
+      if i >= Array.length arr then
+        if depth = 1 then Ok () else Error "unbalanced expression"
+      else begin
+        match arr.(i) with
+        | Operand k ->
+            if k < 0 || k >= n then Error "operand out of range"
+            else if seen.(k) then Error "duplicate operand"
+            else begin
+              seen.(k) <- true;
+              go (i + 1) (depth + 1)
+            end
+        | Vertical_cut | Horizontal_cut ->
+            if depth < 2 then Error "operator underflow" else go (i + 1) (depth - 1)
+      end
+    in
+    go 0 0
+  end
+
+let of_elements arr =
+  match validate arr with Ok () -> Ok (Array.copy arr) | Error e -> Error e
+
+let initial n =
+  if n < 1 then invalid_arg "Polish.initial: n < 1";
+  let elements = ref [ Operand 0 ] in
+  for k = 1 to n - 1 do
+    let op = if k land 1 = 1 then Vertical_cut else Horizontal_cut in
+    elements := op :: Operand k :: !elements
+  done;
+  Array.of_list (List.rev !elements)
+
+let elements t = Array.copy t
+
+let operand_positions t =
+  let positions = ref [] in
+  Array.iteri
+    (fun i e -> match e with
+       | Operand _ -> positions := i :: !positions
+       | Vertical_cut | Horizontal_cut -> ())
+    t;
+  Array.of_list (List.rev !positions)
+
+let swap_adjacent_operands rng t =
+  let positions = operand_positions t in
+  let n = Array.length positions in
+  if n < 2 then None
+  else begin
+    let k = Mae_prob.Rng.int rng (n - 1) in
+    let copy = Array.copy t in
+    let i = positions.(k) and j = positions.(k + 1) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp;
+    Some copy
+  end
+
+let invert = function
+  | Vertical_cut -> Horizontal_cut
+  | Horizontal_cut -> Vertical_cut
+  | Operand _ as e -> e
+
+let complement_chain rng t =
+  (* A chain is a maximal run of consecutive operator elements. *)
+  let chains = ref [] in
+  let start = ref (-1) in
+  Array.iteri
+    (fun i e ->
+      if is_operator e then begin
+        if !start < 0 then start := i
+      end
+      else if !start >= 0 then begin
+        chains := (!start, i - 1) :: !chains;
+        start := -1
+      end)
+    t;
+  if !start >= 0 then chains := (!start, Array.length t - 1) :: !chains;
+  match !chains with
+  | [] -> None
+  | _ :: _ ->
+      let chain_array = Array.of_list !chains in
+      let lo, hi = chain_array.(Mae_prob.Rng.int rng (Array.length chain_array)) in
+      let copy = Array.copy t in
+      for i = lo to hi do copy.(i) <- invert copy.(i) done;
+      Some copy
+
+let swap_operand_operator rng t =
+  (* Collect positions i where t.(i), t.(i+1) is an operand/operator pair
+     (either order) whose exchange keeps the expression valid. *)
+  let candidates = ref [] in
+  for i = 0 to Array.length t - 2 do
+    let a = t.(i) and b = t.(i + 1) in
+    if is_operator a <> is_operator b then begin
+      let copy = Array.copy t in
+      copy.(i) <- b;
+      copy.(i + 1) <- a;
+      match validate copy with
+      | Ok () -> candidates := copy :: !candidates
+      | Error _ -> ()
+    end
+  done;
+  match !candidates with
+  | [] -> None
+  | _ :: _ ->
+      let arr = Array.of_list !candidates in
+      Some arr.(Mae_prob.Rng.int rng (Array.length arr))
+
+let random_move rng t =
+  let moves =
+    [| swap_adjacent_operands; complement_chain; swap_operand_operator |]
+  in
+  let first = Mae_prob.Rng.int rng (Array.length moves) in
+  let rec try_from k remaining =
+    if remaining = 0 then t
+    else begin
+      match moves.(k mod Array.length moves) rng t with
+      | Some t' -> t'
+      | None -> try_from (k + 1) (remaining - 1)
+    end
+  in
+  try_from first (Array.length moves)
+
+let pp ppf t =
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      match e with
+      | Operand k -> Format.pp_print_int ppf k
+      | Horizontal_cut -> Format.pp_print_char ppf '+'
+      | Vertical_cut -> Format.pp_print_char ppf '*')
+    t

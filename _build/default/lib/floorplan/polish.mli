@@ -1,0 +1,42 @@
+(** Normalized Polish expressions for slicing floor plans (Wong & Lin).
+
+    A slicing floor plan over n modules is a postfix expression with n
+    operands and n-1 cut operators; [Vertical_cut] places its operands
+    side by side, [Horizontal_cut] stacks them.  The annealer perturbs the
+    expression with the three classic move types. *)
+
+type element = Operand of int | Vertical_cut | Horizontal_cut
+
+type t = private element array
+
+val initial : int -> t
+(** A left-deep chain over operands 0..n-1 alternating cut directions.
+    Raises [Invalid_argument] if [n < 1]. *)
+
+val of_elements : element array -> (t, string) result
+(** Validates: every operand 0..n-1 appears exactly once, postfix balloting
+    holds (every prefix has more operands than operators). *)
+
+val operand_count : t -> int
+
+val elements : t -> element array
+(** A copy. *)
+
+val swap_adjacent_operands : Mae_prob.Rng.t -> t -> t option
+(** Move M1: exchange two operands adjacent in the operand subsequence.
+    [None] when n < 2. *)
+
+val complement_chain : Mae_prob.Rng.t -> t -> t option
+(** Move M2: invert every operator in a random maximal operator chain.
+    [None] when there are no operators. *)
+
+val swap_operand_operator : Mae_prob.Rng.t -> t -> t option
+(** Move M3: exchange an adjacent operand/operator pair, keeping the
+    expression valid.  [None] when no valid exchange exists. *)
+
+val random_move : Mae_prob.Rng.t -> t -> t
+(** One of M1/M2/M3 uniformly (retrying with another type if the chosen
+    one is unavailable); returns the input when no move applies (n = 1). *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [0 1 + 2 *]: '+' = horizontal cut (stack), '*' = vertical cut. *)

@@ -1,0 +1,18 @@
+module Svg = Mae_report.Svg
+
+let svg_of_plan ?pixel_width (plan : Chip.plan) =
+  let items =
+    List.map
+      (fun (name, (r : Mae_geom.Rect.t)) ->
+        { Svg.rect = (r.x, r.y, r.w, r.h); style = Svg.cell_style; label = Some name })
+      plan.Chip.placements
+    @ [
+        {
+          Svg.rect = (0., 0., plan.Chip.chip_width, plan.Chip.chip_height);
+          style = Svg.outline_style;
+          label = None;
+        };
+      ]
+  in
+  Svg.render ?pixel_width ~width:plan.Chip.chip_width
+    ~height:plan.Chip.chip_height items

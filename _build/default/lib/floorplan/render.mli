@@ -1,0 +1,4 @@
+(** SVG rendering of floor plans. *)
+
+val svg_of_plan : ?pixel_width:int -> Chip.plan -> string
+(** One labelled box per module inside the chip outline. *)

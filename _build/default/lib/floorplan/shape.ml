@@ -1,0 +1,71 @@
+type t = (float * float) list
+(* invariant: sorted by width ascending, heights strictly decreasing *)
+
+let prune list =
+  let sorted =
+    List.sort
+      (fun (wa, ha) (wb, hb) ->
+        let c = Float.compare wa wb in
+        if c <> 0 then c else Float.compare ha hb)
+      list
+  in
+  (* After sorting by width then height, an option is dominated if some
+     earlier (narrower or equal) option is no taller. *)
+  let rec go acc best_h = function
+    | [] -> List.rev acc
+    | (w, h) :: rest ->
+        if h < best_h then go ((w, h) :: acc) h rest else go acc best_h rest
+  in
+  go [] Float.infinity sorted
+
+let of_list list =
+  if list = [] then invalid_arg "Shape.of_list: empty";
+  List.iter
+    (fun (w, h) ->
+      if w <= 0. || h <= 0. then invalid_arg "Shape.of_list: non-positive extent")
+    list;
+  prune list
+
+let singleton ~w ~h = of_list [ (w, h) ]
+
+let square ~area =
+  if area <= 0. then invalid_arg "Shape.square: non-positive area";
+  let s = Float.sqrt area in
+  singleton ~w:s ~h:s
+
+let with_rotations t = prune (t @ List.map (fun (w, h) -> (h, w)) t)
+
+let options t = t
+
+let size t = List.length t
+
+let areas t = List.map (fun (w, h) -> w *. h) t
+
+let min_area t = List.fold_left Float.min Float.infinity (areas t)
+
+let best_option t =
+  match
+    List.sort
+      (fun (wa, ha) (wb, hb) ->
+        let c = Float.compare (wa *. ha) (wb *. hb) in
+        if c <> 0 then c else Float.compare wa wb)
+      t
+  with
+  | best :: _ -> best
+  | [] -> assert false
+
+let combine_with f a b =
+  prune (List.concat_map (fun oa -> List.map (f oa) b) a)
+
+let combine_vertical =
+  combine_with (fun (wa, ha) (wb, hb) -> (Float.max wa wb, ha +. hb))
+
+let combine_horizontal =
+  combine_with (fun (wa, ha) (wb, hb) -> (wa +. wb, Float.max ha hb))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (w, h) -> Format.fprintf ppf "%.0fx%.0f" w h))
+    t

@@ -1,0 +1,45 @@
+(** Shape curves: the alternative (width, height) realizations of a module.
+
+    The estimator hands the floor planner one or several candidate shapes
+    per module (section 7 proposes "four or five aspect ratio estimates to
+    allow chip floor planners more flexibility"); slicing-tree evaluation
+    combines shape curves bottom-up, keeping only Pareto-minimal points. *)
+
+type t
+(** A non-empty Pareto frontier: options sorted by increasing width, with
+    strictly decreasing height. *)
+
+val of_list : (float * float) list -> t
+(** Keeps the Pareto-minimal options.  Raises [Invalid_argument] on an
+    empty list or a non-positive dimension. *)
+
+val singleton : w:float -> h:float -> t
+
+val square : area:float -> t
+(** One square option of the given area ([area > 0]). *)
+
+val with_rotations : t -> t
+(** Adds the 90-degree rotation of every option (modules may usually be
+    placed in either orientation). *)
+
+val options : t -> (float * float) list
+(** The frontier, width ascending. *)
+
+val size : t -> int
+
+val min_area : t -> float
+(** Smallest area over the options. *)
+
+val best_option : t -> float * float
+(** The option with the smallest area (ties: narrowest). *)
+
+val combine_vertical : t -> t -> t
+(** Stack one module on top of the other: width = max, height = sum,
+    merged over all option pairs, Pareto-pruned.  This is the slicing
+    operator the Polish '+' (horizontal cut) denotes. *)
+
+val combine_horizontal : t -> t -> t
+(** Place side by side: width = sum, height = max (Polish '*', vertical
+    cut). *)
+
+val pp : Format.formatter -> t -> unit

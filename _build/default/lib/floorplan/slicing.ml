@@ -1,0 +1,147 @@
+type evaluation = { width : float; height : float; area : float }
+
+(* Fast path used inside the annealing loop: combine shape curves bottom-up
+   without recording which child options realize each parent option. *)
+let eval_curve expr shapes =
+  let n = Polish.operand_count expr in
+  if Array.length shapes <> n then
+    invalid_arg "Slicing: shape count does not match operand count";
+  let stack = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Polish.Operand k -> stack := shapes.(k) :: !stack
+      | Polish.Vertical_cut | Polish.Horizontal_cut -> begin
+          match !stack with
+          | right :: left :: rest ->
+              let combined =
+                match e with
+                | Polish.Vertical_cut -> Shape.combine_horizontal left right
+                | Polish.Horizontal_cut -> Shape.combine_vertical left right
+                | Polish.Operand _ -> assert false
+              in
+              stack := combined :: rest
+          | [ _ ] | [] -> invalid_arg "Slicing: malformed expression"
+        end)
+    (Polish.elements expr);
+  match !stack with
+  | [ root ] -> root
+  | _ -> invalid_arg "Slicing: malformed expression"
+
+let eval expr shapes =
+  let w, h = Shape.best_option (eval_curve expr shapes) in
+  { width = w; height = h; area = w *. h }
+
+type placement = { chip : evaluation; rects : Mae_geom.Rect.t array }
+
+(* Placement needs the realizing child options; rebuild the tree once with
+   full backtracking information. *)
+type node =
+  | Leaf of int
+  | Cut of { op : Polish.element; left : tree; right : tree }
+
+and tree = {
+  node : node;
+  options : (float * float) array;
+  choices : (int * int) array;  (* per option: realizing child options *)
+}
+
+let build_tree expr shapes =
+  let n = Polish.operand_count expr in
+  if Array.length shapes <> n then
+    invalid_arg "Slicing: shape count does not match operand count";
+  let stack = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Polish.Operand k ->
+          let options = Array.of_list (Shape.options shapes.(k)) in
+          stack :=
+            { node = Leaf k; options; choices = Array.map (fun _ -> (0, 0)) options }
+            :: !stack
+      | Polish.Vertical_cut | Polish.Horizontal_cut -> begin
+          match !stack with
+          | right :: left :: rest ->
+              let combine (lw, lh) (rw, rh) =
+                match e with
+                | Polish.Vertical_cut -> (lw +. rw, Float.max lh rh)
+                | Polish.Horizontal_cut -> (Float.max lw rw, lh +. rh)
+                | Polish.Operand _ -> assert false
+              in
+              (* All candidate combinations, then Pareto-prune keeping the
+                 realizing pair of each survivor. *)
+              let candidates = ref [] in
+              Array.iteri
+                (fun li lo ->
+                  Array.iteri
+                    (fun ri ro ->
+                      let w, h = combine lo ro in
+                      candidates := ((w, h), (li, ri)) :: !candidates)
+                    right.options)
+                left.options;
+              let sorted =
+                List.sort
+                  (fun (((wa : float), (ha : float)), _) ((wb, hb), _) ->
+                    let c = Float.compare wa wb in
+                    if c <> 0 then c else Float.compare ha hb)
+                  !candidates
+              in
+              let rec prune acc best_h = function
+                | [] -> List.rev acc
+                | (((_, h) as o, c) :: rest) ->
+                    if h < best_h then prune ((o, c) :: acc) h rest
+                    else prune acc best_h rest
+              in
+              let surviving = prune [] Float.infinity sorted in
+              let options = Array.of_list (List.map fst surviving) in
+              let choices = Array.of_list (List.map snd surviving) in
+              stack :=
+                { node = Cut { op = e; left; right }; options; choices } :: rest
+          | [ _ ] | [] -> invalid_arg "Slicing: malformed expression"
+        end)
+    (Polish.elements expr);
+  match !stack with
+  | [ root ] -> root
+  | _ -> invalid_arg "Slicing: malformed expression"
+
+let best_index options =
+  let best = ref 0 in
+  Array.iteri
+    (fun i (w, h) ->
+      let bw, bh = options.(!best) in
+      if w *. h < (bw *. bh) -. 1e-9 then best := i)
+    options;
+  !best
+
+let place expr shapes =
+  let root = build_tree expr shapes in
+  let n = Polish.operand_count expr in
+  let rects = Array.make n (Mae_geom.Rect.make ~x:0. ~y:0. ~w:1. ~h:1.) in
+  let rec assign tree option_index ~x ~y =
+    let w, h = tree.options.(option_index) in
+    match tree.node with
+    | Leaf k -> rects.(k) <- Mae_geom.Rect.make ~x ~y ~w ~h
+    | Cut { op; left; right } ->
+        let li, ri = tree.choices.(option_index) in
+        let lw, lh = left.options.(li) in
+        begin
+          match op with
+          | Polish.Vertical_cut ->
+              assign left li ~x ~y;
+              assign right ri ~x:(x +. lw) ~y
+          | Polish.Horizontal_cut ->
+              assign left li ~x ~y;
+              assign right ri ~x ~y:(y +. lh)
+          | Polish.Operand _ -> assert false
+        end
+  in
+  let root_index = best_index root.options in
+  assign root root_index ~x:0. ~y:0.;
+  let w, h = root.options.(root_index) in
+  { chip = { width = w; height = h; area = w *. h }; rects }
+
+let utilization placement =
+  let module_area =
+    Array.fold_left (fun acc r -> acc +. Mae_geom.Rect.area r) 0. placement.rects
+  in
+  module_area /. placement.chip.area

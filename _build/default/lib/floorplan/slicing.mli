@@ -1,0 +1,28 @@
+(** Evaluation of a Polish expression against module shape curves.
+
+    Bottom-up shape-curve combination gives the minimum chip bounding box
+    realizable by the slicing structure; backtracking the chosen options
+    yields concrete module placements. *)
+
+type evaluation = {
+  width : float;
+  height : float;
+  area : float;
+}
+
+val eval : Polish.t -> Shape.t array -> evaluation
+(** Minimum-area realization.  Raises [Invalid_argument] when the shape
+    array length differs from the expression's operand count. *)
+
+type placement = {
+  chip : evaluation;
+  rects : Mae_geom.Rect.t array;  (** one rectangle per module index *)
+}
+
+val place : Polish.t -> Shape.t array -> placement
+(** Concrete module rectangles for the minimum-area realization; the chip
+    origin is (0, 0).  Modules never overlap and all fit inside the chip
+    box (property-tested). *)
+
+val utilization : placement -> float
+(** Sum of module areas / chip area, in (0, 1]. *)

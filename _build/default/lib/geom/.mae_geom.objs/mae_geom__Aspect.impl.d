@@ -1,0 +1,1 @@
+lib/geom/aspect.ml: Float Format

@@ -1,0 +1,1 @@
+lib/geom/aspect.mli: Format Lambda

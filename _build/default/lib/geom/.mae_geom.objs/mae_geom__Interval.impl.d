@@ -1,0 +1,1 @@
+lib/geom/interval.ml: Float Format Lambda

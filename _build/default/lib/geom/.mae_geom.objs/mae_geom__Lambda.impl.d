@@ -1,0 +1,1 @@
+lib/geom/lambda.ml: Float Format

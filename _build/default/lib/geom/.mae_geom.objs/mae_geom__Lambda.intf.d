@@ -1,0 +1,1 @@
+lib/geom/lambda.mli: Format

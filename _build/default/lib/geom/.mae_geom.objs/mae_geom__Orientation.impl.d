@@ -1,0 +1,1 @@
+lib/geom/orientation.ml: Format

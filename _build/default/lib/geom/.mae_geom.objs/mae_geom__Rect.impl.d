@@ -1,0 +1,1 @@
+lib/geom/rect.ml: Float Format Interval Lambda List Point

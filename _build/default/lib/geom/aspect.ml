@@ -1,0 +1,33 @@
+type t = float
+
+let of_ratio r =
+  if r <= 0. then invalid_arg "Aspect.of_ratio: ratio must be positive";
+  r
+
+let make ~width ~height =
+  if width <= 0. || height <= 0. then
+    invalid_arg "Aspect.make: extents must be positive";
+  width /. height
+
+let ratio t = t
+
+let square = 1.
+
+let clamp t ~lo ~hi = Float.min hi (Float.max lo t)
+
+let normalize t = if t > 1. then 1. /. t else t
+
+let error ~estimated ~real =
+  let e = normalize estimated and r = normalize real in
+  Float.abs (e -. r) /. r
+
+let dims_for_area t area =
+  (* width = r * height and width * height = area *)
+  let height = Float.sqrt (area /. t) in
+  (t *. height, height)
+
+let equal = Float.equal
+
+let pp ppf t =
+  if t >= 1. then Format.fprintf ppf "1:%.2f" t
+  else Format.fprintf ppf "%.2f:1" (1. /. t)

@@ -1,0 +1,41 @@
+(** Module aspect ratios.
+
+    The paper reports aspect ratios as width : height (e.g. "1:1.4") and
+    notes (section 6) that manually laid out modules almost always fall in
+    the 1:1 ... 1:2 range, so the estimator clamps its initial choice to
+    that band. *)
+
+type t = private float
+(** Ratio width / height, always > 0. *)
+
+val make : width:Lambda.t -> height:Lambda.t -> t
+(** Raises [Invalid_argument] on non-positive extents. *)
+
+val of_ratio : float -> t
+(** Raises [Invalid_argument] on a non-positive ratio. *)
+
+val ratio : t -> float
+
+val square : t
+(** 1:1. *)
+
+val clamp : t -> lo:float -> hi:float -> t
+(** Clamp the ratio into [lo, hi]. *)
+
+val normalize : t -> t
+(** Folds the ratio into the band <= 1 by inverting ratios > 1; an
+    orientation-free shape descriptor (a 2:1 module is the same shape as a
+    1:2 module rotated). *)
+
+val error : estimated:t -> real:t -> float
+(** Orientation-free relative error between two aspect ratios, using
+    normalized ratios: [|est - real| / real]. *)
+
+val dims_for_area : t -> Lambda.area -> Lambda.t * Lambda.t
+(** [(width, height)] of a rectangle with the given area and this aspect
+    ratio. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's "1:r" style with the smaller side first. *)

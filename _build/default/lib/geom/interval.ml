@@ -1,0 +1,21 @@
+type t = { lo : Lambda.t; hi : Lambda.t }
+
+let make ~lo ~hi = if lo <= hi then { lo; hi } else { lo = hi; hi = lo }
+
+let length { lo; hi } = hi -. lo
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let overlaps_open a b = a.lo < b.hi && b.lo < a.hi
+
+let contains { lo; hi } x = lo <= x && x <= hi
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let compare_lo a b =
+  let c = Float.compare a.lo b.lo in
+  if c <> 0 then c else Float.compare a.hi b.hi
+
+let equal a b = Float.equal a.lo b.lo && Float.equal a.hi b.hi
+
+let pp ppf { lo; hi } = Format.fprintf ppf "[%.1f, %.1f]" lo hi

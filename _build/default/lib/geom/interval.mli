@@ -1,0 +1,33 @@
+(** 1-D closed intervals, used for channel-routing spans.
+
+    The left-edge channel router represents each net's horizontal extent in a
+    routing channel as an interval; two nets may share a track exactly when
+    their intervals do not overlap. *)
+
+type t = private { lo : Lambda.t; hi : Lambda.t }
+
+val make : lo:Lambda.t -> hi:Lambda.t -> t
+(** Normalizes so that [lo <= hi]. *)
+
+val length : t -> Lambda.t
+
+val overlaps : t -> t -> bool
+(** Closed-interval overlap: touching endpoints count as overlapping, which
+    is the conservative choice for routing (abutting wires short). *)
+
+val overlaps_open : t -> t -> bool
+(** Open-interval overlap: touching endpoints do {e not} conflict.  Used by
+    the doglegging variant of the router. *)
+
+val contains : t -> Lambda.t -> bool
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val compare_lo : t -> t -> int
+(** Orders by left endpoint, then right; the sort used by the left-edge
+    algorithm. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = float
+
+type area = float
+
+let of_microns ~microns ~lambda_microns = microns /. lambda_microns
+
+let to_microns t ~lambda_microns = t *. lambda_microns
+
+let area_of_square_microns a ~lambda_microns = a /. (lambda_microns *. lambda_microns)
+
+let ceil_to_grid x ~grid =
+  if grid <= 0. then invalid_arg "Lambda.ceil_to_grid: grid must be positive";
+  let q = Float.of_int (Float.to_int (Float.ceil ((x /. grid) -. 1e-9))) in
+  q *. grid
+
+let pp ppf t = Format.fprintf ppf "%.1fL" t
+
+let pp_area ppf a = Format.fprintf ppf "%.0fL^2" a

@@ -1,0 +1,33 @@
+(** Scalable layout units.
+
+    All linear dimensions in this code base are expressed in [lambda] units
+    (Mead-Conway scalable design rules): one lambda is half the minimum
+    feature size of the target process.  Areas are in lambda squared.  The
+    paper's Table 1 and Table 2 report areas in these units for an nMOS
+    process with lambda = 2.5 um. *)
+
+type t = float
+(** A length in lambda units. *)
+
+type area = float
+(** An area in lambda-squared units. *)
+
+val of_microns : microns:float -> lambda_microns:float -> t
+(** [of_microns ~microns ~lambda_microns] converts a physical length to
+    lambda units for a process whose lambda is [lambda_microns]. *)
+
+val to_microns : t -> lambda_microns:float -> float
+(** Inverse of {!of_microns}. *)
+
+val area_of_square_microns : float -> lambda_microns:float -> area
+(** Convert a physical area in um^2 to lambda^2. *)
+
+val ceil_to_grid : t -> grid:t -> t
+(** [ceil_to_grid x ~grid] rounds [x] up to the next multiple of [grid].
+    Raises [Invalid_argument] if [grid <= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a length with a [L] suffix, e.g. [42.5L]. *)
+
+val pp_area : Format.formatter -> area -> unit
+(** Prints an area with a [L^2] suffix. *)

@@ -1,0 +1,27 @@
+type t = R0 | MX | MY | R180
+
+let all = [ R0; MX; MY; R180 ]
+
+let flip_x = function R0 -> MY | MY -> R0 | MX -> R180 | R180 -> MX
+
+let flip_y = function R0 -> MX | MX -> R0 | MY -> R180 | R180 -> MY
+
+(* The group {R0, MX, MY, R180} is the Klein four-group: every element is
+   its own inverse and composing two distinct non-identity elements yields
+   the third. *)
+let compose a b =
+  match (a, b) with
+  | R0, o | o, R0 -> o
+  | MX, MX | MY, MY | R180, R180 -> R0
+  | MX, MY | MY, MX -> R180
+  | MX, R180 | R180, MX -> MY
+  | MY, R180 | R180, MY -> MX
+
+let equal a b =
+  match (a, b) with
+  | R0, R0 | MX, MX | MY, MY | R180, R180 -> true
+  | (R0 | MX | MY | R180), (R0 | MX | MY | R180) -> false
+
+let to_string = function R0 -> "R0" | MX -> "MX" | MY -> "MY" | R180 -> "R180"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Cell orientations in a row-based layout.
+
+    Standard-cell placers flip cells about the vertical axis to shorten
+    wires and mirror alternate rows about the horizontal axis to share
+    power rails. *)
+
+type t = R0 | MX | MY | R180
+
+val all : t list
+
+val flip_x : t -> t
+(** Mirror about the vertical axis. *)
+
+val flip_y : t -> t
+(** Mirror about the horizontal axis. *)
+
+val compose : t -> t -> t
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

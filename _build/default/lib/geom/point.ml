@@ -1,0 +1,21 @@
+type t = { x : Lambda.t; y : Lambda.t }
+
+let make ~x ~y = { x; y }
+
+let origin = { x = 0.; y = 0. }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let euclid a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  Float.sqrt ((dx *. dx) +. (dy *. dy))
+
+let midpoint a b = { x = (a.x +. b.x) /. 2.; y = (a.y +. b.y) /. 2. }
+
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+
+let pp ppf { x; y } = Format.fprintf ppf "(%.1f, %.1f)" x y

@@ -1,0 +1,23 @@
+(** 2-D points in lambda units. *)
+
+type t = { x : Lambda.t; y : Lambda.t }
+
+val make : x:Lambda.t -> y:Lambda.t -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val manhattan : t -> t -> Lambda.t
+(** Manhattan (L1) distance; the natural wire-length metric for
+    rectilinear VLSI routing. *)
+
+val euclid : t -> t -> Lambda.t
+
+val midpoint : t -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = { x : Lambda.t; y : Lambda.t; w : Lambda.t; h : Lambda.t }
+
+let make ~x ~y ~w ~h =
+  if w < 0. || h < 0. then invalid_arg "Rect.make: negative extent";
+  { x; y; w; h }
+
+let of_corners (a : Point.t) (b : Point.t) =
+  let x = Float.min a.x b.x and y = Float.min a.y b.y in
+  { x; y; w = Float.abs (a.x -. b.x); h = Float.abs (a.y -. b.y) }
+
+let area { w; h; _ } = w *. h
+
+let width t = t.w
+
+let height t = t.h
+
+let center { x; y; w; h } = Point.make ~x:(x +. (w /. 2.)) ~y:(y +. (h /. 2.))
+
+let translate t ~dx ~dy = { t with x = t.x +. dx; y = t.y +. dy }
+
+let union a b =
+  let x = Float.min a.x b.x and y = Float.min a.y b.y in
+  let x2 = Float.max (a.x +. a.w) (b.x +. b.w) in
+  let y2 = Float.max (a.y +. a.h) (b.y +. b.h) in
+  { x; y; w = x2 -. x; h = y2 -. y }
+
+let union_all = function
+  | [] -> None
+  | r :: rest -> Some (List.fold_left union r rest)
+
+let intersects a b =
+  a.x < b.x +. b.w && b.x < a.x +. a.w && a.y < b.y +. b.h && b.y < a.y +. a.h
+
+let contains_point { x; y; w; h } (p : Point.t) =
+  x <= p.x && p.x <= x +. w && y <= p.y && p.y <= y +. h
+
+let aspect_ratio { w; h; _ } =
+  if h = 0. then invalid_arg "Rect.aspect_ratio: zero height";
+  w /. h
+
+let x_interval { x; w; _ } = Interval.make ~lo:x ~hi:(x +. w)
+
+let y_interval { y; h; _ } = Interval.make ~lo:y ~hi:(y +. h)
+
+let equal a b =
+  Float.equal a.x b.x && Float.equal a.y b.y && Float.equal a.w b.w
+  && Float.equal a.h b.h
+
+let pp ppf { x; y; w; h } =
+  Format.fprintf ppf "{x=%.1f y=%.1f w=%.1f h=%.1f}" x y w h

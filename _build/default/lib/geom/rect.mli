@@ -1,0 +1,46 @@
+(** Axis-aligned rectangles in lambda units. *)
+
+type t = private {
+  x : Lambda.t;  (** left edge *)
+  y : Lambda.t;  (** bottom edge *)
+  w : Lambda.t;  (** width, >= 0 *)
+  h : Lambda.t;  (** height, >= 0 *)
+}
+
+val make : x:Lambda.t -> y:Lambda.t -> w:Lambda.t -> h:Lambda.t -> t
+(** Raises [Invalid_argument] on negative width or height. *)
+
+val of_corners : Point.t -> Point.t -> t
+
+val area : t -> Lambda.area
+
+val width : t -> Lambda.t
+
+val height : t -> Lambda.t
+
+val center : t -> Point.t
+
+val translate : t -> dx:Lambda.t -> dy:Lambda.t -> t
+
+val union : t -> t -> t
+(** Bounding box of the two rectangles. *)
+
+val union_all : t list -> t option
+(** Bounding box of a non-empty list; [None] on the empty list. *)
+
+val intersects : t -> t -> bool
+(** Strict interior overlap: rectangles that merely share an edge do not
+    intersect (cells may abut). *)
+
+val contains_point : t -> Point.t -> bool
+
+val aspect_ratio : t -> float
+(** width / height; raises [Invalid_argument] when height = 0. *)
+
+val x_interval : t -> Interval.t
+
+val y_interval : t -> Interval.t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

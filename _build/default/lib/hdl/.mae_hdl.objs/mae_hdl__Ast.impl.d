@@ -1,0 +1,1 @@
+lib/hdl/ast.ml: Format List Mae_netlist String

@@ -1,0 +1,1 @@
+lib/hdl/ast.mli: Format Mae_netlist

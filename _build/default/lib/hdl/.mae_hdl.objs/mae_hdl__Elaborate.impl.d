@@ -1,0 +1,1 @@
+lib/hdl/elaborate.ml: Ast Format List Mae_netlist String

@@ -1,0 +1,1 @@
+lib/hdl/elaborate.mli: Ast Format Mae_netlist

@@ -1,0 +1,1 @@
+lib/hdl/lexer.ml: Format List Printf String Token

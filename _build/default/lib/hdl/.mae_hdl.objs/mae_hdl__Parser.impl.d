@@ -1,0 +1,1 @@
+lib/hdl/parser.ml: Ast Format In_channel Lexer List Mae_netlist Printf Token

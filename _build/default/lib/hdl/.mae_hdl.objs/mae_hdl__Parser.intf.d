@@ -1,0 +1,1 @@
+lib/hdl/parser.mli: Ast Format Token

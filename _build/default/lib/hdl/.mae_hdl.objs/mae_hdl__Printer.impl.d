@@ -1,0 +1,1 @@
+lib/hdl/printer.ml: Array Format List Mae_netlist String

@@ -1,0 +1,1 @@
+lib/hdl/printer.mli: Format Mae_netlist

@@ -1,0 +1,1 @@
+lib/hdl/spice.ml: Char Format In_channel List Mae_netlist Printf String

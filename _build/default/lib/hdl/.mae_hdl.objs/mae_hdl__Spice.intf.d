@@ -1,0 +1,1 @@
+lib/hdl/spice.mli: Format Mae_netlist

@@ -1,0 +1,1 @@
+lib/hdl/token.ml: Format String

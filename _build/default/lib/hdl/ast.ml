@@ -1,0 +1,31 @@
+type item =
+  | Technology_decl of string
+  | Port_decl of { name : string; direction : Mae_netlist.Port.direction }
+  | Net_decl of string
+  | Device_decl of { name : string; kind : string; pins : string list }
+
+type module_decl = { name : string; items : item list }
+
+type design = module_decl list
+
+let technology m =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Technology_decl t -> Some t
+      | Port_decl _ | Net_decl _ | Device_decl _ -> acc)
+    None m.items
+
+let pp_item ppf = function
+  | Technology_decl t -> Format.fprintf ppf "technology %s;" t
+  | Port_decl { name; direction } ->
+      Format.fprintf ppf "port %s %s;" name
+        (Mae_netlist.Port.direction_to_string direction)
+  | Net_decl n -> Format.fprintf ppf "net %s;" n
+  | Device_decl { name; kind; pins } ->
+      Format.fprintf ppf "device %s %s (%s);" name kind (String.concat ", " pins)
+
+let pp_module ppf m =
+  Format.fprintf ppf "@[<v 2>module %s {@ %a@]@ }" m.name
+    (Format.pp_print_list pp_item)
+    m.items

@@ -1,0 +1,31 @@
+(** Abstract syntax of the structural HDL.
+
+    A design file contains one or more module declarations:
+
+    {v
+    module full_adder {
+      technology nmos25;
+      port a in;  port b in;  port cin in;
+      port s out; port cout out;
+      device x1 xor2 (a, b, t1);
+      device x2 xor2 (t1, cin, s);
+      net t1;                       // optional explicit declaration
+    }
+    v} *)
+
+type item =
+  | Technology_decl of string
+  | Port_decl of { name : string; direction : Mae_netlist.Port.direction }
+  | Net_decl of string
+  | Device_decl of { name : string; kind : string; pins : string list }
+
+type module_decl = { name : string; items : item list }
+
+type design = module_decl list
+
+val technology : module_decl -> string option
+(** The last [technology] item, if any. *)
+
+val pp_item : Format.formatter -> item -> unit
+
+val pp_module : Format.formatter -> module_decl -> unit

@@ -1,0 +1,182 @@
+type error =
+  | Duplicate_name of { module_name : string; what : string; name : string }
+  | Port_without_net of { module_name : string; port : string }
+  | No_technology of { module_name : string }
+  | Module_not_found of string
+  | Recursive_module of string
+  | Port_arity of {
+      module_name : string;
+      instance : string;
+      expected : int;
+      got : int;
+    }
+
+let pp_error ppf = function
+  | Duplicate_name { module_name; what; name } ->
+      Format.fprintf ppf "module %s: duplicate %s %s" module_name what name
+  | Port_without_net { module_name; port } ->
+      Format.fprintf ppf "module %s: port %s has no net" module_name port
+  | No_technology { module_name } ->
+      Format.fprintf ppf "module %s: no technology given" module_name
+  | Module_not_found name -> Format.fprintf ppf "module %s not found" name
+  | Recursive_module name ->
+      Format.fprintf ppf "module %s instantiates itself (recursion)" name
+  | Port_arity { module_name; instance; expected; got } ->
+      Format.fprintf ppf
+        "module %s: instance %s has %d pins but the child declares %d ports"
+        module_name instance got expected
+
+let module_to_circuit ?default_technology (m : Ast.module_decl) =
+  let technology =
+    match Ast.technology m with Some t -> Some t | None -> default_technology
+  in
+  match technology with
+  | None -> Error (No_technology { module_name = m.name })
+  | Some technology -> begin
+      let builder = Mae_netlist.Builder.create ~name:m.name ~technology in
+      let elaborate_item = function
+        | Ast.Technology_decl _ -> Ok ()
+        | Ast.Net_decl name ->
+            ignore (Mae_netlist.Builder.net builder name);
+            Ok ()
+        | Ast.Port_decl { name; direction } -> begin
+            (* The port's net shares the port's name. *)
+            try
+              Mae_netlist.Builder.add_port builder ~name ~direction ~net:name;
+              Ok ()
+            with Invalid_argument _ ->
+              Error (Duplicate_name { module_name = m.name; what = "port"; name })
+          end
+        | Ast.Device_decl { name; kind; pins } -> begin
+            try
+              ignore (Mae_netlist.Builder.add_device builder ~name ~kind ~nets:pins);
+              Ok ()
+            with Invalid_argument _ ->
+              Error (Duplicate_name { module_name = m.name; what = "device"; name })
+          end
+      in
+      let rec go = function
+        | [] -> Ok (Mae_netlist.Builder.build builder)
+        | item :: rest -> begin
+            match elaborate_item item with
+            | Ok () -> go rest
+            | Error e -> Error e
+          end
+      in
+      go m.items
+    end
+
+let design_to_circuits ?default_technology design =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest -> begin
+        match module_to_circuit ?default_technology m with
+        | Ok c -> go (c :: acc) rest
+        | Error e -> Error e
+      end
+  in
+  go [] design
+
+let find_module ?default_technology design ~name =
+  match
+    List.find_opt (fun (m : Ast.module_decl) -> String.equal m.name name) design
+  with
+  | Some m -> module_to_circuit ?default_technology m
+  | None -> Error (Module_not_found name)
+
+
+exception Flatten_error of error
+
+(* Hierarchical elaboration: walk the instance tree, renaming each child's
+   nets and devices under its instance path.  [bindings] maps a child's
+   port-net names to the parent's net names. *)
+let flatten ?default_technology design ~top =
+  let module_of name =
+    List.find_opt (fun (m : Ast.module_decl) -> String.equal m.name name) design
+  in
+  match module_of top with
+  | None -> Error (Module_not_found top)
+  | Some top_module -> begin
+      let technology =
+        match Ast.technology top_module with
+        | Some t -> Some t
+        | None -> default_technology
+      in
+      match technology with
+      | None -> Error (No_technology { module_name = top })
+      | Some technology -> begin
+          let builder = Mae_netlist.Builder.create ~name:top ~technology in
+          let ports_of (m : Ast.module_decl) =
+            List.filter_map
+              (function
+                | Ast.Port_decl { name; _ } -> Some name
+                | Ast.Technology_decl _ | Ast.Net_decl _ | Ast.Device_decl _ ->
+                    None)
+              m.items
+          in
+          let fail e = raise (Flatten_error e) in
+          let rec instantiate ~prefix ~bindings ~stack (m : Ast.module_decl) =
+            if List.mem m.Ast.name stack then fail (Recursive_module m.Ast.name);
+            let resolve net =
+              match List.assoc_opt net bindings with
+              | Some outer -> outer
+              | None -> prefix ^ net
+            in
+            List.iter
+              (fun item ->
+                match item with
+                | Ast.Technology_decl _ -> ()
+                | Ast.Net_decl n -> ignore (Mae_netlist.Builder.net builder (resolve n))
+                | Ast.Port_decl { name; direction } ->
+                    if String.equal prefix "" then
+                      (* only the top module's ports survive flattening *)
+                      (try
+                         Mae_netlist.Builder.add_port builder ~name ~direction
+                           ~net:(resolve name)
+                       with Invalid_argument _ ->
+                         fail
+                           (Duplicate_name
+                              { module_name = m.Ast.name; what = "port"; name }))
+                    else ignore (Mae_netlist.Builder.net builder (resolve name))
+                | Ast.Device_decl { name; kind; pins } -> begin
+                    match module_of kind with
+                    | Some child ->
+                        let child_ports = ports_of child in
+                        if List.length child_ports <> List.length pins then
+                          fail
+                            (Port_arity
+                               {
+                                 module_name = m.Ast.name;
+                                 instance = prefix ^ name;
+                                 expected = List.length child_ports;
+                                 got = List.length pins;
+                               });
+                        let child_bindings =
+                          List.map2
+                            (fun port pin -> (port, resolve pin))
+                            child_ports pins
+                        in
+                        instantiate
+                          ~prefix:(prefix ^ name ^ ".")
+                          ~bindings:child_bindings
+                          ~stack:(m.Ast.name :: stack)
+                          child
+                    | None -> begin
+                        try
+                          ignore
+                            (Mae_netlist.Builder.add_device builder
+                               ~name:(prefix ^ name) ~kind
+                               ~nets:(List.map resolve pins))
+                        with Invalid_argument _ ->
+                          fail
+                            (Duplicate_name
+                               { module_name = m.Ast.name; what = "device"; name })
+                      end
+                  end)
+              m.Ast.items
+          in
+          match instantiate ~prefix:"" ~bindings:[] ~stack:[] top_module with
+          | () -> Ok (Mae_netlist.Builder.build builder)
+          | exception Flatten_error e -> Error e
+        end
+    end

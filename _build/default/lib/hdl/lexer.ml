@@ -1,0 +1,69 @@
+type error = { line : int; column : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%d:%d: %s" e.line e.column e.message
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '[' || c = ']'
+
+let keyword_or_ident s =
+  match s with
+  | "module" -> Token.Module
+  | "technology" -> Token.Technology
+  | "port" -> Token.Port
+  | "net" -> Token.Net
+  | "device" -> Token.Device
+  | _ -> Token.Ident s
+
+let tokenize text =
+  let len = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let emit token = tokens := { Token.token; line = !line; column = !col } :: !tokens in
+  let rec skip_line i =
+    if i < len && text.[i] <> '\n' then skip_line (i + 1) else i
+  in
+  let rec go i =
+    if i >= len then Ok ()
+    else begin
+      let c = text.[i] in
+      match c with
+      | '\n' ->
+          incr line;
+          col := 1;
+          go (i + 1)
+      | ' ' | '\t' | '\r' ->
+          incr col;
+          go (i + 1)
+      | '#' -> go (skip_line i)
+      | '/' when i + 1 < len && text.[i + 1] = '/' -> go (skip_line i)
+      | '{' -> emit Token.Lbrace; incr col; go (i + 1)
+      | '}' -> emit Token.Rbrace; incr col; go (i + 1)
+      | '(' -> emit Token.Lparen; incr col; go (i + 1)
+      | ')' -> emit Token.Rparen; incr col; go (i + 1)
+      | ',' -> emit Token.Comma; incr col; go (i + 1)
+      | ';' -> emit Token.Semi; incr col; go (i + 1)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < len && is_ident_char text.[!j] do incr j done;
+          let word = String.sub text i (!j - i) in
+          emit (keyword_or_ident word);
+          col := !col + (!j - i);
+          go !j
+      | c ->
+          Error
+            {
+              line = !line;
+              column = !col;
+              message = Printf.sprintf "unexpected character %C" c;
+            }
+    end
+  in
+  match go 0 with
+  | Error e -> Error e
+  | Ok () ->
+      emit Token.Eof;
+      Ok (List.rev !tokens)

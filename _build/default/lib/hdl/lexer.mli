@@ -1,0 +1,11 @@
+(** Hand-written lexer for the structural HDL.
+
+    Identifiers are [[A-Za-z0-9_.\[\]]+] (bracketed bus bits like [a\[3\]]
+    lex as single identifiers); [#] and [//] start line comments. *)
+
+type error = { line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> (Token.located list, error) result
+(** The result always ends with an [Eof] token. *)

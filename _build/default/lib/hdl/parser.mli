@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the structural HDL.
+
+    Grammar (EBNF):
+    {v
+    design  ::= module*
+    module  ::= "module" IDENT "{" item* "}"
+    item    ::= "technology" IDENT ";"
+              | "port" IDENT ("in" | "out" | "inout") ";"
+              | "net" IDENT ";"
+              | "device" IDENT IDENT "(" IDENT ("," IDENT)* ")" ";"
+    v} *)
+
+type error = { line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_tokens : Token.located list -> (Ast.design, error) result
+
+val parse_string : string -> (Ast.design, error) result
+(** Lex then parse; lexer errors are reported in the same [error] type. *)
+
+val parse_file : string -> (Ast.design, error) result
+(** I/O failures are reported as an error at 0:0. *)

@@ -1,0 +1,25 @@
+let pp ppf (c : Mae_netlist.Circuit.t) =
+  Format.fprintf ppf "module %s {@\n" c.name;
+  Format.fprintf ppf "  technology %s;@\n" c.technology;
+  Array.iter
+    (fun (p : Mae_netlist.Port.t) ->
+      Format.fprintf ppf "  port %s %s;@\n" p.name
+        (Mae_netlist.Port.direction_to_string p.direction))
+    c.ports;
+  (* Explicit net declarations keep nets that no device touches (a port's
+     net may otherwise vanish on re-elaboration). *)
+  Array.iter
+    (fun (n : Mae_netlist.Net.t) -> Format.fprintf ppf "  net %s;@\n" n.name)
+    c.nets;
+  Array.iter
+    (fun (d : Mae_netlist.Device.t) ->
+      let pin_names =
+        Array.to_list d.pins
+        |> List.map (fun i -> c.nets.(i).Mae_netlist.Net.name)
+      in
+      Format.fprintf ppf "  device %s %s (%s);@\n" d.name d.kind
+        (String.concat ", " pin_names))
+    c.devices;
+  Format.fprintf ppf "}@\n"
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,8 @@
+(** Renders a circuit back to HDL text.
+
+    [to_string] round-trips: parsing and elaborating its output yields a
+    circuit with the same devices, nets, ports and connectivity. *)
+
+val to_string : Mae_netlist.Circuit.t -> string
+
+val pp : Format.formatter -> Mae_netlist.Circuit.t -> unit

@@ -1,0 +1,120 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Spice_error of error
+
+let fail line message = raise (Spice_error { line; message })
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (( <> ) "")
+
+(* Join "+" continuation lines to their predecessor, keeping the line
+   number of the card's first line for error reporting. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (lineno, line) :: rest -> begin
+        let line = String.trim line in
+        if String.length line > 0 && line.[0] = '+' then
+          match acc with
+          | (first_no, prev) :: acc_rest ->
+              let joined = prev ^ " " ^ String.sub line 1 (String.length line - 1) in
+              go ((first_no, joined) :: acc_rest) rest
+          | [] -> fail lineno "continuation line with no preceding card"
+        else go ((lineno, line) :: acc) rest
+      end
+  in
+  go [] (List.mapi (fun i l -> (i + 1, l)) raw)
+
+let technology_comment line =
+  (* "* technology: cmos20" *)
+  let lower = String.lowercase_ascii line in
+  let prefix = "* technology:" in
+  if String.length lower >= String.length prefix
+     && String.equal (String.sub lower 0 (String.length prefix)) prefix
+  then
+    let rest = String.sub line (String.length prefix)
+        (String.length line - String.length prefix) in
+    let name = String.trim rest in
+    if String.length name > 0 then Some name else None
+  else None
+
+type block = {
+  mutable builder : Mae_netlist.Builder.t option;
+  mutable circuits_rev : Mae_netlist.Circuit.t list;
+  mutable technology : string;
+}
+
+let handle_card block lineno toks =
+  match (toks, block.builder) with
+  | [], _ -> ()
+  | first :: _, _ when first.[0] = '*' ->
+      (match technology_comment (String.concat " " toks) with
+       | Some t -> block.technology <- t
+       | None -> ())
+  | ".subckt" :: name :: ports, None ->
+      let builder =
+        Mae_netlist.Builder.create ~name ~technology:block.technology
+      in
+      List.iter
+        (fun p ->
+          Mae_netlist.Builder.add_port builder ~name:p
+            ~direction:Mae_netlist.Port.Inout ~net:p)
+        ports;
+      block.builder <- Some builder
+  | ".subckt" :: _, Some _ -> fail lineno "nested .subckt"
+  | [ ".ends" ], Some builder | [ ".ends"; _ ], Some builder ->
+      block.circuits_rev <-
+        Mae_netlist.Builder.build builder :: block.circuits_rev;
+      block.builder <- None
+  | [ ".ends" ], None | [ ".ends"; _ ], None -> fail lineno ".ends without .subckt"
+  | [ ".end" ], _ -> ()
+  | card :: _, None ->
+      fail lineno (Printf.sprintf "card %s outside .subckt" card)
+  | card :: rest, Some builder -> begin
+      let kind_of_char = Char.lowercase_ascii card.[0] in
+      match kind_of_char with
+      | 'm' -> begin
+          match rest with
+          | [ drain; gate; source; _bulk; model ] ->
+              ignore
+                (Mae_netlist.Builder.add_device builder ~name:card ~kind:model
+                   ~nets:[ drain; gate; source ])
+          | _ -> fail lineno ("malformed MOS card " ^ card)
+        end
+      | 'x' -> begin
+          match List.rev rest with
+          | kind :: pins_rev when pins_rev <> [] ->
+              ignore
+                (Mae_netlist.Builder.add_device builder ~name:card ~kind
+                   ~nets:(List.rev pins_rev))
+          | _ -> fail lineno ("malformed instance card " ^ card)
+        end
+      | '.' -> fail lineno ("unsupported control card " ^ card)
+      | _ -> fail lineno ("unsupported card " ^ card)
+    end
+
+let parse_string text =
+  let block = { builder = None; circuits_rev = []; technology = "nmos25" } in
+  try
+    List.iter
+      (fun (lineno, line) -> handle_card block lineno (tokens_of_line line))
+      (logical_lines text);
+    begin
+      match block.builder with
+      | Some _ -> fail 0 "unterminated .subckt at end of input"
+      | None -> ()
+    end;
+    Ok (List.rev block.circuits_rev)
+  with
+  | Spice_error e -> Error e
+  | Invalid_argument msg -> Error { line = 0; message = msg }
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error { line = 0; message = msg }

@@ -1,0 +1,24 @@
+(** Reader for a SPICE-netlist subset, the second schematic input format.
+
+    Supported constructs:
+    - [* comment] lines and blank lines;
+    - [.subckt NAME port1 port2 ...] ... [.ends] blocks;
+    - MOS transistor cards [Mname drain gate source bulk MODEL] (the bulk
+      node is dropped; the MODEL name becomes the device kind);
+    - generic instance cards [Xname net1 ... netK KIND] (the last token is
+      the kind);
+    - a final [.end] line (optional).
+
+    Continuation lines starting with [+] are joined to the previous card.
+    Subcircuit ports become [Inout] module ports. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Mae_netlist.Circuit.t list, error) result
+(** [parse_string text] elaborates every [.subckt] block; the technology
+    of each circuit is set by the first [* technology: NAME] comment seen
+    before the block, defaulting to ["nmos25"]. *)
+
+val parse_file : string -> (Mae_netlist.Circuit.t list, error) result

@@ -1,0 +1,1 @@
+lib/layout/anneal.ml: Float Mae_prob

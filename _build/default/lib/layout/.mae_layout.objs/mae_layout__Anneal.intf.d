@@ -1,0 +1,1 @@
+lib/layout/anneal.mli: Mae_prob

@@ -1,0 +1,1 @@
+lib/layout/channel.ml: Array Float Hashtbl Int List Mae_geom Stdlib

@@ -1,0 +1,1 @@
+lib/layout/channel.mli: Mae_geom

@@ -1,0 +1,1 @@
+lib/layout/check.ml: Array Format Geometry List Mae_geom

@@ -1,0 +1,1 @@
+lib/layout/extract.ml: Array Float Format Fun Hashtbl Int List Mae_netlist Option Stdlib Wiring

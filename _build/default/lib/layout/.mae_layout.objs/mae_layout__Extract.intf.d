@@ -1,0 +1,1 @@
+lib/layout/extract.mli: Format Mae_netlist Wiring

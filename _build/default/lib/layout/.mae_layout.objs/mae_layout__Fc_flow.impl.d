@@ -1,0 +1,1 @@
+lib/layout/fc_flow.ml: Anneal Array Float Geometry Int List Mae_netlist Mae_prob Mae_tech Row_layout Stdlib

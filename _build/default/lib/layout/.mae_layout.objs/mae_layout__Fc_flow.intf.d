@@ -1,0 +1,1 @@
+lib/layout/fc_flow.mli: Anneal Geometry Mae_netlist Mae_prob Mae_tech Row_layout

@@ -1,0 +1,1 @@
+lib/layout/geometry.ml: Array Buffer Float Int List Mae_geom Printf Row_layout

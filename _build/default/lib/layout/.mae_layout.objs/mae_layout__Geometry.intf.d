@@ -1,0 +1,1 @@
+lib/layout/geometry.mli: Mae_geom Row_layout

@@ -1,0 +1,1 @@
+lib/layout/ports.ml: Array Float Geometry Hashtbl List Mae_geom Mae_netlist Option Row_layout Stdlib

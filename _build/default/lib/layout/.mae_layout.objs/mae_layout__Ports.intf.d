@@ -1,0 +1,1 @@
+lib/layout/ports.mli: Geometry Mae_geom Mae_netlist Row_layout

@@ -1,0 +1,1 @@
+lib/layout/render.ml: Float Geometry List Mae_geom Mae_report Ports Printf Wiring

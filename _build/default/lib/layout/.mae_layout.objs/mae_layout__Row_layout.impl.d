@@ -1,0 +1,1 @@
+lib/layout/row_layout.ml: Anneal Array Channel Float Int List Mae_geom Mae_netlist Mae_prob Queue Stdlib Wirelength

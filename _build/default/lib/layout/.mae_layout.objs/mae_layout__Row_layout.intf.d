@@ -1,0 +1,1 @@
+lib/layout/row_layout.mli: Anneal Channel Mae_geom Mae_netlist Mae_prob

@@ -1,0 +1,1 @@
+lib/layout/sc_flow.ml: Anneal Array Geometry List Mae_netlist Mae_prob Mae_tech Row_layout Wiring

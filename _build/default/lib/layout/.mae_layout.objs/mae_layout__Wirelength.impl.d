@@ -1,0 +1,1 @@
+lib/layout/wirelength.ml: Array Float Int List Mae_netlist

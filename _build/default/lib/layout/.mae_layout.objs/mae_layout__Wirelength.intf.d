@@ -1,0 +1,1 @@
+lib/layout/wirelength.mli: Mae_netlist

@@ -1,0 +1,1 @@
+lib/layout/wiring.ml: Array Channel Float Geometry List Mae_geom Mae_netlist Row_layout Stdlib

@@ -1,0 +1,1 @@
+lib/layout/wiring.mli: Geometry Mae_netlist Row_layout

@@ -1,0 +1,50 @@
+type schedule = {
+  initial_temp : float;
+  final_temp : float;
+  cooling : float;
+  moves_per_temp : int;
+}
+
+let default_schedule =
+  { initial_temp = 1000.; final_temp = 0.1; cooling = 0.9; moves_per_temp = 200 }
+
+let quick_schedule =
+  { initial_temp = 100.; final_temp = 1.; cooling = 0.8; moves_per_temp = 50 }
+
+let validate_schedule s =
+  if s.initial_temp <= 0. || s.final_temp <= 0. then
+    Error "temperatures must be positive"
+  else if s.final_temp > s.initial_temp then
+    Error "final_temp must not exceed initial_temp"
+  else if s.cooling <= 0. || s.cooling >= 1. then Error "cooling must be in (0,1)"
+  else if s.moves_per_temp < 1 then Error "moves_per_temp must be >= 1"
+  else Ok s
+
+exception Stop
+
+let run ~rng ~schedule ~initial_cost ~propose =
+  begin
+    match validate_schedule schedule with
+    | Ok _ -> ()
+    | Error msg -> invalid_arg ("Anneal.run: " ^ msg)
+  end;
+  let cost = ref initial_cost in
+  let temp = ref schedule.initial_temp in
+  begin
+    try
+      while !temp >= schedule.final_temp do
+        for _ = 1 to schedule.moves_per_temp do
+          match propose rng with
+          | None -> raise Stop
+          | Some (delta, undo) ->
+              let accept =
+                delta <= 0.
+                || Mae_prob.Rng.uniform rng < Float.exp (-.delta /. !temp)
+              in
+              if accept then cost := !cost +. delta else undo ()
+        done;
+        temp := !temp *. schedule.cooling
+      done
+    with Stop -> ()
+  end;
+  !cost

@@ -1,0 +1,35 @@
+(** Generic simulated annealing over imperative state.
+
+    Both the standard-cell placer (a stand-in for TimberWolf, which the
+    paper used to produce its "real" Table 2 layouts) and the floor
+    planner drive this loop.  The caller owns the state: [propose] applies
+    a random move, returns its cost delta and an undo closure, and the
+    loop either keeps the move or undoes it. *)
+
+type schedule = {
+  initial_temp : float;
+  final_temp : float;
+  cooling : float;  (** multiplicative factor per temperature step, in (0,1) *)
+  moves_per_temp : int;
+}
+
+val default_schedule : schedule
+(** initial 1000, final 0.1, cooling 0.9, 200 moves per step. *)
+
+val quick_schedule : schedule
+(** A short schedule for tests and small modules. *)
+
+val validate_schedule : schedule -> (schedule, string) result
+
+val run :
+  rng:Mae_prob.Rng.t ->
+  schedule:schedule ->
+  initial_cost:float ->
+  propose:(Mae_prob.Rng.t -> (float * (unit -> unit)) option) ->
+  float
+(** [run ~rng ~schedule ~initial_cost ~propose] returns the final cost.
+    [propose rng] must apply a move to the caller's state and return
+    [(delta, undo)]; returning [None] means no move is available and the
+    loop stops.  Moves with [delta <= 0] are always accepted; positive
+    deltas with probability exp(-delta / T).  Raises [Invalid_argument]
+    on an invalid schedule. *)

@@ -1,0 +1,149 @@
+type span = { net : int; interval : Mae_geom.Interval.t }
+
+type routed = {
+  track_of : (int * int) list;
+  tracks : int;
+  density : int;
+  dropped_constraints : int;
+}
+
+let merge_spans spans =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt table s.net with
+      | None -> Hashtbl.add table s.net s.interval
+      | Some i -> Hashtbl.replace table s.net (Mae_geom.Interval.hull i s.interval))
+    spans;
+  Hashtbl.fold (fun net interval acc -> { net; interval } :: acc) table []
+  |> List.sort (fun a b ->
+         let c = Mae_geom.Interval.compare_lo a.interval b.interval in
+         if c <> 0 then c else Int.compare a.net b.net)
+
+let density spans =
+  (* Sweep the endpoints; a closed interval contributes from lo to hi
+     inclusive, so starts sort before ends at equal abscissa. *)
+  let events =
+    List.concat_map
+      (fun s ->
+        let iv = s.interval in
+        [ (iv.Mae_geom.Interval.lo, 1); (iv.Mae_geom.Interval.hi, -1) ])
+      spans
+    |> List.sort (fun (xa, ka) (xb, kb) ->
+           let c = Float.compare xa xb in
+           if c <> 0 then c else Int.compare kb ka)
+  in
+  let depth = ref 0 and best = ref 0 in
+  List.iter
+    (fun (_, k) ->
+      depth := !depth + k;
+      if !depth > !best then best := !depth)
+    events;
+  !best
+
+let left_edge spans =
+  let merged = merge_spans spans in
+  (* track_last.(t) = right endpoint of the last interval on track t. *)
+  let track_last = ref [||] in
+  let used = ref 0 in
+  let assignments =
+    List.map
+      (fun s ->
+        let lo = s.interval.Mae_geom.Interval.lo in
+        let hi = s.interval.Mae_geom.Interval.hi in
+        let rec find t =
+          if t >= !used then begin
+            if !used = Array.length !track_last then begin
+              let bigger = Array.make (Stdlib.max 4 (2 * !used)) Float.neg_infinity in
+              Array.blit !track_last 0 bigger 0 !used;
+              track_last := bigger
+            end;
+            incr used;
+            !used - 1
+          end
+          else if !track_last.(t) < lo then t
+          else find (t + 1)
+        in
+        let t = find 0 in
+        !track_last.(t) <- hi;
+        (s.net, t))
+      merged
+  in
+  { track_of = assignments; tracks = !used; density = density merged;
+    dropped_constraints = 0 }
+
+type pin = { x : Mae_geom.Lambda.t; pin_net : int }
+
+let vertical_constraints ~pitch ~top ~bottom =
+  let edges = ref [] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun b ->
+          if t.pin_net <> b.pin_net && Float.abs (t.x -. b.x) < pitch /. 2. then begin
+            let e = (t.pin_net, b.pin_net) in
+            if not (List.mem e !edges) then edges := e :: !edges
+          end)
+        bottom)
+    top;
+  List.rev !edges
+
+(* Constrained left-edge (Hashimoto-Stevens).  Tracks fill from the top of
+   the channel; a net is eligible for the current track when every net
+   that must lie above it (a VCG predecessor) is already routed.  If a
+   track ends up empty because all remaining nets are blocked, the VCG has
+   a cycle: drop one constraint of a remaining net and continue (a real
+   router would dogleg there). *)
+let route_constrained ~pitch ~top ~bottom spans =
+  let merged = merge_spans spans in
+  let dens = density merged in
+  let vcg = vertical_constraints ~pitch ~top ~bottom in
+  let routed_nets = Hashtbl.create 16 in
+  let is_routed net = Hashtbl.mem routed_nets net in
+  let remaining = ref merged in
+  let constraints = ref vcg in
+  let blocked net =
+    List.exists
+      (fun (above, below) -> below = net && not (is_routed above))
+      !constraints
+  in
+  let assignments = ref [] in
+  let dropped = ref 0 in
+  let track = ref 0 in
+  while !remaining <> [] do
+    (* Greedy sweep of the current track, left to right. *)
+    let last_hi = ref Float.neg_infinity in
+    let placed_here = ref [] in
+    let leftover =
+      List.filter
+        (fun s ->
+          let lo = s.interval.Mae_geom.Interval.lo in
+          let hi = s.interval.Mae_geom.Interval.hi in
+          if lo > !last_hi && not (blocked s.net) then begin
+            last_hi := hi;
+            placed_here := s.net :: !placed_here;
+            assignments := (s.net, !track) :: !assignments;
+            false
+          end
+          else true)
+        !remaining
+    in
+    if !placed_here = [] then begin
+      (* Every remaining net is VC-blocked: a cycle.  Unblock the first
+         remaining net by dropping its incoming constraints. *)
+      match leftover with
+      | [] -> remaining := []
+      | s :: _ ->
+          let before = List.length !constraints in
+          constraints :=
+            List.filter (fun (_, below) -> below <> s.net) !constraints;
+          dropped := !dropped + (before - List.length !constraints)
+    end
+    else begin
+      List.iter (fun net -> Hashtbl.replace routed_nets net ()) !placed_here;
+      remaining := leftover;
+      incr track
+    end
+  done;
+  { track_of = List.rev !assignments; tracks = !track; density = dens;
+    dropped_constraints = !dropped }

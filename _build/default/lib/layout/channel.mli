@@ -1,0 +1,52 @@
+(** Left-edge channel routing.
+
+    Each net crossing a routing channel occupies a horizontal interval;
+    the left-edge algorithm (Hashimoto-Stevens) assigns intervals to
+    tracks greedily so that non-overlapping nets {e share} tracks.  Track
+    sharing is exactly what the paper's estimator ignores (its upper bound
+    charges one track per net), so this router is what produces the
+    "real" side of the Table 2 comparison. *)
+
+type span = { net : int; interval : Mae_geom.Interval.t }
+
+type routed = {
+  track_of : (int * int) list;  (** (net, 0-based track index) *)
+  tracks : int;  (** number of tracks used *)
+  density : int;  (** lower bound: maximum interval overlap at any point *)
+  dropped_constraints : int;
+      (** vertical constraints a dogleg-free router had to give up on
+          (cycle breaks); 0 for plain left-edge routing.  A channel with
+          dropped constraints may contain wiring shorts that only a
+          dogleg could fix. *)
+}
+
+val merge_spans : span list -> span list
+(** Merge same-net spans into their hull: a net occupies one track segment
+    per channel. *)
+
+val left_edge : span list -> routed
+(** Routes the (merged) spans.  Guarantees [density <= tracks]; for the
+    pure left-edge algorithm on merged spans equality holds. *)
+
+val density : span list -> int
+(** Maximum number of spans covering a single abscissa. *)
+
+type pin = { x : Mae_geom.Lambda.t; pin_net : int }
+
+val vertical_constraints :
+  pitch:Mae_geom.Lambda.t -> top:pin list -> bottom:pin list -> (int * int) list
+(** Edges (above_net, below_net) of the vertical constraint graph: a top
+    pin and a bottom pin of different nets in the same column (within half
+    a [pitch]) force the top pin's net onto a higher track.  Deduplicated,
+    self-edges excluded. *)
+
+val route_constrained :
+  pitch:Mae_geom.Lambda.t -> top:pin list -> bottom:pin list -> span list -> routed
+(** Constrained left-edge routing (Hashimoto-Stevens): tracks are filled
+    top-down; a net may only enter the current track when all its
+    unrouted vertical-constraint predecessors are already placed and its
+    interval does not overlap the track's previous occupant.  Vertical
+    constraint cycles (which a dogleg-free router cannot satisfy) are
+    broken by dropping one edge per cycle; the result therefore always
+    terminates with [density <= tracks <= net count].  Track 0 is the
+    topmost. *)

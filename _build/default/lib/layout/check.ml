@@ -1,0 +1,97 @@
+type violation =
+  | Cell_overlap of { a : int; b : int }
+  | Cell_outside_row of { device : int }
+  | Cell_outside_chip of { device : int }
+  | Feed_outside_row of { net : int; row : int }
+  | Channel_overlaps_row of { channel : int; row : int }
+  | Missing_device of { device : int }
+  | Duplicate_device of { device : int }
+
+let pp_violation ppf = function
+  | Cell_overlap { a; b } -> Format.fprintf ppf "cells %d and %d overlap" a b
+  | Cell_outside_row { device } ->
+      Format.fprintf ppf "cell %d extends outside its row" device
+  | Cell_outside_chip { device } ->
+      Format.fprintf ppf "cell %d extends outside the chip" device
+  | Feed_outside_row { net; row } ->
+      Format.fprintf ppf "feed-through of net %d extends outside row %d" net row
+  | Channel_overlaps_row { channel; row } ->
+      Format.fprintf ppf "channel %d overlaps row %d" channel row
+  | Missing_device { device } -> Format.fprintf ppf "device %d is not placed" device
+  | Duplicate_device { device } ->
+      Format.fprintf ppf "device %d is placed twice" device
+
+(* [inside outer inner] with a tolerance for floating-point compaction. *)
+let inside (outer : Mae_geom.Rect.t) (inner : Mae_geom.Rect.t) =
+  let eps = 1e-6 in
+  inner.x >= outer.x -. eps
+  && inner.y >= outer.y -. eps
+  && inner.x +. inner.w <= outer.x +. outer.w +. eps
+  && inner.y +. inner.h <= outer.y +. outer.h +. eps
+
+let verify ~device_count (g : Geometry.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let cells = Geometry.cells g in
+  (* pairwise overlap within the same row band (cells in different rows
+     cannot overlap by construction, but check globally anyway) *)
+  let rec pairwise = function
+    | [] -> ()
+    | (da, ra) :: rest ->
+        List.iter
+          (fun (db, rb) ->
+            if Mae_geom.Rect.intersects ra rb then add (Cell_overlap { a = da; b = db }))
+          rest;
+        pairwise rest
+  in
+  pairwise cells;
+  (* containment *)
+  let row_of_rect (r : Mae_geom.Rect.t) =
+    let center = Mae_geom.Rect.center r in
+    let found = ref None in
+    Array.iteri
+      (fun i band ->
+        if !found = None && Mae_geom.Rect.contains_point band center then
+          found := Some i)
+      g.Geometry.row_rects;
+    !found
+  in
+  List.iter
+    (fun (device, rect) ->
+      if not (inside g.Geometry.bounding rect) then
+        add (Cell_outside_chip { device });
+      match row_of_rect rect with
+      | None -> add (Cell_outside_row { device })
+      | Some row ->
+          if not (inside g.Geometry.row_rects.(row) rect) then
+            add (Cell_outside_row { device }))
+    cells;
+  List.iter
+    (fun box ->
+      match box with
+      | Geometry.Feed_box { net; row; rect } ->
+          if not (inside g.Geometry.row_rects.(row) rect) then
+            add (Feed_outside_row { net; row })
+      | Geometry.Channel_box { index; rect; _ } ->
+          Array.iteri
+            (fun row band ->
+              if Mae_geom.Rect.intersects rect band then
+                add (Channel_overlaps_row { channel = index; row }))
+            g.Geometry.row_rects
+      | Geometry.Cell_box _ -> ())
+    g.Geometry.boxes;
+  (* completeness *)
+  let seen = Array.make device_count 0 in
+  List.iter
+    (fun (device, _) ->
+      if device >= 0 && device < device_count then
+        seen.(device) <- seen.(device) + 1)
+    cells;
+  Array.iteri
+    (fun device count ->
+      if count = 0 then add (Missing_device { device })
+      else if count > 1 then add (Duplicate_device { device }))
+    seen;
+  List.rev !violations
+
+let is_legal ~device_count g = verify ~device_count g = []

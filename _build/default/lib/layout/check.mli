@@ -1,0 +1,23 @@
+(** Geometric legality checks on an extracted layout.
+
+    A layout produced by the row engine must satisfy basic design rules:
+    no two cells overlap, every cell sits inside its row band and the chip
+    bounding box, channels do not overlap rows, and every device appears
+    exactly once.  These checks property-test the engine and guard against
+    regressions in compaction or feed-through insertion. *)
+
+type violation =
+  | Cell_overlap of { a : int; b : int }  (** device indices *)
+  | Cell_outside_row of { device : int }
+  | Cell_outside_chip of { device : int }
+  | Feed_outside_row of { net : int; row : int }
+  | Channel_overlaps_row of { channel : int; row : int }
+  | Missing_device of { device : int }
+  | Duplicate_device of { device : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val verify : device_count:int -> Geometry.t -> violation list
+(** All violations found; the empty list means the layout is legal. *)
+
+val is_legal : device_count:int -> Geometry.t -> bool

@@ -1,0 +1,136 @@
+type report = {
+  components : int;
+  opens : int list;
+  shorts : (int * int) list;
+}
+
+let eps = 1e-6
+
+(* classic union-find with path compression *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let connectivity (w : Wiring.t) =
+  let verticals = Array.of_list w.verticals in
+  let horizontals = Array.of_list w.horizontals in
+  let nv = Array.length verticals in
+  let nh = Array.length horizontals in
+  let parent = Array.init (nv + nh) Fun.id in
+  (* vertical-vertical: same column, overlapping y *)
+  for i = 0 to nv - 1 do
+    for j = i + 1 to nv - 1 do
+      let a = verticals.(i) and b = verticals.(j) in
+      if
+        Float.abs (a.Wiring.x -. b.Wiring.x) < eps
+        && a.y_lo <= b.y_hi +. eps
+        && b.y_lo <= a.y_hi +. eps
+      then union parent i j
+    done
+  done;
+  (* horizontal-horizontal: same track y, overlapping x *)
+  for i = 0 to nh - 1 do
+    for j = i + 1 to nh - 1 do
+      let a = horizontals.(i) and b = horizontals.(j) in
+      if
+        Float.abs (a.Wiring.y -. b.Wiring.y) < eps
+        && a.x_lo <= b.x_hi +. eps
+        && b.x_lo <= a.x_hi +. eps
+      then union parent (nv + i) (nv + j)
+    done
+  done;
+  (* vertical-horizontal: only through an explicit via *)
+  List.iter
+    (fun (v : Wiring.via) ->
+      let vert_hits = ref [] and horiz_hits = ref [] in
+      Array.iteri
+        (fun i (a : Wiring.vertical) ->
+          if
+            Float.abs (a.x -. v.vx) < eps
+            && a.y_lo -. eps <= v.vy
+            && v.vy <= a.y_hi +. eps
+          then vert_hits := i :: !vert_hits)
+        verticals;
+      Array.iteri
+        (fun i (a : Wiring.horizontal) ->
+          if
+            Float.abs (a.y -. v.vy) < eps
+            && a.x_lo -. eps <= v.vx
+            && v.vx <= a.x_hi +. eps
+          then horiz_hits := (nv + i) :: !horiz_hits)
+        horizontals;
+      List.iter
+        (fun a -> List.iter (fun b -> union parent a b) !horiz_hits)
+        !vert_hits)
+    w.vias;
+  Array.init (nv + nh) (fun i -> find parent i)
+
+let lvs (w : Wiring.t) (circuit : Mae_netlist.Circuit.t) =
+  let roots = connectivity w in
+  let verticals = Array.of_list w.verticals in
+  (* pins present in the wiring, with their component and source net *)
+  let pin_entries = ref [] in
+  Array.iteri
+    (fun i (v : Wiring.vertical) ->
+      match v.attached with
+      | Wiring.Pin _ -> pin_entries := (roots.(i), v.v_net) :: !pin_entries
+      | Wiring.Feed_wire _ | Wiring.Branch -> ())
+    verticals;
+  let entries = !pin_entries in
+  (* opens: a net whose pins span several components *)
+  let opens = ref [] in
+  for net = 0 to Mae_netlist.Circuit.net_count circuit - 1 do
+    if Array.length (Mae_netlist.Circuit.devices_on_net circuit net) >= 2 then begin
+      let comps =
+        List.filter_map
+          (fun (root, n) -> if n = net then Some root else None)
+          entries
+        |> List.sort_uniq Int.compare
+      in
+      match comps with
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ -> opens := net :: !opens
+    end
+  done;
+  (* shorts: a component holding pins of two different nets *)
+  let by_component = Hashtbl.create 64 in
+  List.iter
+    (fun (root, net) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_component root) in
+      if not (List.mem net existing) then
+        Hashtbl.replace by_component root (net :: existing))
+    entries;
+  let shorts = ref [] in
+  Hashtbl.iter
+    (fun _ nets ->
+      match List.sort_uniq Int.compare nets with
+      | a :: (b :: _ as _rest) -> shorts := (a, b) :: !shorts
+      | [ _ ] | [] -> ())
+    by_component;
+  let components =
+    List.map fst entries |> List.sort_uniq Int.compare |> List.length
+  in
+  {
+    components;
+    opens = List.sort_uniq Int.compare !opens;
+    shorts = List.sort_uniq Stdlib.compare !shorts;
+  }
+
+let clean r = r.opens = [] && r.shorts = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d components, %d opens, %d shorts" r.components
+    (List.length r.opens) (List.length r.shorts)

@@ -1,0 +1,29 @@
+(** LVS-lite: geometric connectivity extraction and netlist comparison.
+
+    Reconstructs electrical connectivity purely from the wire geometry —
+    two vertical (poly) segments touch when they overlap at the same x;
+    a vertical connects to a horizontal (metal) trunk only through an
+    explicit via — and compares the result against the source netlist:
+    every multi-pin net must come out as one connected component (no
+    opens) and no component may join pins of different nets (no shorts).
+    The net ids carried by the wires are used for {e reporting} only,
+    never for building connectivity. *)
+
+type report = {
+  components : int;  (** extracted connected components holding pins *)
+  opens : int list;  (** nets whose pins ended up in several components *)
+  shorts : (int * int) list;  (** net pairs joined by one component *)
+}
+
+val connectivity : Wiring.t -> int array
+(** Union-find result: an array over wire elements (verticals first, then
+    horizontals, in list order) mapping each element to its component
+    representative. *)
+
+val lvs : Wiring.t -> Mae_netlist.Circuit.t -> report
+(** Compare extracted connectivity to the circuit.  Nets with fewer than
+    two device pins are skipped (nothing to connect). *)
+
+val clean : report -> bool
+
+val pp_report : Format.formatter -> report -> unit

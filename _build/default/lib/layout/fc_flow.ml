@@ -1,0 +1,82 @@
+let default_rows circuit process =
+  let stats = Mae_netlist.Stats.compute circuit process in
+  if stats.device_count = 0 then invalid_arg "Fc_flow: circuit has no devices";
+  let total_width =
+    Float.of_int stats.device_count *. stats.average_width
+  in
+  let target = Float.sqrt (total_width /. Float.max 1. stats.average_height) in
+  Stdlib.max 1 (Float.to_int (Float.round target))
+
+(* Hand layout routes short connections in poly/diffusion: 2-lambda wire
+   plus 2-lambda spacing under Mead-Conway rules; unrelated neighbouring
+   transistors keep the 2-lambda poly spacing. *)
+let hand_route_pitch = 4.
+
+let hand_spacing = 2.
+
+let options ?(schedule = Anneal.default_schedule) (process : Mae_tech.Process.t) =
+  ignore process;
+  {
+    Row_layout.track_pitch = hand_route_pitch;
+    (* a wire crossing a transistor row needs one wire pitch *)
+    feed_width = hand_route_pitch;
+    spacing = hand_spacing;
+    diffusion_sharing = true;
+    pin_spread = false;
+    (* a designer doglegs freely and runs most wiring over the devices in
+       poly and metal; only the long nets need true channel tracks *)
+    vc_overhead = false;
+    over_cell_fraction = 0.7;
+    abut_adjacent_pairs = true;
+    trunk_spans = false;
+    schedule;
+  }
+
+let run ?schedule ?row_candidates ~rng circuit process =
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  let kinds_height =
+    Array.map
+      (fun (d : Mae_netlist.Device.t) ->
+        (Mae_tech.Process.find_device_exn process d.kind).height)
+      circuit.Mae_netlist.Circuit.devices
+  in
+  let candidates =
+    match row_candidates with
+    | Some rows -> rows
+    | None ->
+        let base = default_rows circuit process in
+        List.sort_uniq Int.compare
+          (List.filter (fun r -> r >= 1) [ base - 1; base; base + 1 ])
+  in
+  let candidates = if candidates = [] then [ 1 ] else candidates in
+  let layouts =
+    List.map
+      (fun rows ->
+        let rng = Mae_prob.Rng.split rng in
+        Row_layout.run ~rng
+          ~options:(options ?schedule process)
+          ~rows
+          ~width_of:(fun d -> widths.(d))
+          ~height_of:(fun d -> kinds_height.(d))
+          circuit)
+      candidates
+  in
+  match layouts with
+  | [] -> invalid_arg "Fc_flow.run: no row candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best (l : Row_layout.t) -> if l.area < best.Row_layout.area then l else best)
+        first rest
+
+let geometry circuit process layout =
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  let heights =
+    Array.map
+      (fun (d : Mae_netlist.Device.t) ->
+        (Mae_tech.Process.find_device_exn process d.kind).height)
+      circuit.Mae_netlist.Circuit.devices
+  in
+  Geometry.of_layout
+    ~width_of:(fun d -> widths.(d))
+    ~height_of:(fun d -> heights.(d))
+    ~track_pitch:hand_route_pitch ~feed_width:hand_route_pitch layout

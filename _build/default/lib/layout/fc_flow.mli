@@ -1,0 +1,30 @@
+(** Full-custom layout synthesis: the manual-layout stand-in.
+
+    The paper compares its full-custom estimates against hand-drawn
+    Newkirk & Mathews layouts, which we do not have; this flow produces an
+    honest substitute by laying individual transistors out in rows with
+    diffusion sharing (adjacent transistors that share a net abut), trying
+    several row counts and keeping the smallest area — mimicking how a
+    designer compacts a small module. *)
+
+val default_rows : Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int
+(** Row count that roughly squares the module:
+    sqrt(total device width / mean device height), at least 1.  Raises
+    {!Mae_netlist.Stats.Unknown_kind}. *)
+
+val run :
+  ?schedule:Anneal.schedule ->
+  ?row_candidates:int list ->
+  rng:Mae_prob.Rng.t ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Row_layout.t
+(** Lays out with each candidate row count (default: the square target
+    and its neighbours) and returns the smallest-area result.  Raises
+    {!Mae_netlist.Stats.Unknown_kind} and [Invalid_argument] on an empty
+    circuit. *)
+
+val geometry :
+  Mae_netlist.Circuit.t -> Mae_tech.Process.t -> Row_layout.t -> Geometry.t
+(** Extract the concrete box geometry of a layout this flow produced.
+    Raises {!Mae_netlist.Stats.Unknown_kind}. *)

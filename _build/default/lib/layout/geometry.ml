@@ -1,0 +1,95 @@
+type box =
+  | Cell_box of { device : int; rect : Mae_geom.Rect.t }
+  | Feed_box of { net : int; row : int; rect : Mae_geom.Rect.t }
+  | Channel_box of { index : int; tracks : int; rect : Mae_geom.Rect.t }
+
+type t = {
+  boxes : box list;
+  bounding : Mae_geom.Rect.t;
+  row_rects : Mae_geom.Rect.t array;
+}
+
+let of_layout ~width_of ~height_of ~track_pitch ~feed_width
+    (layout : Row_layout.t) =
+  let rows = layout.rows in
+  let width = Float.max layout.width 1e-9 in
+  (* Stack from the top: channel 0, row 0, channel 1, row 1, ... channel n.
+     The cursor tracks the top edge of the next band; y grows upward. *)
+  let cursor = ref layout.height in
+  let boxes = ref [] in
+  let row_rects = Array.make rows (Mae_geom.Rect.make ~x:0. ~y:0. ~w:1. ~h:0.) in
+  let emit_channel c =
+    let tracks = layout.channel_tracks.(c) in
+    if tracks > 0 then begin
+      let h = Float.of_int tracks *. track_pitch in
+      cursor := !cursor -. h;
+      boxes :=
+        Channel_box
+          { index = c; tracks; rect = Mae_geom.Rect.make ~x:0. ~y:!cursor ~w:width ~h }
+        :: !boxes
+    end
+  in
+  for r = 0 to rows - 1 do
+    emit_channel r;
+    let row_h = layout.row_heights.(r) in
+    cursor := !cursor -. row_h;
+    let row_y = !cursor in
+    row_rects.(r) <- Mae_geom.Rect.make ~x:0. ~y:row_y ~w:width ~h:row_h;
+    Array.iter
+      (fun d ->
+        boxes :=
+          Cell_box
+            {
+              device = d;
+              rect =
+                Mae_geom.Rect.make ~x:layout.device_x.(d) ~y:row_y
+                  ~w:(width_of d) ~h:(height_of d);
+            }
+          :: !boxes)
+      layout.row_members.(r);
+    Array.iter
+      (fun (net, x_center) ->
+        boxes :=
+          Feed_box
+            {
+              net;
+              row = r;
+              rect =
+                Mae_geom.Rect.make
+                  ~x:(x_center -. (feed_width /. 2.))
+                  ~y:row_y ~w:feed_width ~h:row_h;
+            }
+          :: !boxes)
+      layout.feed_throughs.(r)
+  done;
+  emit_channel rows;
+  {
+    boxes = List.rev !boxes;
+    bounding = Mae_geom.Rect.make ~x:0. ~y:0. ~w:width ~h:layout.height;
+    row_rects;
+  }
+
+let cells t =
+  List.filter_map
+    (function
+      | Cell_box { device; rect } -> Some (device, rect)
+      | Feed_box _ | Channel_box _ -> None)
+    t.boxes
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let area t = Mae_geom.Rect.area t.bounding
+
+let to_text t =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rect (r : Mae_geom.Rect.t) = Printf.sprintf "%g %g %g %g" r.x r.y r.w r.h in
+  List.iter
+    (fun box ->
+      match box with
+      | Cell_box { device; rect = r } -> addf "cell %d %s\n" device (rect r)
+      | Feed_box { net; row; rect = r } -> addf "feed %d %d %s\n" net row (rect r)
+      | Channel_box { index; tracks; rect = r } ->
+          addf "channel %d %d %s\n" index tracks (rect r))
+    t.boxes;
+  addf "bbox %s\n" (rect t.bounding);
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Concrete rectangles for a finished row layout.
+
+    Turns the abstract {!Row_layout.t} result into placed boxes — one per
+    cell, feed-through and routing channel — in a single chip coordinate
+    system (origin at the bottom-left, rows stacked top to bottom in row
+    order).  This is what a downstream editor or checker would consume,
+    and what {!Check} verifies. *)
+
+type box =
+  | Cell_box of { device : int; rect : Mae_geom.Rect.t }
+  | Feed_box of { net : int; row : int; rect : Mae_geom.Rect.t }
+  | Channel_box of { index : int; tracks : int; rect : Mae_geom.Rect.t }
+      (** only channels with at least one track appear *)
+
+type t = {
+  boxes : box list;
+  bounding : Mae_geom.Rect.t;
+  row_rects : Mae_geom.Rect.t array;  (** full-width band of each row *)
+}
+
+val of_layout :
+  width_of:(int -> Mae_geom.Lambda.t) ->
+  height_of:(int -> Mae_geom.Lambda.t) ->
+  track_pitch:Mae_geom.Lambda.t ->
+  feed_width:Mae_geom.Lambda.t ->
+  Row_layout.t ->
+  t
+(** Rebuild the geometry of a layout.  The accessors must be the ones the
+    layout was produced with. *)
+
+val cells : t -> (int * Mae_geom.Rect.t) list
+(** (device index, rectangle) pairs, device index ascending. *)
+
+val area : t -> Mae_geom.Lambda.area
+(** Area of the bounding box (equals the layout's area up to round-off). *)
+
+val to_text : t -> string
+(** A line-oriented dump ("cell 3 12.0 40.0 8.0 40.0" ...), stable and
+    diff-friendly; one line per box plus a final [bbox] line. *)

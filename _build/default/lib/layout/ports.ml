@@ -1,0 +1,179 @@
+type edge = Top | Bottom | Left | Right
+
+type placement = {
+  port : string;
+  net : int;
+  edge : edge;
+  offset : float;
+}
+
+let edge_length (g : Geometry.t) = function
+  | Top | Bottom -> Mae_geom.Rect.width g.Geometry.bounding
+  | Left | Right -> Mae_geom.Rect.height g.Geometry.bounding
+
+let clockwise_next = function
+  | Top -> Right
+  | Right -> Bottom
+  | Bottom -> Left
+  | Left -> Top
+
+(* desired edge and offset for a point inside the box: project onto the
+   nearest boundary edge *)
+let nearest_edge (g : Geometry.t) (p : Mae_geom.Point.t) =
+  let b = g.Geometry.bounding in
+  let w = Mae_geom.Rect.width b and h = Mae_geom.Rect.height b in
+  let to_left = p.Mae_geom.Point.x in
+  let to_right = w -. p.Mae_geom.Point.x in
+  let to_bottom = p.Mae_geom.Point.y in
+  let to_top = h -. p.Mae_geom.Point.y in
+  let candidates =
+    [
+      (to_top, Top, p.Mae_geom.Point.x);
+      (to_bottom, Bottom, p.Mae_geom.Point.x);
+      (to_left, Left, p.Mae_geom.Point.y);
+      (to_right, Right, p.Mae_geom.Point.y);
+    ]
+  in
+  let _, edge, offset =
+    List.fold_left
+      (fun ((bd, _, _) as best) ((d, _, _) as c) -> if d < bd then c else best)
+      (Float.infinity, Top, 0.) candidates
+  in
+  (edge, offset)
+
+let place ~port_pitch (circuit : Mae_netlist.Circuit.t)
+    (layout : Row_layout.t) (g : Geometry.t) =
+  if port_pitch <= 0. then Error "port pitch must be positive"
+  else begin
+    let perimeter =
+      2. *. (edge_length g Top +. edge_length g Left)
+    in
+    let ports = Array.to_list circuit.ports in
+    if Float.of_int (List.length ports) *. port_pitch > perimeter then
+      Error "the boundary cannot hold every port at this pitch"
+    else begin
+      (* net centre of gravity from the placed devices; ports on dangling
+         nets aim at the chip centre *)
+      let centroid net =
+        let members = Mae_netlist.Circuit.devices_on_net circuit net in
+        match Array.length members with
+        | 0 -> Mae_geom.Rect.center g.Geometry.bounding
+        | n ->
+            let sx = ref 0. and sy = ref 0. in
+            Array.iter
+              (fun d ->
+                sx := !sx +. layout.Row_layout.device_x.(d);
+                sy :=
+                  !sy
+                  +. g.Geometry.row_rects.(layout.Row_layout.device_row.(d))
+                       .Mae_geom.Rect.y)
+              members;
+            Mae_geom.Point.make
+              ~x:(!sx /. Float.of_int n)
+              ~y:(!sy /. Float.of_int n)
+      in
+      let desired =
+        List.map
+          (fun (p : Mae_netlist.Port.t) ->
+            let edge, offset = nearest_edge g (centroid p.net) in
+            (p.name, p.net, edge, offset))
+          ports
+      in
+      (* per-edge legalization at the pitch; overflow spills clockwise *)
+      let pending = Hashtbl.create 4 in
+      List.iter
+        (fun (name, net, edge, offset) ->
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt pending edge)
+          in
+          Hashtbl.replace pending edge ((name, net, offset) :: existing))
+        desired;
+      let placements = ref [] in
+      let rec legalize edge budget =
+        if budget = 0 then ()
+        else begin
+          let entries =
+            Option.value ~default:[] (Hashtbl.find_opt pending edge)
+            |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+          in
+          Hashtbl.remove pending edge;
+          let length = edge_length g edge in
+          let capacity =
+            Stdlib.max 0 (Float.to_int (Float.floor (length /. port_pitch)))
+          in
+          let keep, spill =
+            List.filteri (fun i _ -> i < capacity) entries
+            |> fun kept ->
+            (kept, List.filteri (fun i _ -> i >= capacity) entries)
+          in
+          (* evenly respace the kept ports along the edge, preserving
+             their order but guaranteeing the pitch *)
+          List.iteri
+            (fun i (name, net, _) ->
+              let offset =
+                Float.min
+                  (length -. (port_pitch /. 2.))
+                  ((Float.of_int i +. 0.5) *. port_pitch)
+              in
+              placements := { port = name; net; edge; offset } :: !placements)
+            keep;
+          if spill <> [] then begin
+            let next = clockwise_next edge in
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt pending next)
+            in
+            Hashtbl.replace pending next (spill @ existing);
+            legalize next (budget - 1)
+          end
+        end
+      in
+      List.iter (fun e -> legalize e 8) [ Top; Right; Bottom; Left ];
+      (* anything still pending (pathological spills) fails loudly *)
+      if Hashtbl.length pending > 0 then
+        Error "port legalization did not converge"
+      else Ok (List.rev !placements)
+    end
+  end
+
+let fits_one_edge (g : Geometry.t) ~port_count ~port_pitch =
+  let longer = Float.max (edge_length g Top) (edge_length g Left) in
+  Float.of_int port_count *. port_pitch <= longer
+
+let min_spacing_ok ~port_pitch placements =
+  let by_edge = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_edge p.edge) in
+      Hashtbl.replace by_edge p.edge (p.offset :: existing))
+    placements;
+  Hashtbl.fold
+    (fun _ offsets acc ->
+      acc
+      &&
+      let sorted = List.sort Float.compare offsets in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            b -. a >= port_pitch -. 1e-6 && check rest
+        | [ _ ] | [] -> true
+      in
+      check sorted)
+    by_edge true
+
+let to_rects ~size (g : Geometry.t) placements =
+  let b = g.Geometry.bounding in
+  let w = Mae_geom.Rect.width b and h = Mae_geom.Rect.height b in
+  List.map
+    (fun p ->
+      let cx, cy =
+        match p.edge with
+        | Top -> (p.offset, h)
+        | Bottom -> (p.offset, 0.)
+        | Left -> (0., p.offset)
+        | Right -> (w, p.offset)
+      in
+      ( p.port,
+        Mae_geom.Rect.make
+          ~x:(cx -. (size /. 2.))
+          ~y:(cy -. (size /. 2.))
+          ~w:size ~h:size ))
+    placements

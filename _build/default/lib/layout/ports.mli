@@ -1,0 +1,37 @@
+(** Module I/O port placement along the boundary.
+
+    Section 5's control criterion is that "all input and output ports must
+    fit along any one of the four layout edges or at least along one of
+    the longer edges"; this module realizes ports physically: each port
+    lands on the boundary edge nearest to its net's centre of gravity,
+    then per-edge legalization enforces the port pitch, spilling clockwise
+    to the next edge when an edge is full. *)
+
+type edge = Top | Bottom | Left | Right
+
+type placement = {
+  port : string;
+  net : int;
+  edge : edge;
+  offset : float;  (** distance along the edge from its clockwise start *)
+}
+
+val place :
+  port_pitch:float ->
+  Mae_netlist.Circuit.t ->
+  Row_layout.t ->
+  Geometry.t ->
+  (placement list, string) result
+(** One placement per circuit port.  Errors when the perimeter cannot hold
+    all ports at the given pitch. *)
+
+val fits_one_edge : Geometry.t -> port_count:int -> port_pitch:float -> bool
+(** The section 5 criterion against the real layout: does the longer edge
+    hold every port? *)
+
+val min_spacing_ok : port_pitch:float -> placement list -> bool
+(** Placements on a common edge are at least a pitch apart (exposed for
+    tests). *)
+
+val to_rects : size:float -> Geometry.t -> placement list -> (string * Mae_geom.Rect.t) list
+(** Square pads of [size] straddling the boundary, for drawing. *)

@@ -1,0 +1,78 @@
+module Svg = Mae_report.Svg
+
+let quad (r : Mae_geom.Rect.t) = (r.x, r.y, r.w, r.h)
+
+let trunk_style = { Svg.fill = "#c0392b"; stroke = "#c0392b"; opacity = 0.9 }
+
+let branch_style = { Svg.fill = "#27ae60"; stroke = "#27ae60"; opacity = 0.9 }
+
+let via_style = { Svg.fill = "#1a1a1a"; stroke = "#1a1a1a"; opacity = 1.0 }
+
+let wiring_items (w : Wiring.t) =
+  let thickness = 0.8 in
+  List.map
+    (fun (h : Wiring.horizontal) ->
+      { Svg.rect = (h.x_lo, h.y -. (thickness /. 2.), h.x_hi -. h.x_lo, thickness);
+        style = trunk_style; label = None })
+    w.Wiring.horizontals
+  @ List.map
+      (fun (v : Wiring.vertical) ->
+        { Svg.rect = (v.x -. (thickness /. 2.), v.y_lo, thickness, v.y_hi -. v.y_lo);
+          style = branch_style; label = None })
+      w.Wiring.verticals
+  @ List.map
+      (fun (v : Wiring.via) ->
+        { Svg.rect = (v.vx -. 1., v.vy -. 1., 2., 2.); style = via_style;
+          label = None })
+      w.Wiring.vias
+
+let port_style = { Svg.fill = "#8e44ad"; stroke = "#4a235a"; opacity = 1.0 }
+
+let svg_of_geometry ?pixel_width ?wiring ?ports (g : Geometry.t) =
+  let box_item = function
+    | Geometry.Channel_box { rect; tracks; index } ->
+        {
+          Svg.rect = quad rect;
+          style = Svg.channel_style;
+          label = Some (Printf.sprintf "ch%d:%d" index tracks);
+        }
+    | Geometry.Cell_box { device; rect } ->
+        {
+          Svg.rect = quad rect;
+          style = Svg.cell_style;
+          label = Some (string_of_int device);
+        }
+    | Geometry.Feed_box { rect; _ } ->
+        { Svg.rect = quad rect; style = Svg.feed_style; label = None }
+  in
+  (* channels first so cells draw over them *)
+  let channels, others =
+    List.partition
+      (function Geometry.Channel_box _ -> true | _ -> false)
+      g.Geometry.boxes
+  in
+  let wires = match wiring with None -> [] | Some w -> wiring_items w in
+  let port_items =
+    match ports with
+    | None -> []
+    | Some placements ->
+        let pad =
+          Float.max 3.
+            (Mae_geom.Rect.width g.Geometry.bounding /. 60.)
+        in
+        List.map
+          (fun (name, r) ->
+            { Svg.rect = quad r; style = port_style; label = Some name })
+          (Ports.to_rects ~size:pad g placements)
+  in
+  let items =
+    List.map box_item channels
+    @ List.map box_item others
+    @ wires
+    @ port_items
+    @ [ { Svg.rect = quad g.Geometry.bounding; style = Svg.outline_style; label = None } ]
+  in
+  Svg.render ?pixel_width
+    ~width:(Mae_geom.Rect.width g.Geometry.bounding)
+    ~height:(Mae_geom.Rect.height g.Geometry.bounding)
+    items

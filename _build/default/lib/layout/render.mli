@@ -1,0 +1,14 @@
+(** SVG rendering of extracted layout geometry. *)
+
+val svg_of_geometry :
+  ?pixel_width:int ->
+  ?wiring:Wiring.t ->
+  ?ports:Ports.placement list ->
+  Geometry.t ->
+  string
+(** Cells in blue (labelled with their device index), feed-throughs in
+    amber, routed channels as pale stripes, the chip outline on top.
+    When [wiring] is given, trunks are drawn as red horizontal wires,
+    branches and pin stubs as green verticals, and vias as small dark
+    squares.  When [ports] is given, labelled pads straddle the
+    boundary. *)

@@ -1,0 +1,414 @@
+type options = {
+  track_pitch : Mae_geom.Lambda.t;
+  feed_width : Mae_geom.Lambda.t;
+  spacing : Mae_geom.Lambda.t;
+  diffusion_sharing : bool;
+  pin_spread : bool;
+  vc_overhead : bool;
+  over_cell_fraction : float;
+  abut_adjacent_pairs : bool;
+  trunk_spans : bool;
+  schedule : Anneal.schedule;
+}
+
+type t = {
+  rows : int;
+  row_members : int array array;
+  device_x : Mae_geom.Lambda.t array;
+  device_row : int array;
+  row_heights : Mae_geom.Lambda.t array;
+  row_lengths : Mae_geom.Lambda.t array;
+  feed_throughs : (int * Mae_geom.Lambda.t) array array;
+  feed_through_count : int;
+  channel_tracks : int array;
+  channel_routes : Channel.routed array;
+  channel_spans : Channel.span list array;
+  total_tracks : int;
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+  area : Mae_geom.Lambda.area;
+  aspect : Mae_geom.Aspect.t;
+  hpwl : float;
+}
+
+(* Breadth-first order over the device/net adjacency graph; devices placed
+   consecutively tend to share nets, giving the annealer a sane start. *)
+let bfs_order circuit =
+  let nd = Mae_netlist.Circuit.device_count circuit in
+  let visited = Array.make nd false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let visit d =
+    if not visited.(d) then begin
+      visited.(d) <- true;
+      Queue.add d queue
+    end
+  in
+  for seed = 0 to nd - 1 do
+    visit seed;
+    while not (Queue.is_empty queue) do
+      let d = Queue.take queue in
+      order := d :: !order;
+      List.iter
+        (fun net ->
+          Array.iter visit (Mae_netlist.Circuit.devices_on_net circuit net))
+        (Mae_netlist.Circuit.nets_of_device circuit d)
+    done
+  done;
+  List.rev !order
+
+(* An element of a compacted row: a placed device or an inserted
+   feed-through wire for a net. *)
+type element = Cell of int | Feed of int
+
+let share_net circuit a b =
+  let nets_a = Mae_netlist.Circuit.nets_of_device circuit a in
+  let nets_b = Mae_netlist.Circuit.nets_of_device circuit b in
+  List.exists (fun n -> List.mem n nets_b) nets_a
+
+(* Left-edge x of every element in the row, plus the row length. *)
+let compact ~options ~circuit ~width_of elements =
+  let element_width = function
+    | Cell d -> width_of d
+    | Feed _ -> options.feed_width
+  in
+  let gap prev cur =
+    match (prev, cur) with
+    | Some (Cell a), Cell b
+      when options.diffusion_sharing && share_net circuit a b ->
+        0.
+    | Some _, _ -> options.spacing
+    | None, _ -> 0.
+  in
+  let xs = ref [] and cursor = ref 0. and prev = ref None in
+  List.iter
+    (fun e ->
+      cursor := !cursor +. gap !prev e;
+      xs := (e, !cursor) :: !xs;
+      cursor := !cursor +. element_width e;
+      prev := Some e)
+    elements;
+  (List.rev !xs, !cursor)
+
+let run ~rng ~options ~rows ~width_of ~height_of circuit =
+  if rows < 1 then invalid_arg "Row_layout.run: rows < 1";
+  if options.over_cell_fraction < 0. || options.over_cell_fraction >= 1. then
+    invalid_arg "Row_layout.run: over_cell_fraction outside [0, 1)";
+  let nd = Mae_netlist.Circuit.device_count circuit in
+  if nd = 0 then invalid_arg "Row_layout.run: circuit has no devices";
+  let per_row = (nd + rows - 1) / rows in
+  let cols = per_row + 2 in
+  let grid = Array.make_matrix rows cols (-1) in
+  let dev_row = Array.make nd 0 in
+  let dev_col = Array.make nd 0 in
+  List.iteri
+    (fun i d ->
+      let r = i / per_row and c = i mod per_row in
+      grid.(r).(c) <- d;
+      dev_row.(d) <- r;
+      dev_col.(d) <- c)
+    (bfs_order circuit);
+  (* Annealing geometry: a uniform slot pitch approximates real positions;
+     only relative distances matter for the HPWL objective. *)
+  let mean_width =
+    let total = ref 0. in
+    for d = 0 to nd - 1 do total := !total +. width_of d done;
+    !total /. Float.of_int nd
+  in
+  let mean_height =
+    let total = ref 0. in
+    for d = 0 to nd - 1 do total := !total +. height_of d done;
+    !total /. Float.of_int nd
+  in
+  let pitch_x = mean_width +. options.spacing in
+  let pitch_y = mean_height +. (4. *. options.track_pitch) in
+  let x_of d = (Float.of_int dev_col.(d) +. 0.5) *. pitch_x in
+  let y_of d = Float.of_int dev_row.(d) *. pitch_y in
+  let hpwl_of_nets nets =
+    List.fold_left
+      (fun acc net -> acc +. Wirelength.net_hpwl circuit ~net ~x:x_of ~y:y_of)
+      0. nets
+  in
+  let swap_slots d (r1, c1) other (r2, c2) =
+    grid.(r1).(c1) <- other;
+    grid.(r2).(c2) <- d;
+    dev_row.(d) <- r2;
+    dev_col.(d) <- c2;
+    if other >= 0 then begin
+      dev_row.(other) <- r1;
+      dev_col.(other) <- c1
+    end
+  in
+  let propose rng =
+    let d = Mae_prob.Rng.int rng nd in
+    let r2 = Mae_prob.Rng.int rng rows in
+    let c2 = Mae_prob.Rng.int rng cols in
+    let r1 = dev_row.(d) and c1 = dev_col.(d) in
+    if r1 = r2 && c1 = c2 then Some (0., fun () -> ())
+    else begin
+      let other = grid.(r2).(c2) in
+      let affected =
+        Wirelength.nets_of_devices circuit
+          (if other >= 0 then [ d; other ] else [ d ])
+      in
+      let before = hpwl_of_nets affected in
+      swap_slots d (r1, c1) other (r2, c2);
+      let after = hpwl_of_nets affected in
+      let undo () = swap_slots d (r2, c2) other (r1, c1) in
+      Some (after -. before, undo)
+    end
+  in
+  let initial_cost = Wirelength.total_hpwl circuit ~x:x_of ~y:y_of in
+  let (_ : float) =
+    Anneal.run ~rng ~schedule:options.schedule ~initial_cost ~propose
+  in
+  (* Row contents in slot order. *)
+  let row_device_list r =
+    Array.to_list grid.(r) |> List.filter (fun d -> d >= 0)
+  in
+  let provisional =
+    Array.init rows (fun r ->
+        compact ~options ~circuit ~width_of
+          (List.map (fun d -> Cell d) (row_device_list r)))
+  in
+  let provisional_center = Array.make nd 0. in
+  Array.iter
+    (fun (xs, _) ->
+      List.iter
+        (fun (e, x) ->
+          match e with
+          | Cell d -> provisional_center.(d) <- x +. (width_of d /. 2.)
+          | Feed _ -> ())
+        xs)
+    provisional;
+  (* Which rows hold pins of each net, and where feed-throughs must go:
+     every row strictly inside the net's span that has no pin of the net
+     must be crossed by a feed-through wire. *)
+  let net_count = Mae_netlist.Circuit.net_count circuit in
+  let pin_rows = Array.make net_count [] in
+  for net = 0 to net_count - 1 do
+    let members = Mae_netlist.Circuit.devices_on_net circuit net in
+    pin_rows.(net) <-
+      Array.to_list members
+      |> List.map (fun d -> dev_row.(d))
+      |> List.sort_uniq Int.compare
+  done;
+  let feeds_per_row = Array.make rows [] in
+  for net = 0 to net_count - 1 do
+    match pin_rows.(net) with
+    | [] | [ _ ] -> ()
+    | (rmin :: _) as occupied ->
+        let rmax = List.fold_left Stdlib.max rmin occupied in
+        let members = Mae_netlist.Circuit.devices_on_net circuit net in
+        let desired_x =
+          Array.fold_left (fun acc d -> acc +. provisional_center.(d)) 0. members
+          /. Float.of_int (Array.length members)
+        in
+        for r = rmin + 1 to rmax - 1 do
+          if not (List.mem r occupied) then
+            feeds_per_row.(r) <- (net, desired_x) :: feeds_per_row.(r)
+        done
+  done;
+  (* Insert feed-throughs into each row at their desired position, then
+     recompact with real widths. *)
+  let final_rows =
+    Array.init rows (fun r ->
+        let cells =
+          List.map
+            (fun d -> (Cell d, provisional_center.(d)))
+            (row_device_list r)
+        in
+        let feeds =
+          List.map (fun (net, x) -> (Feed net, x)) feeds_per_row.(r)
+        in
+        let ordered =
+          List.stable_sort
+            (fun (_, xa) (_, xb) -> Float.compare xa xb)
+            (cells @ feeds)
+          |> List.map fst
+        in
+        compact ~options ~circuit ~width_of ordered)
+  in
+  let device_x = Array.make nd 0. in
+  let pos_in_row = Array.make nd 0 in
+  let feed_positions = Array.make rows [||] in
+  let row_members = Array.make rows [||] in
+  let row_lengths = Array.make rows 0. in
+  Array.iteri
+    (fun r (xs, len) ->
+      row_lengths.(r) <- len;
+      let members = ref [] and feeds = ref [] in
+      List.iteri
+        (fun pos (e, x) ->
+          match e with
+          | Cell d ->
+              device_x.(d) <- x;
+              pos_in_row.(d) <- pos;
+              members := d :: !members
+          | Feed net -> feeds := (net, x +. (options.feed_width /. 2.)) :: !feeds)
+        xs;
+      row_members.(r) <- Array.of_list (List.rev !members);
+      feed_positions.(r) <- Array.of_list (List.rev !feeds))
+    final_rows;
+  let feed_through_count =
+    Array.fold_left (fun acc f -> acc + Array.length f) 0 feed_positions
+  in
+  (* Per-net pin positions per row.  With [pin_spread], pin p of a k-pin
+     cell sits at fraction (p + 0.5) / k of the cell width; otherwise all
+     pins collapse to the cell centre. *)
+  let xs_in_row = Array.make_matrix rows net_count [] in
+  Array.iter
+    (fun (d : Mae_netlist.Device.t) ->
+      let i = d.index in
+      let w = width_of i in
+      let npins = Stdlib.max 1 (Array.length d.pins) in
+      Array.iteri
+        (fun p net ->
+          let x =
+            if options.pin_spread then
+              device_x.(i) +. (w *. (Float.of_int p +. 0.5) /. Float.of_int npins)
+            else device_x.(i) +. (w /. 2.)
+          in
+          xs_in_row.(dev_row.(i)).(net) <- x :: xs_in_row.(dev_row.(i)).(net))
+        d.pins)
+    circuit.Mae_netlist.Circuit.devices;
+  Array.iteri
+    (fun r feeds ->
+      Array.iter
+        (fun (net, x) -> xs_in_row.(r).(net) <- x :: xs_in_row.(r).(net))
+        feeds)
+    feed_positions;
+  (* Two-pin nets between horizontally adjacent cells of one row connect
+     by abutment in hand layout and need no channel track. *)
+  let abutted net =
+    options.abut_adjacent_pairs
+    &&
+    let members = Mae_netlist.Circuit.devices_on_net circuit net in
+    Array.length members = 2
+    && dev_row.(members.(0)) = dev_row.(members.(1))
+    && abs (pos_in_row.(members.(0)) - pos_in_row.(members.(1))) = 1
+  in
+  (* Channel spans.  Channel c (0 .. rows) sits above row c; a net
+     spanning rows rmin..rmax crosses channels rmin+1 .. rmax, and a
+     single-row net is routed in the channel below its row. *)
+  let channel_spans = Array.make (rows + 1) [] in
+  let add_span channel net xs =
+    match xs with
+    | [] -> ()
+    | x0 :: rest ->
+        let lo = List.fold_left Float.min x0 rest in
+        let hi = List.fold_left Float.max x0 rest in
+        channel_spans.(channel) <-
+          { Channel.net; interval = Mae_geom.Interval.make ~lo ~hi }
+          :: channel_spans.(channel)
+  in
+  for net = 0 to net_count - 1 do
+    let occupied =
+      List.init rows (fun r -> r)
+      |> List.filter (fun r -> xs_in_row.(r).(net) <> [])
+    in
+    match occupied with
+    | [] -> ()
+    | [ r ] ->
+        if
+          Array.length (Mae_netlist.Circuit.devices_on_net circuit net) >= 2
+          && not (abutted net)
+        then add_span (r + 1) net xs_in_row.(r).(net)
+    | rmin :: _ :: _ ->
+        let rmax = List.fold_left Stdlib.max rmin occupied in
+        let all_pins =
+          List.concat_map (fun r -> xs_in_row.(r).(net)) occupied
+        in
+        for c = rmin + 1 to rmax do
+          let pins =
+            if options.trunk_spans then all_pins
+            else xs_in_row.(c - 1).(net) @ xs_in_row.(c).(net)
+          in
+          add_span c net pins
+        done
+  done;
+  let channel_routes =
+    Array.mapi
+      (fun c spans ->
+        if options.vc_overhead && c >= 1 && c <= rows - 1 then begin
+          (* a dogleg-free channel router must honour the vertical
+             constraints between top-row and bottom-row pins *)
+          let nets_in_channel =
+            List.sort_uniq Int.compare
+              (List.map (fun (s : Channel.span) -> s.net) spans)
+          in
+          let pins_of r =
+            List.concat_map
+              (fun net ->
+                List.map
+                  (fun x -> { Channel.x; pin_net = net })
+                  xs_in_row.(r).(net))
+              nets_in_channel
+          in
+          Channel.route_constrained ~pitch:options.track_pitch
+            ~top:(pins_of (c - 1))
+            ~bottom:(pins_of c) spans
+        end
+        else Channel.left_edge spans)
+      channel_spans
+  in
+  let channel_tracks =
+    (* Some wiring runs over the active area instead of the channel. *)
+    Array.map
+      (fun (routed : Channel.routed) ->
+        Float.to_int
+          (Float.ceil
+             (Float.of_int routed.Channel.tracks
+              *. (1. -. options.over_cell_fraction)
+             -. 1e-9)))
+      channel_routes
+  in
+  let total_tracks = Array.fold_left ( + ) 0 channel_tracks in
+  let row_heights =
+    Array.map
+      (fun members ->
+        Array.fold_left (fun acc d -> Float.max acc (height_of d)) 0. members)
+      row_members
+  in
+  let width = Array.fold_left Float.max 0. row_lengths in
+  let height =
+    Array.fold_left ( +. ) 0. row_heights
+    +. (Float.of_int total_tracks *. options.track_pitch)
+  in
+  let area = width *. height in
+  let device_row = Array.copy dev_row in
+  (* Report the wire length of the real, compacted geometry. *)
+  let y_offsets = Array.make rows 0. in
+  let cursor = ref 0. in
+  for r = 0 to rows - 1 do
+    y_offsets.(r) <- !cursor;
+    cursor :=
+      !cursor +. row_heights.(r)
+      +. (Float.of_int channel_tracks.(r + 1) *. options.track_pitch)
+  done;
+  let hpwl =
+    Wirelength.total_hpwl circuit
+      ~x:(fun d -> device_x.(d) +. (width_of d /. 2.))
+      ~y:(fun d -> y_offsets.(dev_row.(d)))
+  in
+  {
+    rows;
+    row_members;
+    device_x;
+    device_row;
+    row_heights;
+    row_lengths;
+    feed_throughs = feed_positions;
+    feed_through_count;
+    channel_tracks;
+    channel_routes;
+    channel_spans = Array.map Channel.merge_spans channel_spans;
+    total_tracks;
+    width;
+    height;
+    area;
+    aspect =
+      (if height > 0. && width > 0. then Mae_geom.Aspect.make ~width ~height
+       else Mae_geom.Aspect.square);
+    hpwl;
+  }

@@ -1,0 +1,79 @@
+(** The row-based layout engine shared by both flows.
+
+    Pipeline: slot-grid placement by simulated annealing (minimizing
+    half-perimeter wire length), row compaction with real cell widths,
+    feed-through insertion for nets that must cross a row they have no pin
+    in, and left-edge channel routing with track sharing.  {!Sc_flow}
+    instantiates it with standard cells of uniform height (the TimberWolf
+    stand-in); {!Fc_flow} instantiates it with individual transistors and
+    diffusion-sharing compaction (the manual-layout stand-in). *)
+
+type options = {
+  track_pitch : Mae_geom.Lambda.t;
+  feed_width : Mae_geom.Lambda.t;  (** width a feed-through adds to a row *)
+  spacing : Mae_geom.Lambda.t;  (** gap between adjacent cells in a row *)
+  diffusion_sharing : bool;
+      (** abut adjacent cells (zero gap) when they share a net, modelling
+          shared source/drain diffusion in hand layout *)
+  pin_spread : bool;
+      (** when true, a cell's pins sit at distinct positions across its
+          width (realistic); when false every pin is at the cell centre *)
+  vc_overhead : bool;
+      (** route each inter-row channel with the constrained left-edge
+          algorithm ({!Channel.route_constrained}), which honours the
+          vertical constraints between top and bottom pins the way a
+          dogleg-free TimberWolf-era router had to; when false, plain
+          left-edge (hand layout doglegs freely) *)
+  over_cell_fraction : float;
+      (** fraction of channel tracks routed over the active area instead
+          of in the channel (0 for standard cells, substantial for hand
+          full-custom layout); must be in [0, 1) *)
+  abut_adjacent_pairs : bool;
+      (** two-pin nets between adjacent cells in one row are connected by
+          abutment and need no channel track (hand layout) *)
+  trunk_spans : bool;
+      (** when true, a multi-row net occupies its full horizontal bounding
+          box in every channel it crosses — the trunk model of
+          TimberWolf-era global routing; when false, only the hull of the
+          pins in the two adjacent rows (tighter, hand-layout style) *)
+  schedule : Anneal.schedule;
+}
+
+type t = {
+  rows : int;
+  row_members : int array array;  (** device indices per row, left to right *)
+  device_x : Mae_geom.Lambda.t array;  (** left edge per device, post compaction *)
+  device_row : int array;  (** row index per device *)
+  row_heights : Mae_geom.Lambda.t array;
+  row_lengths : Mae_geom.Lambda.t array;  (** cells + feed-throughs + gaps *)
+  feed_throughs : (int * Mae_geom.Lambda.t) array array;
+      (** per row: (net, x-centre) of each inserted feed-through *)
+  feed_through_count : int;
+  channel_tracks : int array;
+      (** per channel, length rows + 1: tracks occupying channel height
+          (after any over-cell discount) *)
+  channel_routes : Channel.routed array;
+      (** the raw routing result per channel (before the over-cell
+          discount): track assignments, density, dropped constraints *)
+  channel_spans : Channel.span list array;
+      (** the horizontal extent of every net in every channel, as handed
+          to the router *)
+  total_tracks : int;
+  width : Mae_geom.Lambda.t;  (** longest row *)
+  height : Mae_geom.Lambda.t;  (** row heights plus routed channel heights *)
+  area : Mae_geom.Lambda.area;
+  aspect : Mae_geom.Aspect.t;
+  hpwl : float;  (** final placement wire length (cost metric) *)
+}
+
+val run :
+  rng:Mae_prob.Rng.t ->
+  options:options ->
+  rows:int ->
+  width_of:(int -> Mae_geom.Lambda.t) ->
+  height_of:(int -> Mae_geom.Lambda.t) ->
+  Mae_netlist.Circuit.t ->
+  t
+(** Lay the circuit out in [rows] rows.  [width_of]/[height_of] give each
+    device's footprint (by device index).  Raises [Invalid_argument] when
+    [rows < 1] or the circuit has no devices. *)

@@ -1,0 +1,47 @@
+let options ?(schedule = Anneal.default_schedule) (process : Mae_tech.Process.t) =
+  {
+    Row_layout.track_pitch = process.track_pitch;
+    feed_width = process.feed_through_width;
+    (* standard cells are designed to abut *)
+    spacing = 0.;
+    diffusion_sharing = false;
+    pin_spread = true;
+    (* the channel router pays vertical-constraint overhead, and nothing
+       routes over the cells in this single-metal technology *)
+    vc_overhead = true;
+    over_cell_fraction = 0.;
+    abut_adjacent_pairs = false;
+    (* the global router reserves each net's bounding box (trunk model) *)
+    trunk_spans = true;
+    schedule;
+  }
+
+let run ?schedule ~rng ~rows circuit process =
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  let row_height = process.Mae_tech.Process.row_height in
+  Row_layout.run ~rng ~options:(options ?schedule process) ~rows
+    ~width_of:(fun d -> widths.(d))
+    ~height_of:(fun _ -> row_height)
+    circuit
+
+let run_sweep ?schedule ~rng ~rows circuit process =
+  List.map
+    (fun n ->
+      let rng = Mae_prob.Rng.split rng in
+      run ?schedule ~rng ~rows:n circuit process)
+    rows
+
+let geometry circuit (process : Mae_tech.Process.t) layout =
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  Geometry.of_layout
+    ~width_of:(fun d -> widths.(d))
+    ~height_of:(fun _ -> process.row_height)
+    ~track_pitch:process.track_pitch ~feed_width:process.feed_through_width
+    layout
+
+let wiring circuit (process : Mae_tech.Process.t) layout =
+  let widths = Mae_netlist.Stats.device_widths circuit process in
+  Wiring.of_layout
+    ~width_of:(fun d -> widths.(d))
+    ~pin_spread:true ~track_pitch:process.track_pitch circuit layout
+    (geometry circuit process layout)

@@ -1,0 +1,36 @@
+(** Standard-cell place & route: the TimberWolf stand-in.
+
+    Cells of uniform height are annealed into [rows] rows, feed-throughs
+    are inserted, and each channel is routed by the left-edge algorithm —
+    {e with} track sharing, which is what makes this "real" area fall
+    below the estimator's one-net-per-track upper bound (the 42-70 %
+    Table 2 gap). *)
+
+val run :
+  ?schedule:Anneal.schedule ->
+  rng:Mae_prob.Rng.t ->
+  rows:int ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Row_layout.t
+(** Raises {!Mae_netlist.Stats.Unknown_kind} on a schematic/process
+    mismatch, [Invalid_argument] on [rows < 1] or an empty circuit. *)
+
+val run_sweep :
+  ?schedule:Anneal.schedule ->
+  rng:Mae_prob.Rng.t ->
+  rows:int list ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  Row_layout.t list
+(** One layout per row count (each from an independent RNG stream). *)
+
+val geometry :
+  Mae_netlist.Circuit.t -> Mae_tech.Process.t -> Row_layout.t -> Geometry.t
+(** Extract the concrete box geometry of a layout this flow produced.
+    Raises {!Mae_netlist.Stats.Unknown_kind}. *)
+
+val wiring :
+  Mae_netlist.Circuit.t -> Mae_tech.Process.t -> Row_layout.t -> Wiring.t
+(** Expand a layout's channel routing into concrete wires (see {!Wiring});
+    input must be a layout this flow produced. *)

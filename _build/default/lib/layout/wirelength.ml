@@ -1,0 +1,27 @@
+let net_hpwl circuit ~net ~x ~y =
+  let members = Mae_netlist.Circuit.devices_on_net circuit net in
+  if Array.length members < 2 then 0.
+  else begin
+    let min_x = ref Float.infinity and max_x = ref Float.neg_infinity in
+    let min_y = ref Float.infinity and max_y = ref Float.neg_infinity in
+    Array.iter
+      (fun d ->
+        let dx = x d and dy = y d in
+        if dx < !min_x then min_x := dx;
+        if dx > !max_x then max_x := dx;
+        if dy < !min_y then min_y := dy;
+        if dy > !max_y then max_y := dy)
+      members;
+    !max_x -. !min_x +. (!max_y -. !min_y)
+  end
+
+let total_hpwl circuit ~x ~y =
+  let total = ref 0. in
+  for net = 0 to Mae_netlist.Circuit.net_count circuit - 1 do
+    total := !total +. net_hpwl circuit ~net ~x ~y
+  done;
+  !total
+
+let nets_of_devices circuit devices =
+  List.concat_map (Mae_netlist.Circuit.nets_of_device circuit) devices
+  |> List.sort_uniq Int.compare

@@ -1,0 +1,21 @@
+(** Half-perimeter wire length (HPWL), the placement cost metric.
+
+    For each net, the cost is the half-perimeter of the bounding box of
+    its pins; the total over all nets is the standard placement objective
+    TimberWolf minimizes. *)
+
+val net_hpwl :
+  Mae_netlist.Circuit.t ->
+  net:int ->
+  x:(int -> float) ->
+  y:(int -> float) ->
+  float
+(** Bounding-box half-perimeter of one net; 0 for nets with fewer than two
+    devices.  [x]/[y] give each device's coordinates. *)
+
+val total_hpwl :
+  Mae_netlist.Circuit.t -> x:(int -> float) -> y:(int -> float) -> float
+
+val nets_of_devices : Mae_netlist.Circuit.t -> int list -> int list
+(** Distinct nets touching any of the given devices, ascending; the nets
+    whose cost a move can change. *)

@@ -1,0 +1,162 @@
+type attachment =
+  | Pin of { device : int; pin : int }
+  | Feed_wire of { row : int }
+  | Branch
+
+type vertical = {
+  v_net : int;
+  x : float;
+  y_lo : float;
+  y_hi : float;
+  attached : attachment;
+}
+
+type horizontal = {
+  h_net : int;
+  channel : int;
+  y : float;
+  x_lo : float;
+  x_hi : float;
+}
+
+type via = { via_net : int; vx : float; vy : float }
+
+type t = {
+  verticals : vertical list;
+  horizontals : horizontal list;
+  vias : via list;
+  dropped_constraints : int;
+}
+
+let of_layout ~width_of ~pin_spread ~track_pitch circuit
+    (layout : Row_layout.t) (geometry : Geometry.t) =
+  let rows = layout.rows in
+  (* over-cell routing hides tracks; wiring can only be expanded when the
+     drawn channel height holds every routed track *)
+  Array.iteri
+    (fun c (routed : Channel.routed) ->
+      if layout.channel_tracks.(c) <> routed.Channel.tracks then
+        invalid_arg "Wiring.of_layout: layout uses over-cell routing")
+    layout.channel_routes;
+  (* channel band rectangles by index *)
+  let channel_rect = Array.make (rows + 1) None in
+  List.iter
+    (fun box ->
+      match box with
+      | Geometry.Channel_box { index; rect; _ } ->
+          channel_rect.(index) <- Some rect
+      | Geometry.Cell_box _ | Geometry.Feed_box _ -> ())
+    geometry.Geometry.boxes;
+  let track_of c net =
+    if c < 0 || c > rows then None
+    else List.assoc_opt net layout.channel_routes.(c).Channel.track_of
+  in
+  let trunk_y c net =
+    match (track_of c net, channel_rect.(c)) with
+    | Some t, Some rect ->
+        Some (rect.Mae_geom.Rect.y +. rect.Mae_geom.Rect.h
+              -. ((Float.of_int t +. 0.5) *. track_pitch))
+    | None, _ | _, None -> None
+  in
+  let row_top r = (geometry.Geometry.row_rects.(r) : Mae_geom.Rect.t).y
+                  +. (geometry.Geometry.row_rects.(r) : Mae_geom.Rect.t).h in
+  let row_bottom r = (geometry.Geometry.row_rects.(r) : Mae_geom.Rect.t).y in
+  let verticals = ref [] in
+  let vias = ref [] in
+  (* pin stubs: one vertical per (device, pin), spanning the row and
+     extending into any adjacent channel where the net has a trunk *)
+  Array.iter
+    (fun (d : Mae_netlist.Device.t) ->
+      let i = d.index in
+      let r = layout.device_row.(i) in
+      let w = width_of i in
+      let npins = Stdlib.max 1 (Array.length d.pins) in
+      Array.iteri
+        (fun p net ->
+          let x =
+            if pin_spread then
+              layout.device_x.(i)
+              +. (w *. (Float.of_int p +. 0.5) /. Float.of_int npins)
+            else layout.device_x.(i) +. (w /. 2.)
+          in
+          let y_hi =
+            (* channel r sits above row r *)
+            match trunk_y r net with
+            | Some y ->
+                vias := { via_net = net; vx = x; vy = y } :: !vias;
+                y
+            | None -> row_top r
+          in
+          let y_lo =
+            match trunk_y (r + 1) net with
+            | Some y ->
+                vias := { via_net = net; vx = x; vy = y } :: !vias;
+                y
+            | None -> row_bottom r
+          in
+          verticals :=
+            { v_net = net; x; y_lo; y_hi; attached = Pin { device = i; pin = p } }
+            :: !verticals)
+        d.pins)
+    circuit.Mae_netlist.Circuit.devices;
+  (* feed-through wires: cross the row, joining the trunks above and below *)
+  Array.iteri
+    (fun r feeds ->
+      Array.iter
+        (fun (net, x) ->
+          let y_hi =
+            match trunk_y r net with
+            | Some y ->
+                vias := { via_net = net; vx = x; vy = y } :: !vias;
+                y
+            | None -> row_top r
+          in
+          let y_lo =
+            match trunk_y (r + 1) net with
+            | Some y ->
+                vias := { via_net = net; vx = x; vy = y } :: !vias;
+                y
+            | None -> row_bottom r
+          in
+          verticals :=
+            { v_net = net; x; y_lo; y_hi; attached = Feed_wire { row = r } }
+            :: !verticals)
+        feeds)
+    layout.feed_throughs;
+  (* trunks *)
+  let horizontals = ref [] in
+  Array.iteri
+    (fun c spans ->
+      List.iter
+        (fun (s : Channel.span) ->
+          match trunk_y c s.Channel.net with
+          | None -> ()
+          | Some y ->
+              horizontals :=
+                {
+                  h_net = s.Channel.net;
+                  channel = c;
+                  y;
+                  x_lo = s.Channel.interval.Mae_geom.Interval.lo;
+                  x_hi = s.Channel.interval.Mae_geom.Interval.hi;
+                }
+                :: !horizontals)
+        spans)
+    layout.channel_spans;
+  let dropped =
+    Array.fold_left
+      (fun acc (r : Channel.routed) -> acc + r.Channel.dropped_constraints)
+      0 layout.channel_routes
+  in
+  {
+    verticals = List.rev !verticals;
+    horizontals = List.rev !horizontals;
+    vias = List.rev !vias;
+    dropped_constraints = dropped;
+  }
+
+let segment_count t = List.length t.verticals + List.length t.horizontals
+
+let wire_length t =
+  List.fold_left (fun acc v -> acc +. (v.y_hi -. v.y_lo)) 0. t.verticals
+  +. List.fold_left (fun acc h -> acc +. (h.x_hi -. h.x_lo)) 0. t.horizontals

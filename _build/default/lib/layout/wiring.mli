@@ -1,0 +1,60 @@
+(** Detailed wiring for a routed standard-cell layout.
+
+    Expands the channel router's track assignments into concrete wire
+    geometry in the two-layer style of the era: horizontal {e trunks} in
+    the channels (metal), vertical {e branches}, pin stubs and
+    feed-through wires (poly), connected by explicit vias where a branch
+    meets its own trunk.  {!Extract} runs a geometric connectivity check
+    (LVS-lite) over this output. *)
+
+type attachment =
+  | Pin of { device : int; pin : int }  (** a cell pin stub *)
+  | Feed_wire of { row : int }  (** a feed-through crossing a row *)
+  | Branch  (** plain vertical wiring *)
+
+type vertical = {
+  v_net : int;  (** for reporting; extraction ignores it *)
+  x : float;
+  y_lo : float;
+  y_hi : float;
+  attached : attachment;
+}
+
+type horizontal = {
+  h_net : int;
+  channel : int;
+  y : float;
+  x_lo : float;
+  x_hi : float;
+}
+
+type via = { via_net : int; vx : float; vy : float }
+
+type t = {
+  verticals : vertical list;
+  horizontals : horizontal list;
+  vias : via list;
+  dropped_constraints : int;
+      (** total over all channels; when non-zero, shorts that only a
+          dogleg could fix may be present *)
+}
+
+val of_layout :
+  width_of:(int -> float) ->
+  pin_spread:bool ->
+  track_pitch:float ->
+  Mae_netlist.Circuit.t ->
+  Row_layout.t ->
+  Geometry.t ->
+  t
+(** Build the wire geometry.  The accessors and flags must match the ones
+    the layout was produced with, and the layout must have been routed
+    without an over-cell discount (raises [Invalid_argument] when the
+    effective track counts differ from the raw routing, i.e. for the
+    full-custom flow). *)
+
+val segment_count : t -> int
+
+val wire_length : t -> float
+(** Total routed wire length (trunks + branches), the detailed-routing
+    counterpart of the placement HPWL. *)

@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Circuit Device Hashtbl List Net Port

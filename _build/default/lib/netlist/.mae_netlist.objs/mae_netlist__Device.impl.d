@@ -1,0 +1,1 @@
+lib/netlist/device.ml: Array Format Int List String

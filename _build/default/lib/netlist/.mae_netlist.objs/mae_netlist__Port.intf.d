@@ -1,0 +1,1 @@
+lib/netlist/port.mli: Format

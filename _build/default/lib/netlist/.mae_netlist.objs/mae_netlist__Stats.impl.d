@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Circuit Device Float Format Int List Mae_geom Mae_tech Stdlib

@@ -1,0 +1,1 @@
+lib/netlist/validate.ml: Array Bool Circuit Device Format List Mae_tech Net Option

@@ -1,0 +1,26 @@
+(** Imperative construction of circuits.
+
+    Nets are created on first mention, so a schematic can be entered in the
+    natural order: declare ports, then instance devices by listing the net
+    names on their pins. *)
+
+type t
+
+val create : name:string -> technology:string -> t
+
+val net : t -> string -> int
+(** Index of the named net, creating it if necessary. *)
+
+val add_device : t -> name:string -> kind:string -> nets:string list -> int
+(** Adds a device whose pins connect to the named nets (created on
+    demand); returns the device index.  Raises [Invalid_argument] on a
+    duplicate instance name. *)
+
+val add_port : t -> name:string -> direction:Port.direction -> net:string -> unit
+(** Raises [Invalid_argument] on a duplicate port name. *)
+
+val device_count : t -> int
+
+val build : t -> Circuit.t
+(** Freezes the builder.  The builder remains usable; later additions
+    affect only later [build] calls. *)

@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  technology : string;
+  devices : Device.t array;
+  nets : Net.t array;
+  ports : Port.t array;
+  net_devices : int array array;
+}
+
+let check_dense_indices what get arr =
+  Array.iteri
+    (fun i x ->
+      if get x <> i then
+        invalid_arg
+          (Printf.sprintf "Circuit.make: %s index %d at position %d" what (get x) i))
+    arr
+
+let check_unique_names what get arr =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      let n = get x in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Circuit.make: duplicate %s name %s" what n);
+      Hashtbl.add seen n ())
+    arr
+
+let make ~name ~technology ~devices ~nets ~ports =
+  if String.length name = 0 then invalid_arg "Circuit.make: empty name";
+  let devices = Array.of_list devices in
+  let nets = Array.of_list nets in
+  let ports = Array.of_list ports in
+  check_dense_indices "device" (fun (d : Device.t) -> d.index) devices;
+  check_dense_indices "net" (fun (n : Net.t) -> n.index) nets;
+  check_unique_names "device" (fun (d : Device.t) -> d.name) devices;
+  check_unique_names "net" (fun (n : Net.t) -> n.name) nets;
+  check_unique_names "port" (fun (p : Port.t) -> p.name) ports;
+  let net_count = Array.length nets in
+  let in_range what n =
+    if n < 0 || n >= net_count then
+      invalid_arg (Printf.sprintf "Circuit.make: %s references net %d" what n)
+  in
+  Array.iter
+    (fun (d : Device.t) -> Array.iter (in_range ("device " ^ d.name)) d.pins)
+    devices;
+  Array.iter (fun (p : Port.t) -> in_range ("port " ^ p.name) p.net) ports;
+  let members = Array.make net_count [] in
+  Array.iter
+    (fun (d : Device.t) ->
+      List.iter (fun n -> members.(n) <- d.index :: members.(n)) (Device.nets d))
+    devices;
+  let net_devices =
+    Array.map (fun ds -> Array.of_list (List.sort Int.compare ds)) members
+  in
+  { name; technology; devices; nets; ports; net_devices }
+
+let device_count t = Array.length t.devices
+
+let net_count t = Array.length t.nets
+
+let port_count t = Array.length t.ports
+
+let check_net t n =
+  if n < 0 || n >= Array.length t.nets then
+    invalid_arg (Printf.sprintf "Circuit: net %d out of range" n)
+
+let devices_on_net t n =
+  check_net t n;
+  t.net_devices.(n)
+
+let degree t n = Array.length (devices_on_net t n)
+
+let nets_of_device t d =
+  if d < 0 || d >= Array.length t.devices then
+    invalid_arg (Printf.sprintf "Circuit: device %d out of range" d);
+  Device.nets t.devices.(d)
+
+let find_net t name =
+  Array.find_opt (fun (n : Net.t) -> String.equal n.name name) t.nets
+
+let find_device t name =
+  Array.find_opt (fun (d : Device.t) -> String.equal d.name name) t.devices
+
+let is_port_net t n =
+  check_net t n;
+  Array.exists (fun (p : Port.t) -> p.net = n) t.ports
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d devices, %d nets, %d ports (%s)" t.name
+    (device_count t) (net_count t) (port_count t) t.technology

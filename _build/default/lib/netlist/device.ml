@@ -1,0 +1,16 @@
+type t = { index : int; name : string; kind : string; pins : int array }
+
+let make ~index ~name ~kind ~pins =
+  if index < 0 then invalid_arg "Device.make: negative index";
+  if String.length name = 0 then invalid_arg "Device.make: empty name";
+  if String.length kind = 0 then invalid_arg "Device.make: empty kind";
+  { index; name; kind; pins }
+
+let nets t =
+  Array.to_list t.pins |> List.sort_uniq Int.compare
+
+let connects_to t net = Array.exists (Int.equal net) t.pins
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%s(%s)" t.name t.kind
+    (String.concat "," (Array.to_list (Array.map string_of_int t.pins)))

@@ -1,0 +1,23 @@
+(** A device instance in a circuit schematic.
+
+    A device is anything the process database gives a footprint to: a
+    single transistor in a full-custom module, or a logic gate / flip-flop
+    in a standard-cell module.  [pins] holds the indices of the nets each
+    pin connects to, in pin order. *)
+
+type t = {
+  index : int;  (** position in the circuit's device array *)
+  name : string;  (** instance name, unique within the circuit *)
+  kind : string;  (** device-kind name, resolved against the process *)
+  pins : int array;  (** net index per pin *)
+}
+
+val make : index:int -> name:string -> kind:string -> pins:int array -> t
+(** Raises [Invalid_argument] on an empty name/kind or a negative index. *)
+
+val nets : t -> int list
+(** Distinct net indices this device touches, ascending. *)
+
+val connects_to : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

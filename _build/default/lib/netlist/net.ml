@@ -1,0 +1,10 @@
+type t = { index : int; name : string }
+
+let make ~index ~name =
+  if index < 0 then invalid_arg "Net.make: negative index";
+  if String.length name = 0 then invalid_arg "Net.make: empty name";
+  { index; name }
+
+let equal a b = Int.equal a.index b.index && String.equal a.name b.name
+
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.index

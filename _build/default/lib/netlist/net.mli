@@ -1,0 +1,13 @@
+(** A signal net.
+
+    The estimator's models are driven by the net's {e degree} D: the number
+    of distinct components (devices) it connects (equations 2-11, 13). *)
+
+type t = { index : int; name : string }
+
+val make : index:int -> name:string -> t
+(** Raises [Invalid_argument] on an empty name or a negative index. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type direction = Input | Output | Inout
+
+type t = { name : string; direction : direction; net : int }
+
+let make ~name ~direction ~net =
+  if String.length name = 0 then invalid_arg "Port.make: empty name";
+  if net < 0 then invalid_arg "Port.make: negative net index";
+  { name; direction; net }
+
+let direction_of_string = function
+  | "in" -> Some Input
+  | "out" -> Some Output
+  | "inout" -> Some Inout
+  | _ -> None
+
+let direction_to_string = function
+  | Input -> "in"
+  | Output -> "out"
+  | Inout -> "inout"
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s net#%d" t.name (direction_to_string t.direction) t.net

@@ -1,0 +1,19 @@
+(** A module I/O port.
+
+    Section 5 estimates aspect ratios from the total length of the module's
+    input and output ports along an edge, so ports are first-class in the
+    schematic. *)
+
+type direction = Input | Output | Inout
+
+type t = { name : string; direction : direction; net : int }
+
+val make : name:string -> direction:direction -> net:int -> t
+(** Raises [Invalid_argument] on an empty name or a negative net index. *)
+
+val direction_of_string : string -> direction option
+(** ["in"], ["out"], ["inout"]. *)
+
+val direction_to_string : direction -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+exception Unknown_kind of string
+
+type t = {
+  device_count : int;
+  net_count : int;
+  port_count : int;
+  width_classes : (Mae_geom.Lambda.t * int) list;
+  average_width : Mae_geom.Lambda.t;
+  average_height : Mae_geom.Lambda.t;
+  total_device_area : Mae_geom.Lambda.area;
+  degree_histogram : (int * int) list;
+  max_degree : int;
+}
+
+let kind_exn process name =
+  match Mae_tech.Process.find_device process name with
+  | Some k -> k
+  | None -> raise (Unknown_kind name)
+
+let device_kinds (c : Circuit.t) process =
+  Array.map (fun (d : Device.t) -> kind_exn process d.kind) c.devices
+
+let device_widths c process =
+  Array.map (fun (k : Mae_tech.Device_kind.t) -> k.width) (device_kinds c process)
+
+let device_areas c process =
+  Array.map Mae_tech.Device_kind.area (device_kinds c process)
+
+let group_counts compare values =
+  let sorted = List.sort compare values in
+  let rec go acc current count = function
+    | [] -> List.rev ((current, count) :: acc)
+    | v :: rest ->
+        if compare v current = 0 then go acc current (count + 1) rest
+        else go ((current, count) :: acc) v 1 rest
+  in
+  match sorted with [] -> [] | v :: rest -> go [] v 1 rest
+
+let compute (c : Circuit.t) process =
+  let kinds = device_kinds c process in
+  let n = Array.length kinds in
+  let widths = Array.to_list (Array.map (fun (k : Mae_tech.Device_kind.t) -> k.width) kinds) in
+  let width_classes = group_counts Float.compare widths in
+  let total_width = List.fold_left ( +. ) 0. widths in
+  let total_height =
+    Array.fold_left (fun acc (k : Mae_tech.Device_kind.t) -> acc +. k.height) 0. kinds
+  in
+  let total_device_area =
+    Array.fold_left (fun acc k -> acc +. Mae_tech.Device_kind.area k) 0. kinds
+  in
+  let average_width = if n = 0 then 0. else total_width /. Float.of_int n in
+  let average_height = if n = 0 then 0. else total_height /. Float.of_int n in
+  let degrees =
+    List.init (Circuit.net_count c) (Circuit.degree c)
+    |> List.filter (fun d -> d >= 1)
+  in
+  let degree_histogram = group_counts Int.compare degrees in
+  let max_degree = List.fold_left Stdlib.max 0 degrees in
+  {
+    device_count = n;
+    net_count = Circuit.net_count c;
+    port_count = Circuit.port_count c;
+    width_classes;
+    average_width;
+    average_height;
+    total_device_area;
+    degree_histogram;
+    max_degree;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>N=%d H=%d ports=%d W_avg=%.2fL h_avg=%.2fL cell_area=%.0fL^2@ \
+     degrees: %a@]"
+    t.device_count t.net_count t.port_count t.average_width t.average_height
+    t.total_device_area
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (d, y) -> Format.fprintf ppf "D=%d x%d" d y))
+    t.degree_histogram

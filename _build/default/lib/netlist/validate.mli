@@ -1,0 +1,22 @@
+(** Schematic sanity checks run before estimation.
+
+    The checks distinguish hard errors (estimation would be meaningless)
+    from warnings (suspicious but estimable). *)
+
+type issue =
+  | Unknown_device_kind of { device : string; kind : string }
+      (** the process database has no footprint for this kind (error) *)
+  | Dangling_net of { net : string }
+      (** a net with no device and no port (warning) *)
+  | Single_pin_net of { net : string }
+      (** a net touching exactly one device and no port (warning) *)
+  | Unconnected_device of { device : string }  (** a device with no pins (warning) *)
+  | No_devices  (** the circuit is empty (error) *)
+  | No_ports  (** no I/O: aspect-ratio control criterion is vacuous (warning) *)
+
+val is_error : issue -> bool
+
+val check : Circuit.t -> Mae_tech.Process.t -> issue list
+(** All issues found, errors first. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/prob/comb.ml: Array Float Lazy Stdlib

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Array Comb Float Format Int List Rng

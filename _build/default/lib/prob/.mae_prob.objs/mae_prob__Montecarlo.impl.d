@@ -1,0 +1,1 @@
+lib/prob/montecarlo.ml: Array Dist Float List Rng

@@ -1,0 +1,1 @@
+lib/prob/montecarlo.mli: Dist Rng

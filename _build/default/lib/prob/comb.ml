@@ -1,0 +1,92 @@
+let table_size = 4096
+
+let log_factorial_table = lazy (
+  let t = Array.make table_size 0. in
+  for n = 1 to table_size - 1 do
+    t.(n) <- t.(n - 1) +. Float.log (Float.of_int n)
+  done;
+  t)
+
+(* Stirling's series with three correction terms; accurate to ~1e-10 for
+   n >= table_size. *)
+let stirling n =
+  let x = Float.of_int n in
+  ((x +. 0.5) *. Float.log x) -. x
+  +. (0.5 *. Float.log (2. *. Float.pi))
+  +. (1. /. (12. *. x))
+  -. (1. /. (360. *. (x ** 3.)))
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Comb.log_factorial: negative argument";
+  if n < table_size then (Lazy.force log_factorial_table).(n) else stirling n
+
+let log_choose n k =
+  if k < 0 || k > n then Float.neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let choose n k =
+  if k < 0 || k > n then 0.
+  else if n <= 30 then begin
+    (* exact product form for small n, avoiding exp/log round-off *)
+    let k = Stdlib.min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else go (acc *. Float.of_int (n - k + i) /. Float.of_int i) (i + 1)
+    in
+    Float.round (go 1. 1)
+  end
+  else Float.exp (log_choose n k)
+
+let choose_int n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else begin
+        let next = acc * (n - k + i) in
+        if next < 0 || next / (n - k + i) <> acc then
+          invalid_arg "Comb.choose_int: overflow";
+        go (next / i) (i + 1)
+      end
+    in
+    go 1 1
+  end
+
+let float_pow x n =
+  if n < 0 then invalid_arg "Comb.float_pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then acc *. base else acc in
+      go acc (base *. base) (n lsr 1)
+    end
+  in
+  go 1. x n
+
+(* Inclusion-exclusion: surj(d,i) = sum_{j=0}^{i} (-1)^j C(i,j) (i-j)^d *)
+let surjections d i =
+  if d < 0 || i < 0 then invalid_arg "Comb.surjections: negative argument";
+  if i = 0 then (if d = 0 then 1. else 0.)
+  else if d < i then 0.
+  else begin
+    let total = ref 0. in
+    for j = 0 to i do
+      let sign = if j land 1 = 0 then 1. else -1. in
+      total := !total +. (sign *. choose i j *. float_pow (Float.of_int (i - j)) d)
+    done;
+    Float.max 0. !total
+  end
+
+let paper_b ~k i =
+  if i < 1 then invalid_arg "Comb.paper_b: i must be >= 1";
+  let b = Array.make (i + 1) 0. in
+  b.(1) <- 1.;
+  for m = 2 to i do
+    let subtract = ref 0. in
+    for j = 1 to m - 1 do
+      subtract := !subtract +. (choose m j *. b.(j))
+    done;
+    b.(m) <- float_pow (Float.of_int m) k -. !subtract
+  done;
+  b.(i)

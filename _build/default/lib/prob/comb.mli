@@ -1,0 +1,32 @@
+(** Combinatorics for the estimator's probability models.
+
+    All counting functions are evaluated in log space so that the
+    expectation sums of equations (2)-(3) and (10)-(11) of the paper remain
+    stable for nets with many components and modules with many nets. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] = ln(n!).  Memoized.  Raises [Invalid_argument] on a
+    negative argument. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = ln(C(n,k)); [neg_infinity] when [k < 0 || k > n]. *)
+
+val choose : int -> int -> float
+(** C(n,k) as a float (exact for small arguments, via exp/log otherwise). *)
+
+val choose_int : int -> int -> int
+(** Exact C(n,k) by Pascal recurrence; raises [Invalid_argument] if the
+    result would overflow a 63-bit integer. *)
+
+val surjections : int -> int -> float
+(** [surjections d i] counts the functions from a [d]-element set onto an
+    [i]-element set (each of the [i] rows receives at least one of the [d]
+    components).  Computed by inclusion-exclusion. *)
+
+val paper_b : k:int -> int -> float
+(** [paper_b ~k i] is the paper's b[i] recurrence (equation 2):
+    b[1] = 1, b[i] = i^k - sum_{j=1}^{i-1} C(i,j) * b[j].
+    When [k >= i] this equals [surjections k i]. *)
+
+val float_pow : float -> int -> float
+(** [float_pow x n] = x^n for n >= 0 by binary exponentiation. *)

@@ -1,0 +1,75 @@
+type t = { outcomes : int array; probs : float array }
+
+let of_weights weights =
+  let weights = List.sort (fun (a, _) (b, _) -> Int.compare a b) weights in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  if List.exists (fun (_, w) -> w < 0.) weights then
+    invalid_arg "Dist.of_weights: negative weight";
+  if total <= 0. then invalid_arg "Dist.of_weights: zero total mass";
+  let outcomes = Array.of_list (List.map fst weights) in
+  let probs = Array.of_list (List.map (fun (_, w) -> w /. total) weights) in
+  { outcomes; probs }
+
+let prob t x =
+  let rec find i =
+    if i >= Array.length t.outcomes then 0.
+    else if t.outcomes.(i) = x then t.probs.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let support t =
+  Array.to_list t.outcomes
+  |> List.filteri (fun i _ -> t.probs.(i) > 0.)
+
+let total_mass_error t =
+  Float.abs (1. -. Array.fold_left ( +. ) 0. t.probs)
+
+let expectation t =
+  let sum = ref 0. in
+  Array.iteri (fun i x -> sum := !sum +. (Float.of_int x *. t.probs.(i))) t.outcomes;
+  !sum
+
+let expectation_ceil t =
+  (* A tiny slack keeps values such as 2.0000000000000004, produced by
+     round-off in the probability sums, from being rounded up to 3. *)
+  Float.to_int (Float.ceil (expectation t -. 1e-9))
+
+let mode t =
+  let best = ref 0 in
+  Array.iteri (fun i _ -> if t.probs.(i) > t.probs.(!best) +. 1e-15 then best := i)
+    t.outcomes;
+  t.outcomes.(!best)
+
+let sample t rng =
+  let u = Rng.uniform rng in
+  let rec go i acc =
+    if i = Array.length t.outcomes - 1 then t.outcomes.(i)
+    else begin
+      let acc = acc +. t.probs.(i) in
+      if u < acc then t.outcomes.(i) else go (i + 1) acc
+    end
+  in
+  go 0 0.
+
+let binomial ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Dist.binomial: p outside [0,1]";
+  if n < 0 then invalid_arg "Dist.binomial: negative n";
+  let log_p = if p > 0. then Float.log p else Float.neg_infinity in
+  let log_q = if p < 1. then Float.log (1. -. p) else Float.neg_infinity in
+  let weight m =
+    if (p = 0. && m > 0) || (p = 1. && m < n) then 0.
+    else begin
+      let lp = if m = 0 then 0. else Float.of_int m *. log_p in
+      let lq = if n - m = 0 then 0. else Float.of_int (n - m) *. log_q in
+      Float.exp (Comb.log_choose n m +. lp +. lq)
+    end
+  in
+  of_weights (List.init (n + 1) (fun m -> (m, weight m)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i x -> Format.fprintf ppf "P(%d) = %.4f@ " x t.probs.(i))
+    t.outcomes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Finite discrete probability distributions over [1..n] (or any integer
+    support), as produced by the paper's equations (2), (5), (8) and (10). *)
+
+type t
+(** A distribution: integer outcomes with non-negative weights. *)
+
+val of_weights : (int * float) list -> t
+(** Normalizes the weights; raises [Invalid_argument] if any weight is
+    negative or the total is zero. *)
+
+val prob : t -> int -> float
+(** Probability of an outcome (0 for outcomes outside the support). *)
+
+val support : t -> int list
+(** Outcomes with non-zero probability, ascending. *)
+
+val total_mass_error : t -> float
+(** |1 - sum of probabilities| (should be ~0; exposed for tests). *)
+
+val expectation : t -> float
+
+val expectation_ceil : t -> int
+(** Expectation rounded up to the next integer, as the paper prescribes for
+    E(i) (eq. 3) and E(M) (eq. 11). *)
+
+val mode : t -> int
+(** Outcome with the highest probability (smallest such outcome on ties). *)
+
+val sample : t -> Rng.t -> int
+
+val binomial : n:int -> p:float -> t
+(** The binomial distribution B(n, p) of equation (10). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type placement_stats = {
+  rows_used : Dist.t;
+  feed_through : float array;
+}
+
+let simulate_net ~rng ~trials ~rows ~degree =
+  if rows < 1 then invalid_arg "Montecarlo.simulate_net: rows < 1";
+  if degree < 1 then invalid_arg "Montecarlo.simulate_net: degree < 1";
+  if trials < 1 then invalid_arg "Montecarlo.simulate_net: trials < 1";
+  let span_counts = Array.make (rows + 1) 0 in
+  let feed_counts = Array.make rows 0 in
+  let occupied = Array.make rows false in
+  for _ = 1 to trials do
+    Array.fill occupied 0 rows false;
+    let lowest = ref rows and highest = ref (-1) in
+    for _ = 1 to degree do
+      let r = Rng.int rng rows in
+      occupied.(r) <- true;
+      if r < !lowest then lowest := r;
+      if r > !highest then highest := r
+    done;
+    let span = ref 0 in
+    for r = 0 to rows - 1 do
+      if occupied.(r) then incr span
+    done;
+    span_counts.(!span) <- span_counts.(!span) + 1;
+    (* Row i receives a feed-through when some component is strictly above
+       and some strictly below, i.e. lowest < i < highest. *)
+    for r = !lowest + 1 to !highest - 1 do
+      feed_counts.(r) <- feed_counts.(r) + 1
+    done
+  done;
+  let weights =
+    List.init rows (fun i -> (i + 1, Float.of_int span_counts.(i + 1)))
+  in
+  let rows_used = Dist.of_weights weights in
+  let feed_through =
+    Array.map (fun c -> Float.of_int c /. Float.of_int trials) feed_counts
+  in
+  { rows_used; feed_through }
+
+let empirical_rows_used ~rng ~trials ~rows ~degree =
+  (simulate_net ~rng ~trials ~rows ~degree).rows_used
+
+let argmax_feed_through stats =
+  let best = ref 0 in
+  Array.iteri
+    (fun i p -> if p > stats.feed_through.(!best) then best := i)
+    stats.feed_through;
+  !best + 1

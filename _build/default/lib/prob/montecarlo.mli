@@ -1,0 +1,31 @@
+(** Monte-Carlo verification of the paper's placement-probability models.
+
+    Section 4.1 supports two claims with "numerical simulation results":
+    that the central row has the largest probability of containing a
+    feed-through regardless of the net degree D, and that the row-span
+    distribution of equation (2) models random placement.  This module
+    re-runs those simulations: components of a net are dropped uniformly at
+    random into [n] rows and the empirical statistics are collected. *)
+
+type placement_stats = {
+  rows_used : Dist.t;  (** empirical distribution of the row span *)
+  feed_through : float array;
+      (** [feed_through.(i)] for i in [0, rows): empirical probability that
+          the net contributes a feed-through to row i+1.  Following
+          equation (5), the event is: at least one component lies in a row
+          strictly above row i+1 and at least one in a row strictly below
+          it (components inside the row itself are permitted; the wire must
+          still cross the row to join the two sides). *)
+}
+
+val simulate_net : rng:Rng.t -> trials:int -> rows:int -> degree:int -> placement_stats
+(** Drop [degree] components into [rows] rows uniformly, [trials] times.
+    Raises [Invalid_argument] when [rows < 1], [degree < 1] or
+    [trials < 1]. *)
+
+val empirical_rows_used : rng:Rng.t -> trials:int -> rows:int -> degree:int -> Dist.t
+(** Shorthand for [(simulate_net ...).rows_used]. *)
+
+val argmax_feed_through : placement_stats -> int
+(** 1-based index of the row with the highest empirical feed-through
+    probability (smallest index on ties). *)

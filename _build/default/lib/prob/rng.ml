@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+(* Drop to 62 bits so the value is non-negative in OCaml's 63-bit int. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* 2^62 - 1, the largest value [nonneg] can return, built without
+   overflowing the 63-bit int. *)
+let max62 = (1 lsl 61) - 1 + (1 lsl 61)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias: reject draws from the final
+     partial block of [bound] values. *)
+  let rec go () =
+    let r = nonneg t in
+    let v = r mod bound in
+    if r - v + (bound - 1) > max62 then go () else v
+  in
+  go ()
+
+let uniform t =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  Float.of_int bits *. 0x1p-53
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the repository (annealers, Monte-Carlo
+    verification, workload generation) draws from an explicitly seeded
+    generator so that all experiments are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+
+val split : t -> t
+(** Derive an independent generator; the parent is advanced. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val uniform : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array; raises [Invalid_argument] on an
+    empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,55 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0. xs /. Float.of_int (List.length xs)
+
+let variance xs =
+  require_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+  sq /. Float.of_int (List.length xs)
+
+let stddev xs = Float.sqrt (variance xs)
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (Float.infinity, Float.neg_infinity)
+    xs
+
+let median xs =
+  require_nonempty "Stats.median" xs;
+  let sorted = List.sort Float.compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n land 1 = 1 then arr.(n / 2)
+  else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let mean_abs xs = mean (List.map Float.abs xs)
+
+let relative_error ~estimated ~real =
+  if real = 0. then invalid_arg "Stats.relative_error: real value is zero";
+  (estimated -. real) /. real
+
+let histogram ~bins xs =
+  require_nonempty "Stats.histogram" xs;
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  let lo, hi = min_max xs in
+  let span = if hi > lo then hi -. lo else 1. in
+  let width = span /. Float.of_int bins in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = Float.to_int ((x -. lo) /. width) in
+    let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter place xs;
+  Array.mapi
+    (fun i c ->
+      let b_lo = lo +. (Float.of_int i *. width) in
+      (b_lo, b_lo +. width, c))
+    counts

@@ -1,0 +1,28 @@
+(** Small descriptive-statistics helpers used by the benchmark harness to
+    summarize estimation errors (the paper quotes error ranges and a mean
+    absolute error over its experiments). *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val median : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean_abs : float list -> float
+(** Mean of absolute values: the paper's "average estimation error". *)
+
+val relative_error : estimated:float -> real:float -> float
+(** (estimated - real) / real.  Positive means overestimate.  Raises
+    [Invalid_argument] if [real = 0]. *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [(lo, hi, count)] per bin over the data range; raises
+    [Invalid_argument] on an empty list or [bins < 1]. *)

@@ -1,0 +1,1 @@
+lib/report/svg.ml: Buffer Float List Out_channel Printf String

@@ -1,0 +1,13 @@
+let percent ~estimated ~real =
+  if real = 0. then invalid_arg "Err.percent: real value is zero";
+  100. *. (estimated -. real) /. real
+
+let percent_string ~estimated ~real =
+  Printf.sprintf "%+.1f%%" (percent ~estimated ~real)
+
+let f0 v = Printf.sprintf "%.0f" v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let aspect_string r =
+  if r >= 1. then Printf.sprintf "1:%.2f" r else Printf.sprintf "%.2f:1" (1. /. r)

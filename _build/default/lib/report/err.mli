@@ -1,0 +1,17 @@
+(** Formatting of estimation errors, the way the paper quotes them. *)
+
+val percent : estimated:float -> real:float -> float
+(** Signed percentage error: positive means overestimate.  Raises
+    [Invalid_argument] when [real = 0]. *)
+
+val percent_string : estimated:float -> real:float -> string
+(** E.g. ["+2.6%"] or ["-17.0%"]. *)
+
+val f0 : float -> string
+(** A float with no decimals ("1234"). *)
+
+val f2 : float -> string
+(** A float with two decimals ("1.23"). *)
+
+val aspect_string : float -> string
+(** A width/height ratio in the paper's "1:r" notation. *)

@@ -1,0 +1,78 @@
+type style = {
+  fill : string;
+  stroke : string;
+  opacity : float;
+}
+
+let cell_style = { fill = "#7c9cc4"; stroke = "#2d4a6b"; opacity = 0.9 }
+
+let feed_style = { fill = "#e8b84b"; stroke = "#a67c00"; opacity = 0.9 }
+
+let channel_style = { fill = "#e8e8f0"; stroke = "#b0b0c0"; opacity = 0.8 }
+
+let outline_style = { fill = "none"; stroke = "#222222"; opacity = 1.0 }
+
+type item = {
+  rect : float * float * float * float;
+  style : style;
+  label : string option;
+}
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(pixel_width = 800) ~width ~height items =
+  if width <= 0. || height <= 0. then
+    invalid_arg "Svg.render: non-positive scene dimensions";
+  if pixel_width < 1 then invalid_arg "Svg.render: pixel_width < 1";
+  let scale = Float.of_int pixel_width /. width in
+  let px v = v *. scale in
+  let pixel_height = px height in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%.1f\" \
+     viewBox=\"0 0 %d %.1f\">\n"
+    pixel_width pixel_height pixel_width pixel_height;
+  addf "<rect width=\"100%%\" height=\"100%%\" fill=\"#fdfdfb\"/>\n";
+  List.iter
+    (fun item ->
+      let x, y, w, h = item.rect in
+      (* flip: layout y grows up, SVG y grows down *)
+      let sx = px x and sy = pixel_height -. px (y +. h) in
+      let sw = px w and sh = px h in
+      addf
+        "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" \
+         fill=\"%s\" stroke=\"%s\" stroke-width=\"1\" opacity=\"%.2f\"/>\n"
+        sx sy sw sh item.style.fill item.style.stroke item.style.opacity;
+      match item.label with
+      | Some label when sw > 30. && sh > 10. ->
+          let font = Float.min 14. (Float.max 6. (sh /. 3.)) in
+          addf
+            "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" \
+             font-family=\"monospace\" text-anchor=\"middle\" \
+             fill=\"#1a1a1a\">%s</text>\n"
+            (sx +. (sw /. 2.))
+            (sy +. (sh /. 2.) +. (font /. 3.))
+            font (escape label)
+      | Some _ | None -> ())
+    items;
+  addf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path contents =
+  match
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,37 @@
+(** Minimal SVG rendering of rectangle scenes.
+
+    Renders layouts and floor plans as standalone SVG documents: a scene
+    is a list of labelled, styled rectangles in layout coordinates (y up);
+    the writer flips to screen coordinates, scales to a target pixel
+    width, and emits valid XML. *)
+
+type style = {
+  fill : string;  (** CSS colour *)
+  stroke : string;
+  opacity : float;  (** in [0, 1] *)
+}
+
+val cell_style : style
+(** Blue-grey solid: placed cells / modules. *)
+
+val feed_style : style
+(** Amber: feed-throughs. *)
+
+val channel_style : style
+(** Pale stripe: routing channels. *)
+
+val outline_style : style
+(** Transparent with a dark border: bounding boxes. *)
+
+type item = {
+  rect : float * float * float * float;  (** x, y (up), w, h in layout units *)
+  style : style;
+  label : string option;  (** drawn centred when the box is big enough *)
+}
+
+val render : ?pixel_width:int -> width:float -> height:float -> item list -> string
+(** A standalone SVG document for a scene of [width] x [height] layout
+    units, scaled to [pixel_width] pixels (default 800).  Raises
+    [Invalid_argument] on non-positive dimensions. *)
+
+val write : path:string -> string -> (unit, string) result

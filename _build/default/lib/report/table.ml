@@ -1,0 +1,61 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list;  (** reversed *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> Stdlib.max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (Stdlib.max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let aligns = List.map snd t.columns in
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let body =
+    List.map
+      (fun row ->
+        match row with Separator -> rule | Cells cells -> render_cells cells)
+      rows
+  in
+  String.concat "\n" ((rule :: render_cells headers :: rule :: body) @ [ rule ])
+
+let print t = print_endline (render t)

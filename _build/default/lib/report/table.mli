@@ -1,0 +1,22 @@
+(** ASCII table rendering for the benchmark harness (the tables the paper
+    prints). *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Raises [Invalid_argument] on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the cell count differs from the column
+    count. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Fixed-width table with a header row and column rules. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a newline. *)

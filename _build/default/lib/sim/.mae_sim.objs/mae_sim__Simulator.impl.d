@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Format List Logic Mae_netlist Printf String

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Format Mae_netlist

@@ -1,0 +1,29 @@
+let table kind =
+  match kind with
+  | "inv" -> Some (1, fun v -> not (List.nth v 0))
+  | "buf" -> Some (1, fun v -> List.nth v 0)
+  | "nand2" -> Some (2, fun v -> not (List.nth v 0 && List.nth v 1))
+  | "nand3" -> Some (3, fun v -> not (List.for_all Fun.id v))
+  | "nand4" -> Some (4, fun v -> not (List.for_all Fun.id v))
+  | "nor2" -> Some (2, fun v -> not (List.nth v 0 || List.nth v 1))
+  | "nor3" -> Some (3, fun v -> not (List.exists Fun.id v))
+  | "xor2" -> Some (2, fun v -> List.nth v 0 <> List.nth v 1)
+  | "aoi22" ->
+      Some
+        ( 4,
+          fun v ->
+            not
+              ((List.nth v 0 && List.nth v 1) || (List.nth v 2 && List.nth v 3)) )
+  | "mux2" ->
+      Some (3, fun v -> if List.nth v 2 then List.nth v 1 else List.nth v 0)
+  | _ -> None
+
+let eval ~kind ~inputs =
+  match table kind with
+  | None -> Error kind
+  | Some (arity, f) ->
+      if List.length inputs <> arity then Error kind else Ok (f inputs)
+
+let is_combinational kind = Option.is_some (table kind)
+
+let arity kind = Option.map fst (table kind)

@@ -1,0 +1,14 @@
+(** Boolean semantics of the standard-cell kinds.
+
+    Pin order matches the cell libraries: inputs first, output last.
+    [mux2 (a, b, s)] selects [b] when [s] is true. *)
+
+val eval : kind:string -> inputs:bool list -> (bool, string) result
+(** Output value of a combinational cell; [Error kind] for an unknown or
+    sequential kind ([dff], [latch]) or an input-arity mismatch. *)
+
+val is_combinational : string -> bool
+(** True for the kinds {!eval} supports. *)
+
+val arity : string -> int option
+(** Input count of a supported kind. *)

@@ -1,0 +1,220 @@
+type error =
+  | Unsupported_kind of { device : string; kind : string }
+  | Multiple_drivers of { net : string }
+  | Undriven_net of { net : string }
+  | Combinational_cycle of { net : string }
+  | Missing_input of { port : string }
+
+let pp_error ppf = function
+  | Unsupported_kind { device; kind } ->
+      Format.fprintf ppf "device %s: unsupported kind %s" device kind
+  | Multiple_drivers { net } -> Format.fprintf ppf "net %s has multiple drivers" net
+  | Undriven_net { net } -> Format.fprintf ppf "net %s is read but never driven" net
+  | Combinational_cycle { net } ->
+      Format.fprintf ppf "combinational cycle through net %s" net
+  | Missing_input { port } -> Format.fprintf ppf "no value for input port %s" port
+
+exception Sim_error of error
+
+let fail e = raise (Sim_error e)
+
+let eval (c : Mae_netlist.Circuit.t) ~inputs =
+  let net_count = Mae_netlist.Circuit.net_count c in
+  (* driver.(n) = Some device whose last pin is net n *)
+  let driver = Array.make net_count None in
+  let check_device (d : Mae_netlist.Device.t) =
+    if not (Logic.is_combinational d.kind) then
+      fail (Unsupported_kind { device = d.name; kind = d.kind });
+    match Array.length d.pins with
+    | 0 -> fail (Unsupported_kind { device = d.name; kind = d.kind })
+    | n -> begin
+        let out = d.pins.(n - 1) in
+        match driver.(out) with
+        | Some _ -> fail (Multiple_drivers { net = c.nets.(out).Mae_netlist.Net.name })
+        | None -> driver.(out) <- Some d
+      end
+  in
+  let values = Array.make net_count None in
+  let in_progress = Array.make net_count false in
+  let set_input (p : Mae_netlist.Port.t) =
+    match p.direction with
+    | Mae_netlist.Port.Input | Mae_netlist.Port.Inout -> begin
+        match List.assoc_opt p.name inputs with
+        | Some v -> values.(p.net) <- Some v
+        | None ->
+            if p.direction = Mae_netlist.Port.Input then
+              fail (Missing_input { port = p.name })
+      end
+    | Mae_netlist.Port.Output -> ()
+  in
+  let rec value_of net =
+    match values.(net) with
+    | Some v -> v
+    | None ->
+        if in_progress.(net) then
+          fail (Combinational_cycle { net = c.nets.(net).Mae_netlist.Net.name });
+        in_progress.(net) <- true;
+        let v =
+          match driver.(net) with
+          | None -> fail (Undriven_net { net = c.nets.(net).Mae_netlist.Net.name })
+          | Some (d : Mae_netlist.Device.t) ->
+              let n_pins = Array.length d.pins in
+              let ins =
+                List.init (n_pins - 1) (fun i -> value_of d.pins.(i))
+              in
+              begin
+                match Logic.eval ~kind:d.kind ~inputs:ins with
+                | Ok v -> v
+                | Error kind -> fail (Unsupported_kind { device = d.name; kind })
+              end
+        in
+        in_progress.(net) <- false;
+        values.(net) <- Some v;
+        v
+  in
+  match
+    Array.iter check_device c.devices;
+    Array.iter set_input c.ports;
+    Array.to_list c.ports
+    |> List.filter_map (fun (p : Mae_netlist.Port.t) ->
+           match p.direction with
+           | Mae_netlist.Port.Output -> Some (p.name, value_of p.net)
+           | Mae_netlist.Port.Input | Mae_netlist.Port.Inout -> None)
+  with
+  | outputs -> Ok outputs
+  | exception Sim_error e -> Error e
+
+(* trailing integer of a name like "p12" *)
+let index_suffix name =
+  let n = String.length name in
+  let rec start i =
+    if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then start (i - 1)
+    else i
+  in
+  let s = start n in
+  if s = n then None else int_of_string_opt (String.sub name s (n - s))
+
+let eval_vector c ~inputs =
+  match eval c ~inputs with
+  | Error e -> Error e
+  | Ok outputs ->
+      let packed =
+        List.fold_left
+          (fun acc (name, v) ->
+            match index_suffix name with
+            | Some k when v -> acc lor (1 lsl k)
+            | Some _ | None -> acc)
+          0 outputs
+      in
+      Ok packed
+
+let bits ~prefix ~width value =
+  List.init width (fun k ->
+      (Printf.sprintf "%s%d" prefix k, (value lsr k) land 1 = 1))
+
+let sequential (c : Mae_netlist.Circuit.t) ~clock ~stimuli =
+  (* Split devices: dff cells become state elements; everything else must
+     be combinational.  The clock port and the nets that merely buffer it
+     are outside the evaluated logic. *)
+  let net_count = Mae_netlist.Circuit.net_count c in
+  let dffs = ref [] in
+  let combinational = ref [] in
+  let classify (d : Mae_netlist.Device.t) =
+    match d.kind with
+    | "dff" ->
+        if Array.length d.pins <> 3 then
+          fail (Unsupported_kind { device = d.name; kind = d.kind })
+        else dffs := d :: !dffs
+    | "latch" -> fail (Unsupported_kind { device = d.name; kind = d.kind })
+    | _ -> combinational := d :: !combinational
+  in
+  let driver = Array.make net_count None in
+  let note_driver (d : Mae_netlist.Device.t) =
+    let out = d.pins.(Array.length d.pins - 1) in
+    match driver.(out) with
+    | Some _ -> fail (Multiple_drivers { net = c.nets.(out).Mae_netlist.Net.name })
+    | None -> driver.(out) <- Some d
+  in
+  (* one combinational evaluation pass: returns a net-value accessor for
+     the given flip-flop state and inputs *)
+  let pass ~state ~inputs =
+    let values = Array.make net_count None in
+    (* flip-flop outputs read their stored state *)
+    List.iter
+      (fun ((d : Mae_netlist.Device.t), v) -> values.(d.pins.(2)) <- Some v)
+      state;
+    let in_progress = Array.make net_count false in
+    List.iter
+      (fun (p : Mae_netlist.Port.t) ->
+        match p.direction with
+        | Mae_netlist.Port.Input | Mae_netlist.Port.Inout -> begin
+            match List.assoc_opt p.name inputs with
+            | Some v -> values.(p.net) <- Some v
+            | None ->
+                if
+                  p.direction = Mae_netlist.Port.Input
+                  && not (String.equal p.name clock)
+                then fail (Missing_input { port = p.name })
+                else if String.equal p.name clock then
+                  (* the clock level is irrelevant between edges *)
+                  values.(p.net) <- Some false
+          end
+        | Mae_netlist.Port.Output -> ())
+      (Array.to_list c.ports);
+    let rec value_of net =
+      match values.(net) with
+      | Some v -> v
+      | None ->
+          if in_progress.(net) then
+            fail (Combinational_cycle { net = c.nets.(net).Mae_netlist.Net.name });
+          in_progress.(net) <- true;
+          let v =
+            match driver.(net) with
+            | None ->
+                fail (Undriven_net { net = c.nets.(net).Mae_netlist.Net.name })
+            | Some (d : Mae_netlist.Device.t) ->
+                let n_pins = Array.length d.pins in
+                let ins = List.init (n_pins - 1) (fun i -> value_of d.pins.(i)) in
+                begin
+                  match Logic.eval ~kind:d.kind ~inputs:ins with
+                  | Ok v -> v
+                  | Error kind -> fail (Unsupported_kind { device = d.name; kind })
+                end
+          in
+          in_progress.(net) <- false;
+          values.(net) <- Some v;
+          v
+    in
+    value_of
+  in
+  (* a cycle: latch the d pins into the flip-flops, then report the output
+     ports as seen after the rising edge (inputs held) *)
+  let eval_cycle ~state ~inputs =
+    let before = pass ~state ~inputs in
+    let next_state =
+      List.map (fun ((d : Mae_netlist.Device.t), _) -> (d, before d.pins.(0))) state
+    in
+    let after = pass ~state:next_state ~inputs in
+    let outputs =
+      Array.to_list c.ports
+      |> List.filter_map (fun (p : Mae_netlist.Port.t) ->
+             match p.direction with
+             | Mae_netlist.Port.Output -> Some (p.name, after p.net)
+             | Mae_netlist.Port.Input | Mae_netlist.Port.Inout -> None)
+    in
+    (outputs, next_state)
+  in
+  match
+    Array.iter classify c.devices;
+    List.iter note_driver !combinational;
+    List.iter note_driver !dffs;
+    let state = ref (List.map (fun d -> (d, false)) !dffs) in
+    List.map
+      (fun inputs ->
+        let outputs, next = eval_cycle ~state:!state ~inputs in
+        state := next;
+        outputs)
+      stimuli
+  with
+  | outputs -> Ok outputs
+  | exception Sim_error e -> Error e

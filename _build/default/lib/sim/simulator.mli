@@ -1,0 +1,47 @@
+(** Combinational gate-level simulation.
+
+    Validates the workload generators functionally: an adder must add, a
+    multiplier multiply, a decoder decode.  The convention throughout the
+    cell libraries is that a device's {e last} pin drives its output net;
+    every other pin reads.  Sequential kinds ([dff], [latch]) are not
+    supported — use only on combinational circuits. *)
+
+type error =
+  | Unsupported_kind of { device : string; kind : string }
+  | Multiple_drivers of { net : string }
+  | Undriven_net of { net : string }  (** read but neither driven nor an input *)
+  | Combinational_cycle of { net : string }
+  | Missing_input of { port : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val eval :
+  Mae_netlist.Circuit.t ->
+  inputs:(string * bool) list ->
+  ((string * bool) list, error) result
+(** Evaluate with the given values on the input ports (by port name, which
+    must cover every [Input] port).  Returns the values of the [Output]
+    ports, in port order. *)
+
+val eval_vector :
+  Mae_netlist.Circuit.t -> inputs:(string * bool) list -> (int, error) result
+(** Like {!eval}, but packs outputs named [x0, x1, ...] little-endian into
+    an integer (bit k = the port whose name ends in the number k, ordered
+    numerically).  Convenient for arithmetic circuits. *)
+
+val bits : prefix:string -> width:int -> int -> (string * bool) list
+(** [bits ~prefix:"a" ~width:4 5] = [a0=1; a1=0; a2=1; a3=0]: little-endian
+    input assignment for a bus. *)
+
+val sequential :
+  Mae_netlist.Circuit.t ->
+  clock:string ->
+  stimuli:(string * bool) list list ->
+  ((string * bool) list list, error) result
+(** Cycle-accurate simulation of a synchronous circuit whose only
+    sequential elements are [dff] cells clocked (directly or through
+    buffers) by the [clock] input port.  Flip-flops start at false; each
+    stimulus list gives the cycle's remaining input values; the result
+    lists the output-port values {e after} each rising edge.  The [dff]
+    data pin is pin 0, clock pin 1, output pin 2, matching the cell
+    libraries. *)

@@ -1,0 +1,1 @@
+lib/tech/builtin.ml: Device_kind List Process String

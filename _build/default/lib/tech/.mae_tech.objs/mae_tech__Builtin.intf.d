@@ -1,0 +1,1 @@
+lib/tech/builtin.mli: Process

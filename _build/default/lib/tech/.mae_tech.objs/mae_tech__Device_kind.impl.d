@@ -1,0 +1,1 @@
+lib/tech/device_kind.ml: Format Mae_geom String

@@ -1,0 +1,1 @@
+lib/tech/device_kind.mli: Format Mae_geom

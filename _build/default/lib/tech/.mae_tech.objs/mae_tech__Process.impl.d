@@ -1,0 +1,1 @@
+lib/tech/process.ml: Device_kind Format Hashtbl List Mae_geom Option String

@@ -1,0 +1,1 @@
+lib/tech/process.mli: Device_kind Format Mae_geom

@@ -1,0 +1,1 @@
+lib/tech/registry.ml: Builtin Hashtbl List Process String Tech_parser

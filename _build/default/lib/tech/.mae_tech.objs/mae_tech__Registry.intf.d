@@ -1,0 +1,1 @@
+lib/tech/registry.mli: Process Tech_parser

@@ -1,0 +1,1 @@
+lib/tech/tech_parser.ml: Buffer Device_kind Format In_channel List Printf Process String

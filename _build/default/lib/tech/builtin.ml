@@ -1,0 +1,82 @@
+let transistor name polarity ~w ~h =
+  Device_kind.make ~name ~category:(Transistor polarity) ~width:w ~height:h
+
+let gate name ~w ~h = Device_kind.make ~name ~category:Logic_gate ~width:w ~height:h
+
+let storage name ~w ~h = Device_kind.make ~name ~category:Storage ~width:w ~height:h
+
+let pad name ~w ~h = Device_kind.make ~name ~category:Pad ~width:w ~height:h
+
+let feed name ~w ~h = Device_kind.make ~name ~category:Feed_through ~width:w ~height:h
+
+(* Mead-Conway nMOS: a minimum enhancement pull-down with source/drain
+   contacts occupies roughly 4x10 lambda; the 4:1 depletion pull-up is
+   longer.  Gate cells are sized for a 40-lambda row (power rails, one
+   diffusion strip, poly inputs at 8-lambda pitch). *)
+let nmos25_devices =
+  [
+    transistor "nenh" Device_kind.Nmos_enhancement ~w:4. ~h:10.;
+    transistor "ndep" Device_kind.Nmos_depletion ~w:4. ~h:14.;
+    transistor "nenh_wide" Device_kind.Nmos_enhancement ~w:8. ~h:10.;
+    gate "inv" ~w:8. ~h:40.;
+    gate "buf" ~w:12. ~h:40.;
+    gate "nand2" ~w:12. ~h:40.;
+    gate "nand3" ~w:16. ~h:40.;
+    gate "nand4" ~w:20. ~h:40.;
+    gate "nor2" ~w:12. ~h:40.;
+    gate "nor3" ~w:16. ~h:40.;
+    gate "aoi22" ~w:20. ~h:40.;
+    gate "xor2" ~w:24. ~h:40.;
+    gate "mux2" ~w:24. ~h:40.;
+    storage "latch" ~w:28. ~h:40.;
+    storage "dff" ~w:40. ~h:40.;
+    pad "iopad" ~w:80. ~h:80.;
+    feed "feed" ~w:7. ~h:40.;
+  ]
+
+let nmos25 =
+  Process.make ~name:"nmos25" ~lambda_microns:2.5 ~row_height:40.
+    ~track_pitch:7. ~feed_through_width:7. ~port_pitch:8. ~min_spacing:3.
+    ~devices:nmos25_devices
+
+(* CMOS doubles the transistor count per gate (complementary pairs) but
+   avoids the long depletion loads; cells are a little wider, rows taller
+   (n-well plus p/n diffusion strips). *)
+let cmos20_devices =
+  [
+    transistor "nenh" Device_kind.Nmos_enhancement ~w:4. ~h:10.;
+    transistor "pmos" Device_kind.Pmos ~w:4. ~h:14.;
+    gate "inv" ~w:10. ~h:44.;
+    gate "buf" ~w:16. ~h:44.;
+    gate "nand2" ~w:16. ~h:44.;
+    gate "nand3" ~w:22. ~h:44.;
+    gate "nand4" ~w:28. ~h:44.;
+    gate "nor2" ~w:16. ~h:44.;
+    gate "nor3" ~w:22. ~h:44.;
+    gate "aoi22" ~w:26. ~h:44.;
+    gate "xor2" ~w:30. ~h:44.;
+    gate "mux2" ~w:30. ~h:44.;
+    storage "latch" ~w:36. ~h:44.;
+    storage "dff" ~w:52. ~h:44.;
+    pad "iopad" ~w:90. ~h:90.;
+    feed "feed" ~w:6. ~h:44.;
+  ]
+
+let cmos20 =
+  Process.make ~name:"cmos20" ~lambda_microns:2.0 ~row_height:44.
+    ~track_pitch:6. ~feed_through_width:6. ~port_pitch:8. ~min_spacing:3.
+    ~devices:cmos20_devices
+
+let cmos15 =
+  let shrink (d : Device_kind.t) =
+    Device_kind.make ~name:d.name ~category:d.category ~width:d.width
+      ~height:d.height
+  in
+  Process.make ~name:"cmos15" ~lambda_microns:1.5 ~row_height:44.
+    ~track_pitch:5. ~feed_through_width:5. ~port_pitch:7. ~min_spacing:3.
+    ~devices:(List.map shrink cmos20_devices)
+
+let all = [ nmos25; cmos20; cmos15 ]
+
+let find name =
+  List.find_opt (fun (p : Process.t) -> String.equal p.name name) all

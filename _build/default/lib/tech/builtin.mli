@@ -1,0 +1,24 @@
+(** Built-in fabrication processes.
+
+    [nmos25] models the paper's target: nMOS with lambda = 2.5 um under
+    Mead-Conway design rules (the Newkirk & Mathews examples of Table 1).
+    [cmos20] and [cmos15] demonstrate the multi-technology support claimed
+    in section 3; their gate footprints shrink with lambda while the
+    relative proportions stay Mead-Conway-like. *)
+
+val nmos25 : Process.t
+(** nMOS, lambda = 2.5 um.  Transistor kinds: [nenh] (enhancement pull-down,
+    4x10 L), [ndep] (depletion pull-up, 4x14 L); gate-level kinds for
+    standard-cell estimation ([inv] .. [dff]). *)
+
+val cmos20 : Process.t
+(** CMOS, lambda = 2.0 um, complementary pairs double the transistor count
+    per gate but avoid the wide depletion loads. *)
+
+val cmos15 : Process.t
+(** CMOS, lambda = 1.5 um, one metal layer more: narrower track pitch. *)
+
+val all : Process.t list
+
+val find : string -> Process.t option
+(** Look up a built-in process by name. *)

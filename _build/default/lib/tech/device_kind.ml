@@ -1,0 +1,52 @@
+type category =
+  | Transistor of polarity
+  | Logic_gate
+  | Storage
+  | Pad
+  | Feed_through
+
+and polarity = Nmos_enhancement | Nmos_depletion | Pmos
+
+type t = {
+  name : string;
+  category : category;
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+}
+
+let make ~name ~category ~width ~height =
+  if String.length name = 0 then invalid_arg "Device_kind.make: empty name";
+  if width <= 0. || height <= 0. then
+    invalid_arg "Device_kind.make: non-positive extent";
+  { name; category; width; height }
+
+let area t = t.width *. t.height
+
+let is_transistor t =
+  match t.category with
+  | Transistor _ -> true
+  | Logic_gate | Storage | Pad | Feed_through -> false
+
+let category_of_string = function
+  | "nenh" -> Some (Transistor Nmos_enhancement)
+  | "ndep" -> Some (Transistor Nmos_depletion)
+  | "pmos" -> Some (Transistor Pmos)
+  | "gate" -> Some Logic_gate
+  | "storage" -> Some Storage
+  | "pad" -> Some Pad
+  | "feedthrough" -> Some Feed_through
+  | _ -> None
+
+let category_to_string = function
+  | Transistor Nmos_enhancement -> "nenh"
+  | Transistor Nmos_depletion -> "ndep"
+  | Transistor Pmos -> "pmos"
+  | Logic_gate -> "gate"
+  | Storage -> "storage"
+  | Pad -> "pad"
+  | Feed_through -> "feedthrough"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s, %.1fx%.1f L)" t.name
+    (category_to_string t.category)
+    t.width t.height

@@ -1,0 +1,41 @@
+(** Physical device kinds known to a fabrication process.
+
+    The paper's process database records "the areas of different types of
+    devices"; a device kind couples a name (referenced from netlists and
+    cell libraries) with its layout footprint in lambda units. *)
+
+type category =
+  | Transistor of polarity  (** a single MOS transistor *)
+  | Logic_gate  (** a standard cell implementing a logic function *)
+  | Storage  (** latch / flip-flop standard cell *)
+  | Pad  (** an I/O pad *)
+  | Feed_through  (** the feed-through cell inserted between rows *)
+
+and polarity = Nmos_enhancement | Nmos_depletion | Pmos
+
+type t = {
+  name : string;
+  category : category;
+  width : Mae_geom.Lambda.t;
+  height : Mae_geom.Lambda.t;
+}
+
+val make :
+  name:string ->
+  category:category ->
+  width:Mae_geom.Lambda.t ->
+  height:Mae_geom.Lambda.t ->
+  t
+(** Raises [Invalid_argument] on an empty name or non-positive extents. *)
+
+val area : t -> Mae_geom.Lambda.area
+
+val is_transistor : t -> bool
+
+val category_of_string : string -> category option
+(** Parses the keywords of the [.tech] file format: ["nenh"], ["ndep"],
+    ["pmos"], ["gate"], ["storage"], ["pad"], ["feedthrough"]. *)
+
+val category_to_string : category -> string
+
+val pp : Format.formatter -> t -> unit

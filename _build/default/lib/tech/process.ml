@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  lambda_microns : float;
+  row_height : Mae_geom.Lambda.t;
+  track_pitch : Mae_geom.Lambda.t;
+  feed_through_width : Mae_geom.Lambda.t;
+  port_pitch : Mae_geom.Lambda.t;
+  min_spacing : Mae_geom.Lambda.t;
+  devices : Device_kind.t list;
+}
+
+let check_unique_names devices =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Device_kind.t) ->
+      if Hashtbl.mem seen d.name then
+        invalid_arg ("Process.make: duplicate device kind " ^ d.name);
+      Hashtbl.add seen d.name ())
+    devices
+
+let make ~name ~lambda_microns ~row_height ~track_pitch ~feed_through_width
+    ~port_pitch ~min_spacing ~devices =
+  if String.length name = 0 then invalid_arg "Process.make: empty name";
+  let positive what v =
+    if v <= 0. then invalid_arg ("Process.make: non-positive " ^ what)
+  in
+  positive "lambda" lambda_microns;
+  positive "row_height" row_height;
+  positive "track_pitch" track_pitch;
+  positive "feed_through_width" feed_through_width;
+  positive "port_pitch" port_pitch;
+  positive "min_spacing" min_spacing;
+  check_unique_names devices;
+  {
+    name;
+    lambda_microns;
+    row_height;
+    track_pitch;
+    feed_through_width;
+    port_pitch;
+    min_spacing;
+    devices;
+  }
+
+let find_device t name =
+  List.find_opt (fun (d : Device_kind.t) -> String.equal d.name name) t.devices
+
+let find_device_exn t name =
+  match find_device t name with Some d -> d | None -> raise Not_found
+
+let device_area t name = Option.map Device_kind.area (find_device t name)
+
+let with_devices t devices =
+  check_unique_names devices;
+  { t with devices }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>process %s (lambda=%.2fum, row=%.0fL, track=%.0fL, feed=%.0fL,@ \
+     port=%.0fL, spacing=%.0fL, %d device kinds)@]"
+    t.name t.lambda_microns t.row_height t.track_pitch t.feed_through_width
+    t.port_pitch t.min_spacing (List.length t.devices)

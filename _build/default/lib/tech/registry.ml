@@ -1,0 +1,27 @@
+type t = (string, Process.t) Hashtbl.t
+
+let add t (p : Process.t) = Hashtbl.replace t p.name p
+
+let create ?(builtins = true) () =
+  let t = Hashtbl.create 8 in
+  if builtins then List.iter (add t) Builtin.all;
+  t
+
+let load_result t = function
+  | Error e -> Error e
+  | Ok processes ->
+      List.iter (add t) processes;
+      Ok (List.length processes)
+
+let load_string t text = load_result t (Tech_parser.parse_string text)
+
+let load_file t path = load_result t (Tech_parser.parse_file path)
+
+let find t name = Hashtbl.find_opt t name
+
+let find_exn t name =
+  match find t name with Some p -> p | None -> raise Not_found
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare

@@ -1,0 +1,139 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+type partial = {
+  mutable name : string option;
+  mutable lambda : float option;
+  mutable row_height : float option;
+  mutable track_pitch : float option;
+  mutable feed_width : float option;
+  mutable port_pitch : float option;
+  mutable min_spacing : float option;
+  mutable devices : Device_kind.t list;
+}
+
+let fresh () =
+  {
+    name = None;
+    lambda = None;
+    row_height = None;
+    track_pitch = None;
+    feed_width = None;
+    port_pitch = None;
+    min_spacing = None;
+    devices = [];
+  }
+
+let float_field line value what =
+  match float_of_string_opt value with
+  | Some f when f > 0. -> f
+  | Some _ -> fail line (what ^ " must be positive")
+  | None -> fail line ("malformed number for " ^ what ^ ": " ^ value)
+
+let finish line p =
+  let req what = function
+    | Some v -> v
+    | None -> fail line ("missing field " ^ what)
+  in
+  let name = req "process" p.name in
+  try
+    Process.make ~name
+      ~lambda_microns:(req "lambda" p.lambda)
+      ~row_height:(req "row-height" p.row_height)
+      ~track_pitch:(req "track-pitch" p.track_pitch)
+      ~feed_through_width:(req "feed-width" p.feed_width)
+      ~port_pitch:(req "port-pitch" p.port_pitch)
+      ~min_spacing:(req "min-spacing" p.min_spacing)
+      ~devices:(List.rev p.devices)
+  with Invalid_argument msg -> fail line msg
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of_line line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let processes = ref [] in
+  let current = ref None in
+  let handle lineno raw =
+    let toks = tokens_of_line (strip_comment raw) in
+    match (toks, !current) with
+    | [], _ -> ()
+    | "process" :: rest, None -> begin
+        match rest with
+        | [ name ] ->
+            let p = fresh () in
+            p.name <- Some name;
+            current := Some p
+        | _ -> fail lineno "process takes exactly one name"
+      end
+    | "process" :: _, Some _ -> fail lineno "nested process block"
+    | _ :: _, None -> fail lineno "directive outside a process block"
+    | [ "end" ], Some p ->
+        processes := finish lineno p :: !processes;
+        current := None
+    | [ key; value ], Some p -> begin
+        match key with
+        | "lambda" -> p.lambda <- Some (float_field lineno value "lambda")
+        | "row-height" -> p.row_height <- Some (float_field lineno value "row-height")
+        | "track-pitch" -> p.track_pitch <- Some (float_field lineno value "track-pitch")
+        | "feed-width" -> p.feed_width <- Some (float_field lineno value "feed-width")
+        | "port-pitch" -> p.port_pitch <- Some (float_field lineno value "port-pitch")
+        | "min-spacing" -> p.min_spacing <- Some (float_field lineno value "min-spacing")
+        | _ -> fail lineno ("unknown directive " ^ key)
+      end
+    | [ "device"; name; cat; w; h ], Some p -> begin
+        match Device_kind.category_of_string cat with
+        | None -> fail lineno ("unknown device category " ^ cat)
+        | Some category ->
+            let width = float_field lineno w "device width" in
+            let height = float_field lineno h "device height" in
+            let kind =
+              try Device_kind.make ~name ~category ~width ~height
+              with Invalid_argument msg -> fail lineno msg
+            in
+            p.devices <- kind :: p.devices
+      end
+    | _ :: _, Some _ -> fail lineno ("malformed line: " ^ String.trim raw)
+  in
+  try
+    List.iteri (fun i raw -> handle (i + 1) raw) lines;
+    begin
+      match !current with
+      | Some _ -> fail (List.length lines) "unterminated process block"
+      | None -> ()
+    end;
+    Ok (List.rev !processes)
+  with Parse_error e -> Error e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+
+let to_string (p : Process.t) =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  addf "process %s\n" p.name;
+  addf "lambda %g\n" p.lambda_microns;
+  addf "row-height %g\n" p.row_height;
+  addf "track-pitch %g\n" p.track_pitch;
+  addf "feed-width %g\n" p.feed_through_width;
+  addf "port-pitch %g\n" p.port_pitch;
+  addf "min-spacing %g\n" p.min_spacing;
+  List.iter
+    (fun (d : Device_kind.t) ->
+      addf "device %s %s %g %g\n" d.name
+        (Device_kind.category_to_string d.category)
+        d.width d.height)
+    p.devices;
+  addf "end\n";
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Parser for the textual process-description format ([.tech] files).
+
+    The format is line-oriented; [#] starts a comment.  Example:
+
+    {v
+    process nmos25
+    lambda 2.5
+    row-height 40
+    track-pitch 7
+    feed-width 7
+    port-pitch 8
+    min-spacing 3
+    device nenh nenh 4 10
+    device inv gate 8 40
+    end
+    v}
+
+    A file may contain several [process ... end] blocks.  This implements
+    the paper's claim that "multiple process data bases can be stored in
+    the computer system to describe various VLSI technologies". *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Process.t list, error) result
+
+val parse_file : string -> (Process.t list, error) result
+(** Reads the file; I/O failures are reported as an [error] on line 0. *)
+
+val to_string : Process.t -> string
+(** Render a process back to the [.tech] format (round-trips through
+    {!parse_string}). *)

@@ -1,0 +1,1 @@
+lib/workload/bench_circuits.ml: Format Generators List Mae_celllib Mae_netlist String

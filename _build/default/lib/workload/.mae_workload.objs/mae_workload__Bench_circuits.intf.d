@@ -1,0 +1,1 @@
+lib/workload/bench_circuits.mli: Mae_netlist

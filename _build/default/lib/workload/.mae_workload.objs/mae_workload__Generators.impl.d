@@ -1,0 +1,1 @@
+lib/workload/generators.ml: List Mae_netlist Printf String

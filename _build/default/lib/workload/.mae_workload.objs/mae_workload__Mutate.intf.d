@@ -1,0 +1,1 @@
+lib/workload/mutate.mli: Mae_netlist

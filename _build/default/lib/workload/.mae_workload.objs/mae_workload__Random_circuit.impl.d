@@ -1,0 +1,1 @@
+lib/workload/random_circuit.ml: Array List Mae_netlist Mae_prob Printf Stdlib

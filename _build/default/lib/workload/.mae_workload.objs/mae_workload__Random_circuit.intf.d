@@ -1,0 +1,1 @@
+lib/workload/random_circuit.mli: Mae_netlist Mae_prob

@@ -1,0 +1,1 @@
+lib/workload/rent.ml: Array Float List Mae_netlist Mae_prob Printf Random_circuit Stdlib

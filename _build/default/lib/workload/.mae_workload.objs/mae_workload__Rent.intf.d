@@ -1,0 +1,1 @@
+lib/workload/rent.mli: Mae_netlist Mae_prob

@@ -1,0 +1,60 @@
+type entry = {
+  name : string;
+  description : string;
+  circuit : Mae_netlist.Circuit.t;
+}
+
+let flatten circuit =
+  match Mae_celllib.Expand.circuit Mae_celllib.Nmos_lib.library circuit with
+  | Ok expanded -> expanded
+  | Error e ->
+      failwith
+        (Format.asprintf "Bench_circuits.flatten: %a" Mae_celllib.Expand.pp_error e)
+
+let table1 () =
+  [
+    {
+      name = "pass8";
+      description = "8-stage pass-transistor chain (all nets <= 2 components)";
+      circuit = Generators.pass_chain 8;
+    };
+    {
+      name = "invchain6";
+      description = "6-stage nMOS inverter chain";
+      circuit = Generators.inverter_chain 6;
+    };
+    {
+      name = "fa_tx";
+      description = "full adder, flattened to transistors";
+      circuit = flatten (Generators.full_adder ());
+    };
+    {
+      name = "dec2_tx";
+      description = "2-to-4 decoder, flattened to transistors";
+      circuit = flatten (Generators.decoder 2);
+    };
+    {
+      name = "sr2_tx";
+      description = "2-stage shift register, flattened to transistors";
+      circuit = flatten (Generators.shift_register 2);
+    };
+  ]
+
+let table2 () =
+  [
+    {
+      name = "counter8";
+      description = "8-bit synchronous counter, gate level";
+      circuit = Generators.counter 8;
+    };
+    {
+      name = "alu4";
+      description = "4-bit ALU (add/sub/and/or/xor), gate level";
+      circuit = Generators.alu 4;
+    };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.equal e.name name)
+    (table1 () @ table2 ())

@@ -1,0 +1,36 @@
+(** The benchmark suites standing in for the paper's evaluation circuits.
+
+    The paper's Table 1 used five small full-custom nMOS modules from
+    Newkirk & Mathews' book and Table 2 used two moderate standard-cell
+    circuits laid out with TimberWolf at Rutgers; neither data set is
+    available, so these suites provide circuits of the same size class
+    (see DESIGN.md, data substitutions).  All circuits target the
+    [nmos25] process. *)
+
+type entry = {
+  name : string;
+  description : string;
+  circuit : Mae_netlist.Circuit.t;
+}
+
+val table1 : unit -> entry list
+(** Five transistor-level modules for full-custom estimation:
+    - [pass8]: an 8-stage pass-transistor chain (every net has at most two
+      components — the Table 1 footnote case, zero estimated wire area);
+    - [invchain6]: a 6-stage inverter chain;
+    - [fa_tx]: a full adder flattened to transistors;
+    - [dec2_tx]: a 2-to-4 decoder flattened to transistors;
+    - [sr2_tx]: a 2-stage shift register flattened to transistors. *)
+
+val table2 : unit -> entry list
+(** Two gate-level modules for standard-cell estimation:
+    - [counter8]: an 8-bit synchronous counter (~40 cells);
+    - [alu4]: a 4-bit ALU (~60 cells). *)
+
+val flatten : Mae_netlist.Circuit.t -> Mae_netlist.Circuit.t
+(** Expand a gate-level nMOS circuit to transistors through
+    {!Mae_celllib.Nmos_lib}.  Raises [Failure] if a kind has no template
+    (the bench circuits never do). *)
+
+val find : string -> entry option
+(** Look up any suite entry by name. *)

@@ -1,0 +1,336 @@
+module Builder = Mae_netlist.Builder
+module Port = Mae_netlist.Port
+
+let add builder ~name ~kind ~nets =
+  ignore (Builder.add_device builder ~name ~kind ~nets)
+
+let in_port builder name = Builder.add_port builder ~name ~direction:Port.Input ~net:name
+
+let out_port builder name =
+  Builder.add_port builder ~name ~direction:Port.Output ~net:name
+
+(* Instantiates the five cells of a one-bit full adder; nets are prefixed
+   so several adders can share a builder. *)
+let add_full_adder builder ~prefix ~a ~b ~cin ~sum ~cout =
+  let n s = prefix ^ s in
+  add builder ~name:(n "x1") ~kind:"xor2" ~nets:[ a; b; n "p" ];
+  add builder ~name:(n "x2") ~kind:"xor2" ~nets:[ n "p"; cin; sum ];
+  add builder ~name:(n "g1") ~kind:"nand2" ~nets:[ a; b; n "g" ];
+  add builder ~name:(n "g2") ~kind:"nand2" ~nets:[ n "p"; cin; n "h" ];
+  add builder ~name:(n "g3") ~kind:"nand2" ~nets:[ n "g"; n "h"; cout ]
+
+let full_adder ?(name = "full_adder") ?(technology = "nmos25") () =
+  let b = Builder.create ~name ~technology in
+  List.iter (in_port b) [ "a"; "b"; "cin" ];
+  List.iter (out_port b) [ "s"; "cout" ];
+  add_full_adder b ~prefix:"fa_" ~a:"a" ~b:"b" ~cin:"cin" ~sum:"s" ~cout:"cout";
+  Builder.build b
+
+let ripple_adder ?(technology = "nmos25") bits =
+  if bits < 1 then invalid_arg "Generators.ripple_adder: bits < 1";
+  let b = Builder.create ~name:(Printf.sprintf "adder%d" bits) ~technology in
+  in_port b "cin";
+  for i = 0 to bits - 1 do
+    in_port b (Printf.sprintf "a%d" i);
+    in_port b (Printf.sprintf "b%d" i);
+    out_port b (Printf.sprintf "s%d" i)
+  done;
+  out_port b "cout";
+  for i = 0 to bits - 1 do
+    let cin = if i = 0 then "cin" else Printf.sprintf "c%d" i in
+    let cout = if i = bits - 1 then "cout" else Printf.sprintf "c%d" (i + 1) in
+    add_full_adder b
+      ~prefix:(Printf.sprintf "fa%d_" i)
+      ~a:(Printf.sprintf "a%d" i)
+      ~b:(Printf.sprintf "b%d" i)
+      ~cin ~sum:(Printf.sprintf "s%d" i) ~cout
+  done;
+  Builder.build b
+
+let counter ?(technology = "nmos25") bits =
+  if bits < 1 then invalid_arg "Generators.counter: bits < 1";
+  let b = Builder.create ~name:(Printf.sprintf "counter%d" bits) ~technology in
+  in_port b "clk";
+  in_port b "en";
+  for i = 0 to bits - 1 do out_port b (Printf.sprintf "q%d" i) done;
+  add b ~name:"clkbuf" ~kind:"buf" ~nets:[ "clk"; "clkb" ];
+  for i = 0 to bits - 1 do
+    let q = Printf.sprintf "q%d" i in
+    let carry = if i = 0 then "en" else Printf.sprintf "c%d" i in
+    let t = Printf.sprintf "t%d" i in
+    add b ~name:(Printf.sprintf "tx%d" i) ~kind:"xor2" ~nets:[ q; carry; t ];
+    add b ~name:(Printf.sprintf "ff%d" i) ~kind:"dff" ~nets:[ t; "clkb"; q ];
+    if i < bits - 1 then begin
+      let nc = Printf.sprintf "nc%d" i in
+      add b ~name:(Printf.sprintf "ca%d" i) ~kind:"nand2" ~nets:[ carry; q; nc ];
+      add b ~name:(Printf.sprintf "ci%d" i) ~kind:"inv"
+        ~nets:[ nc; Printf.sprintf "c%d" (i + 1) ]
+    end
+  done;
+  Builder.build b
+
+let decoder ?(technology = "nmos25") select_bits =
+  if select_bits < 1 || select_bits > 4 then
+    invalid_arg "Generators.decoder: select_bits outside 1..4";
+  let outputs = 1 lsl select_bits in
+  let b = Builder.create ~name:(Printf.sprintf "decoder%d" select_bits) ~technology in
+  for i = 0 to select_bits - 1 do in_port b (Printf.sprintf "s%d" i) done;
+  for o = 0 to outputs - 1 do out_port b (Printf.sprintf "y%d" o) done;
+  for i = 0 to select_bits - 1 do
+    add b ~name:(Printf.sprintf "ni%d" i) ~kind:"inv"
+      ~nets:[ Printf.sprintf "s%d" i; Printf.sprintf "sn%d" i ]
+  done;
+  let nand_kind =
+    match select_bits with
+    | 1 -> "inv"
+    | 2 -> "nand2"
+    | 3 -> "nand3"
+    | _ -> "nand4"
+  in
+  for o = 0 to outputs - 1 do
+    let literals =
+      List.init select_bits (fun i ->
+          if (o lsr i) land 1 = 1 then Printf.sprintf "s%d" i
+          else Printf.sprintf "sn%d" i)
+    in
+    let low = Printf.sprintf "yl%d" o in
+    add b ~name:(Printf.sprintf "na%d" o) ~kind:nand_kind ~nets:(literals @ [ low ]);
+    add b ~name:(Printf.sprintf "yb%d" o) ~kind:"inv"
+      ~nets:[ low; Printf.sprintf "y%d" o ]
+  done;
+  Builder.build b
+
+let parity ?(technology = "nmos25") bits =
+  if bits < 2 then invalid_arg "Generators.parity: bits < 2";
+  let b = Builder.create ~name:(Printf.sprintf "parity%d" bits) ~technology in
+  for i = 0 to bits - 1 do in_port b (Printf.sprintf "d%d" i) done;
+  out_port b "p";
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "x%d" !counter
+  in
+  (* Pairwise XOR reduction; the final XOR drives the output port net. *)
+  let rec reduce = function
+    | [] -> assert false
+    | [ last ] -> last
+    | a :: c :: rest ->
+        let out = if rest = [] then "p" else fresh () in
+        add b ~name:(Printf.sprintf "g%d" !counter) ~kind:"xor2" ~nets:[ a; c; out ];
+        incr counter;
+        reduce (if rest = [] then [ out ] else rest @ [ out ])
+  in
+  let final = reduce (List.init bits (Printf.sprintf "d%d")) in
+  if not (String.equal final "p") then
+    add b ~name:"gbuf" ~kind:"buf" ~nets:[ final; "p" ];
+  Builder.build b
+
+let mux_tree ?(technology = "nmos25") select_bits =
+  if select_bits < 1 || select_bits > 4 then
+    invalid_arg "Generators.mux_tree: select_bits outside 1..4";
+  let inputs = 1 lsl select_bits in
+  let b = Builder.create ~name:(Printf.sprintf "mux%d" inputs) ~technology in
+  for i = 0 to inputs - 1 do in_port b (Printf.sprintf "d%d" i) done;
+  for s = 0 to select_bits - 1 do in_port b (Printf.sprintf "s%d" s) done;
+  out_port b "y";
+  let counter = ref 0 in
+  (* Level l merges pairs with select bit l. *)
+  let rec level l nets =
+    match nets with
+    | [] -> assert false
+    | [ last ] -> last
+    | _ :: _ ->
+        let sel = Printf.sprintf "s%d" l in
+        let rec pairs acc = function
+          | [] -> List.rev acc
+          | [ odd ] -> List.rev (odd :: acc)
+          | a :: c :: rest ->
+              incr counter;
+              let out =
+                if List.length nets = 2 then "y"
+                else Printf.sprintf "m%d" !counter
+              in
+              add b ~name:(Printf.sprintf "mx%d" !counter) ~kind:"mux2"
+                ~nets:[ a; c; sel; out ];
+              pairs (out :: acc) rest
+        in
+        level (l + 1) (pairs [] nets)
+  in
+  let final = level 0 (List.init inputs (Printf.sprintf "d%d")) in
+  if not (String.equal final "y") then
+    add b ~name:"ybuf" ~kind:"buf" ~nets:[ final; "y" ];
+  Builder.build b
+
+let alu ?(technology = "nmos25") bits =
+  if bits < 1 then invalid_arg "Generators.alu: bits < 1";
+  let b = Builder.create ~name:(Printf.sprintf "alu%d" bits) ~technology in
+  for i = 0 to bits - 1 do
+    in_port b (Printf.sprintf "a%d" i);
+    in_port b (Printf.sprintf "b%d" i)
+  done;
+  List.iter (in_port b) [ "sub"; "f0"; "f1" ];
+  for i = 0 to bits - 1 do out_port b (Printf.sprintf "y%d" i) done;
+  out_port b "cout";
+  for i = 0 to bits - 1 do
+    let n s = Printf.sprintf "%s%d" s i in
+    let a = n "a" and bb = n "b" in
+    let cin = if i = 0 then "sub" else n "c" in
+    let cout = if i = bits - 1 then "cout" else Printf.sprintf "c%d" (i + 1) in
+    (* b operand conditionally inverted for subtraction *)
+    add b ~name:(n "bs") ~kind:"xor2" ~nets:[ bb; "sub"; n "bsel" ];
+    (* ripple full adder *)
+    add b ~name:(n "fx1") ~kind:"xor2" ~nets:[ a; n "bsel"; n "p" ];
+    add b ~name:(n "fx2") ~kind:"xor2" ~nets:[ n "p"; cin; n "sum" ];
+    add b ~name:(n "fg1") ~kind:"nand2" ~nets:[ a; n "bsel"; n "g" ];
+    add b ~name:(n "fg2") ~kind:"nand2" ~nets:[ n "p"; cin; n "h" ];
+    add b ~name:(n "fg3") ~kind:"nand2" ~nets:[ n "g"; n "h"; cout ];
+    (* logic ops *)
+    add b ~name:(n "an") ~kind:"nand2" ~nets:[ a; bb; n "andn" ];
+    add b ~name:(n "ai") ~kind:"inv" ~nets:[ n "andn"; n "and" ];
+    add b ~name:(n "on") ~kind:"nor2" ~nets:[ a; bb; n "orn" ];
+    add b ~name:(n "oi") ~kind:"inv" ~nets:[ n "orn"; n "or" ];
+    add b ~name:(n "xo") ~kind:"xor2" ~nets:[ a; bb; n "xor" ];
+    (* function select: f1 f0 = 00 sum, 01 and, 10 or, 11 xor *)
+    add b ~name:(n "m1") ~kind:"mux2" ~nets:[ n "sum"; n "and"; "f0"; n "ma" ];
+    add b ~name:(n "m2") ~kind:"mux2" ~nets:[ n "or"; n "xor"; "f0"; n "mb" ];
+    add b ~name:(n "m3") ~kind:"mux2" ~nets:[ n "ma"; n "mb"; "f1"; n "y" ]
+  done;
+  Builder.build b
+
+let shift_register ?(technology = "nmos25") stages =
+  if stages < 1 then invalid_arg "Generators.shift_register: stages < 1";
+  let b = Builder.create ~name:(Printf.sprintf "shift%d" stages) ~technology in
+  in_port b "d";
+  in_port b "clk";
+  out_port b "q";
+  for i = 1 to stages do
+    let din = if i = 1 then "d" else Printf.sprintf "s%d" (i - 1) in
+    let qout = if i = stages then "q" else Printf.sprintf "s%d" i in
+    add b ~name:(Printf.sprintf "ff%d" i) ~kind:"dff" ~nets:[ din; "clk"; qout ]
+  done;
+  Builder.build b
+
+let pass_chain ?(technology = "nmos25") stages =
+  if stages < 1 then invalid_arg "Generators.pass_chain: stages < 1";
+  let b = Builder.create ~name:(Printf.sprintf "pass%d" stages) ~technology in
+  in_port b "d0";
+  out_port b (Printf.sprintf "d%d" stages);
+  for i = 1 to stages do
+    in_port b (Printf.sprintf "g%d" i);
+    add b
+      ~name:(Printf.sprintf "p%d" i)
+      ~kind:"nenh"
+      ~nets:
+        [
+          Printf.sprintf "d%d" (i - 1);
+          Printf.sprintf "g%d" i;
+          Printf.sprintf "d%d" i;
+        ]
+  done;
+  Builder.build b
+
+let inverter_chain ?(technology = "nmos25") stages =
+  if stages < 1 then invalid_arg "Generators.inverter_chain: stages < 1";
+  let b = Builder.create ~name:(Printf.sprintf "invchain%d" stages) ~technology in
+  in_port b "n0";
+  out_port b (Printf.sprintf "n%d" stages);
+  for i = 1 to stages do
+    let input = Printf.sprintf "n%d" (i - 1) in
+    let output = Printf.sprintf "n%d" i in
+    (* depletion load: gate and source both on the output node *)
+    add b ~name:(Printf.sprintf "pu%d" i) ~kind:"ndep" ~nets:[ output; output ];
+    add b ~name:(Printf.sprintf "pd%d" i) ~kind:"nenh" ~nets:[ output; input ]
+  done;
+  Builder.build b
+
+(* An array multiplier: AND-gate partial products reduced row by row with
+   half/full adders.  Net naming routes the final sums straight onto the
+   output-port nets.  Structure (for B bit j, output position k):
+   row 0 is the pp[*][0] vector; row j>0 adds pp[*][j] to the shifted
+   previous sums with a ripple chain whose top position consumes the
+   previous row's carry-out. *)
+let multiplier ?(technology = "nmos25") bits =
+  if bits < 2 then invalid_arg "Generators.multiplier: bits < 2";
+  let b = Builder.create ~name:(Printf.sprintf "mult%d" bits) ~technology in
+  for i = 0 to bits - 1 do
+    in_port b (Printf.sprintf "a%d" i);
+    in_port b (Printf.sprintf "b%d" i)
+  done;
+  for i = 0 to (2 * bits) - 1 do out_port b (Printf.sprintf "p%d" i) done;
+  (* sum bit k of row j, renamed onto output ports where appropriate *)
+  let s_name j k =
+    if j = bits - 1 && k >= 1 then Printf.sprintf "p%d" (bits - 1 + k)
+    else if k = 0 then Printf.sprintf "p%d" j
+    else Printf.sprintf "s%d_%d" j k
+  in
+  let carry_out j =
+    if j = bits - 1 then Printf.sprintf "p%d" ((2 * bits) - 1)
+    else Printf.sprintf "co%d" j
+  in
+  (* partial product a_i AND b_j (nand2 + inv); row 0 products are the
+     row-0 sums directly *)
+  let pp i j =
+    if j = 0 then s_name 0 i else Printf.sprintf "pp%d_%d" i j
+  in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      let low = Printf.sprintf "ppn%d_%d" i j in
+      add b
+        ~name:(Printf.sprintf "an%d_%d" i j)
+        ~kind:"nand2"
+        ~nets:[ Printf.sprintf "a%d" i; Printf.sprintf "b%d" j; low ];
+      add b ~name:(Printf.sprintf "ai%d_%d" i j) ~kind:"inv" ~nets:[ low; pp i j ]
+    done
+  done;
+  (* half adder: sum = x xor y, carry = x and y *)
+  let half_adder ~prefix ~x ~y ~sum ~carry =
+    add b ~name:(prefix ^ "x") ~kind:"xor2" ~nets:[ x; y; sum ];
+    add b ~name:(prefix ^ "n") ~kind:"nand2" ~nets:[ x; y; prefix ^ "cn" ];
+    add b ~name:(prefix ^ "i") ~kind:"inv" ~nets:[ prefix ^ "cn"; carry ]
+  in
+  let full_adder ~prefix ~x ~y ~cin ~sum ~carry =
+    add b ~name:(prefix ^ "x1") ~kind:"xor2" ~nets:[ x; y; prefix ^ "q" ];
+    add b ~name:(prefix ^ "x2") ~kind:"xor2" ~nets:[ prefix ^ "q"; cin; sum ];
+    add b ~name:(prefix ^ "g1") ~kind:"nand2" ~nets:[ x; y; prefix ^ "g" ];
+    add b ~name:(prefix ^ "g2") ~kind:"nand2" ~nets:[ prefix ^ "q"; cin; prefix ^ "h" ];
+    add b ~name:(prefix ^ "g3") ~kind:"nand2" ~nets:[ prefix ^ "g"; prefix ^ "h"; carry ]
+  in
+  for j = 1 to bits - 1 do
+    let chain k = Printf.sprintf "c%d_%d" j k in
+    for k = 0 to bits - 1 do
+      let prefix = Printf.sprintf "r%d_%d_" j k in
+      if k = 0 then
+        half_adder ~prefix ~x:(pp 0 j)
+          ~y:(s_name (j - 1) 1)
+          ~sum:(s_name j 0) ~carry:(chain 0)
+      else if k < bits - 1 then
+        full_adder ~prefix ~x:(pp k j)
+          ~y:(s_name (j - 1) (k + 1))
+          ~cin:(chain (k - 1))
+          ~sum:(s_name j k) ~carry:(chain k)
+      else if j = 1 then
+        (* the first row has no incoming carry-out above the MSB *)
+        half_adder ~prefix ~x:(pp k j)
+          ~y:(chain (k - 1))
+          ~sum:(s_name j k) ~carry:(carry_out j)
+      else
+        full_adder ~prefix ~x:(pp k j) ~y:(carry_out (j - 1))
+          ~cin:(chain (k - 1))
+          ~sum:(s_name j k) ~carry:(carry_out j)
+    done
+  done;
+  Builder.build b
+
+(* ISCAS-85 c17, in the standard node numbering: inputs 1 2 3 6 7,
+   outputs 22 23. *)
+let c17 ?(technology = "nmos25") () =
+  let b = Builder.create ~name:"c17" ~technology in
+  List.iter (in_port b) [ "n1"; "n2"; "n3"; "n6"; "n7" ];
+  List.iter (out_port b) [ "n22"; "n23" ];
+  add b ~name:"g10" ~kind:"nand2" ~nets:[ "n1"; "n3"; "n10" ];
+  add b ~name:"g11" ~kind:"nand2" ~nets:[ "n3"; "n6"; "n11" ];
+  add b ~name:"g16" ~kind:"nand2" ~nets:[ "n2"; "n11"; "n16" ];
+  add b ~name:"g19" ~kind:"nand2" ~nets:[ "n11"; "n7"; "n19" ];
+  add b ~name:"g22" ~kind:"nand2" ~nets:[ "n10"; "n16"; "n22" ];
+  add b ~name:"g23" ~kind:"nand2" ~nets:[ "n16"; "n19"; "n23" ];
+  Builder.build b

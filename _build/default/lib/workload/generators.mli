@@ -1,0 +1,55 @@
+(** Deterministic structural circuit generators.
+
+    Each function builds a real logic structure (not random wiring) at a
+    parameterized size; these are the building blocks of the Table 1 and
+    Table 2 benchmark suites and of the examples. *)
+
+val full_adder : ?name:string -> ?technology:string -> unit -> Mae_netlist.Circuit.t
+(** 1-bit full adder: 2 xor2 + 3 nand2, ports a b cin / s cout. *)
+
+val ripple_adder : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** [bits] chained full adders.  Raises [Invalid_argument] if [bits < 1]. *)
+
+val counter : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** Synchronous binary counter: per bit one dff, one xor2 (toggle), one
+    nand2+inv carry AND; clock buffer; ports clk en / q0..q(bits-1). *)
+
+val decoder : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** Full [select_bits]-to-2^[select_bits] decoder built from inverters and
+    nand/inv rows.  Raises [Invalid_argument] unless 1 <= select_bits <= 4
+    (wider AND gates than nand4 are not in the library). *)
+
+val parity : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** XOR tree computing the parity of [bits] inputs ([bits >= 2]). *)
+
+val mux_tree : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** 2^[select_bits]-to-1 multiplexer tree of mux2 cells
+    ([1 <= select_bits <= 4]). *)
+
+val alu : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** A [bits]-wide ALU slice: add/subtract (ripple), AND, OR, XOR,
+    function-select mux tree per bit; ports a*, b*, sub, f0, f1, clk-less.
+    Raises [Invalid_argument] if [bits < 1]. *)
+
+val shift_register : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** [stages] chained dff cells ([stages >= 1]). *)
+
+val pass_chain : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** Transistor-level chain of [stages] nMOS pass transistors with private
+    gate controls: {e every} net has at most two device components, the
+    degenerate case of the Table 1 footnote ([stages >= 1]). *)
+
+val inverter_chain : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** Transistor-level chain of [stages] nMOS inverters (2 transistors
+    each); internal nets have three components ([stages >= 1]). *)
+
+val multiplier : ?technology:string -> int -> Mae_netlist.Circuit.t
+(** [bits] x [bits] array multiplier: AND-gate partial products reduced
+    row by row with half/full adders; the largest structural benchmark
+    (an 8-bit instance has ~400 cells).  Raises [Invalid_argument] if
+    [bits < 2]. *)
+
+val c17 : ?technology:string -> unit -> Mae_netlist.Circuit.t
+(** The ISCAS-85 c17 benchmark: six 2-input NAND gates, five inputs, two
+    outputs — the classic smallest real-world netlist, as an external
+    anchor alongside the synthetic generators. *)

@@ -1,0 +1,66 @@
+module Circuit = Mae_netlist.Circuit
+module Builder = Mae_netlist.Builder
+
+let copy_into ?(prefix = "") ~with_ports builder (c : Circuit.t) =
+  let net_name i = prefix ^ c.nets.(i).Mae_netlist.Net.name in
+  Array.iter
+    (fun (d : Mae_netlist.Device.t) ->
+      ignore
+        (Builder.add_device builder ~name:(prefix ^ d.name) ~kind:d.kind
+           ~nets:(List.map net_name (Array.to_list d.pins))))
+    c.devices;
+  if with_ports then
+    Array.iter
+      (fun (p : Mae_netlist.Port.t) ->
+        Builder.add_port builder ~name:(prefix ^ p.name) ~direction:p.direction
+          ~net:(net_name p.net))
+      c.ports
+
+let rebuild (c : Circuit.t) f =
+  let builder = Builder.create ~name:c.name ~technology:c.technology in
+  f builder;
+  Builder.build builder
+
+let add_device ~kind ~nets c =
+  rebuild c (fun builder ->
+      copy_into ~with_ports:true builder c;
+      ignore
+        (Builder.add_device builder
+           ~name:(Printf.sprintf "mut%d" (Circuit.device_count c))
+           ~kind ~nets))
+
+let duplicate c =
+  rebuild c (fun builder ->
+      copy_into ~with_ports:true builder c;
+      copy_into ~prefix:"dup_" ~with_ports:false builder c)
+
+let drop_device ~index (c : Circuit.t) =
+  if index < 0 || index >= Circuit.device_count c then
+    invalid_arg "Mutate.drop_device: index out of range";
+  rebuild c (fun builder ->
+      let net_name i = c.nets.(i).Mae_netlist.Net.name in
+      Array.iteri
+        (fun i (d : Mae_netlist.Device.t) ->
+          if i <> index then
+            ignore
+              (Builder.add_device builder ~name:d.name ~kind:d.kind
+                 ~nets:(List.map net_name (Array.to_list d.pins))))
+        c.devices;
+      Array.iter
+        (fun (p : Mae_netlist.Port.t) ->
+          Builder.add_port builder ~name:p.name ~direction:p.direction
+            ~net:(net_name p.net))
+        c.ports)
+
+let widen_net ~net ~extra ~kind c =
+  match Circuit.find_net c net with
+  | None -> raise Not_found
+  | Some _ ->
+      rebuild c (fun builder ->
+          copy_into ~with_ports:true builder c;
+          for i = 0 to extra - 1 do
+            ignore
+              (Builder.add_device builder
+                 ~name:(Printf.sprintf "widen%d" i)
+                 ~kind ~nets:[ net ])
+          done)

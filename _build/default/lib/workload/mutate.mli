@@ -1,0 +1,23 @@
+(** Structure-preserving circuit perturbations for metamorphic testing.
+
+    The estimator has monotonicity properties worth checking: adding a
+    device can only grow the device area; widening a net can only grow the
+    expected track count; duplicating the circuit roughly doubles its
+    area.  These helpers build the perturbed circuits. *)
+
+val add_device :
+  kind:string -> nets:string list -> Mae_netlist.Circuit.t -> Mae_netlist.Circuit.t
+(** Append one device connected to the named nets (created if new). *)
+
+val duplicate : Mae_netlist.Circuit.t -> Mae_netlist.Circuit.t
+(** Two disjoint copies of the circuit side by side (nets and devices of
+    the copy get a [dup_] prefix; ports are kept only for the original). *)
+
+val drop_device : index:int -> Mae_netlist.Circuit.t -> Mae_netlist.Circuit.t
+(** Remove the device at [index]; raises [Invalid_argument] when out of
+    range. *)
+
+val widen_net :
+  net:string -> extra:int -> kind:string -> Mae_netlist.Circuit.t -> Mae_netlist.Circuit.t
+(** Attach [extra] fresh single-pin devices of [kind] to the named net,
+    raising its degree.  Raises [Not_found] if the net does not exist. *)

@@ -1,0 +1,122 @@
+type params = {
+  devices : int;
+  primary_inputs : int;
+  primary_outputs : int;
+  kind_weights : (string * int) list;
+  locality : int;
+  technology : string;
+}
+
+let standard_mix =
+  [
+    ("inv", 20);
+    ("buf", 5);
+    ("nand2", 25);
+    ("nand3", 10);
+    ("nor2", 15);
+    ("nor3", 5);
+    ("xor2", 8);
+    ("mux2", 6);
+    ("aoi22", 3);
+    ("dff", 8);
+  ]
+
+let default_params =
+  {
+    devices = 60;
+    primary_inputs = 8;
+    primary_outputs = 8;
+    kind_weights = standard_mix;
+    locality = 12;
+    technology = "nmos25";
+  }
+
+let input_arity = function
+  | "inv" | "buf" -> 1
+  | "nand2" | "nor2" | "xor2" | "latch" | "dff" -> 2
+  | "nand3" | "nor3" | "mux2" -> 3
+  | "nand4" | "aoi22" -> 4
+  | kind -> invalid_arg ("Random_circuit.input_arity: unknown kind " ^ kind)
+
+let known_kind k =
+  match input_arity k with
+  | (_ : int) -> true
+  | exception Invalid_argument _ -> false
+
+let validate p =
+  if p.devices < 1 then Error "devices must be >= 1"
+  else if p.primary_inputs < 1 then Error "primary_inputs must be >= 1"
+  else if p.primary_outputs < 0 || p.primary_outputs > p.devices then
+    Error "primary_outputs must be in 0..devices"
+  else if p.kind_weights = [] then Error "kind_weights must be non-empty"
+  else if List.exists (fun (_, w) -> w < 0) p.kind_weights then
+    Error "kind weights must be non-negative"
+  else if List.for_all (fun (_, w) -> w = 0) p.kind_weights then
+    Error "at least one kind weight must be positive"
+  else if p.locality < 0 then Error "locality must be >= 0"
+  else begin
+    match List.find_opt (fun (k, _) -> not (known_kind k)) p.kind_weights with
+    | Some (k, _) -> Error ("unknown kind " ^ k)
+    | None -> Ok p
+  end
+
+let weighted_pick rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  if total <= 0 then invalid_arg "Random_circuit.weighted_pick: empty table";
+  let target = Mae_prob.Rng.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (k, w) :: rest -> if target < acc + w then k else go (acc + w) rest
+  in
+  go 0 weights
+
+let generate ?name ~rng p =
+  begin
+    match validate p with
+    | Ok _ -> ()
+    | Error msg -> invalid_arg ("Random_circuit.generate: " ^ msg)
+  end;
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "random%d" p.devices
+  in
+  let b = Mae_netlist.Builder.create ~name ~technology:p.technology in
+  (* Nets a later device may read: primary inputs first, then each
+     device's output in creation order. *)
+  let available = Array.make (p.primary_inputs + p.devices) "" in
+  for i = 0 to p.primary_inputs - 1 do
+    let name = Printf.sprintf "in%d" i in
+    Mae_netlist.Builder.add_port b ~name ~direction:Mae_netlist.Port.Input
+      ~net:name;
+    available.(i) <- name
+  done;
+  let n_available = ref p.primary_inputs in
+  let pick_source rng =
+    let window =
+      if p.locality = 0 then !n_available
+      else Stdlib.min p.locality !n_available
+    in
+    let offset = Mae_prob.Rng.int rng window in
+    available.(!n_available - 1 - offset)
+  in
+  for d = 0 to p.devices - 1 do
+    let kind = weighted_pick rng p.kind_weights in
+    let arity = input_arity kind in
+    let out = Printf.sprintf "n%d" d in
+    let inputs = List.init arity (fun _ -> pick_source rng) in
+    ignore
+      (Mae_netlist.Builder.add_device b
+         ~name:(Printf.sprintf "u%d" d)
+         ~kind
+         ~nets:(inputs @ [ out ]));
+    available.(!n_available) <- out;
+    incr n_available
+  done;
+  for o = 0 to Stdlib.min p.primary_outputs p.devices - 1 do
+    let driver = Printf.sprintf "n%d" (p.devices - 1 - o) in
+    Mae_netlist.Builder.add_port b
+      ~name:(Printf.sprintf "out%d" o)
+      ~direction:Mae_netlist.Port.Output ~net:driver
+  done;
+  Mae_netlist.Builder.build b

@@ -1,0 +1,40 @@
+(** Random gate-level circuit generation.
+
+    Devices are drawn from a weighted kind table; each device drives a
+    fresh output net and draws its inputs either from primary inputs or
+    from the outputs of earlier devices within a locality window, giving
+    netlists whose degree histograms resemble real logic (many 2-3
+    component nets, a few high-fanout ones). *)
+
+type params = {
+  devices : int;
+  primary_inputs : int;
+  primary_outputs : int;  (** last N device outputs become ports *)
+  kind_weights : (string * int) list;
+      (** (cell kind, weight); kinds must exist in the target library *)
+  locality : int;
+      (** inputs prefer nets created within the last [locality] devices;
+          0 means uniform over everything *)
+  technology : string;
+}
+
+val default_params : params
+(** 60 devices, 8 inputs, 8 outputs, nmos25, the standard gate mix,
+    locality 12. *)
+
+val standard_mix : (string * int) list
+(** A realistic weighted gate mix (inverters and 2-input gates dominate). *)
+
+val weighted_pick : Mae_prob.Rng.t -> (string * int) list -> string
+(** Draw a kind with probability proportional to its weight.  Raises
+    [Invalid_argument] on an empty table or non-positive total weight. *)
+
+val validate : params -> (params, string) result
+
+val input_arity : string -> int
+(** Number of input pins of each known cell kind (e.g. [nand3] -> 3).
+    Raises [Invalid_argument] on an unknown kind. *)
+
+val generate : ?name:string -> rng:Mae_prob.Rng.t -> params -> Mae_netlist.Circuit.t
+(** Raises [Invalid_argument] on invalid parameters.  [name] defaults to
+    ["random<devices>"]. *)

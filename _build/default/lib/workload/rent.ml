@@ -1,0 +1,108 @@
+type params = {
+  clusters : int;
+  cluster_size : int;
+  rent_t : float;
+  rent_p : float;
+  technology : string;
+}
+
+let default_params =
+  { clusters = 6; cluster_size = 40; rent_t = 3.0; rent_p = 0.6; technology = "nmos25" }
+
+let validate p =
+  if p.clusters < 1 then Error "clusters must be >= 1"
+  else if p.cluster_size < 1 then Error "cluster_size must be >= 1"
+  else if p.rent_t <= 0. then Error "rent_t must be positive"
+  else if p.rent_p <= 0. || p.rent_p >= 1. then Error "rent_p must be in (0,1)"
+  else Ok p
+
+let external_terminals p =
+  Float.to_int
+    (Float.ceil (p.rent_t *. (Float.of_int p.cluster_size ** p.rent_p)))
+
+let check p =
+  match validate p with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Rent.generate: " ^ msg)
+
+(* Internal wiring reuses the standard gate mix. *)
+let mix = Random_circuit.standard_mix
+
+let generate ~rng p =
+  check p;
+  let b =
+    Mae_netlist.Builder.create
+      ~name:(Printf.sprintf "rent%dx%d" p.clusters p.cluster_size)
+      ~technology:p.technology
+  in
+  let terminals = external_terminals p in
+  (* Chip primary inputs seed the global pool of cross-cluster nets. *)
+  let pool = ref [] in
+  for i = 0 to terminals - 1 do
+    let name = Printf.sprintf "pi%d" i in
+    Mae_netlist.Builder.add_port b ~name ~direction:Mae_netlist.Port.Input
+      ~net:name;
+    pool := name :: !pool
+  done;
+  let pool_array () = Array.of_list !pool in
+  (* Probability that an input pin leaves the cluster, tuned so a cluster
+     makes about [terminals] external attachments. *)
+  let total_pins =
+    Float.of_int p.cluster_size *. 2.4 (* mean arity of the mix *)
+  in
+  let p_ext = Float.min 0.9 (Float.of_int terminals /. total_pins) in
+  for c = 0 to p.clusters - 1 do
+    let local = Array.make p.cluster_size "" in
+    let n_local = ref 0 in
+    for d = 0 to p.cluster_size - 1 do
+      let kind = Random_circuit.weighted_pick rng mix in
+      let arity = Random_circuit.input_arity kind in
+      let out = Printf.sprintf "c%d_n%d" c d in
+      let pick_input _ =
+        let use_ext = !n_local = 0 || Mae_prob.Rng.uniform rng < p_ext in
+        if use_ext then Mae_prob.Rng.pick rng (pool_array ())
+        else local.(Mae_prob.Rng.int rng !n_local)
+      in
+      let inputs = List.init arity pick_input in
+      ignore
+        (Mae_netlist.Builder.add_device b
+           ~name:(Printf.sprintf "c%d_u%d" c d)
+           ~kind
+           ~nets:(inputs @ [ out ]));
+      local.(!n_local) <- out;
+      incr n_local
+    done;
+    (* Publish the cluster's last few outputs for later clusters. *)
+    let exported = Stdlib.min terminals p.cluster_size in
+    for e = 0 to exported - 1 do
+      pool := local.(p.cluster_size - 1 - e) :: !pool
+    done
+  done;
+  (* Chip primary outputs come from the last cluster. *)
+  let last = p.clusters - 1 in
+  let outs = Stdlib.min terminals p.cluster_size in
+  for o = 0 to outs - 1 do
+    Mae_netlist.Builder.add_port b
+      ~name:(Printf.sprintf "po%d" o)
+      ~direction:Mae_netlist.Port.Output
+      ~net:(Printf.sprintf "c%d_n%d" last (p.cluster_size - 1 - o))
+  done;
+  Mae_netlist.Builder.build b
+
+let generate_modules ~rng p =
+  check p;
+  let terminals = external_terminals p in
+  let inputs = Stdlib.max 1 ((terminals + 1) / 2) in
+  let outputs = Stdlib.max 0 (terminals - inputs) in
+  List.init p.clusters (fun c ->
+      let rng = Mae_prob.Rng.split rng in
+      Random_circuit.generate ~rng
+        ~name:(Printf.sprintf "cluster%d" c)
+        {
+          Random_circuit.devices = p.cluster_size;
+          primary_inputs = inputs;
+          primary_outputs = Stdlib.min outputs p.cluster_size;
+          kind_weights = mix;
+          locality = 12;
+          technology = p.technology;
+        })

@@ -1,0 +1,32 @@
+(** Clustered netlist generation following Rent's rule.
+
+    Rent's rule relates the number of external terminals T of a logic
+    block to its gate count g: T = t * g^p with Rent exponent p (~0.5-0.75
+    for real logic).  The generator builds [clusters] random sub-circuits
+    and wires a Rent-determined number of nets across cluster boundaries,
+    producing chip-level workloads with realistic locality for the
+    floor-planning experiments. *)
+
+type params = {
+  clusters : int;
+  cluster_size : int;  (** devices per cluster *)
+  rent_t : float;  (** terminals per single device, typically ~3 *)
+  rent_p : float;  (** Rent exponent in (0, 1) *)
+  technology : string;
+}
+
+val default_params : params
+(** 6 clusters of 40 devices, t = 3.0, p = 0.6, nmos25. *)
+
+val validate : params -> (params, string) result
+
+val external_terminals : params -> int
+(** ceil(t * cluster_size^p): cross-boundary nets per cluster. *)
+
+val generate : rng:Mae_prob.Rng.t -> params -> Mae_netlist.Circuit.t
+(** One flat circuit; device names are prefixed by their cluster
+    ([c3_u7]).  Raises [Invalid_argument] on invalid parameters. *)
+
+val generate_modules : rng:Mae_prob.Rng.t -> params -> Mae_netlist.Circuit.t list
+(** One circuit per cluster, each with its external nets as ports: the
+    module list a floor planner consumes. *)

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Float Mae_netlist Mae_prob Mae_tech Mae_workload QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Champ Float List Mae Mae_baselines Mae_layout Mae_netlist Mae_test_support Mae_workload Naive Pla Plest Result

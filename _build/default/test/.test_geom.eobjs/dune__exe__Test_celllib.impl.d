@@ -1,0 +1,1 @@
+test/test_celllib.ml: Alcotest Cell Cmos_lib Expand Library List Mae_celllib Mae_netlist Mae_tech Mae_test_support Nmos_lib Option QCheck2

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Format Int List Mae Mae_geom Mae_netlist Mae_prob Mae_tech Mae_test_support Mae_workload Printf QCheck2 Result Stdlib

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Filename List Mae Mae_db Mae_tech Mae_test_support QCheck2 String Sys

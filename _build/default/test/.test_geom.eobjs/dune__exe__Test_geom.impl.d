@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Aspect Float Interval Lambda List Mae_geom Mae_test_support Orientation Point QCheck2 Rect

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Array Ast Elaborate Format Lexer List Mae Mae_hdl Mae_netlist Mae_sim Mae_test_support Option Parser Printer Printf QCheck2 Result Spice String Token

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Builder Circuit Device Int List Mae_netlist Mae_test_support Mae_workload Net Option Port QCheck2 Stats Stdlib Validate

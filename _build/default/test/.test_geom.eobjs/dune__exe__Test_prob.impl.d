@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Comb Dist Float Fun Int List Mae_prob Mae_test_support Montecarlo Printf QCheck2 Rng Stats Stdlib

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Err Filename In_channel Int List Mae_report Mae_test_support Result String Svg Sys Table

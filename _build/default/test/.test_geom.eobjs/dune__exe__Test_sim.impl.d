@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bool Format List Mae_netlist Mae_sim Mae_test_support Mae_workload Printf QCheck2 Result String

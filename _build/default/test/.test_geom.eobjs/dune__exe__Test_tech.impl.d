@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Builtin Device_kind List Mae_tech Mae_test_support Option Process QCheck2 Registry String Tech_parser

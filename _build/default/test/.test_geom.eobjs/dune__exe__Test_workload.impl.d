@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bench_circuits Float Generators Hashtbl List Mae_netlist Mae_tech Mae_test_support Mae_workload Option Printf QCheck2 Random_circuit Rent Result Stdlib String

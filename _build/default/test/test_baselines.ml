@@ -1,0 +1,170 @@
+open Mae_baselines
+module S = Mae_test_support.Support
+
+(* PLEST *)
+
+let test_plest_formula () =
+  (* density 0 reduces to pure cell area at the given rows *)
+  let stats = Mae_netlist.Stats.compute S.counter8 S.nmos in
+  let rows = 3 in
+  let row_length =
+    Float.of_int stats.Mae_netlist.Stats.device_count
+    *. stats.Mae_netlist.Stats.average_width /. 3.
+  in
+  S.check_float "zero density = cell area"
+    (row_length *. (3. *. 40.))
+    (Plest.estimate ~density:0. ~rows S.counter8 S.nmos);
+  (* each unit of density adds (rows+1) * pitch * row_length *)
+  let d1 = Plest.estimate ~density:1. ~rows S.counter8 S.nmos in
+  let d2 = Plest.estimate ~density:2. ~rows S.counter8 S.nmos in
+  S.check_close ~rel:1e-9 "linear in density"
+    (row_length *. 4. *. 7.)
+    (d2 -. d1)
+
+let test_plest_validation () =
+  S.raises_invalid (fun () ->
+      ignore (Plest.estimate ~density:(-1.) ~rows:2 S.counter8 S.nmos));
+  S.raises_invalid (fun () ->
+      ignore (Plest.estimate ~density:1. ~rows:0 S.counter8 S.nmos))
+
+let test_plest_oracle () =
+  let layout =
+    Mae_layout.Sc_flow.run ~schedule:Mae_layout.Anneal.quick_schedule
+      ~rng:(S.rng 1) ~rows:4 S.counter8 S.nmos
+  in
+  let density = Plest.oracle_density layout in
+  Alcotest.(check bool) "non-negative" true (density >= 0.);
+  (* mean of inner channels *)
+  let inner = ref 0 in
+  for c = 1 to 3 do inner := !inner + layout.Mae_layout.Row_layout.channel_tracks.(c) done;
+  S.check_float "matches inner mean" (Float.of_int !inner /. 3.) density
+
+let test_plest_with_oracle_beats_raw_estimator () =
+  (* fed post-layout density, PLEST lands closer than the upper bound --
+     the paper's point that PLEST needs information the estimator does
+     not have *)
+  let rows = 4 in
+  let layout =
+    Mae_layout.Sc_flow.run ~schedule:Mae_layout.Anneal.quick_schedule
+      ~rng:(S.rng 2) ~rows S.counter8 S.nmos
+  in
+  let real = layout.Mae_layout.Row_layout.area in
+  let plest =
+    Plest.estimate ~density:(Plest.oracle_density layout) ~rows S.counter8 S.nmos
+  in
+  let upper = (Mae.Stdcell.estimate ~rows S.counter8 S.nmos).Mae.Estimate.area in
+  Alcotest.(check bool) "plest closer" true
+    (Float.abs (plest -. real) < Float.abs (upper -. real))
+
+(* CHAMP *)
+
+let test_champ_recovers_power_law () =
+  (* exact training data area = 3 * n^1.4 *)
+  let training =
+    List.map (fun n -> (n, 3. *. (Float.of_int n ** 1.4))) [ 10; 20; 40; 80 ]
+  in
+  match Champ.fit training with
+  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Ok model ->
+      S.check_close ~rel:1e-6 "coefficient" 3. model.Champ.coefficient;
+      S.check_close ~rel:1e-6 "exponent" 1.4 model.Champ.exponent;
+      S.check_close ~rel:1e-6 "prediction" (3. *. (100. ** 1.4))
+        (Champ.estimate model ~devices:100);
+      S.check_float ~eps:1e-6 "zero error on training" 0.
+        (Champ.mean_relative_error model training)
+
+let test_champ_rejections () =
+  Alcotest.(check bool) "too few" true (Result.is_error (Champ.fit [ (10, 5.) ]));
+  Alcotest.(check bool) "same n" true
+    (Result.is_error (Champ.fit [ (10, 5.); (10, 9.) ]));
+  Alcotest.(check bool) "filters invalid" true
+    (Result.is_error (Champ.fit [ (0, 5.); (10, -1.) ]));
+  match Champ.fit [ (10, 100.); (20, 200.) ] with
+  | Ok model -> S.raises_invalid (fun () -> ignore (Champ.estimate model ~devices:0))
+  | Error _ -> Alcotest.fail "fit should succeed"
+
+let test_champ_on_layout_data () =
+  (* train on real layout areas of random circuits; held-out error should
+     be moderate (it is an empirical size law) *)
+  let area_of devices seed =
+    let c =
+      Mae_workload.Random_circuit.generate ~rng:(S.rng seed)
+        { Mae_workload.Random_circuit.default_params with devices }
+    in
+    let rows = Mae.Row_select.initial_rows c S.nmos in
+    (Mae_layout.Sc_flow.run ~schedule:Mae_layout.Anneal.quick_schedule
+       ~rng:(S.rng (seed + 100)) ~rows c S.nmos).Mae_layout.Row_layout.area
+  in
+  let training = List.map (fun n -> (n, area_of n n)) [ 20; 35; 50; 65 ] in
+  match Champ.fit training with
+  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Ok model ->
+      let err = Champ.mean_relative_error model [ (42, area_of 42 7) ] in
+      Alcotest.(check bool) "held-out under 60%" true (err < 0.6)
+
+(* PLA *)
+
+let test_pla_linearity () =
+  let base = { Pla.inputs = 8; outputs = 4; product_terms = 10 } in
+  let a1 = Pla.area base S.nmos in
+  let a2 = Pla.area { base with product_terms = 20 } S.nmos in
+  let a3 = Pla.area { base with product_terms = 30 } S.nmos in
+  (* area is affine in product terms: equal second differences *)
+  S.check_close ~rel:1e-9 "affine" (a2 -. a1) (a3 -. a2);
+  Alcotest.(check int) "device count" (10 * ((2 * 8) + 4))
+    (Pla.device_count base)
+
+let test_pla_dims () =
+  let spec = { Pla.inputs = 2; outputs = 1; product_terms = 3 } in
+  let w, h = Pla.dims spec S.nmos in
+  (* (2*2+1+4) * 7 by (3+4) * 7 *)
+  S.check_float "width" 63. w;
+  S.check_float "height" 49. h;
+  S.check_float "area" (63. *. 49.) (Pla.area spec S.nmos)
+
+let test_pla_validation () =
+  Alcotest.(check bool) "bad spec" true
+    (Result.is_error (Pla.validate { Pla.inputs = 0; outputs = 1; product_terms = 1 }));
+  S.raises_invalid (fun () ->
+      ignore (Pla.area { Pla.inputs = 1; outputs = 0; product_terms = 1 } S.nmos))
+
+(* Naive *)
+
+let test_naive () =
+  let stats = Mae_netlist.Stats.compute S.counter8 S.nmos in
+  S.check_float "cell area / utilization"
+    (stats.Mae_netlist.Stats.total_device_area /. 0.7)
+    (Naive.estimate S.counter8 S.nmos);
+  let w, h = Naive.estimate_square S.counter8 S.nmos in
+  S.check_float "square" w h;
+  S.check_close ~rel:1e-9 "square area"
+    (stats.Mae_netlist.Stats.total_device_area /. 0.7)
+    (w *. h);
+  S.raises_invalid (fun () ->
+      ignore (Naive.estimate ~utilization:1.5 S.counter8 S.nmos))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "plest",
+        [
+          Alcotest.test_case "formula" `Quick test_plest_formula;
+          Alcotest.test_case "validation" `Quick test_plest_validation;
+          Alcotest.test_case "oracle density" `Quick test_plest_oracle;
+          Alcotest.test_case "oracle beats upper bound" `Slow
+            test_plest_with_oracle_beats_raw_estimator;
+        ] );
+      ( "champ",
+        [
+          Alcotest.test_case "recovers power law" `Quick test_champ_recovers_power_law;
+          Alcotest.test_case "rejections" `Quick test_champ_rejections;
+          Alcotest.test_case "on layout data" `Slow test_champ_on_layout_data;
+        ] );
+      ( "pla",
+        [
+          Alcotest.test_case "linearity" `Quick test_pla_linearity;
+          Alcotest.test_case "dims" `Quick test_pla_dims;
+          Alcotest.test_case "validation" `Quick test_pla_validation;
+        ] );
+      ("naive", [ Alcotest.test_case "estimate" `Quick test_naive ]);
+    ]

@@ -1,0 +1,193 @@
+open Mae_celllib
+module S = Mae_test_support.Support
+
+let test_cell_validation () =
+  S.raises_invalid (fun () ->
+      Cell.make ~name:"bad" ~pins:[ ("a", Cell.Input) ]
+        ~transistors:
+          [ { Cell.name = "t"; kind = "nenh"; drain = Cell.Pin 5;
+              gate = Cell.Pin 0; source = Cell.Gnd } ]);
+  S.raises_invalid (fun () ->
+      Cell.make ~name:"bad" ~pins:[]
+        ~transistors:
+          [ { Cell.name = "t"; kind = "nenh"; drain = Cell.Gnd;
+              gate = Cell.Gnd; source = Cell.Gnd };
+            { Cell.name = "t"; kind = "nenh"; drain = Cell.Gnd;
+              gate = Cell.Gnd; source = Cell.Gnd } ])
+
+let expected_nmos_counts =
+  [ ("inv", 2); ("buf", 4); ("nand2", 3); ("nand3", 4); ("nand4", 5);
+    ("nor2", 3); ("nor3", 4); ("aoi22", 5); ("xor2", 9); ("mux2", 8);
+    ("latch", 8); ("dff", 18) ]
+
+let expected_cmos_counts =
+  [ ("inv", 2); ("buf", 4); ("nand2", 4); ("nand3", 6); ("nand4", 8);
+    ("nor2", 4); ("nor3", 6); ("aoi22", 8); ("xor2", 12); ("mux2", 10);
+    ("latch", 10); ("dff", 18) ]
+
+let check_counts lib expected =
+  List.iter
+    (fun (name, count) ->
+      let cell = Library.find_exn lib name in
+      Alcotest.(check int) (name ^ " transistors") count
+        (Cell.transistor_count cell))
+    expected
+
+let test_nmos_transistor_counts () = check_counts Nmos_lib.library expected_nmos_counts
+
+let test_cmos_transistor_counts () = check_counts Cmos_lib.library expected_cmos_counts
+
+let test_library_process_consistency () =
+  Alcotest.(check (list string)) "nmos lib vs nmos25" []
+    (Library.check_against_process Nmos_lib.library S.nmos);
+  Alcotest.(check (list string)) "cmos lib vs cmos20" []
+    (Library.check_against_process Cmos_lib.library Mae_tech.Builtin.cmos20);
+  (* the nMOS library's depletion loads do not exist in a CMOS process *)
+  Alcotest.(check bool) "nmos lib vs cmos20 inconsistent" true
+    (Library.check_against_process Nmos_lib.library Mae_tech.Builtin.cmos20 <> [])
+
+let test_library_lookup () =
+  Alcotest.(check bool) "find" true (Library.find Nmos_lib.library "inv" <> None);
+  Alcotest.(check bool) "missing" true (Library.find Nmos_lib.library "zzz" = None);
+  Alcotest.check_raises "find_exn" Not_found (fun () ->
+      ignore (Library.find_exn Nmos_lib.library "zzz"));
+  Alcotest.(check int) "12 cells per library" 12
+    (List.length (Library.cells Nmos_lib.library));
+  S.raises_invalid (fun () ->
+      ignore
+        (Library.make ~name:"dup"
+           ~cells:[ Nmos_lib.find_exn "inv"; Nmos_lib.find_exn "inv" ]))
+
+let test_for_technology () =
+  Alcotest.(check bool) "nmos25 -> nmos lib" true
+    (Cmos_lib.for_technology "nmos25" = Some Nmos_lib.library);
+  Alcotest.(check bool) "cmos20 -> cmos lib" true
+    (Cmos_lib.for_technology "cmos20" = Some Cmos_lib.library);
+  Alcotest.(check bool) "unknown" true (Cmos_lib.for_technology "bipolar" = None)
+
+(* Expansion *)
+
+let test_expand_inverter_structure () =
+  (* inv(a, y) in nMOS expands to a depletion load on y and a pull-down
+     with gate a; the supply rails are dropped by default. *)
+  let b = Mae_netlist.Builder.create ~name:"one" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"u" ~kind:"inv" ~nets:[ "a"; "y" ]);
+  Mae_netlist.Builder.add_port b ~name:"a" ~direction:Mae_netlist.Port.Input ~net:"a";
+  let c = Mae_netlist.Builder.build b in
+  match Expand.circuit Nmos_lib.library c with
+  | Error _ -> Alcotest.fail "expansion failed"
+  | Ok tx ->
+      Alcotest.(check int) "2 transistors" 2 (Mae_netlist.Circuit.device_count tx);
+      let y = Option.get (Mae_netlist.Circuit.find_net tx "y") in
+      Alcotest.(check int) "y touches both" 2
+        (Mae_netlist.Circuit.degree tx y.Mae_netlist.Net.index);
+      Alcotest.(check bool) "no vdd" true
+        (Mae_netlist.Circuit.find_net tx "vdd!" = None);
+      Alcotest.(check int) "ports preserved" 1 (Mae_netlist.Circuit.port_count tx)
+
+let test_expand_with_supplies () =
+  let b = Mae_netlist.Builder.create ~name:"one" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"u" ~kind:"inv" ~nets:[ "a"; "y" ]);
+  let c = Mae_netlist.Builder.build b in
+  match Expand.circuit ~include_supplies:true Nmos_lib.library c with
+  | Error _ -> Alcotest.fail "expansion failed"
+  | Ok tx ->
+      Alcotest.(check bool) "vdd present" true
+        (Mae_netlist.Circuit.find_net tx "vdd!" <> None);
+      Alcotest.(check bool) "gnd present" true
+        (Mae_netlist.Circuit.find_net tx "gnd!" <> None)
+
+let test_expand_full_adder () =
+  let tx = S.full_adder_tx in
+  (* 2 xor2 (9 each) + 3 nand2 (3 each) = 27 *)
+  Alcotest.(check int) "27 transistors" 27 (Mae_netlist.Circuit.device_count tx);
+  Alcotest.(check int) "ports preserved" 5 (Mae_netlist.Circuit.port_count tx);
+  (* every transistor kind footprints in the process *)
+  let stats = Mae_netlist.Stats.compute tx S.nmos in
+  Alcotest.(check int) "N" 27 stats.Mae_netlist.Stats.device_count
+
+let test_expand_transistor_count_agrees () =
+  match Expand.transistor_count Nmos_lib.library S.full_adder with
+  | Ok n -> Alcotest.(check int) "count without building" 27 n
+  | Error _ -> Alcotest.fail "count failed"
+
+let test_expand_unknown_cell () =
+  let b = Mae_netlist.Builder.create ~name:"bad" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"u" ~kind:"alien" ~nets:[ "a" ]);
+  let c = Mae_netlist.Builder.build b in
+  match Expand.circuit Nmos_lib.library c with
+  | Error (Expand.Unknown_cell { kind = "alien"; _ }) -> ()
+  | Error (Expand.Unknown_cell _) | Ok _ -> Alcotest.fail "expected Unknown_cell"
+
+let test_expand_internal_nets_private () =
+  (* two nand2 instances must not share their internal pull-down node *)
+  let b = Mae_netlist.Builder.create ~name:"two" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"g1" ~kind:"nand2" ~nets:[ "a"; "b"; "x" ]);
+  ignore (Mae_netlist.Builder.add_device b ~name:"g2" ~kind:"nand2" ~nets:[ "a"; "b"; "y" ]);
+  let c = Mae_netlist.Builder.build b in
+  match Expand.circuit Nmos_lib.library c with
+  | Error _ -> Alcotest.fail "expansion failed"
+  | Ok tx ->
+      Alcotest.(check bool) "g1 internal" true
+        (Mae_netlist.Circuit.find_net tx "g1.pd_m1" <> None);
+      Alcotest.(check bool) "g2 internal" true
+        (Mae_netlist.Circuit.find_net tx "g2.pd_m1" <> None)
+
+(* Properties *)
+
+let props =
+  let open QCheck2.Gen in
+  let cell_gen = oneofl (Library.cells Nmos_lib.library) in
+  [
+    S.qtest "every nmos cell has a depletion load per output" cell_gen
+      (fun cell ->
+        (* at least one ndep transistor unless the cell is pass-gate only *)
+        List.exists (fun (t : Cell.transistor) -> t.kind = "ndep")
+          cell.Cell.transistors);
+    S.qtest "every cmos cell is complementary"
+      (oneofl (Library.cells Cmos_lib.library))
+      (fun cell ->
+        let n =
+          List.length
+            (List.filter (fun (t : Cell.transistor) -> t.kind = "nenh")
+               cell.Cell.transistors)
+        in
+        let p =
+          List.length
+            (List.filter (fun (t : Cell.transistor) -> t.kind = "pmos")
+               cell.Cell.transistors)
+        in
+        n = p);
+    S.qtest "pin counts positive" cell_gen (fun cell ->
+        Cell.pin_count cell >= 2 && Cell.input_count cell >= 1);
+  ]
+
+let () =
+  Alcotest.run "celllib"
+    [
+      ("cell", [ Alcotest.test_case "validation" `Quick test_cell_validation ]);
+      ( "libraries",
+        [
+          Alcotest.test_case "nmos transistor counts" `Quick
+            test_nmos_transistor_counts;
+          Alcotest.test_case "cmos transistor counts" `Quick
+            test_cmos_transistor_counts;
+          Alcotest.test_case "process consistency" `Quick
+            test_library_process_consistency;
+          Alcotest.test_case "lookup" `Quick test_library_lookup;
+          Alcotest.test_case "for_technology" `Quick test_for_technology;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "inverter structure" `Quick
+            test_expand_inverter_structure;
+          Alcotest.test_case "with supplies" `Quick test_expand_with_supplies;
+          Alcotest.test_case "full adder" `Quick test_expand_full_adder;
+          Alcotest.test_case "transistor_count" `Quick
+            test_expand_transistor_count_agrees;
+          Alcotest.test_case "unknown cell" `Quick test_expand_unknown_cell;
+          Alcotest.test_case "internal nets private" `Quick
+            test_expand_internal_nets_private;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,118 @@
+module S = Mae_test_support.Support
+
+let report () =
+  let registry = Mae_tech.Registry.create () in
+  match Mae.Driver.run_circuit ~registry S.full_adder with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail "driver failed"
+
+let test_record_of_report () =
+  let r = report () in
+  let record = Mae_db.Record.of_report r in
+  Alcotest.(check string) "name" "full_adder" record.Mae_db.Record.module_name;
+  Alcotest.(check string) "technology" "nmos25" record.technology;
+  Alcotest.(check int) "devices" 5 record.devices;
+  Alcotest.(check int) "nets" 8 record.nets;
+  Alcotest.(check int) "ports" 5 record.ports;
+  S.check_float "sc area" r.Mae.Driver.stdcell.Mae.Estimate.area record.sc_area;
+  S.check_float "fc exact area"
+    r.Mae.Driver.fullcustom_exact.Mae.Estimate.area record.fc_exact_area;
+  (* shapes: one per sweep entry plus the two full-custom variants *)
+  Alcotest.(check int) "shape count"
+    (List.length r.Mae.Driver.stdcell_sweep + 2)
+    (List.length record.shapes)
+
+let test_store_roundtrip () =
+  let store = Mae_db.Store.create () in
+  Mae_db.Store.add store (Mae_db.Record.of_report (report ()));
+  let registry = Mae_tech.Registry.create () in
+  begin
+    match Mae.Driver.run_circuit ~registry S.counter8 with
+    | Ok r -> Mae_db.Store.add store (Mae_db.Record.of_report r)
+    | Error _ -> Alcotest.fail "driver failed"
+  end;
+  let text = Mae_db.Store.to_string store in
+  match Mae_db.Store.of_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok store' ->
+      Alcotest.(check (list string)) "names preserved"
+        (Mae_db.Store.names store) (Mae_db.Store.names store');
+      List.iter2
+        (fun (a : Mae_db.Record.t) b ->
+          Alcotest.(check bool) ("record " ^ a.module_name) true
+            (Mae_db.Record.equal a b))
+        (Mae_db.Store.records store)
+        (Mae_db.Store.records store')
+
+let test_store_replaces () =
+  let store = Mae_db.Store.create () in
+  let record = Mae_db.Record.of_report (report ()) in
+  Mae_db.Store.add store record;
+  Mae_db.Store.add store { record with devices = 99 };
+  Alcotest.(check int) "one record" 1 (List.length (Mae_db.Store.records store));
+  match Mae_db.Store.find store "full_adder" with
+  | Some r -> Alcotest.(check int) "latest wins" 99 r.Mae_db.Record.devices
+  | None -> Alcotest.fail "record missing"
+
+let test_store_parse_errors () =
+  let expect_error text =
+    match Mae_db.Store.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" text
+  in
+  expect_error "technology foo\n";
+  expect_error "record a\nrecord b\n";
+  expect_error "record a\ncounts x y z\nend\n";
+  expect_error "record a\ngibberish\nend\n";
+  expect_error "record a\n" (* unterminated *)
+
+let test_store_file_io () =
+  let store = Mae_db.Store.create () in
+  Mae_db.Store.add store (Mae_db.Record.of_report (report ()));
+  let path = Filename.temp_file "mae_db" ".txt" in
+  begin
+    match Mae_db.Store.save store ~path with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "save failed: %s" e
+  end;
+  begin
+    match Mae_db.Store.load ~path with
+    | Ok store' ->
+        Alcotest.(check (list string)) "round trip via file"
+          (Mae_db.Store.names store) (Mae_db.Store.names store')
+    | Error e -> Alcotest.failf "load failed: %s" e
+  end;
+  Sys.remove path;
+  match Mae_db.Store.load ~path:"/nonexistent/xyz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected IO error"
+
+let fuzz_props =
+  let open QCheck2.Gen in
+  let soup =
+    map (String.concat "\n")
+      (list_size (int_range 0 20)
+         (oneofl
+            [ "record m"; "end"; "technology t"; "counts 1 2 3";
+              "counts x y z"; "shape 1 2"; "shape -"; "stdcell 1 2 3 4 5 6 7";
+              "fullcustom 1 2 3 4"; "garbage"; "" ]))
+  in
+  [
+    Mae_test_support.Support.qtest ~count:300 "store parser total" soup
+      (fun text -> match Mae_db.Store.of_string text with Ok _ | Error _ -> true);
+  ]
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "record",
+        [ Alcotest.test_case "of_report" `Quick test_record_of_report ] );
+      ( "store",
+        [
+          Alcotest.test_case "round trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "replace" `Quick test_store_replaces;
+          Alcotest.test_case "parse errors" `Quick test_store_parse_errors;
+          Alcotest.test_case "file io" `Quick test_store_file_io;
+        ] );
+      ("fuzz", fuzz_props);
+    ]

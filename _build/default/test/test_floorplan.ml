@@ -1,0 +1,409 @@
+open Mae_floorplan
+module S = Mae_test_support.Support
+
+(* Shape *)
+
+let test_shape_prunes_dominated () =
+  let s = Shape.of_list [ (10., 10.); (12., 10.); (8., 15.); (20., 5.) ] in
+  (* (12,10) dominated by (10,10) *)
+  Alcotest.(check bool) "pruned" true
+    (Shape.options s = [ (8., 15.); (10., 10.); (20., 5.) ])
+
+let test_shape_validation () =
+  S.raises_invalid (fun () -> ignore (Shape.of_list []));
+  S.raises_invalid (fun () -> ignore (Shape.of_list [ (0., 5.) ]))
+
+let test_shape_square () =
+  let s = Shape.square ~area:100. in
+  Alcotest.(check bool) "10x10" true (Shape.options s = [ (10., 10.) ]);
+  S.check_float "min area" 100. (Shape.min_area s)
+
+let test_shape_rotations () =
+  let s = Shape.with_rotations (Shape.singleton ~w:4. ~h:9.) in
+  Alcotest.(check bool) "both orientations" true
+    (Shape.options s = [ (4., 9.); (9., 4.) ]);
+  (* rotating a square adds nothing *)
+  Alcotest.(check int) "square unchanged" 1
+    (Shape.size (Shape.with_rotations (Shape.square ~area:25.)))
+
+let test_shape_combines () =
+  let a = Shape.singleton ~w:4. ~h:6. and b = Shape.singleton ~w:3. ~h:2. in
+  Alcotest.(check bool) "vertical stack" true
+    (Shape.options (Shape.combine_vertical a b) = [ (4., 8.) ]);
+  Alcotest.(check bool) "horizontal" true
+    (Shape.options (Shape.combine_horizontal a b) = [ (7., 6.) ])
+
+let test_best_option () =
+  let s = Shape.of_list [ (2., 30.); (10., 5.); (30., 2.1) ] in
+  let w, h = Shape.best_option s in
+  S.check_float "min area picked" 50. (w *. h)
+
+(* Polish *)
+
+let polish_valid t =
+  match Polish.of_elements (Polish.elements t) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let test_polish_initial () =
+  for n = 1 to 12 do
+    let t = Polish.initial n in
+    Alcotest.(check int) "operands" n (Polish.operand_count t);
+    Alcotest.(check bool) "valid" true (polish_valid t)
+  done;
+  S.raises_invalid (fun () -> ignore (Polish.initial 0))
+
+let test_polish_of_elements_rejects () =
+  let bad arr =
+    match Polish.of_elements arr with
+    | Ok _ -> Alcotest.fail "expected rejection"
+    | Error _ -> ()
+  in
+  bad [| Polish.Vertical_cut |];
+  bad [| Polish.Operand 0; Polish.Operand 1 |];
+  bad [| Polish.Operand 0; Polish.Operand 0; Polish.Vertical_cut |];
+  bad [| Polish.Operand 0; Polish.Vertical_cut |];
+  bad [| Polish.Operand 0; Polish.Operand 2; Polish.Vertical_cut |]
+
+let test_polish_moves_preserve_validity () =
+  let rng = S.rng 31 in
+  let t = ref (Polish.initial 8) in
+  for _ = 1 to 500 do
+    t := Polish.random_move rng !t;
+    if not (polish_valid !t) then Alcotest.fail "move broke validity"
+  done
+
+let test_polish_single_module () =
+  let t = Polish.initial 1 in
+  let t' = Polish.random_move (S.rng 1) t in
+  Alcotest.(check int) "still one operand" 1 (Polish.operand_count t')
+
+(* Slicing *)
+
+let test_slicing_two_modules () =
+  (* 0 1 + stacks them; 0 1 * places side by side *)
+  let shapes = [| Shape.singleton ~w:4. ~h:2.; Shape.singleton ~w:3. ~h:5. |] in
+  let stack =
+    Result.get_ok
+      (Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Horizontal_cut |])
+  in
+  let beside =
+    Result.get_ok
+      (Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Vertical_cut |])
+  in
+  let e1 = Slicing.eval stack shapes in
+  S.check_float "stack w" 4. e1.Slicing.width;
+  S.check_float "stack h" 7. e1.Slicing.height;
+  let e2 = Slicing.eval beside shapes in
+  S.check_float "beside w" 7. e2.Slicing.width;
+  S.check_float "beside h" 5. e2.Slicing.height
+
+let test_slicing_picks_min_area_option () =
+  (* with rotations available the evaluator picks the better one *)
+  let shapes =
+    [| Shape.with_rotations (Shape.singleton ~w:10. ~h:2.);
+       Shape.with_rotations (Shape.singleton ~w:10. ~h:2.) |]
+  in
+  let stack =
+    Result.get_ok
+      (Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Horizontal_cut |])
+  in
+  let e = Slicing.eval stack shapes in
+  (* stacking two 10x2 gives 10x4 = 40; stacking rotated 2x10 gives 2x20 = 40;
+     either way the minimum is 40 *)
+  S.check_float "area" 40. e.Slicing.area
+
+let test_slicing_shape_count_mismatch () =
+  S.raises_invalid (fun () ->
+      ignore (Slicing.eval (Polish.initial 3) [| Shape.square ~area:1. |]))
+
+let rects_disjoint rects =
+  let n = Array.length rects in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Mae_geom.Rect.intersects rects.(i) rects.(j) then ok := false
+    done
+  done;
+  !ok
+
+let test_place_no_overlap_within_chip () =
+  let rng = S.rng 77 in
+  for n = 1 to 10 do
+    let shapes =
+      Array.init n (fun _ ->
+          Shape.with_rotations
+            (Shape.singleton
+               ~w:(1. +. Mae_prob.Rng.float rng 20.)
+               ~h:(1. +. Mae_prob.Rng.float rng 20.)))
+    in
+    let expr = ref (Polish.initial n) in
+    for _ = 1 to 50 do expr := Polish.random_move rng !expr done;
+    let placement = Slicing.place !expr shapes in
+    Alcotest.(check bool) "disjoint" true (rects_disjoint placement.Slicing.rects);
+    let chip =
+      Mae_geom.Rect.make ~x:0. ~y:0. ~w:placement.Slicing.chip.Slicing.width
+        ~h:placement.Slicing.chip.Slicing.height
+    in
+    Array.iter
+      (fun r ->
+        Alcotest.(check bool) "inside chip" true
+          (Mae_geom.Rect.contains_point chip (Mae_geom.Rect.center r)))
+      placement.Slicing.rects;
+    let u = Slicing.utilization placement in
+    Alcotest.(check bool) "utilization in (0,1]" true (u > 0. && u <= 1. +. 1e-9)
+  done
+
+let test_place_areas_match_options () =
+  let shapes = [| Shape.singleton ~w:4. ~h:2.; Shape.singleton ~w:3. ~h:5. |] in
+  let expr =
+    Result.get_ok
+      (Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Horizontal_cut |])
+  in
+  let placement = Slicing.place expr shapes in
+  S.check_float "module 0 area" 8. (Mae_geom.Rect.area placement.Slicing.rects.(0));
+  S.check_float "module 1 area" 15. (Mae_geom.Rect.area placement.Slicing.rects.(1))
+
+(* Fp_anneal *)
+
+let test_fp_anneal_improves_over_initial () =
+  let rng = S.rng 13 in
+  let shapes =
+    Array.init 8 (fun i ->
+        Shape.with_rotations
+          (Shape.singleton ~w:(Float.of_int (4 + i)) ~h:(Float.of_int (12 - i))))
+  in
+  let initial = (Slicing.eval (Polish.initial 8) shapes).Slicing.area in
+  let result = Fp_anneal.run ~schedule:Mae_layout.Anneal.quick_schedule ~rng shapes in
+  Alcotest.(check bool) "no worse than initial" true
+    (result.Fp_anneal.placement.Slicing.chip.Slicing.area <= initial +. 1e-9);
+  S.raises_invalid (fun () -> ignore (Fp_anneal.run ~rng [||]))
+
+let test_fp_anneal_single_module () =
+  let result =
+    Fp_anneal.run ~schedule:Mae_layout.Anneal.quick_schedule ~rng:(S.rng 3)
+      [| Shape.square ~area:49. |]
+  in
+  S.check_float "trivial chip" 49. result.Fp_anneal.placement.Slicing.chip.Slicing.area
+
+(* Flow: the iteration study *)
+
+let test_flow_perfect_estimates_converge_immediately () =
+  let specs =
+    List.init 5 (fun i ->
+        let area = 100. *. Float.of_int (i + 1) in
+        {
+          Flow.name = Printf.sprintf "m%d" i;
+          estimated_shapes = Shape.square ~area;
+          real_area = area;
+        })
+  in
+  let report =
+    Flow.converge ~schedule:Mae_layout.Anneal.quick_schedule ~rng:(S.rng 1) specs
+  in
+  Alcotest.(check int) "one round" 1 report.Flow.rounds;
+  Alcotest.(check bool) "no misfits" true
+    (List.for_all (fun r -> r.Flow.misfits = []) report.Flow.history)
+
+let test_flow_underestimates_need_more_rounds () =
+  let specs =
+    List.init 5 (fun i ->
+        let area = 100. *. Float.of_int (i + 1) in
+        {
+          Flow.name = Printf.sprintf "m%d" i;
+          estimated_shapes = Shape.square ~area:(area /. 4.);
+          real_area = area;
+        })
+  in
+  let report =
+    Flow.converge ~schedule:Mae_layout.Anneal.quick_schedule ~rng:(S.rng 1) specs
+  in
+  Alcotest.(check bool) "more than one round" true (report.Flow.rounds > 1);
+  (* the final round has no misfits *)
+  begin
+    match List.rev report.Flow.history with
+    | last :: _ -> Alcotest.(check bool) "converged" true (last.Flow.misfits = [])
+    | [] -> Alcotest.fail "no history"
+  end
+
+let test_flow_validation () =
+  S.raises_invalid (fun () ->
+      ignore (Flow.converge ~rng:(S.rng 1) []));
+  S.raises_invalid (fun () ->
+      ignore
+        (Flow.converge ~rng:(S.rng 1) ~tolerance:(-0.5)
+           [ { Flow.name = "m"; estimated_shapes = Shape.square ~area:1.; real_area = 1. } ]));
+  S.raises_invalid (fun () ->
+      ignore
+        (Flow.converge ~rng:(S.rng 1)
+           [ { Flow.name = "m"; estimated_shapes = Shape.square ~area:1.; real_area = 0. } ]))
+
+(* Properties *)
+
+let props =
+  let open QCheck2.Gen in
+  let shape_gen =
+    map
+      (fun pts ->
+        Shape.of_list
+          (List.map (fun (w, h) -> (Float.of_int w, Float.of_int h)) pts))
+      (list_size (int_range 1 8) (pair (int_range 1 40) (int_range 1 40)))
+  in
+  [
+    S.qtest "shape frontier strictly decreasing heights" shape_gen (fun s ->
+        let rec ok = function
+          | (wa, ha) :: ((wb, hb) :: _ as rest) ->
+              wa < wb && ha > hb && ok rest
+          | [ _ ] | [] -> true
+        in
+        ok (Shape.options s));
+    S.qtest "combine areas at least sum of best areas"
+      (pair shape_gen shape_gen)
+      (fun (a, b) ->
+        let combined = Shape.combine_vertical a b in
+        Shape.min_area combined >= Shape.min_area a +. Shape.min_area b -. 1e-6);
+    S.qtest "rotation is involutive on the frontier" shape_gen (fun s ->
+        let r = Shape.with_rotations s in
+        Shape.options (Shape.with_rotations r) = Shape.options r);
+    S.qtest "random polish expressions evaluate positive"
+      (pair int (int_range 1 9))
+      (fun (seed, n) ->
+        let rng = S.rng seed in
+        let expr = ref (Polish.initial n) in
+        for _ = 1 to 30 do expr := Polish.random_move rng !expr done;
+        let shapes = Array.init n (fun i -> Shape.square ~area:(Float.of_int (i + 1))) in
+        (Slicing.eval !expr shapes).Slicing.area > 0.);
+    S.qtest "chip area at least total module area"
+      (pair int (int_range 1 9))
+      (fun (seed, n) ->
+        let rng = S.rng seed in
+        let shapes =
+          Array.init n (fun _ ->
+              Shape.singleton
+                ~w:(1. +. Mae_prob.Rng.float rng 9.)
+                ~h:(1. +. Mae_prob.Rng.float rng 9.))
+        in
+        let total =
+          Array.fold_left (fun acc s -> acc +. Shape.min_area s) 0. shapes
+        in
+        (Slicing.eval (Polish.initial n) shapes).Slicing.area >= total -. 1e-6);
+  ]
+
+(* Chip assembly from the estimate database *)
+
+let chip_store () =
+  let registry = Mae_tech.Registry.create () in
+  let store = Mae_db.Store.create () in
+  List.iter
+    (fun circuit ->
+      match Mae.Driver.run_circuit ~registry circuit with
+      | Ok r -> Mae_db.Store.add store (Mae_db.Record.of_report r)
+      | Error _ -> Alcotest.fail "driver failed")
+    [ S.counter8; S.full_adder; Mae_workload.Generators.decoder 3 ];
+  store
+
+let test_chip_plan () =
+  let store = chip_store () in
+  match
+    Chip.plan ~schedule:Mae_layout.Anneal.quick_schedule ~rng:(S.rng 3) store
+  with
+  | Error e -> Alcotest.failf "chip plan failed: %s" e
+  | Ok plan ->
+      Alcotest.(check int) "three modules" 3 (List.length plan.Chip.placements);
+      Alcotest.(check bool) "positive area" true (plan.Chip.chip_area > 0.);
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (plan.Chip.utilization > 0. && plan.Chip.utilization <= 1. +. 1e-9);
+      (* modules fit inside the chip and do not overlap *)
+      let chip_rect =
+        Mae_geom.Rect.make ~x:0. ~y:0. ~w:plan.Chip.chip_width
+          ~h:plan.Chip.chip_height
+      in
+      List.iter
+        (fun (_, rect) ->
+          Alcotest.(check bool) "inside chip" true
+            (Mae_geom.Rect.contains_point chip_rect (Mae_geom.Rect.center rect)))
+        plan.Chip.placements;
+      let rects = List.map snd plan.Chip.placements in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if i < j then
+                Alcotest.(check bool) "disjoint" false
+                  (Mae_geom.Rect.intersects a b))
+            rects)
+        rects
+
+let test_chip_allowance_grows_area () =
+  let store = chip_store () in
+  let area allowance =
+    match
+      Chip.plan ~schedule:Mae_layout.Anneal.quick_schedule
+        ~routing_allowance:allowance ~rng:(S.rng 3) store
+    with
+    | Ok plan -> plan.Chip.chip_area
+    | Error e -> Alcotest.failf "plan failed: %s" e
+  in
+  Alcotest.(check bool) "allowance costs area" true (area 0.3 > area 0.)
+
+let test_chip_plan_errors () =
+  begin
+    match Chip.plan ~rng:(S.rng 1) (Mae_db.Store.create ()) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected error on empty store"
+  end;
+  match Chip.plan ~routing_allowance:2. ~rng:(S.rng 1) (chip_store ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error on bad allowance"
+
+let () =
+  Alcotest.run "floorplan"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "prunes dominated" `Quick test_shape_prunes_dominated;
+          Alcotest.test_case "validation" `Quick test_shape_validation;
+          Alcotest.test_case "square" `Quick test_shape_square;
+          Alcotest.test_case "rotations" `Quick test_shape_rotations;
+          Alcotest.test_case "combines" `Quick test_shape_combines;
+          Alcotest.test_case "best option" `Quick test_best_option;
+        ] );
+      ( "polish",
+        [
+          Alcotest.test_case "initial" `Quick test_polish_initial;
+          Alcotest.test_case "rejects invalid" `Quick test_polish_of_elements_rejects;
+          Alcotest.test_case "moves preserve validity" `Quick
+            test_polish_moves_preserve_validity;
+          Alcotest.test_case "single module" `Quick test_polish_single_module;
+        ] );
+      ( "slicing",
+        [
+          Alcotest.test_case "two modules" `Quick test_slicing_two_modules;
+          Alcotest.test_case "min-area option" `Quick
+            test_slicing_picks_min_area_option;
+          Alcotest.test_case "mismatch" `Quick test_slicing_shape_count_mismatch;
+          Alcotest.test_case "place: disjoint & inside" `Quick
+            test_place_no_overlap_within_chip;
+          Alcotest.test_case "place: areas" `Quick test_place_areas_match_options;
+        ] );
+      ( "fp_anneal",
+        [
+          Alcotest.test_case "improves" `Quick test_fp_anneal_improves_over_initial;
+          Alcotest.test_case "single module" `Quick test_fp_anneal_single_module;
+        ] );
+      ( "chip",
+        [
+          Alcotest.test_case "plan" `Quick test_chip_plan;
+          Alcotest.test_case "allowance" `Quick test_chip_allowance_grows_area;
+          Alcotest.test_case "errors" `Quick test_chip_plan_errors;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "perfect estimates" `Quick
+            test_flow_perfect_estimates_converge_immediately;
+          Alcotest.test_case "underestimates iterate" `Quick
+            test_flow_underestimates_need_more_rounds;
+          Alcotest.test_case "validation" `Quick test_flow_validation;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,188 @@
+open Mae_geom
+module S = Mae_test_support.Support
+
+let test_lambda_conversions () =
+  S.check_float "of_microns" 4. (Lambda.of_microns ~microns:10. ~lambda_microns:2.5);
+  S.check_float "to_microns" 10. (Lambda.to_microns 4. ~lambda_microns:2.5);
+  S.check_float "area" 16.
+    (Lambda.area_of_square_microns 100. ~lambda_microns:2.5)
+
+let test_lambda_grid () =
+  S.check_float "exact multiple stays" 14. (Lambda.ceil_to_grid 14. ~grid:7.);
+  S.check_float "rounds up" 21. (Lambda.ceil_to_grid 14.1 ~grid:7.);
+  S.check_float "zero stays" 0. (Lambda.ceil_to_grid 0. ~grid:7.);
+  S.raises_invalid (fun () -> Lambda.ceil_to_grid 1. ~grid:0.)
+
+let test_point_distances () =
+  let a = Point.make ~x:1. ~y:2. and b = Point.make ~x:4. ~y:6. in
+  S.check_float "manhattan" 7. (Point.manhattan a b);
+  S.check_float "euclid" 5. (Point.euclid a b);
+  Alcotest.(check bool) "midpoint" true
+    (Point.equal (Point.midpoint a b) (Point.make ~x:2.5 ~y:4.))
+
+let test_interval_basics () =
+  let i = Interval.make ~lo:5. ~hi:2. in
+  S.check_float "normalized lo" 2. i.Interval.lo;
+  S.check_float "normalized hi" 5. i.Interval.hi;
+  S.check_float "length" 3. (Interval.length i);
+  Alcotest.(check bool) "contains" true (Interval.contains i 3.);
+  Alcotest.(check bool) "contains edge" true (Interval.contains i 5.);
+  Alcotest.(check bool) "not contains" false (Interval.contains i 5.1)
+
+let test_interval_overlap () =
+  let a = Interval.make ~lo:0. ~hi:2. and b = Interval.make ~lo:2. ~hi:4. in
+  let c = Interval.make ~lo:3. ~hi:5. in
+  Alcotest.(check bool) "touching closed" true (Interval.overlaps a b);
+  Alcotest.(check bool) "touching open" false (Interval.overlaps_open a b);
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps a c);
+  Alcotest.(check bool) "hull" true
+    (Interval.equal (Interval.hull a c) (Interval.make ~lo:0. ~hi:5.))
+
+let test_rect_basics () =
+  let r = Rect.make ~x:1. ~y:2. ~w:3. ~h:4. in
+  S.check_float "area" 12. (Rect.area r);
+  S.check_float "aspect" 0.75 (Rect.aspect_ratio r);
+  Alcotest.(check bool) "center" true
+    (Point.equal (Rect.center r) (Point.make ~x:2.5 ~y:4.));
+  S.raises_invalid (fun () -> Rect.make ~x:0. ~y:0. ~w:(-1.) ~h:1.)
+
+let test_rect_union_intersect () =
+  let a = Rect.make ~x:0. ~y:0. ~w:2. ~h:2. in
+  let b = Rect.make ~x:3. ~y:3. ~w:2. ~h:2. in
+  let u = Rect.union a b in
+  S.check_float "union area" 25. (Rect.area u);
+  Alcotest.(check bool) "disjoint" false (Rect.intersects a b);
+  (* rectangles sharing only an edge do not intersect (cells abut) *)
+  let c = Rect.make ~x:2. ~y:0. ~w:2. ~h:2. in
+  Alcotest.(check bool) "abutting" false (Rect.intersects a c);
+  let d = Rect.make ~x:1. ~y:1. ~w:2. ~h:2. in
+  Alcotest.(check bool) "overlapping" true (Rect.intersects a d)
+
+let test_rect_union_all () =
+  Alcotest.(check bool) "empty" true (Rect.union_all [] = None);
+  let r = Rect.make ~x:0. ~y:0. ~w:1. ~h:1. in
+  Alcotest.(check bool) "singleton" true (Rect.union_all [ r ] = Some r)
+
+let test_aspect_basics () =
+  let a = Aspect.make ~width:20. ~height:10. in
+  S.check_float "ratio" 2. (Aspect.ratio a);
+  S.check_float "normalize" 0.5 (Aspect.ratio (Aspect.normalize a));
+  S.check_float "clamped" 1.5 (Aspect.ratio (Aspect.clamp a ~lo:1. ~hi:1.5));
+  S.raises_invalid (fun () -> Aspect.make ~width:0. ~height:1.);
+  S.raises_invalid (fun () -> Aspect.of_ratio (-2.))
+
+let test_aspect_dims () =
+  let a = Aspect.of_ratio 2. in
+  let w, h = Aspect.dims_for_area a 200. in
+  S.check_float "w*h = area" 200. (w *. h);
+  S.check_float "w/h = ratio" 2. (w /. h)
+
+let test_aspect_error_orientation_free () =
+  let e =
+    Aspect.error ~estimated:(Aspect.of_ratio 2.) ~real:(Aspect.of_ratio 0.5)
+  in
+  S.check_float "rotated shapes are the same shape" 0. e
+
+let test_orientation_group () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "self-inverse" true
+        (Orientation.equal Orientation.R0 (Orientation.compose o o)))
+    Orientation.all;
+  Alcotest.(check bool) "mx.my = r180" true
+    (Orientation.equal Orientation.R180
+       (Orientation.compose Orientation.MX Orientation.MY));
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "flip_x twice" true
+        (Orientation.equal o (Orientation.flip_x (Orientation.flip_x o)));
+      Alcotest.(check bool) "flip_y twice" true
+        (Orientation.equal o (Orientation.flip_y (Orientation.flip_y o))))
+    Orientation.all
+
+(* Property tests *)
+
+let pos_float = QCheck2.Gen.float_range 0.1 1000.
+
+let any_float = QCheck2.Gen.float_range (-1000.) 1000.
+
+let interval_gen =
+  QCheck2.Gen.map
+    (fun (a, b) -> Interval.make ~lo:a ~hi:b)
+    QCheck2.Gen.(pair any_float any_float)
+
+let rect_gen =
+  QCheck2.Gen.map
+    (fun (((x, y), w), h) -> Rect.make ~x ~y ~w ~h)
+    QCheck2.Gen.(pair (pair (pair any_float any_float) pos_float) pos_float)
+
+let props =
+  [
+    S.qtest "interval overlap symmetric"
+      QCheck2.Gen.(pair interval_gen interval_gen)
+      (fun (a, b) -> Interval.overlaps a b = Interval.overlaps b a);
+    S.qtest "interval hull covers both"
+      QCheck2.Gen.(pair interval_gen interval_gen)
+      (fun (a, b) ->
+        let h = Interval.hull a b in
+        Interval.contains h a.Interval.lo
+        && Interval.contains h b.Interval.hi);
+    S.qtest "open overlap implies closed overlap"
+      QCheck2.Gen.(pair interval_gen interval_gen)
+      (fun (a, b) ->
+        (not (Interval.overlaps_open a b)) || Interval.overlaps a b);
+    S.qtest "rect union contains both centers"
+      QCheck2.Gen.(pair rect_gen rect_gen)
+      (fun (a, b) ->
+        let u = Rect.union a b in
+        Rect.contains_point u (Rect.center a)
+        && Rect.contains_point u (Rect.center b));
+    S.qtest "rect union area at least max"
+      QCheck2.Gen.(pair rect_gen rect_gen)
+      (fun (a, b) ->
+        Rect.area (Rect.union a b) >= Float.max (Rect.area a) (Rect.area b) -. 1e-6);
+    S.qtest "rect intersects symmetric"
+      QCheck2.Gen.(pair rect_gen rect_gen)
+      (fun (a, b) -> Rect.intersects a b = Rect.intersects b a);
+    S.qtest "aspect normalize is <= 1" pos_float (fun r ->
+        Aspect.ratio (Aspect.normalize (Aspect.of_ratio r)) <= 1. +. 1e-12);
+    S.qtest "aspect dims reproduce area"
+      QCheck2.Gen.(pair pos_float pos_float)
+      (fun (r, area) ->
+        let w, h = Aspect.dims_for_area (Aspect.of_ratio r) area in
+        S.approx ~eps:1e-9 (w *. h) area);
+    S.qtest "orientation compose closed"
+      QCheck2.Gen.(pair (oneofl Orientation.all) (oneofl Orientation.all))
+      (fun (a, b) -> List.mem (Orientation.compose a b) Orientation.all);
+  ]
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "lambda",
+        [
+          Alcotest.test_case "conversions" `Quick test_lambda_conversions;
+          Alcotest.test_case "grid" `Quick test_lambda_grid;
+        ] );
+      ("point", [ Alcotest.test_case "distances" `Quick test_point_distances ]);
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "basics" `Quick test_rect_basics;
+          Alcotest.test_case "union/intersect" `Quick test_rect_union_intersect;
+          Alcotest.test_case "union_all" `Quick test_rect_union_all;
+        ] );
+      ( "aspect",
+        [
+          Alcotest.test_case "basics" `Quick test_aspect_basics;
+          Alcotest.test_case "dims" `Quick test_aspect_dims;
+          Alcotest.test_case "orientation-free error" `Quick
+            test_aspect_error_orientation_free;
+        ] );
+      ("orientation", [ Alcotest.test_case "group" `Quick test_orientation_group ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,428 @@
+open Mae_hdl
+module S = Mae_test_support.Support
+
+let sample =
+  {|
+  module half_adder {
+    technology nmos25;
+    port a in; port b in;
+    port s out; port c out;
+    device x1 xor2 (a, b, s);
+    device a1 nand2 (a, b, cn);
+    device i1 inv (cn, c);
+    net cn;
+  }
+|}
+
+(* Lexer *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "module m { port a in; }" with
+  | Error e -> Alcotest.failf "lex error: %s" e.message
+  | Ok tokens ->
+      let kinds = List.map (fun (t : Token.located) -> t.token) tokens in
+      Alcotest.(check bool) "tokens" true
+        (kinds
+        = [ Token.Module; Token.Ident "m"; Token.Lbrace; Token.Port;
+            Token.Ident "a"; Token.Ident "in"; Token.Semi; Token.Rbrace;
+            Token.Eof ])
+
+let test_lexer_comments () =
+  match Lexer.tokenize "# all\n// comment\nmodule" with
+  | Error e -> Alcotest.failf "lex error: %s" e.message
+  | Ok tokens -> Alcotest.(check int) "module + eof" 2 (List.length tokens)
+
+let test_lexer_positions () =
+  match Lexer.tokenize "module\n  m" with
+  | Error _ -> Alcotest.fail "lex error"
+  | Ok [ m; ident; _eof ] ->
+      Alcotest.(check int) "line 1" 1 m.Token.line;
+      Alcotest.(check int) "line 2" 2 ident.Token.line;
+      Alcotest.(check int) "col 3" 3 ident.Token.column
+  | Ok _ -> Alcotest.fail "unexpected token count"
+
+let test_lexer_error () =
+  match Lexer.tokenize "module $" with
+  | Error e -> Alcotest.(check int) "line" 1 e.line
+  | Ok _ -> Alcotest.fail "expected lex error"
+
+let test_lexer_bus_bits () =
+  match Lexer.tokenize "a[3] b.c" with
+  | Ok [ a; b; _eof ] ->
+      Alcotest.(check bool) "bracketed ident" true (a.Token.token = Token.Ident "a[3]");
+      Alcotest.(check bool) "dotted ident" true (b.Token.token = Token.Ident "b.c")
+  | Ok _ | Error _ -> Alcotest.fail "expected two idents"
+
+(* Parser *)
+
+let test_parse_sample () =
+  match Parser.parse_string sample with
+  | Error e -> Alcotest.failf "parse error: %d:%d %s" e.line e.column e.message
+  | Ok [ m ] ->
+      Alcotest.(check string) "name" "half_adder" m.Ast.name;
+      Alcotest.(check bool) "technology" true
+        (Ast.technology m = Some "nmos25");
+      let devices =
+        List.filter
+          (function Ast.Device_decl _ -> true | _ -> false)
+          m.Ast.items
+      in
+      Alcotest.(check int) "devices" 3 (List.length devices)
+  | Ok _ -> Alcotest.fail "expected one module"
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parser.parse_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "module { }";
+  expect_error "module m { port a sideways; }";
+  expect_error "module m { device d inv (); }";
+  expect_error "module m { device d inv (a,); }";
+  expect_error "module m { port a in }";
+  expect_error "module m { ";
+  expect_error "port a in;"
+
+let test_parse_multiple_modules () =
+  let text = "module a { port p in; } module b { port q out; }" in
+  match Parser.parse_string text with
+  | Ok ms -> Alcotest.(check int) "two modules" 2 (List.length ms)
+  | Error _ -> Alcotest.fail "parse failed"
+
+(* Elaborate *)
+
+let elaborated () =
+  match Parser.parse_string sample with
+  | Error _ -> Alcotest.fail "parse failed"
+  | Ok design -> begin
+      match Elaborate.design_to_circuits design with
+      | Ok [ c ] -> c
+      | Ok _ -> Alcotest.fail "expected one circuit"
+      | Error e ->
+          Alcotest.failf "elaborate: %s"
+            (Format.asprintf "%a" Elaborate.pp_error e)
+    end
+
+let test_elaborate_sample () =
+  let c = elaborated () in
+  Alcotest.(check int) "devices" 3 (Mae_netlist.Circuit.device_count c);
+  Alcotest.(check int) "ports" 4 (Mae_netlist.Circuit.port_count c);
+  (* nets: a b s c cn *)
+  Alcotest.(check int) "nets" 5 (Mae_netlist.Circuit.net_count c);
+  let cn = Option.get (Mae_netlist.Circuit.find_net c "cn") in
+  Alcotest.(check int) "cn degree" 2
+    (Mae_netlist.Circuit.degree c cn.Mae_netlist.Net.index)
+
+let test_elaborate_no_technology () =
+  match Parser.parse_string "module m { port a in; }" with
+  | Error _ -> Alcotest.fail "parse failed"
+  | Ok design -> begin
+      match Elaborate.design_to_circuits design with
+      | Error (Elaborate.No_technology _) -> ()
+      | Error _ | Ok _ -> Alcotest.fail "expected No_technology";
+    end;
+    begin
+      match
+        Parser.parse_string "module m { port a in; }"
+        |> Result.get_ok
+        |> Elaborate.design_to_circuits ~default_technology:"cmos20"
+      with
+      | Ok [ c ] ->
+          Alcotest.(check string) "default applied" "cmos20"
+            c.Mae_netlist.Circuit.technology
+      | Ok _ | Error _ -> Alcotest.fail "expected default technology"
+    end
+
+let test_elaborate_duplicate () =
+  let text = "module m { technology t; port a in; port a in; }" in
+  match Parser.parse_string text |> Result.get_ok |> Elaborate.design_to_circuits with
+  | Error (Elaborate.Duplicate_name { what = "port"; _ }) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected duplicate port error"
+
+let test_find_module () =
+  let design = Parser.parse_string sample |> Result.get_ok in
+  begin
+    match Elaborate.find_module design ~name:"half_adder" with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "should find half_adder"
+  end;
+  match Elaborate.find_module design ~name:"zzz" with
+  | Error (Elaborate.Module_not_found "zzz") -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Module_not_found"
+
+(* Printer round-trip *)
+
+let circuits_isomorphic (a : Mae_netlist.Circuit.t) (b : Mae_netlist.Circuit.t) =
+  Mae_netlist.Circuit.device_count a = Mae_netlist.Circuit.device_count b
+  && Mae_netlist.Circuit.net_count a = Mae_netlist.Circuit.net_count b
+  && Mae_netlist.Circuit.port_count a = Mae_netlist.Circuit.port_count b
+  && Array.for_all
+       (fun (d : Mae_netlist.Device.t) ->
+         match Mae_netlist.Circuit.find_device b d.name with
+         | None -> false
+         | Some d' ->
+             String.equal d.kind d'.Mae_netlist.Device.kind
+             && List.equal String.equal
+                  (List.map (fun i -> a.Mae_netlist.Circuit.nets.(i).Mae_netlist.Net.name)
+                     (Array.to_list d.pins))
+                  (List.map (fun i -> b.Mae_netlist.Circuit.nets.(i).Mae_netlist.Net.name)
+                     (Array.to_list d'.Mae_netlist.Device.pins)))
+       a.Mae_netlist.Circuit.devices
+
+let test_printer_roundtrip () =
+  List.iter
+    (fun circuit ->
+      let text = Printer.to_string circuit in
+      match Parser.parse_string text with
+      | Error e -> Alcotest.failf "re-parse failed: %s" e.message
+      | Ok design -> begin
+          match Elaborate.design_to_circuits design with
+          | Ok [ c' ] ->
+              Alcotest.(check bool)
+                ("round trip " ^ circuit.Mae_netlist.Circuit.name)
+                true (circuits_isomorphic circuit c')
+          | Ok _ | Error _ -> Alcotest.fail "re-elaboration failed"
+        end)
+    [ S.full_adder; S.tiny (); S.counter8 ]
+
+(* SPICE *)
+
+let spice_sample =
+  {|* a tiny subcircuit
+* technology: nmos25
+.subckt inverter in out
+Mpd out in gnd gnd nenh
+Mpu vdd out out
++ vdd ndep
+.ends
+.subckt pair a b
+Xi1 a m inverter
+Xi2 m b inverter
+.ends pair
+.end
+|}
+
+let test_spice_parse () =
+  match Spice.parse_string spice_sample with
+  | Error e -> Alcotest.failf "spice error: line %d: %s" e.line e.message
+  | Ok [ inv; pair ] ->
+      Alcotest.(check string) "name" "inverter" inv.Mae_netlist.Circuit.name;
+      Alcotest.(check string) "technology" "nmos25"
+        inv.Mae_netlist.Circuit.technology;
+      Alcotest.(check int) "transistors" 2
+        (Mae_netlist.Circuit.device_count inv);
+      (* bulk node dropped: Mpd pins are out, in, gnd *)
+      let mpd = Option.get (Mae_netlist.Circuit.find_device inv "Mpd") in
+      Alcotest.(check int) "3 pins" 3 (Array.length mpd.Mae_netlist.Device.pins);
+      Alcotest.(check int) "pair devices" 2
+        (Mae_netlist.Circuit.device_count pair);
+      let x1 = Option.get (Mae_netlist.Circuit.find_device pair "Xi1") in
+      Alcotest.(check string) "instance kind" "inverter"
+        x1.Mae_netlist.Device.kind
+  | Ok l -> Alcotest.failf "expected 2 circuits, got %d" (List.length l)
+
+let test_spice_errors () =
+  let expect_error text =
+    match Spice.parse_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected spice error for %S" text
+  in
+  expect_error ".ends\n";
+  expect_error ".subckt a p\nM1 a b nenh\n.ends\n";  (* malformed MOS card *)
+  expect_error "M1 a b c d nenh\n";  (* outside subckt *)
+  expect_error ".subckt a p\n";  (* unterminated *)
+  expect_error "+ continuation first\n"
+
+(* Hierarchical flattening *)
+
+let hierarchical_design =
+  {|
+  module half_add {
+    port a in; port b in; port s out; port c out;
+    device x xor2 (a, b, s);
+    device n nand2 (a, b, cn);
+    device i inv (cn, c);
+  }
+  module full_add {
+    port a in; port b in; port cin in; port s out; port cout out;
+    device h1 half_add (a, b, t, c1);
+    device h2 half_add (t, cin, s, c2);
+    device o nor2 (c1, c2, cout_n);
+    device i3 inv (cout_n, cout);
+  }
+  module adder2 {
+    technology nmos25;
+    port a0 in; port a1 in; port b0 in; port b1 in; port ci in;
+    port s0 out; port s1 out; port co out;
+    device f0 full_add (a0, b0, ci, s0, k);
+    device f1 full_add (a1, b1, k, s1, co);
+  }
+|}
+
+let test_flatten_hierarchy () =
+  let design = Parser.parse_string hierarchical_design |> Result.get_ok in
+  match Elaborate.flatten design ~top:"adder2" with
+  | Error e -> Alcotest.failf "flatten: %s" (Format.asprintf "%a" Elaborate.pp_error e)
+  | Ok c ->
+      (* each full_add = 2 half_add (3 devices each) + 2 leaf devices = 8;
+         2 instances -> 16 devices *)
+      Alcotest.(check int) "devices" 16 (Mae_netlist.Circuit.device_count c);
+      Alcotest.(check int) "only top ports" 8 (Mae_netlist.Circuit.port_count c);
+      Alcotest.(check string) "technology" "nmos25"
+        c.Mae_netlist.Circuit.technology;
+      (* the internal carry k connects the two adder slices *)
+      let k = Option.get (Mae_netlist.Circuit.find_net c "k") in
+      (* f0's cout driver plus the two half-add gates reading f1's cin *)
+      Alcotest.(check int) "carry net crosses instances" 3
+        (Mae_netlist.Circuit.degree c k.Mae_netlist.Net.index);
+      (* hierarchical names *)
+      Alcotest.(check bool) "nested instance name" true
+        (Mae_netlist.Circuit.find_device c "f0.h1.x" <> None);
+      (* it is a real estimable circuit *)
+      let est = Mae.Stdcell.estimate ~rows:2 c Mae_test_support.Support.nmos in
+      Alcotest.(check bool) "estimable" true (est.Mae.Estimate.area > 0.)
+
+let test_flatten_functional () =
+  (* the flattened 2-bit adder actually adds *)
+  let design = Parser.parse_string hierarchical_design |> Result.get_ok in
+  let c = Result.get_ok (Elaborate.flatten design ~top:"adder2") in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let inputs =
+        Mae_sim.Simulator.bits ~prefix:"a" ~width:2 a
+        @ Mae_sim.Simulator.bits ~prefix:"b" ~width:2 b
+        @ [ ("ci", false) ]
+      in
+      match Mae_sim.Simulator.eval c ~inputs with
+      | Error e ->
+          Alcotest.failf "sim: %s"
+            (Format.asprintf "%a" Mae_sim.Simulator.pp_error e)
+      | Ok outputs ->
+          let total =
+            List.fold_left
+              (fun acc (name, v) ->
+                if not v then acc
+                else
+                  match name with
+                  | "s0" -> acc lor 1
+                  | "s1" -> acc lor 2
+                  | "co" -> acc lor 4
+                  | _ -> acc)
+              0 outputs
+          in
+          Alcotest.(check int) (Printf.sprintf "%d+%d" a b) (a + b) total
+    done
+  done
+
+let test_flatten_errors () =
+  let recursive = "module m { technology t; port a in; device u m (a); }" in
+  begin
+    match
+      Parser.parse_string recursive |> Result.get_ok
+      |> fun d -> Elaborate.flatten d ~top:"m"
+    with
+    | Error (Elaborate.Recursive_module "m") -> ()
+    | Error _ | Ok _ -> Alcotest.fail "expected Recursive_module"
+  end;
+  let arity =
+    "module a { technology t; port p in; device u inv (p, q); }\n\
+     module b { technology t; port x in; device i a (x, y, z); }"
+  in
+  begin
+    match
+      Parser.parse_string arity |> Result.get_ok
+      |> fun d -> Elaborate.flatten d ~top:"b"
+    with
+    | Error (Elaborate.Port_arity { expected = 1; got = 3; _ }) -> ()
+    | Error _ | Ok _ -> Alcotest.fail "expected Port_arity"
+  end;
+  match
+    Parser.parse_string "module a { technology t; port p in; }"
+    |> Result.get_ok
+    |> fun d -> Elaborate.flatten d ~top:"zzz"
+  with
+  | Error (Elaborate.Module_not_found "zzz") -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Module_not_found"
+
+let test_flatten_leaf_module_matches_plain () =
+  (* flattening a design with no hierarchy equals plain elaboration *)
+  let design = Parser.parse_string sample |> Result.get_ok in
+  let flat = Result.get_ok (Elaborate.flatten design ~top:"half_adder") in
+  let plain =
+    Result.get_ok (Elaborate.find_module design ~name:"half_adder")
+  in
+  Alcotest.(check int) "devices" (Mae_netlist.Circuit.device_count plain)
+    (Mae_netlist.Circuit.device_count flat);
+  Alcotest.(check int) "nets" (Mae_netlist.Circuit.net_count plain)
+    (Mae_netlist.Circuit.net_count flat)
+
+(* Fuzz: malformed input must produce errors, never exceptions *)
+
+let fuzz_props =
+  let open QCheck2.Gen in
+  let junk_gen =
+    string_size ~gen:(char_range ' ' '~') (int_range 0 200)
+  in
+  let tokens_gen =
+    map (String.concat " ")
+      (list_size (int_range 0 40)
+         (oneofl
+            [ "module"; "port"; "device"; "net"; "technology"; "{"; "}"; "(";
+              ")"; ","; ";"; "in"; "out"; "x"; "inv"; "a[2]"; "//c"; "#c" ]))
+  in
+  [
+    S.qtest ~count:300 "parser total on junk" junk_gen (fun text ->
+        match Parser.parse_string text with
+        | Ok _ | Error _ -> true);
+    S.qtest ~count:300 "parser total on token soup" tokens_gen (fun text ->
+        match Parser.parse_string text with
+        | Ok _ | Error _ -> true);
+    S.qtest ~count:300 "spice total on junk" junk_gen (fun text ->
+        match Spice.parse_string text with
+        | Ok _ | Error _ -> true);
+    S.qtest ~count:300 "lexer total on junk" junk_gen (fun text ->
+        match Lexer.tokenize text with
+        | Ok _ | Error _ -> true);
+  ]
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+          Alcotest.test_case "bus bits" `Quick test_lexer_bus_bits;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sample" `Quick test_parse_sample;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "multiple modules" `Quick test_parse_multiple_modules;
+        ] );
+      ( "elaborate",
+        [
+          Alcotest.test_case "sample" `Quick test_elaborate_sample;
+          Alcotest.test_case "no technology" `Quick test_elaborate_no_technology;
+          Alcotest.test_case "duplicates" `Quick test_elaborate_duplicate;
+          Alcotest.test_case "find module" `Quick test_find_module;
+        ] );
+      ("printer", [ Alcotest.test_case "round trip" `Quick test_printer_roundtrip ]);
+      ( "flatten",
+        [
+          Alcotest.test_case "hierarchy" `Quick test_flatten_hierarchy;
+          Alcotest.test_case "functional" `Quick test_flatten_functional;
+          Alcotest.test_case "errors" `Quick test_flatten_errors;
+          Alcotest.test_case "leaf equals plain" `Quick
+            test_flatten_leaf_module_matches_plain;
+        ] );
+      ( "spice",
+        [
+          Alcotest.test_case "parse" `Quick test_spice_parse;
+          Alcotest.test_case "errors" `Quick test_spice_errors;
+        ] );
+      ("fuzz", fuzz_props);
+    ]

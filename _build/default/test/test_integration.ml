@@ -1,0 +1,375 @@
+(* End-to-end and cross-library invariants: the properties the paper's
+   evaluation rests on. *)
+
+module S = Mae_test_support.Support
+
+let quick = Mae_layout.Anneal.quick_schedule
+
+(* Table 1 shape: the full-custom estimate tracks the hand-layout flow
+   closely on small modules. *)
+let test_fullcustom_estimates_close () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let est =
+        Mae.Fullcustom.estimate ~mode:Mae.Config.Exact_areas e.circuit S.nmos
+      in
+      let real = Mae_layout.Fc_flow.run ~rng:(S.rng 99) e.circuit S.nmos in
+      let err =
+        Mae_prob.Stats.relative_error ~estimated:est.Mae.Estimate.area
+          ~real:real.Mae_layout.Row_layout.area
+      in
+      if Float.abs err > 0.40 then
+        Alcotest.failf "%s: |error| %.1f%% exceeds 40%%" e.name (100. *. err))
+    (Mae_workload.Bench_circuits.table1 ())
+
+(* Table 1 footnote case reproduced exactly: the all-two-component module
+   estimates with zero wire area and its layout realizes it. *)
+let test_footnote_module_exact () =
+  let chain = Mae_workload.Generators.pass_chain 8 in
+  let est = Mae.Fullcustom.estimate ~mode:Mae.Config.Exact_areas chain S.nmos in
+  let real =
+    Mae_layout.Fc_flow.run ~rng:(S.rng 99) ~row_candidates:[ 1 ] chain S.nmos
+  in
+  S.check_float "wire estimate zero" 0. est.Mae.Estimate.wire_area;
+  let err =
+    Mae_prob.Stats.relative_error ~estimated:est.Mae.Estimate.area
+      ~real:real.Mae_layout.Row_layout.area
+  in
+  Alcotest.(check bool) "within 5%" true (Float.abs err < 0.05)
+
+(* Table 2 shape 1: the standard-cell estimate is an upper bound. *)
+let test_stdcell_upper_bound () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      List.iter
+        (fun rows ->
+          let est = Mae.Stdcell.estimate ~rows e.circuit S.nmos in
+          let real =
+            Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng 5) ~rows
+              e.circuit S.nmos
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s rows=%d" e.name rows)
+            true
+            (est.Mae.Estimate.area > real.Mae_layout.Row_layout.area))
+        [ 2; 3; 4; 6 ])
+    (Mae_workload.Bench_circuits.table2 ())
+
+(* Table 2 shape 2: the estimate decreases as the row count increases
+   (checked over rows >= 2, where the paper's sweep lives). *)
+let test_stdcell_estimate_decreases_with_rows () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let areas =
+        List.map
+          (fun rows ->
+            (Mae.Stdcell.estimate ~rows e.circuit S.nmos).Mae.Estimate.area)
+          [ 2; 4; 8 ]
+      in
+      match areas with
+      | [ a2; a4; a8 ] ->
+          Alcotest.(check bool) (e.name ^ " 2->4") true (a4 < a2);
+          Alcotest.(check bool) (e.name ^ " 4->8") true (a8 < a4)
+      | _ -> Alcotest.fail "unexpected sweep size")
+    (Mae_workload.Bench_circuits.table2 ())
+
+(* Table 2 shape 3: the section 7 track-sharing correction moves the
+   upper bound into the paper's +42..70% error band. *)
+let test_track_sharing_calibration_closes_gap () =
+  let circuits = Mae_workload.Bench_circuits.table2 () in
+  let pairs =
+    List.concat_map
+      (fun (e : Mae_workload.Bench_circuits.entry) ->
+        List.map
+          (fun rows ->
+            let est = Mae.Stdcell.estimate ~rows e.circuit S.nmos in
+            let real =
+              Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng 7) ~rows
+                e.circuit S.nmos
+            in
+            (est, real.Mae_layout.Row_layout.area))
+          [ 3; 4 ])
+      circuits
+  in
+  match Mae.Extensions.calibrate_sharing_factor pairs with
+  | None -> Alcotest.fail "calibration failed"
+  | Some factor ->
+      Alcotest.(check bool) "factor in (0,1)" true (factor > 0. && factor < 1.);
+      List.iter
+        (fun (e : Mae_workload.Bench_circuits.entry) ->
+          let corrected =
+            Mae.Extensions.with_track_sharing ~factor ~rows:4 e.circuit S.nmos
+          in
+          let real =
+            Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng 7) ~rows:4
+              e.circuit S.nmos
+          in
+          let err =
+            Mae_prob.Stats.relative_error
+              ~estimated:corrected.Mae.Estimate.area
+              ~real:real.Mae_layout.Row_layout.area
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s corrected error %.0f%% under 120%%" e.name
+               (100. *. err))
+            true
+            (err > -0.2 && err < 1.2))
+        circuits
+
+(* The headline Table 2 property generalizes beyond the benchmark suite. *)
+let upper_bound_props =
+  [
+    S.qtest ~count:20 "stdcell estimate upper-bounds random layouts"
+      QCheck2.Gen.(pair (int_range 1 10000) (int_range 15 60))
+      (fun (seed, devices) ->
+        let c =
+          Mae_workload.Random_circuit.generate ~rng:(S.rng seed)
+            { Mae_workload.Random_circuit.default_params with devices }
+        in
+        let rows = 2 + (seed mod 4) in
+        let est = Mae.Stdcell.estimate ~rows c S.nmos in
+        let real =
+          Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng (seed + 99)) ~rows
+            c S.nmos
+        in
+        est.Mae.Estimate.area > real.Mae_layout.Row_layout.area);
+  ]
+
+(* The full Figure 1 pipeline: HDL text in, floor-planner database out. *)
+let test_figure1_pipeline () =
+  let registry = Mae_tech.Registry.create () in
+  let hdl =
+    Mae_hdl.Printer.to_string S.counter8 ^ Mae_hdl.Printer.to_string S.full_adder
+  in
+  match Mae.Driver.run_string ~registry hdl with
+  | Error e ->
+      Alcotest.failf "pipeline failed: %s"
+        (Format.asprintf "%a" Mae.Driver.pp_error e)
+  | Ok reports ->
+      Alcotest.(check int) "two modules" 2 (List.length reports);
+      let store = Mae_db.Store.create () in
+      List.iter
+        (fun r -> Mae_db.Store.add store (Mae_db.Record.of_report r))
+        reports;
+      (* feed the stored shapes to the floor planner *)
+      let shapes =
+        Mae_db.Store.records store
+        |> List.map (fun (r : Mae_db.Record.t) ->
+               Mae_floorplan.Shape.with_rotations
+                 (Mae_floorplan.Shape.of_list r.shapes))
+        |> Array.of_list
+      in
+      let result =
+        Mae_floorplan.Fp_anneal.run ~schedule:quick ~rng:(S.rng 3) shapes
+      in
+      let chip = result.Mae_floorplan.Fp_anneal.placement.Mae_floorplan.Slicing.chip in
+      Alcotest.(check bool) "chip area positive" true
+        (chip.Mae_floorplan.Slicing.area > 0.)
+
+(* SPICE front end feeds the same pipeline. *)
+let test_spice_pipeline () =
+  let spice =
+    "* technology: nmos25\n\
+     .subckt buffer in out\n\
+     Xa in mid inv\n\
+     Xb mid out inv\n\
+     .ends\n"
+  in
+  match Mae_hdl.Spice.parse_string spice with
+  | Error e -> Alcotest.failf "spice failed: line %d %s" e.line e.message
+  | Ok [ circuit ] -> begin
+      let registry = Mae_tech.Registry.create () in
+      match Mae.Driver.run_circuit ~registry circuit with
+      | Ok report ->
+          Alcotest.(check bool) "estimated" true
+            (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.)
+      | Error e ->
+          Alcotest.failf "driver failed: %s"
+            (Format.asprintf "%a" Mae.Driver.pp_error e)
+    end
+  | Ok _ -> Alcotest.fail "expected one circuit"
+
+(* Technology independence: the same schematic estimates sanely in every
+   built-in process. *)
+let test_multi_technology () =
+  List.iter
+    (fun (p : Mae_tech.Process.t) ->
+      let circuit = Mae_workload.Generators.counter ~technology:p.name 4 in
+      let est = Mae.Stdcell.estimate_auto circuit p in
+      Alcotest.(check bool) (p.name ^ " positive") true (est.Mae.Estimate.area > 0.))
+    Mae_tech.Builtin.all
+
+(* The floor-planning iteration claim, end to end on real module data. *)
+let test_estimates_reduce_iterations () =
+  let rng = S.rng 71 in
+  let modules =
+    Mae_workload.Rent.generate_modules ~rng
+      { Mae_workload.Rent.default_params with clusters = 4; cluster_size = 24 }
+  in
+  let reals =
+    List.map
+      (fun c ->
+        let rows = Mae.Row_select.initial_rows c S.nmos in
+        (Mae_layout.Sc_flow.run ~schedule:quick ~rng:(Mae_prob.Rng.split rng)
+           ~rows c S.nmos).Mae_layout.Row_layout.area)
+      modules
+  in
+  let estimator_specs =
+    List.map2
+      (fun c real_area ->
+        let shapes =
+          Mae.Extensions.stdcell_shape_candidates c S.nmos
+          |> List.map (fun (e : Mae.Estimate.stdcell) -> (e.width, e.height))
+        in
+        {
+          Mae_floorplan.Flow.name = c.Mae_netlist.Circuit.name;
+          estimated_shapes =
+            Mae_floorplan.Shape.with_rotations (Mae_floorplan.Shape.of_list shapes);
+          real_area;
+        })
+      modules reals
+  in
+  let naive_specs =
+    List.map2
+      (fun c real_area ->
+        let w, h = Mae_baselines.Naive.estimate_square c S.nmos in
+        {
+          Mae_floorplan.Flow.name = c.Mae_netlist.Circuit.name;
+          estimated_shapes = Mae_floorplan.Shape.singleton ~w ~h;
+          real_area;
+        })
+      modules reals
+  in
+  let with_est =
+    Mae_floorplan.Flow.converge ~schedule:quick ~rng:(S.rng 5) estimator_specs
+  in
+  let with_naive =
+    Mae_floorplan.Flow.converge ~schedule:quick ~rng:(S.rng 5) naive_specs
+  in
+  Alcotest.(check bool) "estimator needs no more rounds" true
+    (with_est.Mae_floorplan.Flow.rounds <= with_naive.Mae_floorplan.Flow.rounds)
+
+(* Place, route, expand wires, extract, compare: the full physical loop on
+   random circuits. *)
+let test_route_and_extract_random () =
+  for seed = 1 to 6 do
+    let circuit =
+      Mae_workload.Random_circuit.generate ~rng:(S.rng seed)
+        { Mae_workload.Random_circuit.default_params with devices = 30 }
+    in
+    let layout =
+      Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng (seed + 50)) ~rows:3
+        circuit S.nmos
+    in
+    let wiring = Mae_layout.Sc_flow.wiring circuit S.nmos layout in
+    let report = Mae_layout.Extract.lvs wiring circuit in
+    if wiring.Mae_layout.Wiring.dropped_constraints = 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d lvs clean" seed)
+        true
+        (Mae_layout.Extract.clean report)
+    else
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d no opens" seed)
+        [] report.Mae_layout.Extract.opens
+  done
+
+(* The simulator agrees with the estimator's workload before and after
+   layout: layout does not change the netlist, so functional checks carry
+   over to the layouts the estimator is judged against. *)
+let test_simulation_guards_benchmarks () =
+  let c = Mae_workload.Generators.ripple_adder 3 in
+  let inputs =
+    Mae_sim.Simulator.bits ~prefix:"a" ~width:3 5
+    @ Mae_sim.Simulator.bits ~prefix:"b" ~width:3 6
+    @ [ ("cin", false) ]
+  in
+  match Mae_sim.Simulator.eval c ~inputs with
+  | Error e ->
+      Alcotest.failf "sim: %s" (Format.asprintf "%a" Mae_sim.Simulator.pp_error e)
+  | Ok outputs ->
+      let total =
+        List.fold_left
+          (fun acc (name, v) ->
+            if not v then acc
+            else if name = "cout" then acc lor 8
+            else
+              acc
+              lor (1 lsl int_of_string (String.sub name 1 (String.length name - 1))))
+          0 outputs
+      in
+      Alcotest.(check int) "5+6" 11 total
+
+(* The ISCAS-85 anchor runs through the whole stack. *)
+let test_c17_end_to_end () =
+  let c = Mae_workload.Generators.c17 () in
+  let registry = Mae_tech.Registry.create () in
+  match Mae.Driver.run_circuit ~registry c with
+  | Error e ->
+      Alcotest.failf "driver: %s" (Format.asprintf "%a" Mae.Driver.pp_error e)
+  | Ok report ->
+      Alcotest.(check bool) "estimated" true
+        (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.);
+      let layout =
+        Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng 17) ~rows:2 c S.nmos
+      in
+      Alcotest.(check bool) "upper bound on c17" true
+        (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.
+        && (Mae.Stdcell.estimate ~rows:2 c S.nmos).Mae.Estimate.area
+           > layout.Mae_layout.Row_layout.area);
+      let wiring = Mae_layout.Sc_flow.wiring c S.nmos layout in
+      Alcotest.(check bool) "lvs clean" true
+        (Mae_layout.Extract.clean (Mae_layout.Extract.lvs wiring c))
+
+(* Runtime sanity (the paper quotes seconds-level runtimes for the
+   estimator; ours should be well under that on modern hardware). *)
+let test_estimator_fast () =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      ignore (Mae.Stdcell.estimate_auto e.circuit S.nmos);
+      ignore (Mae.Fullcustom.estimate_both e.circuit S.nmos))
+    (Mae_workload.Bench_circuits.table1 () @ Mae_workload.Bench_circuits.table2 ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "under 1.5s (the paper's Sun 3/50 budget)" true
+    (elapsed < 1.5)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "fc estimates close" `Slow
+            test_fullcustom_estimates_close;
+          Alcotest.test_case "footnote module" `Slow test_footnote_module_exact;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "upper bound" `Slow test_stdcell_upper_bound;
+          Alcotest.test_case "decreasing in rows" `Quick
+            test_stdcell_estimate_decreases_with_rows;
+          Alcotest.test_case "sharing calibration" `Slow
+            test_track_sharing_calibration_closes_gap;
+        ] );
+      ("upper-bound-property", upper_bound_props);
+      ( "pipeline",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_pipeline;
+          Alcotest.test_case "spice" `Quick test_spice_pipeline;
+          Alcotest.test_case "multi technology" `Quick test_multi_technology;
+        ] );
+      ( "physical-loop",
+        [
+          Alcotest.test_case "iscas c17 end to end" `Quick test_c17_end_to_end;
+          Alcotest.test_case "route & extract random" `Slow
+            test_route_and_extract_random;
+          Alcotest.test_case "simulation guard" `Quick
+            test_simulation_guards_benchmarks;
+        ] );
+      ( "floorplanning",
+        [
+          Alcotest.test_case "iteration reduction" `Slow
+            test_estimates_reduce_iterations;
+        ] );
+      ("runtime", [ Alcotest.test_case "estimator fast" `Quick test_estimator_fast ]);
+    ]

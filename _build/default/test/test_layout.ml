@@ -1,0 +1,878 @@
+open Mae_layout
+module S = Mae_test_support.Support
+
+(* Anneal *)
+
+let test_schedule_validation () =
+  Alcotest.(check bool) "default ok" true
+    (Result.is_ok (Anneal.validate_schedule Anneal.default_schedule));
+  Alcotest.(check bool) "quick ok" true
+    (Result.is_ok (Anneal.validate_schedule Anneal.quick_schedule));
+  Alcotest.(check bool) "bad cooling" true
+    (Result.is_error
+       (Anneal.validate_schedule { Anneal.default_schedule with cooling = 1.5 }));
+  Alcotest.(check bool) "inverted temps" true
+    (Result.is_error
+       (Anneal.validate_schedule
+          { Anneal.default_schedule with final_temp = 2000. }));
+  Alcotest.(check bool) "bad moves" true
+    (Result.is_error
+       (Anneal.validate_schedule { Anneal.default_schedule with moves_per_temp = 0 }))
+
+let test_anneal_minimizes_quadratic () =
+  (* minimize (x - 3)^2 with +-step moves *)
+  let x = ref 50. in
+  let cost v = (v -. 3.) *. (v -. 3.) in
+  let propose rng =
+    let step = if Mae_prob.Rng.bool rng then 1. else -1. in
+    let before = cost !x in
+    x := !x +. step;
+    let undo () = x := !x -. step in
+    Some (cost !x -. before, undo)
+  in
+  let final =
+    Anneal.run ~rng:(S.rng 4) ~schedule:Anneal.default_schedule
+      ~initial_cost:(cost !x) ~propose
+  in
+  Alcotest.(check bool) "near optimum" true (final < 25.);
+  S.check_float ~eps:1e-6 "tracked cost consistent" (cost !x) final
+
+let test_anneal_stops_without_moves () =
+  let final =
+    Anneal.run ~rng:(S.rng 1) ~schedule:Anneal.quick_schedule ~initial_cost:7.
+      ~propose:(fun _ -> None)
+  in
+  S.check_float "cost unchanged" 7. final
+
+(* Wirelength *)
+
+let test_hpwl () =
+  let c = S.full_adder in
+  let x d = Float.of_int d in
+  let y _ = 0. in
+  let p = Option.get (Mae_netlist.Circuit.find_net c "fa_p") in
+  (* net p touches devices x1(0), x2(1), g2(3): spread 0..3 -> hpwl 3 *)
+  S.check_float "net hpwl" 3.
+    (Wirelength.net_hpwl c ~net:p.Mae_netlist.Net.index ~x ~y);
+  let a = Option.get (Mae_netlist.Circuit.find_net c "s") in
+  S.check_float "single-pin net free" 0.
+    (Wirelength.net_hpwl c ~net:a.Mae_netlist.Net.index ~x ~y);
+  Alcotest.(check bool) "total positive" true (Wirelength.total_hpwl c ~x ~y > 0.)
+
+let test_nets_of_devices () =
+  let c = S.full_adder in
+  let nets = Wirelength.nets_of_devices c [ 0 ] in
+  (* x1 connects a, b, p *)
+  Alcotest.(check int) "three nets" 3 (List.length nets)
+
+(* Channel router *)
+
+let iv lo hi = Mae_geom.Interval.make ~lo ~hi
+
+let test_left_edge_disjoint_share () =
+  let spans =
+    [ { Channel.net = 0; interval = iv 0. 5. };
+      { Channel.net = 1; interval = iv 6. 9. };
+      { Channel.net = 2; interval = iv 10. 12. } ]
+  in
+  let routed = Channel.left_edge spans in
+  Alcotest.(check int) "one track" 1 routed.Channel.tracks
+
+let test_left_edge_overlapping_separate () =
+  let spans =
+    [ { Channel.net = 0; interval = iv 0. 10. };
+      { Channel.net = 1; interval = iv 5. 15. };
+      { Channel.net = 2; interval = iv 8. 20. } ]
+  in
+  let routed = Channel.left_edge spans in
+  Alcotest.(check int) "three tracks" 3 routed.Channel.tracks;
+  Alcotest.(check int) "density matches" 3 routed.Channel.density
+
+let test_left_edge_merges_same_net () =
+  let spans =
+    [ { Channel.net = 7; interval = iv 0. 4. };
+      { Channel.net = 7; interval = iv 10. 14. } ]
+  in
+  let routed = Channel.left_edge spans in
+  Alcotest.(check int) "merged to one span" 1 (List.length routed.Channel.track_of);
+  Alcotest.(check int) "one track" 1 routed.Channel.tracks
+
+let test_left_edge_empty () =
+  let routed = Channel.left_edge [] in
+  Alcotest.(check int) "zero tracks" 0 routed.Channel.tracks;
+  Alcotest.(check int) "zero density" 0 routed.Channel.density
+
+let test_density () =
+  Alcotest.(check int) "nested" 2
+    (Channel.density
+       [ { Channel.net = 0; interval = iv 0. 10. };
+         { Channel.net = 1; interval = iv 2. 4. } ]);
+  Alcotest.(check int) "touching counts (closed)" 2
+    (Channel.density
+       [ { Channel.net = 0; interval = iv 0. 5. };
+         { Channel.net = 1; interval = iv 5. 9. } ])
+
+let test_vertical_constraints () =
+  let pin x pin_net = { Channel.x; pin_net } in
+  let edges =
+    Channel.vertical_constraints ~pitch:4.
+      ~top:[ pin 10. 1; pin 30. 2 ]
+      ~bottom:[ pin 10.5 3; pin 50. 1 ]
+  in
+  Alcotest.(check bool) "column conflict found" true (List.mem (1, 3) edges);
+  Alcotest.(check int) "only one edge" 1 (List.length edges);
+  (* same net in a column is not a constraint *)
+  let self =
+    Channel.vertical_constraints ~pitch:4. ~top:[ pin 5. 9 ] ~bottom:[ pin 5. 9 ]
+  in
+  Alcotest.(check (list (pair int int))) "no self edge" [] self
+
+let test_route_constrained_orders_tracks () =
+  (* net 1 must be above net 2 (pins in the same column); with disjoint
+     intervals plain left-edge would share a track, the constrained router
+     must not if 2 would land above 1... but since both fit track 0 in
+     left-to-right order only when unconstrained, check ordering holds *)
+  let pin x pin_net = { Channel.x; pin_net } in
+  let spans =
+    [ { Channel.net = 1; interval = iv 0. 10. };
+      { Channel.net = 2; interval = iv 0. 10. } ]
+  in
+  let routed =
+    Channel.route_constrained ~pitch:4. ~top:[ pin 5. 1 ] ~bottom:[ pin 5. 2 ]
+      spans
+  in
+  let track n = List.assoc n routed.Channel.track_of in
+  Alcotest.(check bool) "net 1 above net 2" true (track 1 < track 2);
+  Alcotest.(check int) "two tracks" 2 routed.Channel.tracks
+
+let test_route_constrained_defers_blocked_net () =
+  (* nets 1 and 2 have disjoint intervals but net 2 is constrained below
+     net 1, so they cannot share the first track *)
+  let pin x pin_net = { Channel.x; pin_net } in
+  let spans =
+    [ { Channel.net = 1; interval = iv 0. 4. };
+      { Channel.net = 2; interval = iv 6. 9. } ]
+  in
+  let routed =
+    Channel.route_constrained ~pitch:4. ~top:[ pin 2. 1 ] ~bottom:[ pin 2.5 2 ]
+      spans
+  in
+  let track n = List.assoc n routed.Channel.track_of in
+  Alcotest.(check int) "net 1 first" 0 (track 1);
+  Alcotest.(check int) "net 2 deferred" 1 (track 2)
+
+let test_route_constrained_breaks_cycles () =
+  (* 1 above 2 at x=0, 2 above 1 at x=20: a VC cycle; the router must
+     still terminate and route both nets *)
+  let pin x pin_net = { Channel.x; pin_net } in
+  let spans =
+    [ { Channel.net = 1; interval = iv 0. 20. };
+      { Channel.net = 2; interval = iv 0. 20. } ]
+  in
+  let routed =
+    Channel.route_constrained ~pitch:4.
+      ~top:[ pin 0. 1; pin 20. 2 ]
+      ~bottom:[ pin 0. 2; pin 20. 1 ]
+      spans
+  in
+  Alcotest.(check int) "both routed" 2 (List.length routed.Channel.track_of);
+  Alcotest.(check int) "two tracks" 2 routed.Channel.tracks
+
+let test_route_constrained_unconstrained_matches_left_edge () =
+  let spans =
+    [ { Channel.net = 0; interval = iv 0. 5. };
+      { Channel.net = 1; interval = iv 6. 9. };
+      { Channel.net = 2; interval = iv 2. 8. } ]
+  in
+  let le = Channel.left_edge spans in
+  let rc = Channel.route_constrained ~pitch:4. ~top:[] ~bottom:[] spans in
+  Alcotest.(check int) "same track count" le.Channel.tracks rc.Channel.tracks
+
+let span_gen =
+  let open QCheck2.Gen in
+  list_size (int_range 1 30)
+    (map
+       (fun ((net, a), b) ->
+         { Channel.net; interval = iv (Float.of_int a) (Float.of_int (a + b)) })
+       (pair (pair (int_range 0 15) (int_range 0 100)) (int_range 0 30)))
+
+let channel_props =
+  [
+    S.qtest "left-edge respects non-overlap per track" span_gen (fun spans ->
+        let routed = Channel.left_edge spans in
+        let merged = Channel.merge_spans spans in
+        let interval_of net =
+          (List.find (fun (s : Channel.span) -> s.net = net) merged).interval
+        in
+        List.for_all
+          (fun (net_a, track_a) ->
+            List.for_all
+              (fun (net_b, track_b) ->
+                net_a = net_b || track_a <> track_b
+                || not
+                     (Mae_geom.Interval.overlaps (interval_of net_a)
+                        (interval_of net_b)))
+              routed.Channel.track_of)
+          routed.Channel.track_of);
+    S.qtest "density <= tracks <= net count" span_gen (fun spans ->
+        let routed = Channel.left_edge spans in
+        let nets =
+          List.sort_uniq Int.compare
+            (List.map (fun (s : Channel.span) -> s.net) spans)
+        in
+        routed.Channel.density <= routed.Channel.tracks
+        && routed.Channel.tracks <= List.length nets);
+  ]
+
+let constrained_props =
+  let open QCheck2.Gen in
+  let scenario_gen =
+    (* random spans plus random pins drawn from the same net ids *)
+    pair span_gen
+      (pair
+         (list_size (int_range 0 10) (pair (int_range 0 15) (int_range 0 120)))
+         (list_size (int_range 0 10) (pair (int_range 0 15) (int_range 0 120))))
+  in
+  [
+    S.qtest "constrained router routes every net once" scenario_gen
+      (fun (spans, (top, bottom)) ->
+        let pin (n, x) = { Channel.x = Float.of_int x; pin_net = n } in
+        let routed =
+          Channel.route_constrained ~pitch:4. ~top:(List.map pin top)
+            ~bottom:(List.map pin bottom) spans
+        in
+        let nets =
+          List.sort_uniq Int.compare
+            (List.map (fun (s : Channel.span) -> s.net) spans)
+        in
+        List.length routed.Channel.track_of = List.length nets
+        && List.for_all (fun n -> List.mem_assoc n routed.Channel.track_of) nets);
+    S.qtest "constrained router never shares a track between overlaps"
+      scenario_gen
+      (fun (spans, (top, bottom)) ->
+        let pin (n, x) = { Channel.x = Float.of_int x; pin_net = n } in
+        let routed =
+          Channel.route_constrained ~pitch:4. ~top:(List.map pin top)
+            ~bottom:(List.map pin bottom) spans
+        in
+        let merged = Channel.merge_spans spans in
+        let interval_of net =
+          (List.find (fun (s : Channel.span) -> s.net = net) merged).interval
+        in
+        List.for_all
+          (fun (na, ta) ->
+            List.for_all
+              (fun (nb, tb) ->
+                na = nb || ta <> tb
+                || not (Mae_geom.Interval.overlaps (interval_of na) (interval_of nb)))
+              routed.Channel.track_of)
+          routed.Channel.track_of);
+    S.qtest "constrained uses at least as many tracks as left-edge"
+      scenario_gen
+      (fun (spans, (top, bottom)) ->
+        let pin (n, x) = { Channel.x = Float.of_int x; pin_net = n } in
+        let routed =
+          Channel.route_constrained ~pitch:4. ~top:(List.map pin top)
+            ~bottom:(List.map pin bottom) spans
+        in
+        routed.Channel.tracks >= (Channel.left_edge spans).Channel.tracks);
+  ]
+
+
+(* Row layout engine *)
+
+let sc_layout ?(rows = 3) ?(seed = 42) circuit =
+  Sc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng seed) ~rows circuit S.nmos
+
+let test_row_layout_places_all_devices () =
+  let c = S.counter8 in
+  let l = sc_layout c in
+  let placed = Array.fold_left (fun acc r -> acc + Array.length r) 0 l.Row_layout.row_members in
+  Alcotest.(check int) "all devices in rows"
+    (Mae_netlist.Circuit.device_count c)
+    placed;
+  Array.iter
+    (fun r -> Alcotest.(check bool) "row index valid" true (r >= 0 && r < 3))
+    l.Row_layout.device_row
+
+let test_row_layout_no_overlaps () =
+  let c = S.counter8 in
+  let l = sc_layout c in
+  let widths = Mae_netlist.Stats.device_widths c S.nmos in
+  Array.iter
+    (fun members ->
+      let sorted =
+        List.sort
+          (fun a b -> Float.compare l.Row_layout.device_x.(a) l.Row_layout.device_x.(b))
+          (Array.to_list members)
+      in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "no overlap" true
+              (l.Row_layout.device_x.(a) +. widths.(a)
+               <= l.Row_layout.device_x.(b) +. 1e-9);
+            check rest
+        | [ _ ] | [] -> ()
+      in
+      check sorted)
+    l.Row_layout.row_members
+
+let test_row_layout_feedthrough_coverage () =
+  (* every net must have a pin or a feed-through in every row of its span *)
+  let c = S.counter8 in
+  let l = sc_layout ~rows:4 c in
+  for net = 0 to Mae_netlist.Circuit.net_count c - 1 do
+    let rows_with_pins =
+      Mae_netlist.Circuit.devices_on_net c net
+      |> Array.to_list
+      |> List.map (fun d -> l.Row_layout.device_row.(d))
+      |> List.sort_uniq Int.compare
+    in
+    match rows_with_pins with
+    | [] | [ _ ] -> ()
+    | rmin :: _ :: _ ->
+        let rmax = List.fold_left Stdlib.max rmin rows_with_pins in
+        for r = rmin to rmax do
+          let covered =
+            List.mem r rows_with_pins
+            || Array.exists (fun (n, _) -> n = net) l.Row_layout.feed_throughs.(r)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "net %d covered in row %d" net r)
+            true covered
+        done
+  done
+
+let test_row_layout_geometry_consistent () =
+  let l = sc_layout S.counter8 in
+  S.check_float "area = w*h" (l.Row_layout.width *. l.Row_layout.height)
+    l.Row_layout.area;
+  let max_row =
+    Array.fold_left Float.max 0. l.Row_layout.row_lengths
+  in
+  S.check_float "width = longest row" max_row l.Row_layout.width;
+  Alcotest.(check int) "channel array size" 4
+    (Array.length l.Row_layout.channel_tracks);
+  Alcotest.(check int) "total = sum"
+    (Array.fold_left ( + ) 0 l.Row_layout.channel_tracks)
+    l.Row_layout.total_tracks
+
+let test_row_layout_deterministic () =
+  let a = sc_layout ~seed:5 S.counter8 in
+  let b = sc_layout ~seed:5 S.counter8 in
+  S.check_float "same area" a.Row_layout.area b.Row_layout.area;
+  Alcotest.(check bool) "same placement" true
+    (a.Row_layout.device_row = b.Row_layout.device_row)
+
+let test_row_layout_annealing_improves () =
+  let none =
+    { Anneal.initial_temp = 1.; final_temp = 0.9; cooling = 0.5; moves_per_temp = 1 }
+  in
+  let bad =
+    Sc_flow.run ~schedule:none ~rng:(S.rng 9) ~rows:3 S.counter8 S.nmos
+  in
+  let good =
+    Sc_flow.run ~schedule:Anneal.default_schedule ~rng:(S.rng 9) ~rows:3
+      S.counter8 S.nmos
+  in
+  Alcotest.(check bool) "annealing shortens wire" true
+    (good.Row_layout.hpwl < bad.Row_layout.hpwl)
+
+let test_row_layout_validation () =
+  S.raises_invalid (fun () -> ignore (sc_layout ~rows:0 S.counter8));
+  let empty =
+    Mae_netlist.Builder.build
+      (Mae_netlist.Builder.create ~name:"e" ~technology:"nmos25")
+  in
+  S.raises_invalid (fun () -> ignore (sc_layout empty))
+
+(* Flows *)
+
+let test_sc_flow_upper_bound_property () =
+  (* the estimator is an upper bound on the real layout (Table 2's shape) *)
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      List.iter
+        (fun rows ->
+          let est = Mae.Stdcell.estimate ~rows e.circuit S.nmos in
+          let real =
+            Sc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng 3) ~rows
+              e.circuit S.nmos
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s rows=%d upper bound" e.name rows)
+            true
+            (est.Mae.Estimate.area >= real.Row_layout.area))
+        [ 2; 4 ])
+    (Mae_workload.Bench_circuits.table2 ())
+
+let test_sc_flow_sweep_independent () =
+  let layouts =
+    Sc_flow.run_sweep ~schedule:Anneal.quick_schedule ~rng:(S.rng 8)
+      ~rows:[ 2; 3; 4 ] S.counter8 S.nmos
+  in
+  Alcotest.(check int) "three layouts" 3 (List.length layouts);
+  List.iteri
+    (fun i (l : Row_layout.t) -> Alcotest.(check int) "rows" (i + 2) l.rows)
+    layouts
+
+let test_fc_flow_picks_best () =
+  let circuit = S.full_adder_tx in
+  let best =
+    Fc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng 17) circuit S.nmos
+  in
+  Alcotest.(check bool) "positive area" true (best.Row_layout.area > 0.)
+
+let test_fc_flow_default_rows () =
+  let rows = Fc_flow.default_rows S.full_adder_tx S.nmos in
+  Alcotest.(check bool) "at least 1" true (rows >= 1);
+  Alcotest.(check bool) "not absurd" true (rows <= 27)
+
+let test_fc_flow_abutment_chain () =
+  (* the pass chain: all nets <= 2 components, so the hand-layout flow
+     should route it with no channel tracks at all *)
+  let chain = Mae_workload.Generators.pass_chain 8 in
+  let l =
+    Fc_flow.run ~schedule:Anneal.default_schedule ~rng:(S.rng 23)
+      ~row_candidates:[ 1 ] chain S.nmos
+  in
+  Alcotest.(check int) "no tracks" 0 l.Row_layout.total_tracks
+
+(* Wiring expansion and LVS extraction *)
+
+let sc_wiring ?(rows = 3) ?(seed = 42) circuit =
+  let layout = sc_layout ~rows ~seed circuit in
+  (layout, Sc_flow.wiring circuit S.nmos layout)
+
+let test_wiring_structure () =
+  let circuit = S.counter8 in
+  let layout, w = sc_wiring circuit in
+  (* one vertical per device pin plus one per feed-through *)
+  let pin_count =
+    Array.fold_left
+      (fun acc (d : Mae_netlist.Device.t) -> acc + Array.length d.pins)
+      0 circuit.Mae_netlist.Circuit.devices
+  in
+  Alcotest.(check int) "verticals = pins + feeds"
+    (pin_count + layout.Row_layout.feed_through_count)
+    (List.length w.Wiring.verticals);
+  (* one trunk per routed span *)
+  let span_count =
+    Array.fold_left (fun acc spans -> acc + List.length spans) 0
+      layout.Row_layout.channel_spans
+  in
+  Alcotest.(check int) "trunks = spans" span_count
+    (List.length w.Wiring.horizontals);
+  Alcotest.(check bool) "positive wire length" true (Wiring.wire_length w > 0.)
+
+let test_wiring_vias_on_own_trunk () =
+  let circuit = S.counter8 in
+  let _, w = sc_wiring circuit in
+  (* every via lies on a trunk of its own net *)
+  List.iter
+    (fun (v : Wiring.via) ->
+      let on_trunk =
+        List.exists
+          (fun (h : Wiring.horizontal) ->
+            h.h_net = v.via_net
+            && Float.abs (h.y -. v.vy) < 1e-6
+            && h.x_lo -. 1e-6 <= v.vx
+            && v.vx <= h.x_hi +. 1e-6)
+          w.Wiring.horizontals
+      in
+      Alcotest.(check bool) "via on own trunk" true on_trunk)
+    w.Wiring.vias
+
+let test_wiring_rejects_over_cell () =
+  let circuit = S.full_adder_tx in
+  let layout =
+    Fc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng 3) circuit S.nmos
+  in
+  let widths = Mae_netlist.Stats.device_widths circuit S.nmos in
+  let geometry = Fc_flow.geometry circuit S.nmos layout in
+  if layout.Row_layout.total_tracks > 0 then
+    S.raises_invalid (fun () ->
+        ignore
+          (Wiring.of_layout
+             ~width_of:(fun d -> widths.(d))
+             ~pin_spread:false ~track_pitch:4. circuit layout geometry))
+
+let test_lvs_clean_on_flows () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      List.iter
+        (fun seed ->
+          let circuit = e.circuit in
+          let layout =
+            Sc_flow.run ~rng:(S.rng seed) ~rows:4 circuit S.nmos
+          in
+          let w = Sc_flow.wiring circuit S.nmos layout in
+          let report = Extract.lvs w circuit in
+          if w.Wiring.dropped_constraints = 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s seed %d clean" e.name seed)
+              true (Extract.clean report)
+          else
+            (* a broken constraint cycle may leave shorts a dogleg would
+               fix, but never opens *)
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s seed %d no opens" e.name seed)
+              [] report.Extract.opens)
+        [ 1; 2; 3 ])
+    (Mae_workload.Bench_circuits.table2 ())
+
+let test_extract_detects_open () =
+  (* remove the vias: trunks disconnect from branches -> opens *)
+  let circuit = S.counter8 in
+  let _, w = sc_wiring circuit in
+  let broken = { w with Wiring.vias = [] } in
+  let report = Extract.lvs broken circuit in
+  Alcotest.(check bool) "opens found" true (report.Extract.opens <> [])
+
+let test_extract_detects_short () =
+  (* a fabricated scene: two nets' verticals overlapping in one column *)
+  let v net x =
+    { Wiring.v_net = net; x; y_lo = 0.; y_hi = 10.;
+      attached = Wiring.Pin { device = net; pin = 0 } }
+  in
+  let b = Mae_netlist.Builder.create ~name:"fake" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"d0" ~kind:"inv" ~nets:[ "n0"; "n0b" ]);
+  ignore (Mae_netlist.Builder.add_device b ~name:"d0x" ~kind:"inv" ~nets:[ "n0"; "n0c" ]);
+  ignore (Mae_netlist.Builder.add_device b ~name:"d1" ~kind:"inv" ~nets:[ "n1"; "n1b" ]);
+  ignore (Mae_netlist.Builder.add_device b ~name:"d1x" ~kind:"inv" ~nets:[ "n1"; "n1c" ]);
+  let circuit = Mae_netlist.Builder.build b in
+  let w =
+    { Wiring.verticals = [ v 0 5.; v 2 5. ];  (* nets n0 and n1 share x=5 *)
+      horizontals = []; vias = []; dropped_constraints = 0 }
+  in
+  let report = Extract.lvs w circuit in
+  Alcotest.(check bool) "short found" true (report.Extract.shorts <> [])
+
+let test_extracted_wirelength_exceeds_hpwl () =
+  (* detailed routing is never shorter than the half-perimeter bound *)
+  let circuit = S.counter8 in
+  let layout, w = sc_wiring circuit in
+  Alcotest.(check bool) "wirelen >= hpwl/2" true
+    (Wiring.wire_length w > layout.Row_layout.hpwl /. 2.)
+
+(* Port placement on the module boundary (section 5, physically) *)
+
+let test_ports_placed_once_each () =
+  let circuit = S.counter8 in
+  let layout = sc_layout ~rows:3 circuit in
+  let g = Sc_flow.geometry circuit S.nmos layout in
+  match Ports.place ~port_pitch:8. circuit layout g with
+  | Error e -> Alcotest.failf "place: %s" e
+  | Ok placements ->
+      Alcotest.(check int) "one per port"
+        (Mae_netlist.Circuit.port_count circuit)
+        (List.length placements);
+      let names = List.map (fun (p : Ports.placement) -> p.port) placements in
+      Alcotest.(check int) "distinct"
+        (Mae_netlist.Circuit.port_count circuit)
+        (List.length (List.sort_uniq String.compare names));
+      Alcotest.(check bool) "pitch respected" true
+        (Ports.min_spacing_ok ~port_pitch:8. placements);
+      (* every offset lies on its edge *)
+      List.iter
+        (fun (p : Ports.placement) ->
+          let length =
+            match p.edge with
+            | Ports.Top | Ports.Bottom -> layout.Row_layout.width
+            | Ports.Left | Ports.Right -> layout.Row_layout.height
+          in
+          Alcotest.(check bool) "within edge" true
+            (p.offset >= 0. && p.offset <= length))
+        placements
+
+let test_ports_overflow_spills () =
+  (* a tiny module with many ports forces spilling across edges *)
+  let b = Mae_netlist.Builder.create ~name:"porty" ~technology:"nmos25" in
+  for i = 0 to 11 do
+    let n = Printf.sprintf "p%d" i in
+    Mae_netlist.Builder.add_port b ~name:n ~direction:Mae_netlist.Port.Input ~net:n
+  done;
+  ignore
+    (Mae_netlist.Builder.add_device b ~name:"t" ~kind:"inv"
+       ~nets:[ "p0"; "p1" ]);
+  let circuit = Mae_netlist.Builder.build b in
+  let layout = sc_layout ~rows:1 circuit in
+  let g = Sc_flow.geometry circuit S.nmos layout in
+  match Ports.place ~port_pitch:4. circuit layout g with
+  | Error e -> Alcotest.failf "place: %s" e
+  | Ok placements ->
+      Alcotest.(check int) "all placed" 12 (List.length placements);
+      let edges =
+        List.sort_uniq Stdlib.compare
+          (List.map (fun (p : Ports.placement) -> p.edge) placements)
+      in
+      Alcotest.(check bool) "uses several edges" true (List.length edges >= 2);
+      Alcotest.(check bool) "pitch respected" true
+        (Ports.min_spacing_ok ~port_pitch:4. placements)
+
+let test_ports_impossible_pitch () =
+  let circuit = S.counter8 in
+  let layout = sc_layout ~rows:3 circuit in
+  let g = Sc_flow.geometry circuit S.nmos layout in
+  match Ports.place ~port_pitch:1e6 circuit layout g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected perimeter overflow error"
+
+let test_ports_section5_criterion () =
+  (* the real layouts of the Table 2 circuits satisfy the criterion the
+     row-selection loop enforced on the estimates *)
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let rows = Mae.Row_select.initial_rows e.circuit S.nmos in
+      let layout = sc_layout ~rows e.circuit in
+      let g = Sc_flow.geometry e.circuit S.nmos layout in
+      Alcotest.(check bool) (e.name ^ " ports fit one edge") true
+        (Ports.fits_one_edge g
+           ~port_count:(Mae_netlist.Circuit.port_count e.circuit)
+           ~port_pitch:8.))
+    (Mae_workload.Bench_circuits.table2 ())
+
+let test_ports_to_rects () =
+  let circuit = S.full_adder in
+  let layout = sc_layout ~rows:1 circuit in
+  let g = Sc_flow.geometry circuit S.nmos layout in
+  let placements = Result.get_ok (Ports.place ~port_pitch:8. circuit layout g) in
+  let rects = Ports.to_rects ~size:4. g placements in
+  Alcotest.(check int) "one rect per port" (List.length placements)
+    (List.length rects);
+  List.iter
+    (fun (_, r) -> S.check_float "pad area" 16. (Mae_geom.Rect.area r))
+    rects
+
+(* Geometry extraction and legality *)
+
+let sc_geometry ?(rows = 3) ?(seed = 42) circuit =
+  let layout = sc_layout ~rows ~seed circuit in
+  (layout, Sc_flow.geometry circuit S.nmos layout)
+
+let test_geometry_matches_layout () =
+  let layout, g = sc_geometry S.counter8 in
+  S.check_float ~eps:1e-6 "bounding area" layout.Row_layout.area (Geometry.area g);
+  Alcotest.(check int) "one rect per device"
+    (Mae_netlist.Circuit.device_count S.counter8)
+    (List.length (Geometry.cells g))
+
+let test_geometry_legal_sc () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let _, g = sc_geometry ~rows:4 e.circuit in
+      let violations =
+        Check.verify ~device_count:(Mae_netlist.Circuit.device_count e.circuit) g
+      in
+      if violations <> [] then
+        Alcotest.failf "%s: %s" e.name
+          (String.concat "; "
+             (List.map
+                (fun v -> Format.asprintf "%a" Check.pp_violation v)
+                violations)))
+    (Mae_workload.Bench_circuits.table2 ())
+
+let test_geometry_legal_fc () =
+  List.iter
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      let layout =
+        Fc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng 31) e.circuit
+          S.nmos
+      in
+      let g = Fc_flow.geometry e.circuit S.nmos layout in
+      Alcotest.(check bool) (e.name ^ " legal") true
+        (Check.is_legal
+           ~device_count:(Mae_netlist.Circuit.device_count e.circuit)
+           g))
+    (Mae_workload.Bench_circuits.table1 ())
+
+let test_geometry_text_dump () =
+  let _, g = sc_geometry (S.tiny ()) ~rows:1 in
+  let text = Geometry.to_text g in
+  Alcotest.(check bool) "has cells" true
+    (String.length text > 0
+    && String.sub text 0 4 = "cell");
+  (* one line per box plus bbox *)
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "line count"
+    (List.length g.Geometry.boxes + 1)
+    (List.length lines)
+
+let test_check_detects_overlap () =
+  (* hand-build an illegal geometry: two overlapping cells *)
+  let r1 = Mae_geom.Rect.make ~x:0. ~y:0. ~w:10. ~h:10. in
+  let r2 = Mae_geom.Rect.make ~x:5. ~y:0. ~w:10. ~h:10. in
+  let g =
+    {
+      Geometry.boxes =
+        [ Geometry.Cell_box { device = 0; rect = r1 };
+          Geometry.Cell_box { device = 1; rect = r2 } ];
+      bounding = Mae_geom.Rect.make ~x:0. ~y:0. ~w:15. ~h:10.;
+      row_rects = [| Mae_geom.Rect.make ~x:0. ~y:0. ~w:15. ~h:10. |];
+    }
+  in
+  let violations = Check.verify ~device_count:2 g in
+  Alcotest.(check bool) "overlap found" true
+    (List.exists
+       (function Check.Cell_overlap _ -> true | _ -> false)
+       violations)
+
+let test_check_detects_missing () =
+  let g =
+    {
+      Geometry.boxes = [];
+      bounding = Mae_geom.Rect.make ~x:0. ~y:0. ~w:1. ~h:1.;
+      row_rects = [||];
+    }
+  in
+  let violations = Check.verify ~device_count:2 g in
+  Alcotest.(check int) "two missing" 2
+    (List.length
+       (List.filter
+          (function Check.Missing_device _ -> true | _ -> false)
+          violations))
+
+let test_geometry_band_ordering () =
+  (* rows stack top to bottom: row 0's band is above row 1's *)
+  let _, g = sc_geometry ~rows:3 S.counter8 in
+  for r = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "row %d above row %d" r (r + 1))
+      true
+      (g.Geometry.row_rects.(r).Mae_geom.Rect.y
+       > g.Geometry.row_rects.(r + 1).Mae_geom.Rect.y)
+  done
+
+let test_geometry_stacks_to_zero () =
+  (* the bands and channels tile the full height: the lowest band starts
+     at y = 0 *)
+  let layout, g = sc_geometry ~rows:3 S.counter8 in
+  let bottom =
+    g.Geometry.row_rects.(2).Mae_geom.Rect.y
+    -. (Float.of_int layout.Row_layout.channel_tracks.(3) *. 7.)
+  in
+  S.check_float ~eps:1e-6 "tiles to zero" 0. bottom
+
+let test_wiring_single_row () =
+  (* a one-row layout has no inter-row channels; wiring still expands *)
+  let circuit = S.full_adder in
+  let layout = sc_layout ~rows:1 circuit in
+  let w = Sc_flow.wiring circuit S.nmos layout in
+  Alcotest.(check bool) "verticals exist" true (w.Wiring.verticals <> []);
+  let report = Extract.lvs w circuit in
+  Alcotest.(check bool) "single-row lvs clean" true (Extract.clean report)
+
+let geometry_props =
+  let open QCheck2.Gen in
+  [
+    S.qtest ~count:30 "random circuits lay out legally (sc)"
+      (pair int (int_range 4 40))
+      (fun (seed, devices) ->
+        let p =
+          {
+            Mae_workload.Random_circuit.default_params with
+            devices;
+            primary_outputs = Stdlib.min 8 devices;
+          }
+        in
+        let c = Mae_workload.Random_circuit.generate ~rng:(S.rng seed) p in
+        let layout =
+          Sc_flow.run ~schedule:Anneal.quick_schedule ~rng:(S.rng (seed + 1))
+            ~rows:((devices / 12) + 1) c S.nmos
+        in
+        let g = Sc_flow.geometry c S.nmos layout in
+        Check.is_legal ~device_count:devices g);
+  ]
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "anneal",
+        [
+          Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+          Alcotest.test_case "minimizes" `Quick test_anneal_minimizes_quadratic;
+          Alcotest.test_case "stops without moves" `Quick
+            test_anneal_stops_without_moves;
+        ] );
+      ( "wirelength",
+        [
+          Alcotest.test_case "hpwl" `Quick test_hpwl;
+          Alcotest.test_case "nets_of_devices" `Quick test_nets_of_devices;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "disjoint share" `Quick test_left_edge_disjoint_share;
+          Alcotest.test_case "overlapping separate" `Quick
+            test_left_edge_overlapping_separate;
+          Alcotest.test_case "same net merged" `Quick test_left_edge_merges_same_net;
+          Alcotest.test_case "empty" `Quick test_left_edge_empty;
+          Alcotest.test_case "density" `Quick test_density;
+          Alcotest.test_case "vertical constraints" `Quick
+            test_vertical_constraints;
+          Alcotest.test_case "constrained: ordering" `Quick
+            test_route_constrained_orders_tracks;
+          Alcotest.test_case "constrained: deferral" `Quick
+            test_route_constrained_defers_blocked_net;
+          Alcotest.test_case "constrained: cycles" `Quick
+            test_route_constrained_breaks_cycles;
+          Alcotest.test_case "constrained: unconstrained = left-edge" `Quick
+            test_route_constrained_unconstrained_matches_left_edge;
+        ] );
+      ("channel-properties", channel_props @ constrained_props);
+      ( "row_layout",
+        [
+          Alcotest.test_case "places all" `Quick test_row_layout_places_all_devices;
+          Alcotest.test_case "no overlaps" `Quick test_row_layout_no_overlaps;
+          Alcotest.test_case "feedthrough coverage" `Quick
+            test_row_layout_feedthrough_coverage;
+          Alcotest.test_case "geometry consistent" `Quick
+            test_row_layout_geometry_consistent;
+          Alcotest.test_case "deterministic" `Quick test_row_layout_deterministic;
+          Alcotest.test_case "annealing improves" `Slow
+            test_row_layout_annealing_improves;
+          Alcotest.test_case "validation" `Quick test_row_layout_validation;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "sc upper bound" `Slow test_sc_flow_upper_bound_property;
+          Alcotest.test_case "sc sweep" `Quick test_sc_flow_sweep_independent;
+          Alcotest.test_case "fc picks best" `Quick test_fc_flow_picks_best;
+          Alcotest.test_case "fc default rows" `Quick test_fc_flow_default_rows;
+          Alcotest.test_case "fc abutment chain" `Quick test_fc_flow_abutment_chain;
+        ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "matches layout" `Quick test_geometry_matches_layout;
+          Alcotest.test_case "legal (sc suite)" `Quick test_geometry_legal_sc;
+          Alcotest.test_case "legal (fc suite)" `Quick test_geometry_legal_fc;
+          Alcotest.test_case "text dump" `Quick test_geometry_text_dump;
+          Alcotest.test_case "detects overlap" `Quick test_check_detects_overlap;
+          Alcotest.test_case "detects missing" `Quick test_check_detects_missing;
+          Alcotest.test_case "band ordering" `Quick test_geometry_band_ordering;
+          Alcotest.test_case "stacks to zero" `Quick test_geometry_stacks_to_zero;
+        ] );
+      ("geometry-properties", geometry_props);
+      ( "ports",
+        [
+          Alcotest.test_case "placed once each" `Quick test_ports_placed_once_each;
+          Alcotest.test_case "overflow spills" `Quick test_ports_overflow_spills;
+          Alcotest.test_case "impossible pitch" `Quick test_ports_impossible_pitch;
+          Alcotest.test_case "section 5 criterion" `Quick
+            test_ports_section5_criterion;
+          Alcotest.test_case "to rects" `Quick test_ports_to_rects;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "structure" `Quick test_wiring_structure;
+          Alcotest.test_case "vias on own trunk" `Quick
+            test_wiring_vias_on_own_trunk;
+          Alcotest.test_case "rejects over-cell" `Quick
+            test_wiring_rejects_over_cell;
+          Alcotest.test_case "lvs clean on flows" `Slow test_lvs_clean_on_flows;
+          Alcotest.test_case "detects opens" `Quick test_extract_detects_open;
+          Alcotest.test_case "detects shorts" `Quick test_extract_detects_short;
+          Alcotest.test_case "wirelength vs hpwl" `Quick
+            test_extracted_wirelength_exceeds_hpwl;
+          Alcotest.test_case "single row" `Quick test_wiring_single_row;
+        ] );
+    ]

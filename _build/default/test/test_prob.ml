@@ -1,0 +1,302 @@
+open Mae_prob
+module S = Mae_test_support.Support
+
+(* Comb *)
+
+let test_log_factorial () =
+  S.check_float "0!" 0. (Comb.log_factorial 0);
+  S.check_float "1!" 0. (Comb.log_factorial 1);
+  S.check_float "5!" (Float.log 120.) (Comb.log_factorial 5);
+  (* table/Stirling boundary continuity *)
+  S.check_close ~rel:1e-8 "large n"
+    (Comb.log_factorial 4095 +. Float.log 4096.)
+    (Comb.log_factorial 4096);
+  S.raises_invalid (fun () -> Comb.log_factorial (-1))
+
+let test_choose () =
+  S.check_float "C(5,2)" 10. (Comb.choose 5 2);
+  S.check_float "C(10,0)" 1. (Comb.choose 10 0);
+  S.check_float "C(10,10)" 1. (Comb.choose 10 10);
+  S.check_float "C(4,7)=0" 0. (Comb.choose 4 7);
+  S.check_float "C(4,-1)=0" 0. (Comb.choose 4 (-1));
+  S.check_close ~rel:1e-9 "C(60,30) via logs" 1.18264581564861424e17
+    (Comb.choose 60 30)
+
+let test_choose_int () =
+  Alcotest.(check int) "C(10,3)" 120 (Comb.choose_int 10 3);
+  Alcotest.(check int) "C(52,5)" 2598960 (Comb.choose_int 52 5);
+  Alcotest.(check int) "out of range" 0 (Comb.choose_int 3 5)
+
+let test_surjections () =
+  S.check_float "surj(3,1)" 1. (Comb.surjections 3 1);
+  S.check_float "surj(3,2)" 6. (Comb.surjections 3 2);
+  S.check_float "surj(3,3)" 6. (Comb.surjections 3 3);
+  S.check_float "surj(2,3)" 0. (Comb.surjections 2 3);
+  S.check_float "surj(0,0)" 1. (Comb.surjections 0 0);
+  S.check_float "surj(4,2)" 14. (Comb.surjections 4 2)
+
+let test_paper_b_matches_surjections () =
+  for k = 1 to 8 do
+    for i = 1 to k do
+      S.check_close ~rel:1e-9
+        (Printf.sprintf "b_%d(%d)" k i)
+        (Comb.surjections k i)
+        (Comb.paper_b ~k i)
+    done
+  done
+
+let test_float_pow () =
+  S.check_float "x^0" 1. (Comb.float_pow 3. 0);
+  S.check_float "2^10" 1024. (Comb.float_pow 2. 10);
+  S.check_float "0.5^3" 0.125 (Comb.float_pow 0.5 3);
+  S.raises_invalid (fun () -> Comb.float_pow 2. (-1))
+
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = S.rng 42 and b = S.rng 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = S.rng 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v;
+    let f = Rng.uniform r in
+    if f < 0. || f >= 1. then Alcotest.failf "uniform out of bounds: %f" f
+  done;
+  S.raises_invalid (fun () -> Rng.int r 0)
+
+let test_rng_uniformity () =
+  let r = S.rng 11 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = Float.of_int c /. Float.of_int trials in
+      if Float.abs (frac -. 0.1) > 0.01 then
+        Alcotest.failf "bucket %d has fraction %f" i frac)
+    counts
+
+let test_rng_split_independent () =
+  let parent = S.rng 3 in
+  let child = Rng.split parent in
+  let a = List.init 50 (fun _ -> Rng.int parent 1000) in
+  let b = List.init 50 (fun _ -> Rng.int child 1000) in
+  Alcotest.(check bool) "streams differ" false (a = b)
+
+let test_rng_shuffle_permutes () =
+  let r = S.rng 5 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* Dist *)
+
+let test_dist_normalizes () =
+  let d = Dist.of_weights [ (1, 2.); (2, 6.) ] in
+  S.check_float "P(1)" 0.25 (Dist.prob d 1);
+  S.check_float "P(2)" 0.75 (Dist.prob d 2);
+  S.check_float "P(3)" 0. (Dist.prob d 3);
+  S.check_float "mass error" 0. (Dist.total_mass_error d);
+  S.raises_invalid (fun () -> Dist.of_weights []);
+  S.raises_invalid (fun () -> Dist.of_weights [ (1, -1.) ]);
+  S.raises_invalid (fun () -> Dist.of_weights [ (1, 0.) ])
+
+let test_dist_expectation () =
+  let d = Dist.of_weights [ (1, 1.); (3, 1.) ] in
+  S.check_float "E" 2. (Dist.expectation d);
+  Alcotest.(check int) "ceil of exact" 2 (Dist.expectation_ceil d);
+  let d2 = Dist.of_weights [ (1, 3.); (2, 1.) ] in
+  Alcotest.(check int) "ceil rounds up" 2 (Dist.expectation_ceil d2)
+
+let test_dist_mode_support () =
+  let d = Dist.of_weights [ (5, 1.); (2, 3.); (9, 2.) ] in
+  Alcotest.(check int) "mode" 2 (Dist.mode d);
+  Alcotest.(check (list int)) "support sorted" [ 2; 5; 9 ] (Dist.support d)
+
+let test_binomial () =
+  let d = Dist.binomial ~n:10 ~p:0.3 in
+  S.check_float ~eps:1e-9 "mean" 3. (Dist.expectation d);
+  S.check_float ~eps:1e-9 "mass" 0. (Dist.total_mass_error d);
+  S.check_close ~rel:1e-9 "P(0)" (0.7 ** 10.) (Dist.prob d 0);
+  let d0 = Dist.binomial ~n:5 ~p:0. in
+  S.check_float "degenerate p=0" 1. (Dist.prob d0 0);
+  let d1 = Dist.binomial ~n:5 ~p:1. in
+  S.check_float "degenerate p=1" 1. (Dist.prob d1 5);
+  S.raises_invalid (fun () -> Dist.binomial ~n:3 ~p:1.5)
+
+let test_dist_sampling_matches () =
+  let d = Dist.of_weights [ (0, 1.); (1, 2.); (2, 1.) ] in
+  let r = S.rng 21 in
+  let counts = Array.make 3 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    let v = Dist.sample d r in
+    counts.(v) <- counts.(v) + 1
+  done;
+  S.check_close ~rel:0.05 "P(1) sampled" 0.5
+    (Float.of_int counts.(1) /. Float.of_int trials)
+
+(* Stats *)
+
+let test_stats_basics () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  S.check_float "mean" 2.5 (Stats.mean xs);
+  S.check_float "variance" 1.25 (Stats.variance xs);
+  S.check_float "median even" 2.5 (Stats.median xs);
+  S.check_float "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  let lo, hi = Stats.min_max xs in
+  S.check_float "min" 1. lo;
+  S.check_float "max" 4. hi;
+  S.check_float "mean_abs" 2. (Stats.mean_abs [ -1.; 3.; -2. ]);
+  S.check_float "relative_error" 0.5 (Stats.relative_error ~estimated:3. ~real:2.);
+  S.raises_invalid (fun () -> Stats.mean []);
+  S.raises_invalid (fun () -> Stats.relative_error ~estimated:1. ~real:0.)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+(* Montecarlo: the paper's "numerical simulation results" *)
+
+let test_montecarlo_span_matches_occupancy () =
+  let rows = 4 and degree = 3 and trials = 200_000 in
+  let d = Montecarlo.empirical_rows_used ~rng:(S.rng 1) ~trials ~rows ~degree in
+  let exact i =
+    Comb.choose rows i *. Comb.surjections degree i
+    /. Comb.float_pow (Float.of_int rows) degree
+  in
+  for i = 1 to 3 do
+    S.check_close ~rel:0.03
+      (Printf.sprintf "P(span=%d)" i)
+      (exact i) (Dist.prob d i)
+  done
+
+let test_montecarlo_feed_central_max () =
+  List.iter
+    (fun (rows, degree) ->
+      let stats =
+        Montecarlo.simulate_net ~rng:(S.rng 2) ~trials:60_000 ~rows ~degree
+      in
+      let best = Montecarlo.argmax_feed_through stats in
+      let central = (rows + 1) / 2 in
+      if best <> central && best <> central + 1 then
+        Alcotest.failf "rows=%d degree=%d: argmax %d not central" rows degree
+          best)
+    [ (3, 2); (5, 2); (5, 4); (7, 3); (9, 5); (11, 2) ]
+
+let test_montecarlo_validation () =
+  S.raises_invalid (fun () ->
+      Montecarlo.simulate_net ~rng:(S.rng 1) ~trials:0 ~rows:3 ~degree:2);
+  S.raises_invalid (fun () ->
+      Montecarlo.simulate_net ~rng:(S.rng 1) ~trials:1 ~rows:0 ~degree:2);
+  S.raises_invalid (fun () ->
+      Montecarlo.simulate_net ~rng:(S.rng 1) ~trials:1 ~rows:3 ~degree:0)
+
+(* Properties *)
+
+let props =
+  let open QCheck2.Gen in
+  [
+    S.qtest "pascal rule" (pair (int_range 1 40) (int_range 1 39))
+      (fun (n, k) ->
+        let k = Stdlib.min k (n - 1) in
+        if k < 1 then true
+        else
+          S.approx ~eps:1e-9
+            (Comb.choose n k)
+            (Comb.choose (n - 1) (k - 1) +. Comb.choose (n - 1) k));
+    S.qtest "surjection recurrence" (pair (int_range 1 10) (int_range 1 10))
+      (fun (d, i) ->
+        if i > d + 1 then true
+        else
+          S.approx ~eps:1e-9
+            (Comb.surjections (d + 1) i)
+            (Float.of_int i
+            *. (Comb.surjections d i +. Comb.surjections d (i - 1))));
+    S.qtest "sum of occupancy counts = n^d"
+      (pair (int_range 1 8) (int_range 1 8))
+      (fun (n, d) ->
+        let total = ref 0. in
+        for i = 1 to n do
+          total := !total +. (Comb.choose n i *. Comb.surjections d i)
+        done;
+        S.approx ~eps:1e-9 !total (Comb.float_pow (Float.of_int n) d));
+    S.qtest "binomial mean = np" (pair (int_range 0 40) (float_range 0. 1.))
+      (fun (n, p) ->
+        S.approx ~eps:1e-6
+          (Dist.expectation (Dist.binomial ~n ~p))
+          (Float.of_int n *. p));
+    S.qtest "rng int within bounds" (pair int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = S.rng seed in
+        let v = Rng.int r bound in
+        v >= 0 && v < bound);
+    S.qtest "expectation within support range"
+      (list_size (int_range 1 10) (pair (int_range 0 20) (float_range 0.1 5.)))
+      (fun weights ->
+        match Dist.of_weights weights with
+        | d ->
+            let e = Dist.expectation d in
+            let support = Dist.support d in
+            let lo = List.fold_left Stdlib.min max_int support in
+            let hi = List.fold_left Stdlib.max min_int support in
+            e >= Float.of_int lo -. 1e-9 && e <= Float.of_int hi +. 1e-9
+        | exception Invalid_argument _ -> true);
+  ]
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "comb",
+        [
+          Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose_int" `Quick test_choose_int;
+          Alcotest.test_case "surjections" `Quick test_surjections;
+          Alcotest.test_case "paper_b = surjections" `Quick
+            test_paper_b_matches_surjections;
+          Alcotest.test_case "float_pow" `Quick test_float_pow;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "normalizes" `Quick test_dist_normalizes;
+          Alcotest.test_case "expectation" `Quick test_dist_expectation;
+          Alcotest.test_case "mode/support" `Quick test_dist_mode_support;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "sampling" `Quick test_dist_sampling_matches;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "span matches occupancy" `Slow
+            test_montecarlo_span_matches_occupancy;
+          Alcotest.test_case "central row max" `Slow
+            test_montecarlo_feed_central_max;
+          Alcotest.test_case "validation" `Quick test_montecarlo_validation;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,130 @@
+module S = Mae_test_support.Support
+open Mae_report
+
+let test_table_render () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "b"; "22222" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (* rule, header, rule, row, rule (separator), row, rule *)
+  Alcotest.(check int) "line count" 7 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check int) "uniform width" 1
+    (List.length (List.sort_uniq Int.compare widths));
+  Alcotest.(check bool) "right aligned" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains rendered "|     1 |")
+
+let test_table_validation () =
+  S.raises_invalid (fun () -> ignore (Table.create ~columns:[]));
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  S.raises_invalid (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_err_percent () =
+  S.check_float "overestimate" 50. (Err.percent ~estimated:3. ~real:2.);
+  S.check_float "underestimate" (-25.) (Err.percent ~estimated:3. ~real:4.);
+  Alcotest.(check string) "formatted" "+50.0%"
+    (Err.percent_string ~estimated:3. ~real:2.);
+  Alcotest.(check string) "negative" "-25.0%"
+    (Err.percent_string ~estimated:3. ~real:4.);
+  S.raises_invalid (fun () -> ignore (Err.percent ~estimated:1. ~real:0.))
+
+let test_err_formats () =
+  Alcotest.(check string) "f0" "1235" (Err.f0 1234.6);
+  Alcotest.(check string) "f2" "1.23" (Err.f2 1.234);
+  Alcotest.(check string) "aspect wide" "1:2.00" (Err.aspect_string 2.);
+  Alcotest.(check string) "aspect tall" "2.00:1" (Err.aspect_string 0.5)
+
+let count_substring s sub =
+  let n = String.length sub in
+  let rec go i acc =
+    if i + n > String.length s then acc
+    else if String.sub s i n = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_render () =
+  let items =
+    [
+      { Svg.rect = (0., 0., 10., 10.); style = Svg.cell_style; label = Some "a" };
+      { Svg.rect = (10., 0., 5., 5.); style = Svg.feed_style; label = None };
+    ]
+  in
+  let doc = Svg.render ~pixel_width:100 ~width:20. ~height:10. items in
+  Alcotest.(check bool) "has xmlns" true
+    (count_substring doc "http://www.w3.org/2000/svg" = 1);
+  (* background + 2 items *)
+  Alcotest.(check int) "rect count" 3 (count_substring doc "<rect ");
+  Alcotest.(check bool) "closed" true (count_substring doc "</svg>" = 1)
+
+let test_svg_label_escaping () =
+  let items =
+    [ { Svg.rect = (0., 0., 100., 100.); style = Svg.cell_style;
+        label = Some "a<b&c" } ]
+  in
+  let doc = Svg.render ~width:100. ~height:100. items in
+  Alcotest.(check bool) "escaped" true
+    (count_substring doc "a&lt;b&amp;c" = 1);
+  Alcotest.(check int) "no raw <b" 0 (count_substring doc "<b&")
+
+let test_svg_flips_y () =
+  (* a box at the layout bottom must appear at the SVG bottom (large y) *)
+  let items =
+    [ { Svg.rect = (0., 0., 10., 10.); style = Svg.cell_style; label = None } ]
+  in
+  let doc = Svg.render ~pixel_width:100 ~width:10. ~height:100. items in
+  Alcotest.(check bool) "y flipped" true
+    (count_substring doc "y=\"900.00\"" = 1)
+
+let test_svg_validation () =
+  S.raises_invalid (fun () -> ignore (Svg.render ~width:0. ~height:1. []));
+  S.raises_invalid (fun () ->
+      ignore (Svg.render ~pixel_width:0 ~width:1. ~height:1. []))
+
+let test_svg_write () =
+  let path = Filename.temp_file "mae_svg" ".svg" in
+  begin
+    match Svg.write ~path "<svg/>" with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "write failed: %s" e
+  end;
+  Alcotest.(check string) "round trip" "<svg/>"
+    (In_channel.with_open_text path In_channel.input_all);
+  Sys.remove path;
+  Alcotest.(check bool) "io error" true
+    (Result.is_error (Svg.write ~path:"/nonexistent/x/y.svg" "<svg/>"))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "validation" `Quick test_table_validation;
+        ] );
+      ( "err",
+        [
+          Alcotest.test_case "percent" `Quick test_err_percent;
+          Alcotest.test_case "formats" `Quick test_err_formats;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "render" `Quick test_svg_render;
+          Alcotest.test_case "escaping" `Quick test_svg_label_escaping;
+          Alcotest.test_case "flips y" `Quick test_svg_flips_y;
+          Alcotest.test_case "validation" `Quick test_svg_validation;
+          Alcotest.test_case "write" `Quick test_svg_write;
+        ] );
+    ]

@@ -1,0 +1,383 @@
+module S = Mae_test_support.Support
+module Sim = Mae_sim.Simulator
+module G = Mae_workload.Generators
+
+let check_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "sim error: %s" (Format.asprintf "%a" Sim.pp_error e)
+
+(* Logic table *)
+
+let test_logic_table () =
+  let ev kind inputs = Result.get_ok (Mae_sim.Logic.eval ~kind ~inputs) in
+  Alcotest.(check bool) "inv" false (ev "inv" [ true ]);
+  Alcotest.(check bool) "buf" true (ev "buf" [ true ]);
+  Alcotest.(check bool) "nand2" false (ev "nand2" [ true; true ]);
+  Alcotest.(check bool) "nand2'" true (ev "nand2" [ true; false ]);
+  Alcotest.(check bool) "nor3" true (ev "nor3" [ false; false; false ]);
+  Alcotest.(check bool) "xor2" true (ev "xor2" [ true; false ]);
+  Alcotest.(check bool) "aoi22" false (ev "aoi22" [ true; true; false; false ]);
+  Alcotest.(check bool) "mux2 selects b when s" true
+    (ev "mux2" [ false; true; true ]);
+  Alcotest.(check bool) "mux2 selects a otherwise" false
+    (ev "mux2" [ false; true; false ]);
+  Alcotest.(check bool) "dff unsupported" true
+    (Result.is_error (Mae_sim.Logic.eval ~kind:"dff" ~inputs:[ true; true ]));
+  Alcotest.(check bool) "arity mismatch" true
+    (Result.is_error (Mae_sim.Logic.eval ~kind:"inv" ~inputs:[ true; false ]))
+
+(* Full adder truth table *)
+
+let test_full_adder_truth_table () =
+  let c = G.full_adder () in
+  for v = 0 to 7 do
+    let a = v land 1 = 1 and b = v land 2 = 2 and cin = v land 4 = 4 in
+    let outputs =
+      check_ok (Sim.eval c ~inputs:[ ("a", a); ("b", b); ("cin", cin) ])
+    in
+    let s = List.assoc "s" outputs and cout = List.assoc "cout" outputs in
+    let total = Bool.to_int a + Bool.to_int b + Bool.to_int cin in
+    Alcotest.(check bool) "sum" (total land 1 = 1) s;
+    Alcotest.(check bool) "carry" (total >= 2) cout
+  done
+
+(* Ripple adder adds *)
+
+let test_ripple_adder_adds () =
+  let bits = 4 in
+  let c = G.ripple_adder bits in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let inputs =
+        Sim.bits ~prefix:"a" ~width:bits a
+        @ Sim.bits ~prefix:"b" ~width:bits b
+        @ [ ("cin", false) ]
+      in
+      let outputs = check_ok (Sim.eval c ~inputs) in
+      let sum = ref 0 in
+      List.iter
+        (fun (name, v) ->
+          if v then
+            match name with
+            | "cout" -> sum := !sum lor (1 lsl bits)
+            | _ -> begin
+                match
+                  int_of_string_opt (String.sub name 1 (String.length name - 1))
+                with
+                | Some k when name.[0] = 's' -> sum := !sum lor (1 lsl k)
+                | Some _ | None -> ()
+              end)
+        outputs;
+      Alcotest.(check int) (Printf.sprintf "%d+%d" a b) (a + b) !sum
+    done
+  done
+
+(* The multiplier multiplies *)
+
+let test_multiplier_multiplies () =
+  List.iter
+    (fun bits ->
+      let c = G.multiplier bits in
+      let top = (1 lsl bits) - 1 in
+      for a = 0 to top do
+        for b = 0 to top do
+          let inputs =
+            Sim.bits ~prefix:"a" ~width:bits a @ Sim.bits ~prefix:"b" ~width:bits b
+          in
+          let product = check_ok (Sim.eval_vector c ~inputs) in
+          Alcotest.(check int) (Printf.sprintf "%dx%d" a b) (a * b) product
+        done
+      done)
+    [ 2; 3; 4 ]
+
+(* Decoder one-hot *)
+
+let test_decoder_decodes () =
+  let c = G.decoder 3 in
+  for v = 0 to 7 do
+    let inputs = Sim.bits ~prefix:"s" ~width:3 v in
+    let outputs = check_ok (Sim.eval c ~inputs) in
+    List.iter
+      (fun (name, value) ->
+        let k = int_of_string (String.sub name 1 (String.length name - 1)) in
+        Alcotest.(check bool) (Printf.sprintf "y%d at %d" k v) (k = v) value)
+      outputs
+  done
+
+(* Parity *)
+
+let test_parity_computes () =
+  let bits = 5 in
+  let c = G.parity bits in
+  for v = 0 to (1 lsl bits) - 1 do
+    let inputs = Sim.bits ~prefix:"d" ~width:bits v in
+    let outputs = check_ok (Sim.eval c ~inputs) in
+    let expected =
+      let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+      popcount v land 1 = 1
+    in
+    Alcotest.(check bool) (Printf.sprintf "parity %d" v) expected
+      (List.assoc "p" outputs)
+  done
+
+(* Mux tree selects *)
+
+let test_mux_tree_selects () =
+  let sel_bits = 3 in
+  let c = G.mux_tree sel_bits in
+  let n = 1 lsl sel_bits in
+  for sel = 0 to n - 1 do
+    for data = 0 to 15 do
+      (* a pseudo-random data pattern *)
+      let pattern = (data * 37) land (n - 1) in
+      let inputs =
+        Sim.bits ~prefix:"d" ~width:n pattern
+        @ Sim.bits ~prefix:"s" ~width:sel_bits sel
+      in
+      let outputs = check_ok (Sim.eval c ~inputs) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sel=%d pattern=%d" sel pattern)
+        ((pattern lsr sel) land 1 = 1)
+        (List.assoc "y" outputs)
+    done
+  done
+
+(* ALU functions *)
+
+let test_alu_functions () =
+  let bits = 4 in
+  let c = G.alu bits in
+  let mask = (1 lsl bits) - 1 in
+  let eval_alu a b ~sub ~f1 ~f0 =
+    let inputs =
+      Sim.bits ~prefix:"a" ~width:bits a
+      @ Sim.bits ~prefix:"b" ~width:bits b
+      @ [ ("sub", sub); ("f0", f0); ("f1", f1) ]
+    in
+    let outputs = check_ok (Sim.eval c ~inputs) in
+    List.fold_left
+      (fun acc (name, v) ->
+        if v && name.[0] = 'y' then
+          acc lor (1 lsl int_of_string (String.sub name 1 (String.length name - 1)))
+        else acc)
+      0 outputs
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "add" ((a + b) land mask)
+        (eval_alu a b ~sub:false ~f1:false ~f0:false);
+      Alcotest.(check int) "sub" ((a - b) land mask)
+        (eval_alu a b ~sub:true ~f1:false ~f0:false);
+      Alcotest.(check int) "and" (a land b)
+        (eval_alu a b ~sub:false ~f1:false ~f0:true);
+      Alcotest.(check int) "or" (a lor b)
+        (eval_alu a b ~sub:false ~f1:true ~f0:false);
+      Alcotest.(check int) "xor" (a lxor b)
+        (eval_alu a b ~sub:false ~f1:true ~f0:true))
+    [ (0, 0); (1, 1); (5, 3); (15, 1); (12, 10); (7, 7) ]
+
+(* ISCAS-85 c17 against its reference equations *)
+
+let test_c17_truth_table () =
+  let c = G.c17 () in
+  for v = 0 to 31 do
+    let bit k = (v lsr k) land 1 = 1 in
+    let i1 = bit 0 and i2 = bit 1 and i3 = bit 2 and i6 = bit 3 and i7 = bit 4 in
+    let nand a b = not (a && b) in
+    let n10 = nand i1 i3 and n11 = nand i3 i6 in
+    let n16 = nand i2 n11 and n19 = nand n11 i7 in
+    let expected22 = nand n10 n16 and expected23 = nand n16 n19 in
+    let inputs =
+      [ ("n1", i1); ("n2", i2); ("n3", i3); ("n6", i6); ("n7", i7) ]
+    in
+    match Sim.eval c ~inputs with
+    | Error _ -> Alcotest.fail "c17 sim error"
+    | Ok outputs ->
+        Alcotest.(check bool) (Printf.sprintf "n22 @ %d" v) expected22
+          (List.assoc "n22" outputs);
+        Alcotest.(check bool) (Printf.sprintf "n23 @ %d" v) expected23
+          (List.assoc "n23" outputs)
+  done
+
+(* Sequential circuits *)
+
+let test_counter_counts () =
+  let bits = 4 in
+  let c = G.counter bits in
+  let cycles = 20 in
+  let stimuli = List.init cycles (fun _ -> [ ("en", true) ]) in
+  match Sim.sequential c ~clock:"clk" ~stimuli with
+  | Error e -> Alcotest.failf "sim error: %s" (Format.asprintf "%a" Sim.pp_error e)
+  | Ok per_cycle ->
+      List.iteri
+        (fun cycle outputs ->
+          let value =
+            List.fold_left
+              (fun acc (name, v) ->
+                if v && name.[0] = 'q' then
+                  acc
+                  lor (1 lsl int_of_string (String.sub name 1 (String.length name - 1)))
+                else acc)
+              0 outputs
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "count after %d edges" (cycle + 1))
+            ((cycle + 1) mod (1 lsl bits))
+            value)
+        per_cycle
+
+let test_counter_holds_when_disabled () =
+  let c = G.counter 4 in
+  let stimuli =
+    [ [ ("en", true) ]; [ ("en", true) ]; [ ("en", false) ]; [ ("en", false) ] ]
+  in
+  match Sim.sequential c ~clock:"clk" ~stimuli with
+  | Error _ -> Alcotest.fail "sim error"
+  | Ok per_cycle ->
+      let value outputs =
+        List.fold_left
+          (fun acc (name, v) ->
+            if v && name.[0] = 'q' then
+              acc lor (1 lsl int_of_string (String.sub name 1 (String.length name - 1)))
+            else acc)
+          0 outputs
+      in
+      let vals = List.map value per_cycle in
+      Alcotest.(check (list int)) "counts then holds" [ 1; 2; 2; 2 ] vals
+
+let test_shift_register_shifts () =
+  let stages = 3 in
+  let c = G.shift_register stages in
+  let pattern = [ true; false; true; true; false; false; true ] in
+  let stimuli = List.map (fun d -> [ ("d", d) ]) pattern in
+  match Sim.sequential c ~clock:"clk" ~stimuli with
+  | Error _ -> Alcotest.fail "sim error"
+  | Ok per_cycle ->
+      List.iteri
+        (fun cycle outputs ->
+          (* q after cycle k reflects the input from k - stages + 1 *)
+          let expected =
+            if cycle >= stages - 1 then List.nth pattern (cycle - stages + 1)
+            else false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "q at cycle %d" cycle)
+            expected
+            (List.assoc "q" outputs))
+        per_cycle
+
+let test_sequential_rejects_latch () =
+  let b = Mae_netlist.Builder.create ~name:"l" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"l1" ~kind:"latch" ~nets:[ "d"; "g"; "q" ]);
+  let c = Mae_netlist.Builder.build b in
+  match Sim.sequential c ~clock:"g" ~stimuli:[ [ ("d", true) ] ] with
+  | Error (Sim.Unsupported_kind _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Unsupported_kind"
+
+(* Error paths *)
+
+let test_sim_errors () =
+  let b = Mae_netlist.Builder.create ~name:"seq" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"f" ~kind:"dff" ~nets:[ "d"; "c"; "q" ]);
+  Mae_netlist.Builder.add_port b ~name:"d" ~direction:Mae_netlist.Port.Input ~net:"d";
+  let c = Mae_netlist.Builder.build b in
+  begin
+    match Sim.eval c ~inputs:[ ("d", true) ] with
+    | Error (Sim.Unsupported_kind _) -> ()
+    | Error _ | Ok _ -> Alcotest.fail "expected Unsupported_kind"
+  end;
+  (* missing input *)
+  let fa = G.full_adder () in
+  begin
+    match Sim.eval fa ~inputs:[ ("a", true) ] with
+    | Error (Sim.Missing_input _) -> ()
+    | Error _ | Ok _ -> Alcotest.fail "expected Missing_input"
+  end;
+  (* combinational cycle *)
+  let b = Mae_netlist.Builder.create ~name:"cyc" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"i1" ~kind:"inv" ~nets:[ "x"; "y" ]);
+  ignore (Mae_netlist.Builder.add_device b ~name:"i2" ~kind:"inv" ~nets:[ "y"; "x" ]);
+  Mae_netlist.Builder.add_port b ~name:"x" ~direction:Mae_netlist.Port.Output ~net:"x";
+  let c = Mae_netlist.Builder.build b in
+  begin
+    match Sim.eval c ~inputs:[] with
+    | Error (Sim.Combinational_cycle _) -> ()
+    | Error _ | Ok _ -> Alcotest.fail "expected cycle"
+  end;
+  (* undriven *)
+  let b = Mae_netlist.Builder.create ~name:"und" ~technology:"nmos25" in
+  ignore (Mae_netlist.Builder.add_device b ~name:"i1" ~kind:"inv" ~nets:[ "a"; "y" ]);
+  Mae_netlist.Builder.add_port b ~name:"y" ~direction:Mae_netlist.Port.Output ~net:"y";
+  let c = Mae_netlist.Builder.build b in
+  match Sim.eval c ~inputs:[] with
+  | Error (Sim.Undriven_net { net = "a" }) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Undriven_net"
+
+(* Properties *)
+
+let props =
+  let open QCheck2.Gen in
+  [
+    S.qtest ~count:60 "ripple adder correct for random widths"
+      (triple (int_range 1 8) (int_range 0 255) (int_range 0 255))
+      (fun (bits, a, b) ->
+        let mask = (1 lsl bits) - 1 in
+        let a = a land mask and b = b land mask in
+        let c = G.ripple_adder bits in
+        let inputs =
+          Sim.bits ~prefix:"a" ~width:bits a
+          @ Sim.bits ~prefix:"b" ~width:bits b
+          @ [ ("cin", false) ]
+        in
+        match Sim.eval c ~inputs with
+        | Error _ -> false
+        | Ok outputs ->
+            let s =
+              List.fold_left
+                (fun acc (name, v) ->
+                  if not v then acc
+                  else if name = "cout" then acc lor (1 lsl bits)
+                  else
+                    acc
+                    lor (1 lsl int_of_string (String.sub name 1 (String.length name - 1))))
+                0 outputs
+            in
+            s = a + b);
+    S.qtest ~count:40 "multiplier correct for random operands"
+      (triple (int_range 2 5) (int_range 0 31) (int_range 0 31))
+      (fun (bits, a, b) ->
+        let mask = (1 lsl bits) - 1 in
+        let a = a land mask and b = b land mask in
+        match Sim.eval_vector (G.multiplier bits)
+                ~inputs:(Sim.bits ~prefix:"a" ~width:bits a
+                        @ Sim.bits ~prefix:"b" ~width:bits b)
+        with
+        | Ok p -> p = a * b
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("logic", [ Alcotest.test_case "table" `Quick test_logic_table ]);
+      ( "circuits",
+        [
+          Alcotest.test_case "full adder" `Quick test_full_adder_truth_table;
+          Alcotest.test_case "ripple adder" `Quick test_ripple_adder_adds;
+          Alcotest.test_case "multiplier" `Slow test_multiplier_multiplies;
+          Alcotest.test_case "decoder" `Quick test_decoder_decodes;
+          Alcotest.test_case "parity" `Quick test_parity_computes;
+          Alcotest.test_case "mux tree" `Quick test_mux_tree_selects;
+          Alcotest.test_case "alu" `Quick test_alu_functions;
+          Alcotest.test_case "iscas c17" `Quick test_c17_truth_table;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "counter counts" `Quick test_counter_counts;
+          Alcotest.test_case "counter holds" `Quick test_counter_holds_when_disabled;
+          Alcotest.test_case "shift register" `Quick test_shift_register_shifts;
+          Alcotest.test_case "rejects latch" `Quick test_sequential_rejects_latch;
+        ] );
+      ("errors", [ Alcotest.test_case "paths" `Quick test_sim_errors ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,308 @@
+open Mae_workload
+module S = Mae_test_support.Support
+module Circuit = Mae_netlist.Circuit
+
+(* Generators *)
+
+let test_full_adder () =
+  let c = Generators.full_adder () in
+  Alcotest.(check int) "devices" 5 (Circuit.device_count c);
+  Alcotest.(check int) "ports" 5 (Circuit.port_count c);
+  let issues = Mae_netlist.Validate.check c S.nmos in
+  Alcotest.(check bool) "no errors" true
+    (not (List.exists Mae_netlist.Validate.is_error issues))
+
+let test_ripple_adder () =
+  let c = Generators.ripple_adder 4 in
+  Alcotest.(check int) "5 cells per bit" 20 (Circuit.device_count c);
+  Alcotest.(check int) "ports" (1 + 12 + 1) (Circuit.port_count c);
+  S.raises_invalid (fun () -> ignore (Generators.ripple_adder 0))
+
+let test_counter_size () =
+  List.iter
+    (fun bits ->
+      let c = Generators.counter bits in
+      (* buf + bits*(xor2+dff) + (bits-1)*(nand2+inv) *)
+      Alcotest.(check int)
+        (Printf.sprintf "counter%d" bits)
+        (1 + (2 * bits) + (2 * (bits - 1)))
+        (Circuit.device_count c);
+      Alcotest.(check int) "ports" (2 + bits) (Circuit.port_count c))
+    [ 1; 4; 8; 16 ]
+
+let test_decoder () =
+  let c = Generators.decoder 3 in
+  (* 3 inv + 8 * (nand3 + inv) *)
+  Alcotest.(check int) "devices" 19 (Circuit.device_count c);
+  Alcotest.(check int) "outputs + selects" 11 (Circuit.port_count c);
+  S.raises_invalid (fun () -> ignore (Generators.decoder 5))
+
+let test_parity () =
+  List.iter
+    (fun bits ->
+      let c = Generators.parity bits in
+      (* an XOR tree over n inputs has n-1 gates, possibly plus one buffer *)
+      let n = Circuit.device_count c in
+      Alcotest.(check bool)
+        (Printf.sprintf "parity%d size" bits)
+        true
+        (n = bits - 1 || n = bits);
+      Alcotest.(check int) "ports" (bits + 1) (Circuit.port_count c))
+    [ 2; 3; 4; 7; 8 ]
+
+let test_mux_tree () =
+  let c = Generators.mux_tree 3 in
+  (* a full 8:1 tree has 7 mux2 cells *)
+  Alcotest.(check bool) "7 or 8 devices" true
+    (Circuit.device_count c = 7 || Circuit.device_count c = 8);
+  Alcotest.(check int) "ports" 12 (Circuit.port_count c)
+
+let test_alu () =
+  let c = Generators.alu 4 in
+  Alcotest.(check int) "14 cells per bit" 56 (Circuit.device_count c);
+  Alcotest.(check int) "ports" (8 + 3 + 5) (Circuit.port_count c);
+  let issues = Mae_netlist.Validate.check c S.nmos in
+  Alcotest.(check bool) "no errors" true
+    (not (List.exists Mae_netlist.Validate.is_error issues))
+
+let test_shift_register () =
+  let c = Generators.shift_register 5 in
+  Alcotest.(check int) "5 dffs" 5 (Circuit.device_count c)
+
+let test_pass_chain_footnote_property () =
+  (* the Table 1 footnote case: every net has at most two components *)
+  let c = Generators.pass_chain 8 in
+  Alcotest.(check int) "8 transistors" 8 (Circuit.device_count c);
+  for n = 0 to Circuit.net_count c - 1 do
+    Alcotest.(check bool) "degree <= 2" true (Circuit.degree c n <= 2)
+  done
+
+let test_inverter_chain () =
+  let c = Generators.inverter_chain 6 in
+  Alcotest.(check int) "12 transistors" 12 (Circuit.device_count c);
+  (* internal nets have three components: load, pull-down, next gate *)
+  let n3 = Option.get (Circuit.find_net c "n3") in
+  Alcotest.(check int) "internal degree 3" 3
+    (Circuit.degree c n3.Mae_netlist.Net.index)
+
+let test_multiplier_structure () =
+  let c = Generators.multiplier 4 in
+  Alcotest.(check int) "ports" (8 + 8) (Circuit.port_count c);
+  (* AND array: 2 cells per partial product *)
+  Alcotest.(check bool) "at least the AND array" true
+    (Circuit.device_count c > 2 * 16);
+  let issues = Mae_netlist.Validate.check c S.nmos in
+  Alcotest.(check bool) "no errors" true
+    (not (List.exists Mae_netlist.Validate.is_error issues));
+  S.raises_invalid (fun () -> ignore (Generators.multiplier 1))
+
+(* Random circuits *)
+
+let test_random_validate () =
+  let p = Random_circuit.default_params in
+  Alcotest.(check bool) "default ok" true (Result.is_ok (Random_circuit.validate p));
+  Alcotest.(check bool) "bad devices" true
+    (Result.is_error (Random_circuit.validate { p with devices = 0 }));
+  Alcotest.(check bool) "unknown kind" true
+    (Result.is_error
+       (Random_circuit.validate { p with kind_weights = [ ("warp", 1) ] }));
+  Alcotest.(check bool) "zero weights" true
+    (Result.is_error
+       (Random_circuit.validate { p with kind_weights = [ ("inv", 0) ] }))
+
+let test_random_deterministic () =
+  let p = Random_circuit.default_params in
+  let a = Random_circuit.generate ~rng:(S.rng 5) p in
+  let b = Random_circuit.generate ~rng:(S.rng 5) p in
+  Alcotest.(check int) "same size" (Circuit.device_count a) (Circuit.device_count b);
+  let na = Array.map (fun (d : Mae_netlist.Device.t) -> d.kind) a.Circuit.devices in
+  let nb = Array.map (fun (d : Mae_netlist.Device.t) -> d.kind) b.Circuit.devices in
+  Alcotest.(check bool) "same kinds" true (na = nb)
+
+let test_random_structure () =
+  let p = { Random_circuit.default_params with devices = 40 } in
+  let c = Random_circuit.generate ~rng:(S.rng 6) p in
+  Alcotest.(check int) "devices" 40 (Circuit.device_count c);
+  Alcotest.(check int) "ports" (8 + 8) (Circuit.port_count c);
+  (* every device has arity+1 pins *)
+  Array.iter
+    (fun (d : Mae_netlist.Device.t) ->
+      Alcotest.(check int) ("pins of " ^ d.kind)
+        (Random_circuit.input_arity d.kind + 1)
+        (Array.length d.pins))
+    c.Circuit.devices;
+  (* estimable without surprises *)
+  let stats = Mae_netlist.Stats.compute c S.nmos in
+  Alcotest.(check int) "stats N" 40 stats.Mae_netlist.Stats.device_count
+
+let test_weighted_pick_respects_weights () =
+  let rng = S.rng 9 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let k = Random_circuit.weighted_pick rng [ ("a", 3); ("b", 1) ] in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let a = Float.of_int (Hashtbl.find counts "a") in
+  let b = Float.of_int (Hashtbl.find counts "b") in
+  S.check_close ~rel:0.1 "3:1 ratio" 3. (a /. b)
+
+(* Rent *)
+
+let test_rent_terminals () =
+  let p = { Rent.default_params with cluster_size = 16; rent_t = 2.; rent_p = 0.5 } in
+  (* 2 * 16^0.5 = 8 *)
+  Alcotest.(check int) "T = t*g^p" 8 (Rent.external_terminals p);
+  Alcotest.(check bool) "validation" true
+    (Result.is_error (Rent.validate { p with rent_p = 1.5 }))
+
+let test_rent_generate () =
+  let p = { Rent.default_params with clusters = 3; cluster_size = 15 } in
+  let c = Rent.generate ~rng:(S.rng 12) p in
+  Alcotest.(check int) "total devices" 45 (Circuit.device_count c);
+  Alcotest.(check bool) "has ports" true (Circuit.port_count c > 0);
+  let issues = Mae_netlist.Validate.check c S.nmos in
+  Alcotest.(check bool) "no errors" true
+    (not (List.exists Mae_netlist.Validate.is_error issues))
+
+let test_rent_modules () =
+  let p = { Rent.default_params with clusters = 4; cluster_size = 12 } in
+  let modules = Rent.generate_modules ~rng:(S.rng 13) p in
+  Alcotest.(check int) "four modules" 4 (List.length modules);
+  let names = List.map (fun (c : Circuit.t) -> c.name) modules in
+  Alcotest.(check int) "distinct names" 4
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun c -> Alcotest.(check int) "module size" 12 (Circuit.device_count c))
+    modules
+
+(* Mutate *)
+
+let test_mutate_duplicate () =
+  let c = S.full_adder in
+  let d = Mae_workload.Mutate.duplicate c in
+  Alcotest.(check int) "double devices"
+    (2 * Circuit.device_count c)
+    (Circuit.device_count d);
+  Alcotest.(check int) "ports unchanged" (Circuit.port_count c) (Circuit.port_count d)
+
+let test_mutate_drop () =
+  let c = S.full_adder in
+  let d = Mae_workload.Mutate.drop_device ~index:0 c in
+  Alcotest.(check int) "one fewer" (Circuit.device_count c - 1) (Circuit.device_count d);
+  S.raises_invalid (fun () -> ignore (Mae_workload.Mutate.drop_device ~index:99 c))
+
+let test_mutate_widen () =
+  let c = S.full_adder in
+  let p = Option.get (Circuit.find_net c "fa_p") in
+  let before = Circuit.degree c p.Mae_netlist.Net.index in
+  let d = Mae_workload.Mutate.widen_net ~net:"fa_p" ~extra:3 ~kind:"inv" c in
+  let p' = Option.get (Circuit.find_net d "fa_p") in
+  Alcotest.(check int) "degree grows" (before + 3)
+    (Circuit.degree d p'.Mae_netlist.Net.index);
+  Alcotest.check_raises "missing net" Not_found (fun () ->
+      ignore (Mae_workload.Mutate.widen_net ~net:"zzz" ~extra:1 ~kind:"inv" c))
+
+let test_mutate_add_device () =
+  let c = S.full_adder in
+  let d = Mae_workload.Mutate.add_device ~kind:"inv" ~nets:[ "s"; "snew" ] c in
+  Alcotest.(check int) "one more" (Circuit.device_count c + 1) (Circuit.device_count d);
+  Alcotest.(check bool) "new net" true (Circuit.find_net d "snew" <> None)
+
+(* Bench circuits *)
+
+let test_bench_suites () =
+  let t1 = Bench_circuits.table1 () in
+  Alcotest.(check int) "five table 1 circuits" 5 (List.length t1);
+  let t2 = Bench_circuits.table2 () in
+  Alcotest.(check int) "two table 2 circuits" 2 (List.length t2);
+  (* all table 1 entries are transistor-level in the nmos process *)
+  List.iter
+    (fun (e : Bench_circuits.entry) ->
+      Array.iter
+        (fun (d : Mae_netlist.Device.t) ->
+          let kind = Mae_tech.Process.find_device_exn S.nmos d.kind in
+          Alcotest.(check bool)
+            (e.name ^ " transistor level") true
+            (Mae_tech.Device_kind.is_transistor kind))
+        e.circuit.Circuit.devices)
+    t1;
+  Alcotest.(check bool) "find" true (Bench_circuits.find "alu4" <> None);
+  Alcotest.(check bool) "find missing" true (Bench_circuits.find "zzz" = None)
+
+(* Properties *)
+
+let props =
+  let open QCheck2.Gen in
+  [
+    S.qtest "counter device count formula" (int_range 1 24) (fun bits ->
+        Circuit.device_count (Generators.counter bits)
+        = 1 + (2 * bits) + (2 * (bits - 1)));
+    S.qtest "pass chain nets never exceed two components" (int_range 1 30)
+      (fun stages ->
+        let c = Generators.pass_chain stages in
+        let ok = ref true in
+        for n = 0 to Circuit.net_count c - 1 do
+          if Circuit.degree c n > 2 then ok := false
+        done;
+        !ok);
+    S.qtest "random circuits validate cleanly" (pair int (int_range 1 60))
+      (fun (seed, devices) ->
+        let p =
+          {
+            Random_circuit.default_params with
+            devices;
+            primary_outputs = Stdlib.min 8 devices;
+          }
+        in
+        let c = Random_circuit.generate ~rng:(S.rng seed) p in
+        not
+          (List.exists Mae_netlist.Validate.is_error
+             (Mae_netlist.Validate.check c S.nmos)));
+    S.qtest "duplicate doubles device area" (int_range 1 16) (fun bits ->
+        let c = Generators.counter bits in
+        let a = (Mae_netlist.Stats.compute c S.nmos).Mae_netlist.Stats.total_device_area in
+        let d = Mae_workload.Mutate.duplicate c in
+        let a2 = (Mae_netlist.Stats.compute d S.nmos).Mae_netlist.Stats.total_device_area in
+        S.approx ~eps:1e-9 (2. *. a) a2);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "full adder" `Quick test_full_adder;
+          Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+          Alcotest.test_case "counter" `Quick test_counter_size;
+          Alcotest.test_case "decoder" `Quick test_decoder;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "mux tree" `Quick test_mux_tree;
+          Alcotest.test_case "alu" `Quick test_alu;
+          Alcotest.test_case "shift register" `Quick test_shift_register;
+          Alcotest.test_case "pass chain" `Quick test_pass_chain_footnote_property;
+          Alcotest.test_case "inverter chain" `Quick test_inverter_chain;
+          Alcotest.test_case "multiplier" `Quick test_multiplier_structure;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "validate" `Quick test_random_validate;
+          Alcotest.test_case "deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "structure" `Quick test_random_structure;
+          Alcotest.test_case "weighted pick" `Quick test_weighted_pick_respects_weights;
+        ] );
+      ( "rent",
+        [
+          Alcotest.test_case "terminals" `Quick test_rent_terminals;
+          Alcotest.test_case "generate" `Quick test_rent_generate;
+          Alcotest.test_case "modules" `Quick test_rent_modules;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "duplicate" `Quick test_mutate_duplicate;
+          Alcotest.test_case "drop" `Quick test_mutate_drop;
+          Alcotest.test_case "widen" `Quick test_mutate_widen;
+          Alcotest.test_case "add device" `Quick test_mutate_add_device;
+        ] );
+      ("bench", [ Alcotest.test_case "suites" `Quick test_bench_suites ]);
+      ("properties", props);
+    ]
