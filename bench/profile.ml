@@ -1,0 +1,90 @@
+(* Stage-level profiler for Driver.run_circuit: times the full driver
+   with the kernel cache off and on, then each pipeline stage in
+   isolation (stats, validation, expansion, the two estimators) over the
+   engine benchmark's workload shape.  The standalone stage rows each
+   recompute their own Stats.compute, so they overcount relative to the
+   stats-sharing driver; compare rows to each other, not to the total.
+
+     dune exec bench/profile.exe *)
+
+let process = Mae_tech.Builtin.nmos25
+
+let shapes =
+  [|
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.multiplier 6);
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.multiplier 8);
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.alu 8);
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.counter 16);
+    Mae_workload.Generators.inverter_chain 200;
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.ripple_adder 16);
+    Mae_workload.Generators.pass_chain 300;
+    Mae_workload.Bench_circuits.flatten (Mae_workload.Generators.multiplier 7);
+  |]
+
+let workload = List.init 200 (fun i -> shapes.(i mod Array.length shapes))
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "%-28s %8.1f ms\n%!" label ((Unix.gettimeofday () -. t0) *. 1000.);
+  r
+
+let () =
+  let registry = Mae_tech.Registry.create () in
+  ignore
+    (time "full driver (cache off)" (fun () ->
+         Mae_prob.Kernel_cache.set_enabled false;
+         List.map (Mae.Driver.run_circuit ~registry) workload));
+  Mae_prob.Kernel_cache.set_enabled true;
+  Mae_prob.Kernel_cache.clear ();
+  ignore
+    (time "full driver (cache on)" (fun () ->
+         List.map (Mae.Driver.run_circuit ~registry) workload));
+  ignore
+    (time "stats.compute" (fun () ->
+         List.map (fun c -> Mae_netlist.Stats.compute c process) workload));
+  ignore
+    (time "validate" (fun () ->
+         List.map (fun c -> Mae_netlist.Validate.check c process) workload));
+  ignore
+    (time "expand (celllib)" (fun () ->
+         List.map
+           (fun (c : Mae_netlist.Circuit.t) ->
+             match Mae_celllib.Cmos_lib.for_technology c.technology with
+             | None -> None
+             | Some lib -> (
+                 match Mae_celllib.Expand.circuit lib c with
+                 | Ok e -> Some e
+                 | Error _ -> None))
+           workload));
+  ignore
+    (time "fullcustom both" (fun () ->
+         List.map (fun c -> Mae.Fullcustom.estimate_both c process) workload));
+  ignore
+    (time "row_select candidates" (fun () ->
+         List.map (fun c -> Mae.Row_select.candidates c process) workload));
+  Mae_prob.Kernel_cache.set_enabled false;
+  ignore
+    (time "stdcell auto+sweep (uncached)" (fun () ->
+         List.map
+           (fun c ->
+             let auto = Mae.Stdcell.estimate_auto c process in
+             let sweep =
+               Mae.Stdcell.sweep ~rows:(Mae.Row_select.candidates c process) c
+                 process
+             in
+             (auto, sweep))
+           workload));
+  Mae_prob.Kernel_cache.set_enabled true;
+  Mae_prob.Kernel_cache.clear ();
+  ignore
+    (time "stdcell auto+sweep (cached)" (fun () ->
+         List.map
+           (fun c ->
+             let auto = Mae.Stdcell.estimate_auto c process in
+             let sweep =
+               Mae.Stdcell.sweep ~rows:(Mae.Row_select.candidates c process) c
+                 process
+             in
+             (auto, sweep))
+           workload))

@@ -75,51 +75,63 @@ let or_die = function
 
 (* estimate *)
 
-let run_estimate tech_files format input db_out verbose flatten_top =
+let print_report ~verbose store (report : Mae.Driver.module_report) =
+  let circuit = report.circuit in
+  Format.printf "== %a ==@." Mae_netlist.Circuit.pp_summary report.circuit;
+  List.iter
+    (fun issue -> Format.printf "  %a@." Mae_netlist.Validate.pp_issue issue)
+    report.issues;
+  Format.printf "  %a@." Mae.Estimate.pp_stdcell report.stdcell;
+  Format.printf "  %a (exact)@." Mae.Estimate.pp_fullcustom
+    report.fullcustom_exact;
+  Format.printf "  %a (average)@." Mae.Estimate.pp_fullcustom
+    report.fullcustom_average;
+  begin
+    match Mae.Gatearray.estimate_routable circuit report.Mae.Driver.process with
+    | Ok ga -> Format.printf "  %a@." Mae.Gatearray.pp_estimate ga
+    | Error _ -> ()
+  end;
+  if verbose then begin
+    let process = report.Mae.Driver.process in
+    Format.printf "%a@."
+      Mae.Explain.pp_stdcell
+      (Mae.Explain.stdcell ~rows:report.stdcell.Mae.Estimate.rows circuit
+         process);
+    let fc_circuit = Option.value report.expanded ~default:circuit in
+    Format.printf "%a@."
+      Mae.Explain.pp_fullcustom
+      (Mae.Explain.fullcustom ~mode:Mae.Config.Exact_areas fc_circuit process)
+  end;
+  Mae_db.Store.add store (Mae_db.Record.of_report report)
+
+let run_estimate tech_files format input db_out verbose flatten_top jobs
+    batch_stats =
+  if jobs < 0 then
+    or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
   let registry = or_die (registry_of tech_files) in
   let circuits = or_die (read_circuits ?flatten_top ~format ~registry input) in
   let store = Mae_db.Store.create () in
+  (* the engine preserves input order, so jobs > 1 prints the same report
+     stream as a sequential run. *)
+  let results, stats =
+    Mae_engine.run_circuits_with_stats ~jobs ~registry circuits
+  in
   List.iter
-    (fun circuit ->
-      match Mae.Driver.run_circuit ~registry circuit with
-      | Error e -> Format.eprintf "mae: %a@." Mae.Driver.pp_error e
-      | Ok report ->
-          Format.printf "== %a ==@." Mae_netlist.Circuit.pp_summary report.circuit;
-          List.iter
-            (fun issue ->
-              Format.printf "  %a@." Mae_netlist.Validate.pp_issue issue)
-            report.issues;
-          Format.printf "  %a@." Mae.Estimate.pp_stdcell report.stdcell;
-          Format.printf "  %a (exact)@." Mae.Estimate.pp_fullcustom
-            report.fullcustom_exact;
-          Format.printf "  %a (average)@." Mae.Estimate.pp_fullcustom
-            report.fullcustom_average;
-          begin
-            match
-              Mae.Gatearray.estimate_routable circuit report.Mae.Driver.process
-            with
-            | Ok ga -> Format.printf "  %a@." Mae.Gatearray.pp_estimate ga
-            | Error _ -> ()
-          end;
-          if verbose then begin
-            let process = report.Mae.Driver.process in
-            Format.printf "%a@."
-              Mae.Explain.pp_stdcell
-              (Mae.Explain.stdcell ~rows:report.stdcell.Mae.Estimate.rows
-                 circuit process);
-            let fc_circuit = Option.value report.expanded ~default:circuit in
-            Format.printf "%a@."
-              Mae.Explain.pp_fullcustom
-              (Mae.Explain.fullcustom ~mode:Mae.Config.Exact_areas fc_circuit
-                 process)
-          end;
-          Mae_db.Store.add store (Mae_db.Record.of_report report))
-    circuits;
-  match db_out with
-  | None -> ()
-  | Some path ->
-      or_die (Mae_db.Store.save store ~path);
-      Format.printf "database written to %s@." path
+    (function
+      | Error e -> Format.eprintf "mae: %a@." Mae_engine.pp_error e
+      | Ok report -> print_report ~verbose store report)
+    results;
+  if batch_stats then Format.eprintf "mae: %a@." Mae_engine.pp_stats stats;
+  begin
+    match db_out with
+    | None -> ()
+    | Some path ->
+        or_die (Mae_db.Store.save store ~path);
+        Format.printf "database written to %s@." path
+  end;
+  (* the successful reports are printed (and saved) either way; a failed
+     module must still fail the invocation for scripted callers. *)
+  if stats.Mae_engine.failed > 0 then exit 1
 
 let estimate_cmd =
   let input =
@@ -145,11 +157,26 @@ let estimate_cmd =
             "Flatten the hierarchical design under module $(docv) before \
              estimating (modules may instantiate other modules by name).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Estimate modules on $(docv) parallel domains (0 = one per \
+             core).  Output order and contents are identical for every \
+             $(docv).")
+  in
+  let batch_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print batch throughput and kernel-cache statistics to stderr.")
+  in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate module areas from a schematic file.")
     Term.(
       const run_estimate $ tech_files_arg $ format_arg $ input $ db_out
-      $ verbose $ flatten_top)
+      $ verbose $ flatten_top $ jobs $ batch_stats)
 
 (* layout *)
 

@@ -18,9 +18,9 @@ let circuit ?(include_supplies = false) library (c : Mae_netlist.Circuit.t) =
           (* The schematic gave fewer pins than the cell defines; connect
              the missing pin to a fresh private net so estimation can
              proceed (matches how a layout tool would leave it floating). *)
-          Printf.sprintf "%s.unconnected%d" d.name i
+          String.concat "" [ d.name; ".unconnected"; string_of_int i ]
         else net_name d.pins.(i)
-    | Cell.Internal n -> Printf.sprintf "%s.%s" d.name n
+    | Cell.Internal n -> String.concat "" [ d.name; "."; n ]
     | Cell.Vdd -> if include_supplies then "vdd!" else raise Skip
     | Cell.Gnd -> if include_supplies then "gnd!" else raise Skip
   in

@@ -66,13 +66,21 @@ let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
       | [] ->
           let expanded = expand_for_fullcustom circuit process in
           let fc_circuit = Option.value expanded ~default:circuit in
-          let fullcustom_exact, fullcustom_average =
-            Fullcustom.estimate_both ?config fc_circuit process
+          (* compute each circuit's statistics once and share them across
+             the full-custom pair, the automatic estimate and the sweep. *)
+          let stats = Mae_netlist.Stats.compute circuit process in
+          let fc_stats =
+            match expanded with
+            | None -> stats
+            | Some e -> Mae_netlist.Stats.compute e process
           in
-          let stdcell = Stdcell.estimate_auto ?config circuit process in
+          let fullcustom_exact, fullcustom_average =
+            Fullcustom.estimate_both ?config ~stats:fc_stats fc_circuit process
+          in
+          let stdcell = Stdcell.estimate_auto ?config ~stats circuit process in
           let stdcell_sweep =
-            Stdcell.sweep ?config
-              ~rows:(Row_select.candidates circuit process)
+            Stdcell.sweep ?config ~stats
+              ~rows:(Row_select.candidates ~stats circuit process)
               circuit process
           in
           Ok
@@ -88,6 +96,9 @@ let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
             }
     end
 
+let run_circuits ?config ~registry circuits =
+  List.map (run_circuit ?config ~registry) circuits
+
 let run_design ?config ~registry design =
   match Mae_hdl.Elaborate.design_to_circuits design with
   | Error e -> Error (Elaborate_error e)
@@ -101,6 +112,21 @@ let run_design ?config ~registry design =
           end
       in
       go [] circuits
+
+let design_circuits design =
+  match Mae_hdl.Elaborate.design_to_circuits design with
+  | Error e -> Error (Elaborate_error e)
+  | Ok circuits -> Ok circuits
+
+let string_circuits text =
+  match Mae_hdl.Parser.parse_string text with
+  | Error e -> Error (Parse_error e)
+  | Ok design -> design_circuits design
+
+let file_circuits path =
+  match Mae_hdl.Parser.parse_file path with
+  | Error e -> Error (Parse_error e)
+  | Ok design -> design_circuits design
 
 let run_string ?config ~registry text =
   match Mae_hdl.Parser.parse_string text with

@@ -41,6 +41,26 @@ val run_circuit :
   (module_report, error) result
 (** Estimate one already-elaborated circuit. *)
 
+val run_circuits :
+  ?config:Config.t ->
+  registry:Mae_tech.Registry.t ->
+  Mae_netlist.Circuit.t list ->
+  (module_report, error) result list
+(** Batch entry point: estimate every circuit with per-module error
+    isolation -- one failing module yields an [Error] slot, the rest of
+    the batch still runs.  Results are in input order.  This is the
+    sequential reference semantics of {!Mae_engine}'s parallel runner. *)
+
+val design_circuits :
+  Mae_hdl.Ast.design -> (Mae_netlist.Circuit.t list, error) result
+(** Elaborate a parsed design into the circuit batch it contains. *)
+
+val string_circuits : string -> (Mae_netlist.Circuit.t list, error) result
+(** Parse HDL text and elaborate it into a circuit batch. *)
+
+val file_circuits : string -> (Mae_netlist.Circuit.t list, error) result
+(** Parse an HDL file and elaborate it into a circuit batch. *)
+
 val run_string :
   ?config:Config.t ->
   registry:Mae_tech.Registry.t ->

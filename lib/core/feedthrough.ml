@@ -72,13 +72,15 @@ let prob_central ~rows ~degree =
 
 let prob_two_component ~rows =
   if rows < 1 then invalid_arg "Feedthrough.prob_two_component: rows < 1";
-  let n = Float.of_int rows in
-  let r = (n -. 1.) /. n in
-  r *. r /. 2.
+  Mae_prob.Kernel_cache.two_component_feed_prob ~rows
 
 let feed_through_dist ~net_count ~rows =
   if net_count < 0 then invalid_arg "Feedthrough.feed_through_dist: net_count < 0";
-  Mae_prob.Dist.binomial ~n:net_count ~p:(prob_two_component ~rows)
+  if rows < 1 then invalid_arg "Feedthrough.feed_through_dist: rows < 1";
+  Mae_prob.Kernel_cache.feed_through_dist ~net_count ~rows
 
 let expected_feed_throughs ~net_count ~rows =
-  Mae_prob.Dist.expectation_ceil (feed_through_dist ~net_count ~rows)
+  if net_count < 0 then
+    invalid_arg "Feedthrough.expected_feed_throughs: net_count < 0";
+  if rows < 1 then invalid_arg "Feedthrough.expected_feed_throughs: rows < 1";
+  Mae_prob.Kernel_cache.expected_feed_throughs ~net_count ~rows

@@ -6,9 +6,16 @@ type net_area = {
 
 let half_rounded_up degree = (degree + 1) / 2
 
-let net_areas ?(config = Config.default) ~mode circuit process =
-  let stats = Mae_netlist.Stats.compute circuit process in
-  let widths = Mae_netlist.Stats.device_widths circuit process in
+let stats_of ?stats circuit process =
+  match stats with
+  | Some s -> s
+  | None -> Mae_netlist.Stats.compute circuit process
+
+let net_areas ?(config = Config.default) ?stats ~mode circuit process =
+  let stats = stats_of ?stats circuit process in
+  (* local laziness only: the array is needed in [Exact_areas] mode alone
+     and never escapes this call, so there is no cross-domain sharing. *)
+  let widths = lazy (Mae_netlist.Stats.device_widths circuit process) in
   let track = process.Mae_tech.Process.track_pitch in
   let area_of_net net =
     let members = Mae_netlist.Circuit.devices_on_net circuit net in
@@ -21,6 +28,7 @@ let net_areas ?(config = Config.default) ~mode circuit process =
           match (mode : Config.device_area_mode) with
           | Average_areas -> stats.average_width
           | Exact_areas ->
+              let widths = Lazy.force widths in
               Array.fold_left (fun acc d -> acc +. widths.(d)) 0. members
               /. Float.of_int degree
         in
@@ -34,8 +42,8 @@ let net_areas ?(config = Config.default) ~mode circuit process =
   in
   List.init (Mae_netlist.Circuit.net_count circuit) area_of_net
 
-let estimate ?(config = Config.default) ~mode circuit process =
-  let stats = Mae_netlist.Stats.compute circuit process in
+let estimate ?(config = Config.default) ?stats ~mode circuit process =
+  let stats = stats_of ?stats circuit process in
   if stats.device_count = 0 then
     invalid_arg "Fullcustom.estimate: circuit has no devices";
   let device_area =
@@ -49,7 +57,7 @@ let estimate ?(config = Config.default) ~mode circuit process =
     List.fold_left
       (fun acc n -> acc +. n.interconnect_area)
       0.
-      (net_areas ~config ~mode circuit process)
+      (net_areas ~config ~stats ~mode circuit process)
   in
   let area = device_area +. wire_area in
   let width, height, aspect_raw =
@@ -65,6 +73,7 @@ let estimate ?(config = Config.default) ~mode circuit process =
     aspect_raw;
   }
 
-let estimate_both ?config circuit process =
-  ( estimate ?config ~mode:Config.Exact_areas circuit process,
-    estimate ?config ~mode:Config.Average_areas circuit process )
+let estimate_both ?config ?stats circuit process =
+  let stats = stats_of ?stats circuit process in
+  ( estimate ?config ~stats ~mode:Config.Exact_areas circuit process,
+    estimate ?config ~stats ~mode:Config.Average_areas circuit process )

@@ -15,6 +15,7 @@ type net_area = {
 
 val net_areas :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   mode:Config.device_area_mode ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
@@ -22,10 +23,12 @@ val net_areas :
 (** Per-net interconnect areas, net index ascending.  In [Exact_areas]
     mode the half-row length uses the mean width of the devices actually
     on the net; in [Average_areas] mode it uses the module-wide W_avg.
+    [stats], when given, must be [Stats.compute circuit process].
     Raises {!Mae_netlist.Stats.Unknown_kind}. *)
 
 val estimate :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   mode:Config.device_area_mode ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
@@ -36,7 +39,9 @@ val estimate :
 
 val estimate_both :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Estimate.fullcustom * Estimate.fullcustom
-(** (exact, average): the two variants Table 1 reports side by side. *)
+(** (exact, average): the two variants Table 1 reports side by side.
+    The circuit statistics are computed once and shared by both. *)

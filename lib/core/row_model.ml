@@ -1,21 +1,17 @@
+let kernel_model : Config.row_span_model -> Mae_prob.Kernel_cache.span_model =
+  function
+  | Paper_model -> Mae_prob.Kernel_cache.Paper
+  | Exact_occupancy -> Mae_prob.Kernel_cache.Exact
+
 let prob_rows ~model ~rows ~degree =
   if rows < 1 then invalid_arg "Row_model.prob_rows: rows < 1";
   if degree < 1 then invalid_arg "Row_model.prob_rows: degree < 1";
-  let support = Stdlib.min rows degree in
-  let weight =
-    match (model : Config.row_span_model) with
-    | Paper_model ->
-        (* weight(i) = C(n,i) * b_k(i); the common (1/n)^k factor cancels
-           in the normalization performed by Dist.of_weights. *)
-        let k = Stdlib.min rows degree in
-        fun i -> Mae_prob.Comb.choose rows i *. Mae_prob.Comb.paper_b ~k i
-    | Exact_occupancy ->
-        fun i -> Mae_prob.Comb.choose rows i *. Mae_prob.Comb.surjections degree i
-  in
-  Mae_prob.Dist.of_weights (List.init support (fun j -> (j + 1, weight (j + 1))))
+  Mae_prob.Kernel_cache.row_span_dist ~model:(kernel_model model) ~rows ~degree
 
 let expected_span ~model ~rows ~degree =
-  Mae_prob.Dist.expectation_ceil (prob_rows ~model ~rows ~degree)
+  if rows < 1 then invalid_arg "Row_model.expected_span: rows < 1";
+  if degree < 1 then invalid_arg "Row_model.expected_span: degree < 1";
+  Mae_prob.Kernel_cache.expected_span ~model:(kernel_model model) ~rows ~degree
 
 let tracks_for_histogram ~model ~rows ~degree_histogram =
   List.fold_left

@@ -3,7 +3,11 @@
     A component lands in any of the n rows with probability 1/n.  The
     number of rows actually occupied determines how many routing tracks
     the net consumes under the paper's one-net-per-track assumption: a net
-    spanning i rows needs i tracks (one in each neighbouring channel). *)
+    spanning i rows needs i tracks (one in each neighbouring channel).
+
+    Distributions are shared through {!Mae_prob.Kernel_cache} -- they
+    depend only on [(rows, degree)], so repeated queries (sweeps, batches)
+    hit the cache. *)
 
 val prob_rows :
   model:Config.row_span_model -> rows:int -> degree:int -> Mae_prob.Dist.t

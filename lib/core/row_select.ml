@@ -9,19 +9,24 @@ let row_length ~cell_area ~row_height ~rows =
   if rows < 1 then invalid_arg "Row_select.row_length: rows < 1";
   cell_area /. (Float.of_int rows *. row_height)
 
-let loop_state circuit process =
-  let stats = Mae_netlist.Stats.compute circuit process in
-  if stats.device_count = 0 then
+let loop_state ?stats circuit process =
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> Mae_netlist.Stats.compute circuit process
+  in
+  if stats.Mae_netlist.Stats.device_count = 0 then
     invalid_arg "Row_select: circuit has no devices";
-  let cell_area = stats.total_device_area in
+  let cell_area = stats.Mae_netlist.Stats.total_device_area in
   let row_height = process.Mae_tech.Process.row_height in
   let ports =
-    Aspect_ratio.port_length ~port_count:stats.port_count ~process
+    Aspect_ratio.port_length ~port_count:stats.Mae_netlist.Stats.port_count
+      ~process
   in
   (cell_area, row_height, ports)
 
-let initial_rows circuit process =
-  let cell_area, row_height, ports = loop_state circuit process in
+let initial_rows ?stats circuit process =
+  let cell_area, row_height, ports = loop_state ?stats circuit process in
   let rec go divisor =
     let rows = rows_for_divisor ~cell_area ~row_height ~divisor in
     let length = row_length ~cell_area ~row_height ~rows in
@@ -29,9 +34,9 @@ let initial_rows circuit process =
   in
   go 2
 
-let candidates ?(max_count = 3) circuit process =
+let candidates ?(max_count = 3) ?stats circuit process =
   if max_count < 1 then invalid_arg "Row_select.candidates: max_count < 1";
-  let cell_area, row_height, ports = loop_state circuit process in
+  let cell_area, row_height, ports = loop_state ?stats circuit process in
   let rec skip_to_accepted divisor =
     let rows = rows_for_divisor ~cell_area ~row_height ~divisor in
     let length = row_length ~cell_area ~row_height ~rows in

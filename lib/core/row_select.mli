@@ -15,14 +15,22 @@ val row_length :
   cell_area:Mae_geom.Lambda.area -> row_height:Mae_geom.Lambda.t -> rows:int -> Mae_geom.Lambda.t
 (** Step 3: cell_area / (rows * row_height), the cell portion of a row. *)
 
-val initial_rows : Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int
+val initial_rows :
+  ?stats:Mae_netlist.Stats.t -> Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int
 (** The full loop: starts at divisor 2 and accepts the first row count
     whose row length fits the port length (always terminates: the row
-    count eventually reaches 1).  Raises {!Mae_netlist.Stats.Unknown_kind}
-    on a schematic/process mismatch and [Invalid_argument] on a circuit
-    with no devices. *)
+    count eventually reaches 1).  [stats], when given, must be
+    [Stats.compute circuit process] -- callers that already hold it avoid
+    recomputing.  Raises {!Mae_netlist.Stats.Unknown_kind} on a
+    schematic/process mismatch and [Invalid_argument] on a circuit with
+    no devices. *)
 
-val candidates : ?max_count:int -> Mae_netlist.Circuit.t -> Mae_tech.Process.t -> int list
+val candidates :
+  ?max_count:int ->
+  ?stats:Mae_netlist.Stats.t ->
+  Mae_netlist.Circuit.t ->
+  Mae_tech.Process.t ->
+  int list
 (** Distinct row counts visited by the loop, starting at the accepted one
     and continuing toward fewer rows, at most [max_count] (default 3, the
     Table 2 presentation).  Always non-empty, strictly decreasing. *)

@@ -1,7 +1,12 @@
-let estimate ?(config = Config.default) ~rows circuit process =
+let stats_of ?stats circuit process =
+  match stats with
+  | Some s -> s
+  | None -> Mae_netlist.Stats.compute circuit process
+
+let estimate ?(config = Config.default) ?stats ~rows circuit process =
   if rows < 1 then invalid_arg "Stdcell.estimate: rows < 1";
-  let stats = Mae_netlist.Stats.compute circuit process in
-  if stats.device_count = 0 then
+  let stats = stats_of ?stats circuit process in
+  if stats.Mae_netlist.Stats.device_count = 0 then
     invalid_arg "Stdcell.estimate: circuit has no devices";
   let tracks_upper_bound =
     Row_model.tracks_for_histogram ~model:config.row_span_model ~rows
@@ -42,9 +47,11 @@ let estimate ?(config = Config.default) ~rows circuit process =
     aspect_raw;
   }
 
-let estimate_auto ?config circuit process =
-  let rows = Row_select.initial_rows circuit process in
-  estimate ?config ~rows circuit process
+let estimate_auto ?config ?stats circuit process =
+  let stats = stats_of ?stats circuit process in
+  let rows = Row_select.initial_rows ~stats circuit process in
+  estimate ?config ~stats ~rows circuit process
 
-let sweep ?config ~rows circuit process =
-  List.map (fun n -> estimate ?config ~rows:n circuit process) rows
+let sweep ?config ?stats ~rows circuit process =
+  let stats = stats_of ?stats circuit process in
+  List.map (fun n -> estimate ?config ~stats ~rows:n circuit process) rows

@@ -6,16 +6,20 @@
 
 val estimate :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   rows:int ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Estimate.stdcell
-(** Equation (12) for a fixed row count.  Raises
+(** Equation (12) for a fixed row count.  [stats], when given, must be
+    [Stats.compute circuit process]; passing it lets batch callers and
+    sweeps share one computation.  Raises
     {!Mae_netlist.Stats.Unknown_kind} on a schematic/process mismatch and
     [Invalid_argument] when [rows < 1] or the circuit has no devices. *)
 
 val estimate_auto :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Estimate.stdcell
@@ -23,8 +27,10 @@ val estimate_auto :
 
 val sweep :
   ?config:Config.t ->
+  ?stats:Mae_netlist.Stats.t ->
   rows:int list ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Estimate.stdcell list
-(** One estimate per row count, in the given order (the Table 2 sweep). *)
+(** One estimate per row count, in the given order (the Table 2 sweep).
+    The circuit statistics are computed once and shared by every entry. *)

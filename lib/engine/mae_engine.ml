@@ -1,0 +1,123 @@
+type error =
+  | Driver_error of Mae.Driver.error
+  | Crashed of { module_name : string; exn : string }
+
+let pp_error ppf = function
+  | Driver_error e -> Mae.Driver.pp_error ppf e
+  | Crashed { module_name; exn } ->
+      Format.fprintf ppf "module %s: estimator crashed: %s" module_name exn
+
+type stats = {
+  modules : int;
+  ok : int;
+  failed : int;
+  jobs : int;
+  elapsed_s : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d module(s) (%d ok, %d failed) on %d domain(s) in %.3f s (%.0f \
+     modules/s); kernel cache %d hits / %d misses"
+    s.modules s.ok s.failed s.jobs s.elapsed_s
+    (if s.elapsed_s > 0. then Float.of_int s.modules /. s.elapsed_s else 0.)
+    s.cache_hits s.cache_misses
+
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+let resolve_jobs = function
+  | None -> 1
+  | Some 0 -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some j -> invalid_arg (Printf.sprintf "Mae_engine: jobs = %d" j)
+
+(* Work-stealing-free static pool: domains race on an atomic index over
+   the input array and each writes its own result slot, so slots are
+   written exactly once and [Domain.join] publishes them to the caller.
+   Input order is preserved by construction regardless of which domain
+   estimated which module. *)
+let map_pool ~jobs f inputs =
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  let run_slot i = results.(i) <- Some (f inputs.(i)) in
+  let workers = Stdlib.min jobs n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      run_slot i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_slot i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* the calling domain is worker number [workers]. *)
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> assert false (* every index below [n] was claimed *))
+    results
+
+let estimate_one ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+  match Mae.Driver.run_circuit ?config ~registry circuit with
+  | Ok report -> Ok report
+  | Error e -> Error (Driver_error e)
+  | exception exn ->
+      Error
+        (Crashed { module_name = circuit.name; exn = Printexc.to_string exn })
+
+let run_circuits_with_stats ?config ?jobs ~registry circuits =
+  let jobs = resolve_jobs jobs in
+  let inputs = Array.of_list circuits in
+  let cache_before = Mae_prob.Kernel_cache.stats () in
+  let t0 = Unix.gettimeofday () in
+  let results = map_pool ~jobs (estimate_one ?config ~registry) inputs in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let cache_after = Mae_prob.Kernel_cache.stats () in
+  let ok =
+    Array.fold_left
+      (fun acc -> function Ok _ -> acc + 1 | Error _ -> acc)
+      0 results
+  in
+  let stats =
+    {
+      modules = Array.length inputs;
+      ok;
+      failed = Array.length inputs - ok;
+      jobs;
+      elapsed_s;
+      cache_hits = cache_after.hits - cache_before.hits;
+      cache_misses = cache_after.misses - cache_before.misses;
+    }
+  in
+  (Array.to_list results, stats)
+
+let run_circuits ?config ?jobs ~registry circuits =
+  fst (run_circuits_with_stats ?config ?jobs ~registry circuits)
+
+let run_design ?config ?jobs ~registry design =
+  match Mae.Driver.design_circuits design with
+  | Error e -> Error e
+  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)
+
+let run_string ?config ?jobs ~registry text =
+  match Mae.Driver.string_circuits text with
+  | Error e -> Error e
+  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)
+
+let run_file ?config ?jobs ~registry path =
+  match Mae.Driver.file_circuits path with
+  | Error e -> Error e
+  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)

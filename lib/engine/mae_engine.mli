@@ -1,0 +1,80 @@
+(** Multicore batch-estimation engine.
+
+    Fans a list of circuits (or the modules of an HDL file) across an
+    OCaml 5 [Domain] pool, runs {!Mae.Driver.run_circuit} on each, and
+    returns per-module results {e in deterministic input order} no
+    matter which domain estimated which module.  A module that fails
+    (driver error or exception) yields an [Error] slot; the rest of the
+    batch is unaffected.
+
+    The probability kernels shared by all modules -- row-span
+    distributions, feed-through binomials -- are memoized in the
+    domain-safe {!Mae_prob.Kernel_cache}, so a batch pays for each
+    [(rows, degree)] kernel once across all domains. *)
+
+type error =
+  | Driver_error of Mae.Driver.error
+  | Crashed of { module_name : string; exn : string }
+      (** an exception escaped the estimator for this module *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type stats = {
+  modules : int;
+  ok : int;
+  failed : int;
+  jobs : int;  (** domains actually used *)
+  elapsed_s : float;  (** wall-clock batch time *)
+  cache_hits : int;  (** kernel-cache hits during this batch *)
+  cache_misses : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val run_circuits :
+  ?config:Mae.Config.t ->
+  ?jobs:int ->
+  registry:Mae_tech.Registry.t ->
+  Mae_netlist.Circuit.t list ->
+  (Mae.Driver.module_report, error) result list
+(** Estimate every circuit.  [jobs] is the number of domains: omitted
+    or [1] runs sequentially on the calling domain, [0] means
+    {!default_jobs}, [n >= 2] spawns [n - 1] additional domains (the
+    caller is the n-th worker).  Raises [Invalid_argument] on a
+    negative [jobs].  Output order equals input order and is
+    bit-for-bit independent of [jobs]. *)
+
+val run_circuits_with_stats :
+  ?config:Mae.Config.t ->
+  ?jobs:int ->
+  registry:Mae_tech.Registry.t ->
+  Mae_netlist.Circuit.t list ->
+  (Mae.Driver.module_report, error) result list * stats
+
+val run_design :
+  ?config:Mae.Config.t ->
+  ?jobs:int ->
+  registry:Mae_tech.Registry.t ->
+  Mae_hdl.Ast.design ->
+  ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
+(** Elaborate a parsed multi-module design, then fan the modules out.
+    Elaboration failures abort the whole batch (there is nothing to
+    estimate); per-module estimation failures are isolated as [Error]
+    slots. *)
+
+val run_string :
+  ?config:Mae.Config.t ->
+  ?jobs:int ->
+  registry:Mae_tech.Registry.t ->
+  string ->
+  ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
+
+val run_file :
+  ?config:Mae.Config.t ->
+  ?jobs:int ->
+  registry:Mae_tech.Registry.t ->
+  string ->
+  ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result

@@ -1,11 +1,15 @@
 let table_size = 4096
 
-let log_factorial_table = lazy (
+(* Built eagerly at module initialization (single-domain, before any
+   [Domain.spawn] can happen) and never mutated afterwards, so reads are
+   safe from any number of domains.  The previous [lazy] version could
+   raise [Lazy.Undefined] when first forced from two domains at once. *)
+let log_factorial_table =
   let t = Array.make table_size 0. in
   for n = 1 to table_size - 1 do
     t.(n) <- t.(n - 1) +. Float.log (Float.of_int n)
   done;
-  t)
+  t
 
 (* Stirling's series with three correction terms; accurate to ~1e-10 for
    n >= table_size. *)
@@ -18,7 +22,7 @@ let stirling n =
 
 let log_factorial n =
   if n < 0 then invalid_arg "Comb.log_factorial: negative argument";
-  if n < table_size then (Lazy.force log_factorial_table).(n) else stirling n
+  if n < table_size then log_factorial_table.(n) else stirling n
 
 let log_choose n k =
   if k < 0 || k > n then Float.neg_infinity

@@ -5,8 +5,10 @@
     stable for nets with many components and modules with many nets. *)
 
 val log_factorial : int -> float
-(** [log_factorial n] = ln(n!).  Memoized.  Raises [Invalid_argument] on a
-    negative argument. *)
+(** [log_factorial n] = ln(n!).  Backed by an immutable table built at
+    module initialization, so it is safe to call from any number of
+    domains concurrently.  Raises [Invalid_argument] on a negative
+    argument. *)
 
 val log_choose : int -> int -> float
 (** [log_choose n k] = ln(C(n,k)); [neg_infinity] when [k < 0 || k > n]. *)

@@ -1,0 +1,127 @@
+(* Domain-safe memo tables for the estimator's probability kernels.
+
+   Every quantity here depends only on small integer keys -- (rows,
+   degree) for the row-span distributions of equations (2)-(3), (net
+   count, rows) for the feed-through binomial of equations (9)-(11) --
+   so a batch of modules re-derives the same handful of distributions
+   thousands of times.  The tables below compute each kernel once and
+   share it across every circuit and every domain of the batch engine.
+
+   Concurrency: one mutex guards all tables.  Lookups hold it only for
+   the hash-table probe; misses compute OUTSIDE the lock (the kernels
+   are pure), then re-check before inserting.  Two domains racing on the
+   same key may both compute it, but they compute identical values, so
+   the loser's insert is simply dropped -- correctness never depends on
+   winning the race. *)
+
+type span_model = Paper | Exact
+
+let enabled_flag = Atomic.make true
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+let lock = Mutex.create ()
+
+let span_table : (span_model * int * int, Dist.t) Hashtbl.t = Hashtbl.create 256
+let span_ceil_table : (span_model * int * int, int) Hashtbl.t = Hashtbl.create 256
+let feed_table : (int * int, Dist.t) Hashtbl.t = Hashtbl.create 256
+let feed_ceil_table : (int * int, int) Hashtbl.t = Hashtbl.create 256
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let memo table key compute =
+  if not (Atomic.get enabled_flag) then compute ()
+  else begin
+    Mutex.lock lock;
+    match Hashtbl.find_opt table key with
+    | Some v ->
+        Mutex.unlock lock;
+        Atomic.incr hit_count;
+        v
+    | None ->
+        Mutex.unlock lock;
+        let v = compute () in
+        Mutex.lock lock;
+        if not (Hashtbl.mem table key) then Hashtbl.add table key v;
+        Mutex.unlock lock;
+        Atomic.incr miss_count;
+        v
+  end
+
+(* --- row-span distribution (equations 2-3) --- *)
+
+let check_span ~rows ~degree =
+  if rows < 1 then invalid_arg "Kernel_cache: rows < 1";
+  if degree < 1 then invalid_arg "Kernel_cache: degree < 1"
+
+let row_span_dist_uncached ~model ~rows ~degree =
+  check_span ~rows ~degree;
+  let support = Stdlib.min rows degree in
+  let weight =
+    match model with
+    | Paper ->
+        (* weight(i) = C(n,i) * b_k(i); the common (1/n)^k factor cancels
+           in the normalization performed by Dist.of_weights. *)
+        let k = Stdlib.min rows degree in
+        fun i -> Comb.choose rows i *. Comb.paper_b ~k i
+    | Exact -> fun i -> Comb.choose rows i *. Comb.surjections degree i
+  in
+  Dist.of_weights (List.init support (fun j -> (j + 1, weight (j + 1))))
+
+let row_span_dist ~model ~rows ~degree =
+  check_span ~rows ~degree;
+  memo span_table (model, rows, degree) (fun () ->
+      row_span_dist_uncached ~model ~rows ~degree)
+
+let expected_span ~model ~rows ~degree =
+  check_span ~rows ~degree;
+  memo span_ceil_table (model, rows, degree) (fun () ->
+      Dist.expectation_ceil (row_span_dist ~model ~rows ~degree))
+
+(* --- feed-throughs (equations 9-11) --- *)
+
+let two_component_feed_prob ~rows =
+  if rows < 1 then invalid_arg "Kernel_cache: rows < 1";
+  let n = Float.of_int rows in
+  let r = (n -. 1.) /. n in
+  r *. r /. 2.
+
+let feed_through_dist_uncached ~net_count ~rows =
+  if net_count < 0 then invalid_arg "Kernel_cache: net_count < 0";
+  Dist.binomial ~n:net_count ~p:(two_component_feed_prob ~rows)
+
+let feed_through_dist ~net_count ~rows =
+  if net_count < 0 then invalid_arg "Kernel_cache: net_count < 0";
+  if rows < 1 then invalid_arg "Kernel_cache: rows < 1";
+  memo feed_table (net_count, rows) (fun () ->
+      feed_through_dist_uncached ~net_count ~rows)
+
+let expected_feed_throughs ~net_count ~rows =
+  if net_count < 0 then invalid_arg "Kernel_cache: net_count < 0";
+  if rows < 1 then invalid_arg "Kernel_cache: rows < 1";
+  memo feed_ceil_table (net_count, rows) (fun () ->
+      Dist.expectation_ceil (feed_through_dist ~net_count ~rows))
+
+(* --- introspection --- *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats () =
+  Mutex.lock lock;
+  let entries =
+    Hashtbl.length span_table + Hashtbl.length span_ceil_table
+    + Hashtbl.length feed_table + Hashtbl.length feed_ceil_table
+  in
+  Mutex.unlock lock;
+  { hits = Atomic.get hit_count; misses = Atomic.get miss_count; entries }
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset span_table;
+  Hashtbl.reset span_ceil_table;
+  Hashtbl.reset feed_table;
+  Hashtbl.reset feed_ceil_table;
+  Mutex.unlock lock;
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0

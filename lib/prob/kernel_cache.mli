@@ -1,0 +1,67 @@
+(** Domain-safe memo tables for the estimator's probability kernels.
+
+    The row-span distribution of equations (2)-(3) depends only on
+    [(rows, degree)], and the feed-through binomial of equations
+    (9)-(11) only on [(net_count, rows)], so a batch of modules
+    re-derives the same handful of distributions thousands of times.
+    This cache computes each kernel once and shares the resulting
+    immutable {!Dist.t} across circuits and across the domains of the
+    batch engine ({!Mae_engine}).
+
+    All entry points may be called concurrently from any number of
+    domains.  Two domains racing on the same key may both compute the
+    (pure, deterministic) kernel; one result wins the insert and both
+    callers receive a correct value. *)
+
+type span_model = Paper | Exact
+(** [Paper] is the equation-(2) exponent heuristic (k = min(n, D));
+    [Exact] is the exact occupancy distribution via surjection counts.
+    Mirrors [Mae.Config.row_span_model] without depending on it. *)
+
+(** {1 Row-span distribution (equations 2-3)} *)
+
+val row_span_dist : model:span_model -> rows:int -> degree:int -> Dist.t
+(** Distribution of the number of rows spanned by a net with [degree]
+    components over [rows] rows.  Cached.  Raises [Invalid_argument] if
+    [rows < 1] or [degree < 1]. *)
+
+val row_span_dist_uncached :
+  model:span_model -> rows:int -> degree:int -> Dist.t
+(** Same distribution, always computed afresh; the reference the cache
+    is property-tested against. *)
+
+val expected_span : model:span_model -> rows:int -> degree:int -> int
+(** Equation (3): E(i) rounded up.  Cached. *)
+
+(** {1 Feed-throughs (equations 9-11)} *)
+
+val two_component_feed_prob : rows:int -> float
+(** Equation (9): ((rows - 1) / rows)^2 / 2.  Pure arithmetic, never
+    cached. *)
+
+val feed_through_dist : net_count:int -> rows:int -> Dist.t
+(** Equation (10): B(net_count, {!two_component_feed_prob}).  Cached. *)
+
+val feed_through_dist_uncached : net_count:int -> rows:int -> Dist.t
+
+val expected_feed_throughs : net_count:int -> rows:int -> int
+(** Equation (11): E(M) rounded up.  Cached. *)
+
+(** {1 Introspection and control} *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : unit -> stats
+(** Cumulative hit/miss counters (since start or last {!clear}) and the
+    current number of resident entries across all tables. *)
+
+val clear : unit -> unit
+(** Drop every entry and reset the counters.  Do not call concurrently
+    with estimation work. *)
+
+val set_enabled : bool -> unit
+(** Benchmarking escape hatch: when disabled, every lookup recomputes
+    and the tables are left untouched.  Flip only while no estimation
+    is in flight. *)
+
+val enabled : unit -> bool

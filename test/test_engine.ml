@@ -1,0 +1,153 @@
+(* The batch engine: input-order results, bit-for-bit determinism across
+   domain counts, and per-module error isolation. *)
+
+module S = Mae_test_support.Support
+
+let registry = Mae_tech.Registry.create ()
+
+(* 50 random gate-level circuits, fixed seeds: the determinism workload. *)
+let random_batch ?(first_seed = 1000) n =
+  List.init n (fun i ->
+      Mae_workload.Random_circuit.generate
+        ~name:(Printf.sprintf "rnd%02d" i)
+        ~rng:(Mae_prob.Rng.create ~seed:(first_seed + i))
+        {
+          Mae_workload.Random_circuit.default_params with
+          devices = 20 + (i mod 7) * 10;
+        })
+
+(* Every float of a report, as raw IEEE-754 bits: "equal digests" means
+   bit-for-bit identical estimates, not merely close ones. *)
+let bits = Int64.bits_of_float
+let aspect_bits a = bits (Mae_geom.Aspect.ratio a)
+
+let stdcell_digest (e : Mae.Estimate.stdcell) =
+  [
+    Int64.of_int e.rows;
+    Int64.of_int e.tracks;
+    Int64.of_int e.feed_throughs;
+    bits e.height;
+    bits e.width;
+    bits e.area;
+    aspect_bits e.aspect;
+    aspect_bits e.aspect_raw;
+  ]
+
+let fullcustom_digest (e : Mae.Estimate.fullcustom) =
+  [
+    bits e.device_area;
+    bits e.wire_area;
+    bits e.area;
+    bits e.width;
+    bits e.height;
+    aspect_bits e.aspect;
+    aspect_bits e.aspect_raw;
+  ]
+
+let result_digest = function
+  | Ok (r : Mae.Driver.module_report) ->
+      ( "ok:" ^ r.circuit.Mae_netlist.Circuit.name,
+        stdcell_digest r.stdcell
+        @ List.concat_map stdcell_digest r.stdcell_sweep
+        @ fullcustom_digest r.fullcustom_exact
+        @ fullcustom_digest r.fullcustom_average )
+  | Error e -> (Format.asprintf "error: %a" Mae_engine.pp_error e, [])
+
+let digests = Alcotest.(list (pair string (list int64)))
+
+let test_determinism () =
+  let batch = random_batch 50 in
+  let seq = Mae_engine.run_circuits ~jobs:1 ~registry batch in
+  let par = Mae_engine.run_circuits ~jobs:8 ~registry batch in
+  Alcotest.check digests "jobs:1 = jobs:8, bit for bit"
+    (List.map result_digest seq)
+    (List.map result_digest par)
+
+let test_order_preserved () =
+  let batch = random_batch 12 in
+  let results = Mae_engine.run_circuits ~jobs:4 ~registry batch in
+  let names =
+    List.map
+      (function
+        | Ok (r : Mae.Driver.module_report) ->
+            r.circuit.Mae_netlist.Circuit.name
+        | Error _ -> "<error>")
+      results
+  in
+  Alcotest.(check (list string))
+    "slot i holds module i"
+    (List.map (fun (c : Mae_netlist.Circuit.t) -> c.name) batch)
+    names
+
+let test_error_isolation () =
+  let bad =
+    Mae_workload.Random_circuit.generate ~name:"bad"
+      ~rng:(Mae_prob.Rng.create ~seed:7)
+      {
+        Mae_workload.Random_circuit.default_params with
+        devices = 20;
+        technology = "unobtanium";
+      }
+  in
+  let good = random_batch 5 in
+  let batch =
+    match good with
+    | g0 :: g1 :: rest -> g0 :: g1 :: bad :: rest
+    | _ -> assert false
+  in
+  let results = Mae_engine.run_circuits ~jobs:4 ~registry batch in
+  Alcotest.(check int) "one slot per module" 6 (List.length results);
+  List.iteri
+    (fun i result ->
+      match (i, result) with
+      | 2, Error (Mae_engine.Driver_error (Mae.Driver.Unknown_process p)) ->
+          Alcotest.(check string) "failing module named" "bad" p.module_name
+      | 2, _ -> Alcotest.fail "slot 2 should be Unknown_process"
+      | _, Ok _ -> ()
+      | i, Error e ->
+          Alcotest.failf "slot %d unexpectedly failed: %a" i
+            Mae_engine.pp_error e)
+    results
+
+let test_jobs_validation () =
+  S.raises_invalid (fun () ->
+      Mae_engine.run_circuits ~jobs:(-1) ~registry (random_batch 1));
+  (* jobs:0 = one domain per core; must work on any host *)
+  let auto = Mae_engine.run_circuits ~jobs:0 ~registry (random_batch 3) in
+  Alcotest.(check int) "jobs:0 runs the batch" 3 (List.length auto);
+  Alcotest.(check int)
+    "empty batch" 0
+    (List.length (Mae_engine.run_circuits ~jobs:4 ~registry []))
+
+let test_stats () =
+  let batch = random_batch 8 in
+  Mae_prob.Kernel_cache.clear ();
+  let results, stats =
+    Mae_engine.run_circuits_with_stats ~jobs:2 ~registry batch
+  in
+  Alcotest.(check int) "modules" 8 stats.Mae_engine.modules;
+  Alcotest.(check int)
+    "ok + failed = modules" stats.Mae_engine.modules
+    (stats.Mae_engine.ok + stats.Mae_engine.failed);
+  Alcotest.(check int)
+    "ok counts the Ok slots" stats.Mae_engine.ok
+    (List.length (List.filter Result.is_ok results));
+  Alcotest.(check int) "jobs as requested" 2 stats.Mae_engine.jobs;
+  Alcotest.(check bool) "elapsed >= 0" true (stats.Mae_engine.elapsed_s >= 0.);
+  Alcotest.(check bool)
+    "repeated kernels hit the cache" true
+    (stats.Mae_engine.cache_hits > 0)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "determinism jobs:1 = jobs:8" `Slow
+            test_determinism;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "error isolation" `Quick test_error_isolation;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "batch stats" `Quick test_stats;
+        ] );
+    ]

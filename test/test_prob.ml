@@ -51,6 +51,94 @@ let test_float_pow () =
   S.check_float "0.5^3" 0.125 (Comb.float_pow 0.5 3);
   S.raises_invalid (fun () -> Comb.float_pow 2. (-1))
 
+(* The table behind [log_factorial] is built eagerly at module init, so
+   hammering it from several domains at once must neither crash (the old
+   [lazy] table could raise [Lazy.Undefined] under a forcing race) nor
+   return anything but the values the main domain sees. *)
+let test_log_factorial_domains () =
+  let expected = Array.init 5000 Comb.log_factorial in
+  let hammer () =
+    let ok = ref true in
+    for _pass = 1 to 50 do
+      for n = 0 to Array.length expected - 1 do
+        if not (Float.equal (Comb.log_factorial n) expected.(n)) then
+          ok := false
+      done
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn hammer) in
+  List.iteri
+    (fun i d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d sees the shared table" i)
+        true (Domain.join d))
+    domains
+
+(* Kernel_cache: a cache hit must be indistinguishable from a fresh
+   computation, for every kernel and across the whole (rows, degree)
+   plane the estimators touch. *)
+
+let same_dist name a b =
+  Alcotest.(check (list int))
+    (name ^ " support") (Dist.support a) (Dist.support b);
+  List.iter
+    (fun o ->
+      S.check_float (Printf.sprintf "%s p(%d)" name o) (Dist.prob a o)
+        (Dist.prob b o))
+    (Dist.support a);
+  S.check_float (name ^ " expectation") (Dist.expectation a)
+    (Dist.expectation b);
+  Alcotest.(check bool)
+    (name ^ " mass ~ 1") true
+    (Dist.total_mass_error b < 1e-9)
+
+let test_kernel_cache_matches_fresh () =
+  Kernel_cache.clear ();
+  Alcotest.(check bool) "cache enabled" true (Kernel_cache.enabled ());
+  List.iter
+    (fun (model, mname) ->
+      for rows = 1 to 12 do
+        for degree = 2 to 16 do
+          let name = Printf.sprintf "%s span n=%d D=%d" mname rows degree in
+          let fresh =
+            Kernel_cache.row_span_dist_uncached ~model ~rows ~degree
+          in
+          (* first call fills the table, second call must hit it *)
+          let filled = Kernel_cache.row_span_dist ~model ~rows ~degree in
+          let hit = Kernel_cache.row_span_dist ~model ~rows ~degree in
+          same_dist name fresh filled;
+          same_dist (name ^ " (hit)") fresh hit;
+          Alcotest.(check int)
+            (name ^ " E(i)")
+            (Dist.expectation_ceil fresh)
+            (Kernel_cache.expected_span ~model ~rows ~degree)
+        done
+      done)
+    [ (Kernel_cache.Paper, "paper"); (Kernel_cache.Exact, "exact") ];
+  List.iter
+    (fun net_count ->
+      for rows = 1 to 12 do
+        let name = Printf.sprintf "feed nets=%d n=%d" net_count rows in
+        let fresh = Kernel_cache.feed_through_dist_uncached ~net_count ~rows in
+        let filled = Kernel_cache.feed_through_dist ~net_count ~rows in
+        let hit = Kernel_cache.feed_through_dist ~net_count ~rows in
+        same_dist name fresh filled;
+        same_dist (name ^ " (hit)") fresh hit;
+        Alcotest.(check int)
+          (name ^ " E(M)")
+          (Dist.expectation_ceil fresh)
+          (Kernel_cache.expected_feed_throughs ~net_count ~rows)
+      done)
+    [ 1; 5; 50; 200 ];
+  let s = Kernel_cache.stats () in
+  Alcotest.(check bool) "hits were recorded" true (s.hits > 0);
+  Alcotest.(check bool) "entries resident" true (s.entries > 0);
+  Kernel_cache.clear ();
+  let cleared = Kernel_cache.stats () in
+  Alcotest.(check int) "clear drops entries" 0 cleared.entries;
+  Alcotest.(check int) "clear resets hits" 0 cleared.hits
+
 (* Rng *)
 
 let test_rng_deterministic () =
@@ -268,6 +356,13 @@ let () =
           Alcotest.test_case "paper_b = surjections" `Quick
             test_paper_b_matches_surjections;
           Alcotest.test_case "float_pow" `Quick test_float_pow;
+          Alcotest.test_case "log_factorial from 4 domains" `Quick
+            test_log_factorial_domains;
+        ] );
+      ( "kernel_cache",
+        [
+          Alcotest.test_case "cache hit = fresh computation" `Quick
+            test_kernel_cache_matches_fresh;
         ] );
       ( "rng",
         [
