@@ -1,0 +1,224 @@
+(* @obs-smoke: the observability gate.
+
+   Runs a 20-module batch with tracing + metrics on, writes both
+   artifacts, and asserts (1) the Chrome trace parses and its spans
+   nest per lane, (2) the metrics dumps parse and agree with the
+   engine's reported totals, (3) telemetry off leaves estimates
+   bit-for-bit identical to telemetry on, and (4) the disabled span
+   fast path stays a no-op: a million disabled spans must cost
+   microseconds-per-call at worst and record nothing.
+
+     dune build @obs-smoke   (also pulled in by @bench-smoke) *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("obs-smoke: " ^ msg); exit 1) fmt
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg -> if not cond then fail "%s" msg else Printf.printf "ok: %s\n" msg)
+    fmt
+
+let workload =
+  let flat g = Mae_workload.Bench_circuits.flatten g in
+  let shapes =
+    [|
+      flat (Mae_workload.Generators.multiplier 6);
+      flat (Mae_workload.Generators.alu 8);
+      flat (Mae_workload.Generators.counter 16);
+      Mae_workload.Generators.inverter_chain 100;
+      flat (Mae_workload.Generators.ripple_adder 16);
+    |]
+  in
+  List.init 20 (fun i -> shapes.(i mod Array.length shapes))
+
+(* estimate digests: raw IEEE-754 bits, so "equal" means bit-for-bit *)
+let digest results =
+  List.map
+    (function
+      | Ok (r : Mae.Driver.module_report) ->
+          List.map Int64.bits_of_float
+            [
+              r.stdcell.Mae.Estimate.area;
+              r.stdcell.Mae.Estimate.height;
+              r.stdcell.Mae.Estimate.width;
+              r.fullcustom_exact.Mae.Estimate.area;
+              r.fullcustom_average.Mae.Estimate.area;
+            ]
+      | Error _ -> [])
+    results
+
+(* --- trace well-formedness --- *)
+
+let span_events trace =
+  match Mae_obs.Json.member "traceEvents" trace with
+  | None -> fail "trace JSON has no traceEvents"
+  | Some events -> begin
+      match Mae_obs.Json.to_list events with
+      | None -> fail "traceEvents is not an array"
+      | Some l ->
+          List.filter
+            (fun e ->
+              match Mae_obs.Json.(Option.bind (member "ph" e) to_string) with
+              | Some "X" -> true
+              | _ -> false)
+            l
+    end
+
+let field_num name e =
+  match Mae_obs.Json.(Option.bind (member name e) to_number) with
+  | Some f -> f
+  | None -> fail "X event lacks numeric %s" name
+
+(* stack discipline per lane: every event either nests inside the one
+   below it on the stack or starts after it ended -- partial overlap is
+   a malformed trace. *)
+let check_lane_nesting events =
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let tid = int_of_float (field_num "tid" e) in
+      let prev = Option.value (Hashtbl.find_opt lanes tid) ~default:[] in
+      Hashtbl.replace lanes tid ((field_num "ts" e, field_num "dur" e) :: prev))
+    events;
+  Hashtbl.iter
+    (fun tid spans ->
+      (* ts ascending, duration descending: an enclosing span that
+         starts the same microsecond as its child must come first *)
+      let spans =
+        List.sort
+          (fun (t1, d1) (t2, d2) ->
+            match Float.compare t1 t2 with
+            | 0 -> Float.compare d2 d1
+            | c -> c)
+          (List.rev spans)
+      in
+      let tolerance = 1.0 (* µs: span close order vs clock granularity *) in
+      let stack = ref [] in
+      List.iter
+        (fun (ts, dur) ->
+          let rec unwind () =
+            match !stack with
+            | (pts, pdur) :: rest when ts >= pts +. pdur -. tolerance ->
+                stack := rest;
+                ignore pdur;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          begin
+            match !stack with
+            | (pts, pdur) :: _ ->
+                if ts +. dur > pts +. pdur +. tolerance then
+                  fail
+                    "lane %d: span at %.1fus (dur %.1fus) partially overlaps \
+                     its parent (%.1fus + %.1fus)"
+                    tid ts dur pts pdur
+            | [] -> ()
+          end;
+          stack := (ts, dur) :: !stack)
+        spans)
+    lanes
+
+let run_batch ~jobs =
+  Mae_engine.run_circuits_with_stats ~jobs
+    ~registry:(Mae_tech.Registry.create ())
+    workload
+
+let () =
+  (* (4) first, before anything enables telemetry: the disabled fast
+     path must not record and must stay in nanoseconds territory. *)
+  Mae_obs.set_enabled false;
+  let calls = 1_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calls do
+    Mae_obs.Span.with_ ~name:"noop" (fun () -> ())
+  done;
+  let disabled_s = Unix.gettimeofday () -. t0 in
+  check (disabled_s < 0.25)
+    "disabled span fast path: %d calls in %.1f ms (< 250 ms budget)" calls
+    (disabled_s *. 1000.);
+  check
+    (List.length (Mae_obs.Span.events ()) = 0)
+    "disabled spans record nothing";
+
+  (* (3) bit-for-bit: telemetry must never change an estimate *)
+  let off_results, _ = run_batch ~jobs:2 in
+  Mae_obs.set_enabled true;
+  Mae_obs.Span.reset ();
+  let on_results, stats = run_batch ~jobs:2 in
+  check
+    (digest off_results = digest on_results)
+    "telemetry on/off estimates are bit-for-bit identical (%d modules)"
+    stats.Mae_engine.modules;
+
+  (* (1) trace artifact *)
+  let trace_path = "obs_smoke_trace.json" in
+  (match Mae_obs.Trace.write_chrome ~path:trace_path with
+  | Ok () -> ()
+  | Error e -> fail "trace write failed: %s" e);
+  let trace =
+    match Mae_obs.Json.parse (In_channel.with_open_text trace_path In_channel.input_all) with
+    | Ok t -> t
+    | Error e -> fail "trace JSON unparseable: %s" e
+  in
+  let events = span_events trace in
+  check (List.length events > 0) "trace has %d spans" (List.length events);
+  let stage_spans =
+    List.filter
+      (fun e ->
+        match Mae_obs.Json.(Option.bind (member "name" e) to_string) with
+        | Some n -> String.length n >= 7 && String.equal (String.sub n 0 7) "driver."
+        | None -> false)
+      events
+  in
+  (* 6 in-driver stages + the driver.module parent, per module *)
+  check
+    (List.length stage_spans >= 7 * stats.Mae_engine.modules)
+    "every module traced its pipeline stages (%d driver spans)"
+    (List.length stage_spans);
+  check_lane_nesting events;
+  check true "spans nest cleanly per domain lane";
+
+  (* (2) metrics artifacts *)
+  let prom_path = "obs_smoke_metrics.prom" in
+  (match Mae_obs.Metrics.write_prometheus ~path:prom_path with
+  | Ok () -> ()
+  | Error e -> fail "metrics write failed: %s" e);
+  let prom = In_channel.with_open_text prom_path In_channel.input_all in
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         if
+           String.length line > 0
+           && (not (String.length line >= 1 && Char.equal line.[0] '#'))
+           && not (String.contains line ' ')
+         then fail "malformed metrics line %S" line);
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i =
+      i + nn <= nh
+      && (String.equal (String.sub haystack i nn) needle || at (i + 1))
+    in
+    at 0
+  in
+  check
+    (contains prom "mae_kernel_cache_hits_total"
+    && contains prom "mae_engine_modules_total"
+    && contains prom "mae_engine_queue_wait_seconds")
+    "prometheus dump parses line-wise and exposes cache + engine metrics";
+  (* counters agree with the engine's own report *)
+  let counter name =
+    match Mae_obs.Metrics.find_counter name with
+    | Some c -> Mae_obs.Metrics.counter_value c
+    | None -> fail "counter %s not registered" name
+  in
+  check
+    (counter "mae_engine_modules_total" = 2 * stats.Mae_engine.modules
+    && counter "mae_engine_modules_ok_total" = 2 * stats.Mae_engine.ok
+    && counter "mae_engine_modules_failed_total" = 0)
+    "registry counters agree with engine stats (2 batches of %d)"
+    stats.Mae_engine.modules;
+  (match Mae_obs.Json.parse (Mae_obs.Metrics.to_json ()) with
+  | Ok _ -> ()
+  | Error e -> fail "metrics JSON dump unparseable: %s" e);
+  check true "metrics JSON dump parses";
+  Mae_obs.set_enabled false;
+  print_endline "obs-smoke: all checks passed"

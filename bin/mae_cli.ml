@@ -104,10 +104,36 @@ let print_report ~verbose store (report : Mae.Driver.module_report) =
   end;
   Mae_db.Store.add store (Mae_db.Record.of_report report)
 
+(* An output path is rejected before any estimation runs (like the
+   --jobs validation): a typo'd directory must not cost a full batch. *)
+let validate_out_path ~flag = function
+  | None -> ()
+  | Some path ->
+      if Sys.file_exists path && Sys.is_directory path then
+        or_die
+          (Error
+             (Printf.sprintf "%s %s: path is a directory, need a file" flag
+                path));
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir) then
+        or_die
+          (Error
+             (Printf.sprintf "%s %s: directory %s does not exist" flag path dir));
+      if not (Sys.is_directory dir) then
+        or_die
+          (Error
+             (Printf.sprintf "%s %s: %s is not a directory" flag path dir))
+
 let run_estimate tech_files format input db_out verbose flatten_top jobs
-    batch_stats =
+    batch_stats trace_out metrics_out =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
+  validate_out_path ~flag:"--trace" trace_out;
+  validate_out_path ~flag:"--metrics-out" metrics_out;
+  validate_out_path ~flag:"--db" db_out;
+  (* span tracing and latency sampling are paid for only when asked *)
+  if Option.is_some trace_out || Option.is_some metrics_out then
+    Mae_obs.set_enabled true;
   let registry = or_die (registry_of tech_files) in
   let circuits = or_die (read_circuits ?flatten_top ~format ~registry input) in
   let store = Mae_db.Store.create () in
@@ -122,6 +148,24 @@ let run_estimate tech_files format input db_out verbose flatten_top jobs
       | Ok report -> print_report ~verbose store report)
     results;
   if batch_stats then Format.eprintf "mae: %a@." Mae_engine.pp_stats stats;
+  begin
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        or_die (Mae_obs.Trace.write_chrome ~path);
+        Format.eprintf
+          "trace written to %s (open in chrome://tracing or Perfetto)@." path
+  end;
+  begin
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        or_die
+          (if Filename.check_suffix path ".json" then
+             Mae_obs.Metrics.write_json ~path
+           else Mae_obs.Metrics.write_prometheus ~path);
+        Format.eprintf "metrics written to %s@." path
+  end;
   begin
     match db_out with
     | None -> ()
@@ -170,13 +214,36 @@ let estimate_cmd =
     Arg.(
       value & flag
       & info [ "stats" ]
-          ~doc:"Print batch throughput and kernel-cache statistics to stderr.")
+          ~doc:
+            "Print batch throughput, kernel-cache hit rate and per-domain \
+             module counts to stderr.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-stage spans while estimating and write a Chrome \
+             trace-event JSON here (open in chrome://tracing or Perfetto; \
+             one lane per domain, one nested span per pipeline stage per \
+             module).  The path is validated before estimation starts.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the telemetry metrics registry (engine counters, kernel \
+             cache hit/miss/race counters, queue-wait gauge, latency \
+             histograms) here after estimating: Prometheus text format, or \
+             JSON when $(docv) ends in .json.  The path is validated before \
+             estimation starts.")
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate module areas from a schematic file.")
     Term.(
       const run_estimate $ tech_files_arg $ format_arg $ input $ db_out
-      $ verbose $ flatten_top $ jobs $ batch_stats)
+      $ verbose $ flatten_top $ jobs $ batch_stats $ trace_out $ metrics_out)
 
 (* layout *)
 

@@ -51,37 +51,62 @@ let expand_for_fullcustom (circuit : Mae_netlist.Circuit.t) process =
       end
   end
 
+(* One Mae_obs span per Figure-1 stage, per module.  The module
+   attribute on every stage span lets a Chrome-trace or flame view
+   slice by stage across modules or by module across stages; with
+   telemetry off each [stage] call is a single atomic read. *)
+let stage ~name ~module_name f =
+  Mae_obs.Span.with_ ~name ~attrs:[ ("module", module_name) ] f
+
 let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+  let m = circuit.name in
+  stage ~name:"driver.module" ~module_name:m @@ fun () ->
   match Mae_tech.Registry.find registry circuit.technology with
   | None ->
       Error
         (Unknown_process
            { module_name = circuit.name; technology = circuit.technology })
   | Some process -> begin
-      let issues = Mae_netlist.Validate.check circuit process in
+      let issues =
+        stage ~name:"driver.validate" ~module_name:m (fun () ->
+            Mae_netlist.Validate.check circuit process)
+      in
       let errors = List.filter Mae_netlist.Validate.is_error issues in
       match errors with
       | _ :: _ ->
           Error (Validation_failed { module_name = circuit.name; issues = errors })
       | [] ->
-          let expanded = expand_for_fullcustom circuit process in
+          let expanded =
+            stage ~name:"driver.expand" ~module_name:m (fun () ->
+                expand_for_fullcustom circuit process)
+          in
           let fc_circuit = Option.value expanded ~default:circuit in
           (* compute each circuit's statistics once and share them across
              the full-custom pair, the automatic estimate and the sweep. *)
-          let stats = Mae_netlist.Stats.compute circuit process in
-          let fc_stats =
-            match expanded with
-            | None -> stats
-            | Some e -> Mae_netlist.Stats.compute e process
+          let stats, fc_stats =
+            stage ~name:"driver.stats" ~module_name:m (fun () ->
+                let stats = Mae_netlist.Stats.compute circuit process in
+                let fc_stats =
+                  match expanded with
+                  | None -> stats
+                  | Some e -> Mae_netlist.Stats.compute e process
+                in
+                (stats, fc_stats))
           in
           let fullcustom_exact, fullcustom_average =
-            Fullcustom.estimate_both ?config ~stats:fc_stats fc_circuit process
+            stage ~name:"driver.fullcustom" ~module_name:m (fun () ->
+                Fullcustom.estimate_both ?config ~stats:fc_stats fc_circuit
+                  process)
           in
-          let stdcell = Stdcell.estimate_auto ?config ~stats circuit process in
+          let stdcell =
+            stage ~name:"driver.stdcell" ~module_name:m (fun () ->
+                Stdcell.estimate_auto ?config ~stats circuit process)
+          in
           let stdcell_sweep =
-            Stdcell.sweep ?config ~stats
-              ~rows:(Row_select.candidates ~stats circuit process)
-              circuit process
+            stage ~name:"driver.sweep" ~module_name:m (fun () ->
+                Stdcell.sweep ?config ~stats
+                  ~rows:(Row_select.candidates ~stats circuit process)
+                  circuit process)
           in
           Ok
             {
@@ -114,26 +139,38 @@ let run_design ?config ~registry design =
       go [] circuits
 
 let design_circuits design =
-  match Mae_hdl.Elaborate.design_to_circuits design with
+  match
+    Mae_obs.Span.with_ ~name:"driver.elaborate" (fun () ->
+        Mae_hdl.Elaborate.design_to_circuits design)
+  with
   | Error e -> Error (Elaborate_error e)
   | Ok circuits -> Ok circuits
 
+let parse_string text =
+  Mae_obs.Span.with_ ~name:"driver.parse" (fun () ->
+      Mae_hdl.Parser.parse_string text)
+
+let parse_file path =
+  Mae_obs.Span.with_ ~name:"driver.parse"
+    ~attrs:[ ("file", path) ]
+    (fun () -> Mae_hdl.Parser.parse_file path)
+
 let string_circuits text =
-  match Mae_hdl.Parser.parse_string text with
+  match parse_string text with
   | Error e -> Error (Parse_error e)
   | Ok design -> design_circuits design
 
 let file_circuits path =
-  match Mae_hdl.Parser.parse_file path with
+  match parse_file path with
   | Error e -> Error (Parse_error e)
   | Ok design -> design_circuits design
 
 let run_string ?config ~registry text =
-  match Mae_hdl.Parser.parse_string text with
+  match parse_string text with
   | Error e -> Error (Parse_error e)
   | Ok design -> run_design ?config ~registry design
 
 let run_file ?config ~registry path =
-  match Mae_hdl.Parser.parse_file path with
+  match parse_file path with
   | Error e -> Error (Parse_error e)
   | Ok design -> run_design ?config ~registry design

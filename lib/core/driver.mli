@@ -8,7 +8,15 @@
     schematics are flattened through the technology's cell library when
     one exists ({!Mae_celllib.Cmos_lib.for_technology}); schematics that
     are already transistor-level (or whose technology has no library) are
-    estimated as-is. *)
+    estimated as-is.
+
+    Every stage is instrumented with {!Mae_obs.Span}: with telemetry on,
+    each module records a [driver.module] span nesting one span per
+    Figure-1 stage ([driver.validate], [driver.expand], [driver.stats],
+    [driver.fullcustom], [driver.stdcell], [driver.sweep]), and the
+    front end records [driver.parse] / [driver.elaborate]; all carry a
+    [module] attribute where applicable.  With telemetry off each stage
+    costs one atomic read. *)
 
 type module_report = {
   circuit : Mae_netlist.Circuit.t;

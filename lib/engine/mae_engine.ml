@@ -15,15 +15,46 @@ type stats = {
   elapsed_s : float;
   cache_hits : int;
   cache_misses : int;
+  per_domain : int array;
 }
 
+(* --- registry instruments (always live; spans and latency sampling
+   additionally honour Mae_obs.Control.enabled) --- *)
+
+let modules_counter =
+  Mae_obs.Metrics.counter "mae_engine_modules_total"
+    ~help:"Modules submitted to the batch engine"
+
+let ok_counter =
+  Mae_obs.Metrics.counter "mae_engine_modules_ok_total"
+    ~help:"Modules estimated successfully"
+
+let failed_counter =
+  Mae_obs.Metrics.counter "mae_engine_modules_failed_total"
+    ~help:"Modules that returned a driver error or crashed"
+
+let queue_wait_gauge =
+  Mae_obs.Metrics.gauge "mae_engine_queue_wait_seconds"
+    ~help:
+      "Longest delay between batch start and a worker claiming its first \
+       module, over the most recent batch (domain spawn + scheduling cost)"
+
+let module_latency =
+  Mae_obs.Metrics.histogram "mae_engine_module_seconds"
+    ~help:"Per-module estimation latency (recorded while telemetry is on)"
+
 let pp_stats ppf s =
+  let lookups = s.cache_hits + s.cache_misses in
   Format.fprintf ppf
     "%d module(s) (%d ok, %d failed) on %d domain(s) in %.3f s (%.0f \
-     modules/s); kernel cache %d hits / %d misses"
+     modules/s); kernel cache %d hits / %d misses (%.1f%% hit rate); \
+     modules/domain [%s]"
     s.modules s.ok s.failed s.jobs s.elapsed_s
     (if s.elapsed_s > 0. then Float.of_int s.modules /. s.elapsed_s else 0.)
     s.cache_hits s.cache_misses
+    (if lookups > 0 then 100. *. Float.of_int s.cache_hits /. Float.of_int lookups
+     else 0.)
+    (String.concat " " (List.map string_of_int (Array.to_list s.per_domain)))
 
 let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
 
@@ -37,40 +68,68 @@ let resolve_jobs = function
    the input array and each writes its own result slot, so slots are
    written exactly once and [Domain.join] publishes them to the caller.
    Input order is preserved by construction regardless of which domain
-   estimated which module. *)
-let map_pool ~jobs f inputs =
+   estimated which module.
+
+   Besides the results the pool reports, per worker: how many modules
+   the worker estimated (each worker owns its slot of [claimed]) and
+   how long the worker waited between batch start and its first claim
+   (the queue-wait measure behind [mae_engine_queue_wait_seconds]). *)
+let map_pool ~jobs ~t0 f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
-  let run_slot i = results.(i) <- Some (f inputs.(i)) in
-  let workers = Stdlib.min jobs n in
-  if workers <= 1 then
+  let workers = Stdlib.max 1 (Stdlib.min jobs n) in
+  let claimed = Array.make workers 0 in
+  let first_wait = Array.make workers Float.nan in
+  let run_slot w i =
+    results.(i) <- Some (f inputs.(i));
+    claimed.(w) <- claimed.(w) + 1
+  in
+  if workers <= 1 then begin
+    if n > 0 then first_wait.(0) <- Unix.gettimeofday () -. t0;
     for i = 0 to n - 1 do
-      run_slot i
+      run_slot 0 i
     done
+  end
   else begin
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
+    let worker w =
+      (* one root span per worker: its lane in the Chrome trace *)
+      Mae_obs.Span.with_ ~name:"engine.worker"
+        ~attrs:[ ("worker", string_of_int w) ]
+      @@ fun () ->
+      let rec loop ~first =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          run_slot i;
-          loop ()
+          if first then first_wait.(w) <- Unix.gettimeofday () -. t0;
+          run_slot w i;
+          loop ~first:false
         end
       in
-      loop ()
+      loop ~first:true
     in
-    (* the calling domain is worker number [workers]. *)
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    (* the calling domain is worker number 0; spawned domains are 1.. *)
+    let spawned =
+      List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
     List.iter Domain.join spawned
   end;
-  Array.map
-    (function
-      | Some r -> r
-      | None -> assert false (* every index below [n] was claimed *))
-    results
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index below [n] was claimed *))
+      results
+  in
+  let max_wait =
+    Array.fold_left
+      (fun acc w -> if Float.is_nan w then acc else Float.max acc w)
+      0. first_wait
+  in
+  (results, claimed, max_wait)
 
 let estimate_one ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+  Mae_obs.Metrics.time module_latency @@ fun () ->
   match Mae.Driver.run_circuit ?config ~registry circuit with
   | Ok report -> Ok report
   | Error e -> Error (Driver_error e)
@@ -81,9 +140,18 @@ let estimate_one ?config ~registry (circuit : Mae_netlist.Circuit.t) =
 let run_circuits_with_stats ?config ?jobs ~registry circuits =
   let jobs = resolve_jobs jobs in
   let inputs = Array.of_list circuits in
+  Mae_obs.Span.with_ ~name:"engine.batch"
+    ~attrs:
+      [
+        ("modules", string_of_int (Array.length inputs));
+        ("jobs", string_of_int jobs);
+      ]
+  @@ fun () ->
   let cache_before = Mae_prob.Kernel_cache.stats () in
   let t0 = Unix.gettimeofday () in
-  let results = map_pool ~jobs (estimate_one ?config ~registry) inputs in
+  let results, per_domain, queue_wait =
+    map_pool ~jobs ~t0 (estimate_one ?config ~registry) inputs
+  in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let cache_after = Mae_prob.Kernel_cache.stats () in
   let ok =
@@ -91,15 +159,21 @@ let run_circuits_with_stats ?config ?jobs ~registry circuits =
       (fun acc -> function Ok _ -> acc + 1 | Error _ -> acc)
       0 results
   in
+  let modules = Array.length inputs in
+  Mae_obs.Metrics.add modules_counter modules;
+  Mae_obs.Metrics.add ok_counter ok;
+  Mae_obs.Metrics.add failed_counter (modules - ok);
+  Mae_obs.Metrics.set queue_wait_gauge queue_wait;
   let stats =
     {
-      modules = Array.length inputs;
+      modules;
       ok;
-      failed = Array.length inputs - ok;
+      failed = modules - ok;
       jobs;
       elapsed_s;
       cache_hits = cache_after.hits - cache_before.hits;
       cache_misses = cache_after.misses - cache_before.misses;
+      per_domain;
     }
   in
   (Array.to_list results, stats)

@@ -10,7 +10,16 @@
     The probability kernels shared by all modules -- row-span
     distributions, feed-through binomials -- are memoized in the
     domain-safe {!Mae_prob.Kernel_cache}, so a batch pays for each
-    [(rows, degree)] kernel once across all domains. *)
+    [(rows, degree)] kernel once across all domains.
+
+    The engine is instrumented through {!Mae_obs}: with telemetry on
+    ({!Mae_obs.set_enabled}) every batch records an [engine.batch]
+    span, one [engine.worker] root span per domain lane, and the
+    per-module latency histogram [mae_engine_module_seconds]; the
+    always-on counters [mae_engine_modules_total] /
+    [..._ok_total] / [..._failed_total] and the
+    [mae_engine_queue_wait_seconds] gauge live in the
+    {!Mae_obs.Metrics} registry. *)
 
 type error =
   | Driver_error of Mae.Driver.error
@@ -27,9 +36,14 @@ type stats = {
   elapsed_s : float;  (** wall-clock batch time *)
   cache_hits : int;  (** kernel-cache hits during this batch *)
   cache_misses : int;
+  per_domain : int array;
+      (** how many modules each worker estimated; slot 0 is the calling
+          domain, the rest are spawned domains in spawn order *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+(** One line: throughput, kernel-cache hits/misses with hit rate, and
+    the per-domain module counts. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)

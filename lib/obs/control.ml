@@ -1,0 +1,18 @@
+(* The single global telemetry switch.
+
+   Every instrumented code path pays exactly one [Atomic.get] when
+   telemetry is off -- that read is the whole no-op fast path, and the
+   bench assertion in bench/obs_smoke.ml holds the pipeline to it.
+   Metric counters (plain atomics) stay live even when the switch is
+   off: they cost the same as the hand-rolled ints they replaced and
+   the engine's [--stats] output depends on them unconditionally. *)
+
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let with_enabled b f =
+  let before = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag before) f

@@ -1,0 +1,12 @@
+(** The global telemetry switch shared by spans and latency metrics.
+
+    Off by default: an instrumented code path then costs one atomic
+    read.  Flip it from one domain only, while no instrumented work is
+    in flight (the batch engine reads it concurrently). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the switch forced to the given state, restoring
+    the previous state afterwards (also on exceptions). *)

@@ -1,0 +1,32 @@
+(* Mae_obs: the in-pipeline observability layer.
+
+   Three pieces, one switch:
+
+   - {!Span}: nested per-domain timed spans ([Span.with_ ~name f]),
+     recorded into lock-free-per-domain buffers and exported by
+     {!Trace} as Chrome trace-event JSON (one lane per domain) or a
+     plain-text flame summary.
+   - {!Metrics}: named counters, gauges and log-bucketed latency
+     histograms with Prometheus-text and JSON dumps.  Counters and
+     gauges are always live; they back [Kernel_cache.stats] and the
+     engine's [--stats] line.
+   - {!Control} (re-exported below): the single [enabled] flag.  With
+     telemetry off, every instrumented code path costs one atomic
+     read -- the @obs-smoke bench holds the pipeline to that.
+
+   The library depends on nothing outside the compiler distribution
+   (stdlib + unix for the wall clock). *)
+
+module Control = Control
+module Span = Span
+module Metrics = Metrics
+module Trace = Trace
+module Json = Json
+
+let enabled = Control.enabled
+let set_enabled = Control.set_enabled
+let with_enabled = Control.with_enabled
+
+let reset () =
+  Span.reset ();
+  Metrics.reset_values ()

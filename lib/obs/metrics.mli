@@ -1,0 +1,74 @@
+(** The metrics registry: named counters, gauges and log-bucketed
+    latency histograms, with Prometheus-text and JSON dumps.
+
+    Instruments are backed by atomics -- update them freely from any
+    domain; no update takes a lock.  Registration is idempotent:
+    asking for an existing name of the same kind returns the already
+    registered instrument, asking for it as a different kind raises
+    [Invalid_argument].  Names must match the Prometheus grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*].
+
+    Counters and gauges are always live, even with telemetry off --
+    they replace hand-rolled statistics ints and cost the same.
+    {!time} (latency observation) honours {!Control.enabled}. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} *)
+
+val counter : ?help:string -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val reset_counter : counter -> unit
+(** For subsystem [clear] entry points (e.g. the kernel cache);
+    Prometheus scrapers treat it as a counter reset. *)
+
+(** {1 Gauges} *)
+
+val gauge : ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val default_latency_buckets : float array
+(** 1 µs to ~33 s in factor-of-two steps. *)
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds (seconds for
+    latencies); an implicit [+Inf] bucket is appended. *)
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration -- but only when
+    {!Control.enabled}; otherwise a single atomic read and a tail
+    call, like spans. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Registry introspection} *)
+
+val find_counter : string -> counter option
+val find_gauge : string -> gauge option
+
+val reset_values : unit -> unit
+(** Zero every registered instrument (registrations persist). *)
+
+(** {1 Exporters} *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format, metrics sorted by name. *)
+
+val to_json : unit -> string
+(** The same data as one JSON object:
+    [{"counters": {..}, "gauges": {..}, "histograms": {..}}] with
+    cumulative bucket pairs [[le, count]]. *)
+
+val write_prometheus : path:string -> (unit, string) result
+val write_json : path:string -> (unit, string) result

@@ -1,0 +1,111 @@
+(* Per-domain span buffers.
+
+   Each domain that opens a span lazily allocates its own buffer
+   through [Domain.DLS], so recording a span never takes a lock and
+   never shares a cache line with another domain -- the only global
+   synchronization is a one-time registration of the buffer when a
+   domain first traces.  Buffers outlive their domain: after the batch
+   engine joins its workers, the exporter still sees every lane.
+
+   Spans nest by construction ([with_] is a combinator, not a
+   begin/end pair), so each buffer records a well-formed forest; the
+   [depth] field and the child-duration accumulator let the exporter
+   compute self times without re-deriving the tree. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  domain : int;  (* Domain.id of the recording domain *)
+  depth : int;  (* 0 = root span of its lane *)
+  ts : float;  (* wall-clock start, seconds since the epoch *)
+  dur : float;  (* seconds *)
+  self : float;  (* [dur] minus time spent in child spans *)
+}
+
+type buffer = {
+  buf_domain : int;
+  mutable events : event list;  (* most recently closed first *)
+  mutable open_depth : int;
+  mutable child_acc : float list;
+      (* one accumulator per open span: total duration of its already
+         closed children *)
+}
+
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let buf =
+        {
+          buf_domain = (Domain.self () :> int);
+          events = [];
+          open_depth = 0;
+          child_acc = [];
+        }
+      in
+      Mutex.lock registry_lock;
+      buffers := buf :: !buffers;
+      Mutex.unlock registry_lock;
+      buf)
+
+let now = Unix.gettimeofday
+
+let with_ ?(attrs = []) ~name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let buf = Domain.DLS.get key in
+    let start = now () in
+    buf.open_depth <- buf.open_depth + 1;
+    buf.child_acc <- 0. :: buf.child_acc;
+    let close () =
+      let dur = now () -. start in
+      let children, outer =
+        match buf.child_acc with
+        | c :: rest -> (c, rest)
+        | [] -> (0., [])  (* unbalanced only if [reset] raced a span *)
+      in
+      buf.open_depth <- buf.open_depth - 1;
+      (* we are a closed child of the enclosing span, if any *)
+      buf.child_acc <-
+        (match outer with p :: up -> (p +. dur) :: up | [] -> []);
+      buf.events <-
+        {
+          name;
+          attrs;
+          domain = buf.buf_domain;
+          depth = buf.open_depth;
+          ts = start;
+          dur;
+          self = Float.max 0. (dur -. children);
+        }
+        :: buf.events
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let events () =
+  Mutex.lock registry_lock;
+  let bufs = !buffers in
+  Mutex.unlock registry_lock;
+  List.concat_map (fun b -> List.rev b.events) bufs
+  |> List.sort (fun a b ->
+         match Int.compare a.domain b.domain with
+         | 0 -> Float.compare a.ts b.ts
+         | c -> c)
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.open_depth <- 0;
+      b.child_acc <- [])
+    !buffers;
+  Mutex.unlock registry_lock

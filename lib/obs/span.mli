@@ -1,0 +1,34 @@
+(** Nested, per-domain timed spans.
+
+    [with_ ~name f] times [f] and records a span into a buffer private
+    to the calling domain -- recording takes no lock, so the batch
+    engine's workers trace into independent lanes.  When telemetry is
+    off ({!Control.enabled} [= false]) the combinator is one atomic
+    read and a tail call.
+
+    Spans nest lexically; a span closed while an exception unwinds is
+    still recorded.  Buffers persist after their domain exits, so the
+    exporter sees every lane of a finished batch. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  domain : int;  (** [Domain.id] of the recording domain *)
+  depth : int;  (** 0 for the root span of its lane *)
+  ts : float;  (** wall-clock start, seconds since the epoch *)
+  dur : float;  (** seconds *)
+  self : float;  (** [dur] minus the time spent in child spans *)
+}
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  No-op (beyond one atomic read) when
+    telemetry is disabled. *)
+
+val events : unit -> event list
+(** Every recorded span across all domains, sorted by domain then
+    start time.  Call after in-flight estimation has finished (the
+    engine joins its workers before returning). *)
+
+val reset : unit -> unit
+(** Drop all recorded spans.  Do not call while spans are open on
+    another domain. *)

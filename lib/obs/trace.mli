@@ -1,0 +1,27 @@
+(** Exporters over the spans recorded by {!Span}.
+
+    Call after the traced work has finished (the batch engine joins
+    its worker domains before returning, so any point after
+    [run_circuits] is safe). *)
+
+val to_chrome_string : unit -> string
+(** The whole trace as Chrome trace-event JSON ("X" complete events,
+    one [tid] lane per domain, timestamps rebased to the earliest
+    span).  Load in [chrome://tracing] or Perfetto. *)
+
+val write_chrome : path:string -> (unit, string) result
+
+type flame_row = {
+  span_name : string;
+  calls : int;
+  total_s : float;  (** sum of durations, child spans included *)
+  self_s : float;  (** sum of durations minus time in child spans *)
+}
+
+val flame : unit -> flame_row list
+(** Aggregate by span name, hottest self-time first.  Self times are
+    disjoint by construction, so they sum to the traced total -- the
+    per-stage breakdown bench/profile.ml prints. *)
+
+val flame_summary : unit -> string
+(** {!flame} as an aligned text table with a self-time total row. *)

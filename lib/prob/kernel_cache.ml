@@ -12,13 +12,27 @@
    are pure), then re-check before inserting.  Two domains racing on the
    same key may both compute it, but they compute identical values, so
    the loser's insert is simply dropped -- correctness never depends on
-   winning the race. *)
+   winning the race.  Hits, misses and dropped (raced) inserts feed the
+   Mae_obs metrics registry, where the engine and the CLI's
+   --metrics-out read them. *)
 
 type span_model = Paper | Exact
 
 let enabled_flag = Atomic.make true
-let hit_count = Atomic.make 0
-let miss_count = Atomic.make 0
+
+let hit_count =
+  Mae_obs.Metrics.counter "mae_kernel_cache_hits_total"
+    ~help:"Probability-kernel lookups served from the memo tables"
+
+let miss_count =
+  Mae_obs.Metrics.counter "mae_kernel_cache_misses_total"
+    ~help:"Probability-kernel lookups that computed the kernel"
+
+let race_count =
+  Mae_obs.Metrics.counter "mae_kernel_cache_races_total"
+    ~help:
+      "Misses whose insert was dropped because another domain computed the \
+       same kernel first"
 
 let lock = Mutex.create ()
 
@@ -37,15 +51,17 @@ let memo table key compute =
     match Hashtbl.find_opt table key with
     | Some v ->
         Mutex.unlock lock;
-        Atomic.incr hit_count;
+        Mae_obs.Metrics.incr hit_count;
         v
     | None ->
         Mutex.unlock lock;
         let v = compute () in
         Mutex.lock lock;
-        if not (Hashtbl.mem table key) then Hashtbl.add table key v;
+        let raced = Hashtbl.mem table key in
+        if not raced then Hashtbl.add table key v;
         Mutex.unlock lock;
-        Atomic.incr miss_count;
+        Mae_obs.Metrics.incr miss_count;
+        if raced then Mae_obs.Metrics.incr race_count;
         v
   end
 
@@ -105,7 +121,7 @@ let expected_feed_throughs ~net_count ~rows =
 
 (* --- introspection --- *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; races : int; entries : int }
 
 let stats () =
   Mutex.lock lock;
@@ -114,7 +130,12 @@ let stats () =
     + Hashtbl.length feed_table + Hashtbl.length feed_ceil_table
   in
   Mutex.unlock lock;
-  { hits = Atomic.get hit_count; misses = Atomic.get miss_count; entries }
+  {
+    hits = Mae_obs.Metrics.counter_value hit_count;
+    misses = Mae_obs.Metrics.counter_value miss_count;
+    races = Mae_obs.Metrics.counter_value race_count;
+    entries;
+  }
 
 let clear () =
   Mutex.lock lock;
@@ -123,5 +144,6 @@ let clear () =
   Hashtbl.reset feed_table;
   Hashtbl.reset feed_ceil_table;
   Mutex.unlock lock;
-  Atomic.set hit_count 0;
-  Atomic.set miss_count 0
+  Mae_obs.Metrics.reset_counter hit_count;
+  Mae_obs.Metrics.reset_counter miss_count;
+  Mae_obs.Metrics.reset_counter race_count

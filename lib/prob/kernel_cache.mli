@@ -49,11 +49,16 @@ val expected_feed_throughs : net_count:int -> rows:int -> int
 
 (** {1 Introspection and control} *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; races : int; entries : int }
 
 val stats : unit -> stats
-(** Cumulative hit/miss counters (since start or last {!clear}) and the
-    current number of resident entries across all tables. *)
+(** Cumulative hit/miss/race counters (since start or last {!clear})
+    and the current number of resident entries across all tables.
+    [races] counts misses whose insert was dropped because another
+    domain computed the same kernel concurrently.  The counters live in
+    the {!Mae_obs.Metrics} registry as [mae_kernel_cache_hits_total],
+    [mae_kernel_cache_misses_total] and [mae_kernel_cache_races_total],
+    so a metrics dump sees the same numbers. *)
 
 val clear : unit -> unit
 (** Drop every entry and reset the counters.  Do not call concurrently

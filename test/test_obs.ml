@@ -1,0 +1,348 @@
+(* The observability layer: span recording and nesting, Chrome trace
+   export well-formedness, metrics registry correctness, and the
+   guarantee that telemetry never changes an estimate. *)
+
+module Obs = Mae_obs
+module Span = Mae_obs.Span
+module Metrics = Mae_obs.Metrics
+module Json = Mae_obs.Json
+
+let registry = Mae_tech.Registry.create ()
+
+let random_batch ?(first_seed = 4000) n =
+  List.init n (fun i ->
+      Mae_workload.Random_circuit.generate
+        ~name:(Printf.sprintf "obs%02d" i)
+        ~rng:(Mae_prob.Rng.create ~seed:(first_seed + i))
+        {
+          Mae_workload.Random_circuit.default_params with
+          devices = 20 + (i mod 5) * 10;
+        })
+
+(* --- Json --- *)
+
+let test_json_parser () =
+  let ok s = match Json.parse s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  (match ok {|{"a": [1, 2.5, -3e2], "b": "x\n\"yé", "c": {"t": true, "n": null}}|} with
+  | Json.Object fields ->
+      Alcotest.(check int) "three members" 3 (List.length fields);
+      (match List.assoc "a" fields with
+      | Json.Array [ Json.Number a; Json.Number b; Json.Number c ] ->
+          Alcotest.(check (float 1e-9)) "1" 1. a;
+          Alcotest.(check (float 1e-9)) "2.5" 2.5 b;
+          Alcotest.(check (float 1e-9)) "-300" (-300.) c
+      | _ -> Alcotest.fail "array member")
+  | _ -> Alcotest.fail "object expected");
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "[1] trailing";
+  bad "\"unterminated";
+  bad "nul";
+  (* escape/parse round trip *)
+  let tricky = "a\"b\\c\nd\te\r\x01" in
+  match Json.parse (Json.escape tricky) with
+  | Ok (Json.String s) -> Alcotest.(check string) "round trip" tricky s
+  | _ -> Alcotest.fail "escape round trip"
+
+(* --- spans --- *)
+
+let test_span_recording () =
+  Obs.with_enabled true @@ fun () ->
+  Span.reset ();
+  Span.with_ ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+      Span.with_ ~name:"inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Span.with_ ~name:"inner" (fun () -> ignore (Sys.opaque_identity 2)));
+  (match Span.with_ ~name:"boom" (fun () -> raise Exit) with
+  | () -> Alcotest.fail "Exit expected"
+  | exception Exit -> ());
+  let events = Span.events () in
+  Alcotest.(check int) "four spans" 4 (List.length events);
+  let outer =
+    List.find (fun (e : Span.event) -> String.equal e.name "outer") events
+  in
+  let inners =
+    List.filter (fun (e : Span.event) -> String.equal e.name "inner") events
+  in
+  Alcotest.(check int) "outer at depth 0" 0 outer.depth;
+  List.iter
+    (fun (i : Span.event) ->
+      Alcotest.(check int) "inner at depth 1" 1 i.depth;
+      Alcotest.(check bool) "inner within outer" true
+        (i.ts >= outer.ts && i.ts +. i.dur <= outer.ts +. outer.dur +. 1e-6))
+    inners;
+  let child_time =
+    List.fold_left (fun acc (i : Span.event) -> acc +. i.dur) 0. inners
+  in
+  Alcotest.(check (float 1e-6))
+    "outer self = dur - children" (outer.dur -. child_time) outer.self;
+  Alcotest.(check bool) "exception span still recorded" true
+    (List.exists (fun (e : Span.event) -> String.equal e.name "boom") events);
+  Span.reset ();
+  Alcotest.(check int) "reset drops spans" 0 (List.length (Span.events ()))
+
+let test_span_disabled_noop () =
+  Obs.set_enabled false;
+  Span.reset ();
+  Span.with_ ~name:"invisible" (fun () -> ());
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.events ()))
+
+(* --- trace export: well-formed JSON, nested non-overlapping lanes --- *)
+
+let x_events trace =
+  match Option.bind (Json.member "traceEvents" trace) Json.to_list with
+  | None -> Alcotest.fail "traceEvents missing"
+  | Some l ->
+      List.filter
+        (fun e ->
+          match Option.bind (Json.member "ph" e) Json.to_string with
+          | Some "X" -> true
+          | _ -> false)
+        l
+
+let num name e =
+  match Option.bind (Json.member name e) Json.to_number with
+  | Some f -> f
+  | None -> Alcotest.failf "X event lacks numeric %s" name
+
+(* stack discipline per lane (tid): strictly nested or disjoint *)
+let check_nesting events =
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let tid = int_of_float (num "tid" e) in
+      let prev = Option.value (Hashtbl.find_opt lanes tid) ~default:[] in
+      Hashtbl.replace lanes tid ((num "ts" e, num "dur" e) :: prev))
+    events;
+  Hashtbl.iter
+    (fun tid spans ->
+      let spans =
+        List.sort
+          (fun (t1, d1) (t2, d2) ->
+            match Float.compare t1 t2 with
+            | 0 -> Float.compare d2 d1
+            | c -> c)
+          spans
+      in
+      let tolerance = 1.0 (* µs *) in
+      let stack = ref [] in
+      List.iter
+        (fun (ts, dur) ->
+          let rec unwind () =
+            match !stack with
+            | (pts, pdur) :: rest when ts >= pts +. pdur -. tolerance ->
+                stack := rest;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          (match !stack with
+          | (pts, pdur) :: _ ->
+              if ts +. dur > pts +. pdur +. tolerance then
+                Alcotest.failf
+                  "lane %d: span [%f, +%f] partially overlaps [%f, +%f]" tid ts
+                  dur pts pdur
+          | [] -> ());
+          stack := (ts, dur) :: !stack)
+        spans)
+    lanes
+
+let trace_roundtrip ~jobs () =
+  Obs.with_enabled true @@ fun () ->
+  Span.reset ();
+  let batch = random_batch 10 in
+  let results = Mae_engine.run_circuits ~jobs ~registry batch in
+  Alcotest.(check int) "batch ran" 10 (List.length results);
+  let trace =
+    match Json.parse (Mae_obs.Trace.to_chrome_string ()) with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "trace JSON: %s" e
+  in
+  let events = x_events trace in
+  let names =
+    List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_string) events
+  in
+  let count name = List.length (List.filter (String.equal name) names) in
+  (* one span per Figure-1 stage per module, one module parent each *)
+  List.iter
+    (fun stage -> Alcotest.(check int) stage 10 (count stage))
+    [
+      "driver.module"; "driver.validate"; "driver.expand"; "driver.stats";
+      "driver.fullcustom"; "driver.stdcell"; "driver.sweep";
+    ];
+  Alcotest.(check int) "one batch span" 1 (count "engine.batch");
+  check_nesting events;
+  Span.reset ()
+
+let test_trace_seq () = trace_roundtrip ~jobs:1 ()
+let test_trace_par () = trace_roundtrip ~jobs:4 ()
+
+(* --- metrics --- *)
+
+let test_metrics_registry () =
+  let c = Metrics.counter "test_obs_counter_total" in
+  let c' = Metrics.counter "test_obs_counter_total" in
+  Metrics.reset_counter c;
+  Metrics.incr c;
+  Metrics.add c' 4;
+  Alcotest.(check int) "idempotent registration shares state" 5
+    (Metrics.counter_value c);
+  (match Metrics.gauge "test_obs_counter_total" with
+  | _ -> Alcotest.fail "kind clash must raise"
+  | exception Invalid_argument _ -> ());
+  (match Metrics.counter "bad name!" with
+  | _ -> Alcotest.fail "invalid name must raise"
+  | exception Invalid_argument _ -> ());
+  let g = Metrics.gauge "test_obs_gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.)) "gauge set/get" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram "test_obs_hist_seconds" ~buckets:[| 0.1; 1.; 10. |] in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 0.5; 5.; 50. ];
+  Alcotest.(check int) "histogram count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 56.05 (Metrics.histogram_sum h)
+
+let test_prometheus_format () =
+  let prom = Metrics.to_prometheus () in
+  Alcotest.(check bool) "non-empty" true (String.length prom > 0);
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         if String.length line > 0 && not (Char.equal line.[0] '#') then
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "parseable value in %S" line)
+                 true
+                 (Option.is_some (float_of_string_opt value));
+               Alcotest.(check bool)
+                 (Printf.sprintf "non-empty name in %S" line)
+                 true (String.length name > 0)
+           | _ -> Alcotest.failf "malformed line %S" line);
+  (* cumulative histogram buckets must be monotone *)
+  let last = Hashtbl.create 8 in
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         match String.index_opt line '{' with
+         | Some i
+           when String.length line > 7
+                && String.equal (String.sub line (i - 7) 7) "_bucket" -> begin
+             let name = String.sub line 0 i in
+             match String.rindex_opt line ' ' with
+             | Some sp ->
+                 let v =
+                   float_of_string
+                     (String.sub line (sp + 1) (String.length line - sp - 1))
+                 in
+                 let prev = Option.value (Hashtbl.find_opt last name) ~default:0. in
+                 Alcotest.(check bool)
+                   (Printf.sprintf "monotone buckets for %s" name)
+                   true (v >= prev);
+                 Hashtbl.replace last name v
+             | None -> ()
+           end
+         | _ -> ());
+  match Json.parse (Metrics.to_json ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "metrics JSON dump: %s" e
+
+let test_metrics_match_engine () =
+  Mae_prob.Kernel_cache.clear ();
+  let counter name =
+    match Metrics.find_counter name with
+    | Some c -> Metrics.counter_value c
+    | None -> Alcotest.failf "counter %s not registered" name
+  in
+  let modules_before = counter "mae_engine_modules_total" in
+  let ok_before = counter "mae_engine_modules_ok_total" in
+  let batch = random_batch 8 in
+  let results, stats = Mae_engine.run_circuits_with_stats ~jobs:2 ~registry batch in
+  Alcotest.(check int) "modules counter delta" stats.Mae_engine.modules
+    (counter "mae_engine_modules_total" - modules_before);
+  Alcotest.(check int) "ok counter delta" stats.Mae_engine.ok
+    (counter "mae_engine_modules_ok_total" - ok_before);
+  Alcotest.(check int) "ok = Ok slots"
+    (List.length (List.filter Result.is_ok results))
+    stats.Mae_engine.ok;
+  (* the cache was cleared, so batch deltas = cumulative counters *)
+  let cache = Mae_prob.Kernel_cache.stats () in
+  Alcotest.(check int) "cache hits via registry" cache.hits
+    (counter "mae_kernel_cache_hits_total");
+  Alcotest.(check int) "cache misses via registry" cache.misses
+    (counter "mae_kernel_cache_misses_total");
+  Alcotest.(check int) "engine stats cache hits" cache.hits
+    stats.Mae_engine.cache_hits;
+  Alcotest.(check int) "per-domain counts sum to modules"
+    stats.Mae_engine.modules
+    (Array.fold_left ( + ) 0 stats.Mae_engine.per_domain);
+  Alcotest.(check bool) "races never exceed misses" true
+    (cache.races <= cache.misses)
+
+(* --- telemetry must never change an estimate --- *)
+
+let bits = Int64.bits_of_float
+
+let digest results =
+  List.map
+    (function
+      | Ok (r : Mae.Driver.module_report) ->
+          ( r.circuit.Mae_netlist.Circuit.name,
+            List.map bits
+              [
+                r.stdcell.Mae.Estimate.area;
+                r.stdcell.Mae.Estimate.height;
+                r.stdcell.Mae.Estimate.width;
+                r.fullcustom_exact.Mae.Estimate.area;
+                r.fullcustom_average.Mae.Estimate.area;
+              ]
+            @ List.map
+                (fun (s : Mae.Estimate.stdcell) -> bits s.area)
+                r.stdcell_sweep )
+      | Error e -> (Format.asprintf "%a" Mae_engine.pp_error e, []))
+    results
+
+let test_disabled_identical () =
+  let batch = random_batch 12 in
+  Obs.set_enabled false;
+  let off = Mae_engine.run_circuits ~jobs:2 ~registry batch in
+  let on =
+    Obs.with_enabled true (fun () ->
+        Mae_engine.run_circuits ~jobs:2 ~registry batch)
+  in
+  Span.reset ();
+  Alcotest.(check (list (pair string (list int64))))
+    "telemetry on/off bit-for-bit" (digest off) (digest on)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json", [ Alcotest.test_case "parser + escape" `Quick test_json_parser ]);
+      ( "spans",
+        [
+          Alcotest.test_case "recording, nesting, self time" `Quick
+            test_span_recording;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_span_disabled_noop;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome export jobs:1" `Quick test_trace_seq;
+          Alcotest.test_case "chrome export jobs:4" `Quick test_trace_par;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry semantics" `Quick test_metrics_registry;
+          Alcotest.test_case "prometheus + json dumps" `Quick
+            test_prometheus_format;
+          Alcotest.test_case "counters match engine totals" `Quick
+            test_metrics_match_engine;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "telemetry never changes estimates" `Quick
+            test_disabled_identical;
+        ] );
+    ]
