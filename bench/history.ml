@@ -1,0 +1,22 @@
+(* The persistent perf trajectory: every engine-bench and profile pass
+   appends one timestamped JSON line to BENCH_history.jsonl, so a
+   regression shows up as a kink in the file's trajectory across
+   commits rather than being lost when BENCH_engine.json is
+   overwritten.  Append-only by design -- never truncate it here. *)
+
+module Json = Mae_obs.Json
+
+let path = "BENCH_history.jsonl"
+
+let append ~source fields =
+  let record =
+    Json.Object
+      (("ts", Json.Number (Unix.gettimeofday ()))
+      :: ("source", Json.String source)
+      :: fields)
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Json.encode record);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "perf trajectory appended to %s\n" path

@@ -1,0 +1,8 @@
+(** Append-only perf trajectory shared by the engine bench and the
+    stage profiler.  Each call writes one line to [BENCH_history.jsonl]
+    in the working directory: a JSON object with ["ts"] (epoch
+    seconds), ["source"], and the given fields. *)
+
+val path : string
+
+val append : source:string -> (string * Mae_obs.Json.t) list -> unit

@@ -1051,7 +1051,32 @@ let run_engine ~smoke () =
     (Mae_engine.default_jobs ());
   let path = "BENCH_engine.json" in
   engine_json ~modules ~runs ~path;
-  Printf.printf "throughput baseline written to %s\n" path
+  Printf.printf "throughput baseline written to %s\n" path;
+  (* one timestamped line per bench run, appended so the trajectory
+     across commits survives BENCH_engine.json being overwritten *)
+  let open Mae_obs.Json in
+  Bench_history.History.append ~source:"bench_engine"
+    [
+      ("smoke", Bool smoke);
+      ("workload_modules", Number (Float.of_int modules));
+      ( "host_recommended_domains",
+        Number (Float.of_int (Mae_engine.default_jobs ())) );
+      ( "runs",
+        Array
+          (List.map
+             (fun r ->
+               Object
+                 [
+                   ("label", String r.label);
+                   ("jobs", Number (Float.of_int r.jobs));
+                   ("cache", Bool r.cache);
+                   ("elapsed_s", Number r.stats.elapsed_s);
+                   ("modules_per_s", Number (modules_per_s r));
+                   ("cache_hits", Number (Float.of_int r.stats.cache_hits));
+                   ("cache_misses", Number (Float.of_int r.stats.cache_misses));
+                 ])
+             runs) );
+    ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -6,7 +6,9 @@
    stats-sharing driver.  Run once with the kernel cache off and once
    with it on to see where the cache moves the time.
 
-     dune exec bench/profile.exe *)
+     dune exec bench/profile.exe
+     dune exec bench/profile.exe -- --json   # also append the passes
+                                             # to BENCH_history.jsonl *)
 
 let shapes =
   [|
@@ -29,12 +31,13 @@ let run_pass ~label ~cache ~registry =
   let t0 = Unix.gettimeofday () in
   List.iter (fun c -> ignore (Mae.Driver.run_circuit ~registry c)) workload;
   let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let rows = Mae_obs.Trace.flame () in
   let module_total_ms =
     List.fold_left
       (fun acc (r : Mae_obs.Trace.flame_row) ->
         if String.equal r.span_name "driver.module" then acc +. r.total_s *. 1e3
         else acc)
-      0. (Mae_obs.Trace.flame ())
+      0. rows
   in
   Printf.printf "\n== %s: %d modules in %8.1f ms ==\n%s" label
     (List.length workload) total_ms
@@ -45,13 +48,43 @@ let run_pass ~label ~cache ~registry =
     \ per-module dispatch cost; every stage row is measured inside the\n\
     \ stats-sharing driver, so rows are a true breakdown, not standalone\n\
     \ recomputation.)\n"
-    module_total_ms total_ms
+    module_total_ms total_ms;
+  (label, cache, total_ms, rows)
+
+let pass_json (label, cache, total_ms, rows) =
+  let open Mae_obs.Json in
+  Object
+    [
+      ("label", String label);
+      ("cache", Bool cache);
+      ("total_ms", Number total_ms);
+      ( "stages",
+        Array
+          (List.map
+             (fun (r : Mae_obs.Trace.flame_row) ->
+               Object
+                 [
+                   ("span", String r.span_name);
+                   ("calls", Number (Float.of_int r.calls));
+                   ("total_ms", Number (r.total_s *. 1e3));
+                   ("self_ms", Number (r.self_s *. 1e3));
+                 ])
+             rows) );
+    ]
 
 let () =
+  let json = Array.to_list Sys.argv |> List.mem "--json" in
   let registry = Mae_tech.Registry.create () in
   Mae_obs.set_enabled true;
-  run_pass ~label:"full driver, kernel cache off" ~cache:false ~registry;
-  run_pass ~label:"full driver, kernel cache on" ~cache:true ~registry;
+  let off = run_pass ~label:"full driver, kernel cache off" ~cache:false ~registry in
+  let on = run_pass ~label:"full driver, kernel cache on" ~cache:true ~registry in
   Mae_prob.Kernel_cache.set_enabled true;
   Mae_obs.set_enabled false;
-  Mae_obs.reset ()
+  Mae_obs.reset ();
+  if json then
+    let open Mae_obs.Json in
+    Bench_history.History.append ~source:"profile"
+      [
+        ("workload_modules", Number (Float.of_int (List.length workload)));
+        ("passes", Array [ pass_json off; pass_json on ]);
+      ]

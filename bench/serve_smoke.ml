@@ -1,0 +1,421 @@
+(* @serve-smoke: the serve-daemon gate.
+
+   Forks a Mae_serve daemon (TCP port 0 on loopback for both planes,
+   access log + final metrics/trace dumps in the sandbox cwd), then:
+
+   1. sends 120 estimation requests over one request-plane connection
+      -- 100 valid modules, 10 malformed JSON lines, 5 protocol errors,
+      5 modules on an unknown process -- and tallies ok/failed
+      client-side while checking every response's [seq] is monotone;
+   2. scrapes GET /metrics and checks the request/ok/failed counters
+      against the client tally (and /healthz against the same numbers);
+   3. reads the access log back: one serve.request JSON record per
+      request, request ids r1..rN in order, every line parseable;
+   4. SIGTERMs the daemon and confirms a clean drain: exit code 0, a
+      serve.shutdown record, and a final metrics dump whose counters
+      still match;
+   5. asserts estimates are bit-for-bit identical with logging off and
+      with logging at debug -- the logger must never touch a result.
+
+     dune build @serve-smoke   (also pulled in by @bench-smoke) *)
+
+module Json = Mae_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("serve-smoke: " ^ msg);
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not cond then fail "%s" msg else Printf.printf "ok: %s\n%!" msg)
+    fmt
+
+let access_log_path = "serve_smoke_access.log"
+let metrics_path = "serve_smoke_metrics.json"
+let trace_path = "serve_smoke_trace.json"
+
+(* --- the request corpus --- *)
+
+let hdl_of circuit = Mae_hdl.Printer.to_string circuit
+
+let valid_hdl i =
+  let g = Mae_workload.Generators.counter ~technology:"nmos25" (4 + (i mod 5)) in
+  hdl_of g
+
+let unknown_process_hdl i =
+  let g =
+    Mae_workload.Generators.counter ~technology:"unobtanium" (4 + (i mod 3))
+  in
+  hdl_of g
+
+type expected = Expect_ok | Expect_failed
+
+(* 120 requests: 100 valid, 10 malformed JSON, 5 without "hdl",
+   5 on an unknown process.  Malformed lines still get a response
+   (ok:false), so every request yields exactly one response line. *)
+let corpus =
+  List.concat
+    [
+      List.init 100 (fun i ->
+          ( Json.encode
+              (Json.Object
+                 [
+                   ("id", Json.Number (Float.of_int i));
+                   ("hdl", Json.String (valid_hdl i));
+                 ]),
+            Expect_ok ));
+      List.init 10 (fun i ->
+          (Printf.sprintf "{\"id\": %d, \"hdl\": " i, Expect_failed));
+      List.init 5 (fun i ->
+          ( Json.encode (Json.Object [ ("id", Json.Number (Float.of_int i)) ]),
+            Expect_failed ));
+      List.init 5 (fun i ->
+          ( Json.encode
+              (Json.Object [ ("hdl", Json.String (unknown_process_hdl i)) ]),
+            Expect_failed ));
+    ]
+
+(* --- tiny HTTP client for the obs plane --- *)
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ()
+
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let raw = read_all fd in
+  Unix.close fd;
+  let split_at marker =
+    let nm = String.length marker and nr = String.length raw in
+    let rec at i =
+      if i + nm > nr then None
+      else if String.equal (String.sub raw i nm) marker then
+        Some (String.sub raw 0 i, String.sub raw (i + nm) (nr - i - nm))
+      else at (i + 1)
+    in
+    at 0
+  in
+  match split_at "\r\n\r\n" with
+  | Some (headers, body) -> (headers, body)
+  | None -> (
+      match split_at "\n\n" with
+      | Some (headers, body) -> (headers, body)
+      | None -> fail "HTTP response to %s has no header/body split" path)
+
+let prom_value body name =
+  let lines = String.split_on_char '\n' body in
+  let rec find = function
+    | [] -> fail "metric %s not in /metrics" name
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ n; v ] when String.equal n name -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> fail "metric %s has unparseable value %S" name v)
+        | _ -> find rest)
+  in
+  find lines
+
+(* percentile from cumulative Prometheus buckets: smallest bound whose
+   cumulative count covers the rank *)
+let prom_histogram_percentile body name p =
+  let prefix = name ^ "_bucket{le=\"" in
+  let np = String.length prefix in
+  let buckets =
+    List.filter_map
+      (fun line ->
+        if String.length line > np && String.equal (String.sub line 0 np) prefix
+        then
+          match String.index_from_opt line np '"' with
+          | None -> None
+          | Some q -> (
+              let le = String.sub line np (q - np) in
+              match String.rindex_opt line ' ' with
+              | None -> None
+              | Some sp ->
+                  let count =
+                    String.sub line (sp + 1) (String.length line - sp - 1)
+                  in
+                  Some
+                    ( (if String.equal le "+Inf" then Float.infinity
+                       else float_of_string le),
+                      float_of_string count ))
+        else None)
+      (String.split_on_char '\n' body)
+  in
+  let total = prom_value body (name ^ "_count") in
+  let rank = p *. total in
+  let rec scan = function
+    | [] -> Float.nan
+    | (le, cum) :: rest -> if cum >= rank then le else scan rest
+  in
+  scan buckets
+
+(* --- bit-for-bit: logging must never change an estimate --- *)
+
+let digest results =
+  List.map
+    (function
+      | Ok (r : Mae.Driver.module_report) ->
+          List.map Int64.bits_of_float
+            [
+              r.stdcell.Mae.Estimate.area;
+              r.stdcell.Mae.Estimate.height;
+              r.stdcell.Mae.Estimate.width;
+              r.fullcustom_exact.Mae.Estimate.area;
+              r.fullcustom_average.Mae.Estimate.area;
+            ]
+      | Error _ -> [])
+    results
+
+let check_log_invariance () =
+  let registry = Mae_tech.Registry.create () in
+  let batch =
+    List.init 12 (fun i ->
+        Mae_workload.Bench_circuits.flatten
+          (Mae_workload.Generators.counter (8 + i)))
+  in
+  Mae_obs.Log.set_threshold None;
+  let off = Mae_engine.run_circuits ~jobs:2 ~registry batch in
+  (match Mae_obs.Log.set_sink_file "serve_smoke_debug.log" with
+  | Ok () -> ()
+  | Error e -> fail "debug log sink: %s" e);
+  Mae_obs.Log.set_threshold (Some Mae_obs.Log.Debug);
+  let on = Mae_engine.run_circuits ~jobs:2 ~registry batch in
+  Mae_obs.Log.set_threshold None;
+  Mae_obs.Log.close ();
+  check (digest off = digest on)
+    "estimates bit-for-bit identical with logging off and at debug";
+  let debug_lines =
+    In_channel.with_open_text "serve_smoke_debug.log" In_channel.input_lines
+  in
+  check
+    (List.exists
+       (fun l ->
+         match Json.parse l with
+         | Ok doc -> Json.member "event" doc = Some (Json.String "driver.module")
+         | Error _ -> false)
+       debug_lines)
+    "debug level emits driver.module records (%d lines)"
+    (List.length debug_lines)
+
+(* --- the daemon lifecycle --- *)
+
+let spawn_server () =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* child: become the daemon; announce bound ports on the pipe *)
+      Unix.close r;
+      Mae_obs.Log.set_threshold (Some Mae_obs.Log.Info);
+      (match Mae_obs.Log.set_sink_file access_log_path with
+      | Ok () -> ()
+      | Error e -> fail "access log: %s" e);
+      let registry = Mae_tech.Registry.create () in
+      let config =
+        {
+          (Mae_serve.default_config ~registry
+             ~request_addr:(Mae_serve.Tcp { host = "127.0.0.1"; port = 0 }))
+          with
+          Mae_serve.obs_addr = Some (Mae_serve.Tcp { host = "127.0.0.1"; port = 0 });
+          metrics_out = Some metrics_path;
+          trace_out = Some trace_path;
+          on_ready =
+            (fun ~request_addr ~obs_addr ->
+              let port = function
+                | Mae_serve.Tcp { port; _ } -> port
+                | Mae_serve.Unix_sock _ -> 0
+              in
+              let line =
+                Printf.sprintf "%d %d\n" (port request_addr)
+                  (match obs_addr with Some a -> port a | None -> 0)
+              in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w);
+        }
+      in
+      (match Mae_serve.run config with
+      | Ok () -> Unix._exit 0
+      | Error e ->
+          prerr_endline ("serve-smoke child: " ^ e);
+          Unix._exit 1)
+  | pid ->
+      Unix.close w;
+      let buf = Bytes.create 64 in
+      let n = Unix.read r buf 0 64 in
+      Unix.close r;
+      if n = 0 then fail "server died before announcing its ports";
+      let ports = String.trim (Bytes.sub_string buf 0 n) in
+      (match String.split_on_char ' ' ports with
+      | [ req; obs ] -> (pid, int_of_string req, int_of_string obs)
+      | _ -> fail "bad ready line %S" ports)
+
+let () =
+  (* fork the daemon before anything spawns a domain: OCaml 5 forbids
+     Unix.fork once other domains exist, and the invariance check below
+     runs the engine at jobs:2 *)
+  let pid, req_port, obs_port = spawn_server () in
+  check_log_invariance ();
+  check (req_port > 0 && obs_port > 0)
+    "daemon bound request plane :%d and obs plane :%d" req_port obs_port;
+
+  (* one connection, request/response in lockstep *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, req_port));
+  let ic = Unix.in_channel_of_descr fd in
+  let sent_ok = ref 0 and sent_failed = ref 0 in
+  let last_seq = ref 0 in
+  List.iter
+    (fun (line, expected) ->
+      let line = line ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line));
+      let reply = input_line ic in
+      let doc =
+        match Json.parse reply with
+        | Ok d -> d
+        | Error e -> fail "response not JSON (%s): %S" e reply
+      in
+      let ok =
+        match Json.member "ok" doc with
+        | Some (Json.Bool b) -> b
+        | _ -> fail "response lacks ok: %S" reply
+      in
+      let seq =
+        match Option.bind (Json.member "seq" doc) Json.to_number with
+        | Some f -> int_of_float f
+        | None -> fail "response lacks seq: %S" reply
+      in
+      if seq <= !last_seq then
+        fail "seq not monotone: %d after %d" seq !last_seq;
+      last_seq := seq;
+      (match expected with
+      | Expect_ok ->
+          if not ok then fail "expected ok for %S, got %S" line reply;
+          incr sent_ok
+      | Expect_failed ->
+          if ok then fail "expected failure for %S, got %S" line reply;
+          incr sent_failed))
+    corpus;
+  Unix.close fd;
+  let total = !sent_ok + !sent_failed in
+  check (total = List.length corpus && !sent_ok = 100)
+    "%d requests answered in order (%d ok, %d failed), seq monotone to %d"
+    total !sent_ok !sent_failed !last_seq;
+
+  (* /metrics must agree with the client-side tally *)
+  let _, metrics_body = http_get ~port:obs_port "/metrics" in
+  let m name = int_of_float (prom_value metrics_body name) in
+  check
+    (m "mae_serve_requests_total" = total
+    && m "mae_serve_requests_ok_total" = !sent_ok
+    && m "mae_serve_requests_failed_total" = !sent_failed)
+    "/metrics counters match the client tally (%d/%d/%d)" total !sent_ok
+    !sent_failed;
+  let p50 = prom_histogram_percentile metrics_body "mae_serve_request_seconds" 0.50 in
+  let p99 = prom_histogram_percentile metrics_body "mae_serve_request_seconds" 0.99 in
+  check
+    (Float.is_finite p50 && Float.is_finite p99 && p50 <= p99)
+    "request latency histogram populated (p50 <= %.6fs, p99 <= %.6fs)" p50 p99;
+
+  (* /healthz *)
+  let headers, health_body = http_get ~port:obs_port "/healthz" in
+  check
+    (String.length headers >= 15
+    && String.equal (String.sub headers 0 15) "HTTP/1.0 200 OK")
+    "/healthz answers 200";
+  (match Json.parse (String.trim health_body) with
+  | Error e -> fail "/healthz body not JSON: %s" e
+  | Ok doc ->
+      check
+        (Json.member "status" doc = Some (Json.String "ok"))
+        "/healthz status ok";
+      check
+        (Option.bind (Json.member "requests_total" doc) Json.to_number
+        = Some (Float.of_int total))
+        "/healthz sees %d requests" total);
+
+  (* 404 for unknown paths *)
+  let headers404, _ = http_get ~port:obs_port "/nope" in
+  check
+    (String.length headers404 >= 12
+    && String.equal (String.sub headers404 9 3) "404")
+    "unknown path answers 404";
+
+  (* access log: one record per request, ids r1..rN in order *)
+  let log_lines =
+    In_channel.with_open_text access_log_path In_channel.input_lines
+  in
+  let requests =
+    List.filter_map
+      (fun line ->
+        match Json.parse line with
+        | Error e -> fail "access log line not JSON (%s): %S" e line
+        | Ok doc ->
+            if Json.member "event" doc = Some (Json.String "serve.request")
+            then Some doc
+            else None)
+      log_lines
+  in
+  check
+    (List.length requests = total)
+    "one serve.request access-log record per request (%d)"
+    (List.length requests);
+  List.iteri
+    (fun i doc ->
+      let expect = Printf.sprintf "r%d" (i + 1) in
+      (match Json.member "request_id" doc with
+      | Some (Json.String id) when String.equal id expect -> ()
+      | Some (Json.String id) ->
+          fail "access log record %d has id %s, want %s" i id expect
+      | _ -> fail "access log record %d lacks request_id" i);
+      List.iter
+        (fun field ->
+          if Json.member field doc = None then
+            fail "access log record %d lacks %s" i field)
+        [ "latency_s"; "rows_selected"; "cache_hits"; "cache_misses"; "ok" ])
+    requests;
+  check true "access-log request ids are r1..r%d in order" total;
+
+  (* SIGTERM: clean drain + final flush *)
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  check (status = Unix.WEXITED 0) "daemon drained and exited 0 on SIGTERM";
+  check (Sys.file_exists metrics_path) "final metrics dump flushed";
+  (match Json.parse (In_channel.with_open_text metrics_path In_channel.input_all) with
+  | Error e -> fail "final metrics dump not JSON: %s" e
+  | Ok doc -> (
+      match
+        Option.bind (Json.member "counters" doc) (fun c ->
+            Option.bind (Json.member "mae_serve_requests_total" c) Json.to_number)
+      with
+      | Some f when int_of_float f = total ->
+          check true "final metrics dump still counts %d requests" total
+      | _ -> fail "final metrics dump disagrees with the tally"));
+  check (Sys.file_exists trace_path) "final trace flushed";
+  let shutdown_seen =
+    List.exists
+      (fun line ->
+        match Json.parse line with
+        | Ok doc -> Json.member "event" doc = Some (Json.String "serve.shutdown")
+        | Error _ -> false)
+      (In_channel.with_open_text access_log_path In_channel.input_lines)
+  in
+  check shutdown_seen "serve.shutdown record written on drain";
+  print_endline "serve-smoke: all checks passed"

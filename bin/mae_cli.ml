@@ -2,6 +2,7 @@
 
    Subcommands mirror the Figure 1 pipeline and the evaluation harness:
      mae estimate  -- estimate every module of an HDL or SPICE file
+     mae serve     -- resident estimation service with live telemetry
      mae layout    -- run the place & route substrate on one module
      mae floorplan -- floor-plan the modules of an estimate database
      mae generate  -- emit a parameterized benchmark circuit as HDL
@@ -124,10 +125,34 @@ let validate_out_path ~flag = function
           (Error
              (Printf.sprintf "%s %s: %s is not a directory" flag path dir))
 
+(* Two artifact flags aimed at one file would silently clobber each
+   other (whichever is written last wins); reject the collision before
+   anything runs. *)
+let reject_same_path flags_and_paths =
+  let rec go = function
+    | [] -> ()
+    | (flag_a, Some path_a) :: rest ->
+        List.iter
+          (fun (flag_b, path_b) ->
+            if path_b = Some path_a then
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "%s and %s both point at %s; each artifact needs its \
+                       own file"
+                      flag_a flag_b path_a)))
+          rest;
+        go rest
+    | (_, None) :: rest -> go rest
+  in
+  go flags_and_paths
+
 let run_estimate tech_files format input db_out verbose flatten_top jobs
     batch_stats trace_out metrics_out =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
+  reject_same_path
+    [ ("--trace", trace_out); ("--metrics-out", metrics_out); ("--db", db_out) ];
   validate_out_path ~flag:"--trace" trace_out;
   validate_out_path ~flag:"--metrics-out" metrics_out;
   validate_out_path ~flag:"--db" db_out;
@@ -244,6 +269,137 @@ let estimate_cmd =
     Term.(
       const run_estimate $ tech_files_arg $ format_arg $ input $ db_out
       $ verbose $ flatten_top $ jobs $ batch_stats $ trace_out $ metrics_out)
+
+(* serve *)
+
+let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
+    metrics_out =
+  if jobs < 0 then
+    or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
+  reject_same_path
+    [
+      ("--trace", trace_out);
+      ("--metrics-out", metrics_out);
+      ("--access-log", access_log);
+    ];
+  validate_out_path ~flag:"--trace" trace_out;
+  validate_out_path ~flag:"--metrics-out" metrics_out;
+  validate_out_path ~flag:"--access-log" access_log;
+  let registry = or_die (registry_of tech_files) in
+  let request_addr = or_die (Mae_serve.parse_addr listen) in
+  let obs_addr =
+    Option.map (fun s -> or_die (Mae_serve.parse_addr s)) obs_listen
+  in
+  let threshold =
+    match log_level with
+    | "off" -> None
+    | s -> begin
+        match Mae_obs.Log.level_of_string s with
+        | Some l -> Some l
+        | None ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "--log-level %s: want debug, info, warn, error or off" s))
+      end
+  in
+  Mae_obs.Log.set_threshold threshold;
+  begin
+    match access_log with
+    | None -> ()
+    | Some path -> or_die (Mae_obs.Log.set_sink_file path)
+  end;
+  let jobs = if jobs = 0 then Mae_engine.default_jobs () else jobs in
+  let config =
+    {
+      (Mae_serve.default_config ~registry ~request_addr) with
+      Mae_serve.obs_addr;
+      jobs;
+      trace_out;
+      metrics_out;
+      on_ready =
+        (fun ~request_addr ~obs_addr ->
+          Format.eprintf "mae: serving estimation requests on %a@."
+            Mae_serve.pp_addr request_addr;
+          match obs_addr with
+          | Some a ->
+              Format.eprintf
+                "mae: observability plane on %a (/metrics /healthz \
+                 /buildinfo /tracez)@."
+                Mae_serve.pp_addr a
+          | None -> ());
+    }
+  in
+  match Mae_serve.run config with
+  | Ok () -> Mae_obs.Log.close ()
+  | Error msg ->
+      Mae_obs.Log.close ();
+      or_die (Error msg)
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value & opt string "127.0.0.1:7788"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Request-plane address: PORT, HOST:PORT or unix:PATH.  Clients \
+             send one JSON object per line ({\"hdl\": \"...\", \"id\": ...}) \
+             and receive one JSON response line each.  TCP port 0 lets the \
+             kernel pick a free port (printed on stderr).")
+  in
+  let obs_listen =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs-listen" ] ~docv:"ADDR"
+          ~doc:
+            "Observability-plane address (same syntax as --listen): serves \
+             GET /metrics, /healthz, /buildinfo and /tracez over HTTP/1.0.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Engine domains per request batch (0 = one per core).")
+  in
+  let access_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSON access-log records here (default: \
+             stderr).  One serve.request record per request.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"debug, info, warn, error or off (default info).")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Enable span tracing (bounded recent window) and write a Chrome \
+             trace here on shutdown.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a final metrics dump here on shutdown (Prometheus text, \
+             or JSON when $(docv) ends in .json).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident estimation service with live telemetry \
+          (/metrics, /healthz, structured access logs; SIGTERM drains and \
+          flushes).")
+    Term.(
+      const run_serve $ tech_files_arg $ listen $ obs_listen $ jobs
+      $ access_log $ log_level $ trace_out $ metrics_out)
 
 (* layout *)
 
@@ -495,8 +651,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "mae" ~version:"1.0.0" ~doc)
     [
-      estimate_cmd; layout_cmd; floorplan_cmd; generate_cmd; processes_cmd;
-      table1_cmd; table2_cmd;
+      estimate_cmd; serve_cmd; layout_cmd; floorplan_cmd; generate_cmd;
+      processes_cmd; table1_cmd; table2_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -108,6 +108,20 @@ let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
                   ~rows:(Row_select.candidates ~stats circuit process)
                   circuit process)
           in
+          (* one structured record per module (debug level): which row
+             count the estimator selected and what it concluded -- the
+             per-module detail behind a serve access-log line. *)
+          if Mae_obs.Log.enabled Mae_obs.Log.Debug then
+            Mae_obs.Log.debug ~event:"driver.module"
+              [
+                ("module", Mae_obs.Log.Str circuit.name);
+                ("technology", Mae_obs.Log.Str circuit.technology);
+                ("rows_selected", Mae_obs.Log.Int stdcell.Estimate.rows);
+                ("stdcell_area", Mae_obs.Log.Float stdcell.Estimate.area);
+                ( "fullcustom_area",
+                  Mae_obs.Log.Float fullcustom_exact.Estimate.area );
+                ("issues", Mae_obs.Log.Int (List.length issues));
+              ];
           Ok
             {
               circuit;

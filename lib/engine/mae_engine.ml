@@ -43,6 +43,12 @@ let module_latency =
   Mae_obs.Metrics.histogram "mae_engine_module_seconds"
     ~help:"Per-module estimation latency (recorded while telemetry is on)"
 
+let oversubscribed_gauge =
+  Mae_obs.Metrics.gauge "mae_engine_jobs_oversubscribed"
+    ~help:
+      "Domains requested beyond Domain.recommended_domain_count in the most \
+       recent batch (0 = batch fit the hardware)"
+
 let pp_stats ppf s =
   let lookups = s.cache_hits + s.cache_misses in
   Format.fprintf ppf
@@ -63,6 +69,34 @@ let resolve_jobs = function
   | Some 0 -> default_jobs ()
   | Some j when j >= 1 -> j
   | Some j -> invalid_arg (Printf.sprintf "Mae_engine: jobs = %d" j)
+
+(* Spawning more domains than the hardware offers pessimizes hard --
+   BENCH_engine.json records jobs:8 at 0.18x of sequential on a 1-core
+   host -- so an oversubscribed batch is announced loudly (stderr once
+   per process, a warn log record every batch) and exposed as the
+   [mae_engine_jobs_oversubscribed] gauge.  The request is still
+   honoured: benches measure oversubscription on purpose, and the
+   determinism contract (same results for any [jobs]) must stay
+   testable above the core count. *)
+let oversubscription_announced = Atomic.make false
+
+let check_oversubscription jobs =
+  let recommended = default_jobs () in
+  let over = Stdlib.max 0 (jobs - recommended) in
+  Mae_obs.Metrics.set oversubscribed_gauge (Float.of_int over);
+  if over > 0 then begin
+    Mae_obs.Log.warn ~event:"engine.jobs_oversubscribed"
+      [
+        ("requested", Mae_obs.Log.Int jobs);
+        ("recommended", Mae_obs.Log.Int recommended);
+      ];
+    if not (Atomic.exchange oversubscription_announced true) then
+      Printf.eprintf
+        "mae_engine: warning: --jobs %d exceeds the %d domain(s) this host \
+         recommends; expect a slowdown, not a speedup (gauge \
+         mae_engine_jobs_oversubscribed)\n%!"
+        jobs recommended
+  end
 
 (* Work-stealing-free static pool: domains race on an atomic index over
    the input array and each writes its own result slot, so slots are
@@ -139,6 +173,7 @@ let estimate_one ?config ~registry (circuit : Mae_netlist.Circuit.t) =
 
 let run_circuits_with_stats ?config ?jobs ~registry circuits =
   let jobs = resolve_jobs jobs in
+  check_oversubscription jobs;
   let inputs = Array.of_list circuits in
   Mae_obs.Span.with_ ~name:"engine.batch"
     ~attrs:
@@ -176,6 +211,17 @@ let run_circuits_with_stats ?config ?jobs ~registry circuits =
       per_domain;
     }
   in
+  if Mae_obs.Log.enabled Mae_obs.Log.Debug then
+    Mae_obs.Log.debug ~event:"engine.batch"
+      [
+        ("modules", Mae_obs.Log.Int modules);
+        ("ok", Mae_obs.Log.Int ok);
+        ("failed", Mae_obs.Log.Int (modules - ok));
+        ("jobs", Mae_obs.Log.Int jobs);
+        ("elapsed_s", Mae_obs.Log.Float elapsed_s);
+        ("cache_hits", Mae_obs.Log.Int stats.cache_hits);
+        ("cache_misses", Mae_obs.Log.Int stats.cache_misses);
+      ];
   (Array.to_list results, stats)
 
 let run_circuits ?config ?jobs ~registry circuits =

@@ -48,6 +48,16 @@ val pp_stats : Format.formatter -> stats -> unit
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
+(** Requesting more domains than {!default_jobs} is honoured (the
+    determinism contract holds for any [jobs]) but announced loudly:
+    one stderr warning per process, a [engine.jobs_oversubscribed]
+    {!Mae_obs.Log} warn record per batch, and the
+    [mae_engine_jobs_oversubscribed] gauge set to the excess --
+    oversubscribing a 1-core host measured 0.18x of sequential in
+    BENCH_engine.json.  Each batch additionally emits an
+    [engine.batch] debug log record when {!Mae_obs.Log} is at
+    [Debug]. *)
+
 val run_circuits :
   ?config:Mae.Config.t ->
   ?jobs:int ->

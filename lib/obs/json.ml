@@ -33,6 +33,43 @@ let escape s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* --- writing --- *)
+
+(* Integer-valued floats print without a decimal point (counter values,
+   request ids); everything else gets enough digits to round-trip. *)
+let number_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number v -> Buffer.add_string buf (number_repr v)
+  | String s -> Buffer.add_string buf (escape s)
+  | Array l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf ": ";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let encode v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
 (* --- parsing --- *)
 
 exception Parse_failure of string

@@ -18,6 +18,15 @@ val escape : string -> string
     included), with control characters, backslashes and quotes
     escaped. *)
 
+val write : Buffer.t -> t -> unit
+(** Append the compact one-line encoding of a document to a buffer.
+    Integer-valued numbers print without a decimal point; other floats
+    round-trip. *)
+
+val encode : t -> string
+(** {!write} into a fresh string.  [parse (encode v)] is [Ok v] for
+    any [v] whose numbers survive float round-tripping. *)
+
 val parse : string -> (t, string) result
 (** Full-grammar JSON parser (objects, arrays, numbers, escapes
     including surrogate pairs).  Rejects trailing garbage. *)

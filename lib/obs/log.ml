@@ -1,0 +1,152 @@
+(* Structured JSON-lines logger.
+
+   One record per line, one [Atomic.get] per call site when the record
+   is below the threshold -- the same no-op discipline as spans.  The
+   serve daemon points the sink at its access log and every request
+   becomes one [serve.request] record; the driver and engine emit
+   debug/info records through the same sink, all carrying the request
+   id installed by [with_request_id] on the emitting domain.
+
+   The sink is mutex-protected and flushed per record, so concurrent
+   domains never interleave partial lines and a tail -f (or the
+   @serve-smoke gate) always sees whole records. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_int = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* 4 = above Error: everything disabled.  Default: off -- `mae estimate`
+   must stay bit-for-bit silent unless logging is asked for. *)
+let threshold = Atomic.make 4
+
+let set_threshold = function
+  | None -> Atomic.set threshold 4
+  | Some l -> Atomic.set threshold (level_int l)
+
+let current_threshold () =
+  match Atomic.get threshold with
+  | 0 -> Some Debug
+  | 1 -> Some Info
+  | 2 -> Some Warn
+  | 3 -> Some Error
+  | _ -> None
+
+let enabled l = level_int l >= Atomic.get threshold
+
+(* --- sink --- *)
+
+type sink = Stderr | Channel of out_channel
+
+let sink_lock = Mutex.create ()
+let sink = ref Stderr
+let owned = ref None  (* channel we opened ourselves, closed on retarget *)
+
+let close_owned () =
+  match !owned with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      owned := None
+
+let set_sink_channel oc =
+  Mutex.lock sink_lock;
+  close_owned ();
+  sink := Channel oc;
+  Mutex.unlock sink_lock
+
+let set_sink_stderr () =
+  Mutex.lock sink_lock;
+  close_owned ();
+  sink := Stderr;
+  Mutex.unlock sink_lock
+
+let set_sink_file path =
+  match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
+  | oc ->
+      Mutex.lock sink_lock;
+      close_owned ();
+      owned := Some oc;
+      sink := Channel oc;
+      Mutex.unlock sink_lock;
+      Ok ()
+  | exception Sys_error msg -> Error msg
+
+let close () =
+  Mutex.lock sink_lock;
+  close_owned ();
+  sink := Stderr;
+  Mutex.unlock sink_lock
+
+(* --- request-id scope --- *)
+
+let request_id_key = Domain.DLS.new_key (fun () -> None)
+
+let with_request_id id f =
+  let before = Domain.DLS.get request_id_key in
+  Domain.DLS.set request_id_key (Some id);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set request_id_key before)
+    f
+
+let current_request_id () = Domain.DLS.get request_id_key
+
+(* --- records --- *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+let json_of_value = function
+  | Str s -> Json.String s
+  | Int i -> Json.Number (Float.of_int i)
+  | Float f -> Json.Number f
+  | Bool b -> Json.Bool b
+
+let emit level ~event fields =
+  if enabled level then begin
+    let base =
+      [
+        ("ts", Json.Number (Unix.gettimeofday ()));
+        ("level", Json.String (level_name level));
+        ("event", Json.String event);
+      ]
+    in
+    let rid =
+      match current_request_id () with
+      | None -> []
+      | Some id -> [ ("request_id", Json.String id) ]
+    in
+    let doc =
+      Json.Object
+        (base @ rid @ List.map (fun (k, v) -> (k, json_of_value v)) fields)
+    in
+    let line =
+      let buf = Buffer.create 160 in
+      Json.write buf doc;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+    in
+    Mutex.lock sink_lock;
+    let oc = match !sink with Stderr -> stderr | Channel oc -> oc in
+    (try
+       output_string oc line;
+       flush oc
+     with Sys_error _ -> ());
+    Mutex.unlock sink_lock
+  end
+
+let debug ~event fields = emit Debug ~event fields
+let info ~event fields = emit Info ~event fields
+let warn ~event fields = emit Warn ~event fields
+let error ~event fields = emit Error ~event fields

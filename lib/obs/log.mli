@@ -1,0 +1,62 @@
+(** Structured, leveled, JSON-lines logging.
+
+    Each record is one line of JSON with [ts] (epoch seconds), [level],
+    [event], the emitting domain's request id (when inside
+    {!with_request_id}) and the caller's typed fields.  A call below
+    the threshold costs a single atomic read -- the same disabled-path
+    discipline as {!Span.with_}.
+
+    Logging is {e off} by default: [mae estimate] output stays
+    bit-for-bit identical to the un-logged pipeline unless a threshold
+    is installed.  The serve daemon sets [Some Info] and points the
+    sink at its access log. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+(** Accepts ["debug"], ["info"], ["warn"]/["warning"], ["error"]. *)
+
+val set_threshold : level option -> unit
+(** [Some l] enables records at [l] and above; [None] (the default)
+    disables all logging. *)
+
+val current_threshold : unit -> level option
+val enabled : level -> bool
+(** One atomic read; instrumentation may gate field construction on it. *)
+
+(** {1 Sink}
+
+    One process-global sink, mutex-protected, flushed per record so
+    concurrent domains never interleave partial lines. *)
+
+val set_sink_stderr : unit -> unit
+(** The default sink. *)
+
+val set_sink_channel : out_channel -> unit
+(** Log to a channel the caller owns (it is never closed here). *)
+
+val set_sink_file : string -> (unit, string) result
+(** Open [path] in append mode and log there; the channel is owned by
+    the logger and closed when the sink is next retargeted or
+    {!close}d. *)
+
+val close : unit -> unit
+(** Close an owned file sink and fall back to stderr. *)
+
+(** {1 Request-id scope} *)
+
+val with_request_id : string -> (unit -> 'a) -> 'a
+(** Install a request id for the calling domain; every record emitted
+    inside the thunk (on this domain) carries it as ["request_id"]. *)
+
+val current_request_id : unit -> string option
+
+(** {1 Emitting} *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+val debug : event:string -> (string * value) list -> unit
+val info : event:string -> (string * value) list -> unit
+val warn : event:string -> (string * value) list -> unit
+val error : event:string -> (string * value) list -> unit

@@ -10,6 +10,9 @@
      histograms with Prometheus-text and JSON dumps.  Counters and
      gauges are always live; they back [Kernel_cache.stats] and the
      engine's [--stats] line.
+   - {!Log}: leveled JSON-lines structured logging with request-id
+     scoping; the serve daemon's access log.  Off by default, and a
+     single atomic check per disabled call site, like spans.
    - {!Control} (re-exported below): the single [enabled] flag.  With
      telemetry off, every instrumented code path costs one atomic
      read -- the @obs-smoke bench holds the pipeline to that.
@@ -22,6 +25,7 @@ module Span = Span
 module Metrics = Metrics
 module Trace = Trace
 module Json = Json
+module Log = Log
 
 let enabled = Control.enabled
 let set_enabled = Control.set_enabled

@@ -25,11 +25,32 @@ type event = {
 type buffer = {
   buf_domain : int;
   mutable events : event list;  (* most recently closed first *)
+  mutable event_count : int;  (* length of [events], kept incrementally *)
   mutable open_depth : int;
   mutable child_acc : float list;
       (* one accumulator per open span: total duration of its already
          closed children *)
 }
+
+(* 0 = keep everything (batch-CLI behavior).  A resident server sets a
+   cap: each lane trims to the most recent [limit] events once it holds
+   twice that, so memory stays bounded and /tracez serves a recent
+   window.  Trimming is done by the owning domain, never concurrently. *)
+let retention = Atomic.make 0
+
+let set_retention = function
+  | None -> Atomic.set retention 0
+  | Some n ->
+      if n < 1 then invalid_arg "Mae_obs.Span.set_retention: limit < 1";
+      Atomic.set retention n
+
+let truncate n l =
+  let rec go acc n = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n l
 
 let registry_lock = Mutex.create ()
 let buffers : buffer list ref = ref []
@@ -40,6 +61,7 @@ let key =
         {
           buf_domain = (Domain.self () :> int);
           events = [];
+          event_count = 0;
           open_depth = 0;
           child_acc = [];
         }
@@ -79,7 +101,13 @@ let with_ ?(attrs = []) ~name f =
           dur;
           self = Float.max 0. (dur -. children);
         }
-        :: buf.events
+        :: buf.events;
+      buf.event_count <- buf.event_count + 1;
+      let limit = Atomic.get retention in
+      if limit > 0 && buf.event_count > 2 * limit then begin
+        buf.events <- truncate limit buf.events;
+        buf.event_count <- limit
+      end
     in
     match f () with
     | v ->
@@ -105,6 +133,7 @@ let reset () =
   List.iter
     (fun b ->
       b.events <- [];
+      b.event_count <- 0;
       b.open_depth <- 0;
       b.child_acc <- [])
     !buffers;

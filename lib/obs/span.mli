@@ -32,3 +32,10 @@ val events : unit -> event list
 val reset : unit -> unit
 (** Drop all recorded spans.  Do not call while spans are open on
     another domain. *)
+
+val set_retention : int option -> unit
+(** [Some n] bounds every lane to (roughly) its [n] most recent spans
+    -- a resident server keeps tracing on without unbounded memory, and
+    [/tracez] serves a recent window.  [None] (the default) keeps
+    everything, the batch-CLI behavior.  Raises [Invalid_argument] on
+    [n < 1]. *)

@@ -1,0 +1,704 @@
+(* Mae_serve: the resident estimation service.
+
+   Two planes, one single-threaded select loop:
+
+   - the request plane: line-delimited JSON over a TCP or Unix socket.
+     Each line is one estimation request; the answer is one JSON line
+     through Mae_engine, in request order per connection.
+   - the observability plane: a minimal HTTP/1.0 responder on a second
+     socket serving GET /metrics (Prometheus text from the Mae_obs
+     registry), /healthz, /buildinfo and /tracez.
+
+   Estimation is CPU work measured in milliseconds per module, so the
+   loop runs requests inline: while a batch estimates, the scrape plane
+   waits -- the trade a sidecar-free stdlib+unix server makes.  Worker
+   parallelism still applies inside a request via the engine's domain
+   pool ([config.jobs]).
+
+   SIGINT/SIGTERM flip one atomic flag; the loop then stops accepting,
+   answers every request line already received (the drain), emits a
+   final [serve.shutdown] log record and flushes the configured
+   metrics/trace dumps before returning. *)
+
+module Json = Mae_obs.Json
+module Log = Mae_obs.Log
+module Metrics = Mae_obs.Metrics
+
+type addr = Tcp of { host : string; port : int } | Unix_sock of string
+
+let pp_addr ppf = function
+  | Tcp { host; port } -> Format.fprintf ppf "%s:%d" host port
+  | Unix_sock path -> Format.fprintf ppf "unix:%s" path
+
+(* "7788" | "host:7788" -> TCP (empty host = loopback); "unix:PATH" or
+   anything with a slash -> Unix-domain socket path. *)
+let parse_addr s =
+  let unix_prefix = "unix:" in
+  let n = String.length unix_prefix in
+  if String.length s > n && String.equal (String.sub s 0 n) unix_prefix then
+    Ok (Unix_sock (String.sub s n (String.length s - n)))
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> begin
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 ->
+            Ok (Tcp { host = (if host = "" then "127.0.0.1" else host); port = p })
+        | _ -> Error (Printf.sprintf "bad port in address %S" s)
+      end
+    | None -> begin
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p <= 65535 ->
+            Ok (Tcp { host = "127.0.0.1"; port = p })
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "bad address %S (want PORT, HOST:PORT or unix:PATH)" s)
+      end
+
+type config = {
+  request_addr : addr;
+  obs_addr : addr option;
+  jobs : int;  (** engine domains per request batch *)
+  registry : Mae_tech.Registry.t;
+  trace_out : string option;  (** Chrome trace flushed at shutdown *)
+  metrics_out : string option;  (** metrics dump flushed at shutdown *)
+  max_line_bytes : int;
+  span_retention : int;  (** recent-span window backing /tracez *)
+  on_ready : request_addr:addr -> obs_addr:addr option -> unit;
+}
+
+let default_config ~registry ~request_addr =
+  {
+    request_addr;
+    obs_addr = None;
+    jobs = 1;
+    registry;
+    trace_out = None;
+    metrics_out = None;
+    max_line_bytes = 8 * 1024 * 1024;
+    span_retention = 4096;
+    on_ready = (fun ~request_addr:_ ~obs_addr:_ -> ());
+  }
+
+(* --- registry instruments (always live, like the engine's) --- *)
+
+let requests_total =
+  Metrics.counter "mae_serve_requests_total"
+    ~help:"Estimation requests received (one JSON line each)"
+
+let requests_ok =
+  Metrics.counter "mae_serve_requests_ok_total"
+    ~help:"Requests answered with ok:true (every module estimated)"
+
+let requests_failed =
+  Metrics.counter "mae_serve_requests_failed_total"
+    ~help:"Requests answered with ok:false (parse, protocol or module error)"
+
+let connections_total =
+  Metrics.counter "mae_serve_connections_total"
+    ~help:"Request-plane connections accepted"
+
+let scrapes_total =
+  Metrics.counter "mae_serve_scrapes_total"
+    ~help:"Observability-plane HTTP requests answered"
+
+let open_connections_gauge =
+  Metrics.gauge "mae_serve_open_connections"
+    ~help:"Request-plane connections currently open"
+
+let request_latency =
+  Metrics.histogram "mae_serve_request_seconds"
+    ~help:"Per-request service latency (receipt of a line to its response)"
+
+(* --- protocol: one JSON request line -> one JSON response line --- *)
+
+type outcome = {
+  response : Json.t;
+  ok : bool;
+  modules : int;
+  modules_ok : int;
+  rows_selected_total : int;
+}
+
+let module_json = function
+  | Ok (r : Mae.Driver.module_report) ->
+      Json.Object
+        [
+          ("name", Json.String r.circuit.Mae_netlist.Circuit.name);
+          ("technology", Json.String r.circuit.Mae_netlist.Circuit.technology);
+          ("rows", Json.Number (Float.of_int r.stdcell.Mae.Estimate.rows));
+          ("stdcell_area", Json.Number r.stdcell.Mae.Estimate.area);
+          ("stdcell_height", Json.Number r.stdcell.Mae.Estimate.height);
+          ("stdcell_width", Json.Number r.stdcell.Mae.Estimate.width);
+          ( "fullcustom_exact_area",
+            Json.Number r.fullcustom_exact.Mae.Estimate.area );
+          ( "fullcustom_average_area",
+            Json.Number r.fullcustom_average.Mae.Estimate.area );
+        ]
+  | Error e ->
+      Json.Object
+        [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
+
+let estimate_outcome config text =
+  match Mae_engine.run_string ~jobs:config.jobs ~registry:config.registry text with
+  | Error e ->
+      let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
+      ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
+        false, 0, 0, 0 )
+  | Ok results ->
+      let modules = List.length results in
+      let modules_ok = List.length (List.filter Result.is_ok results) in
+      let rows =
+        List.fold_left
+          (fun acc -> function
+            | Ok (r : Mae.Driver.module_report) ->
+                acc + r.stdcell.Mae.Estimate.rows
+            | Error _ -> acc)
+          0 results
+      in
+      ( [
+          ("ok", Json.Bool (modules_ok = modules));
+          ("modules", Json.Array (List.map module_json results));
+        ],
+        modules_ok = modules, modules, modules_ok, rows )
+  | exception exn ->
+      ( [
+          ("ok", Json.Bool false);
+          ("error", Json.String ("estimator crashed: " ^ Printexc.to_string exn));
+        ],
+        false, 0, 0, 0 )
+
+let process_request config ~seq line =
+  let client_id, body =
+    match Json.parse line with
+    | Error e ->
+        (Json.Null, ([ ("ok", Json.Bool false);
+                       ("error", Json.String ("bad request JSON: " ^ e)) ],
+                     false, 0, 0, 0))
+    | Ok doc -> begin
+        let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+        match Json.member "hdl" doc with
+        | Some (Json.String text) -> (id, estimate_outcome config text)
+        | Some _ ->
+            (id, ([ ("ok", Json.Bool false);
+                    ("error", Json.String "\"hdl\" must be a string") ],
+                  false, 0, 0, 0))
+        | None ->
+            (id, ([ ("ok", Json.Bool false);
+                    ("error", Json.String "request needs an \"hdl\" field") ],
+                  false, 0, 0, 0))
+      end
+  in
+  let fields, ok, modules, modules_ok, rows_selected_total = body in
+  let response =
+    Json.Object
+      ((("seq", Json.Number (Float.of_int seq))
+        :: (match client_id with Json.Null -> [] | id -> [ ("id", id) ]))
+      @ fields)
+  in
+  { response; ok; modules; modules_ok; rows_selected_total }
+
+(* --- connection bookkeeping --- *)
+
+type kind = Request_plane | Obs_plane
+
+type conn = {
+  fd : Unix.file_descr;
+  kind : kind;
+  rbuf : Buffer.t;
+  peer : string;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+    end
+  in
+  match go 0 with () -> true | exception Unix.Unix_error _ -> false
+
+(* --- the HTTP/1.0 observability plane --- *)
+
+let http_response ?(status = "200 OK") ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let counter_value name =
+  match Metrics.find_counter name with
+  | Some c -> Metrics.counter_value c
+  | None -> 0
+
+type state = {
+  config : config;
+  started : float;
+  mutable draining : bool;
+  mutable conns : conn list;
+  mutable next_seq : int;
+}
+
+let healthz_body st =
+  let num n = Json.Number (Float.of_int n) in
+  Json.encode
+    (Json.Object
+       [
+         ("status", Json.String (if st.draining then "draining" else "ok"));
+         ("uptime_s", Json.Number (Unix.gettimeofday () -. st.started));
+         ("pid", num (Unix.getpid ()));
+         ("jobs", num st.config.jobs);
+         ("recommended_domains", num (Mae_engine.default_jobs ()));
+         ("telemetry", Json.Bool (Mae_obs.enabled ()));
+         ( "log_threshold",
+           match Log.current_threshold () with
+           | None -> Json.Null
+           | Some l -> Json.String (Log.level_name l) );
+         ("requests_total", num (Metrics.counter_value requests_total));
+         ("requests_ok", num (Metrics.counter_value requests_ok));
+         ("requests_failed", num (Metrics.counter_value requests_failed));
+         ( "open_connections",
+           num
+             (List.length
+                (List.filter (fun c -> c.kind = Request_plane) st.conns)) );
+         ( "engine",
+           Json.Object
+             [
+               ("modules_total", num (counter_value "mae_engine_modules_total"));
+               ("modules_ok", num (counter_value "mae_engine_modules_ok_total"));
+               ( "modules_failed",
+                 num (counter_value "mae_engine_modules_failed_total") );
+             ] );
+       ])
+  ^ "\n"
+
+let buildinfo_body st =
+  Json.encode
+    (Json.Object
+       [
+         ("name", Json.String "mae");
+         ("version", Json.String "1.0.0");
+         ( "paper",
+           Json.String
+             "Chen & Bushnell, A Module Area Estimator for VLSI Layout, DAC'88"
+         );
+         ("ocaml", Json.String Sys.ocaml_version);
+         ("word_size", Json.Number (Float.of_int Sys.word_size));
+         ("os_type", Json.String Sys.os_type);
+         ("pid", Json.Number (Float.of_int (Unix.getpid ())));
+         ("started_ts", Json.Number st.started);
+       ])
+  ^ "\n"
+
+let tracez_body st =
+  let events = Mae_obs.Span.events () in
+  let recent =
+    let by_ts_desc =
+      List.sort
+        (fun (a : Mae_obs.Span.event) (b : Mae_obs.Span.event) ->
+          Float.compare b.ts a.ts)
+        events
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    List.rev (take 100 by_ts_desc)
+  in
+  let span_json (e : Mae_obs.Span.event) =
+    Json.Object
+      [
+        ("name", Json.String e.name);
+        ("domain", Json.Number (Float.of_int e.domain));
+        ("depth", Json.Number (Float.of_int e.depth));
+        ("ts", Json.Number e.ts);
+        ("dur_s", Json.Number e.dur);
+        ("self_s", Json.Number e.self);
+      ]
+  in
+  let flame_json (r : Mae_obs.Trace.flame_row) =
+    Json.Object
+      [
+        ("span", Json.String r.span_name);
+        ("calls", Json.Number (Float.of_int r.calls));
+        ("total_s", Json.Number r.total_s);
+        ("self_s", Json.Number r.self_s);
+      ]
+  in
+  Json.encode
+    (Json.Object
+       [
+         ("telemetry", Json.Bool (Mae_obs.enabled ()));
+         ( "retention",
+           Json.Number (Float.of_int st.config.span_retention) );
+         ("recent_spans", Json.Array (List.map span_json recent));
+         ("flame", Json.Array (List.map flame_json (Mae_obs.Trace.flame ())));
+       ])
+  ^ "\n"
+
+let handle_http st raw =
+  Metrics.incr scrapes_total;
+  let request_line =
+    match String.index_opt raw '\r' with
+    | Some i -> String.sub raw 0 i
+    | None -> (
+        match String.index_opt raw '\n' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw)
+  in
+  match String.split_on_char ' ' request_line with
+  | [ "GET"; path; _version ] -> begin
+      let path =
+        match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      match path with
+      | "/metrics" ->
+          http_response ~content_type:"text/plain; version=0.0.4"
+            (Metrics.to_prometheus ())
+      | "/healthz" ->
+          http_response ~content_type:"application/json" (healthz_body st)
+      | "/buildinfo" ->
+          http_response ~content_type:"application/json" (buildinfo_body st)
+      | "/tracez" ->
+          http_response ~content_type:"application/json" (tracez_body st)
+      | _ ->
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found; try /metrics /healthz /buildinfo /tracez\n"
+    end
+  | "GET" :: _ ->
+      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "bad request line\n"
+  | _ ->
+      http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "only GET is served here\n"
+
+(* --- the request plane --- *)
+
+let answer_line st conn line =
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  let rid = "r" ^ string_of_int seq in
+  Log.with_request_id rid @@ fun () ->
+  Metrics.incr requests_total;
+  let cache_before = Mae_prob.Kernel_cache.stats () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = process_request st.config ~seq line in
+  let latency = Unix.gettimeofday () -. t0 in
+  Metrics.observe request_latency latency;
+  let cache_after = Mae_prob.Kernel_cache.stats () in
+  Metrics.incr (if outcome.ok then requests_ok else requests_failed);
+  Log.info ~event:"serve.request"
+    [
+      ("seq", Log.Int seq);
+      ("peer", Log.Str conn.peer);
+      ("ok", Log.Bool outcome.ok);
+      ("modules", Log.Int outcome.modules);
+      ("modules_ok", Log.Int outcome.modules_ok);
+      ("rows_selected", Log.Int outcome.rows_selected_total);
+      ("latency_s", Log.Float latency);
+      ("cache_hits", Log.Int (cache_after.hits - cache_before.hits));
+      ("cache_misses", Log.Int (cache_after.misses - cache_before.misses));
+      ("bytes_in", Log.Int (String.length line));
+    ];
+  ignore (write_all conn.fd (Json.encode outcome.response ^ "\n"))
+
+(* Consume every complete line in the connection buffer, in order. *)
+let drain_complete_lines st conn =
+  let data = Buffer.contents conn.rbuf in
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | None ->
+        Buffer.clear conn.rbuf;
+        Buffer.add_substring conn.rbuf data start (String.length data - start)
+    | Some nl ->
+        let line = String.sub data start (nl - start) in
+        let line =
+          (* tolerate CRLF clients *)
+          if String.length line > 0 && line.[String.length line - 1] = '\r'
+          then String.sub line 0 (String.length line - 1)
+          else line
+        in
+        if String.length line > 0 then answer_line st conn line;
+        go (nl + 1)
+  in
+  go 0
+
+(* --- sockets --- *)
+
+let socket_of_addr = function
+  | Tcp { host; port } ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (fd, Unix.ADDR_INET (inet, port))
+  | Unix_sock path ->
+      if Sys.file_exists path then (
+        match (Unix.stat path).Unix.st_kind with
+        | Unix.S_SOCK -> Sys.remove path
+        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (fd, Unix.ADDR_UNIX path)
+
+let bound_addr fd = function
+  | Unix_sock path -> Unix_sock path
+  | Tcp { host; port = _ } -> (
+      (* learn the kernel-assigned port when binding port 0 *)
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Tcp { host; port }
+      | _ -> Tcp { host; port = 0 })
+
+let listen_on addr =
+  match socket_of_addr addr with
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Format.asprintf "cannot listen on %a: %s" pp_addr addr
+           (Unix.error_message e))
+  | fd, sockaddr -> (
+      match
+        Unix.bind fd sockaddr;
+        Unix.listen fd 64
+      with
+      | () -> Ok (fd, bound_addr fd addr)
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error
+            (Format.asprintf "cannot listen on %a: %s" pp_addr addr
+               (Unix.error_message e)))
+
+let unlink_unix_addr = function
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()
+
+(* --- shutdown flag --- *)
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let note _ = Atomic.set stop_requested true in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle note)
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle note)
+   with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+(* --- the loop --- *)
+
+let close_conn st conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  st.conns <- List.filter (fun c -> c.fd != conn.fd) st.conns;
+  if conn.kind = Request_plane then
+    Metrics.set open_connections_gauge
+      (Float.of_int
+         (List.length (List.filter (fun c -> c.kind = Request_plane) st.conns)))
+
+let accept_conn st listener kind =
+  match Unix.accept listener with
+  | fd, peer_addr ->
+      let peer =
+        match peer_addr with
+        | Unix.ADDR_INET (a, p) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX _ -> "unix"
+      in
+      let conn = { fd; kind; rbuf = Buffer.create 512; peer } in
+      st.conns <- conn :: st.conns;
+      if kind = Request_plane then begin
+        Metrics.incr connections_total;
+        Metrics.set open_connections_gauge
+          (Float.of_int
+             (List.length
+                (List.filter (fun c -> c.kind = Request_plane) st.conns)))
+      end
+  | exception Unix.Unix_error _ -> ()
+
+let http_request_complete raw =
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i =
+      i + nn <= nh && (String.equal (String.sub hay i nn) needle || at (i + 1))
+    in
+    at 0
+  in
+  contains_sub raw "\r\n\r\n" || contains_sub raw "\n\n"
+
+let service_readable st conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      (* EOF: answer whatever complete lines are already buffered, then
+         close.  (A client that shut down only its write side still
+         reads its last responses.) *)
+      if conn.kind = Request_plane then drain_complete_lines st conn;
+      close_conn st conn
+  | n -> begin
+      Buffer.add_subbytes conn.rbuf chunk 0 n;
+      match conn.kind with
+      | Request_plane ->
+          if Buffer.length conn.rbuf > st.config.max_line_bytes then begin
+            ignore
+              (write_all conn.fd
+                 (Json.encode
+                    (Json.Object
+                       [
+                         ("ok", Json.Bool false);
+                         ( "error",
+                           Json.String
+                             (Printf.sprintf "request line exceeds %d bytes"
+                                st.config.max_line_bytes) );
+                       ])
+                 ^ "\n"));
+            close_conn st conn
+          end
+          else drain_complete_lines st conn
+      | Obs_plane ->
+          let raw = Buffer.contents conn.rbuf in
+          if http_request_complete raw || Buffer.length conn.rbuf > 65536 then begin
+            ignore (write_all conn.fd (handle_http st raw));
+            close_conn st conn
+          end
+    end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn st conn
+
+let final_flush st =
+  let reqs = Metrics.counter_value requests_total in
+  Log.info ~event:"serve.shutdown"
+    [
+      ("uptime_s", Log.Float (Unix.gettimeofday () -. st.started));
+      ("requests_total", Log.Int reqs);
+      ("requests_ok", Log.Int (Metrics.counter_value requests_ok));
+      ("requests_failed", Log.Int (Metrics.counter_value requests_failed));
+    ];
+  begin
+    match st.config.metrics_out with
+    | None -> ()
+    | Some path ->
+        let result =
+          if Filename.check_suffix path ".json" then Metrics.write_json ~path
+          else Metrics.write_prometheus ~path
+        in
+        (match result with
+        | Ok () -> ()
+        | Error e ->
+            Log.error ~event:"serve.flush_failed"
+              [ ("artifact", Log.Str "metrics"); ("error", Log.Str e) ])
+  end;
+  match st.config.trace_out with
+  | None -> ()
+  | Some path -> (
+      match Mae_obs.Trace.write_chrome ~path with
+      | Ok () -> ()
+      | Error e ->
+          Log.error ~event:"serve.flush_failed"
+            [ ("artifact", Log.Str "trace"); ("error", Log.Str e) ])
+
+let run (config : config) =
+  match listen_on config.request_addr with
+  | Error _ as e -> e
+  | Ok (req_listener, request_addr) -> begin
+      let obs =
+        match config.obs_addr with
+        | None -> Ok None
+        | Some addr -> (
+            match listen_on addr with
+            | Ok (fd, bound) -> Ok (Some (fd, bound))
+            | Error _ as e -> e)
+      in
+      match obs with
+      | Error e ->
+          Unix.close req_listener;
+          unlink_unix_addr config.request_addr;
+          Error e
+      | Ok obs ->
+          let obs_listener = Option.map fst obs in
+          let obs_addr = Option.map snd obs in
+          install_signal_handlers ();
+          Atomic.set stop_requested false;
+          (* tracing in a resident process keeps a bounded recent
+             window; the final dump and /tracez both read it. *)
+          Mae_obs.Span.set_retention (Some config.span_retention);
+          if Option.is_some config.trace_out then Mae_obs.set_enabled true;
+          let st =
+            {
+              config;
+              started = Unix.gettimeofday ();
+              draining = false;
+              conns = [];
+              next_seq = 1;
+            }
+          in
+          Log.info ~event:"serve.start"
+            ([
+               ("addr", Log.Str (Format.asprintf "%a" pp_addr request_addr));
+               ("jobs", Log.Int config.jobs);
+               ("pid", Log.Int (Unix.getpid ()));
+             ]
+            @
+            match obs_addr with
+            | None -> []
+            | Some a ->
+                [ ("obs_addr", Log.Str (Format.asprintf "%a" pp_addr a)) ]);
+          config.on_ready ~request_addr ~obs_addr;
+          let rec loop () =
+            if Atomic.get stop_requested then ()
+            else begin
+              let listeners =
+                req_listener :: Option.to_list obs_listener
+              in
+              let fds = listeners @ List.map (fun c -> c.fd) st.conns in
+              match Unix.select fds [] [] 1.0 with
+              | readable, _, _ ->
+                  List.iter
+                    (fun fd ->
+                      if fd == req_listener then
+                        accept_conn st req_listener Request_plane
+                      else
+                        match obs_listener with
+                        | Some l when fd == l -> accept_conn st l Obs_plane
+                        | _ -> (
+                            match
+                              List.find_opt (fun c -> c.fd == fd) st.conns
+                            with
+                            | Some conn -> service_readable st conn
+                            | None -> ()))
+                    readable;
+                  loop ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            end
+          in
+          loop ();
+          (* drain: no new connections; answer every request line already
+             received, give scrape connections their response, close all. *)
+          st.draining <- true;
+          Unix.close req_listener;
+          Option.iter Unix.close obs_listener;
+          List.iter
+            (fun conn ->
+              match conn.kind with
+              | Request_plane -> drain_complete_lines st conn
+              | Obs_plane ->
+                  let raw = Buffer.contents conn.rbuf in
+                  if http_request_complete raw then
+                    ignore (write_all conn.fd (handle_http st raw)))
+            st.conns;
+          List.iter (fun c -> close_conn st c) st.conns;
+          unlink_unix_addr config.request_addr;
+          Option.iter unlink_unix_addr config.obs_addr;
+          final_flush st;
+          Ok ()
+    end

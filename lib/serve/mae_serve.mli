@@ -1,0 +1,55 @@
+(** The resident estimation service behind [mae serve].
+
+    A single-threaded select loop runs two planes:
+
+    - {e request plane}: line-delimited JSON over TCP or a Unix-domain
+      socket.  One request line in, one response line out, answered
+      through {!Mae_engine} (so the kernel cache and domain pool
+      apply).  A request is [{"hdl": "<module text>", "id": <any>}];
+      the response carries a server-assigned monotone ["seq"], the
+      echoed ["id"], ["ok"], and per-module estimates or errors.
+    - {e observability plane} (optional second socket): HTTP/1.0
+      [GET /metrics] (Prometheus text from the {!Mae_obs.Metrics}
+      registry), [/healthz] (liveness + engine/domain status),
+      [/buildinfo], and [/tracez] (recent-span snapshot + flame rows).
+
+    Every request emits one [serve.request] access-log record through
+    {!Mae_obs.Log} -- latency, rows selected, kernel-cache hit deltas
+    -- scoped to request id [r<seq>].  SIGINT/SIGTERM stop the accept
+    loop, drain request lines already received, emit a final
+    [serve.shutdown] record and flush the configured metrics/trace
+    dumps. *)
+
+type addr = Tcp of { host : string; port : int } | Unix_sock of string
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val parse_addr : string -> (addr, string) result
+(** ["7788"] and ["host:7788"] are TCP (empty host means loopback, TCP
+    port [0] lets the kernel pick -- the bound port is reported via
+    [on_ready]); ["unix:PATH"] or any string containing a slash is a
+    Unix-domain socket path. *)
+
+type config = {
+  request_addr : addr;
+  obs_addr : addr option;
+  jobs : int;  (** engine domains per request batch *)
+  registry : Mae_tech.Registry.t;
+  trace_out : string option;  (** Chrome trace flushed at shutdown *)
+  metrics_out : string option;  (** metrics dump flushed at shutdown *)
+  max_line_bytes : int;
+  span_retention : int;  (** recent-span window backing [/tracez] *)
+  on_ready : request_addr:addr -> obs_addr:addr option -> unit;
+      (** called once both listeners are bound, with kernel-assigned
+          ports resolved *)
+}
+
+val default_config :
+  registry:Mae_tech.Registry.t -> request_addr:addr -> config
+(** [jobs = 1], no obs plane, no dumps, 8 MiB line cap, 4096-span
+    retention, no-op [on_ready]. *)
+
+val run : config -> (unit, string) result
+(** Serve until SIGINT/SIGTERM, then drain and flush.  [Error] means
+    the listeners could not be bound (nothing was served).  Installs
+    handlers for SIGINT/SIGTERM and ignores SIGPIPE. *)

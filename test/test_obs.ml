@@ -316,6 +316,148 @@ let test_disabled_identical () =
   Alcotest.(check (list (pair string (list int64))))
     "telemetry on/off bit-for-bit" (digest off) (digest on)
 
+(* --- flame summary with zero-duration spans --- *)
+
+let test_flame_zero_duration () =
+  Obs.with_enabled true @@ fun () ->
+  Span.reset ();
+  (* empty bodies: durations at or below clock resolution, several
+     exactly 0.0 -- the summary must not divide by a zero grand total
+     or print nan/inf *)
+  for _ = 1 to 50 do
+    Span.with_ ~name:"instant" (fun () -> ())
+  done;
+  let rows = Mae_obs.Trace.flame () in
+  Alcotest.(check int) "one aggregated row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check int) "all calls counted" 50 r.Mae_obs.Trace.calls;
+  Alcotest.(check bool) "self time finite and >= 0" true
+    (Float.is_finite r.Mae_obs.Trace.self_s && r.Mae_obs.Trace.self_s >= 0.);
+  let summary = Mae_obs.Trace.flame_summary () in
+  Alcotest.(check bool) "summary non-empty" true (String.length summary > 0);
+  let lower = String.lowercase_ascii summary in
+  let contains needle =
+    let n = String.length needle and m = String.length lower in
+    let rec at i = i + n <= m && (String.equal (String.sub lower i n) needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "no nan in summary" false (contains "nan");
+  Alcotest.(check bool) "no inf in summary" false (contains "inf");
+  Span.reset ()
+
+(* --- histogram observations at 0, huge, and negative values --- *)
+
+let test_histogram_extremes () =
+  let h =
+    Metrics.histogram "test_obs_extreme_seconds" ~buckets:[| 0.001; 1. |]
+  in
+  List.iter (Metrics.observe h) [ 0.; 1e308; -5.; Float.min_float ];
+  Alcotest.(check int) "every observation counted" 4
+    (Metrics.histogram_count h);
+  Alcotest.(check (float 1e292)) "sum is the plain total" (1e308 -. 5.)
+    (Metrics.histogram_sum h);
+  (* 0, -5 and min_float land in the first bucket, 1e308 only in +Inf;
+     the exposition must stay parseable and cumulative-monotone *)
+  let prom = Metrics.to_prometheus () in
+  let bucket le =
+    let needle =
+      Printf.sprintf "test_obs_extreme_seconds_bucket{le=\"%s\"} " le
+    in
+    let n = String.length needle in
+    String.split_on_char '\n' prom
+    |> List.find_map (fun line ->
+           if String.length line > n && String.equal (String.sub line 0 n) needle
+           then float_of_string_opt (String.sub line n (String.length line - n))
+           else None)
+    |> function
+    | Some v -> v
+    | None -> Alcotest.failf "bucket le=%s missing" le
+  in
+  Alcotest.(check (float 0.)) "first bucket holds 0/negative/min_float" 3.
+    (bucket "0.001");
+  Alcotest.(check (float 0.)) "middle bucket cumulative" 3. (bucket "1");
+  Alcotest.(check (float 0.)) "+Inf bucket = count" 4. (bucket "+Inf");
+  match Json.parse (Metrics.to_json ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "metrics JSON with extreme sums: %s" e
+
+(* --- Log: JSON-lines escaping, levels, request ids, disabled no-op --- *)
+
+module Log = Mae_obs.Log
+
+let read_log path =
+  In_channel.with_open_text path In_channel.input_lines
+  |> List.map (fun line ->
+         match Json.parse line with
+         | Ok doc -> doc
+         | Error e -> Alcotest.failf "log line not JSON (%s): %S" e line)
+
+let test_log_escaping () =
+  let path = "test_obs_log.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  (match Log.set_sink_file path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sink: %s" e);
+  Log.set_threshold (Some Log.Info);
+  let tricky = "ctl\x01\x1f tab\t nl\n quote\" backslash\\ crlf\r\n" in
+  Log.info ~event:"test.escape"
+    [
+      ("s", Log.Str tricky);
+      ("i", Log.Int (-42));
+      ("f", Log.Float 2.5);
+      ("b", Log.Bool true);
+    ];
+  Log.with_request_id "r99" (fun () ->
+      Log.warn ~event:"test.scoped" [ ("k", Log.Str "v") ]);
+  (* below threshold: dropped *)
+  Log.debug ~event:"test.dropped" [];
+  Log.set_threshold None;
+  (* disabled: dropped even at Error *)
+  Log.error ~event:"test.disabled" [];
+  Log.close ();
+  let records = read_log path in
+  Alcotest.(check int) "two records survive the threshold" 2
+    (List.length records);
+  let first = List.nth records 0 in
+  (match Json.member "s" first with
+  | Some (Json.String s) ->
+      Alcotest.(check string) "control chars and quotes round-trip" tricky s
+  | _ -> Alcotest.fail "field s missing");
+  Alcotest.(check bool) "level recorded" true
+    (Json.member "level" first = Some (Json.String "info"));
+  Alcotest.(check bool) "int field" true
+    (Option.bind (Json.member "i" first) Json.to_number = Some (-42.));
+  Alcotest.(check bool) "bool field" true
+    (Json.member "b" first = Some (Json.Bool true));
+  Alcotest.(check bool) "unscoped record has no request_id" true
+    (Json.member "request_id" first = None);
+  let second = List.nth records 1 in
+  Alcotest.(check bool) "request id scoped" true
+    (Json.member "request_id" second = Some (Json.String "r99"));
+  Alcotest.(check bool) "request id restored" true
+    (Log.current_request_id () = None);
+  Sys.remove path
+
+let test_log_levels () =
+  Alcotest.(check bool) "off by default here" false (Log.enabled Log.Error);
+  Log.set_threshold (Some Log.Warn);
+  Alcotest.(check bool) "warn on at warn" true (Log.enabled Log.Warn);
+  Alcotest.(check bool) "error on at warn" true (Log.enabled Log.Error);
+  Alcotest.(check bool) "info off at warn" false (Log.enabled Log.Info);
+  Alcotest.(check bool) "threshold readable" true
+    (Log.current_threshold () = Some Log.Warn);
+  Log.set_threshold None;
+  List.iter
+    (fun (s, l) -> Alcotest.(check bool) s true (Log.level_of_string s = l))
+    [
+      ("debug", Some Log.Debug);
+      ("info", Some Log.Info);
+      ("warn", Some Log.Warn);
+      ("warning", Some Log.Warn);
+      ("error", Some Log.Error);
+      ("verbose", None);
+    ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -339,6 +481,19 @@ let () =
             test_prometheus_format;
           Alcotest.test_case "counters match engine totals" `Quick
             test_metrics_match_engine;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "flame summary with zero-duration spans" `Quick
+            test_flame_zero_duration;
+          Alcotest.test_case "histogram at 0 / huge / negative" `Quick
+            test_histogram_extremes;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "escaping + request ids round-trip" `Quick
+            test_log_escaping;
+          Alcotest.test_case "levels and thresholds" `Quick test_log_levels;
         ] );
       ( "invariance",
         [
