@@ -3,6 +3,7 @@
    Subcommands mirror the Figure 1 pipeline and the evaluation harness:
      mae estimate  -- estimate every module of an HDL or SPICE file
      mae serve     -- resident estimation service with live telemetry
+     mae check     -- differential correctness harness over the kernels
      mae layout    -- run the place & route substrate on one module
      mae floorplan -- floor-plan the modules of an estimate database
      mae generate  -- emit a parameterized benchmark circuit as HDL
@@ -401,6 +402,133 @@ let serve_cmd =
       const run_serve $ tech_files_arg $ listen $ obs_listen $ jobs
       $ access_log $ log_level $ trace_out $ metrics_out)
 
+(* check *)
+
+let run_check trials cases seed max_rows max_degree max_nets report_out
+    metrics_out verbose =
+  reject_same_path [ ("--report", report_out); ("--metrics-out", metrics_out) ];
+  validate_out_path ~flag:"--report" report_out;
+  validate_out_path ~flag:"--metrics-out" metrics_out;
+  let config =
+    {
+      Mae_check.Harness.default with
+      trials;
+      cases;
+      seed;
+      max_rows;
+      max_degree;
+      max_nets;
+    }
+  in
+  let log = if verbose then prerr_endline else fun (_ : string) -> () in
+  let report =
+    try Mae_check.Harness.run ~log config
+    with Invalid_argument msg -> or_die (Error msg)
+  in
+  Format.printf "%a@." Mae_check.Harness.pp_report report;
+  begin
+    match report_out with
+    | None -> ()
+    | Some path ->
+        or_die
+          (try
+             let oc = open_out path in
+             output_string oc
+               (Mae_obs.Json.encode
+                  (Mae_check.Harness.report_json config report));
+             output_char oc '\n';
+             close_out oc;
+             Ok ()
+           with Sys_error msg -> Error msg);
+        Format.eprintf "check report written to %s@." path
+  end;
+  begin
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        or_die
+          (if Filename.check_suffix path ".json" then
+             Mae_obs.Metrics.write_json ~path
+           else Mae_obs.Metrics.write_prometheus ~path);
+        Format.eprintf "metrics written to %s@." path
+  end;
+  if not report.Mae_check.Harness.passed then exit 1
+
+let check_cmd =
+  let trials =
+    Arg.(
+      value & opt int Mae_check.Harness.default.trials
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Monte-Carlo trials per sweep case (default 200000).")
+  in
+  let cases =
+    Arg.(
+      value & opt int Mae_check.Harness.default.cases
+      & info [ "cases" ] ~docv:"N"
+          ~doc:"Randomized (n, D, H) sweep cases (default 64).")
+  in
+  let seed =
+    Arg.(
+      value & opt int Mae_check.Harness.default.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the case generator and of every per-case Monte-Carlo \
+             stream (runs are bit-for-bit reproducible).")
+  in
+  let max_rows =
+    Arg.(
+      value & opt int Mae_check.Harness.default.max_rows
+      & info [ "max-rows" ] ~docv:"N"
+          ~doc:
+            "Largest row count n to sweep; the exact enumerator walks all \
+             n^D placements, so keep n^D modest (default 8).")
+  in
+  let max_degree =
+    Arg.(
+      value & opt int Mae_check.Harness.default.max_degree
+      & info [ "max-degree" ] ~docv:"D"
+          ~doc:"Largest net degree D to sweep (default 5).")
+  in
+  let max_nets =
+    Arg.(
+      value & opt int Mae_check.Harness.default.max_nets
+      & info [ "max-nets" ] ~docv:"H"
+          ~doc:"Largest module net count H to sweep (default 64).")
+  in
+  let report_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable JSON report (per-family comparison \
+             counts and max deltas, shrunk reproducers for every failure, \
+             golden-row results) here.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the telemetry metrics registry (mae_check_* counters, \
+             kernel cache counters) here after the sweep: Prometheus text, \
+             or JSON when $(docv) ends in .json.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Stream per-case progress and failures to stderr as they happen.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Cross-validate the closed-form probability kernels against \
+          Monte-Carlo simulation and exact enumeration (three independent \
+          oracles; exits non-zero on any disagreement).")
+    Term.(
+      const run_check $ trials $ cases $ seed $ max_rows $ max_degree
+      $ max_nets $ report_out $ metrics_out $ verbose)
+
 (* layout *)
 
 let run_layout tech_files format input module_name methodology rows seed svg_out =
@@ -651,8 +779,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "mae" ~version:"1.0.0" ~doc)
     [
-      estimate_cmd; serve_cmd; layout_cmd; floorplan_cmd; generate_cmd;
-      processes_cmd; table1_cmd; table2_cmd;
+      estimate_cmd; serve_cmd; check_cmd; layout_cmd; floorplan_cmd;
+      generate_cmd; processes_cmd; table1_cmd; table2_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

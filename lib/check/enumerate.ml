@@ -1,0 +1,93 @@
+(* The ground-truth oracle: walk every one of the rows^degree equally
+   likely placements of a net's components and tally the quantities the
+   closed-form kernels claim to compute.  No sampling error, no
+   combinatorial identities -- just counting.  Kept deliberately naive;
+   its only job is to be obviously correct. *)
+
+let max_states = 10_000_000
+
+type t = {
+  rows : int;
+  degree : int;
+  placements : int;
+  span_counts : int array;
+  feed_counts : int array;
+}
+
+let state_count ~rows ~degree =
+  let rec go acc i =
+    if i = 0 then acc
+    else if acc > max_states / rows then
+      invalid_arg
+        (Printf.sprintf
+           "Enumerate.net: rows^degree = %d^%d exceeds the %d-state budget"
+           rows degree max_states)
+    else go (acc * rows) (i - 1)
+  in
+  go 1 degree
+
+let net ~rows ~degree =
+  if rows < 1 then invalid_arg "Enumerate.net: rows < 1";
+  if degree < 1 then invalid_arg "Enumerate.net: degree < 1";
+  let placements = state_count ~rows ~degree in
+  let span_counts = Array.make (rows + 1) 0 in
+  let feed_counts = Array.make rows 0 in
+  let assign = Array.make degree 0 in
+  let occupied = Array.make rows false in
+  let running = ref true in
+  while !running do
+    Array.fill occupied 0 rows false;
+    let lowest = ref rows and highest = ref (-1) in
+    Array.iter
+      (fun r ->
+        occupied.(r) <- true;
+        if r < !lowest then lowest := r;
+        if r > !highest then highest := r)
+      assign;
+    let span = ref 0 in
+    for r = 0 to rows - 1 do
+      if occupied.(r) then incr span
+    done;
+    span_counts.(!span) <- span_counts.(!span) + 1;
+    (* same event as the simulator and equation (5): a feed-through
+       crosses row r+1 when components sit strictly above and strictly
+       below it *)
+    for r = !lowest + 1 to !highest - 1 do
+      feed_counts.(r) <- feed_counts.(r) + 1
+    done;
+    (* odometer: next placement in lexicographic order *)
+    let rec bump i =
+      if i < 0 then running := false
+      else if assign.(i) + 1 < rows then assign.(i) <- assign.(i) + 1
+      else begin
+        assign.(i) <- 0;
+        bump (i - 1)
+      end
+    in
+    bump (degree - 1)
+  done;
+  { rows; degree; placements; span_counts; feed_counts }
+
+let span_prob t span =
+  if span < 0 || span > t.rows then 0.
+  else Float.of_int t.span_counts.(span) /. Float.of_int t.placements
+
+let span_dist t =
+  Mae_prob.Dist.of_weights
+    (List.filter_map
+       (fun s ->
+         if t.span_counts.(s) = 0 then None
+         else Some (s, Float.of_int t.span_counts.(s)))
+       (List.init t.rows (fun i -> i + 1)))
+
+let expected_span t =
+  let sum = ref 0. in
+  for s = 1 to t.rows do
+    sum := !sum +. (Float.of_int s *. Float.of_int t.span_counts.(s))
+  done;
+  !sum /. Float.of_int t.placements
+
+let feed_prob t ~row =
+  if row < 1 || row > t.rows then
+    invalid_arg "Enumerate.feed_prob: row out of range";
+  Float.of_int t.feed_counts.(row - 1) /. Float.of_int t.placements

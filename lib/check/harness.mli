@@ -1,0 +1,77 @@
+(** The differential correctness harness behind [mae check].
+
+    Three independent oracles are compared over randomized
+    {!Mae_workload.Sweep} cases [(n, D, H)]:
+
+    - the closed-form kernels the pipeline serves
+      ({!Mae_prob.Kernel_cache}, {!Mae.Feedthrough});
+    - the Monte-Carlo simulator ({!Mae_prob.Montecarlo}), judged inside
+      a z-sigma Wilson interval;
+    - the exact enumerator ({!Enumerate}), compared to the closed forms
+      to a hard tolerance (1e-12 by default).
+
+    Any failing case is shrunk to a minimal reproducer.  The paper's
+    Table 1 / Table 2 estimator outputs are pinned as golden rows.
+    Progress and totals flow through {!Mae_obs} counters and spans
+    ([mae_check_cases_total], [mae_check_comparisons_total],
+    [mae_check_violations_total]; spans [check.run] / [check.case]). *)
+
+type config = {
+  trials : int;  (** Monte-Carlo trials per case *)
+  cases : int;  (** randomized sweep cases *)
+  seed : int;
+  max_rows : int;  (** n ceiling for the enumeration envelope *)
+  max_degree : int;  (** D ceiling *)
+  max_nets : int;  (** H ceiling *)
+  exact_tol : float;  (** exact-vs-closed-form tolerance *)
+  eq5_tol : float;  (** eq. (5) double sum vs closed form *)
+  mc_z : float;  (** Wilson interval width in sigmas *)
+}
+
+val default : config
+(** trials 200000, cases 64, seed 42, n <= 8, D <= 5, H <= 64,
+    exact_tol 1e-12, eq5_tol 1e-10, z = 4. *)
+
+type finding = {
+  check : string;  (** family name, e.g. ["span.exact_vs_enum"] *)
+  case : Mae_workload.Sweep.case;  (** as drawn by the sweep *)
+  shrunk : Mae_workload.Sweep.case;  (** minimal failing reproducer *)
+  delta : float;  (** observed |difference| at the shrunk case *)
+  bound : float;  (** the tolerance it exceeded *)
+  detail : string;
+}
+
+type family_stat = { family : string; comparisons : int; max_delta : float }
+
+type golden_result = {
+  label : string;
+  expected : float;
+  actual : float;
+  ok : bool;
+}
+
+type report = {
+  cases_run : int;
+  comparisons : int;
+  families : family_stat list;
+  findings : finding list;  (** empty iff every comparison held *)
+  golden : golden_result list;
+  passed : bool;
+}
+
+val run : ?log:(string -> unit) -> config -> report
+(** Run the full sweep plus the golden rows.  [log] receives progress
+    and failure lines as they happen.  Deterministic for a given
+    [config] (every Monte-Carlo stream is derived from [seed] and the
+    case coordinates).  Raises [Invalid_argument] on a non-positive
+    config field. *)
+
+val derive_goldens : unit -> (string * float) list
+(** Recompute the golden Table 1 / Table 2 rows from the live estimator
+    (label, value) -- the source of the pinned constants, exposed so
+    they can be regenerated when the model intentionally changes. *)
+
+val report_json : config -> report -> Mae_obs.Json.t
+(** The machine-readable report ([mae check --report]). *)
+
+val pp_report : Format.formatter -> report -> unit

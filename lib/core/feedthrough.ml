@@ -28,17 +28,24 @@ let prob_in_row ~rows ~degree ~row =
   !total
 
 (* P(feed) = 1 - P(none above) - P(none below) + P(none above & none below).
-   "Not above" happens with probability (n-i+1)/n per component, etc. *)
+   "Not above" happens with probability (n-i+1)/n per component, etc.
+   The four terms cancel only approximately in floats: at a boundary row
+   the true probability is exactly 0 but the alternating sum leaves a
+   residual of order one ulp, which can be *negative* -- the
+   differential harness caught the closed form returning -5.6e-17.
+   Clamp to [0, 1]. *)
 let closed_form ~rows ~degree ~row_position =
   let n = Float.of_int rows in
   let d = degree in
   let not_above = (n -. row_position +. 1.) /. n in
   let not_below = row_position /. n in
   let inside = 1. /. n in
-  1.
-  -. Mae_prob.Comb.float_pow not_above d
-  -. Mae_prob.Comb.float_pow not_below d
-  +. Mae_prob.Comb.float_pow inside d
+  Float.max 0.
+    (Float.min 1.
+       (1.
+       -. Mae_prob.Comb.float_pow not_above d
+       -. Mae_prob.Comb.float_pow not_below d
+       +. Mae_prob.Comb.float_pow inside d))
 
 let prob_in_row_closed ~rows ~degree ~row =
   check_args ~rows ~degree ~row;
@@ -51,6 +58,9 @@ let central_row ~rows =
 let argmax_row ~rows ~degree =
   if rows < 1 then invalid_arg "Feedthrough.argmax_row: rows < 1";
   if degree < 1 then invalid_arg "Feedthrough.argmax_row: degree < 1";
+  (* Strict improvement beyond 1e-15, the tolerance shared with
+     [Montecarlo.argmax_feed_through]: an even row count has two equal
+     central rows and both argmaxes must resolve to the lower one. *)
   let best = ref 1 and best_p = ref Float.neg_infinity in
   for row = 1 to rows do
     let p = prob_in_row_closed ~rows ~degree ~row in

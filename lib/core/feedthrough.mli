@@ -25,8 +25,10 @@ val central_row : rows:int -> float
     half-integral for an even row count. *)
 
 val argmax_row : rows:int -> degree:int -> int
-(** The integer row maximizing {!prob_in_row} (smallest on ties).  The
-    paper's claim, verified by tests: this is always a central row. *)
+(** The integer row maximizing {!prob_in_row} (lower row on ties, under
+    the same 1e-15 tolerance as [Montecarlo.argmax_feed_through]; for an
+    even row count the two central rows tie exactly and the lower wins).
+    The paper's claim, verified by tests: this is always a central row. *)
 
 val prob_central : rows:int -> degree:int -> float
 (** Equation (8): {!prob_in_row_closed} evaluated at the (possibly

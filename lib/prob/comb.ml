@@ -28,19 +28,6 @@ let log_choose n k =
   if k < 0 || k > n then Float.neg_infinity
   else log_factorial n -. log_factorial k -. log_factorial (n - k)
 
-let choose n k =
-  if k < 0 || k > n then 0.
-  else if n <= 30 then begin
-    (* exact product form for small n, avoiding exp/log round-off *)
-    let k = Stdlib.min k (n - k) in
-    let rec go acc i =
-      if i > k then acc
-      else go (acc *. Float.of_int (n - k + i) /. Float.of_int i) (i + 1)
-    in
-    Float.round (go 1. 1)
-  end
-  else Float.exp (log_choose n k)
-
 let choose_int n k =
   if k < 0 || k > n then 0
   else begin
@@ -56,6 +43,19 @@ let choose_int n k =
     in
     go 1 1
   end
+
+let choose n k =
+  if k < 0 || k > n then 0.
+  else
+    (* The exact integer product is used for every argument it can
+       represent: [choose_int] checks its own intermediates, so the
+       threshold is the true 63-bit overflow limit rather than an
+       arbitrary small-n cutoff (the old [n <= 30] cliff left e.g.
+       C(31,15) to exp/log round-off).  Only genuinely huge binomials
+       fall back to log space. *)
+    match choose_int n k with
+    | v -> Float.of_int v
+    | exception Invalid_argument _ -> Float.exp (log_choose n k)
 
 let float_pow x n =
   if n < 0 then invalid_arg "Comb.float_pow: negative exponent";

@@ -14,11 +14,13 @@ val log_choose : int -> int -> float
 (** [log_choose n k] = ln(C(n,k)); [neg_infinity] when [k < 0 || k > n]. *)
 
 val choose : int -> int -> float
-(** C(n,k) as a float (exact for small arguments, via exp/log otherwise). *)
+(** C(n,k) as a float: the exact integer product whenever it fits in 63
+    bits (every n up to ~61 for central k, much further for small k),
+    exp/log only beyond that. *)
 
 val choose_int : int -> int -> int
-(** Exact C(n,k) by Pascal recurrence; raises [Invalid_argument] if the
-    result would overflow a 63-bit integer. *)
+(** Exact C(n,k) by the rising product; raises [Invalid_argument] if an
+    intermediate would overflow a 63-bit integer. *)
 
 val surjections : int -> int -> float
 (** [surjections d i] counts the functions from a [d]-element set onto an

@@ -1,10 +1,22 @@
 type t = { outcomes : int array; probs : float array }
 
 let of_weights weights =
-  let weights = List.sort (fun (a, _) (b, _) -> Int.compare a b) weights in
-  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
   if List.exists (fun (_, w) -> w < 0.) weights then
     invalid_arg "Dist.of_weights: negative weight";
+  let weights = List.sort (fun (a, _) (b, _) -> Int.compare a b) weights in
+  (* Duplicate outcomes carry one combined mass.  Kept separate, [prob]
+     would report only the first entry's share while [expectation] and
+     [sample] silently counted both. *)
+  let weights =
+    List.rev
+      (List.fold_left
+         (fun acc (x, w) ->
+           match acc with
+           | (y, wy) :: rest when y = x -> (y, wy +. w) :: rest
+           | _ -> (x, w) :: acc)
+         [] weights)
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
   if total <= 0. then invalid_arg "Dist.of_weights: zero total mass";
   let outcomes = Array.of_list (List.map fst weights) in
   let probs = Array.of_list (List.map (fun (_, w) -> w /. total) weights) in
@@ -31,9 +43,26 @@ let expectation t =
   !sum
 
 let expectation_ceil t =
-  (* A tiny slack keeps values such as 2.0000000000000004, produced by
-     round-off in the probability sums, from being rounded up to 3. *)
-  Float.to_int (Float.ceil (expectation t -. 1e-9))
+  (* A slack keeps values such as 2.0000000000000004, produced by
+     round-off in the probability sums, from being rounded up to 3.  It
+     must scale with the accumulated numerical error of this particular
+     distribution: a fixed 1e-9 also swallowed genuinely fractional
+     expectations such as 2 + 4e-10 (a large-H binomial can sit that
+     close to an integer), rounding them down.  The round-off in
+     [expectation] is bounded by (mass error + one ulp per term) times
+     the largest outcome magnitude. *)
+  let e = expectation t in
+  let max_abs =
+    Array.fold_left
+      (fun acc x -> Float.max acc (Float.abs (Float.of_int x)))
+      1. t.outcomes
+  in
+  let slack =
+    (total_mass_error t
+    +. (Float.of_int (Array.length t.outcomes) *. Float.epsilon))
+    *. max_abs
+  in
+  Float.to_int (Float.ceil (e -. slack))
 
 let mode t =
   let best = ref 0 in

@@ -5,8 +5,9 @@ type t
 (** A distribution: integer outcomes with non-negative weights. *)
 
 val of_weights : (int * float) list -> t
-(** Normalizes the weights; raises [Invalid_argument] if any weight is
-    negative or the total is zero. *)
+(** Normalizes the weights; duplicate outcomes are merged (their weights
+    add).  Raises [Invalid_argument] if any weight is negative or the
+    total is zero. *)
 
 val prob : t -> int -> float
 (** Probability of an outcome (0 for outcomes outside the support). *)
@@ -21,7 +22,9 @@ val expectation : t -> float
 
 val expectation_ceil : t -> int
 (** Expectation rounded up to the next integer, as the paper prescribes for
-    E(i) (eq. 3) and E(M) (eq. 11). *)
+    E(i) (eq. 3) and E(M) (eq. 11).  A slack proportional to the
+    distribution's accumulated mass error absorbs round-off just above an
+    integer without swallowing genuinely fractional expectations. *)
 
 val mode : t -> int
 (** Outcome with the highest probability (smallest such outcome on ties). *)

@@ -3,10 +3,18 @@ type placement_stats = {
   feed_through : float array;
 }
 
-let simulate_net ~rng ~trials ~rows ~degree =
-  if rows < 1 then invalid_arg "Montecarlo.simulate_net: rows < 1";
-  if degree < 1 then invalid_arg "Montecarlo.simulate_net: degree < 1";
-  if trials < 1 then invalid_arg "Montecarlo.simulate_net: trials < 1";
+type counts = {
+  trials : int;
+  rows : int;
+  degree : int;
+  span_counts : int array;
+  feed_counts : int array;
+}
+
+let simulate_counts ~rng ~trials ~rows ~degree =
+  if rows < 1 then invalid_arg "Montecarlo.simulate_counts: rows < 1";
+  if degree < 1 then invalid_arg "Montecarlo.simulate_counts: degree < 1";
+  if trials < 1 then invalid_arg "Montecarlo.simulate_counts: trials < 1";
   let span_counts = Array.make (rows + 1) 0 in
   let feed_counts = Array.make rows 0 in
   let occupied = Array.make rows false in
@@ -30,21 +38,43 @@ let simulate_net ~rng ~trials ~rows ~degree =
       feed_counts.(r) <- feed_counts.(r) + 1
     done
   done;
+  { trials; rows; degree; span_counts; feed_counts }
+
+let stats_of_counts c =
   let weights =
-    List.init rows (fun i -> (i + 1, Float.of_int span_counts.(i + 1)))
+    List.init c.rows (fun i -> (i + 1, Float.of_int c.span_counts.(i + 1)))
   in
   let rows_used = Dist.of_weights weights in
   let feed_through =
-    Array.map (fun c -> Float.of_int c /. Float.of_int trials) feed_counts
+    Array.map (fun n -> Float.of_int n /. Float.of_int c.trials) c.feed_counts
   in
   { rows_used; feed_through }
+
+let simulate_net ~rng ~trials ~rows ~degree =
+  stats_of_counts (simulate_counts ~rng ~trials ~rows ~degree)
 
 let empirical_rows_used ~rng ~trials ~rows ~degree =
   (simulate_net ~rng ~trials ~rows ~degree).rows_used
 
+let span_interval c ~z ~span =
+  if span < 0 || span > c.rows then
+    invalid_arg "Montecarlo.span_interval: span out of range";
+  Stats.wilson_interval ~successes:c.span_counts.(span) ~trials:c.trials ~z
+
+let feed_interval c ~z ~row =
+  if row < 1 || row > c.rows then
+    invalid_arg "Montecarlo.feed_interval: row out of range";
+  Stats.wilson_interval ~successes:c.feed_counts.(row - 1) ~trials:c.trials ~z
+
+(* The same strict-improvement tolerance as [Feedthrough.argmax_row]:
+   the two equal central rows of an even row count may differ by one ulp
+   of round-off in the empirical frequencies, and a plain [>] then picks
+   whichever of the pair the noise favours; requiring an improvement
+   beyond 1e-15 keeps ties (and ulp-level near-ties) on the lower row,
+   matching the closed-form argmax. *)
 let argmax_feed_through stats =
   let best = ref 0 in
   Array.iteri
-    (fun i p -> if p > stats.feed_through.(!best) then best := i)
+    (fun i p -> if p > stats.feed_through.(!best) +. 1e-15 then best := i)
     stats.feed_through;
   !best + 1

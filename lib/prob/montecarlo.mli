@@ -18,14 +18,47 @@ type placement_stats = {
           still cross the row to join the two sides). *)
 }
 
+type counts = {
+  trials : int;
+  rows : int;
+  degree : int;
+  span_counts : int array;
+      (** [span_counts.(s)] placements spanned exactly [s] rows
+          ([span_counts.(0)] is always 0); length [rows + 1]. *)
+  feed_counts : int array;
+      (** [feed_counts.(i)] placements that fed through row i+1;
+          length [rows]. *)
+}
+(** Raw tallies, for confidence-interval work: the differential harness
+    needs the integer counts, not just the normalized frequencies. *)
+
+val simulate_counts :
+  rng:Rng.t -> trials:int -> rows:int -> degree:int -> counts
+(** Drop [degree] components into [rows] rows uniformly, [trials] times,
+    and return the raw tallies.  Raises [Invalid_argument] when
+    [rows < 1], [degree < 1] or [trials < 1]. *)
+
+val stats_of_counts : counts -> placement_stats
+(** Normalize raw tallies into empirical frequencies. *)
+
 val simulate_net : rng:Rng.t -> trials:int -> rows:int -> degree:int -> placement_stats
-(** Drop [degree] components into [rows] rows uniformly, [trials] times.
-    Raises [Invalid_argument] when [rows < 1], [degree < 1] or
-    [trials < 1]. *)
+(** [stats_of_counts (simulate_counts ...)]. *)
 
 val empirical_rows_used : rng:Rng.t -> trials:int -> rows:int -> degree:int -> Dist.t
 (** Shorthand for [(simulate_net ...).rows_used]. *)
 
+val span_interval : counts -> z:float -> span:int -> float * float
+(** {!Stats.wilson_interval} for P(span = [span]).  Raises
+    [Invalid_argument] when [span] is outside [0, rows]. *)
+
+val feed_interval : counts -> z:float -> row:int -> float * float
+(** {!Stats.wilson_interval} for the feed-through probability of the
+    1-based [row].  Raises [Invalid_argument] when [row] is outside
+    [1, rows]. *)
+
 val argmax_feed_through : placement_stats -> int
 (** 1-based index of the row with the highest empirical feed-through
-    probability (smallest index on ties). *)
+    probability.  A candidate must beat the incumbent by more than 1e-15
+    — the same tie tolerance as [Feedthrough.argmax_row] — so the two
+    equal central rows of an even row count resolve to the lower one on
+    both sides of the differential comparison. *)

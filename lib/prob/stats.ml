@@ -35,6 +35,21 @@ let relative_error ~estimated ~real =
   if real = 0. then invalid_arg "Stats.relative_error: real value is zero";
   (estimated -. real) /. real
 
+let wilson_interval ~successes ~trials ~z =
+  if trials < 1 then invalid_arg "Stats.wilson_interval: trials < 1";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes outside [0, trials]";
+  if z <= 0. then invalid_arg "Stats.wilson_interval: z <= 0";
+  let n = Float.of_int trials in
+  let p = Float.of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z *. Float.sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) /. denom
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))
+
 let histogram ~bins xs =
   require_nonempty "Stats.histogram" xs;
   if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";

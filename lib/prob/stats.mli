@@ -23,6 +23,16 @@ val relative_error : estimated:float -> real:float -> float
 (** (estimated - real) / real.  Positive means overestimate.  Raises
     [Invalid_argument] if [real = 0]. *)
 
+val wilson_interval :
+  successes:int -> trials:int -> z:float -> float * float
+(** Wilson score interval for a binomial proportion: the [z]-sigma
+    confidence bounds on the true success probability after observing
+    [successes] out of [trials].  Clamped to [0, 1].  Unlike the Wald
+    interval it stays meaningful at 0 or [trials] successes, which the
+    differential harness hits routinely on rare outcomes.  Raises
+    [Invalid_argument] when [trials < 1], [successes] is outside
+    [0, trials] or [z <= 0]. *)
+
 val histogram : bins:int -> float list -> (float * float * int) array
 (** [(lo, hi, count)] per bin over the data range; raises
     [Invalid_argument] on an empty list or [bins < 1]. *)

@@ -1,0 +1,34 @@
+type case = { rows : int; degree : int; nets : int }
+
+let pp_case ppf c =
+  Format.fprintf ppf "(n=%d, D=%d, H=%d)" c.rows c.degree c.nets
+
+let case_to_string c = Format.asprintf "%a" pp_case c
+
+let random_case ~rng ~max_rows ~max_degree ~max_nets =
+  if max_rows < 1 then invalid_arg "Sweep.random_case: max_rows < 1";
+  if max_degree < 1 then invalid_arg "Sweep.random_case: max_degree < 1";
+  if max_nets < 1 then invalid_arg "Sweep.random_case: max_nets < 1";
+  {
+    rows = 1 + Mae_prob.Rng.int rng max_rows;
+    degree = 1 + Mae_prob.Rng.int rng max_degree;
+    nets = 1 + Mae_prob.Rng.int rng max_nets;
+  }
+
+(* Strictly smaller candidates, biggest reductions first, so a greedy
+   shrink loop converges in O(log) steps per coordinate.  Every
+   candidate keeps all three coordinates >= 1. *)
+let shrink c =
+  let reductions x =
+    List.filter
+      (fun v -> v >= 1 && v < x)
+      (List.sort_uniq Int.compare [ 1; x / 2; x - 1 ])
+  in
+  List.concat
+    [
+      List.map (fun rows -> { c with rows }) (reductions c.rows);
+      List.map (fun degree -> { c with degree }) (reductions c.degree);
+      List.map (fun nets -> { c with nets }) (reductions c.nets);
+    ]
+
+let size c = c.rows + c.degree + c.nets

@@ -1,0 +1,28 @@
+(** Randomized parameter cases for the differential correctness harness.
+
+    The probability kernels under test are indexed by the row count [n],
+    the net degree [D] and the module net count [H]; a sweep case is one
+    such triple.  {!random_case} draws them uniformly from a seeded
+    generator and {!shrink} proposes strictly smaller candidates so a
+    failing case can be reduced to a minimal reproducer. *)
+
+type case = { rows : int; degree : int; nets : int }
+(** [(n, D, H)]: rows of the module, components of the net, nets of the
+    module.  All coordinates are >= 1. *)
+
+val random_case :
+  rng:Mae_prob.Rng.t -> max_rows:int -> max_degree:int -> max_nets:int -> case
+(** Uniform over [1..max_rows] x [1..max_degree] x [1..max_nets].
+    Raises [Invalid_argument] when any maximum is < 1. *)
+
+val shrink : case -> case list
+(** Strictly smaller candidate cases (each differs from the input in one
+    coordinate), largest reduction first; empty iff the case is already
+    the minimal [(1, 1, 1)]. *)
+
+val size : case -> int
+(** [rows + degree + nets]: the measure {!shrink} strictly decreases. *)
+
+val pp_case : Format.formatter -> case -> unit
+
+val case_to_string : case -> string

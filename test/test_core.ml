@@ -87,6 +87,96 @@ let test_feedthrough_eq5_equals_closed_form () =
     done
   done
 
+(* Satellite of the differential-harness PR: the double sum of
+   equation (5) and its closed form must agree to 1e-10 over the whole
+   grid the estimators can reach, including the degenerate degree = 1
+   and the boundary rows where the alternating closed form nearly
+   cancels. The older random property above only sampled the grid at a
+   looser 1e-9. *)
+let test_feedthrough_eq5_exhaustive_grid () =
+  for rows = 1 to 32 do
+    for degree = 1 to 16 do
+      List.iter
+        (fun row ->
+          let a = Mae.Feedthrough.prob_in_row ~rows ~degree ~row in
+          let b = Mae.Feedthrough.prob_in_row_closed ~rows ~degree ~row in
+          if Float.abs (a -. b) > 1e-10 then
+            Alcotest.failf "n=%d D=%d i=%d: sum %.17g closed %.17g" rows degree
+              row a b)
+        (List.sort_uniq Int.compare
+           [ 1; 2; (rows + 1) / 2; rows - 1; rows ]
+        |> List.filter (fun r -> r >= 1 && r <= rows))
+    done
+  done;
+  (* plus the full row range on a denser low grid *)
+  for rows = 1 to 12 do
+    for degree = 1 to 16 do
+      for row = 1 to rows do
+        let a = Mae.Feedthrough.prob_in_row ~rows ~degree ~row in
+        let b = Mae.Feedthrough.prob_in_row_closed ~rows ~degree ~row in
+        if Float.abs (a -. b) > 1e-10 then
+          Alcotest.failf "n=%d D=%d i=%d: sum %.17g closed %.17g" rows degree
+            row a b
+      done
+    done
+  done
+
+(* Regression: the closed form's alternating sum left a one-ulp
+   *negative* residual at boundary rows (the harness shrank the
+   disagreement to n=5 D=1 and n=3 D=2), and probabilities must never
+   leave [0, 1]. *)
+let test_feedthrough_closed_form_clamped () =
+  (* the shrunk reproducers from the differential harness *)
+  let p51 = Mae.Feedthrough.prob_in_row_closed ~rows:5 ~degree:1 ~row:5 in
+  Alcotest.(check bool) "n=5 D=1 i=5 >= 0" true (p51 >= 0.);
+  S.check_float ~eps:1e-15 "n=5 D=1 i=5 ~ 0" 0. p51;
+  let p32 = Mae.Feedthrough.prob_in_row_closed ~rows:3 ~degree:2 ~row:3 in
+  Alcotest.(check bool) "n=3 D=2 i=3 >= 0" true (p32 >= 0.);
+  (* and globally: every probability the closed form can produce *)
+  for rows = 1 to 16 do
+    for degree = 1 to 10 do
+      for row = 1 to rows do
+        let p = Mae.Feedthrough.prob_in_row_closed ~rows ~degree ~row in
+        if p < 0. || p > 1. then
+          Alcotest.failf "n=%d D=%d i=%d: %.17g outside [0,1]" rows degree row p
+      done;
+      let pc = Mae.Feedthrough.prob_central ~rows ~degree in
+      if pc < 0. || pc > 1. then
+        Alcotest.failf "central n=%d D=%d: %.17g outside [0,1]" rows degree pc
+    done
+  done
+
+(* Regression: on an even row count the two central rows have exactly
+   symmetric probabilities; argmax_row must resolve the tie to the
+   *lower* one (with the 1e-15 tolerance it shares with
+   [Montecarlo.argmax_feed_through]), never drift to the upper row on
+   rounding noise. *)
+let test_feedthrough_argmax_tie_even_odd () =
+  for half = 1 to 8 do
+    let rows = 2 * half in
+    for degree = 2 to 8 do
+      (* the two central rows are tied by symmetry up to the one-ulp
+         noise of the subtraction order -- precisely the gap the shared
+         1e-15 tolerance must absorb *)
+      S.check_float ~eps:1e-15 "central pair tied"
+        (Mae.Feedthrough.prob_in_row_closed ~rows ~degree ~row:half)
+        (Mae.Feedthrough.prob_in_row_closed ~rows ~degree ~row:(half + 1));
+      Alcotest.(check int)
+        (Printf.sprintf "even n=%d D=%d picks lower" rows degree)
+        half
+        (Mae.Feedthrough.argmax_row ~rows ~degree)
+    done
+  done;
+  for half = 1 to 8 do
+    let rows = (2 * half) + 1 in
+    for degree = 2 to 8 do
+      Alcotest.(check int)
+        (Printf.sprintf "odd n=%d D=%d picks center" rows degree)
+        (half + 1)
+        (Mae.Feedthrough.argmax_row ~rows ~degree)
+    done
+  done
+
 let test_feedthrough_symmetry () =
   (* P(i) = P(n+1-i): top and bottom are interchangeable *)
   let rows = 8 and degree = 4 in
@@ -681,6 +771,12 @@ let () =
         [
           Alcotest.test_case "eq5 = closed form" `Quick
             test_feedthrough_eq5_equals_closed_form;
+          Alcotest.test_case "eq5 = closed form (exhaustive, 1e-10)" `Quick
+            test_feedthrough_eq5_exhaustive_grid;
+          Alcotest.test_case "closed form clamped to [0,1]" `Quick
+            test_feedthrough_closed_form_clamped;
+          Alcotest.test_case "argmax tie: even/odd rows" `Quick
+            test_feedthrough_argmax_tie_even_odd;
           Alcotest.test_case "symmetry" `Quick test_feedthrough_symmetry;
           Alcotest.test_case "edge rows zero" `Quick test_feedthrough_edge_rows_zero;
           Alcotest.test_case "central argmax" `Quick test_feedthrough_central_argmax;

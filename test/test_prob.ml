@@ -22,6 +22,40 @@ let test_choose () =
   S.check_close ~rel:1e-9 "C(60,30) via logs" 1.18264581564861424e17
     (Comb.choose 60 30)
 
+(* Regression: the old [choose] switched to exp/log at n = 31 even
+   though 63-bit ints hold every C(n, k) up to n = 64 exactly, so
+   C(31, 15) came back 300540194.99999994.  It must be exact now, and
+   the exact-to-logarithmic hand-off (wherever it lands) must be
+   continuous under Pascal's rule. *)
+let test_choose_exact_through_word_size () =
+  S.check_float ~eps:0. "C(31,15)" 300540195. (Comb.choose 31 15);
+  S.check_float ~eps:0. "C(32,16)" 601080390. (Comb.choose 32 16);
+  S.check_float ~eps:0. "C(33,16)" 1166803110. (Comb.choose 33 16);
+  (* every value that fits an OCaml int is exact, right across the old
+     n = 30/31 cliff *)
+  for n = 28 to 60 do
+    let k = n / 2 in
+    S.check_float ~eps:0.
+      (Printf.sprintf "C(%d,%d) exact" n k)
+      (Float.of_int (Comb.choose_int n k))
+      (Comb.choose n k)
+  done;
+  (* Pascal continuity across the exact-to-log switch: C(65,k) mixes
+     exact C(64,.) operands with a possibly-logarithmic result *)
+  for n = 64 to 66 do
+    S.check_close ~rel:1e-12
+      (Printf.sprintf "pascal at n=%d" n)
+      (Comb.choose (n - 1) 31 +. Comb.choose (n - 1) 32)
+      (Comb.choose n 32)
+  done;
+  (* and across the log_factorial table/Stirling switch at 4096 *)
+  for n = 4095 to 4097 do
+    S.check_close ~rel:1e-9
+      (Printf.sprintf "pascal at n=%d" n)
+      (Comb.choose (n - 1) 99 +. Comb.choose (n - 1) 100)
+      (Comb.choose n 100)
+  done
+
 let test_choose_int () =
   Alcotest.(check int) "C(10,3)" 120 (Comb.choose_int 10 3);
   Alcotest.(check int) "C(52,5)" 2598960 (Comb.choose_int 52 5);
@@ -199,12 +233,48 @@ let test_dist_normalizes () =
   S.raises_invalid (fun () -> Dist.of_weights [ (1, -1.) ]);
   S.raises_invalid (fun () -> Dist.of_weights [ (1, 0.) ])
 
+(* Regression: [of_weights] used to keep duplicate outcomes as separate
+   entries, so [prob] (binary search -> first hit) under-reported the
+   outcome's mass while [expectation] counted all of it. Duplicates must
+   merge at construction. *)
+let test_dist_merges_duplicates () =
+  let d = Dist.of_weights [ (1, 2.); (2, 6.); (1, 2.) ] in
+  Alcotest.(check (list int)) "support deduplicated" [ 1; 2 ] (Dist.support d);
+  S.check_float "P(1) = merged mass" 0.4 (Dist.prob d 1);
+  S.check_float "P(2)" 0.6 (Dist.prob d 2);
+  S.check_float "E consistent with prob" 1.6 (Dist.expectation d);
+  S.check_float "mass error" 0. (Dist.total_mass_error d);
+  (* merging happens before normalization, so order cannot matter *)
+  let d' = Dist.of_weights [ (2, 3.); (1, 2.); (2, 3.); (1, 2.) ] in
+  List.iter
+    (fun o -> S.check_float (Printf.sprintf "order-free P(%d)" o)
+        (Dist.prob d o) (Dist.prob d' o))
+    (Dist.support d)
+
 let test_dist_expectation () =
   let d = Dist.of_weights [ (1, 1.); (3, 1.) ] in
   S.check_float "E" 2. (Dist.expectation d);
   Alcotest.(check int) "ceil of exact" 2 (Dist.expectation_ceil d);
   let d2 = Dist.of_weights [ (1, 3.); (2, 1.) ] in
   Alcotest.(check int) "ceil rounds up" 2 (Dist.expectation_ceil d2)
+
+(* Regression: [expectation_ceil] used a fixed 1e-9 slack, which both
+   swallowed genuine excesses just above an integer and was too small
+   for wide distributions whose accumulated rounding error exceeds it.
+   The slack now scales with the distribution's own mass error. *)
+let test_dist_expectation_ceil_slack () =
+  (* a genuine excess of 4e-10 over 2 must still round up: the fixed
+     1e-9 slack used to eat it and return 2 *)
+  let d = Dist.of_weights [ (2, 1. -. 4e-10); (3, 4e-10) ] in
+  Alcotest.(check int) "tiny real excess rounds up" 3 (Dist.expectation_ceil d);
+  (* exact integer expectations must not round up on rounding noise,
+     even for distributions with many terms *)
+  Alcotest.(check int) "binomial mean 100 * 0.02" 2
+    (Dist.expectation_ceil (Dist.binomial ~n:100 ~p:0.02));
+  Alcotest.(check int) "binomial mean 400 * 0.25" 100
+    (Dist.expectation_ceil (Dist.binomial ~n:400 ~p:0.25));
+  Alcotest.(check int) "two-point integer mean" 2
+    (Dist.expectation_ceil (Dist.of_weights [ (1, 1.); (3, 1.) ]))
 
 let test_dist_mode_support () =
   let d = Dist.of_weights [ (5, 1.); (2, 3.); (9, 2.) ] in
@@ -250,6 +320,28 @@ let test_stats_basics () =
   S.raises_invalid (fun () -> Stats.mean []);
   S.raises_invalid (fun () -> Stats.relative_error ~estimated:1. ~real:0.)
 
+let test_wilson_interval () =
+  (* symmetric at p-hat = 1/2: known closed-form value for z=1.96, n=100 *)
+  let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 ~z:1.96 in
+  S.check_close ~rel:1e-4 "lo at p=0.5" 0.40383 lo;
+  S.check_close ~rel:1e-4 "hi at p=0.5" 0.59617 hi;
+  (* stays meaningful at the extremes, unlike Wald *)
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:50 ~z:4. in
+  S.check_float "0 successes: lo = 0" 0. lo0;
+  Alcotest.(check bool) "0 successes: hi > 0" true (hi0 > 0.);
+  let lo1, hi1 = Stats.wilson_interval ~successes:50 ~trials:50 ~z:4. in
+  Alcotest.(check bool) "all successes: lo < 1" true (lo1 < 1.);
+  S.check_float "all successes: hi = 1" 1. hi1;
+  (* wider z, wider interval, always inside [0, 1] *)
+  let lo2, hi2 = Stats.wilson_interval ~successes:3 ~trials:10 ~z:1. in
+  let lo4, hi4 = Stats.wilson_interval ~successes:3 ~trials:10 ~z:4. in
+  Alcotest.(check bool) "z grows the interval" true (lo4 < lo2 && hi4 > hi2);
+  Alcotest.(check bool) "clamped" true (lo4 >= 0. && hi4 <= 1.);
+  S.raises_invalid (fun () -> Stats.wilson_interval ~successes:1 ~trials:0 ~z:2.);
+  S.raises_invalid (fun () -> Stats.wilson_interval ~successes:5 ~trials:4 ~z:2.);
+  S.raises_invalid (fun () -> Stats.wilson_interval ~successes:(-1) ~trials:4 ~z:2.);
+  S.raises_invalid (fun () -> Stats.wilson_interval ~successes:1 ~trials:4 ~z:0.)
+
 let test_stats_histogram () =
   let h = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
   Alcotest.(check int) "bins" 2 (Array.length h);
@@ -283,6 +375,76 @@ let test_montecarlo_feed_central_max () =
         Alcotest.failf "rows=%d degree=%d: argmax %d not central" rows degree
           best)
     [ (3, 2); (5, 2); (5, 4); (7, 3); (9, 5); (11, 2) ]
+
+(* Regression: [argmax_feed_through] used a plain [>] scan while
+   [Feedthrough.argmax_row] breaks ties toward the lower row with a
+   1e-15 tolerance, so on an even row count the two could disagree about
+   which central row "wins" on one-ulp noise.  0.1 +. 0.2 exceeds 0.3 by
+   one ulp; with the shared tolerance the earlier row must keep the
+   title. *)
+let test_argmax_feed_through_tie () =
+  let stats =
+    {
+      Montecarlo.rows_used = Dist.of_weights [ (1, 1.) ];
+      feed_through = [| 0.1; 0.3; 0.1 +. 0.2; 0.1 |];
+    }
+  in
+  Alcotest.(check int) "one-ulp tie resolves low" 2
+    (Montecarlo.argmax_feed_through stats);
+  let clear =
+    {
+      Montecarlo.rows_used = Dist.of_weights [ (1, 1.) ];
+      feed_through = [| 0.1; 0.3; 0.4; 0.1 |];
+    }
+  in
+  Alcotest.(check int) "real improvement still wins" 3
+    (Montecarlo.argmax_feed_through clear)
+
+let test_simulate_counts_totals () =
+  let trials = 5_000 and rows = 5 and degree = 3 in
+  let c = Montecarlo.simulate_counts ~rng:(S.rng 9) ~trials ~rows ~degree in
+  Alcotest.(check int) "span tallies cover every trial" trials
+    (Array.fold_left ( + ) 0 c.span_counts);
+  Alcotest.(check int) "span 0 never happens" 0 c.span_counts.(0);
+  Array.iter
+    (fun k ->
+      Alcotest.(check bool) "feed tally within trials" true
+        (k >= 0 && k <= trials))
+    c.feed_counts;
+  (* the normalized view must be exactly the tallies over trials *)
+  let stats = Montecarlo.stats_of_counts c in
+  Array.iteri
+    (fun i k ->
+      S.check_float
+        (Printf.sprintf "feed freq row %d" (i + 1))
+        (Float.of_int k /. Float.of_int trials)
+        stats.feed_through.(i))
+    c.feed_counts;
+  for s = 1 to rows do
+    S.check_float
+      (Printf.sprintf "span freq %d" s)
+      (Float.of_int c.span_counts.(s) /. Float.of_int trials)
+      (Dist.prob stats.rows_used s)
+  done;
+  (* same seed, same stream: simulate_net is the composition *)
+  let direct = Montecarlo.simulate_net ~rng:(S.rng 9) ~trials ~rows ~degree in
+  Array.iteri
+    (fun i p -> S.check_float "simulate_net = composition" p
+        direct.feed_through.(i))
+    stats.feed_through;
+  (* interval helpers agree with Stats.wilson_interval on the tallies *)
+  let lo, hi = Montecarlo.feed_interval c ~z:4. ~row:3 in
+  let lo', hi' =
+    Stats.wilson_interval ~successes:c.feed_counts.(2) ~trials ~z:4.
+  in
+  S.check_float "feed_interval lo" lo' lo;
+  S.check_float "feed_interval hi" hi' hi;
+  let slo, shi = Montecarlo.span_interval c ~z:4. ~span:2 in
+  let slo', shi' =
+    Stats.wilson_interval ~successes:c.span_counts.(2) ~trials ~z:4.
+  in
+  S.check_float "span_interval lo" slo' slo;
+  S.check_float "span_interval hi" shi' shi
 
 let test_montecarlo_validation () =
   S.raises_invalid (fun () ->
@@ -351,6 +513,8 @@ let () =
         [
           Alcotest.test_case "log_factorial" `Quick test_log_factorial;
           Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose exact through word size" `Quick
+            test_choose_exact_through_word_size;
           Alcotest.test_case "choose_int" `Quick test_choose_int;
           Alcotest.test_case "surjections" `Quick test_surjections;
           Alcotest.test_case "paper_b = surjections" `Quick
@@ -375,7 +539,11 @@ let () =
       ( "dist",
         [
           Alcotest.test_case "normalizes" `Quick test_dist_normalizes;
+          Alcotest.test_case "merges duplicate outcomes" `Quick
+            test_dist_merges_duplicates;
           Alcotest.test_case "expectation" `Quick test_dist_expectation;
+          Alcotest.test_case "expectation_ceil slack scales" `Quick
+            test_dist_expectation_ceil_slack;
           Alcotest.test_case "mode/support" `Quick test_dist_mode_support;
           Alcotest.test_case "binomial" `Quick test_binomial;
           Alcotest.test_case "sampling" `Quick test_dist_sampling_matches;
@@ -383,6 +551,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
         ] );
       ( "montecarlo",
@@ -391,6 +560,10 @@ let () =
             test_montecarlo_span_matches_occupancy;
           Alcotest.test_case "central row max" `Slow
             test_montecarlo_feed_central_max;
+          Alcotest.test_case "argmax tie resolves low" `Quick
+            test_argmax_feed_through_tie;
+          Alcotest.test_case "counts and intervals" `Quick
+            test_simulate_counts_totals;
           Alcotest.test_case "validation" `Quick test_montecarlo_validation;
         ] );
       ("properties", props);
