@@ -181,7 +181,10 @@ let run_figure1 () =
   | Ok reports ->
       let store = Mae_db.Store.create () in
       List.iter
-        (fun r -> Mae_db.Store.add store (Mae_db.Record.of_report r))
+        (fun r ->
+          match Mae_db.Record.of_report r with
+          | Ok record -> Mae_db.Store.add store record
+          | Error msg -> Printf.printf "no database entry: %s\n" msg)
         reports;
       print_string (Mae_db.Store.to_string store);
       Printf.printf
@@ -999,9 +1002,17 @@ let run_engine ~smoke () =
             (fun a b ->
               match (a, b) with
               | Ok (ra : Mae.Driver.module_report), Ok (rb : Mae.Driver.module_report) ->
-                  ra.stdcell.Mae.Estimate.area = rb.stdcell.Mae.Estimate.area
-                  && ra.fullcustom_exact.Mae.Estimate.area
-                     = rb.fullcustom_exact.Mae.Estimate.area
+                  let areas (r : Mae.Driver.module_report) =
+                    List.map
+                      (fun (mr : Mae.Driver.method_result) ->
+                        match mr.outcome with
+                        | Ok o -> (Mae.Methodology.dims o).Mae.Methodology.area
+                        | Error _ -> Float.nan)
+                      r.results
+                  in
+                  List.for_all2
+                    (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                    (areas ra) (areas rb)
               | Error _, Error _ -> true
               | _ -> false)
             baseline_results results

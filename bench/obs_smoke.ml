@@ -30,19 +30,20 @@ let workload =
   in
   List.init 20 (fun i -> shapes.(i mod Array.length shapes))
 
-(* estimate digests: raw IEEE-754 bits, so "equal" means bit-for-bit *)
+(* estimate digests: raw IEEE-754 bits over every selected method's
+   dimensions, so "equal" means bit-for-bit *)
 let digest results =
   List.map
     (function
       | Ok (r : Mae.Driver.module_report) ->
-          List.map Int64.bits_of_float
-            [
-              r.stdcell.Mae.Estimate.area;
-              r.stdcell.Mae.Estimate.height;
-              r.stdcell.Mae.Estimate.width;
-              r.fullcustom_exact.Mae.Estimate.area;
-              r.fullcustom_average.Mae.Estimate.area;
-            ]
+          List.concat_map
+            (fun (mr : Mae.Driver.method_result) ->
+              match mr.outcome with
+              | Ok outcome ->
+                  let d = Mae.Methodology.dims outcome in
+                  List.map Int64.bits_of_float [ d.area; d.height; d.width ]
+              | Error _ -> [])
+            r.results
       | Error _ -> [])
     results
 
@@ -162,19 +163,28 @@ let () =
   in
   let events = span_events trace in
   check (List.length events > 0) "trace has %d spans" (List.length events);
-  let stage_spans =
+  let spans_with_prefix prefix =
+    let np = String.length prefix in
     List.filter
       (fun e ->
         match Mae_obs.Json.(Option.bind (member "name" e) to_string) with
-        | Some n -> String.length n >= 7 && String.equal (String.sub n 0 7) "driver."
+        | Some n -> String.length n >= np && String.equal (String.sub n 0 np) prefix
         | None -> false)
       events
   in
-  (* 6 in-driver stages + the driver.module parent, per module *)
+  let stage_spans = spans_with_prefix "driver." in
+  (* 3 in-driver stages (validate/expand/stats) + the driver.module
+     parent, per module; the estimators themselves trace as
+     method.<name> spans, one per selected methodology (3 defaults) *)
   check
-    (List.length stage_spans >= 7 * stats.Mae_engine.modules)
+    (List.length stage_spans >= 4 * stats.Mae_engine.modules)
     "every module traced its pipeline stages (%d driver spans)"
     (List.length stage_spans);
+  let method_spans = spans_with_prefix "method." in
+  check
+    (List.length method_spans >= 3 * stats.Mae_engine.modules)
+    "every module traced its selected methodologies (%d method spans)"
+    (List.length method_spans);
   check_lane_nesting events;
   check true "spans nest cleanly per domain lane";
 

@@ -1,14 +1,20 @@
 (* Stage-level profiler for Driver.run_circuit, measured from the
    inside: Mae_obs spans recorded by the driver itself (one span per
-   Figure-1 stage per module) are aggregated into a flame summary whose
-   per-stage self times are disjoint by construction -- the stage rows
-   sum to the pipeline total, no stage is recomputed outside the
+   Figure-1 stage per module, one method.<name> span per selected
+   methodology) are aggregated into a flame summary whose per-stage
+   self times are disjoint by construction -- the stage rows sum to
+   the pipeline total, no stage is recomputed outside the
    stats-sharing driver.  Run once with the kernel cache off and once
-   with it on to see where the cache moves the time.
+   with it on to see where the cache moves the time; a third pass runs
+   every registered methodology (baselines included) so the per-method
+   cost of the full registry is on record.
 
      dune exec bench/profile.exe
      dune exec bench/profile.exe -- --json   # also append the passes
                                              # to BENCH_history.jsonl *)
+
+(* link the baseline estimators into the registry *)
+let () = Mae_baselines.Methods.ensure_registered ()
 
 let shapes =
   [|
@@ -24,12 +30,14 @@ let shapes =
 
 let workload = List.init 200 (fun i -> shapes.(i mod Array.length shapes))
 
-let run_pass ~label ~cache ~registry =
+let run_pass ~label ~cache ~methods ~registry =
   Mae_prob.Kernel_cache.clear ();
   Mae_prob.Kernel_cache.set_enabled cache;
   Mae_obs.Span.reset ();
   let t0 = Unix.gettimeofday () in
-  List.iter (fun c -> ignore (Mae.Driver.run_circuit ~registry c)) workload;
+  List.iter
+    (fun c -> ignore (Mae.Driver.run_circuit ~registry ~methods c))
+    workload;
   let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   let rows = Mae_obs.Trace.flame () in
   let module_total_ms =
@@ -45,11 +53,40 @@ let run_pass ~label ~cache ~registry =
   Printf.printf
     "(driver.module spans cover %.1f ms of the %.1f ms pass; the rest is\n\
     \ the loop around the driver.  driver.module's own self time is the\n\
-    \ per-module dispatch cost; every stage row is measured inside the\n\
-    \ stats-sharing driver, so rows are a true breakdown, not standalone\n\
-    \ recomputation.)\n"
+    \ per-module dispatch cost; method.<name> rows price each selected\n\
+    \ methodology; every row is measured inside the stats-sharing driver,\n\
+    \ so rows are a true breakdown, not standalone recomputation.)\n"
     module_total_ms total_ms;
   (label, cache, total_ms, rows)
+
+let stage_json (r : Mae_obs.Trace.flame_row) =
+  let open Mae_obs.Json in
+  Object
+    [
+      ("span", String r.span_name);
+      ("calls", Number (Float.of_int r.calls));
+      ("total_ms", Number (r.total_s *. 1e3));
+      ("self_ms", Number (r.self_s *. 1e3));
+    ]
+
+(* the method.<name> rows again, keyed by methodology name, so the
+   trajectory file can chart per-estimator cost directly *)
+let per_method_json rows =
+  let open Mae_obs.Json in
+  Object
+    (List.filter_map
+       (fun (r : Mae_obs.Trace.flame_row) ->
+         let prefix = "method." in
+         let np = String.length prefix in
+         if
+           String.length r.span_name > np
+           && String.equal (String.sub r.span_name 0 np) prefix
+         then
+           Some
+             ( String.sub r.span_name np (String.length r.span_name - np),
+               stage_json r )
+         else None)
+       rows)
 
 let pass_json (label, cache, total_ms, rows) =
   let open Mae_obs.Json in
@@ -58,26 +95,26 @@ let pass_json (label, cache, total_ms, rows) =
       ("label", String label);
       ("cache", Bool cache);
       ("total_ms", Number total_ms);
-      ( "stages",
-        Array
-          (List.map
-             (fun (r : Mae_obs.Trace.flame_row) ->
-               Object
-                 [
-                   ("span", String r.span_name);
-                   ("calls", Number (Float.of_int r.calls));
-                   ("total_ms", Number (r.total_s *. 1e3));
-                   ("self_ms", Number (r.self_s *. 1e3));
-                 ])
-             rows) );
+      ("stages", Array (List.map stage_json rows));
+      ("per_method", per_method_json rows);
     ]
 
 let () =
   let json = Array.to_list Sys.argv |> List.mem "--json" in
   let registry = Mae_tech.Registry.create () in
   Mae_obs.set_enabled true;
-  let off = run_pass ~label:"full driver, kernel cache off" ~cache:false ~registry in
-  let on = run_pass ~label:"full driver, kernel cache on" ~cache:true ~registry in
+  let off =
+    run_pass ~label:"full driver, kernel cache off" ~cache:false
+      ~methods:[ "default" ] ~registry
+  in
+  let on =
+    run_pass ~label:"full driver, kernel cache on" ~cache:true
+      ~methods:[ "default" ] ~registry
+  in
+  let all =
+    run_pass ~label:"all methodologies, kernel cache on" ~cache:true
+      ~methods:[ "all" ] ~registry
+  in
   Mae_prob.Kernel_cache.set_enabled true;
   Mae_obs.set_enabled false;
   Mae_obs.reset ();
@@ -86,5 +123,5 @@ let () =
     Bench_history.History.append ~source:"profile"
       [
         ("workload_modules", Number (Float.of_int (List.length workload)));
-        ("passes", Array [ pass_json off; pass_json on ]);
+        ("passes", Array [ pass_json off; pass_json on; pass_json all ]);
       ]

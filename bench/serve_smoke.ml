@@ -172,14 +172,14 @@ let digest results =
   List.map
     (function
       | Ok (r : Mae.Driver.module_report) ->
-          List.map Int64.bits_of_float
-            [
-              r.stdcell.Mae.Estimate.area;
-              r.stdcell.Mae.Estimate.height;
-              r.stdcell.Mae.Estimate.width;
-              r.fullcustom_exact.Mae.Estimate.area;
-              r.fullcustom_average.Mae.Estimate.area;
-            ]
+          List.concat_map
+            (fun (mr : Mae.Driver.method_result) ->
+              match mr.outcome with
+              | Ok outcome ->
+                  let d = Mae.Methodology.dims outcome in
+                  List.map Int64.bits_of_float [ d.area; d.height; d.width ]
+              | Error _ -> [])
+            r.results
       | Error _ -> [])
     results
 
@@ -313,9 +313,61 @@ let () =
           if ok then fail "expected failure for %S, got %S" line reply;
           incr sent_failed))
     corpus;
+
+  (* one multi-method request on the same connection: every registered
+     methodology must answer inside the "methods" object *)
+  let all_names =
+    [
+      "stdcell"; "fullcustom-exact"; "fullcustom-average"; "gatearray";
+      "naive"; "champ"; "pla"; "plest";
+    ]
+  in
+  let multi_line =
+    Json.encode
+      (Json.Object
+         [
+           ("id", Json.String "multi");
+           ("hdl", Json.String (valid_hdl 0));
+           ("methods", Json.String "all");
+         ])
+    ^ "\n"
+  in
+  ignore (Unix.write_substring fd multi_line 0 (String.length multi_line));
+  let multi_reply = input_line ic in
+  incr sent_ok;
+  incr last_seq;
+  let multi_doc =
+    match Json.parse multi_reply with
+    | Ok d -> d
+    | Error e -> fail "multi-method response not JSON (%s): %S" e multi_reply
+  in
+  (match Json.member "ok" multi_doc with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "multi-method request failed: %S" multi_reply);
+  let multi_methods =
+    match Json.member "modules" multi_doc with
+    | Some (Json.Array [ m ]) -> begin
+        match Json.member "methods" m with
+        | Some (Json.Object kvs) -> kvs
+        | _ -> fail "module response lacks a methods object: %S" multi_reply
+      end
+    | _ -> fail "multi-method response lacks one module: %S" multi_reply
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name multi_methods with
+      | None -> fail "methods object lacks %s: %S" name multi_reply
+      | Some entry -> begin
+          match Json.member "ok" entry with
+          | Some (Json.Bool _) -> ()
+          | _ -> fail "method %s entry lacks ok: %S" name multi_reply
+        end)
+    all_names;
+  check true "methods=all request answered with all %d methodologies"
+    (List.length all_names);
   Unix.close fd;
   let total = !sent_ok + !sent_failed in
-  check (total = List.length corpus && !sent_ok = 100)
+  check (total = List.length corpus + 1 && !sent_ok = 101)
     "%d requests answered in order (%d ok, %d failed), seq monotone to %d"
     total !sent_ok !sent_failed !last_seq;
 
@@ -333,6 +385,48 @@ let () =
   check
     (Float.is_finite p50 && Float.is_finite p99 && p50 <= p99)
     "request latency histogram populated (p50 <= %.6fs, p99 <= %.6fs)" p50 p99;
+
+  (* per-methodology counters: the methods=all request ran all eight *)
+  List.iter
+    (fun name ->
+      let metric =
+        "mae_method_"
+        ^ String.map (fun c -> if c = '-' then '_' else c) name
+        ^ "_runs_total"
+      in
+      if m metric < 1 then fail "%s = %d, want >= 1" metric (m metric))
+    all_names;
+  check true "per-methodology run counters populated for all %d estimators"
+    (List.length all_names);
+
+  (* GET /methods lists every registered estimator plus the default set *)
+  let _, methods_body = http_get ~port:obs_port "/methods" in
+  let methods_doc =
+    match Json.parse methods_body with
+    | Ok d -> d
+    | Error e -> fail "/methods not JSON (%s): %S" e methods_body
+  in
+  let listed =
+    match Json.member "methods" methods_doc with
+    | Some (Json.Array entries) ->
+        List.map
+          (fun e ->
+            match Json.member "name" e with
+            | Some (Json.String s) -> s
+            | _ -> fail "/methods entry lacks a name: %S" methods_body)
+          entries
+    | _ -> fail "/methods lacks a methods array: %S" methods_body
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name listed) then
+        fail "/methods does not list %s (got %s)" name
+          (String.concat "," listed))
+    all_names;
+  (match Json.member "default" methods_doc with
+  | Some (Json.Array (_ :: _)) -> ()
+  | _ -> fail "/methods lacks a non-empty default set: %S" methods_body);
+  check true "/methods lists all %d estimators" (List.length listed);
 
   (* /healthz *)
   let headers, health_body = http_get ~port:obs_port "/healthz" in

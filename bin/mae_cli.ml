@@ -77,34 +77,110 @@ let or_die = function
 
 (* estimate *)
 
-let print_report ~verbose store (report : Mae.Driver.module_report) =
+(* The classic CLI output: stdcell, both full-custom variants, then the
+   gate-array line when the process has a site cell.  An explicit
+   --methods set replaces it. *)
+let cli_default_methods =
+  [ "stdcell"; "fullcustom-exact"; "fullcustom-average"; "gatearray" ]
+
+let print_outcome ~explicit name
+    (outcome : (Mae.Methodology.outcome, Mae.Methodology.error) result) =
+  match outcome with
+  | Ok (Mae.Methodology.Stdcell { auto; _ }) ->
+      Format.printf "  %a@." Mae.Estimate.pp_stdcell auto
+  | Ok (Mae.Methodology.Fullcustom fc) ->
+      let variant =
+        match name with
+        | "fullcustom-exact" -> "exact"
+        | "fullcustom-average" -> "average"
+        | other -> other
+      in
+      Format.printf "  %a (%s)@." Mae.Estimate.pp_fullcustom fc variant
+  | Ok (Mae.Methodology.Gatearray ga) ->
+      Format.printf "  %a@." Mae.Gatearray.pp_estimate ga
+  | Ok (Mae.Methodology.Scalar s) ->
+      Format.printf "  %s: %.0f L^2 (%.0f x %.0f L)@." name s.area s.width
+        s.height
+  | Error (Mae.Methodology.Unsupported _) when not explicit ->
+      (* the implicit default set adds gatearray opportunistically; a
+         process without a site cell is not worth a line of noise *)
+      ()
+  | Error e ->
+      Format.printf "  %s: %a@." name Mae.Methodology.pp_error e
+
+let method_view_entries (report : Mae.Driver.module_report) =
+  List.map
+    (fun (r : Mae.Driver.method_result) ->
+      let name = Mae.Methodology.name r.methodology in
+      match r.outcome with
+      | Ok outcome ->
+          let d = Mae.Methodology.dims outcome in
+          let note =
+            match outcome with
+            | Mae.Methodology.Stdcell { auto; _ } ->
+                Printf.sprintf "rows %d, %d feed-throughs"
+                  auto.Mae.Estimate.rows auto.feed_throughs
+            | Mae.Methodology.Gatearray ga ->
+                Printf.sprintf "%d sites" ga.Mae.Gatearray.sites
+            | _ -> ""
+          in
+          {
+            Mae_report.Method_view.name;
+            kind = Mae.Methodology.kind outcome;
+            ok = true;
+            area = d.area;
+            width = d.width;
+            height = d.height;
+            aspect = Mae_geom.Aspect.ratio d.aspect;
+            note;
+          }
+      | Error e ->
+          {
+            Mae_report.Method_view.name;
+            kind = "";
+            ok = false;
+            area = Float.nan;
+            width = Float.nan;
+            height = Float.nan;
+            aspect = Float.nan;
+            note = Mae.Methodology.error_to_string e;
+          })
+    report.results
+
+let print_report ~verbose ~explicit ~compare ~db_requested store
+    (report : Mae.Driver.module_report) =
   let circuit = report.circuit in
   Format.printf "== %a ==@." Mae_netlist.Circuit.pp_summary report.circuit;
   List.iter
     (fun issue -> Format.printf "  %a@." Mae_netlist.Validate.pp_issue issue)
     report.issues;
-  Format.printf "  %a@." Mae.Estimate.pp_stdcell report.stdcell;
-  Format.printf "  %a (exact)@." Mae.Estimate.pp_fullcustom
-    report.fullcustom_exact;
-  Format.printf "  %a (average)@." Mae.Estimate.pp_fullcustom
-    report.fullcustom_average;
-  begin
-    match Mae.Gatearray.estimate_routable circuit report.Mae.Driver.process with
-    | Ok ga -> Format.printf "  %a@." Mae.Gatearray.pp_estimate ga
-    | Error _ -> ()
-  end;
+  List.iter
+    (fun (r : Mae.Driver.method_result) ->
+      print_outcome ~explicit (Mae.Methodology.name r.methodology) r.outcome)
+    report.results;
+  if compare then
+    print_endline
+      (Mae_report.Method_view.render_table
+         ~module_name:circuit.Mae_netlist.Circuit.name
+         (method_view_entries report));
   if verbose then begin
     let process = report.Mae.Driver.process in
-    Format.printf "%a@."
-      Mae.Explain.pp_stdcell
-      (Mae.Explain.stdcell ~rows:report.stdcell.Mae.Estimate.rows circuit
-         process);
-    let fc_circuit = Option.value report.expanded ~default:circuit in
-    Format.printf "%a@."
-      Mae.Explain.pp_fullcustom
-      (Mae.Explain.fullcustom ~mode:Mae.Config.Exact_areas fc_circuit process)
+    begin
+      match Mae.Driver.stdcell report with
+      | Some sc ->
+          Format.printf "%a@." Mae.Explain.pp_stdcell
+            (Mae.Explain.stdcell ~rows:sc.Mae.Estimate.rows circuit process)
+      | None -> ()
+    end;
+    if Option.is_some (Mae.Driver.fullcustom_exact report) then begin
+      let fc_circuit = Option.value report.expanded ~default:circuit in
+      Format.printf "%a@." Mae.Explain.pp_fullcustom
+        (Mae.Explain.fullcustom ~mode:Mae.Config.Exact_areas fc_circuit process)
+    end
   end;
-  Mae_db.Store.add store (Mae_db.Record.of_report report)
+  match Mae_db.Record.of_report report with
+  | Ok record -> Mae_db.Store.add store record
+  | Error msg -> if db_requested then Format.eprintf "mae: %s@." msg
 
 (* An output path is rejected before any estimation runs (like the
    --jobs validation): a typo'd directory must not cost a full batch. *)
@@ -148,15 +224,36 @@ let reject_same_path flags_and_paths =
   in
   go flags_and_paths
 
+(* With several modules in the batch, one --compare-svg file per module:
+   the module name is spliced in before the extension. *)
+let compare_svg_path base ~multi name =
+  if not multi then base
+  else
+    let dir = Filename.dirname base in
+    let file = Filename.basename base in
+    let stem = Filename.remove_extension file in
+    let ext = Filename.extension file in
+    Filename.concat dir (stem ^ "-" ^ name ^ ext)
+
 let run_estimate tech_files format input db_out verbose flatten_top jobs
-    batch_stats trace_out metrics_out =
+    batch_stats trace_out metrics_out methods compare compare_svg =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
   reject_same_path
-    [ ("--trace", trace_out); ("--metrics-out", metrics_out); ("--db", db_out) ];
+    [
+      ("--trace", trace_out); ("--metrics-out", metrics_out); ("--db", db_out);
+      ("--compare-svg", compare_svg);
+    ];
   validate_out_path ~flag:"--trace" trace_out;
   validate_out_path ~flag:"--metrics-out" metrics_out;
   validate_out_path ~flag:"--db" db_out;
+  validate_out_path ~flag:"--compare-svg" compare_svg;
+  let explicit = Option.is_some methods in
+  let methods =
+    match methods with
+    | None -> cli_default_methods
+    | Some set -> or_die (Mae.Methodology.selection_of_string set)
+  in
   (* span tracing and latency sampling are paid for only when asked *)
   if Option.is_some trace_out || Option.is_some metrics_out then
     Mae_obs.set_enabled true;
@@ -166,13 +263,37 @@ let run_estimate tech_files format input db_out verbose flatten_top jobs
   (* the engine preserves input order, so jobs > 1 prints the same report
      stream as a sequential run. *)
   let results, stats =
-    Mae_engine.run_circuits_with_stats ~jobs ~registry circuits
+    Mae_engine.run_circuits_with_stats ~jobs ~methods ~registry circuits
   in
   List.iter
     (function
       | Error e -> Format.eprintf "mae: %a@." Mae_engine.pp_error e
-      | Ok report -> print_report ~verbose store report)
+      | Ok report ->
+          print_report ~verbose ~explicit ~compare
+            ~db_requested:(Option.is_some db_out) store report)
     results;
+  begin
+    match compare_svg with
+    | None -> ()
+    | Some base ->
+        let ok_reports =
+          List.filter_map (function Ok r -> Some r | Error _ -> None) results
+        in
+        let multi = List.length ok_reports > 1 in
+        List.iter
+          (fun (report : Mae.Driver.module_report) ->
+            let name = report.circuit.Mae_netlist.Circuit.name in
+            match
+              Mae_report.Method_view.render_svg ~module_name:name
+                (method_view_entries report)
+            with
+            | Error msg -> Format.eprintf "mae: --compare-svg: %s@." msg
+            | Ok svg ->
+                let path = compare_svg_path base ~multi name in
+                or_die (Mae_report.Svg.write ~path svg);
+                Format.eprintf "method comparison drawing written to %s@." path)
+          ok_reports
+  end;
   if batch_stats then Format.eprintf "mae: %a@." Mae_engine.pp_stats stats;
   begin
     match trace_out with
@@ -265,11 +386,43 @@ let estimate_cmd =
              JSON when $(docv) ends in .json.  The path is validated before \
              estimation starts.")
   in
+  let methods =
+    Arg.(
+      value & opt (some string) None
+      & info [ "methods" ] ~docv:"SET"
+          ~doc:
+            "Comma-separated estimation methodologies to run, by registry \
+             name (see mae serve's GET /methods, or pass an unknown name to \
+             get the list).  The aliases $(b,default) (stdcell + both \
+             full-custom variants) and $(b,all) (every registered \
+             methodology, baselines included) expand accordingly.  Without \
+             this flag the classic stdcell / full-custom / gate-array \
+             report is printed.")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "After each module's report, print a side-by-side comparison \
+             table of every selected methodology (area, dimensions, aspect, \
+             failures).")
+  in
+  let compare_svg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "compare-svg" ] ~docv:"FILE"
+          ~doc:
+            "Draw the selected methodologies' footprints side by side to a \
+             common scale and write the SVG here (one file per module; with \
+             several modules the module name is appended to the file stem).")
+  in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate module areas from a schematic file.")
     Term.(
       const run_estimate $ tech_files_arg $ format_arg $ input $ db_out
-      $ verbose $ flatten_top $ jobs $ batch_stats $ trace_out $ metrics_out)
+      $ verbose $ flatten_top $ jobs $ batch_stats $ trace_out $ metrics_out
+      $ methods $ compare $ compare_svg)
 
 (* serve *)
 
@@ -326,7 +479,7 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
           | Some a ->
               Format.eprintf
                 "mae: observability plane on %a (/metrics /healthz \
-                 /buildinfo /tracez)@."
+                 /buildinfo /tracez /methods)@."
                 Mae_serve.pp_addr a
           | None -> ());
     }
@@ -354,7 +507,8 @@ let serve_cmd =
       & info [ "obs-listen" ] ~docv:"ADDR"
           ~doc:
             "Observability-plane address (same syntax as --listen): serves \
-             GET /metrics, /healthz, /buildinfo and /tracez over HTTP/1.0.")
+             GET /metrics, /healthz, /buildinfo, /tracez and /methods (the \
+             methodology registry) over HTTP/1.0.")
   in
   let jobs =
     Arg.(
@@ -502,7 +656,7 @@ let check_cmd =
           ~doc:
             "Write the machine-readable JSON report (per-family comparison \
              counts and max deltas, shrunk reproducers for every failure, \
-             golden-row results) here.")
+             golden-row and cross-method sanity results) here.")
   in
   let metrics_out =
     Arg.(

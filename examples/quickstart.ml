@@ -35,19 +35,36 @@ let () =
                   (Mae_netlist.Circuit.device_count tx)
             | None -> ()
           end;
-          Format.printf "%a@." Mae.Estimate.pp_stdcell r.stdcell;
+          (* the default method set always carries these three results *)
+          begin
+            match Mae.Driver.stdcell r with
+            | Some sc -> Format.printf "%a@." Mae.Estimate.pp_stdcell sc
+            | None -> ()
+          end;
           Format.printf "row sweep:@.";
           List.iter
             (fun (e : Mae.Estimate.stdcell) ->
               Format.printf "  %a@." Mae.Estimate.pp_stdcell e)
-            r.stdcell_sweep;
-          Format.printf "%a  (exact device areas)@." Mae.Estimate.pp_fullcustom
-            r.fullcustom_exact;
-          Format.printf "%a  (average device areas)@."
-            Mae.Estimate.pp_fullcustom r.fullcustom_average;
-          let record = Mae_db.Record.of_report r in
-          let store = Mae_db.Store.create () in
-          Mae_db.Store.add store record;
-          Format.printf "@.database entry for the floor planner:@.%s@."
-            (Mae_db.Store.to_string store))
+            (Mae.Driver.stdcell_sweep r);
+          begin
+            match Mae.Driver.fullcustom_exact r with
+            | Some fc ->
+                Format.printf "%a  (exact device areas)@."
+                  Mae.Estimate.pp_fullcustom fc
+            | None -> ()
+          end;
+          begin
+            match Mae.Driver.fullcustom_average r with
+            | Some fc ->
+                Format.printf "%a  (average device areas)@."
+                  Mae.Estimate.pp_fullcustom fc
+            | None -> ()
+          end;
+          match Mae_db.Record.of_report r with
+          | Error msg -> Format.printf "no database entry: %s@." msg
+          | Ok record ->
+              let store = Mae_db.Store.create () in
+              Mae_db.Store.add store record;
+              Format.printf "@.database entry for the floor planner:@.%s@."
+                (Mae_db.Store.to_string store))
         reports

@@ -1,0 +1,22 @@
+(** Registry adapters for the comparison predictors.
+
+    Registers the four baselines with {!Mae.Methodology} at module
+    initialization, making them selectable by name everywhere the
+    registry reaches (CLI [--methods], engine batch requests, serve JSON
+    requests):
+
+    - [naive]: {!Naive} -- device area over a packing factor, as a square;
+    - [champ]: {!Champ} -- power law fit on the Table 1 bench suite's
+      exact full-custom estimates under [nmos25];
+    - [pla]: {!Pla} -- AND/OR plane dimensions from port counts with one
+      product term per device;
+    - [plest]: {!Plest} -- fixed assumed wiring density (6 tracks per
+      channel) at the paper's initial row count.
+
+    All four produce {!Mae.Methodology.Scalar} outcomes. *)
+
+val ensure_registered : unit -> unit
+(** Force this module's initialization (and therefore registration).
+    OCaml only links and initializes a library unit something references;
+    call this from any executable that wants the baselines in the
+    registry. *)

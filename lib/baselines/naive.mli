@@ -7,15 +7,19 @@
 
 val estimate :
   ?utilization:float ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Mae_geom.Lambda.area
-(** Default utilization 0.7.  Raises [Invalid_argument] on a utilization
-    outside (0, 1] or an empty circuit; raises
+(** Default utilization 0.7.  [stats], when given, must be
+    [Stats.compute circuit process] -- callers that already hold it avoid
+    recomputing.  Raises [Invalid_argument] on a utilization outside
+    (0, 1] or an empty circuit; raises
     {!Mae_netlist.Stats.Unknown_kind}. *)
 
 val estimate_square :
   ?utilization:float ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Mae_geom.Lambda.t * Mae_geom.Lambda.t

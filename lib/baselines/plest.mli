@@ -18,9 +18,12 @@ val oracle_density : Mae_layout.Row_layout.t -> density
 val estimate :
   density:density ->
   rows:int ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   Mae_geom.Lambda.area
 (** Cell area plus [rows + 1] channels of [density] tracks each, times the
-    mean row length.  Raises [Invalid_argument] on a negative density or
-    [rows < 1]; raises {!Mae_netlist.Stats.Unknown_kind}. *)
+    mean row length.  [stats], when given, must be
+    [Stats.compute circuit process].  Raises [Invalid_argument] on a
+    negative density or [rows < 1]; raises
+    {!Mae_netlist.Stats.Unknown_kind}. *)

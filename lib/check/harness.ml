@@ -17,6 +17,11 @@
 module Sweep = Mae_workload.Sweep
 module Kc = Mae_prob.Kernel_cache
 
+(* The golden rows are re-derived through the methodology registry and
+   the cross-method sanity section runs every registered estimator, so
+   the baselines must be registered before [run]. *)
+let () = Mae_baselines.Methods.ensure_registered ()
+
 let cases_count =
   Mae_obs.Metrics.counter "mae_check_cases_total"
     ~help:"Sweep cases examined by the differential harness"
@@ -90,12 +95,15 @@ type golden_result = {
   ok : bool;
 }
 
+type cross_result = { label : string; detail : string; ok : bool }
+
 type report = {
   cases_run : int;
   comparisons : int;
   families : family_stat list;
   findings : finding list;
   golden : golden_result list;
+  cross : cross_result list;
   passed : bool;
 }
 
@@ -389,12 +397,15 @@ let shrink_case config run c =
 
 (* --- golden rows: the paper's Table 1 / Table 2 experiments, pinned.
 
-   Values re-derived from the estimator itself (Fullcustom.estimate_both
-   over the five Table 1 circuits; Stdcell.estimate over the two Table 2
-   circuits at 2/3/4 rows) and frozen here; a drift anywhere in the
-   estimation stack -- kernels, combinatorics, rounding -- moves one of
-   these numbers.  Tolerance 1e-9 relative absorbs libm ulp differences
-   across platforms while catching any real change. --- *)
+   Values re-derived from the estimator itself -- through the
+   methodology registry, exactly the path the driver/engine/serve
+   pipeline takes: [fullcustom-exact] / [fullcustom-average] over the
+   five Table 1 circuits, [stdcell] with a forced row count over the two
+   Table 2 circuits at 2/3/4 rows -- and frozen here; a drift anywhere
+   in the estimation stack (kernels, combinatorics, rounding, or the
+   registry plumbing itself) moves one of these numbers.  Tolerance 1e-9
+   relative absorbs libm ulp differences across platforms while catching
+   any real change. --- *)
 
 let golden_table1 =
   [
@@ -432,17 +443,30 @@ let golden_table2 =
     ("table2.alu4.rows4.feeds", 19.);
   ]
 
+let run_method ?rows_override name (circuit : Mae_netlist.Circuit.t) process =
+  match Mae.Methodology.find name with
+  | None -> Error (Mae.Methodology.Unknown_method name)
+  | Some t -> begin
+      match Mae.Methodology.make_ctx ?rows_override ~process circuit with
+      | Error e -> Error e
+      | Ok ctx -> Mae.Methodology.run ctx t circuit
+    end
+
 let derive_goldens () =
   let process = Mae_tech.Builtin.nmos25 in
   let t1 =
     List.concat_map
       (fun (e : Mae_workload.Bench_circuits.entry) ->
-        let exact, average = Mae.Fullcustom.estimate_both e.circuit process in
+        let fc_area name =
+          match run_method name e.circuit process with
+          | Ok (Mae.Methodology.Fullcustom f) -> f.Mae.Estimate.area
+          | Ok _ | Error _ -> Float.nan
+        in
         [
           ( Printf.sprintf "table1.%s.exact_area" e.name,
-            exact.Mae.Estimate.area );
+            fc_area "fullcustom-exact" );
           ( Printf.sprintf "table1.%s.average_area" e.name,
-            average.Mae.Estimate.area );
+            fc_area "fullcustom-average" );
         ])
       (Mae_workload.Bench_circuits.table1 ())
   in
@@ -451,14 +475,18 @@ let derive_goldens () =
       (fun (e : Mae_workload.Bench_circuits.entry) ->
         List.concat_map
           (fun rows ->
-            let est = Mae.Stdcell.estimate ~rows e.circuit process in
+            let area, tracks, feeds =
+              match run_method ~rows_override:rows "stdcell" e.circuit process with
+              | Ok (Mae.Methodology.Stdcell { auto; _ }) ->
+                  ( auto.Mae.Estimate.area,
+                    Float.of_int auto.Mae.Estimate.tracks,
+                    Float.of_int auto.Mae.Estimate.feed_throughs )
+              | Ok _ | Error _ -> (Float.nan, Float.nan, Float.nan)
+            in
             [
-              ( Printf.sprintf "table2.%s.rows%d.area" e.name rows,
-                est.Mae.Estimate.area );
-              ( Printf.sprintf "table2.%s.rows%d.tracks" e.name rows,
-                Float.of_int est.Mae.Estimate.tracks );
-              ( Printf.sprintf "table2.%s.rows%d.feeds" e.name rows,
-                Float.of_int est.Mae.Estimate.feed_throughs );
+              (Printf.sprintf "table2.%s.rows%d.area" e.name rows, area);
+              (Printf.sprintf "table2.%s.rows%d.tracks" e.name rows, tracks);
+              (Printf.sprintf "table2.%s.rows%d.feeds" e.name rows, feeds);
             ])
           [ 2; 3; 4 ])
       (Mae_workload.Bench_circuits.table2 ())
@@ -480,6 +508,98 @@ let run_goldens () =
       in
       { label; expected; actual; ok })
     (golden_table1 @ golden_table2)
+
+(* --- cross-method sanity: every registered methodology over the bench
+   suites, checked against invariants that hold for any sound area
+   estimate on these circuits: it succeeds, area is positive, the
+   reported footprint is consistent (width * height = area), and the
+   models that account for device footprints (stdcell, fullcustom,
+   naive) never go below the summed device area. --- *)
+
+let run_cross () =
+  let process = Mae_tech.Builtin.nmos25 in
+  let entries =
+    Mae_workload.Bench_circuits.table1 () @ Mae_workload.Bench_circuits.table2 ()
+  in
+  List.concat_map
+    (fun (e : Mae_workload.Bench_circuits.entry) ->
+      match Mae.Methodology.make_ctx ~process e.circuit with
+      | Error err ->
+          [
+            {
+              label = Printf.sprintf "cross.%s.ctx" e.name;
+              detail = Mae.Methodology.error_to_string err;
+              ok = false;
+            };
+          ]
+      | Ok ctx ->
+          List.concat_map
+            (fun t ->
+              let m = Mae.Methodology.name t in
+              let label sub = Printf.sprintf "cross.%s.%s.%s" e.name m sub in
+              match Mae.Methodology.run ctx t e.circuit with
+              | Error err ->
+                  [
+                    {
+                      label = label "runs";
+                      detail = Mae.Methodology.error_to_string err;
+                      ok = false;
+                    };
+                  ]
+              | Ok o ->
+                  let d = Mae.Methodology.dims o in
+                  let consistent =
+                    Float.abs ((d.width *. d.height) -. d.area)
+                    <= 1e-6 *. Float.max 1. d.area
+                  in
+                  let base =
+                    [
+                      { label = label "runs"; detail = "estimated"; ok = true };
+                      {
+                        label = label "area_positive";
+                        detail = Printf.sprintf "area %.17g" d.area;
+                        ok = d.area > 0.;
+                      };
+                      {
+                        label = label "dims_consistent";
+                        detail =
+                          Printf.sprintf "%.17g x %.17g vs area %.17g" d.width
+                            d.height d.area;
+                        ok = consistent;
+                      };
+                    ]
+                  in
+                  let device_floor =
+                    let floor_check stats_area =
+                      [
+                        {
+                          label = label "device_floor";
+                          detail =
+                            Printf.sprintf "area %.17g >= device area %.17g"
+                              d.area stats_area;
+                          ok = d.area >= stats_area;
+                        };
+                      ]
+                    in
+                    match o with
+                    | Mae.Methodology.Stdcell _ ->
+                        floor_check
+                          ctx.Mae.Methodology.stats
+                            .Mae_netlist.Stats.total_device_area
+                    | Mae.Methodology.Fullcustom _ ->
+                        floor_check
+                          ctx.Mae.Methodology.fc_stats
+                            .Mae_netlist.Stats.total_device_area
+                    | Mae.Methodology.Scalar _ when String.equal m "naive" ->
+                        floor_check
+                          ctx.Mae.Methodology.stats
+                            .Mae_netlist.Stats.total_device_area
+                    | Mae.Methodology.Gatearray _ | Mae.Methodology.Scalar _ ->
+                        []
+                  in
+                  base @ device_floor)
+            (Mae.Methodology.all ()))
+    entries
 
 (* --- the sweep --- *)
 
@@ -539,12 +659,18 @@ let run ?(log = fun (_ : string) -> ()) config =
       done;
       let golden = run_goldens () in
       List.iter
-        (fun g ->
+        (fun (g : golden_result) ->
           if not g.ok then
             log
               (Printf.sprintf "FAIL golden %s: expected %.17g, got %.17g"
                  g.label g.expected g.actual))
         golden;
+      let cross = run_cross () in
+      List.iter
+        (fun (c : cross_result) ->
+          if not c.ok then
+            log (Printf.sprintf "FAIL cross %s: %s" c.label c.detail))
+        cross;
       let families_out =
         List.map
           (fun (name, _) ->
@@ -558,7 +684,11 @@ let run ?(log = fun (_ : string) -> ()) config =
         families = families_out;
         findings = List.rev !findings;
         golden;
-        passed = !findings = [] && List.for_all (fun g -> g.ok) golden;
+        cross;
+        passed =
+          !findings = []
+          && List.for_all (fun (g : golden_result) -> g.ok) golden
+          && List.for_all (fun (c : cross_result) -> c.ok) cross;
       })
 
 (* --- reporting --- *)
@@ -618,7 +748,7 @@ let report_json config r =
       ( "golden",
         Array
           (List.map
-             (fun g ->
+             (fun (g : golden_result) ->
                Object
                  [
                    ("label", String g.label);
@@ -627,6 +757,17 @@ let report_json config r =
                    ("ok", Bool g.ok);
                  ])
              r.golden) );
+      ( "cross",
+        Array
+          (List.map
+             (fun (c : cross_result) ->
+               Object
+                 [
+                   ("label", String c.label);
+                   ("detail", String c.detail);
+                   ("ok", Bool c.ok);
+                 ])
+             r.cross) );
       ("passed", Bool r.passed);
     ]
 
@@ -639,15 +780,27 @@ let pp_report ppf r =
       Format.fprintf ppf "  %-22s %6d comparisons  max |delta| %.3g@,"
         f.family f.comparisons f.max_delta)
     r.families;
-  let golden_ok = List.length (List.filter (fun g -> g.ok) r.golden) in
-  Format.fprintf ppf "  golden rows: %d/%d reproduce@," golden_ok
-    (List.length r.golden);
+  let golden_ok =
+    List.length (List.filter (fun (g : golden_result) -> g.ok) r.golden)
+  in
+  Format.fprintf ppf "  golden rows: %d/%d reproduce (via the registry)@,"
+    golden_ok (List.length r.golden);
   List.iter
-    (fun g ->
+    (fun (g : golden_result) ->
       if not g.ok then
         Format.fprintf ppf "  GOLDEN FAIL %s: expected %.17g, got %.17g@,"
           g.label g.expected g.actual)
     r.golden;
+  let cross_ok =
+    List.length (List.filter (fun (c : cross_result) -> c.ok) r.cross)
+  in
+  Format.fprintf ppf "  cross-method sanity: %d/%d hold@," cross_ok
+    (List.length r.cross);
+  List.iter
+    (fun (c : cross_result) ->
+      if not c.ok then
+        Format.fprintf ppf "  CROSS FAIL %s: %s@," c.label c.detail)
+    r.cross;
   List.iter
     (fun f ->
       Format.fprintf ppf

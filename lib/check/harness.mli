@@ -11,10 +11,17 @@
       to a hard tolerance (1e-12 by default).
 
     Any failing case is shrunk to a minimal reproducer.  The paper's
-    Table 1 / Table 2 estimator outputs are pinned as golden rows.
-    Progress and totals flow through {!Mae_obs} counters and spans
-    ([mae_check_cases_total], [mae_check_comparisons_total],
-    [mae_check_violations_total]; spans [check.run] / [check.case]). *)
+    Table 1 / Table 2 estimator outputs are pinned as golden rows,
+    re-derived {e through the methodology registry}
+    ({!Mae.Methodology.run}) so the registry plumbing itself is under
+    the gate; a cross-method sanity section additionally runs every
+    registered estimator (all eight, baselines included) over the bench
+    suites and checks estimator-independent invariants (success,
+    positive area, width * height = area, and a summed-device-area floor
+    for the footprint-accounting models).  Progress and totals flow
+    through {!Mae_obs} counters and spans ([mae_check_cases_total],
+    [mae_check_comparisons_total], [mae_check_violations_total]; spans
+    [check.run] / [check.case]). *)
 
 type config = {
   trials : int;  (** Monte-Carlo trials per case *)
@@ -50,12 +57,19 @@ type golden_result = {
   ok : bool;
 }
 
+type cross_result = {
+  label : string;  (** [cross.<circuit>.<method>.<invariant>] *)
+  detail : string;
+  ok : bool;
+}
+
 type report = {
   cases_run : int;
   comparisons : int;
   families : family_stat list;
   findings : finding list;  (** empty iff every comparison held *)
   golden : golden_result list;
+  cross : cross_result list;  (** cross-method sanity over the bench suites *)
   passed : bool;
 }
 
@@ -68,8 +82,9 @@ val run : ?log:(string -> unit) -> config -> report
 
 val derive_goldens : unit -> (string * float) list
 (** Recompute the golden Table 1 / Table 2 rows from the live estimator
-    (label, value) -- the source of the pinned constants, exposed so
-    they can be regenerated when the model intentionally changes. *)
+    through the methodology registry (label, value) -- the source of the
+    pinned constants, exposed so they can be regenerated when the model
+    intentionally changes. *)
 
 val report_json : config -> report -> Mae_obs.Json.t
 (** The machine-readable report ([mae check --report]). *)

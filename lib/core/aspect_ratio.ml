@@ -14,8 +14,8 @@ let clamp config aspect =
       Mae_geom.Aspect.of_ratio clamped
 
 let fullcustom ~area ~port_count ~process =
-  if area <= 0. then invalid_arg "Aspect_ratio.fullcustom: non-positive area";
-  if port_count < 0 then invalid_arg "Aspect_ratio.fullcustom: negative ports";
+  if area <= 0. then invalid_arg "Aspect_ratio.fullcustom: non-positive area"; (* invariant *)
+  if port_count < 0 then invalid_arg "Aspect_ratio.fullcustom: negative ports"; (* invariant *)
   let edge = Float.sqrt area in
   let ports = port_length ~port_count ~process in
   if edge >= ports then (edge, edge, Mae_geom.Aspect.square)

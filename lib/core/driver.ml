@@ -1,18 +1,21 @@
+type method_result = {
+  methodology : Methodology.t;
+  outcome : (Methodology.outcome, Methodology.error) result;
+}
+
 type module_report = {
   circuit : Mae_netlist.Circuit.t;
   process : Mae_tech.Process.t;
   issues : Mae_netlist.Validate.issue list;
   expanded : Mae_netlist.Circuit.t option;
-  stdcell : Estimate.stdcell;
-  stdcell_sweep : Estimate.stdcell list;
-  fullcustom_exact : Estimate.fullcustom;
-  fullcustom_average : Estimate.fullcustom;
+  results : method_result list;
 }
 
 type error =
   | Parse_error of Mae_hdl.Parser.error
   | Elaborate_error of Mae_hdl.Elaborate.error
   | Unknown_process of { module_name : string; technology : string }
+  | Unknown_method of { module_name : string; methodology : string }
   | Validation_failed of {
       module_name : string;
       issues : Mae_netlist.Validate.issue list;
@@ -24,32 +27,62 @@ let pp_error ppf = function
       Format.fprintf ppf "elaboration error: %a" Mae_hdl.Elaborate.pp_error e
   | Unknown_process { module_name; technology } ->
       Format.fprintf ppf "module %s: unknown process %s" module_name technology
+  | Unknown_method { module_name; methodology } ->
+      Format.fprintf ppf "module %s: unknown methodology %s (registered: %s)"
+        module_name methodology
+        (String.concat ", " (Methodology.names ()))
   | Validation_failed { module_name; issues } ->
       Format.fprintf ppf "@[<v>module %s failed validation:@ %a@]" module_name
         (Format.pp_print_list Mae_netlist.Validate.pp_issue)
         issues
 
-(* A circuit is transistor-level when every device kind resolves to a
-   transistor in the process. *)
-let all_transistors (circuit : Mae_netlist.Circuit.t) process =
-  Array.for_all
-    (fun (d : Mae_netlist.Device.t) ->
-      match Mae_tech.Process.find_device process d.kind with
-      | Some kind -> Mae_tech.Device_kind.is_transistor kind
-      | None -> false)
-    circuit.devices
+(* --- per-method accessors ------------------------------------------- *)
 
-let expand_for_fullcustom (circuit : Mae_netlist.Circuit.t) process =
-  if all_transistors circuit process then None
-  else begin
-    match Mae_celllib.Cmos_lib.for_technology circuit.technology with
-    | None -> None
-    | Some library -> begin
-        match Mae_celllib.Expand.circuit library circuit with
-        | Ok expanded -> Some expanded
-        | Error (Mae_celllib.Expand.Unknown_cell _) -> None
-      end
-  end
+let find_result report name =
+  List.find_map
+    (fun r ->
+      if String.equal (Methodology.name r.methodology) name then
+        Some r.outcome
+      else None)
+    report.results
+
+let ok_result report name =
+  match find_result report name with
+  | Some (Ok o) -> Some o
+  | Some (Error _) | None -> None
+
+let stdcell report =
+  match ok_result report "stdcell" with
+  | Some (Methodology.Stdcell { auto; _ }) -> Some auto
+  | _ -> None
+
+let stdcell_sweep report =
+  match ok_result report "stdcell" with
+  | Some (Methodology.Stdcell { sweep; _ }) -> sweep
+  | _ -> []
+
+let fullcustom_exact report =
+  match ok_result report "fullcustom-exact" with
+  | Some (Methodology.Fullcustom f) -> Some f
+  | _ -> None
+
+let fullcustom_average report =
+  match ok_result report "fullcustom-average" with
+  | Some (Methodology.Fullcustom f) -> Some f
+  | _ -> None
+
+let gatearray report =
+  match ok_result report "gatearray" with
+  | Some (Methodology.Gatearray g) -> Some g
+  | _ -> None
+
+let method_failures report =
+  List.filter_map
+    (fun r ->
+      match r.outcome with
+      | Error e -> Some (Methodology.name r.methodology, e)
+      | Ok _ -> None)
+    report.results
 
 (* One Mae_obs span per Figure-1 stage, per module.  The module
    attribute on every stage span lets a Chrome-trace or flame view
@@ -58,94 +91,105 @@ let expand_for_fullcustom (circuit : Mae_netlist.Circuit.t) process =
 let stage ~name ~module_name f =
   Mae_obs.Span.with_ ~name ~attrs:[ ("module", module_name) ] f
 
-let run_circuit ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+let run_circuit ?config ?(methods = [ "default" ]) ~registry
+    (circuit : Mae_netlist.Circuit.t) =
   let m = circuit.name in
   stage ~name:"driver.module" ~module_name:m @@ fun () ->
-  match Mae_tech.Registry.find registry circuit.technology with
-  | None ->
-      Error
-        (Unknown_process
-           { module_name = circuit.name; technology = circuit.technology })
-  | Some process -> begin
-      let issues =
-        stage ~name:"driver.validate" ~module_name:m (fun () ->
-            Mae_netlist.Validate.check circuit process)
-      in
-      let errors = List.filter Mae_netlist.Validate.is_error issues in
-      match errors with
-      | _ :: _ ->
-          Error (Validation_failed { module_name = circuit.name; issues = errors })
-      | [] ->
-          let expanded =
-            stage ~name:"driver.expand" ~module_name:m (fun () ->
-                expand_for_fullcustom circuit process)
+  match Methodology.resolve methods with
+  | Error name ->
+      Error (Unknown_method { module_name = circuit.name; methodology = name })
+  | Ok selected -> begin
+      match Mae_tech.Registry.find registry circuit.technology with
+      | None ->
+          Error
+            (Unknown_process
+               { module_name = circuit.name; technology = circuit.technology })
+      | Some process -> begin
+          let issues =
+            stage ~name:"driver.validate" ~module_name:m (fun () ->
+                Mae_netlist.Validate.check circuit process)
           in
-          let fc_circuit = Option.value expanded ~default:circuit in
-          (* compute each circuit's statistics once and share them across
-             the full-custom pair, the automatic estimate and the sweep. *)
-          let stats, fc_stats =
-            stage ~name:"driver.stats" ~module_name:m (fun () ->
-                let stats = Mae_netlist.Stats.compute circuit process in
-                let fc_stats =
-                  match expanded with
-                  | None -> stats
-                  | Some e -> Mae_netlist.Stats.compute e process
-                in
-                (stats, fc_stats))
-          in
-          let fullcustom_exact, fullcustom_average =
-            stage ~name:"driver.fullcustom" ~module_name:m (fun () ->
-                Fullcustom.estimate_both ?config ~stats:fc_stats fc_circuit
-                  process)
-          in
-          let stdcell =
-            stage ~name:"driver.stdcell" ~module_name:m (fun () ->
-                Stdcell.estimate_auto ?config ~stats circuit process)
-          in
-          let stdcell_sweep =
-            stage ~name:"driver.sweep" ~module_name:m (fun () ->
-                Stdcell.sweep ?config ~stats
-                  ~rows:(Row_select.candidates ~stats circuit process)
-                  circuit process)
-          in
-          (* one structured record per module (debug level): which row
-             count the estimator selected and what it concluded -- the
-             per-module detail behind a serve access-log line. *)
-          if Mae_obs.Log.enabled Mae_obs.Log.Debug then
-            Mae_obs.Log.debug ~event:"driver.module"
-              [
-                ("module", Mae_obs.Log.Str circuit.name);
-                ("technology", Mae_obs.Log.Str circuit.technology);
-                ("rows_selected", Mae_obs.Log.Int stdcell.Estimate.rows);
-                ("stdcell_area", Mae_obs.Log.Float stdcell.Estimate.area);
-                ( "fullcustom_area",
-                  Mae_obs.Log.Float fullcustom_exact.Estimate.area );
-                ("issues", Mae_obs.Log.Int (List.length issues));
-              ];
-          Ok
-            {
-              circuit;
-              process;
-              issues;
-              expanded;
-              stdcell;
-              stdcell_sweep;
-              fullcustom_exact;
-              fullcustom_average;
-            }
+          let errors = List.filter Mae_netlist.Validate.is_error issues in
+          match errors with
+          | _ :: _ ->
+              Error
+                (Validation_failed { module_name = circuit.name; issues = errors })
+          | [] ->
+              let expanded =
+                stage ~name:"driver.expand" ~module_name:m (fun () ->
+                    Methodology.expand_for_fullcustom circuit process)
+              in
+              let fc_circuit = Option.value expanded ~default:circuit in
+              (* compute each circuit's statistics once and share them
+                 across the whole method set (the estimators' kernel
+                 caches ride along inside the stats). *)
+              let stats, fc_stats =
+                stage ~name:"driver.stats" ~module_name:m (fun () ->
+                    let stats = Mae_netlist.Stats.compute circuit process in
+                    let fc_stats =
+                      match expanded with
+                      | None -> stats
+                      | Some e -> Mae_netlist.Stats.compute e process
+                    in
+                    (stats, fc_stats))
+              in
+              let ctx =
+                {
+                  Methodology.config;
+                  process;
+                  stats;
+                  fc_circuit;
+                  fc_stats;
+                  rows_override = None;
+                }
+              in
+              let results =
+                List.map
+                  (fun t ->
+                    { methodology = t; outcome = Methodology.run ctx t circuit })
+                  selected
+              in
+              let report = { circuit; process; issues; expanded; results } in
+              (* one structured record per module (debug level): which row
+                 count the estimator selected and what it concluded -- the
+                 per-module detail behind a serve access-log line. *)
+              if Mae_obs.Log.enabled Mae_obs.Log.Debug then
+                Mae_obs.Log.debug ~event:"driver.module"
+                  ([
+                     ("module", Mae_obs.Log.Str circuit.name);
+                     ("technology", Mae_obs.Log.Str circuit.technology);
+                   ]
+                  @ (match stdcell report with
+                    | Some sc ->
+                        [
+                          ("rows_selected", Mae_obs.Log.Int sc.Estimate.rows);
+                          ("stdcell_area", Mae_obs.Log.Float sc.Estimate.area);
+                        ]
+                    | None -> [])
+                  @ (match fullcustom_exact report with
+                    | Some fc ->
+                        [ ("fullcustom_area", Mae_obs.Log.Float fc.Estimate.area) ]
+                    | None -> [])
+                  @ [
+                      ("issues", Mae_obs.Log.Int (List.length issues));
+                      ( "method_errors",
+                        Mae_obs.Log.Int (List.length (method_failures report)) );
+                    ]);
+              Ok report
+        end
     end
 
-let run_circuits ?config ~registry circuits =
-  List.map (run_circuit ?config ~registry) circuits
+let run_circuits ?config ?methods ~registry circuits =
+  List.map (run_circuit ?config ?methods ~registry) circuits
 
-let run_design ?config ~registry design =
+let run_design ?config ?methods ~registry design =
   match Mae_hdl.Elaborate.design_to_circuits design with
   | Error e -> Error (Elaborate_error e)
   | Ok circuits ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)
         | c :: rest -> begin
-            match run_circuit ?config ~registry c with
+            match run_circuit ?config ?methods ~registry c with
             | Ok report -> go (report :: acc) rest
             | Error e -> Error e
           end
@@ -179,12 +223,12 @@ let file_circuits path =
   | Error e -> Error (Parse_error e)
   | Ok design -> design_circuits design
 
-let run_string ?config ~registry text =
+let run_string ?config ?methods ~registry text =
   match parse_string text with
   | Error e -> Error (Parse_error e)
-  | Ok design -> run_design ?config ~registry design
+  | Ok design -> run_design ?config ?methods ~registry design
 
-let run_file ?config ~registry path =
+let run_file ?config ?methods ~registry path =
   match parse_file path with
   | Error e -> Error (Parse_error e)
-  | Ok design -> run_design ?config ~registry design
+  | Ok design -> run_design ?config ?methods ~registry design

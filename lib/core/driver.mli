@@ -1,8 +1,15 @@
 (** The end-to-end estimator pipeline of Figure 1.
 
     Input interface (HDL text or an elaborated circuit) + fabrication
-    process database -> validation -> Standard-Cell and Full-Custom
-    estimates -> a per-module report ready for the output database.
+    process database -> validation -> one estimate per selected
+    {!Methodology} -> a per-module report ready for the output database.
+
+    Estimators are selected by name through the [?methods] parameter
+    (default {!Methodology.default_names}, which reproduces the classic
+    stdcell + full-custom pipeline exactly).  Each method runs with
+    per-module error isolation: a methodology that fails on a circuit
+    contributes an [Error] slot to {!module_report.results} while the
+    others still produce estimates.
 
     Full-custom estimation runs at the transistor level: gate-level
     schematics are flattened through the technology's cell library when
@@ -12,11 +19,16 @@
 
     Every stage is instrumented with {!Mae_obs.Span}: with telemetry on,
     each module records a [driver.module] span nesting one span per
-    Figure-1 stage ([driver.validate], [driver.expand], [driver.stats],
-    [driver.fullcustom], [driver.stdcell], [driver.sweep]), and the
+    Figure-1 stage ([driver.validate], [driver.expand], [driver.stats])
+    plus one [method.<name>] span per selected methodology, and the
     front end records [driver.parse] / [driver.elaborate]; all carry a
     [module] attribute where applicable.  With telemetry off each stage
     costs one atomic read. *)
+
+type method_result = {
+  methodology : Methodology.t;
+  outcome : (Methodology.outcome, Methodology.error) result;
+}
 
 type module_report = {
   circuit : Mae_netlist.Circuit.t;
@@ -25,16 +37,15 @@ type module_report = {
   expanded : Mae_netlist.Circuit.t option;
       (** the transistor-level circuit used for full-custom estimation,
           when expansion happened *)
-  stdcell : Estimate.stdcell;  (** at the automatically selected row count *)
-  stdcell_sweep : Estimate.stdcell list;  (** the Table 2 row-count sweep *)
-  fullcustom_exact : Estimate.fullcustom;
-  fullcustom_average : Estimate.fullcustom;
+  results : method_result list;
+      (** one slot per selected methodology, in selection order *)
 }
 
 type error =
   | Parse_error of Mae_hdl.Parser.error
   | Elaborate_error of Mae_hdl.Elaborate.error
   | Unknown_process of { module_name : string; technology : string }
+  | Unknown_method of { module_name : string; methodology : string }
   | Validation_failed of {
       module_name : string;
       issues : Mae_netlist.Validate.issue list;
@@ -42,15 +53,48 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** {1 Per-method accessors}
+
+    Convenience projections over {!module_report.results}.  The
+    [option]-returning ones yield [None] both when the methodology was
+    not selected and when it ran but returned an error (use
+    {!find_result} / {!method_failures} to distinguish). *)
+
+val find_result :
+  module_report ->
+  string ->
+  (Methodology.outcome, Methodology.error) result option
+(** The outcome slot of the named methodology, [None] if it was not in
+    the selected set. *)
+
+val stdcell : module_report -> Estimate.stdcell option
+(** The automatically selected standard-cell estimate. *)
+
+val stdcell_sweep : module_report -> Estimate.stdcell list
+(** The Table 2 row-count sweep ([[]] when stdcell was not selected or
+    failed). *)
+
+val fullcustom_exact : module_report -> Estimate.fullcustom option
+val fullcustom_average : module_report -> Estimate.fullcustom option
+val gatearray : module_report -> Gatearray.estimate option
+
+val method_failures : module_report -> (string * Methodology.error) list
+(** The methodologies that returned errors on this module, in selection
+    order. *)
+
 val run_circuit :
   ?config:Config.t ->
+  ?methods:string list ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t ->
   (module_report, error) result
-(** Estimate one already-elaborated circuit. *)
+(** Estimate one already-elaborated circuit.  [?methods] names the
+    methodologies to run (the {!Methodology.resolve} aliases ["default"]
+    and ["all"] work here too); default [["default"]]. *)
 
 val run_circuits :
   ?config:Config.t ->
+  ?methods:string list ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (module_report, error) result list
@@ -71,6 +115,7 @@ val file_circuits : string -> (Mae_netlist.Circuit.t list, error) result
 
 val run_string :
   ?config:Config.t ->
+  ?methods:string list ->
   registry:Mae_tech.Registry.t ->
   string ->
   (module_report list, error) result
@@ -78,6 +123,7 @@ val run_string :
 
 val run_file :
   ?config:Config.t ->
+  ?methods:string list ->
   registry:Mae_tech.Registry.t ->
   string ->
   (module_report list, error) result

@@ -1,6 +1,6 @@
 let with_track_sharing ~factor ~rows circuit process =
   if factor <= 0. || factor > 1. then
-    invalid_arg "Extensions.with_track_sharing: factor outside (0, 1]";
+    invalid_arg "Extensions.with_track_sharing: factor outside (0, 1]"; (* invariant *)
   let config = { Config.default with track_sharing_factor = Some factor } in
   Stdcell.estimate ~config ~rows circuit process
 
@@ -19,8 +19,8 @@ let calibrate_sharing_factor pairs =
       Some (Float.min 1. (Float.max 1e-3 mean))
 
 let fullcustom_aspect_candidates ?(count = 5) ~area ~port_count process =
-  if count < 1 then invalid_arg "Extensions: count < 1";
-  if area <= 0. then invalid_arg "Extensions: non-positive area";
+  if count < 1 then invalid_arg "Extensions: count < 1"; (* invariant *)
+  if area <= 0. then invalid_arg "Extensions: non-positive area"; (* invariant *)
   let ports = Aspect_ratio.port_length ~port_count ~process in
   let ratio_of i =
     (* evenly spaced across the paper's 1:1 .. 1:2 band *)

@@ -1,7 +1,7 @@
 let check_args ~rows ~degree ~row =
-  if rows < 1 then invalid_arg "Feedthrough: rows < 1";
-  if degree < 1 then invalid_arg "Feedthrough: degree < 1";
-  if row < 1 || row > rows then invalid_arg "Feedthrough: row out of range"
+  if rows < 1 then invalid_arg "Feedthrough: rows < 1"; (* invariant *)
+  if degree < 1 then invalid_arg "Feedthrough: degree < 1"; (* invariant *)
+  if row < 1 || row > rows then invalid_arg "Feedthrough: row out of range" (* invariant *)
 
 (* Equation (5): sum over l components inside row i (0 <= l <= D-2) and
    j components above it (1 <= j <= D-l-1); the rest lie below.
@@ -52,12 +52,12 @@ let prob_in_row_closed ~rows ~degree ~row =
   closed_form ~rows ~degree ~row_position:(Float.of_int row)
 
 let central_row ~rows =
-  if rows < 1 then invalid_arg "Feedthrough.central_row: rows < 1";
+  if rows < 1 then invalid_arg "Feedthrough.central_row: rows < 1"; (* invariant *)
   Float.of_int (rows + 1) /. 2.
 
 let argmax_row ~rows ~degree =
-  if rows < 1 then invalid_arg "Feedthrough.argmax_row: rows < 1";
-  if degree < 1 then invalid_arg "Feedthrough.argmax_row: degree < 1";
+  if rows < 1 then invalid_arg "Feedthrough.argmax_row: rows < 1"; (* invariant *)
+  if degree < 1 then invalid_arg "Feedthrough.argmax_row: degree < 1"; (* invariant *)
   (* Strict improvement beyond 1e-15, the tolerance shared with
      [Montecarlo.argmax_feed_through]: an even row count has two equal
      central rows and both argmaxes must resolve to the lower one. *)
@@ -76,21 +76,21 @@ let argmax_row ~rows ~degree =
    complement probabilities use the continuous split (i-1)/n each side;
    closed_form handles this uniformly. *)
 let prob_central ~rows ~degree =
-  if rows < 1 then invalid_arg "Feedthrough.prob_central: rows < 1";
-  if degree < 1 then invalid_arg "Feedthrough.prob_central: degree < 1";
+  if rows < 1 then invalid_arg "Feedthrough.prob_central: rows < 1"; (* invariant *)
+  if degree < 1 then invalid_arg "Feedthrough.prob_central: degree < 1"; (* invariant *)
   closed_form ~rows ~degree ~row_position:(central_row ~rows)
 
 let prob_two_component ~rows =
-  if rows < 1 then invalid_arg "Feedthrough.prob_two_component: rows < 1";
+  if rows < 1 then invalid_arg "Feedthrough.prob_two_component: rows < 1"; (* invariant *)
   Mae_prob.Kernel_cache.two_component_feed_prob ~rows
 
 let feed_through_dist ~net_count ~rows =
-  if net_count < 0 then invalid_arg "Feedthrough.feed_through_dist: net_count < 0";
-  if rows < 1 then invalid_arg "Feedthrough.feed_through_dist: rows < 1";
+  if net_count < 0 then invalid_arg "Feedthrough.feed_through_dist: net_count < 0"; (* invariant *)
+  if rows < 1 then invalid_arg "Feedthrough.feed_through_dist: rows < 1"; (* invariant *)
   Mae_prob.Kernel_cache.feed_through_dist ~net_count ~rows
 
 let expected_feed_throughs ~net_count ~rows =
   if net_count < 0 then
-    invalid_arg "Feedthrough.expected_feed_throughs: net_count < 0";
-  if rows < 1 then invalid_arg "Feedthrough.expected_feed_throughs: rows < 1";
+    invalid_arg "Feedthrough.expected_feed_throughs: net_count < 0"; (* invariant *)
+  if rows < 1 then invalid_arg "Feedthrough.expected_feed_throughs: rows < 1"; (* invariant *)
   Mae_prob.Kernel_cache.expected_feed_throughs ~net_count ~rows

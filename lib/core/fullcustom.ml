@@ -45,7 +45,7 @@ let net_areas ?(config = Config.default) ?stats ~mode circuit process =
 let estimate ?(config = Config.default) ?stats ~mode circuit process =
   let stats = stats_of ?stats circuit process in
   if stats.device_count = 0 then
-    invalid_arg "Fullcustom.estimate: circuit has no devices";
+    invalid_arg "Fullcustom.estimate: circuit has no devices"; (* invariant *)
   let device_area =
     match (mode : Config.device_area_mode) with
     | Config.Exact_areas -> stats.total_device_area

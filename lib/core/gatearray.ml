@@ -75,7 +75,12 @@ let site_demand ?params (circuit : Mae_netlist.Circuit.t) process =
       in
       go 0 0
 
-let estimate ?params (circuit : Mae_netlist.Circuit.t) process =
+let stats_of ?stats circuit process =
+  match stats with
+  | Some (s : Mae_netlist.Stats.t) -> s
+  | None -> Mae_netlist.Stats.compute circuit process
+
+let estimate ?params ?stats (circuit : Mae_netlist.Circuit.t) process =
   let params =
     match params with Some p -> p | None -> default_params process
   in
@@ -110,8 +115,10 @@ let estimate ?params (circuit : Mae_netlist.Circuit.t) process =
           let _, array_rows, array_columns = Option.get !best in
           let width = Float.of_int array_columns *. params.site_width in
           let height = Float.of_int array_rows *. row_pitch in
-          (* routability via the paper's own track expectation *)
-          let stats = Mae_netlist.Stats.compute circuit process in
+          (* routability via the paper's own track expectation; the
+             shared statistics (and, through the track model, the shared
+             kernel cache) keep batch runs from recomputing per method *)
+          let stats = stats_of ?stats circuit process in
           let expected_tracks =
             Row_model.tracks_for_histogram ~model:Config.Paper_model
               ~rows:array_rows ~degree_histogram:stats.degree_histogram
@@ -134,14 +141,14 @@ let estimate ?params (circuit : Mae_netlist.Circuit.t) process =
             }
     end
 
-let estimate_routable ?params ?(max_growth = 8) circuit process =
+let estimate_routable ?params ?stats ?(max_growth = 8) circuit process =
   let params =
     match params with Some p -> p | None -> default_params process
   in
-  match estimate ~params circuit process with
+  let stats = stats_of ?stats circuit process in
+  match estimate ~params ~stats circuit process with
   | Error e -> Error e
   | Ok base ->
-      let stats = Mae_netlist.Stats.compute circuit process in
       let try_rows rows =
         let columns = (base.sites + rows - 1) / rows in
         let pitch = process.Mae_tech.Process.track_pitch in

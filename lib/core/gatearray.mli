@@ -49,15 +49,20 @@ val site_demand :
 
 val estimate :
   ?params:params ->
+  ?stats:Mae_netlist.Stats.t ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->
   (estimate, string) result
 (** Square-ish array sizing: the row count minimizing the bounding box's
     deviation from 1:1 given the fixed per-row channel.  Raises nothing;
-    all failures are [Error]. *)
+    all failures are [Error].  Pass [?stats] to reuse statistics (and
+    their kernel caches) already computed for the circuit, as
+    {!Stdcell.estimate} and {!Fullcustom.estimate} do; they are computed
+    on demand otherwise. *)
 
 val estimate_routable :
   ?params:params ->
+  ?stats:Mae_netlist.Stats.t ->
   ?max_growth:int ->
   Mae_netlist.Circuit.t ->
   Mae_tech.Process.t ->

@@ -1,12 +1,12 @@
 let rows_for_divisor ~cell_area ~row_height ~divisor =
-  if cell_area <= 0. then invalid_arg "Row_select: non-positive cell area";
-  if row_height <= 0. then invalid_arg "Row_select: non-positive row height";
-  if divisor < 1 then invalid_arg "Row_select: divisor < 1";
+  if cell_area <= 0. then invalid_arg "Row_select: non-positive cell area"; (* invariant *)
+  if row_height <= 0. then invalid_arg "Row_select: non-positive row height"; (* invariant *)
+  if divisor < 1 then invalid_arg "Row_select: divisor < 1"; (* invariant *)
   let raw = Float.sqrt cell_area /. (Float.of_int divisor *. row_height) in
   Stdlib.max 1 (Float.to_int (Float.ceil (raw -. 1e-9)))
 
 let row_length ~cell_area ~row_height ~rows =
-  if rows < 1 then invalid_arg "Row_select.row_length: rows < 1";
+  if rows < 1 then invalid_arg "Row_select.row_length: rows < 1"; (* invariant *)
   cell_area /. (Float.of_int rows *. row_height)
 
 let loop_state ?stats circuit process =
@@ -16,7 +16,7 @@ let loop_state ?stats circuit process =
     | None -> Mae_netlist.Stats.compute circuit process
   in
   if stats.Mae_netlist.Stats.device_count = 0 then
-    invalid_arg "Row_select: circuit has no devices";
+    invalid_arg "Row_select: circuit has no devices"; (* invariant *)
   let cell_area = stats.Mae_netlist.Stats.total_device_area in
   let row_height = process.Mae_tech.Process.row_height in
   let ports =
@@ -35,7 +35,7 @@ let initial_rows ?stats circuit process =
   go 2
 
 let candidates ?(max_count = 3) ?stats circuit process =
-  if max_count < 1 then invalid_arg "Row_select.candidates: max_count < 1";
+  if max_count < 1 then invalid_arg "Row_select.candidates: max_count < 1"; (* invariant *)
   let cell_area, row_height, ports = loop_state ?stats circuit process in
   let rec skip_to_accepted divisor =
     let rows = rows_for_divisor ~cell_area ~row_height ~divisor in

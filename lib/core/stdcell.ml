@@ -4,10 +4,10 @@ let stats_of ?stats circuit process =
   | None -> Mae_netlist.Stats.compute circuit process
 
 let estimate ?(config = Config.default) ?stats ~rows circuit process =
-  if rows < 1 then invalid_arg "Stdcell.estimate: rows < 1";
+  if rows < 1 then invalid_arg "Stdcell.estimate: rows < 1"; (* invariant *)
   let stats = stats_of ?stats circuit process in
   if stats.Mae_netlist.Stats.device_count = 0 then
-    invalid_arg "Stdcell.estimate: circuit has no devices";
+    invalid_arg "Stdcell.estimate: circuit has no devices"; (* invariant *)
   let tracks_upper_bound =
     Row_model.tracks_for_histogram ~model:config.row_span_model ~rows
       ~degree_histogram:stats.degree_histogram

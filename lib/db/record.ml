@@ -18,36 +18,53 @@ type t = {
   shapes : (float * float) list;
 }
 
+(* A record is the floor planner's input row, and the floor planner
+   needs the standard-cell shape function plus both full-custom
+   variants; a report estimated with a narrower method set cannot
+   produce one. *)
 let of_report (r : Mae.Driver.module_report) =
-  let sc = r.stdcell in
-  let fce = r.fullcustom_exact and fca = r.fullcustom_average in
-  let sweep_shapes =
-    List.map
-      (fun (e : Mae.Estimate.stdcell) -> (e.width, e.height))
-      r.stdcell_sweep
-  in
-  let fc_shapes =
-    [ (fce.Mae.Estimate.width, fce.height); (fca.Mae.Estimate.width, fca.height) ]
-  in
-  {
-    module_name = r.circuit.Mae_netlist.Circuit.name;
-    technology = r.circuit.Mae_netlist.Circuit.technology;
-    devices = Mae_netlist.Circuit.device_count r.circuit;
-    nets = Mae_netlist.Circuit.net_count r.circuit;
-    ports = Mae_netlist.Circuit.port_count r.circuit;
-    sc_rows = sc.Mae.Estimate.rows;
-    sc_tracks = sc.tracks;
-    sc_feed_throughs = sc.feed_throughs;
-    sc_width = sc.width;
-    sc_height = sc.height;
-    sc_area = sc.area;
-    sc_aspect = Mae_geom.Aspect.ratio sc.aspect;
-    fc_exact_area = fce.area;
-    fc_exact_aspect = Mae_geom.Aspect.ratio fce.aspect;
-    fc_average_area = fca.area;
-    fc_average_aspect = Mae_geom.Aspect.ratio fca.aspect;
-    shapes = sweep_shapes @ fc_shapes;
-  }
+  match
+    ( Mae.Driver.stdcell r,
+      Mae.Driver.fullcustom_exact r,
+      Mae.Driver.fullcustom_average r )
+  with
+  | Some sc, Some fce, Some fca ->
+      let sweep_shapes =
+        List.map
+          (fun (e : Mae.Estimate.stdcell) -> (e.width, e.height))
+          (Mae.Driver.stdcell_sweep r)
+      in
+      let fc_shapes =
+        [
+          (fce.Mae.Estimate.width, fce.height);
+          (fca.Mae.Estimate.width, fca.height);
+        ]
+      in
+      Ok
+        {
+          module_name = r.circuit.Mae_netlist.Circuit.name;
+          technology = r.circuit.Mae_netlist.Circuit.technology;
+          devices = Mae_netlist.Circuit.device_count r.circuit;
+          nets = Mae_netlist.Circuit.net_count r.circuit;
+          ports = Mae_netlist.Circuit.port_count r.circuit;
+          sc_rows = sc.Mae.Estimate.rows;
+          sc_tracks = sc.tracks;
+          sc_feed_throughs = sc.feed_throughs;
+          sc_width = sc.width;
+          sc_height = sc.height;
+          sc_area = sc.area;
+          sc_aspect = Mae_geom.Aspect.ratio sc.aspect;
+          fc_exact_area = fce.area;
+          fc_exact_aspect = Mae_geom.Aspect.ratio fce.aspect;
+          fc_average_area = fca.area;
+          fc_average_aspect = Mae_geom.Aspect.ratio fca.aspect;
+          shapes = sweep_shapes @ fc_shapes;
+        }
+  | _ ->
+      Error
+        (r.circuit.Mae_netlist.Circuit.name
+       ^ ": the database row needs successful stdcell, fullcustom-exact and \
+          fullcustom-average results (run with the default method set)")
 
 let equal a b =
   String.equal a.module_name b.module_name

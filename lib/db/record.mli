@@ -26,9 +26,11 @@ type t = {
       (** candidate module shapes for the floor planner (width, height) *)
 }
 
-val of_report : Mae.Driver.module_report -> t
+val of_report : Mae.Driver.module_report -> (t, string) result
 (** Shapes collect the standard-cell sweep plus the two full-custom
-    variants. *)
+    variants.  [Error] when the report lacks a successful [stdcell],
+    [fullcustom-exact] or [fullcustom-average] result (a narrower
+    [--methods] set cannot feed the floor planner). *)
 
 val equal : t -> t -> bool
 

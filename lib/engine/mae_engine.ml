@@ -1,3 +1,8 @@
+(* Baseline methodologies register at Mae_baselines.Methods init; this
+   reference forces the linker to keep (and initialize) that unit, so
+   every engine consumer can select them by name. *)
+let () = Mae_baselines.Methods.ensure_registered ()
+
 type error =
   | Driver_error of Mae.Driver.error
   | Crashed of { module_name : string; exn : string }
@@ -68,7 +73,7 @@ let resolve_jobs = function
   | None -> 1
   | Some 0 -> default_jobs ()
   | Some j when j >= 1 -> j
-  | Some j -> invalid_arg (Printf.sprintf "Mae_engine: jobs = %d" j)
+  | Some j -> invalid_arg (Printf.sprintf "Mae_engine: jobs = %d" j) (* invariant *)
 
 (* Spawning more domains than the hardware offers pessimizes hard --
    BENCH_engine.json records jobs:8 at 0.18x of sequential on a 1-core
@@ -162,16 +167,16 @@ let map_pool ~jobs ~t0 f inputs =
   in
   (results, claimed, max_wait)
 
-let estimate_one ?config ~registry (circuit : Mae_netlist.Circuit.t) =
+let estimate_one ?config ?methods ~registry (circuit : Mae_netlist.Circuit.t) =
   Mae_obs.Metrics.time module_latency @@ fun () ->
-  match Mae.Driver.run_circuit ?config ~registry circuit with
+  match Mae.Driver.run_circuit ?config ?methods ~registry circuit with
   | Ok report -> Ok report
   | Error e -> Error (Driver_error e)
   | exception exn ->
       Error
         (Crashed { module_name = circuit.name; exn = Printexc.to_string exn })
 
-let run_circuits_with_stats ?config ?jobs ~registry circuits =
+let run_circuits_with_stats ?config ?methods ?jobs ~registry circuits =
   let jobs = resolve_jobs jobs in
   check_oversubscription jobs;
   let inputs = Array.of_list circuits in
@@ -185,7 +190,7 @@ let run_circuits_with_stats ?config ?jobs ~registry circuits =
   let cache_before = Mae_prob.Kernel_cache.stats () in
   let t0 = Unix.gettimeofday () in
   let results, per_domain, queue_wait =
-    map_pool ~jobs ~t0 (estimate_one ?config ~registry) inputs
+    map_pool ~jobs ~t0 (estimate_one ?config ?methods ~registry) inputs
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let cache_after = Mae_prob.Kernel_cache.stats () in
@@ -224,20 +229,20 @@ let run_circuits_with_stats ?config ?jobs ~registry circuits =
       ];
   (Array.to_list results, stats)
 
-let run_circuits ?config ?jobs ~registry circuits =
-  fst (run_circuits_with_stats ?config ?jobs ~registry circuits)
+let run_circuits ?config ?methods ?jobs ~registry circuits =
+  fst (run_circuits_with_stats ?config ?methods ?jobs ~registry circuits)
 
-let run_design ?config ?jobs ~registry design =
+let run_design ?config ?methods ?jobs ~registry design =
   match Mae.Driver.design_circuits design with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)
+  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)
 
-let run_string ?config ?jobs ~registry text =
+let run_string ?config ?methods ?jobs ~registry text =
   match Mae.Driver.string_circuits text with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)
+  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)
 
-let run_file ?config ?jobs ~registry path =
+let run_file ?config ?methods ?jobs ~registry path =
   match Mae.Driver.file_circuits path with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?jobs ~registry circuits)
+  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)

@@ -7,6 +7,11 @@
     (driver error or exception) yields an [Error] slot; the rest of the
     batch is unaffected.
 
+    Every entry point takes the driver's [?methods] selection (see
+    {!Mae.Methodology}); linking this library guarantees the four
+    baseline methodologies from {!Mae_baselines.Methods} are registered,
+    so all eight estimators are selectable by name in batch requests.
+
     The probability kernels shared by all modules -- row-span
     distributions, feed-through binomials -- are memoized in the
     domain-safe {!Mae_prob.Kernel_cache}, so a batch pays for each
@@ -60,19 +65,22 @@ val default_jobs : unit -> int
 
 val run_circuits :
   ?config:Mae.Config.t ->
+  ?methods:string list ->
   ?jobs:int ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list
-(** Estimate every circuit.  [jobs] is the number of domains: omitted
-    or [1] runs sequentially on the calling domain, [0] means
-    {!default_jobs}, [n >= 2] spawns [n - 1] additional domains (the
-    caller is the n-th worker).  Raises [Invalid_argument] on a
-    negative [jobs].  Output order equals input order and is
-    bit-for-bit independent of [jobs]. *)
+(** Estimate every circuit.  [methods] selects the methodologies each
+    module runs (default ["default"]; see {!Mae.Methodology.resolve}).
+    [jobs] is the number of domains: omitted or [1] runs sequentially on
+    the calling domain, [0] means {!default_jobs}, [n >= 2] spawns
+    [n - 1] additional domains (the caller is the n-th worker).  Raises
+    [Invalid_argument] on a negative [jobs].  Output order equals input
+    order and is bit-for-bit independent of [jobs]. *)
 
 val run_circuits_with_stats :
   ?config:Mae.Config.t ->
+  ?methods:string list ->
   ?jobs:int ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
@@ -80,6 +88,7 @@ val run_circuits_with_stats :
 
 val run_design :
   ?config:Mae.Config.t ->
+  ?methods:string list ->
   ?jobs:int ->
   registry:Mae_tech.Registry.t ->
   Mae_hdl.Ast.design ->
@@ -91,6 +100,7 @@ val run_design :
 
 val run_string :
   ?config:Mae.Config.t ->
+  ?methods:string list ->
   ?jobs:int ->
   registry:Mae_tech.Registry.t ->
   string ->
@@ -98,6 +108,7 @@ val run_string :
 
 val run_file :
   ?config:Mae.Config.t ->
+  ?methods:string list ->
   ?jobs:int ->
   registry:Mae_tech.Registry.t ->
   string ->

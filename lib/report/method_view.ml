@@ -1,0 +1,69 @@
+type entry = {
+  name : string;
+  kind : string;
+  ok : bool;
+  area : float;
+  width : float;
+  height : float;
+  aspect : float;
+  note : string;
+}
+
+let render_table ~module_name entries =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("method", Table.Left); ("kind", Table.Left); ("area L^2", Table.Right);
+          ("width L", Table.Right); ("height L", Table.Right);
+          ("aspect", Table.Right); ("notes", Table.Left);
+        ]
+  in
+  List.iter
+    (fun e ->
+      if e.ok then
+        Table.add_row t
+          [
+            e.name; e.kind; Printf.sprintf "%.0f" e.area;
+            Printf.sprintf "%.0f" e.width; Printf.sprintf "%.0f" e.height;
+            Printf.sprintf "%.2f" e.aspect; e.note;
+          ]
+      else Table.add_row t [ e.name; "-"; "-"; "-"; "-"; "-"; e.note ])
+    entries;
+  Printf.sprintf "%s\n%s" module_name (Table.render t)
+
+(* One outline per successful footprint, bottoms aligned, separated by a
+   gap proportional to the widest box so the drawing reads at any scale. *)
+let render_svg ?pixel_width ~module_name entries =
+  let boxes =
+    List.filter (fun e -> e.ok && e.width > 0. && e.height > 0.) entries
+  in
+  match boxes with
+  | [] -> Error (module_name ^ ": no successful methodology to draw")
+  | boxes ->
+      let max_w =
+        List.fold_left (fun acc e -> Float.max acc e.width) 0. boxes
+      in
+      let gap = 0.08 *. max_w in
+      let total_width =
+        List.fold_left (fun acc e -> acc +. e.width +. gap) 0. boxes -. gap
+      in
+      let total_height =
+        List.fold_left (fun acc e -> Float.max acc e.height) 0. boxes
+      in
+      let items, _ =
+        List.fold_left
+          (fun (items, x) e ->
+            let item =
+              {
+                Svg.rect = (x, 0., e.width, e.height);
+                style = Svg.cell_style;
+                label = Some e.name;
+              }
+            in
+            (item :: items, x +. e.width +. gap))
+          ([], 0.) boxes
+      in
+      Ok
+        (Svg.render ?pixel_width ~width:total_width ~height:total_height
+           (List.rev items))

@@ -1,0 +1,32 @@
+(** Side-by-side rendering of one module's per-methodology results.
+
+    The registry ({!Mae.Methodology}) makes N estimators run over the
+    same module; this view puts their answers next to each other — an
+    ASCII table for the terminal and a footprint SVG that draws every
+    successful outcome's bounding box to a common scale.
+
+    [mae_report] stays dependency-light (fmt only), so callers extract
+    the numbers from their [module_report] into {!entry} values first;
+    see [bin/mae_cli.ml] for the canonical extraction. *)
+
+type entry = {
+  name : string;  (** registry name, e.g. ["fullcustom-exact"] *)
+  kind : string;  (** outcome kind tag; [""] for failures *)
+  ok : bool;
+  area : float;  (** lambda^2; meaningless when [not ok] *)
+  width : float;  (** lambda *)
+  height : float;  (** lambda *)
+  aspect : float;  (** width / height *)
+  note : string;  (** rows/sites detail, or the error text when [not ok] *)
+}
+
+val render_table : module_name:string -> entry list -> string
+(** A fixed-width comparison table (one row per methodology), titled
+    with the module name.  Failed methodologies keep their row, with the
+    error text in the note column. *)
+
+val render_svg :
+  ?pixel_width:int -> module_name:string -> entry list -> (string, string) result
+(** The successful entries' footprints side by side, drawn to one scale
+    and labelled by methodology name.  [Error] when no entry succeeded
+    (there is nothing to draw). *)

@@ -24,6 +24,11 @@ module Json = Mae_obs.Json
 module Log = Mae_obs.Log
 module Metrics = Mae_obs.Metrics
 
+(* Make the baseline methodologies selectable in requests: their
+   registration runs when Mae_baselines.Methods initializes, which this
+   reference forces (Mae_engine does the same; twice is harmless). *)
+let () = Mae_baselines.Methods.ensure_registered ()
+
 type addr = Tcp of { host : string; port : int } | Unix_sock of string
 
 let pp_addr ppf = function
@@ -123,27 +128,95 @@ type outcome = {
   rows_selected_total : int;
 }
 
+(* One JSON value per methodology outcome: the shared dimensions plus a
+   few kind-specific extras. *)
+let outcome_json (o : Mae.Methodology.outcome) =
+  let dims = Mae.Methodology.dims o in
+  let base =
+    [
+      ("ok", Json.Bool true);
+      ("kind", Json.String (Mae.Methodology.kind o));
+      ("area", Json.Number dims.Mae.Methodology.area);
+      ("width", Json.Number dims.Mae.Methodology.width);
+      ("height", Json.Number dims.Mae.Methodology.height);
+    ]
+  in
+  let extra =
+    match o with
+    | Mae.Methodology.Stdcell { auto; sweep } ->
+        [
+          ("rows", Json.Number (Float.of_int auto.Mae.Estimate.rows));
+          ( "sweep_rows",
+            Json.Array
+              (List.map
+                 (fun (s : Mae.Estimate.stdcell) ->
+                   Json.Number (Float.of_int s.Mae.Estimate.rows))
+                 sweep) );
+        ]
+    | Mae.Methodology.Gatearray g ->
+        [
+          ("sites", Json.Number (Float.of_int g.Mae.Gatearray.sites));
+          ("routable", Json.Bool g.Mae.Gatearray.routable);
+        ]
+    | Mae.Methodology.Fullcustom _ | Mae.Methodology.Scalar _ -> []
+  in
+  Json.Object (base @ extra)
+
+let method_result_json (r : Mae.Driver.method_result) =
+  ( Mae.Methodology.name r.methodology,
+    match r.outcome with
+    | Ok o -> outcome_json o
+    | Error e ->
+        Json.Object
+          [
+            ("ok", Json.Bool false);
+            ("error", Json.String (Mae.Methodology.error_to_string e));
+          ] )
+
 let module_json = function
   | Ok (r : Mae.Driver.module_report) ->
+      (* the flat legacy fields stay (when their methodologies ran and
+         succeeded) so pre-registry clients keep working; the "methods"
+         object is the full per-methodology story. *)
+      let legacy =
+        (match Mae.Driver.stdcell r with
+        | Some sc ->
+            [
+              ("rows", Json.Number (Float.of_int sc.Mae.Estimate.rows));
+              ("stdcell_area", Json.Number sc.Mae.Estimate.area);
+              ("stdcell_height", Json.Number sc.Mae.Estimate.height);
+              ("stdcell_width", Json.Number sc.Mae.Estimate.width);
+            ]
+        | None -> [])
+        @ (match Mae.Driver.fullcustom_exact r with
+          | Some f -> [ ("fullcustom_exact_area", Json.Number f.Mae.Estimate.area) ]
+          | None -> [])
+        @
+        match Mae.Driver.fullcustom_average r with
+        | Some f -> [ ("fullcustom_average_area", Json.Number f.Mae.Estimate.area) ]
+        | None -> []
+      in
       Json.Object
-        [
-          ("name", Json.String r.circuit.Mae_netlist.Circuit.name);
-          ("technology", Json.String r.circuit.Mae_netlist.Circuit.technology);
-          ("rows", Json.Number (Float.of_int r.stdcell.Mae.Estimate.rows));
-          ("stdcell_area", Json.Number r.stdcell.Mae.Estimate.area);
-          ("stdcell_height", Json.Number r.stdcell.Mae.Estimate.height);
-          ("stdcell_width", Json.Number r.stdcell.Mae.Estimate.width);
-          ( "fullcustom_exact_area",
-            Json.Number r.fullcustom_exact.Mae.Estimate.area );
-          ( "fullcustom_average_area",
-            Json.Number r.fullcustom_average.Mae.Estimate.area );
-        ]
+        ([
+           ("name", Json.String r.circuit.Mae_netlist.Circuit.name);
+           ("technology", Json.String r.circuit.Mae_netlist.Circuit.technology);
+         ]
+        @ legacy
+        @ [
+            ("methods", Json.Object (List.map method_result_json r.results));
+            ( "method_errors",
+              Json.Number
+                (Float.of_int (List.length (Mae.Driver.method_failures r))) );
+          ])
   | Error e ->
       Json.Object
         [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
 
-let estimate_outcome config text =
-  match Mae_engine.run_string ~jobs:config.jobs ~registry:config.registry text with
+let estimate_outcome config ?methods text =
+  match
+    Mae_engine.run_string ?methods ~jobs:config.jobs ~registry:config.registry
+      text
+  with
   | Error e ->
       let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
       ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
@@ -154,8 +227,11 @@ let estimate_outcome config text =
       let rows =
         List.fold_left
           (fun acc -> function
-            | Ok (r : Mae.Driver.module_report) ->
-                acc + r.stdcell.Mae.Estimate.rows
+            | Ok (r : Mae.Driver.module_report) -> begin
+                match Mae.Driver.stdcell r with
+                | Some sc -> acc + sc.Mae.Estimate.rows
+                | None -> acc
+              end
             | Error _ -> acc)
           0 results
       in
@@ -171,6 +247,34 @@ let estimate_outcome config text =
         ],
         false, 0, 0, 0 )
 
+(* The optional "methods" request field: a comma-separated string or an
+   array of names, validated against the registry before estimation so a
+   typo answers with a request error listing what is registered. *)
+let parse_methods doc =
+  match Json.member "methods" doc with
+  | None -> Ok None
+  | Some (Json.String s) -> begin
+      match Mae.Methodology.selection_of_string s with
+      | Ok names -> Ok (Some names)
+      | Error e -> Error e
+    end
+  | Some (Json.Array items) -> begin
+      let rec strings acc = function
+        | [] -> Some (List.rev acc)
+        | Json.String s :: rest -> strings (s :: acc) rest
+        | _ -> None
+      in
+      match strings [] items with
+      | None -> Error "\"methods\" entries must be strings"
+      | Some [] -> Error "empty method set"
+      | Some names -> begin
+          match Mae.Methodology.selection_of_string (String.concat "," names) with
+          | Ok names -> Ok (Some names)
+          | Error e -> Error e
+        end
+    end
+  | Some _ -> Error "\"methods\" must be a string or an array of strings"
+
 let process_request config ~seq line =
   let client_id, body =
     match Json.parse line with
@@ -180,16 +284,24 @@ let process_request config ~seq line =
                      false, 0, 0, 0))
     | Ok doc -> begin
         let id = Option.value (Json.member "id" doc) ~default:Json.Null in
-        match Json.member "hdl" doc with
-        | Some (Json.String text) -> (id, estimate_outcome config text)
-        | Some _ ->
+        match parse_methods doc with
+        | Error e ->
             (id, ([ ("ok", Json.Bool false);
-                    ("error", Json.String "\"hdl\" must be a string") ],
+                    ("error", Json.String ("bad \"methods\": " ^ e)) ],
                   false, 0, 0, 0))
-        | None ->
-            (id, ([ ("ok", Json.Bool false);
-                    ("error", Json.String "request needs an \"hdl\" field") ],
-                  false, 0, 0, 0))
+        | Ok methods -> begin
+            match Json.member "hdl" doc with
+            | Some (Json.String text) ->
+                (id, estimate_outcome config ?methods text)
+            | Some _ ->
+                (id, ([ ("ok", Json.Bool false);
+                        ("error", Json.String "\"hdl\" must be a string") ],
+                      false, 0, 0, 0))
+            | None ->
+                (id, ([ ("ok", Json.Bool false);
+                        ("error", Json.String "request needs an \"hdl\" field") ],
+                      false, 0, 0, 0))
+          end
       end
   in
   let fields, ok, modules, modules_ok, rows_selected_total = body in
@@ -295,6 +407,28 @@ let buildinfo_body st =
        ])
   ^ "\n"
 
+let methods_body () =
+  Json.encode
+    (Json.Object
+       [
+         ( "default",
+           Json.Array
+             (List.map
+                (fun n -> Json.String n)
+                Mae.Methodology.default_names) );
+         ( "methods",
+           Json.Array
+             (List.map
+                (fun t ->
+                  Json.Object
+                    [
+                      ("name", Json.String (Mae.Methodology.name t));
+                      ("doc", Json.String (Mae.Methodology.doc t));
+                    ])
+                (Mae.Methodology.all ())) );
+       ])
+  ^ "\n"
+
 let tracez_body st =
   let events = Mae_obs.Span.events () in
   let recent =
@@ -369,9 +503,11 @@ let handle_http st raw =
           http_response ~content_type:"application/json" (buildinfo_body st)
       | "/tracez" ->
           http_response ~content_type:"application/json" (tracez_body st)
+      | "/methods" ->
+          http_response ~content_type:"application/json" (methods_body ())
       | _ ->
           http_response ~status:"404 Not Found" ~content_type:"text/plain"
-            "not found; try /metrics /healthz /buildinfo /tracez\n"
+            "not found; try /metrics /healthz /buildinfo /tracez /methods\n"
     end
   | "GET" :: _ ->
       http_response ~status:"400 Bad Request" ~content_type:"text/plain"
@@ -441,14 +577,25 @@ let socket_of_addr = function
       in
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      (fd, Unix.ADDR_INET (inet, port))
+      Ok (fd, Unix.ADDR_INET (inet, port))
   | Unix_sock path ->
-      if Sys.file_exists path then (
-        match (Unix.stat path).Unix.st_kind with
-        | Unix.S_SOCK -> Sys.remove path
-        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path));
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (fd, Unix.ADDR_UNIX path)
+      let stale =
+        if Sys.file_exists path then begin
+          match (Unix.stat path).Unix.st_kind with
+          | Unix.S_SOCK ->
+              Sys.remove path;
+              Ok ()
+          | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
+        end
+        else Ok ()
+      in
+      begin
+        match stale with
+        | Error _ as e -> e
+        | Ok () ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Ok (fd, Unix.ADDR_UNIX path)
+      end
 
 let bound_addr fd = function
   | Unix_sock path -> Unix_sock path
@@ -460,12 +607,12 @@ let bound_addr fd = function
 
 let listen_on addr =
   match socket_of_addr addr with
-  | exception Failure msg -> Error msg
+  | Error msg -> Error msg
   | exception Unix.Unix_error (e, _, _) ->
       Error
         (Format.asprintf "cannot listen on %a: %s" pp_addr addr
            (Unix.error_message e))
-  | fd, sockaddr -> (
+  | Ok (fd, sockaddr) -> (
       match
         Unix.bind fd sockaddr;
         Unix.listen fd 64

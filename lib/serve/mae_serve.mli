@@ -5,13 +5,26 @@
     - {e request plane}: line-delimited JSON over TCP or a Unix-domain
       socket.  One request line in, one response line out, answered
       through {!Mae_engine} (so the kernel cache and domain pool
-      apply).  A request is [{"hdl": "<module text>", "id": <any>}];
-      the response carries a server-assigned monotone ["seq"], the
-      echoed ["id"], ["ok"], and per-module estimates or errors.
+      apply).  A request is
+      [{"hdl": "<module text>", "id": <any>, "methods": <set>}], where
+      the optional ["methods"] is a comma-separated string or an array
+      of registry names (see {!Mae.Methodology}; the aliases
+      ["default"] and ["all"] work) and defaults to the classic
+      stdcell + full-custom set.  The response carries a
+      server-assigned monotone ["seq"], the echoed ["id"], ["ok"], and
+      one entry per module: the flat legacy fields ([rows],
+      [stdcell_area], [fullcustom_exact_area], ...) when those
+      methodologies ran, plus a ["methods"] object with one
+      [{"ok", "kind", "area", "width", "height", ...}] value (or
+      [{"ok": false, "error"}]) per selected methodology.
     - {e observability plane} (optional second socket): HTTP/1.0
       [GET /metrics] (Prometheus text from the {!Mae_obs.Metrics}
-      registry), [/healthz] (liveness + engine/domain status),
-      [/buildinfo], and [/tracez] (recent-span snapshot + flame rows).
+      registry, including the per-methodology
+      [mae_method_<name>_runs_total] / [..._errors_total] counters and
+      [mae_method_<name>_seconds] latency histograms), [/healthz]
+      (liveness + engine/domain status), [/buildinfo], [/tracez]
+      (recent-span snapshot + flame rows), and [/methods] (the
+      methodology registry: names, docs, and the default set).
 
     Every request emits one [serve.request] access-log record through
     {!Mae_obs.Log} -- latency, rows selected, kernel-cache hit deltas

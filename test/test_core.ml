@@ -665,12 +665,20 @@ let test_driver_runs_hdl () =
       Alcotest.(check string) "module" "m" report.circuit.Mae_netlist.Circuit.name;
       Alcotest.(check bool) "expanded to transistors" true
         (report.expanded <> None);
-      Alcotest.(check bool) "positive sc area" true
-        (report.stdcell.Mae.Estimate.area > 0.);
-      Alcotest.(check bool) "positive fc area" true
-        (report.fullcustom_exact.Mae.Estimate.area > 0.);
+      let sc =
+        match Mae.Driver.stdcell report with
+        | Some sc -> sc
+        | None -> Alcotest.fail "no stdcell result in the default method set"
+      in
+      let fce =
+        match Mae.Driver.fullcustom_exact report with
+        | Some fc -> fc
+        | None -> Alcotest.fail "no fullcustom-exact result"
+      in
+      Alcotest.(check bool) "positive sc area" true (sc.Mae.Estimate.area > 0.);
+      Alcotest.(check bool) "positive fc area" true (fce.Mae.Estimate.area > 0.);
       Alcotest.(check bool) "fc smaller than sc for tiny module" true
-        (report.fullcustom_exact.Mae.Estimate.area < report.stdcell.Mae.Estimate.area)
+        (fce.Mae.Estimate.area < sc.Mae.Estimate.area)
   | Ok _ -> Alcotest.fail "expected one report"
 
 let test_driver_unknown_process () =

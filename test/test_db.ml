@@ -6,29 +6,48 @@ let report () =
   | Ok r -> r
   | Error _ -> Alcotest.fail "driver failed"
 
+let record_of_report_exn r =
+  match Mae_db.Record.of_report r with
+  | Ok record -> record
+  | Error msg -> Alcotest.failf "of_report: %s" msg
+
 let test_record_of_report () =
   let r = report () in
-  let record = Mae_db.Record.of_report r in
+  let record = record_of_report_exn r in
   Alcotest.(check string) "name" "full_adder" record.Mae_db.Record.module_name;
   Alcotest.(check string) "technology" "nmos25" record.technology;
   Alcotest.(check int) "devices" 5 record.devices;
   Alcotest.(check int) "nets" 8 record.nets;
   Alcotest.(check int) "ports" 5 record.ports;
-  S.check_float "sc area" r.Mae.Driver.stdcell.Mae.Estimate.area record.sc_area;
-  S.check_float "fc exact area"
-    r.Mae.Driver.fullcustom_exact.Mae.Estimate.area record.fc_exact_area;
+  let sc = Option.get (Mae.Driver.stdcell r) in
+  let fce = Option.get (Mae.Driver.fullcustom_exact r) in
+  S.check_float "sc area" sc.Mae.Estimate.area record.sc_area;
+  S.check_float "fc exact area" fce.Mae.Estimate.area record.fc_exact_area;
   (* shapes: one per sweep entry plus the two full-custom variants *)
   Alcotest.(check int) "shape count"
-    (List.length r.Mae.Driver.stdcell_sweep + 2)
+    (List.length (Mae.Driver.stdcell_sweep r) + 2)
     (List.length record.shapes)
+
+(* a narrowed method set cannot feed the floor planner: typed refusal,
+   not a crash *)
+let test_record_needs_default_methods () =
+  let registry = Mae_tech.Registry.create () in
+  match
+    Mae.Driver.run_circuit ~registry ~methods:[ "fullcustom-exact" ]
+      S.full_adder
+  with
+  | Error _ -> Alcotest.fail "driver failed"
+  | Ok r ->
+      Alcotest.(check bool) "of_report refuses" true
+        (Result.is_error (Mae_db.Record.of_report r))
 
 let test_store_roundtrip () =
   let store = Mae_db.Store.create () in
-  Mae_db.Store.add store (Mae_db.Record.of_report (report ()));
+  Mae_db.Store.add store (record_of_report_exn (report ()));
   let registry = Mae_tech.Registry.create () in
   begin
     match Mae.Driver.run_circuit ~registry S.counter8 with
-    | Ok r -> Mae_db.Store.add store (Mae_db.Record.of_report r)
+    | Ok r -> Mae_db.Store.add store (record_of_report_exn r)
     | Error _ -> Alcotest.fail "driver failed"
   end;
   let text = Mae_db.Store.to_string store in
@@ -46,7 +65,7 @@ let test_store_roundtrip () =
 
 let test_store_replaces () =
   let store = Mae_db.Store.create () in
-  let record = Mae_db.Record.of_report (report ()) in
+  let record = record_of_report_exn (report ()) in
   Mae_db.Store.add store record;
   Mae_db.Store.add store { record with devices = 99 };
   Alcotest.(check int) "one record" 1 (List.length (Mae_db.Store.records store));
@@ -68,7 +87,7 @@ let test_store_parse_errors () =
 
 let test_store_file_io () =
   let store = Mae_db.Store.create () in
-  Mae_db.Store.add store (Mae_db.Record.of_report (report ()));
+  Mae_db.Store.add store (record_of_report_exn (report ()));
   let path = Filename.temp_file "mae_db" ".txt" in
   begin
     match Mae_db.Store.save store ~path with
@@ -106,7 +125,11 @@ let () =
   Alcotest.run "db"
     [
       ( "record",
-        [ Alcotest.test_case "of_report" `Quick test_record_of_report ] );
+        [
+          Alcotest.test_case "of_report" `Quick test_record_of_report;
+          Alcotest.test_case "of_report needs default methods" `Quick
+            test_record_needs_default_methods;
+        ] );
       ( "store",
         [
           Alcotest.test_case "round trip" `Quick test_store_roundtrip;

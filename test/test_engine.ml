@@ -44,13 +44,24 @@ let fullcustom_digest (e : Mae.Estimate.fullcustom) =
     aspect_bits e.aspect_raw;
   ]
 
+(* every selected method contributes: its full payload digest for the
+   structured outcomes, the shared dims for the scalar baselines *)
+let outcome_digest (mr : Mae.Driver.method_result) =
+  let name = Mae.Methodology.name mr.methodology in
+  match mr.outcome with
+  | Ok (Mae.Methodology.Stdcell { auto; sweep }) ->
+      stdcell_digest auto @ List.concat_map stdcell_digest sweep
+  | Ok (Mae.Methodology.Fullcustom fc) -> fullcustom_digest fc
+  | Ok outcome ->
+      let d = Mae.Methodology.dims outcome in
+      [ bits d.area; bits d.width; bits d.height ]
+  | Error e ->
+      [ Int64.of_int (Hashtbl.hash (name, Mae.Methodology.error_to_string e)) ]
+
 let result_digest = function
   | Ok (r : Mae.Driver.module_report) ->
       ( "ok:" ^ r.circuit.Mae_netlist.Circuit.name,
-        stdcell_digest r.stdcell
-        @ List.concat_map stdcell_digest r.stdcell_sweep
-        @ fullcustom_digest r.fullcustom_exact
-        @ fullcustom_digest r.fullcustom_average )
+        List.concat_map outcome_digest r.results )
   | Error e -> (Format.asprintf "error: %a" Mae_engine.pp_error e, [])
 
 let digests = Alcotest.(list (pair string (list int64)))

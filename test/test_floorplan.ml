@@ -297,7 +297,11 @@ let chip_store () =
   List.iter
     (fun circuit ->
       match Mae.Driver.run_circuit ~registry circuit with
-      | Ok r -> Mae_db.Store.add store (Mae_db.Record.of_report r)
+      | Ok r -> begin
+          match Mae_db.Record.of_report r with
+          | Ok record -> Mae_db.Store.add store record
+          | Error msg -> Alcotest.failf "of_report: %s" msg
+        end
       | Error _ -> Alcotest.fail "driver failed")
     [ S.counter8; S.full_adder; Mae_workload.Generators.decoder 3 ];
   store

@@ -149,7 +149,10 @@ let test_figure1_pipeline () =
       Alcotest.(check int) "two modules" 2 (List.length reports);
       let store = Mae_db.Store.create () in
       List.iter
-        (fun r -> Mae_db.Store.add store (Mae_db.Record.of_report r))
+        (fun r ->
+          match Mae_db.Record.of_report r with
+          | Ok record -> Mae_db.Store.add store record
+          | Error msg -> Alcotest.failf "of_report: %s" msg)
         reports;
       (* feed the stored shapes to the floor planner *)
       let shapes =
@@ -181,8 +184,8 @@ let test_spice_pipeline () =
       let registry = Mae_tech.Registry.create () in
       match Mae.Driver.run_circuit ~registry circuit with
       | Ok report ->
-          Alcotest.(check bool) "estimated" true
-            (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.)
+          let sc = Option.get (Mae.Driver.stdcell report) in
+          Alcotest.(check bool) "estimated" true (sc.Mae.Estimate.area > 0.)
       | Error e ->
           Alcotest.failf "driver failed: %s"
             (Format.asprintf "%a" Mae.Driver.pp_error e)
@@ -308,13 +311,13 @@ let test_c17_end_to_end () =
   | Error e ->
       Alcotest.failf "driver: %s" (Format.asprintf "%a" Mae.Driver.pp_error e)
   | Ok report ->
-      Alcotest.(check bool) "estimated" true
-        (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.);
+      let sc = Option.get (Mae.Driver.stdcell report) in
+      Alcotest.(check bool) "estimated" true (sc.Mae.Estimate.area > 0.);
       let layout =
         Mae_layout.Sc_flow.run ~schedule:quick ~rng:(S.rng 17) ~rows:2 c S.nmos
       in
       Alcotest.(check bool) "upper bound on c17" true
-        (report.Mae.Driver.stdcell.Mae.Estimate.area > 0.
+        (sc.Mae.Estimate.area > 0.
         && (Mae.Stdcell.estimate ~rows:2 c S.nmos).Mae.Estimate.area
            > layout.Mae_layout.Row_layout.area);
       let wiring = Mae_layout.Sc_flow.wiring c S.nmos layout in

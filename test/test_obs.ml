@@ -168,12 +168,13 @@ let trace_roundtrip ~jobs () =
     List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_string) events
   in
   let count name = List.length (List.filter (String.equal name) names) in
-  (* one span per Figure-1 stage per module, one module parent each *)
+  (* one span per Figure-1 stage per module, one module parent each;
+     estimators run under per-methodology method.<name> spans *)
   List.iter
     (fun stage -> Alcotest.(check int) stage 10 (count stage))
     [
       "driver.module"; "driver.validate"; "driver.expand"; "driver.stats";
-      "driver.fullcustom"; "driver.stdcell"; "driver.sweep";
+      "method.stdcell"; "method.fullcustom-exact"; "method.fullcustom-average";
     ];
   Alcotest.(check int) "one batch span" 1 (count "engine.batch");
   check_nesting events;
@@ -290,17 +291,17 @@ let digest results =
     (function
       | Ok (r : Mae.Driver.module_report) ->
           ( r.circuit.Mae_netlist.Circuit.name,
-            List.map bits
-              [
-                r.stdcell.Mae.Estimate.area;
-                r.stdcell.Mae.Estimate.height;
-                r.stdcell.Mae.Estimate.width;
-                r.fullcustom_exact.Mae.Estimate.area;
-                r.fullcustom_average.Mae.Estimate.area;
-              ]
+            List.concat_map
+              (fun (mr : Mae.Driver.method_result) ->
+                match mr.outcome with
+                | Ok outcome ->
+                    let d = Mae.Methodology.dims outcome in
+                    List.map bits [ d.area; d.height; d.width ]
+                | Error _ -> [])
+              r.results
             @ List.map
                 (fun (s : Mae.Estimate.stdcell) -> bits s.area)
-                r.stdcell_sweep )
+                (Mae.Driver.stdcell_sweep r) )
       | Error e -> (Format.asprintf "%a" Mae_engine.pp_error e, []))
     results
 
