@@ -1,0 +1,174 @@
+(* Perf regression gate: re-measure the engine's cached throughput and
+   compare it against the most recent BENCH_history.jsonl entry from
+   the same host profile.  A drop of more than 20% in [seq_cached] or
+   in the best parallel run fails the build; an empty history or a
+   different host profile (recommended domain count) skips the gate --
+   numbers from another machine prove nothing about this one.
+
+   Noise control on shared/virtualized runners: each configuration is
+   measured several times in this one process and the best pass is
+   compared, since the gate hunts regressions (code that got slower),
+   not slow machines (a loaded host only ever makes us *pass* slower
+   runs, never fail fast ones). *)
+
+module Json = Mae_obs.Json
+
+let threshold = 0.80
+let passes = 3
+
+(* same shape mix as bench/main.ml's engine workload, so the gate's
+   modules/s is comparable with the history the bench appends *)
+let workload ~modules =
+  let flat g = Mae_workload.Bench_circuits.flatten g in
+  let shapes =
+    [|
+      flat (Mae_workload.Generators.multiplier 6);
+      flat (Mae_workload.Generators.multiplier 7);
+      flat (Mae_workload.Generators.multiplier 8);
+      flat (Mae_workload.Generators.alu 8);
+      flat (Mae_workload.Generators.counter 16);
+      flat (Mae_workload.Generators.ripple_adder 16);
+      Mae_workload.Generators.inverter_chain 200;
+      Mae_workload.Generators.pass_chain 300;
+    |]
+  in
+  List.init modules (fun i -> shapes.(i mod Array.length shapes))
+
+let skip reason =
+  Printf.printf "bench-gate: skipped (%s)\n" reason;
+  exit 0
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+
+(* last parseable bench_engine entry; the freshest statement about this
+   host wins *)
+let last_engine_entry lines =
+  List.fold_left
+    (fun acc line ->
+      match Json.parse line with
+      | Error _ -> acc
+      | Ok doc -> (
+          match Json.member "source" doc with
+          | Some (Json.String "bench_engine") -> Some doc
+          | _ -> acc))
+    None lines
+
+let number_member name doc =
+  Option.bind (Json.member name doc) Json.to_number
+
+let run_of_json doc =
+  match
+    ( Option.bind (Json.member "label" doc) Json.to_string,
+      number_member "jobs" doc,
+      number_member "modules_per_s" doc )
+  with
+  | Some label, Some jobs, Some mps -> Some (label, Float.to_int jobs, mps)
+  | _ -> None
+
+let measure ~pool ~jobs ~registry circuits =
+  let best = ref 0. in
+  for _ = 1 to passes do
+    Mae_prob.Kernel_cache.clear ();
+    let _, (stats : Mae_engine.stats) =
+      Mae_engine.run_circuits_with_stats ?pool ~jobs ~registry circuits
+    in
+    if stats.elapsed_s > 0. then begin
+      let mps = Float.of_int stats.modules /. stats.elapsed_s in
+      if mps > !best then best := mps
+    end
+  done;
+  !best
+
+let () =
+  let history_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else Bench_history.History.path
+  in
+  let entry =
+    match last_engine_entry (read_lines history_path) with
+    | None -> skip (Printf.sprintf "no bench_engine entry in %s" history_path)
+    | Some e -> e
+  in
+  let here = Mae_engine.default_jobs () in
+  (match number_member "host_recommended_domains" entry with
+  | None -> skip "history entry lacks host_recommended_domains"
+  | Some recorded when Float.to_int recorded <> here ->
+      skip
+        (Printf.sprintf "host profile differs (history %d domains, here %d)"
+           (Float.to_int recorded) here)
+  | Some _ -> ());
+  let modules =
+    match number_member "workload_modules" entry with
+    | Some m when m > 0. -> Float.to_int m
+    | _ -> skip "history entry lacks workload_modules"
+  in
+  let runs =
+    match Option.bind (Json.member "runs" entry) Json.to_list with
+    | Some l -> List.filter_map run_of_json l
+    | None -> skip "history entry lacks runs"
+  in
+  let baseline_seq =
+    match List.find_opt (fun (l, _, _) -> String.equal l "seq_cached") runs with
+    | Some (_, _, mps) when mps > 0. -> mps
+    | _ -> skip "history entry lacks a seq_cached run"
+  in
+  (* best parallel run on record, if any: compare like with like by
+     re-measuring at the same jobs count *)
+  let baseline_par =
+    List.fold_left
+      (fun acc (label, jobs, mps) ->
+        if String.length label >= 3 && String.sub label 0 3 = "par" then
+          match acc with
+          | Some (_, best) when best >= mps -> acc
+          | _ -> Some (jobs, mps)
+        else acc)
+      None runs
+  in
+  let circuits = workload ~modules in
+  let registry = Mae_tech.Registry.create () in
+  Printf.printf
+    "bench-gate: %d modules vs last history entry (threshold %.0f%%)\n%!"
+    modules
+    (100. *. (1. -. threshold));
+  let seq = measure ~pool:None ~jobs:1 ~registry circuits in
+  let verdicts = ref [] in
+  let check label ~baseline ~current =
+    let floor = baseline *. threshold in
+    let ok = current >= floor in
+    Printf.printf "  %-12s baseline %8.0f/s  now %8.0f/s  floor %8.0f/s  %s\n"
+      label baseline current floor
+      (if ok then "ok" else "REGRESSION");
+    verdicts := ok :: !verdicts
+  in
+  check "seq_cached" ~baseline:baseline_seq ~current:seq;
+  (match baseline_par with
+  | None -> ()
+  | Some (jobs, mps) ->
+      let pool =
+        if jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(jobs - 1))
+        else None
+      in
+      let par = measure ~pool ~jobs ~registry circuits in
+      Option.iter Mae_engine.Pool.shutdown pool;
+      check
+        (Printf.sprintf "par%d_cached" jobs)
+        ~baseline:mps ~current:par);
+  if List.for_all Fun.id !verdicts then print_endline "bench-gate: ok"
+  else begin
+    print_endline
+      "bench-gate: cached engine throughput regressed more than 20% against \
+       BENCH_history.jsonl; investigate (or re-baseline by re-running the \
+       engine bench on this host)";
+    exit 1
+  end

@@ -916,11 +916,11 @@ type engine_run = {
   stats : Mae_engine.stats;
 }
 
-let time_engine ~label ~jobs ~cache ~registry circuits =
+let time_engine ?pool ~label ~jobs ~cache ~registry circuits =
   Mae_prob.Kernel_cache.clear ();
   Mae_prob.Kernel_cache.set_enabled cache;
   let results, stats =
-    Mae_engine.run_circuits_with_stats ~jobs ~registry circuits
+    Mae_engine.run_circuits_with_stats ?pool ~jobs ~registry circuits
   in
   Mae_prob.Kernel_cache.set_enabled true;
   (results, { label; jobs; cache; stats })
@@ -987,11 +987,19 @@ let run_engine ~smoke () =
   let _, seq_cached =
     time_engine ~label:"seq_cached" ~jobs:1 ~cache:true ~registry circuits
   in
+  (* one persistent pool sized for the widest run: every parallel pass
+     reuses its domains, so the numbers measure scheduling, not
+     Domain.spawn *)
+  let max_jobs = List.fold_left Stdlib.max 1 parallel_jobs in
+  let pool =
+    if max_jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(max_jobs - 1))
+    else None
+  in
   let par_runs =
     List.map
       (fun jobs ->
         let results, run =
-          time_engine
+          time_engine ?pool
             ~label:(Printf.sprintf "par%d_cached" jobs)
             ~jobs ~cache:true ~registry circuits
         in
@@ -1022,6 +1030,7 @@ let run_engine ~smoke () =
         run)
       parallel_jobs
   in
+  Option.iter Mae_engine.Pool.shutdown pool;
   let runs = (seq_uncached :: seq_cached :: par_runs) in
   let t =
     Table.create

@@ -39,13 +39,15 @@ type estimate = {
 }
 
 (* Transistor count of one device: a transistor is itself; a gate goes
-   through its library template. *)
-let transistor_count (circuit : Mae_netlist.Circuit.t) process
+   through its library template.  [library] is resolved once per
+   circuit, not once per device -- the technology cannot change
+   mid-circuit. *)
+let transistor_count_with ~library (circuit : Mae_netlist.Circuit.t) process
     (d : Mae_netlist.Device.t) =
   match Mae_tech.Process.find_device process d.kind with
   | Some kind when Mae_tech.Device_kind.is_transistor kind -> Ok 1
   | Some _ | None -> begin
-      match Mae_celllib.Cmos_lib.for_technology circuit.technology with
+      match Lazy.force library with
       | None -> Error ("no cell library for technology " ^ circuit.technology)
       | Some library -> begin
           match Mae_celllib.Library.find library d.kind with
@@ -61,10 +63,13 @@ let site_demand ?params (circuit : Mae_netlist.Circuit.t) process =
   match validate_params params with
   | Error e -> Error e
   | Ok params ->
+      let library =
+        lazy (Mae_celllib.Cmos_lib.for_technology circuit.technology)
+      in
       let rec go acc i =
         if i >= Array.length circuit.devices then Ok acc
         else begin
-          match transistor_count circuit process circuit.devices.(i) with
+          match transistor_count_with ~library circuit process circuit.devices.(i) with
           | Error e -> Error e
           | Ok tx ->
               let sites =
@@ -74,6 +79,34 @@ let site_demand ?params (circuit : Mae_netlist.Circuit.t) process =
         end
       in
       go 0 0
+
+(* The squarest array offering at least [sites] sites: an O(sites) scan
+   with a log per candidate row count.  Its result depends only on
+   (sites, site_width, row_pitch) -- a handful of distinct values per
+   process/parameter set across a whole batch -- so the scan is memoized
+   in the shared kernel-cache table structure (floats keyed by their
+   IEEE-754 bits; the scan itself is untouched, a hit returns exactly
+   the bits a fresh scan would). *)
+let shape_table : (int * int64 * int64, int * int) Mae_prob.Kernel_cache.Table.t
+    =
+  Mae_prob.Kernel_cache.Table.create ~name:"gatearray_shape" ()
+
+let squarest_array ~sites ~site_width ~row_pitch =
+  Mae_prob.Kernel_cache.Table.find_or_compute shape_table
+    (sites, Int64.bits_of_float site_width, Int64.bits_of_float row_pitch)
+    (fun () ->
+      let best = ref None in
+      for rows = 1 to sites do
+        let columns = (sites + rows - 1) / rows in
+        let width = Float.of_int columns *. site_width in
+        let height = Float.of_int rows *. row_pitch in
+        let deviation = Float.abs (Float.log (width /. height)) in
+        match !best with
+        | Some (d, _, _) when d <= deviation -> ()
+        | Some _ | None -> best := Some (deviation, rows, columns)
+      done;
+      let _, array_rows, array_columns = Option.get !best in
+      (array_rows, array_columns))
 
 let stats_of ?stats circuit process =
   match stats with
@@ -101,18 +134,9 @@ let estimate ?params ?stats (circuit : Mae_netlist.Circuit.t) process =
             params.site_height
             +. (Float.of_int params.channel_tracks *. pitch)
           in
-          (* the squarest array offering at least [sites] sites *)
-          let best = ref None in
-          for rows = 1 to sites do
-            let columns = (sites + rows - 1) / rows in
-            let width = Float.of_int columns *. params.site_width in
-            let height = Float.of_int rows *. row_pitch in
-            let deviation = Float.abs (Float.log (width /. height)) in
-            match !best with
-            | Some (d, _, _) when d <= deviation -> ()
-            | Some _ | None -> best := Some (deviation, rows, columns)
-          done;
-          let _, array_rows, array_columns = Option.get !best in
+          let array_rows, array_columns =
+            squarest_array ~sites ~site_width:params.site_width ~row_pitch
+          in
           let width = Float.of_int array_columns *. params.site_width in
           let height = Float.of_int array_rows *. row_pitch in
           (* routability via the paper's own track expectation; the

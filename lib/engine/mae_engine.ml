@@ -103,56 +103,229 @@ let check_oversubscription jobs =
         jobs recommended
   end
 
-(* Work-stealing-free static pool: domains race on an atomic index over
-   the input array and each writes its own result slot, so slots are
-   written exactly once and [Domain.join] publishes them to the caller.
-   Input order is preserved by construction regardless of which domain
-   estimated which module.
+(* --- the persistent domain pool --- *)
 
-   Besides the results the pool reports, per worker: how many modules
-   the worker estimated (each worker owns its slot of [claimed]) and
-   how long the worker waited between batch start and its first claim
-   (the queue-wait measure behind [mae_engine_queue_wait_seconds]). *)
-let map_pool ~jobs ~t0 f inputs =
+(* Spawning a domain costs hundreds of microseconds -- more than a
+   whole cached module -- so per-batch spawns make small parallel
+   batches (the serve daemon's request sizes) a guaranteed loss.  The
+   pool keeps its domains parked on a condition variable between
+   batches; submitting a job is one lock round-trip and a broadcast.
+
+   Generation-counter barrier: [run] publishes the job under the lock
+   and bumps [gen]; each pool domain wakes, runs the job with its fixed
+   slot number, then decrements [active] and signals [done_cv].  [run]
+   participates as slot 0 on the calling domain and returns only after
+   [active] drops to zero, so job memory (result slots, atomics) is
+   fully synchronized before the caller reads it and jobs never
+   overlap. *)
+module Pool = struct
+  type t = {
+    lock : Mutex.t;
+    work_cv : Condition.t;
+    done_cv : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable gen : int;
+    mutable active : int;
+    mutable exn : exn option; (* first exception a pool domain caught *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let worker_loop p slot =
+    let my_gen = ref 0 in
+    let rec loop () =
+      Mutex.lock p.lock;
+      while (not p.stop) && p.gen = !my_gen do
+        Condition.wait p.work_cv p.lock
+      done;
+      if p.stop then Mutex.unlock p.lock
+      else begin
+        let job = Option.get p.job in
+        my_gen := p.gen;
+        Mutex.unlock p.lock;
+        let failure = match job slot with () -> None | exception e -> Some e in
+        Mutex.lock p.lock;
+        (match failure with
+        | Some e when p.exn = None -> p.exn <- Some e
+        | _ -> ());
+        p.active <- p.active - 1;
+        if p.active = 0 then Condition.broadcast p.done_cv;
+        Mutex.unlock p.lock;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~domains =
+    if domains < 0 then invalid_arg "Mae_engine.Pool.create: domains < 0";
+    let p =
+      {
+        lock = Mutex.create ();
+        work_cv = Condition.create ();
+        done_cv = Condition.create ();
+        job = None;
+        gen = 0;
+        active = 0;
+        exn = None;
+        stop = false;
+        domains = [||];
+      }
+    in
+    p.domains <-
+      Array.init domains (fun k ->
+          Domain.spawn (fun () -> worker_loop p (k + 1)));
+    p
+
+  let concurrency p = Array.length p.domains + 1
+
+  let run p f =
+    Mutex.lock p.lock;
+    if p.stop then begin
+      Mutex.unlock p.lock;
+      invalid_arg "Mae_engine.Pool.run: pool is shut down"
+    end;
+    if p.job <> None then begin
+      Mutex.unlock p.lock;
+      invalid_arg "Mae_engine.Pool.run: a job is already running"
+    end;
+    p.job <- Some f;
+    p.gen <- p.gen + 1;
+    p.active <- Array.length p.domains;
+    p.exn <- None;
+    Condition.broadcast p.work_cv;
+    Mutex.unlock p.lock;
+    let caller_failure = match f 0 with () -> None | exception e -> Some e in
+    Mutex.lock p.lock;
+    while p.active > 0 do
+      Condition.wait p.done_cv p.lock
+    done;
+    p.job <- None;
+    let pool_failure = p.exn in
+    p.exn <- None;
+    Mutex.unlock p.lock;
+    match (caller_failure, pool_failure) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+
+  let shutdown p =
+    Mutex.lock p.lock;
+    if p.stop then Mutex.unlock p.lock
+    else begin
+      p.stop <- true;
+      Condition.broadcast p.work_cv;
+      Mutex.unlock p.lock;
+      Array.iter Domain.join p.domains;
+      p.domains <- [||]
+    end
+end
+
+(* --- chunked claiming with steal-on-empty ---
+
+   The input array is block-partitioned: worker [w] owns the range
+   [[w*n/workers, (w+1)*n/workers)] and drains it in chunks of
+   [max 1 (n / (8 * workers))] claimed with one [fetch_and_add] per
+   chunk, so the per-module scheduling cost is amortized 8x and
+   neighbouring modules stay on one domain (warm minor heap).  A worker
+   whose range runs dry steals chunks from the other ranges with the
+   same claim primitive, rescanning until a full sweep finds every
+   range empty -- work only ever shrinks, so one clean sweep proves
+   completion.  Result slot [i] always receives [f inputs.(i)]
+   regardless of who claimed it: output order and content are
+   independent of the schedule, which is why determinism survives
+   stealing. *)
+
+type range = { pos : int Atomic.t; hi : int }
+
+let make_ranges ~workers n =
+  Array.init workers (fun w ->
+      { pos = Atomic.make (w * n / workers); hi = (w + 1) * n / workers })
+
+(* claim up to [chunk] indices from [r]; None when the range is dry *)
+let claim r chunk =
+  let i = Atomic.fetch_and_add r.pos chunk in
+  if i >= r.hi then None else Some (i, Stdlib.min r.hi (i + chunk))
+
+let run_range results claimed f inputs w lo hi =
+  for i = lo to hi - 1 do
+    results.(i) <- Some (f inputs.(i))
+  done;
+  claimed.(w) <- claimed.(w) + (hi - lo)
+
+(* Per worker: drain the own range, then sweep the others stealing
+   chunks until a full sweep comes back empty. *)
+let drain ~ranges ~chunk ~workers results claimed f inputs w =
+  let rec own () =
+    match claim ranges.(w) chunk with
+    | Some (lo, hi) ->
+        run_range results claimed f inputs w lo hi;
+        own ()
+    | None -> ()
+  in
+  own ();
+  let rec sweep () =
+    let stole = ref false in
+    for v = 1 to workers - 1 do
+      let victim = (w + v) mod workers in
+      match claim ranges.(victim) chunk with
+      | Some (lo, hi) ->
+          stole := true;
+          run_range results claimed f inputs w lo hi
+      | None -> ()
+    done;
+    if !stole then sweep ()
+  in
+  sweep ()
+
+let map_pool ~jobs ?pool ~t0 f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
   let workers = Stdlib.max 1 (Stdlib.min jobs n) in
+  let workers =
+    match pool with
+    | Some p -> Stdlib.min workers (Pool.concurrency p)
+    | None -> workers
+  in
   let claimed = Array.make workers 0 in
   let first_wait = Array.make workers Float.nan in
-  let run_slot w i =
-    results.(i) <- Some (f inputs.(i));
-    claimed.(w) <- claimed.(w) + 1
+  let cache_delta = Array.make workers 0 in
+  let miss_delta = Array.make workers 0 in
+  let ranges = make_ranges ~workers n in
+  let chunk = Stdlib.max 1 (n / (8 * workers)) in
+  let worker w =
+    let c0 = Mae_prob.Kernel_cache.local_counts () in
+    let body () =
+      (* per worker, not per module: the queue-wait gauge stays live
+         even with telemetry off, like every other gauge *)
+      first_wait.(w) <- Unix.gettimeofday () -. t0;
+      drain ~ranges ~chunk ~workers results claimed f inputs w
+    in
+    (if Mae_obs.Control.enabled () then
+       (* one root span per worker: its lane in the Chrome trace *)
+       Mae_obs.Span.with_ ~name:"engine.worker"
+         ~attrs:[ ("worker", string_of_int w) ]
+         body
+     else body ());
+    let c1 = Mae_prob.Kernel_cache.local_counts () in
+    cache_delta.(w) <- c1.Mae_prob.Kernel_cache.hits - c0.Mae_prob.Kernel_cache.hits;
+    miss_delta.(w) <- c1.Mae_prob.Kernel_cache.misses - c0.Mae_prob.Kernel_cache.misses;
+    (* keep the process-wide counters exact between batches, even on
+       long-lived pool domains that may never miss again *)
+    Mae_prob.Kernel_cache.flush_local ()
   in
-  if workers <= 1 then begin
-    if n > 0 then first_wait.(0) <- Unix.gettimeofday () -. t0;
-    for i = 0 to n - 1 do
-      run_slot 0 i
-    done
-  end
-  else begin
-    let next = Atomic.make 0 in
-    let worker w =
-      (* one root span per worker: its lane in the Chrome trace *)
-      Mae_obs.Span.with_ ~name:"engine.worker"
-        ~attrs:[ ("worker", string_of_int w) ]
-      @@ fun () ->
-      let rec loop ~first =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          if first then first_wait.(w) <- Unix.gettimeofday () -. t0;
-          run_slot w i;
-          loop ~first:false
-        end
+  (match (pool, workers) with
+  | _, 1 -> worker 0
+  | Some p, _ ->
+      (* pool domains beyond the requested worker count run an empty
+         slot: they wake, find no range, and report done *)
+      Pool.run p (fun slot -> if slot < workers then worker slot)
+  | None, _ ->
+      (* the calling domain is worker number 0; spawned domains are 1.. *)
+      let spawned =
+        List.init (workers - 1) (fun k ->
+            Domain.spawn (fun () -> worker (k + 1)))
       in
-      loop ~first:true
-    in
-    (* the calling domain is worker number 0; spawned domains are 1.. *)
-    let spawned =
-      List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
-    in
-    worker 0;
-    List.iter Domain.join spawned
-  end;
+      worker 0;
+      List.iter Domain.join spawned);
   let results =
     Array.map
       (function
@@ -165,18 +338,26 @@ let map_pool ~jobs ~t0 f inputs =
       (fun acc w -> if Float.is_nan w then acc else Float.max acc w)
       0. first_wait
   in
-  (results, claimed, max_wait)
+  let batch_hits = Array.fold_left ( + ) 0 cache_delta in
+  let batch_misses = Array.fold_left ( + ) 0 miss_delta in
+  (results, claimed, max_wait, batch_hits, batch_misses)
 
 let estimate_one ?config ?methods ~registry (circuit : Mae_netlist.Circuit.t) =
-  Mae_obs.Metrics.time module_latency @@ fun () ->
-  match Mae.Driver.run_circuit ?config ?methods ~registry circuit with
-  | Ok report -> Ok report
-  | Error e -> Error (Driver_error e)
-  | exception exn ->
-      Error
-        (Crashed { module_name = circuit.name; exn = Printexc.to_string exn })
+  let run () =
+    match Mae.Driver.run_circuit ?config ?methods ~registry circuit with
+    | Ok report -> Ok report
+    | Error e -> Error (Driver_error e)
+    | exception exn ->
+        Error
+          (Crashed { module_name = circuit.name; exn = Printexc.to_string exn })
+  in
+  (* latency sampling honours telemetry like spans do; with it off the
+     per-module cost is one atomic read, no closures into [time], no
+     clock syscalls *)
+  if Mae_obs.Control.enabled () then Mae_obs.Metrics.time module_latency run
+  else run ()
 
-let run_circuits_with_stats ?config ?methods ?jobs ~registry circuits =
+let run_circuits_with_stats ?config ?methods ?jobs ?pool ~registry circuits =
   let jobs = resolve_jobs jobs in
   check_oversubscription jobs;
   let inputs = Array.of_list circuits in
@@ -187,13 +368,11 @@ let run_circuits_with_stats ?config ?methods ?jobs ~registry circuits =
         ("jobs", string_of_int jobs);
       ]
   @@ fun () ->
-  let cache_before = Mae_prob.Kernel_cache.stats () in
   let t0 = Unix.gettimeofday () in
-  let results, per_domain, queue_wait =
-    map_pool ~jobs ~t0 (estimate_one ?config ?methods ~registry) inputs
+  let results, per_domain, queue_wait, cache_hits, cache_misses =
+    map_pool ~jobs ?pool ~t0 (estimate_one ?config ?methods ~registry) inputs
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let cache_after = Mae_prob.Kernel_cache.stats () in
   let ok =
     Array.fold_left
       (fun acc -> function Ok _ -> acc + 1 | Error _ -> acc)
@@ -211,8 +390,12 @@ let run_circuits_with_stats ?config ?methods ?jobs ~registry circuits =
       failed = modules - ok;
       jobs;
       elapsed_s;
-      cache_hits = cache_after.hits - cache_before.hits;
-      cache_misses = cache_after.misses - cache_before.misses;
+      (* summed per-worker deltas of the workers' domain-local cache
+         counts: exactly this batch's traffic, even when another batch
+         runs concurrently on other domains (the old before/after of the
+         process-global counters attributed the overlap to both) *)
+      cache_hits;
+      cache_misses;
       per_domain;
     }
   in
@@ -229,20 +412,23 @@ let run_circuits_with_stats ?config ?methods ?jobs ~registry circuits =
       ];
   (Array.to_list results, stats)
 
-let run_circuits ?config ?methods ?jobs ~registry circuits =
-  fst (run_circuits_with_stats ?config ?methods ?jobs ~registry circuits)
+let run_circuits ?config ?methods ?jobs ?pool ~registry circuits =
+  fst (run_circuits_with_stats ?config ?methods ?jobs ?pool ~registry circuits)
 
-let run_design ?config ?methods ?jobs ~registry design =
+let run_design ?config ?methods ?jobs ?pool ~registry design =
   match Mae.Driver.design_circuits design with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)
+  | Ok circuits ->
+      Ok (run_circuits ?config ?methods ?jobs ?pool ~registry circuits)
 
-let run_string ?config ?methods ?jobs ~registry text =
+let run_string ?config ?methods ?jobs ?pool ~registry text =
   match Mae.Driver.string_circuits text with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)
+  | Ok circuits ->
+      Ok (run_circuits ?config ?methods ?jobs ?pool ~registry circuits)
 
-let run_file ?config ?methods ?jobs ~registry path =
+let run_file ?config ?methods ?jobs ?pool ~registry path =
   match Mae.Driver.file_circuits path with
   | Error e -> Error e
-  | Ok circuits -> Ok (run_circuits ?config ?methods ?jobs ~registry circuits)
+  | Ok circuits ->
+      Ok (run_circuits ?config ?methods ?jobs ?pool ~registry circuits)

@@ -17,6 +17,16 @@
     domain-safe {!Mae_prob.Kernel_cache}, so a batch pays for each
     [(rows, degree)] kernel once across all domains.
 
+    Scheduling: the input array is block-partitioned across workers and
+    drained in chunks of [max 1 (n / (8 * workers))] claimed with one
+    atomic per chunk; a worker whose block runs dry steals chunks from
+    the others.  Result slot [i] always receives the estimate of module
+    [i] whatever the schedule, so output order and bits are independent
+    of [jobs] and of stealing.  Callers that run many batches (the
+    serve daemon, benches) should create a {!Pool} once and pass it to
+    every run: the pool parks its domains between batches, replacing the
+    per-batch [Domain.spawn] cost with one broadcast.
+
     The engine is instrumented through {!Mae_obs}: with telemetry on
     ({!Mae_obs.set_enabled}) every batch records an [engine.batch]
     span, one [engine.worker] root span per domain lane, and the
@@ -39,11 +49,14 @@ type stats = {
   failed : int;
   jobs : int;  (** domains actually used *)
   elapsed_s : float;  (** wall-clock batch time *)
-  cache_hits : int;  (** kernel-cache hits during this batch *)
+  cache_hits : int;
+      (** kernel-cache hits during this batch, summed from the workers'
+          domain-local counts -- exact for this batch even when other
+          batches run concurrently on other domains *)
   cache_misses : int;
   per_domain : int array;
       (** how many modules each worker estimated; slot 0 is the calling
-          domain, the rest are spawned domains in spawn order *)
+          domain, the rest are pool/spawned domains in spawn order *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -52,6 +65,34 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
+
+(** A persistent domain pool: spawn once, reuse across batches.
+
+    Domains park on a condition variable between batches, so a batch
+    submission costs one lock round-trip and a broadcast instead of
+    [jobs - 1] [Domain.spawn]s (each worth several cached modules).
+    Pass the pool to {!run_circuits} and friends via [?pool]; the
+    calling domain always participates as worker 0, pool domains serve
+    the remaining slots (idle when the batch requests fewer jobs than
+    the pool offers).  A pool runs one batch at a time -- submitting
+    from two threads concurrently raises [Invalid_argument]. *)
+module Pool : sig
+  type t
+
+  val create : domains:int -> t
+  (** Spawn [domains] parked worker domains ([domains >= 0]; 0 is a
+      valid pool that adds nothing to the calling domain). *)
+
+  val concurrency : t -> int
+  (** [domains + 1]: the pool's worker slots including the caller. *)
+
+  val shutdown : t -> unit
+  (** Wake and join every domain.  Idempotent.  A shut-down pool has
+      [concurrency] 1, so batches handed one degrade to running
+      sequentially on the calling domain (results are identical by the
+      determinism contract); submitting directly to it raises
+      [Invalid_argument]. *)
+end
 
 (** Requesting more domains than {!default_jobs} is honoured (the
     determinism contract holds for any [jobs]) but announced loudly:
@@ -67,6 +108,7 @@ val run_circuits :
   ?config:Mae.Config.t ->
   ?methods:string list ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list
@@ -82,6 +124,7 @@ val run_circuits_with_stats :
   ?config:Mae.Config.t ->
   ?methods:string list ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list * stats
@@ -90,6 +133,7 @@ val run_design :
   ?config:Mae.Config.t ->
   ?methods:string list ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   registry:Mae_tech.Registry.t ->
   Mae_hdl.Ast.design ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
@@ -102,6 +146,7 @@ val run_string :
   ?config:Mae.Config.t ->
   ?methods:string list ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   registry:Mae_tech.Registry.t ->
   string ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
@@ -110,6 +155,7 @@ val run_file :
   ?config:Mae.Config.t ->
   ?methods:string list ->
   ?jobs:int ->
+  ?pool:Pool.t ->
   registry:Mae_tech.Registry.t ->
   string ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result

@@ -26,39 +26,73 @@ let device_widths c process =
 let device_areas c process =
   Array.map Mae_tech.Device_kind.area (device_kinds c process)
 
-let group_counts compare values =
-  let sorted = List.sort compare values in
-  let rec go acc current count = function
-    | [] -> List.rev ((current, count) :: acc)
-    | v :: rest ->
-        if compare v current = 0 then go acc current (count + 1) rest
-        else go ((current, count) :: acc) v 1 rest
-  in
-  match sorted with [] -> [] | v :: rest -> go [] v 1 rest
+(* Merge adjacent width classes that share a width: distinct kind
+   records may still carry equal widths, and the histogram is keyed by
+   the width value. *)
+let rec merge_equal_widths = function
+  | (w1, c1) :: (w2, c2) :: rest when Float.compare w1 w2 = 0 ->
+      merge_equal_widths ((w1, c1 + c2) :: rest)
+  | p :: rest -> p :: merge_equal_widths rest
+  | [] -> []
 
 let compute (c : Circuit.t) process =
+  (* This runs twice per module (original and transistor-expanded
+     circuit) on the driver's hot path.  Devices share a handful of
+     kind records, so widths are tallied per kind (physical equality)
+     rather than sorting one float per device, and the degree histogram
+     is a counting sort over net degrees.  Every float fold stays in
+     device order, so the results are bit-for-bit what the
+     straightforward sort-and-group produced. *)
   let kinds = device_kinds c process in
   let n = Array.length kinds in
-  let widths = Array.to_list (Array.map (fun (k : Mae_tech.Device_kind.t) -> k.width) kinds) in
-  let width_classes = group_counts Float.compare widths in
-  let total_width = List.fold_left ( +. ) 0. widths in
-  let total_height =
-    Array.fold_left (fun acc (k : Mae_tech.Device_kind.t) -> acc +. k.height) 0. kinds
+  let total_width = ref 0. in
+  let total_height = ref 0. in
+  let total_device_area = ref 0. in
+  (* distinct kind records in first-seen order; a process defines ~10,
+     so a physical-equality scan beats any hashing *)
+  let uniq : (Mae_tech.Device_kind.t * int ref) list ref = ref [] in
+  for i = 0 to n - 1 do
+    let k = Array.unsafe_get kinds i in
+    total_width := !total_width +. k.Mae_tech.Device_kind.width;
+    total_height := !total_height +. k.Mae_tech.Device_kind.height;
+    total_device_area := !total_device_area +. Mae_tech.Device_kind.area k;
+    match List.find_opt (fun (k', _) -> k' == k) !uniq with
+    | Some (_, r) -> incr r
+    | None -> uniq := (k, ref 1) :: !uniq
+  done;
+  let width_classes =
+    List.map
+      (fun ((k : Mae_tech.Device_kind.t), r) -> (k.width, !r))
+      !uniq
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+    |> merge_equal_widths
   in
-  let total_device_area =
-    Array.fold_left (fun acc k -> acc +. Mae_tech.Device_kind.area k) 0. kinds
-  in
-  let average_width = if n = 0 then 0. else total_width /. Float.of_int n in
-  let average_height = if n = 0 then 0. else total_height /. Float.of_int n in
-  let degrees =
-    List.init (Circuit.net_count c) (Circuit.degree c)
-    |> List.filter (fun d -> d >= 1)
-  in
-  let degree_histogram = group_counts Int.compare degrees in
-  let max_degree = List.fold_left Stdlib.max 0 degrees in
+  let average_width = if n = 0 then 0. else !total_width /. Float.of_int n in
+  let average_height = if n = 0 then 0. else !total_height /. Float.of_int n in
+  let net_count = Circuit.net_count c in
+  let max_degree = ref 0 in
+  let degs = Array.make (Stdlib.max 1 net_count) 0 in
+  for i = 0 to net_count - 1 do
+    let d = Circuit.degree c i in
+    Array.unsafe_set degs i d;
+    if d > !max_degree then max_degree := d
+  done;
+  let counts = Array.make (!max_degree + 1) 0 in
+  for i = 0 to net_count - 1 do
+    let d = Array.unsafe_get degs i in
+    counts.(d) <- counts.(d) + 1
+  done;
+  let degree_histogram = ref [] in
+  for d = !max_degree downto 1 do
+    if counts.(d) > 0 then
+      degree_histogram := (d, counts.(d)) :: !degree_histogram
+  done;
+  let degree_histogram = !degree_histogram in
+  let max_degree = !max_degree in
+  let total_device_area = !total_device_area in
   {
     device_count = n;
-    net_count = Circuit.net_count c;
+    net_count;
     port_count = Circuit.port_count c;
     width_classes;
     average_width;

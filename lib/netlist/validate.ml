@@ -21,10 +21,15 @@ let check (c : Circuit.t) process =
         add (Unknown_device_kind { device = d.name; kind = d.kind });
       if Array.length d.pins = 0 then add (Unconnected_device { device = d.name }))
     c.devices;
+  (* one boolean mask instead of [Circuit.is_port_net] per net: the
+     latter scans every port, turning this loop O(nets * ports) on a
+     path the driver runs for every module *)
+  let port_mask = Array.make (Circuit.net_count c) false in
+  Array.iter (fun (p : Port.t) -> port_mask.(p.net) <- true) c.ports;
   Array.iter
     (fun (n : Net.t) ->
       let deg = Circuit.degree c n.index in
-      let has_port = Circuit.is_port_net c n.index in
+      let has_port = port_mask.(n.index) in
       if deg = 0 && not has_port then add (Dangling_net { net = n.name })
       else if deg = 1 && not has_port then add (Single_pin_net { net = n.name }))
     c.nets;

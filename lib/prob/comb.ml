@@ -44,7 +44,7 @@ let choose_int n k =
     go 1 1
   end
 
-let choose n k =
+let choose_slow n k =
   if k < 0 || k > n then 0.
   else
     (* The exact integer product is used for every argument it can
@@ -56,6 +56,29 @@ let choose n k =
     match choose_int n k with
     | v -> Float.of_int v
     | exception Invalid_argument _ -> Float.exp (log_choose n k)
+
+(* Every C(n,k) the estimator's hot loops reach -- rows and degrees are
+   small integers -- served from one flat float table.  The table is
+   filled through [choose_slow] itself, so a table lookup returns the
+   exact bits the direct computation returns, and it is built eagerly at
+   module initialization (single-domain) and never mutated, so reads
+   are safe from any number of domains. *)
+let choose_table_bound = 128
+
+let choose_table =
+  let t = Array.make (choose_table_bound * choose_table_bound) 0. in
+  for n = 0 to choose_table_bound - 1 do
+    for k = 0 to n do
+      t.((n * choose_table_bound) + k) <- choose_slow n k
+    done
+  done;
+  t
+
+let choose n k =
+  if k < 0 || k > n then 0.
+  else if n < choose_table_bound then
+    Array.unsafe_get choose_table ((n * choose_table_bound) + k)
+  else choose_slow n k
 
 let float_pow x n =
   if n < 0 then invalid_arg "Comb.float_pow: negative exponent";
@@ -82,15 +105,26 @@ let surjections d i =
     Float.max 0. !total
   end
 
-let paper_b ~k i =
-  if i < 1 then invalid_arg "Comb.paper_b: i must be >= 1";
-  let b = Array.make (i + 1) 0. in
+(* The recurrence values are prefix-stable: b[1..m] do not depend on
+   how far the row extends, so one row array serves every i <= imax
+   with exactly the bits the per-i recurrence produces. *)
+let paper_b_row ~k imax =
+  if imax < 1 then invalid_arg "Comb.paper_b_row: imax must be >= 1";
+  let b = Array.make (imax + 1) 0. in
   b.(1) <- 1.;
-  for m = 2 to i do
+  for m = 2 to imax do
     let subtract = ref 0. in
     for j = 1 to m - 1 do
       subtract := !subtract +. (choose m j *. b.(j))
     done;
     b.(m) <- float_pow (Float.of_int m) k -. !subtract
   done;
-  b.(i)
+  b
+
+let paper_b ~k i =
+  if i < 1 then invalid_arg "Comb.paper_b: i must be >= 1";
+  (paper_b_row ~k i).(i)
+
+let surjections_row d imax =
+  if imax < 0 then invalid_arg "Comb.surjections_row: negative imax";
+  Array.init (imax + 1) (fun i -> surjections d i)

@@ -16,7 +16,11 @@ val log_choose : int -> int -> float
 val choose : int -> int -> float
 (** C(n,k) as a float: the exact integer product whenever it fits in 63
     bits (every n up to ~61 for central k, much further for small k),
-    exp/log only beyond that. *)
+    exp/log only beyond that.  Arguments with [n < 128] -- every row
+    and degree the estimator's hot loops reach -- are served from a
+    flat float table filled by the direct computation at module
+    initialization, so the fast path is one bounds check and an array
+    load with bit-identical results. *)
 
 val choose_int : int -> int -> int
 (** Exact C(n,k) by the rising product; raises [Invalid_argument] if an
@@ -27,10 +31,21 @@ val surjections : int -> int -> float
     [i]-element set (each of the [i] rows receives at least one of the [d]
     components).  Computed by inclusion-exclusion. *)
 
+val surjections_row : int -> int -> float array
+(** [surjections_row d imax] is the flat row [|surjections d 0; ...;
+    surjections d imax|], so a distribution over [i = 1..imax] pays the
+    inclusion-exclusion sums once per row rather than once per call. *)
+
 val paper_b : k:int -> int -> float
 (** [paper_b ~k i] is the paper's b[i] recurrence (equation 2):
     b[1] = 1, b[i] = i^k - sum_{j=1}^{i-1} C(i,j) * b[j].
     When [k >= i] this equals [surjections k i]. *)
+
+val paper_b_row : k:int -> int -> float array
+(** [paper_b_row ~k imax] is the recurrence row [b.(0..imax)]
+    ([b.(0) = 0.]); the recurrence is prefix-stable, so
+    [(paper_b_row ~k imax).(i) = paper_b ~k i] bit for bit for every
+    [1 <= i <= imax], at a third of the repeated-call cost. *)
 
 val float_pow : float -> int -> float
 (** [float_pow x n] = x^n for n >= 0 by binary exponentiation. *)

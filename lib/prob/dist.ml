@@ -22,6 +22,32 @@ let of_weights weights =
   let probs = Array.of_list (List.map (fun (_, w) -> w /. total) weights) in
   { outcomes; probs }
 
+(* The array-direct constructor for producers whose outcomes are already
+   strictly increasing (the kernel builders: supports 1..n and 0..n).
+   It performs the same left-to-right total fold and the same per-weight
+   division as [of_weights] does after its sort/merge, so on such input
+   the two constructors agree bit for bit -- [of_weights]'s sort is a
+   no-op permutation and its merge never fires. *)
+let of_sorted_weights ~outcomes ~weights =
+  let n = Array.length outcomes in
+  if n <> Array.length weights then
+    invalid_arg "Dist.of_sorted_weights: length mismatch";
+  if n = 0 then invalid_arg "Dist.of_sorted_weights: zero total mass";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0. then
+      invalid_arg "Dist.of_sorted_weights: negative weight";
+    if i > 0 && outcomes.(i) <= outcomes.(i - 1) then
+      invalid_arg "Dist.of_sorted_weights: outcomes not strictly increasing";
+    total := !total +. weights.(i)
+  done;
+  let total = !total in
+  if total <= 0. then invalid_arg "Dist.of_sorted_weights: zero total mass";
+  {
+    outcomes = Array.copy outcomes;
+    probs = Array.map (fun w -> w /. total) weights;
+  }
+
 let prob t x =
   let rec find i =
     if i >= Array.length t.outcomes then 0.
@@ -94,7 +120,9 @@ let binomial ~n ~p =
       Float.exp (Comb.log_choose n m +. lp +. lq)
     end
   in
-  of_weights (List.init (n + 1) (fun m -> (m, weight m)))
+  of_sorted_weights
+    ~outcomes:(Array.init (n + 1) Fun.id)
+    ~weights:(Array.init (n + 1) weight)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

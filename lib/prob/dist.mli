@@ -9,6 +9,14 @@ val of_weights : (int * float) list -> t
     add).  Raises [Invalid_argument] if any weight is negative or the
     total is zero. *)
 
+val of_sorted_weights : outcomes:int array -> weights:float array -> t
+(** The allocation-lean fast path for producers whose outcomes are
+    already strictly increasing (the probability-kernel builders):
+    identical normalization order to {!of_weights}, hence bit-identical
+    results on such input, without the sort and list traffic.  Raises
+    [Invalid_argument] on a length mismatch, non-increasing outcomes, a
+    negative weight, or zero total mass.  The arrays are copied. *)
+
 val prob : t -> int -> float
 (** Probability of an outcome (0 for outcomes outside the support). *)
 

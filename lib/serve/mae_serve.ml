@@ -12,8 +12,10 @@
    Estimation is CPU work measured in milliseconds per module, so the
    loop runs requests inline: while a batch estimates, the scrape plane
    waits -- the trade a sidecar-free stdlib+unix server makes.  Worker
-   parallelism still applies inside a request via the engine's domain
-   pool ([config.jobs]).
+   parallelism still applies inside a request: when [config.jobs >= 2]
+   the server spawns one persistent {!Mae_engine.Pool} at startup and
+   reuses its domains for every batch, so request latency never pays
+   domain creation.
 
    SIGINT/SIGTERM flip one atomic flag; the loop then stops accepting,
    answers every request line already received (the drain), emits a
@@ -126,6 +128,11 @@ type outcome = {
   modules : int;
   modules_ok : int;
   rows_selected_total : int;
+  cache_hits : int;
+      (** kernel-cache traffic attributed to this request by the
+          engine's domain-local accounting (not a before/after of the
+          process-global counters, which other batches also move) *)
+  cache_misses : int;
 }
 
 (* One JSON value per methodology outcome: the shared dimensions plus a
@@ -212,40 +219,45 @@ let module_json = function
       Json.Object
         [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
 
-let estimate_outcome config ?methods text =
-  match
-    Mae_engine.run_string ?methods ~jobs:config.jobs ~registry:config.registry
-      text
-  with
+let estimate_outcome config ?methods ?pool text =
+  match Mae.Driver.string_circuits text with
   | Error e ->
       let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
       ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
-        false, 0, 0, 0 )
-  | Ok results ->
-      let modules = List.length results in
-      let modules_ok = List.length (List.filter Result.is_ok results) in
-      let rows =
-        List.fold_left
-          (fun acc -> function
-            | Ok (r : Mae.Driver.module_report) -> begin
-                match Mae.Driver.stdcell r with
-                | Some sc -> acc + sc.Mae.Estimate.rows
-                | None -> acc
-              end
-            | Error _ -> acc)
-          0 results
-      in
-      ( [
-          ("ok", Json.Bool (modules_ok = modules));
-          ("modules", Json.Array (List.map module_json results));
-        ],
-        modules_ok = modules, modules, modules_ok, rows )
-  | exception exn ->
-      ( [
-          ("ok", Json.Bool false);
-          ("error", Json.String ("estimator crashed: " ^ Printexc.to_string exn));
-        ],
-        false, 0, 0, 0 )
+        false, 0, 0, 0, 0, 0 )
+  | Ok circuits -> begin
+      match
+        Mae_engine.run_circuits_with_stats ?methods ?pool ~jobs:config.jobs
+          ~registry:config.registry circuits
+      with
+      | results, stats ->
+          let modules = List.length results in
+          let modules_ok = List.length (List.filter Result.is_ok results) in
+          let rows =
+            List.fold_left
+              (fun acc -> function
+                | Ok (r : Mae.Driver.module_report) -> begin
+                    match Mae.Driver.stdcell r with
+                    | Some sc -> acc + sc.Mae.Estimate.rows
+                    | None -> acc
+                  end
+                | Error _ -> acc)
+              0 results
+          in
+          ( [
+              ("ok", Json.Bool (modules_ok = modules));
+              ("modules", Json.Array (List.map module_json results));
+            ],
+            modules_ok = modules, modules, modules_ok, rows,
+            stats.Mae_engine.cache_hits, stats.Mae_engine.cache_misses )
+      | exception exn ->
+          ( [
+              ("ok", Json.Bool false);
+              ( "error",
+                Json.String ("estimator crashed: " ^ Printexc.to_string exn) );
+            ],
+            false, 0, 0, 0, 0, 0 )
+    end
 
 (* The optional "methods" request field: a comma-separated string or an
    array of names, validated against the registry before estimation so a
@@ -275,43 +287,47 @@ let parse_methods doc =
     end
   | Some _ -> Error "\"methods\" must be a string or an array of strings"
 
-let process_request config ~seq line =
+let process_request config ?pool ~seq line =
   let client_id, body =
     match Json.parse line with
     | Error e ->
         (Json.Null, ([ ("ok", Json.Bool false);
                        ("error", Json.String ("bad request JSON: " ^ e)) ],
-                     false, 0, 0, 0))
+                     false, 0, 0, 0, 0, 0))
     | Ok doc -> begin
         let id = Option.value (Json.member "id" doc) ~default:Json.Null in
         match parse_methods doc with
         | Error e ->
             (id, ([ ("ok", Json.Bool false);
                     ("error", Json.String ("bad \"methods\": " ^ e)) ],
-                  false, 0, 0, 0))
+                  false, 0, 0, 0, 0, 0))
         | Ok methods -> begin
             match Json.member "hdl" doc with
             | Some (Json.String text) ->
-                (id, estimate_outcome config ?methods text)
+                (id, estimate_outcome config ?methods ?pool text)
             | Some _ ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "\"hdl\" must be a string") ],
-                      false, 0, 0, 0))
+                      false, 0, 0, 0, 0, 0))
             | None ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "request needs an \"hdl\" field") ],
-                      false, 0, 0, 0))
+                      false, 0, 0, 0, 0, 0))
           end
       end
   in
-  let fields, ok, modules, modules_ok, rows_selected_total = body in
+  let fields, ok, modules, modules_ok, rows_selected_total, cache_hits,
+      cache_misses =
+    body
+  in
   let response =
     Json.Object
       ((("seq", Json.Number (Float.of_int seq))
         :: (match client_id with Json.Null -> [] | id -> [ ("id", id) ]))
       @ fields)
   in
-  { response; ok; modules; modules_ok; rows_selected_total }
+  { response; ok; modules; modules_ok; rows_selected_total; cache_hits;
+    cache_misses }
 
 (* --- connection bookkeeping --- *)
 
@@ -351,6 +367,9 @@ let counter_value name =
 type state = {
   config : config;
   started : float;
+  pool : Mae_engine.Pool.t option;
+      (** persistent worker domains when [config.jobs >= 2]: spawned
+          once at startup so per-request batches skip domain creation *)
   mutable draining : bool;
   mutable conns : conn list;
   mutable next_seq : int;
@@ -524,12 +543,10 @@ let answer_line st conn line =
   let rid = "r" ^ string_of_int seq in
   Log.with_request_id rid @@ fun () ->
   Metrics.incr requests_total;
-  let cache_before = Mae_prob.Kernel_cache.stats () in
   let t0 = Unix.gettimeofday () in
-  let outcome = process_request st.config ~seq line in
+  let outcome = process_request st.config ?pool:st.pool ~seq line in
   let latency = Unix.gettimeofday () -. t0 in
   Metrics.observe request_latency latency;
-  let cache_after = Mae_prob.Kernel_cache.stats () in
   Metrics.incr (if outcome.ok then requests_ok else requests_failed);
   Log.info ~event:"serve.request"
     [
@@ -540,8 +557,8 @@ let answer_line st conn line =
       ("modules_ok", Log.Int outcome.modules_ok);
       ("rows_selected", Log.Int outcome.rows_selected_total);
       ("latency_s", Log.Float latency);
-      ("cache_hits", Log.Int (cache_after.hits - cache_before.hits));
-      ("cache_misses", Log.Int (cache_after.misses - cache_before.misses));
+      ("cache_hits", Log.Int outcome.cache_hits);
+      ("cache_misses", Log.Int outcome.cache_misses);
       ("bytes_in", Log.Int (String.length line));
     ];
   ignore (write_all conn.fd (Json.encode outcome.response ^ "\n"))
@@ -780,10 +797,21 @@ let run (config : config) =
              window; the final dump and /tracez both read it. *)
           Mae_obs.Span.set_retention (Some config.span_retention);
           if Option.is_some config.trace_out then Mae_obs.set_enabled true;
+          let pool =
+            (* [jobs = 0] means "the host's recommendation", like the
+               engine's own resolution; 0 or 1 worker needs no pool *)
+            let jobs =
+              if config.jobs = 0 then Mae_engine.default_jobs ()
+              else config.jobs
+            in
+            if jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(jobs - 1))
+            else None
+          in
           let st =
             {
               config;
               started = Unix.gettimeofday ();
+              pool;
               draining = false;
               conns = [];
               next_seq = 1;
@@ -846,6 +874,7 @@ let run (config : config) =
           List.iter (fun c -> close_conn st c) st.conns;
           unlink_unix_addr config.request_addr;
           Option.iter unlink_unix_addr config.obs_addr;
+          Option.iter Mae_engine.Pool.shutdown st.pool;
           final_flush st;
           Ok ()
     end

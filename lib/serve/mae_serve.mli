@@ -46,7 +46,10 @@ val parse_addr : string -> (addr, string) result
 type config = {
   request_addr : addr;
   obs_addr : addr option;
-  jobs : int;  (** engine domains per request batch *)
+  jobs : int;
+      (** engine domains per request batch; [>= 2] spawns a persistent
+          {!Mae_engine.Pool} at startup that every request reuses, and
+          [0] means the host's recommended domain count *)
   registry : Mae_tech.Registry.t;
   trace_out : string option;  (** Chrome trace flushed at shutdown *)
   metrics_out : string option;  (** metrics dump flushed at shutdown *)

@@ -7,6 +7,7 @@ type t = {
   port_pitch : Mae_geom.Lambda.t;
   min_spacing : Mae_geom.Lambda.t;
   devices : Device_kind.t list;
+  device_index : (string * Device_kind.t) array;
 }
 
 let check_unique_names devices =
@@ -17,6 +18,15 @@ let check_unique_names devices =
         invalid_arg ("Process.make: duplicate device kind " ^ d.name);
       Hashtbl.add seen d.name ())
     devices
+
+(* The index is built once per process at construction; name lookups
+   happen for every device of every module (validation, statistics, the
+   gate-array transistor count), so the per-lookup cost matters far
+   more than the build cost. *)
+let index_of_devices devices =
+  let a = Array.of_list (List.map (fun (d : Device_kind.t) -> (d.name, d)) devices) in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) a;
+  a
 
 let make ~name ~lambda_microns ~row_height ~track_pitch ~feed_through_width
     ~port_pitch ~min_spacing ~devices =
@@ -40,10 +50,21 @@ let make ~name ~lambda_microns ~row_height ~track_pitch ~feed_through_width
     port_pitch;
     min_spacing;
     devices;
+    device_index = index_of_devices devices;
   }
 
 let find_device t name =
-  List.find_opt (fun (d : Device_kind.t) -> String.equal d.name name) t.devices
+  let a = t.device_index in
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let mid_name, kind = Array.unsafe_get a mid in
+      let c = String.compare name mid_name in
+      if c = 0 then Some kind else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (Array.length a)
 
 let find_device_exn t name =
   match find_device t name with Some d -> d | None -> raise Not_found
@@ -52,7 +73,7 @@ let device_area t name = Option.map Device_kind.area (find_device t name)
 
 let with_devices t devices =
   check_unique_names devices;
-  { t with devices }
+  { t with devices; device_index = index_of_devices devices }
 
 let pp ppf t =
   Format.fprintf ppf

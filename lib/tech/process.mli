@@ -21,6 +21,11 @@ type t = private {
   min_spacing : Mae_geom.Lambda.t;
       (** minimum spacing between adjacent devices in full-custom rows *)
   devices : Device_kind.t list;
+  device_index : (string * Device_kind.t) array;
+      (** the same kinds sorted by name, built at construction and read
+          by {!find_device}'s binary search -- name lookups run once per
+          device per module, so they must not scan [devices].  Treat as
+          frozen: reads are domain-safe only because nothing mutates it. *)
 }
 
 val make :
@@ -37,6 +42,8 @@ val make :
     names; raises [Invalid_argument] otherwise. *)
 
 val find_device : t -> string -> Device_kind.t option
+(** Binary search over [device_index]: O(log kinds) with no
+    allocation. *)
 
 val find_device_exn : t -> string -> Device_kind.t
 (** Raises [Not_found]. *)

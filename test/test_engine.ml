@@ -130,6 +130,39 @@ let test_jobs_validation () =
     "empty batch" 0
     (List.length (Mae_engine.run_circuits ~jobs:4 ~registry []))
 
+(* The persistent pool must be invisible in results: same bits as
+   spawning fresh domains, across reuse, changing jobs counts (capped at
+   the pool's width rather than erroring) and changing batch sizes. *)
+let test_pool_reuse_deterministic () =
+  let pool = Mae_engine.Pool.create ~domains:3 in
+  Alcotest.(check int)
+    "concurrency = domains + caller" 4
+    (Mae_engine.Pool.concurrency pool);
+  let batch = random_batch 17 in
+  let seq = Mae_engine.run_circuits ~jobs:1 ~registry batch in
+  List.iter
+    (fun jobs ->
+      let pooled = Mae_engine.run_circuits ~jobs ~pool ~registry batch in
+      Alcotest.check digests
+        (Printf.sprintf "pooled jobs:%d = jobs:1" jobs)
+        (List.map result_digest seq)
+        (List.map result_digest pooled))
+    [ 2; 4; 8; 3; 4 ];
+  let small = random_batch ~first_seed:2000 3 in
+  let small_seq = Mae_engine.run_circuits ~jobs:1 ~registry small in
+  let small_pooled = Mae_engine.run_circuits ~jobs:4 ~pool ~registry small in
+  Alcotest.check digests "pool survives batch-size changes"
+    (List.map result_digest small_seq)
+    (List.map result_digest small_pooled);
+  Mae_engine.Pool.shutdown pool;
+  Mae_engine.Pool.shutdown pool (* idempotent *);
+  (* a shut-down pool contributes no workers: the batch degrades to the
+     calling domain, with identical bits *)
+  let after = Mae_engine.run_circuits ~jobs:4 ~pool ~registry small in
+  Alcotest.check digests "shut-down pool degrades to sequential"
+    (List.map result_digest small_seq)
+    (List.map result_digest after)
+
 let test_stats () =
   let batch = random_batch 8 in
   Mae_prob.Kernel_cache.clear ();
@@ -159,6 +192,8 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_order_preserved;
           Alcotest.test_case "error isolation" `Quick test_error_isolation;
           Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "pool reuse is deterministic" `Slow
+            test_pool_reuse_deterministic;
           Alcotest.test_case "batch stats" `Quick test_stats;
         ] );
     ]

@@ -140,7 +140,19 @@ let test_engine_determinism_all_methods () =
     Mae_engine.run_circuits ~jobs:4 ~methods:[ "all" ] ~registry batch
   in
   Alcotest.(check (list (list int64))) "jobs:1 = jobs:4 over all methods"
-    (digest seq) (digest par)
+    (digest seq) (digest par);
+  (* the persistent pool must be invisible in the results too, and stay
+     so when reused across batches (steal patterns differ run to run) *)
+  let pool = Mae_engine.Pool.create ~domains:3 in
+  Fun.protect ~finally:(fun () -> Mae_engine.Pool.shutdown pool) @@ fun () ->
+  for batch_no = 1 to 3 do
+    let pooled =
+      Mae_engine.run_circuits ~jobs:4 ~pool ~methods:[ "all" ] ~registry batch
+    in
+    Alcotest.(check (list (list int64)))
+      (Printf.sprintf "jobs:1 = pooled jobs:4 (batch %d)" batch_no)
+      (digest seq) (digest pooled)
+  done
 
 (* one failing methodology must not poison the others *)
 let test_method_failure_isolation () =

@@ -307,12 +307,23 @@ let digest results =
 
 let test_disabled_identical () =
   let batch = random_batch 12 in
+  (* same registered instrument the engine observes into *)
+  let module_latency = Metrics.histogram "mae_engine_module_seconds" in
   Obs.set_enabled false;
+  let count_before_off = Metrics.histogram_count module_latency in
   let off = Mae_engine.run_circuits ~jobs:2 ~registry batch in
+  Alcotest.(check int)
+    "telemetry off records no per-module latency" count_before_off
+    (Metrics.histogram_count module_latency);
+  let count_before_on = Metrics.histogram_count module_latency in
   let on =
     Obs.with_enabled true (fun () ->
         Mae_engine.run_circuits ~jobs:2 ~registry batch)
   in
+  Alcotest.(check int)
+    "telemetry on records one observation per module"
+    (count_before_on + List.length batch)
+    (Metrics.histogram_count module_latency);
   Span.reset ();
   Alcotest.(check (list (pair string (list int64))))
     "telemetry on/off bit-for-bit" (digest off) (digest on)

@@ -173,6 +173,110 @@ let test_kernel_cache_matches_fresh () =
   Alcotest.(check int) "clear drops entries" 0 cleared.entries;
   Alcotest.(check int) "clear resets hits" 0 cleared.hits
 
+(* The sharded publish-once tables under real contention: four domains
+   hammer a shared key plane (every insert raced) plus a private plane
+   each (uncontended inserts), checking every returned distribution
+   against the uncached reference bit for bit.  Afterwards the flushed
+   accounting must add up exactly: every lookup was either a hit or a
+   miss, races are a subset of misses, and the tables hold exactly the
+   distinct keys touched. *)
+let dist_bits_equal a b =
+  let bits d =
+    List.map (fun o -> Int64.bits_of_float (Dist.prob d o)) (Dist.support d)
+  in
+  Dist.support a = Dist.support b && bits a = bits b
+
+let test_kernel_cache_hammer () =
+  Kernel_cache.clear ();
+  let passes = 20 in
+  let shared_rows = (2, 9) and shared_degs = (2, 5) in
+  let work w () =
+    let bad = ref 0 in
+    let check model ~rows ~degree =
+      let got = Kernel_cache.row_span_dist ~model ~rows ~degree in
+      let fresh = Kernel_cache.row_span_dist_uncached ~model ~rows ~degree in
+      if not (dist_bits_equal got fresh) then incr bad
+    in
+    for _pass = 1 to passes do
+      (* shared plane: all four domains fight over these keys *)
+      for rows = fst shared_rows to snd shared_rows do
+        for degree = fst shared_degs to snd shared_degs do
+          check Kernel_cache.Paper ~rows ~degree
+        done
+      done;
+      (* private plane: rows disjoint per domain, never contended *)
+      for degree = 2 to 8 do
+        check Kernel_cache.Exact ~rows:(20 + w) ~degree
+      done
+    done;
+    !bad
+  in
+  let domains = List.init 4 (fun w -> Domain.spawn (work w)) in
+  let bad_counts = List.map Domain.join domains in
+  List.iteri
+    (fun i bad ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d saw only reference values" i)
+        0 bad)
+    bad_counts;
+  let shared_keys =
+    (snd shared_rows - fst shared_rows + 1)
+    * (snd shared_degs - fst shared_degs + 1)
+  in
+  let private_keys = 4 * 7 in
+  let lookups = 4 * passes * (shared_keys + private_keys / 4) in
+  let s = Kernel_cache.stats () in
+  Alcotest.(check int)
+    "every lookup was a hit or a miss" lookups (s.hits + s.misses);
+  Alcotest.(check bool)
+    "misses cover every distinct key" true
+    (s.misses >= shared_keys + private_keys);
+  Alcotest.(check bool) "races are a subset of misses" true
+    (s.races <= s.misses);
+  Alcotest.(check int)
+    "tables hold exactly the distinct keys" (shared_keys + private_keys)
+    s.entries
+
+(* [clear] while four domains keep reading: no crash, no torn value --
+   only reference bits ever come back, and once the dust settles a final
+   clear leaves empty tables. *)
+let test_kernel_cache_clear_under_load () =
+  Kernel_cache.clear ();
+  let stop = Atomic.make false in
+  let reader () =
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      for rows = 2 to 8 do
+        for degree = 2 to 5 do
+          let got =
+            Kernel_cache.row_span_dist ~model:Kernel_cache.Paper ~rows ~degree
+          in
+          let fresh =
+            Kernel_cache.row_span_dist_uncached ~model:Kernel_cache.Paper
+              ~rows ~degree
+          in
+          if not (dist_bits_equal got fresh) then incr bad
+        done
+      done
+    done;
+    !bad
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn reader) in
+  for _ = 1 to 100 do
+    Kernel_cache.clear ();
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  List.iteri
+    (fun i bad ->
+      Alcotest.(check int)
+        (Printf.sprintf "reader %d saw only reference values" i)
+        0 (Domain.join bad))
+    domains;
+  Kernel_cache.clear ();
+  let s = Kernel_cache.stats () in
+  Alcotest.(check int) "final clear leaves empty tables" 0 s.entries
+
 (* Rng *)
 
 let test_rng_deterministic () =
@@ -525,6 +629,10 @@ let () =
         ] );
       ( "kernel_cache",
         [
+          Alcotest.test_case "sharded cache 4-domain hammer" `Slow
+            test_kernel_cache_hammer;
+          Alcotest.test_case "clear under concurrent lookups" `Slow
+            test_kernel_cache_clear_under_load;
           Alcotest.test_case "cache hit = fresh computation" `Quick
             test_kernel_cache_matches_fresh;
         ] );
