@@ -129,11 +129,11 @@ let () =
      path must not record and must stay in nanoseconds territory. *)
   Mae_obs.set_enabled false;
   let calls = 1_000_000 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mae_obs.Clock.monotonic () in
   for _ = 1 to calls do
     Mae_obs.Span.with_ ~name:"noop" (fun () -> ())
   done;
-  let disabled_s = Unix.gettimeofday () -. t0 in
+  let disabled_s = Mae_obs.Clock.monotonic () -. t0 in
   check (disabled_s < 0.25)
     "disabled span fast path: %d calls in %.1f ms (< 250 ms budget)" calls
     (disabled_s *. 1000.);
@@ -230,5 +230,74 @@ let () =
   | Ok _ -> ()
   | Error e -> fail "metrics JSON dump unparseable: %s" e);
   check true "metrics JSON dump parses";
+
+  (* every exposed family carries # HELP and # TYPE metadata *)
+  let count_prefix prefix =
+    String.split_on_char '\n' prom
+    |> List.filter (fun line ->
+           String.length line >= String.length prefix
+           && String.equal (String.sub line 0 (String.length prefix)) prefix)
+    |> List.length
+  in
+  let helps = count_prefix "# HELP " and types = count_prefix "# TYPE " in
+  check
+    (helps > 0 && helps = types)
+    "every metric family has # HELP and # TYPE (%d families)" helps;
+  check
+    (contains prom "# TYPE mae_engine_modules_total counter"
+    && contains prom "# TYPE mae_engine_module_seconds histogram"
+    && contains prom "# TYPE mae_engine_module_seconds_summary summary")
+    "counter/histogram/summary TYPE lines present";
+
+  (* (5) sketch accuracy: a synthetic stream's quantiles must sit
+     within the advertised rank-error bound of the exact sorted pool *)
+  let sk = Mae_obs.Sketch.create "mae_obs_smoke_sketch_seconds_summary" ~eps:0.005 in
+  let n = 50_000 in
+  let state = ref 0x1234ABCD in
+  let samples =
+    (* drand48's LCG: full 48-bit state, no float rounding artifacts *)
+    List.init n (fun _ ->
+        state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+        float_of_int ((!state lsr 16) land 0xFFFFF) /. 1e4)
+  in
+  List.iter (Mae_obs.Sketch.observe sk) samples;
+  let sorted = Array.of_list (List.sort Float.compare samples) in
+  let bound = Mae_obs.Sketch.rank_error_bound sk ~n ~domains:1 in
+  List.iter
+    (fun q ->
+      match Mae_obs.Sketch.quantile sk q with
+      | None -> fail "sketch empty at q=%g" q
+      | Some v ->
+          let below = ref 0 and at_or_below = ref 0 in
+          Array.iter
+            (fun x ->
+              if x < v then incr below;
+              if x <= v then incr at_or_below)
+            sorted;
+          let target = q *. float_of_int n in
+          let dist =
+            if target < float_of_int !below then float_of_int !below -. target
+            else if target > float_of_int !at_or_below then
+              target -. float_of_int !at_or_below
+            else 0.
+          in
+          check (dist <= bound)
+            "sketch q=%g rank error %.1f within bound %.1f (n=%d)" q dist
+            bound n)
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  check
+    (contains (Mae_obs.Metrics.to_prometheus ())
+       "mae_engine_module_seconds_summary{quantile=")
+    "engine latency sketch rides along in the /metrics exposition";
+
+  (* (6) registry-time name lint: anything outside mae_[a-z0-9_]+ is
+     rejected at registration, for metrics and sketches alike *)
+  let rejects f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check
+    (rejects (fun () -> Mae_obs.Metrics.counter "bad name!")
+    && rejects (fun () -> Mae_obs.Metrics.gauge "engine_modules")
+    && rejects (fun () -> Mae_obs.Sketch.create "mae_Upper_seconds"))
+    "metric and sketch name lint rejects non-mae_[a-z0-9_]+ names";
+
   Mae_obs.set_enabled false;
   print_endline "obs-smoke: all checks passed"

@@ -34,11 +34,11 @@ let run_pass ~label ~cache ~methods ~registry =
   Mae_prob.Kernel_cache.clear ();
   Mae_prob.Kernel_cache.set_enabled cache;
   Mae_obs.Span.reset ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mae_obs.Clock.monotonic () in
   List.iter
     (fun c -> ignore (Mae.Driver.run_circuit ~registry ~methods c))
     workload;
-  let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let total_ms = (Mae_obs.Clock.monotonic () -. t0) *. 1000. in
   let rows = Mae_obs.Trace.flame () in
   let module_total_ms =
     List.fold_left

@@ -8,13 +8,20 @@
       5 modules on an unknown process -- and tallies ok/failed
       client-side while checking every response's [seq] is monotone;
    2. scrapes GET /metrics and checks the request/ok/failed counters
-      against the client tally (and /healthz against the same numbers);
-   3. reads the access log back: one serve.request JSON record per
+      against the client tally (and /healthz against the same numbers),
+      plus the latency-sketch summary (count, ordered quantiles,
+      request-id exemplars);
+   3. checks GET /slo reports both objectives healthy under this
+      friendly load and that GET /statusz renders;
+   4. reads the access log back: one serve.request JSON record per
       request, request ids r1..rN in order, every line parseable;
-   4. SIGTERMs the daemon and confirms a clean drain: exit code 0, a
+   5. drives a second daemon (tiny 5 ms latency objective + injected
+      per-request sleeps) into overload and asserts the fast-window
+      burn rate rises above 1 and /healthz flips to 503/degraded;
+   6. SIGTERMs the daemons and confirms a clean drain: exit code 0, a
       serve.shutdown record, and a final metrics dump whose counters
       still match;
-   5. asserts estimates are bit-for-bit identical with logging off and
+   7. asserts estimates are bit-for-bit identical with logging off and
       with logging at debug -- the logger must never touch a result.
 
      dune build @serve-smoke   (also pulled in by @bench-smoke) *)
@@ -216,7 +223,7 @@ let check_log_invariance () =
 
 (* --- the daemon lifecycle --- *)
 
-let spawn_server () =
+let spawn_server ?(overload = false) () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -224,10 +231,13 @@ let spawn_server () =
   | 0 ->
       (* child: become the daemon; announce bound ports on the pipe *)
       Unix.close r;
-      Mae_obs.Log.set_threshold (Some Mae_obs.Log.Info);
-      (match Mae_obs.Log.set_sink_file access_log_path with
-      | Ok () -> ()
-      | Error e -> fail "access log: %s" e);
+      if overload then Mae_obs.Log.set_threshold None
+      else begin
+        Mae_obs.Log.set_threshold (Some Mae_obs.Log.Info);
+        match Mae_obs.Log.set_sink_file access_log_path with
+        | Ok () -> ()
+        | Error e -> fail "access log: %s" e
+      end;
       let registry = Mae_tech.Registry.create () in
       let config =
         {
@@ -235,8 +245,22 @@ let spawn_server () =
              ~request_addr:(Mae_serve.Tcp { host = "127.0.0.1"; port = 0 }))
           with
           Mae_serve.obs_addr = Some (Mae_serve.Tcp { host = "127.0.0.1"; port = 0 });
-          metrics_out = Some metrics_path;
-          trace_out = Some trace_path;
+          metrics_out = (if overload then None else Some metrics_path);
+          trace_out = (if overload then None else Some trace_path);
+          (* the overload daemon honours an injected per-request sleep
+             and judges latency against a 5 ms objective, so a few
+             slow requests deterministically exhaust the fast-window
+             budget *)
+          inject_sleep_field = overload;
+          slo =
+            (if overload then
+               {
+                 Mae_serve.default_slo with
+                 Mae_serve.latency_threshold_s = 0.005;
+                 latency_target = 0.9;
+                 min_events = 5;
+               }
+             else Mae_serve.default_slo);
           on_ready =
             (fun ~request_addr ~obs_addr ->
               let port = function
@@ -272,6 +296,9 @@ let () =
      Unix.fork once other domains exist, and the invariance check below
      runs the engine at jobs:2 *)
   let pid, req_port, obs_port = spawn_server () in
+  (* the overload daemon forks now too, for the same reason; it idles
+     until the burn-rate phase near the end *)
+  let ov_pid, ov_req_port, ov_obs_port = spawn_server ~overload:true () in
   check_log_invariance ();
   check (req_port > 0 && obs_port > 0)
     "daemon bound request plane :%d and obs plane :%d" req_port obs_port;
@@ -445,6 +472,87 @@ let () =
         = Some (Float.of_int total))
         "/healthz sees %d requests" total);
 
+  (* request-latency sketch: summary quantiles + exemplars in /metrics *)
+  check
+    (m "mae_serve_request_seconds_summary_count" = total)
+    "latency sketch counted all %d requests" total;
+  let sk_q q =
+    prom_value metrics_body
+      (Printf.sprintf "mae_serve_request_seconds_summary{quantile=\"%s\"}" q)
+  in
+  check
+    (sk_q "0.5" > 0. && sk_q "0.5" <= sk_q "0.99")
+    "sketch quantiles ordered (p50 %.6fs <= p99 %.6fs)" (sk_q "0.5")
+    (sk_q "0.99");
+  let contains needle hay =
+    let nn = String.length needle and nh = String.length hay in
+    let rec at i =
+      i + nn <= nh && (String.equal (String.sub hay i nn) needle || at (i + 1))
+    in
+    at 0
+  in
+  check
+    (contains "# EXEMPLAR mae_serve_request_seconds_summary {request_id=\"r"
+       metrics_body)
+    "sketch exemplars carry request ids into /metrics";
+
+  (* GET /slo: both objectives healthy under this friendly load *)
+  let _, slo_text = http_get ~port:obs_port "/slo" in
+  let slo_doc =
+    match Json.parse (String.trim slo_text) with
+    | Ok d -> d
+    | Error e -> fail "/slo not JSON (%s): %S" e slo_text
+  in
+  check
+    (Json.member "healthy" slo_doc = Some (Json.Bool true))
+    "/slo healthy under normal load";
+  let slo_named name =
+    match Option.bind (Json.member "slos" slo_doc) Json.to_list with
+    | None -> fail "/slo lacks a slos array: %S" slo_text
+    | Some slos -> (
+        match
+          List.find_opt
+            (fun s -> Json.member "name" s = Some (Json.String name))
+            slos
+        with
+        | Some s -> s
+        | None -> fail "/slo lacks %s: %S" name slo_text)
+  in
+  let latency_slo = slo_named "mae_serve_latency_slo" in
+  let errors_slo = slo_named "mae_serve_errors_slo" in
+  let window_field slo window field =
+    match
+      Option.bind (Json.member window slo) (fun w ->
+          Option.bind (Json.member field w) Json.to_number)
+    with
+    | Some f -> f
+    | None -> fail "/slo %s lacks %s.%s" "entry" window field
+  in
+  let lat_events =
+    window_field latency_slo "fast" "good" +. window_field latency_slo "fast" "bad"
+  in
+  check
+    (int_of_float lat_events = total)
+    "latency SLO counted all %d requests in its fast window" total;
+  check
+    (window_field errors_slo "fast" "bad" = 0.
+    && window_field errors_slo "fast" "burn_rate" = 0.)
+    "error SLO burns nothing: client errors are not server faults";
+  check
+    (window_field latency_slo "fast" "burn_rate" < 1.)
+    "latency SLO fast burn %.2f < 1 under normal load"
+    (window_field latency_slo "fast" "burn_rate");
+
+  (* GET /statusz: the human page renders and names the objectives *)
+  let statusz_headers, statusz_text = http_get ~port:obs_port "/statusz" in
+  check
+    (String.length statusz_headers >= 15
+    && String.equal (String.sub statusz_headers 0 15) "HTTP/1.0 200 OK"
+    && contains "mae serve status" statusz_text
+    && contains "mae_serve_latency_slo" statusz_text
+    && contains "request latency:" statusz_text)
+    "/statusz renders uptime, SLO table and latency quantiles";
+
   (* 404 for unknown paths *)
   let headers404, _ = http_get ~port:obs_port "/nope" in
   check
@@ -486,6 +594,79 @@ let () =
         [ "latency_s"; "rows_selected"; "cache_hits"; "cache_misses"; "ok" ])
     requests;
   check true "access-log request ids are r1..r%d in order" total;
+
+  (* overload: the second daemon judges latency against a 5 ms
+     objective and honours injected sleeps, so ten 20 ms requests
+     exhaust its fast-window budget and flip /healthz to 503 *)
+  check
+    (ov_req_port > 0 && ov_obs_port > 0)
+    "overload daemon bound request plane :%d and obs plane :%d" ov_req_port
+    ov_obs_port;
+  let ov_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect ov_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ov_req_port));
+  let ov_ic = Unix.in_channel_of_descr ov_fd in
+  for i = 1 to 10 do
+    let line =
+      Json.encode
+        (Json.Object
+           [
+             ("id", Json.Number (Float.of_int i));
+             ("hdl", Json.String (valid_hdl i));
+             ("sleep_s", Json.Number 0.02);
+           ])
+      ^ "\n"
+    in
+    ignore (Unix.write_substring ov_fd line 0 (String.length line));
+    match Json.parse (input_line ov_ic) with
+    | Ok doc ->
+        if Json.member "ok" doc <> Some (Json.Bool true) then
+          fail "overload request %d failed (it should only be slow)" i
+    | Error e -> fail "overload response %d not JSON: %s" i e
+  done;
+  Unix.close ov_fd;
+  let _, ov_slo_text = http_get ~port:ov_obs_port "/slo" in
+  let ov_slo_doc =
+    match Json.parse (String.trim ov_slo_text) with
+    | Ok d -> d
+    | Error e -> fail "overload /slo not JSON (%s): %S" e ov_slo_text
+  in
+  check
+    (Json.member "healthy" ov_slo_doc = Some (Json.Bool false))
+    "/slo reports budget exhausted under overload";
+  let ov_burn =
+    match Option.bind (Json.member "slos" ov_slo_doc) Json.to_list with
+    | None -> fail "overload /slo lacks slos: %S" ov_slo_text
+    | Some slos -> (
+        match
+          List.find_map
+            (fun s ->
+              if Json.member "name" s = Some (Json.String "mae_serve_latency_slo")
+              then
+                Option.bind (Json.member "fast" s) (fun w ->
+                    Option.bind (Json.member "burn_rate" w) Json.to_number)
+              else None)
+            slos
+        with
+        | Some b -> b
+        | None -> fail "overload /slo lacks the latency burn rate")
+  in
+  check (ov_burn >= 1.)
+    "latency SLO fast burn %.1f >= 1 under injected overload" ov_burn;
+  let ov_headers, ov_health_text = http_get ~port:ov_obs_port "/healthz" in
+  check
+    (String.length ov_headers >= 12
+    && String.equal (String.sub ov_headers 9 3) "503")
+    "/healthz answers 503 while the budget is exhausted";
+  (match Json.parse (String.trim ov_health_text) with
+  | Ok doc ->
+      check
+        (Json.member "status" doc = Some (Json.String "degraded")
+        && Json.member "slo_healthy" doc = Some (Json.Bool false))
+        "/healthz body says degraded with slo_healthy false"
+  | Error e -> fail "overload /healthz body not JSON: %s" e);
+  Unix.kill ov_pid Sys.sigterm;
+  let _, ov_status = Unix.waitpid [] ov_pid in
+  check (ov_status = Unix.WEXITED 0) "overload daemon drained and exited 0";
 
   (* SIGTERM: clean drain + final flush *)
   Unix.kill pid Sys.sigterm;

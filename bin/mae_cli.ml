@@ -3,6 +3,7 @@
    Subcommands mirror the Figure 1 pipeline and the evaluation harness:
      mae estimate  -- estimate every module of an HDL or SPICE file
      mae serve     -- resident estimation service with live telemetry
+     mae top       -- live dashboard polling a serve instance's obs plane
      mae check     -- differential correctness harness over the kernels
      mae layout    -- run the place & route substrate on one module
      mae floorplan -- floor-plan the modules of an estimate database
@@ -427,9 +428,19 @@ let estimate_cmd =
 (* serve *)
 
 let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
-    metrics_out =
+    metrics_out slo_latency_ms slo_latency_target slo_error_target =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
+  if slo_latency_ms <= 0. then
+    or_die (Error "--slo-latency-ms must be positive");
+  List.iter
+    (fun (flag, v) ->
+      if not (v > 0. && v < 1.) then
+        or_die (Error (flag ^ " must be in (0, 1)")))
+    [
+      ("--slo-latency-target", slo_latency_target);
+      ("--slo-error-target", slo_error_target);
+    ];
   reject_same_path
     [
       ("--trace", trace_out);
@@ -471,6 +482,13 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
       jobs;
       trace_out;
       metrics_out;
+      slo =
+        {
+          Mae_serve.default_slo with
+          Mae_serve.latency_threshold_s = slo_latency_ms /. 1e3;
+          latency_target = slo_latency_target;
+          error_target = slo_error_target;
+        };
       on_ready =
         (fun ~request_addr ~obs_addr ->
           Format.eprintf "mae: serving estimation requests on %a@."
@@ -478,8 +496,8 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
           match obs_addr with
           | Some a ->
               Format.eprintf
-                "mae: observability plane on %a (/metrics /healthz \
-                 /buildinfo /tracez /methods)@."
+                "mae: observability plane on %a (/metrics /healthz /slo \
+                 /statusz /buildinfo /tracez /methods)@."
                 Mae_serve.pp_addr a
           | None -> ());
     }
@@ -507,8 +525,8 @@ let serve_cmd =
       & info [ "obs-listen" ] ~docv:"ADDR"
           ~doc:
             "Observability-plane address (same syntax as --listen): serves \
-             GET /metrics, /healthz, /buildinfo, /tracez and /methods (the \
-             methodology registry) over HTTP/1.0.")
+             GET /metrics, /healthz, /slo, /statusz, /buildinfo, /tracez \
+             and /methods (the methodology registry) over HTTP/1.0.")
   in
   let jobs =
     Arg.(
@@ -546,15 +564,100 @@ let serve_cmd =
             "Write a final metrics dump here on shutdown (Prometheus text, \
              or JSON when $(docv) ends in .json).")
   in
+  let slo_latency_ms =
+    Arg.(
+      value & opt float 250.
+      & info [ "slo-latency-ms" ] ~docv:"MS"
+          ~doc:
+            "Latency-SLO threshold: a request is within objective when \
+             answered in at most $(docv) milliseconds (default 250).")
+  in
+  let slo_latency_target =
+    Arg.(
+      value & opt float 0.99
+      & info [ "slo-latency-target" ] ~docv:"FRAC"
+          ~doc:
+            "Required fraction of requests within the latency threshold, in \
+             (0, 1) (default 0.99).  /healthz answers 503 while the \
+             fast-window burn rate is at or above 1.")
+  in
+  let slo_error_target =
+    Arg.(
+      value & opt float 0.999
+      & info [ "slo-error-target" ] ~docv:"FRAC"
+          ~doc:
+            "Required fraction of requests without server errors, in (0, 1) \
+             (default 0.999).  Malformed client requests do not count \
+             against this budget.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the resident estimation service with live telemetry \
-          (/metrics, /healthz, structured access logs; SIGTERM drains and \
-          flushes).")
+          (/metrics, /healthz, /slo, /statusz, structured access logs; \
+          SIGTERM drains and flushes).")
     Term.(
       const run_serve $ tech_files_arg $ listen $ obs_listen $ jobs
-      $ access_log $ log_level $ trace_out $ metrics_out)
+      $ access_log $ log_level $ trace_out $ metrics_out $ slo_latency_ms
+      $ slo_latency_target $ slo_error_target)
+
+(* top *)
+
+let run_top obs interval iterations no_clear =
+  if interval <= 0. then or_die (Error "--interval must be positive");
+  (match iterations with
+  | Some n when n < 1 -> or_die (Error "--iterations must be >= 1")
+  | _ -> ());
+  let host, port =
+    match Mae_serve.parse_addr obs with
+    | Ok (Mae_serve.Tcp { host; port }) when port > 0 -> (host, port)
+    | Ok _ -> or_die (Error "top needs a TCP observability address HOST:PORT")
+    | Error e -> or_die (Error e)
+  in
+  (* only clear the screen for a live loop on a terminal *)
+  let clear = (not no_clear) && iterations = None && Unix.isatty Unix.stdout in
+  match
+    Mae_serve.Top.run ~host ~port ~interval_s:interval ~iterations ~clear
+  with
+  | Ok () -> ()
+  | Error e -> or_die (Error e)
+
+let top_cmd =
+  let obs =
+    Arg.(
+      value & opt string "127.0.0.1:7789"
+      & info [ "obs" ] ~docv:"ADDR"
+          ~doc:
+            "The serve instance's observability-plane address (its \
+             --obs-listen), HOST:PORT.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes (default 2).")
+  in
+  let iterations =
+    Arg.(
+      value & opt (some int) None
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) frames, then exit (default: loop until \
+             interrupted).")
+  in
+  let no_clear =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Append frames instead of redrawing the screen in place.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running mae serve: throughput, cache hit \
+          ratio, per-method latency quantiles, SLO burn rates and the worst \
+          captured traces, polled from /metrics, /slo and /tracez.")
+    Term.(const run_top $ obs $ interval $ iterations $ no_clear)
 
 (* check *)
 
@@ -933,7 +1036,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "mae" ~version:"1.0.0" ~doc)
     [
-      estimate_cmd; serve_cmd; check_cmd; layout_cmd; floorplan_cmd;
+      estimate_cmd; serve_cmd; top_cmd; check_cmd; layout_cmd; floorplan_cmd;
       generate_cmd; processes_cmd; table1_cmd; table2_cmd;
     ]
 

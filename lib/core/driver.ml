@@ -84,12 +84,51 @@ let method_failures report =
       | Ok _ -> None)
     report.results
 
-(* One Mae_obs span per Figure-1 stage, per module.  The module
-   attribute on every stage span lets a Chrome-trace or flame view
-   slice by stage across modules or by module across stages; with
-   telemetry off each [stage] call is a single atomic read. *)
+(* One Mae_obs span per Figure-1 stage, per module, plus a per-stage
+   latency sketch (mae_driver_<stage>_seconds_summary) so /metrics can
+   answer "p99 of validate" without bucket edges.  The module attribute
+   on every stage span lets a Chrome-trace or flame view slice by stage
+   across modules or by module across stages; with telemetry off each
+   [stage] call is a single atomic read. *)
+let stage_sketch =
+  let lock = Mutex.create () in
+  let tbl : (string, Mae_obs.Sketch.t) Hashtbl.t = Hashtbl.create 8 in
+  fun name ->
+    Mutex.lock lock;
+    let sk =
+      match Hashtbl.find_opt tbl name with
+      | Some sk -> sk
+      | None ->
+          let metric =
+            "mae_"
+            ^ String.map (fun c -> if c = '.' then '_' else c) name
+            ^ "_seconds_summary"
+          in
+          let sk =
+            Mae_obs.Sketch.create metric
+              ~help:
+                (Printf.sprintf "Latency quantiles of the %s stage (GK sketch)"
+                   name)
+          in
+          Hashtbl.add tbl name sk;
+          sk
+    in
+    Mutex.unlock lock;
+    sk
+
 let stage ~name ~module_name f =
-  Mae_obs.Span.with_ ~name ~attrs:[ ("module", module_name) ] f
+  if not (Mae_obs.Control.enabled ()) then f ()
+  else begin
+    let sk = stage_sketch name in
+    let t0 = Mae_obs.Clock.monotonic () in
+    match Mae_obs.Span.with_ ~name ~attrs:[ ("module", module_name) ] f with
+    | v ->
+        Mae_obs.Sketch.observe sk (Mae_obs.Clock.monotonic () -. t0);
+        v
+    | exception e ->
+        Mae_obs.Sketch.observe sk (Mae_obs.Clock.monotonic () -. t0);
+        raise e
+  end
 
 let run_circuit ?config ?(methods = [ "default" ]) ~registry
     (circuit : Mae_netlist.Circuit.t) =

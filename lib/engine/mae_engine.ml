@@ -48,6 +48,19 @@ let module_latency =
   Mae_obs.Metrics.histogram "mae_engine_module_seconds"
     ~help:"Per-module estimation latency (recorded while telemetry is on)"
 
+(* True quantiles next to the bucketed histogram: same samples, no
+   bucket-edge quantization.  Observed only while telemetry is on,
+   like the histogram. *)
+let module_latency_sketch =
+  Mae_obs.Sketch.create "mae_engine_module_seconds_summary"
+    ~help:"Per-module estimation latency quantiles (GK sketch)"
+
+let queue_wait_sketch =
+  Mae_obs.Sketch.create "mae_engine_queue_wait_seconds_summary"
+    ~help:
+      "Per-worker delay between batch start and first module claim \
+       (GK sketch; one sample per worker per batch)"
+
 let oversubscribed_gauge =
   Mae_obs.Metrics.gauge "mae_engine_jobs_oversubscribed"
     ~help:
@@ -296,7 +309,10 @@ let map_pool ~jobs ?pool ~t0 f inputs =
     let body () =
       (* per worker, not per module: the queue-wait gauge stays live
          even with telemetry off, like every other gauge *)
-      first_wait.(w) <- Unix.gettimeofday () -. t0;
+      let wait = Mae_obs.Clock.monotonic () -. t0 in
+      first_wait.(w) <- wait;
+      if Mae_obs.Control.enabled () then
+        Mae_obs.Sketch.observe queue_wait_sketch wait;
       drain ~ranges ~chunk ~workers results claimed f inputs w
     in
     (if Mae_obs.Control.enabled () then
@@ -308,9 +324,11 @@ let map_pool ~jobs ?pool ~t0 f inputs =
     let c1 = Mae_prob.Kernel_cache.local_counts () in
     cache_delta.(w) <- c1.Mae_prob.Kernel_cache.hits - c0.Mae_prob.Kernel_cache.hits;
     miss_delta.(w) <- c1.Mae_prob.Kernel_cache.misses - c0.Mae_prob.Kernel_cache.misses;
-    (* keep the process-wide counters exact between batches, even on
-       long-lived pool domains that may never miss again *)
-    Mae_prob.Kernel_cache.flush_local ()
+    (* keep the process-wide counters and published sketch summaries
+       exact between batches, even on long-lived pool domains that may
+       never observe again *)
+    Mae_prob.Kernel_cache.flush_local ();
+    Mae_obs.Sketch.flush_local ()
   in
   (match (pool, workers) with
   | _, 1 -> worker 0
@@ -353,8 +371,16 @@ let estimate_one ?config ?methods ~registry (circuit : Mae_netlist.Circuit.t) =
   in
   (* latency sampling honours telemetry like spans do; with it off the
      per-module cost is one atomic read, no closures into [time], no
-     clock syscalls *)
-  if Mae_obs.Control.enabled () then Mae_obs.Metrics.time module_latency run
+     clock reads, no sketch buffer stores.  [run] never raises (crashes
+     are folded into [Error (Crashed _)]), so plain sequencing is safe. *)
+  if Mae_obs.Control.enabled () then begin
+    let t0 = Mae_obs.Clock.monotonic () in
+    let r = run () in
+    let d = Mae_obs.Clock.monotonic () -. t0 in
+    Mae_obs.Metrics.observe module_latency d;
+    Mae_obs.Sketch.observe module_latency_sketch d;
+    r
+  end
   else run ()
 
 let run_circuits_with_stats ?config ?methods ?jobs ?pool ~registry circuits =
@@ -368,11 +394,11 @@ let run_circuits_with_stats ?config ?methods ?jobs ?pool ~registry circuits =
         ("jobs", string_of_int jobs);
       ]
   @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mae_obs.Clock.monotonic () in
   let results, per_domain, queue_wait, cache_hits, cache_misses =
     map_pool ~jobs ?pool ~t0 (estimate_one ?config ?methods ~registry) inputs
   in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Mae_obs.Clock.monotonic () -. t0 in
   let ok =
     Array.fold_left
       (fun acc -> function Ok _ -> acc + 1 | Error _ -> acc)

@@ -1,0 +1,155 @@
+type capture = {
+  cap_rid : string;
+  cap_kind : [ `Errored | `Slow ];
+  cap_wall : float;
+  cap_latency : float;
+  cap_error : string option;
+  cap_spans : Span.event list;
+}
+
+(* One mutex guards the whole store: [record] runs once per finished
+   request and [captures] once per scrape, so contention is nil. *)
+let lock = Mutex.create ()
+
+type state = {
+  mutable slow_k : int;
+  mutable errored_cap : int;
+  mutable max_spans : int;
+  mutable window_s : float;
+  mutable errored : capture list;  (* newest first, length <= errored_cap *)
+  mutable errored_n : int;
+  mutable slow_cur : capture list;  (* current window, length <= slow_k *)
+  mutable slow_prev : capture list;  (* previous window *)
+  mutable window_start : float;  (* monotonic *)
+  mutable resident : int;  (* total spans across all stored captures *)
+}
+
+let st =
+  {
+    slow_k = 8;
+    errored_cap = 32;
+    max_spans = 256;
+    window_s = 60.;
+    errored = [];
+    errored_n = 0;
+    slow_cur = [];
+    slow_prev = [];
+    window_start = Clock.monotonic ();
+    resident = 0;
+  }
+
+let clear_locked () =
+  st.errored <- [];
+  st.errored_n <- 0;
+  st.slow_cur <- [];
+  st.slow_prev <- [];
+  st.window_start <- Clock.monotonic ();
+  st.resident <- 0
+
+let clear () =
+  Mutex.lock lock;
+  clear_locked ();
+  Mutex.unlock lock
+
+let configure ?(slow_k = 8) ?(errored_cap = 32) ?(max_spans = 256)
+    ?(window_s = 60.) () =
+  if slow_k < 1 || errored_cap < 1 || max_spans < 1 || not (window_s > 0.)
+  then invalid_arg "Mae_obs.Capture.configure: non-positive parameter";
+  Mutex.lock lock;
+  st.slow_k <- slow_k;
+  st.errored_cap <- errored_cap;
+  st.max_spans <- max_spans;
+  st.window_s <- window_s;
+  clear_locked ();
+  Mutex.unlock lock
+
+let max_resident_spans () =
+  Mutex.lock lock;
+  let v = (st.errored_cap + (2 * st.slow_k)) * st.max_spans in
+  Mutex.unlock lock;
+  v
+
+let resident_spans () =
+  Mutex.lock lock;
+  let v = st.resident in
+  Mutex.unlock lock;
+  v
+
+let truncate n l =
+  let rec go acc n = function
+    | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+    | _ -> List.rev acc
+  in
+  go [] n l
+
+(* Caller holds the lock. *)
+let rotate_if_due now =
+  if now -. st.window_start >= st.window_s then begin
+    List.iter (fun c -> st.resident <- st.resident - List.length c.cap_spans)
+      st.slow_prev;
+    st.slow_prev <- st.slow_cur;
+    st.slow_cur <- [];
+    st.window_start <- now
+  end
+
+let record ~rid ~ok ?error ~latency ~since () =
+  Mutex.lock lock;
+  let now = Clock.monotonic () in
+  rotate_if_due now;
+  (* Decide cheaply whether this request is a keeper before paying for
+     the span gather. *)
+  let keep_slow =
+    ok
+    && (List.length st.slow_cur < st.slow_k
+       || List.exists (fun c -> latency > c.cap_latency) st.slow_cur)
+  in
+  if (not ok) || keep_slow then begin
+    let spans = truncate st.max_spans (Span.events_since since) in
+    let cap =
+      {
+        cap_rid = rid;
+        cap_kind = (if ok then `Slow else `Errored);
+        cap_wall = Clock.wall ();
+        cap_latency = latency;
+        cap_error = error;
+        cap_spans = spans;
+      }
+    in
+    st.resident <- st.resident + List.length spans;
+    if not ok then begin
+      st.errored <- cap :: st.errored;
+      st.errored_n <- st.errored_n + 1;
+      if st.errored_n > st.errored_cap then begin
+        let kept = truncate st.errored_cap st.errored in
+        let dropped = List.nth st.errored st.errored_cap in
+        st.resident <- st.resident - List.length dropped.cap_spans;
+        st.errored <- kept;
+        st.errored_n <- st.errored_cap
+      end
+    end
+    else begin
+      let cur = cap :: st.slow_cur in
+      if List.length cur <= st.slow_k then st.slow_cur <- cur
+      else begin
+        (* evict the fastest of the k+1 *)
+        let sorted =
+          List.sort (fun a b -> Float.compare b.cap_latency a.cap_latency) cur
+        in
+        let kept = truncate st.slow_k sorted in
+        let dropped = List.nth sorted st.slow_k in
+        st.resident <- st.resident - List.length dropped.cap_spans;
+        st.slow_cur <- kept
+      end
+    end
+  end;
+  Mutex.unlock lock
+
+let captures () =
+  Mutex.lock lock;
+  rotate_if_due (Clock.monotonic ());
+  let by_latency =
+    List.sort (fun a b -> Float.compare b.cap_latency a.cap_latency)
+  in
+  let r = st.errored @ by_latency st.slow_prev @ by_latency st.slow_cur in
+  Mutex.unlock lock;
+  r

@@ -1,0 +1,56 @@
+(** Tail-based trace capture: keep the span trees that matter.
+
+    Blanket span retention keeps a rolling window of {e everything},
+    which at serve volumes means the interesting trace -- the request
+    that blew p99.9 half an hour ago -- is long gone while thousands
+    of identical fast traces sit resident.  This store inverts the
+    policy: after each request the serve plane offers its span tree
+    here, and the store keeps only
+
+    - every errored request, in a bounded FIFO ring, and
+    - the slowest-k requests of the current and previous rotation
+      windows (two windows so a scrape just after rotation still sees
+      the recent tail).
+
+    Everything else is dropped immediately, so resident span count is
+    bounded by {!max_resident_spans} regardless of load.  Each capture
+    carries the request id that latency-sketch exemplars reference, so
+    /metrics and /tracez cross-link. *)
+
+type capture = {
+  cap_rid : string;  (** request id, the exemplar label *)
+  cap_kind : [ `Errored | `Slow ];
+  cap_wall : float;  (** wall-clock completion timestamp *)
+  cap_latency : float;  (** seconds *)
+  cap_error : string option;
+  cap_spans : Span.event list;  (** ascending ts, truncated to the cap *)
+}
+
+val configure :
+  ?slow_k:int -> ?errored_cap:int -> ?max_spans:int -> ?window_s:float ->
+  unit -> unit
+(** Set the retention shape (defaults: slow_k 8, errored_cap 32,
+    max_spans 256, window_s 60) and clear the store.  Raises
+    [Invalid_argument] on non-positive values. *)
+
+val record :
+  rid:string -> ok:bool -> ?error:string -> latency:float -> since:float ->
+  unit -> unit
+(** Offer the request that just finished: gathers
+    [Span.events_since since] (its span tree -- serve finishes each
+    request, workers joined, before calling this), then keeps or drops
+    it per the policy above.  [since] is the request's
+    {!Clock.monotonic} start. *)
+
+val captures : unit -> capture list
+(** Errored ring (newest first) followed by the slow captures of the
+    previous and current windows (slowest first). *)
+
+val resident_spans : unit -> int
+(** Spans currently held across all captures. *)
+
+val max_resident_spans : unit -> int
+(** The configured bound:
+    [(errored_cap + 2 * slow_k) * max_spans]. *)
+
+val clear : unit -> unit

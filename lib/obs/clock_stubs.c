@@ -1,0 +1,43 @@
+/* Monotonic clock primitive for Mae_obs.Clock.
+ *
+ * OCaml 5.1's Unix library does not expose clock_gettime, and latency
+ * accounting must not go backwards when NTP steps the wall clock, so
+ * we bind CLOCK_MONOTONIC directly.  Falls back to gettimeofday on
+ * platforms without POSIX timers (none we target, but the fallback
+ * keeps the build portable).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value mae_obs_monotonic_seconds(value unit)
+{
+  (void)unit;
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_double((double)now.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value mae_obs_monotonic_seconds(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+}
+#endif

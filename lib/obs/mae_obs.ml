@@ -10,6 +10,16 @@
      histograms with Prometheus-text and JSON dumps.  Counters and
      gauges are always live; they back [Kernel_cache.stats] and the
      engine's [--stats] line.
+   - {!Sketch}: mergeable GK quantile summaries (true p50/p99/p999,
+     no bucket edges) with per-domain buffers and request-id
+     exemplars; rides along in every /metrics dump.
+   - {!Slo}: declarative latency / error-rate objectives with
+     fast+slow rolling burn-rate windows; backs GET /slo, /statusz
+     and the /healthz 503 degradation.
+   - {!Capture}: tail-based trace retention -- full span trees kept
+     only for errored and slowest-k requests, bounded memory.
+   - {!Clock}: monotonic time for every duration measurement; wall
+     clock only for display timestamps.
    - {!Log}: leveled JSON-lines structured logging with request-id
      scoping; the serve daemon's access log.  Off by default, and a
      single atomic check per disabled call site, like spans.
@@ -21,8 +31,12 @@
    (stdlib + unix for the wall clock). *)
 
 module Control = Control
+module Clock = Clock
 module Span = Span
 module Metrics = Metrics
+module Sketch = Sketch
+module Slo = Slo
+module Capture = Capture
 module Trace = Trace
 module Json = Json
 module Log = Log

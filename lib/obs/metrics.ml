@@ -30,20 +30,25 @@ type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 let lock = Mutex.create ()
 let table : (string, metric) Hashtbl.t = Hashtbl.create 32
 
+(* Registry-time lint: every instrument in this codebase is namespaced
+   mae_<subsystem>_..., lowercase snake.  Rejecting anything else at
+   registration catches naming drift the moment a PR introduces it,
+   instead of in a dashboard review months later. *)
 let valid_name name =
-  String.length name > 0
-  && (match name.[0] with
-     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
-     | _ -> false)
+  String.length name > 4
+  && String.equal (String.sub name 0 4) "mae_"
   && String.for_all
-       (function
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
-         | _ -> false)
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
        name
 
-let register name make classify =
+let lint_name ?(what = "Mae_obs.Metrics") name =
   if not (valid_name name) then
-    invalid_arg (Printf.sprintf "Mae_obs.Metrics: invalid metric name %S" name);
+    invalid_arg
+      (Printf.sprintf "%s: metric name %S does not match mae_[a-z0-9_]+" what
+         name)
+
+let register name make classify =
+  lint_name name;
   Mutex.lock lock;
   let result =
     match Hashtbl.find_opt table name with
@@ -138,13 +143,13 @@ let observe h v =
 let time h f =
   if not (Control.enabled ()) then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.monotonic () in
     match f () with
     | v ->
-        observe h (Unix.gettimeofday () -. t0);
+        observe h (Clock.monotonic () -. t0);
         v
     | exception e ->
-        observe h (Unix.gettimeofday () -. t0);
+        observe h (Clock.monotonic () -. t0);
         raise e
   end
 
@@ -189,6 +194,31 @@ let reset_values () =
 
 (* --- exporters --- *)
 
+(* Sibling modules (Sketch) contribute their own sections to the
+   shared dumps without Metrics depending on them: each hook supplies
+   a Prometheus-text fragment and a JSON object keyed at the top
+   level.  Registration is idempotent by key. *)
+type exposition = {
+  e_key : string;
+  e_prometheus : unit -> string;
+  e_json : unit -> string;
+}
+
+let expositions : exposition list ref = ref []
+
+let register_exposition ~key ~prometheus ~json =
+  Mutex.lock lock;
+  if not (List.exists (fun e -> String.equal e.e_key key) !expositions) then
+    expositions :=
+      !expositions @ [ { e_key = key; e_prometheus = prometheus; e_json = json } ];
+  Mutex.unlock lock
+
+let current_expositions () =
+  Mutex.lock lock;
+  let es = !expositions in
+  Mutex.unlock lock;
+  es
+
 let float_repr v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
@@ -199,8 +229,12 @@ let le_label bound = float_repr bound
 let to_prometheus () =
   let buf = Buffer.create 1024 in
   let header name help kind =
-    if not (String.equal help "") then
-      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    (* Every metric gets HELP and TYPE lines; an instrument registered
+       without help falls back to its own name so scrapers always see
+       a complete exposition. *)
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name
+         (if String.equal help "" then name else help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -232,6 +266,8 @@ let to_prometheus () =
           Buffer.add_string buf
             (Printf.sprintf "%s_count %d\n" h.h_name (histogram_count h)))
     (sorted_metrics ());
+  List.iter (fun e -> Buffer.add_string buf (e.e_prometheus ()))
+    (current_expositions ());
   Buffer.contents buf
 
 let to_json () =
@@ -278,9 +314,17 @@ let to_json () =
   Buffer.add_string buf
     (Printf.sprintf "  \"gauges\": {%s},\n"
        (String.concat ", " (List.rev !gauges)));
+  let extras = current_expositions () in
   Buffer.add_string buf
-    (Printf.sprintf "  \"histograms\": {%s}\n"
-       (String.concat ", " (List.rev !histograms)));
+    (Printf.sprintf "  \"histograms\": {%s}%s\n"
+       (String.concat ", " (List.rev !histograms))
+       (if extras = [] then "" else ","));
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s%s\n" (Json.escape e.e_key) (e.e_json ())
+           (if i < List.length extras - 1 then "," else "")))
+    extras;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

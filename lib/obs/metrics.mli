@@ -5,8 +5,9 @@
     domain; no update takes a lock.  Registration is idempotent:
     asking for an existing name of the same kind returns the already
     registered instrument, asking for it as a different kind raises
-    [Invalid_argument].  Names must match the Prometheus grammar
-    [[a-zA-Z_:][a-zA-Z0-9_:]*].
+    [Invalid_argument].  Names must match [mae_[a-z0-9_]+] -- the
+    registry lints at registration time so metric-name drift is
+    caught the moment a PR introduces it.
 
     Counters and gauges are always live, even with telemetry off --
     they replace hand-rolled statistics ints and cost the same.
@@ -15,6 +16,13 @@
 type counter
 type gauge
 type histogram
+
+val valid_name : string -> bool
+(** Does the name match [mae_[a-z0-9_]+]? *)
+
+val lint_name : ?what:string -> string -> unit
+(** Raise [Invalid_argument] (prefixed with [what]) unless
+    {!valid_name}.  Shared by every registry in the obs layer. *)
 
 (** {1 Counters} *)
 
@@ -45,9 +53,9 @@ val histogram : ?help:string -> ?buckets:float array -> string -> histogram
 val observe : histogram -> float -> unit
 
 val time : histogram -> (unit -> 'a) -> 'a
-(** Run the thunk and observe its wall-clock duration -- but only when
-    {!Control.enabled}; otherwise a single atomic read and a tail
-    call, like spans. *)
+(** Run the thunk and observe its duration on the monotonic clock --
+    but only when {!Control.enabled}; otherwise a single atomic read
+    and a tail call, like spans. *)
 
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
@@ -62,13 +70,23 @@ val reset_values : unit -> unit
 
 (** {1 Exporters} *)
 
+val register_exposition :
+  key:string -> prometheus:(unit -> string) -> json:(unit -> string) -> unit
+(** Contribute an extra section to both dumps: [prometheus] returns a
+    text-exposition fragment appended after the registered metrics,
+    [json] returns a JSON object added under [key] at the top level.
+    Idempotent by [key]; used by {!Sketch} so summaries ride along in
+    every /metrics scrape and [--metrics-out] file. *)
+
 val to_prometheus : unit -> string
-(** Prometheus text exposition format, metrics sorted by name. *)
+(** Prometheus text exposition format, metrics sorted by name; every
+    metric carries [# HELP] and [# TYPE] lines. *)
 
 val to_json : unit -> string
 (** The same data as one JSON object:
-    [{"counters": {..}, "gauges": {..}, "histograms": {..}}] with
-    cumulative bucket pairs [[le, count]]. *)
+    [{"counters": {..}, "gauges": {..}, "histograms": {..}, ...}] with
+    cumulative bucket pairs [[le, count]] plus any registered
+    exposition sections (e.g. ["sketches"]). *)
 
 val write_prometheus : path:string -> (unit, string) result
 val write_json : path:string -> (unit, string) result

@@ -1,0 +1,419 @@
+(* Greenwald–Khanna quantile summaries with per-domain write buffers.
+
+   Each domain owns a [local]: a flat sample buffer (no locks, no
+   sharing) plus an immutable GK summary published through an Atomic.
+   Owners fold the buffer into a fresh summary and republish; readers
+   grab every domain's published summary and answer rank queries over
+   the concatenation -- the classic mergeable-summary argument gives a
+   combined rank error of sum_d eps * n_d = eps * n.
+
+   GK invariant maintained here: every tuple (v, g, d) satisfies
+   g + d <= floor(2 * eps * n) (new tuples get
+   d = floor(2 eps n) - 1, compression merges a tuple into its right
+   neighbour only while the sum respects the cap), which bounds the
+   rank uncertainty of any query by eps * n.  The first and last
+   tuples are never merged away, so min and max stay exact. *)
+
+let buf_cap = 256
+let exemplar_slots = 4
+
+type tuple = { v : float; g : int; d : int }
+
+type summary = {
+  s_n : int;
+  s_sum : float;
+  s_min : float;  (* nan when empty *)
+  s_max : float;
+  s_tuples : tuple list;  (* ascending v *)
+}
+
+let empty_summary =
+  { s_n = 0; s_sum = 0.; s_min = Float.nan; s_max = Float.nan; s_tuples = [] }
+
+type local = {
+  l_buf : float array;
+  mutable l_n : int;  (* owner-mutated; invisible to readers until flush *)
+  l_published : summary Atomic.t;
+}
+
+type exemplar = { ex_v : float; ex_label : string; ex_wall : float }
+
+type t = {
+  sk_name : string;
+  sk_help : string;
+  sk_eps : float;
+  sk_lock : Mutex.t;  (* guards sk_locals *)
+  mutable sk_locals : local list;
+  sk_key : local Domain.DLS.key;
+  sk_exemplars : exemplar option Atomic.t array;
+}
+
+let name t = t.sk_name
+let eps t = t.sk_eps
+
+(* --- GK core --- *)
+
+let cap_of eps n = int_of_float (2. *. eps *. float_of_int n)
+
+(* Insert an ascending batch, one logical observation at a time (the
+   running count [n] grows per element, so each new tuple's d is taken
+   at its own insertion time -- the conservative choice). *)
+let insert_sorted eps s values =
+  if values = [] then s
+  else begin
+    let n = ref s.s_n in
+    let rec go tuples values acc =
+      match (tuples, values) with
+      | _, [] -> List.rev_append acc tuples
+      | t :: ts, v :: _ when v >= t.v -> go ts values (t :: acc)
+      | _, v :: vs ->
+          (* new minimum (acc = []) or new maximum (tuples = []) are
+             exact; interior inserts get the GK delta *)
+          let d =
+            if acc = [] || tuples = [] then 0
+            else max 0 (cap_of eps !n - 1)
+          in
+          incr n;
+          go tuples vs ({ v; g = 1; d } :: acc)
+    in
+    let tuples = go s.s_tuples values [] in
+    let vmin = List.hd values in
+    let vmax = List.fold_left (fun _ v -> v) vmin values in
+    {
+      s_n = !n;
+      s_sum = List.fold_left ( +. ) s.s_sum values;
+      s_min = (if Float.is_nan s.s_min then vmin else Float.min s.s_min vmin);
+      s_max = (if Float.is_nan s.s_max then vmax else Float.max s.s_max vmax);
+      s_tuples = tuples;
+    }
+  end
+
+let compress eps s =
+  match s.s_tuples with
+  | [] | [ _ ] -> s
+  | first :: rest ->
+      let cap = cap_of eps s.s_n in
+      let rec go acc = function
+        | t1 :: t2 :: ts when t1.g + t2.g + t2.d <= cap ->
+            go acc ({ t2 with g = t1.g + t2.g } :: ts)
+        | t :: ts -> go (t :: acc) ts
+        | [] -> List.rev acc
+      in
+      { s with s_tuples = first :: go [] rest }
+
+(* Rank query over the concatenation of summaries (tuples pre-sorted
+   by value): pick the tuple whose [rmin, rmax] interval sits closest
+   to the target rank. *)
+let query_sorted tuples n q =
+  if n = 0 then None
+  else begin
+    let r =
+      max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n))))
+    in
+    let best_err = ref max_int and best_v = ref Float.nan in
+    let rmin = ref 0 in
+    List.iter
+      (fun t ->
+        rmin := !rmin + t.g;
+        let rmax = !rmin + t.d in
+        let err = max (r - !rmin) (rmax - r) in
+        if err < !best_err then begin
+          best_err := err;
+          best_v := t.v
+        end)
+      tuples;
+    if !best_err = max_int then None else Some !best_v
+  end
+
+(* --- registry and per-domain plumbing --- *)
+
+let registry_lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let flush_one t l =
+  if l.l_n > 0 then begin
+    let values =
+      List.sort Float.compare (Array.to_list (Array.sub l.l_buf 0 l.l_n))
+    in
+    let s = Atomic.get l.l_published in
+    let s = compress t.sk_eps (insert_sorted t.sk_eps s values) in
+    Atomic.set l.l_published s;
+    l.l_n <- 0
+  end
+
+let create ?(help = "") ?eps name =
+  Metrics.lint_name ~what:"Mae_obs.Sketch" name;
+  (match eps with
+  | Some e when not (e > 0. && e < 0.5) ->
+      invalid_arg "Mae_obs.Sketch: eps must be in (0, 0.5)"
+  | _ -> ());
+  Mutex.lock registry_lock;
+  let result =
+    match Hashtbl.find_opt registry name with
+    | Some t -> (
+        match eps with
+        | Some e when e <> t.sk_eps -> Error t.sk_eps
+        | _ -> Ok t)
+    | None ->
+        let eps = Option.value eps ~default:0.001 in
+        (* The DLS initializer closes over the sketch it belongs to;
+           tie the knot through a ref (the initializer only runs on a
+           domain's first observe, long after [create] returns). *)
+        let self = ref None in
+        let t =
+          {
+            sk_name = name;
+            sk_help = help;
+            sk_eps = eps;
+            sk_lock = Mutex.create ();
+            sk_locals = [];
+            sk_key =
+              Domain.DLS.new_key (fun () ->
+                  let t = Option.get !self in
+                  let l =
+                    {
+                      l_buf = Array.make buf_cap 0.;
+                      l_n = 0;
+                      l_published = Atomic.make empty_summary;
+                    }
+                  in
+                  Mutex.lock t.sk_lock;
+                  t.sk_locals <- l :: t.sk_locals;
+                  Mutex.unlock t.sk_lock;
+                  Domain.at_exit (fun () -> flush_one t l);
+                  l);
+            sk_exemplars =
+              Array.init exemplar_slots (fun _ -> Atomic.make None);
+          }
+        in
+        self := Some t;
+        Hashtbl.add registry name t;
+        Ok t
+  in
+  Mutex.unlock registry_lock;
+  match result with
+  | Ok t -> t
+  | Error existing ->
+      invalid_arg
+        (Printf.sprintf
+           "Mae_obs.Sketch: %s already registered with eps %g" name existing)
+
+let observe t v =
+  let l = Domain.DLS.get t.sk_key in
+  l.l_buf.(l.l_n) <- v;
+  l.l_n <- l.l_n + 1;
+  if l.l_n >= buf_cap then flush_one t l
+
+let offer_exemplar t ~label v =
+  let slots = t.sk_exemplars in
+  let min_i = ref 0 and min_v = ref Float.infinity and empty = ref (-1) in
+  Array.iteri
+    (fun i slot ->
+      match Atomic.get slot with
+      | None -> if !empty < 0 then empty := i
+      | Some e ->
+          if e.ex_v < !min_v then begin
+            min_v := e.ex_v;
+            min_i := i
+          end)
+    slots;
+  if !empty >= 0 then
+    Atomic.set slots.(!empty)
+      (Some { ex_v = v; ex_label = label; ex_wall = Clock.wall () })
+  else if v > !min_v then
+    Atomic.set slots.(!min_i)
+      (Some { ex_v = v; ex_label = label; ex_wall = Clock.wall () })
+
+let observe_exemplar t ~label v =
+  observe t v;
+  offer_exemplar t ~label v
+
+let all () =
+  Mutex.lock registry_lock;
+  let l = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> String.compare a.sk_name b.sk_name) l
+
+let flush_local () =
+  List.iter (fun t -> flush_one t (Domain.DLS.get t.sk_key)) (all ())
+
+(* --- merged reads --- *)
+
+type merged = {
+  m_n : int;
+  m_sum : float;
+  m_min : float;
+  m_max : float;
+  m_tuples : tuple list;
+  m_domains : int;  (* summaries with samples *)
+}
+
+let merged t =
+  flush_one t (Domain.DLS.get t.sk_key);
+  Mutex.lock t.sk_lock;
+  let locals = t.sk_locals in
+  Mutex.unlock t.sk_lock;
+  let summaries =
+    List.filter_map
+      (fun l ->
+        let s = Atomic.get l.l_published in
+        if s.s_n = 0 then None else Some s)
+      locals
+  in
+  let tuples =
+    List.concat_map (fun s -> s.s_tuples) summaries
+    |> List.sort (fun a b -> Float.compare a.v b.v)
+  in
+  List.fold_left
+    (fun m s ->
+      {
+        m with
+        m_n = m.m_n + s.s_n;
+        m_sum = m.m_sum +. s.s_sum;
+        m_min =
+          (if Float.is_nan m.m_min then s.s_min else Float.min m.m_min s.s_min);
+        m_max =
+          (if Float.is_nan m.m_max then s.s_max else Float.max m.m_max s.s_max);
+        m_domains = m.m_domains + 1;
+      })
+    {
+      m_n = 0;
+      m_sum = 0.;
+      m_min = Float.nan;
+      m_max = Float.nan;
+      m_tuples = tuples;
+      m_domains = 0;
+    }
+    summaries
+
+let quantile t q =
+  let m = merged t in
+  query_sorted m.m_tuples m.m_n q
+
+type snapshot = {
+  n : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  eps : float;
+  quantiles : (float * float) list;
+  exemplars : (float * string * float) list;
+  tuples : int;
+}
+
+let default_qs = [ 0.5; 0.9; 0.95; 0.99; 0.999 ]
+
+let exemplars t =
+  Array.to_list t.sk_exemplars
+  |> List.filter_map (fun slot ->
+         Option.map
+           (fun e -> (e.ex_v, e.ex_label, e.ex_wall))
+           (Atomic.get slot))
+  |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a)
+
+let snapshot ?(qs = default_qs) t =
+  let m = merged t in
+  {
+    n = m.m_n;
+    sum = m.m_sum;
+    min_v = m.m_min;
+    max_v = m.m_max;
+    eps = t.sk_eps;
+    quantiles =
+      List.filter_map
+        (fun q ->
+          Option.map (fun v -> (q, v)) (query_sorted m.m_tuples m.m_n q))
+        qs;
+    exemplars = exemplars t;
+    tuples = List.length m.m_tuples;
+  }
+
+let rank_error_bound t ~n ~domains =
+  (t.sk_eps *. float_of_int n) +. float_of_int domains
+
+let reset t =
+  Mutex.lock t.sk_lock;
+  let locals = t.sk_locals in
+  Mutex.unlock t.sk_lock;
+  List.iter (fun l -> Atomic.set l.l_published empty_summary) locals;
+  (Domain.DLS.get t.sk_key).l_n <- 0;
+  Array.iter (fun slot -> Atomic.set slot None) t.sk_exemplars
+
+(* --- exposition --- *)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun t ->
+      let s = snapshot t in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" t.sk_name
+           (if String.equal t.sk_help "" then t.sk_name else t.sk_help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" t.sk_name);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%s\"} %s\n" t.sk_name
+               (float_repr q) (float_repr v)))
+        s.quantiles;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" t.sk_name (float_repr s.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" t.sk_name s.n);
+      List.iter
+        (fun (v, label, wall) ->
+          (* OpenMetrics-flavoured exemplar, kept as a comment so plain
+             Prometheus text parsers stay happy; the label is a request
+             id resolvable at /tracez. *)
+          Buffer.add_string buf
+            (Printf.sprintf "# EXEMPLAR %s {request_id=\"%s\"} %s %s\n"
+               t.sk_name label (float_repr v) (float_repr wall)))
+        s.exemplars)
+    (all ());
+  Buffer.contents buf
+
+let to_json_body () =
+  let sketch_json t =
+    let s = snapshot t in
+    let base =
+      [
+        ("eps", Json.Number s.eps);
+        ("count", Json.Number (float_of_int s.n));
+        ("sum", Json.Number s.sum);
+        ("tuples", Json.Number (float_of_int s.tuples));
+      ]
+    in
+    let extremes =
+      if s.n = 0 then []
+      else [ ("min", Json.Number s.min_v); ("max", Json.Number s.max_v) ]
+    in
+    let quantiles =
+      ( "quantiles",
+        Json.Object
+          (List.map (fun (q, v) -> (float_repr q, Json.Number v)) s.quantiles)
+      )
+    in
+    let exemplars =
+      ( "exemplars",
+        Json.Array
+          (List.map
+             (fun (v, label, wall) ->
+               Json.Object
+                 [
+                   ("value", Json.Number v);
+                   ("label", Json.String label);
+                   ("ts", Json.Number wall);
+                 ])
+             s.exemplars) )
+    in
+    (t.sk_name, Json.Object (base @ extremes @ [ quantiles; exemplars ]))
+  in
+  Json.encode (Json.Object (List.map sketch_json (all ())))
+
+(* Splice sketches into the shared /metrics dumps. *)
+let () =
+  Metrics.register_exposition ~key:"sketches" ~prometheus:to_prometheus
+    ~json:to_json_body

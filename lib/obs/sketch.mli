@@ -1,0 +1,95 @@
+(** Mergeable, bounded-memory streaming quantile sketches
+    (Greenwald–Khanna summaries with per-domain buffers).
+
+    A sketch answers rank queries over everything it has observed with
+    a proven bound: for a sketch created with error [eps], the value
+    returned for quantile [q] has true rank within [eps * n] of
+    [q * n] (plus one rank per merged per-domain summary, from
+    integer rounding).  Memory is [O((1/eps) * log(eps * n))] tuples
+    per domain regardless of stream length -- unlike a histogram there
+    is no bucket-edge quantization, and unlike a sorted reservoir
+    there is no sampling error.
+
+    Concurrency follows the [Kernel_cache] tally discipline: each
+    domain observes into a private buffer (no locks, no shared cache
+    lines) which is folded into that domain's published summary when
+    the buffer fills, when {!flush_local} is called (the engine's
+    workers do this at the end of every batch), and at domain exit.
+    Reads merge the published summaries of all domains; call them
+    after in-flight work has joined, like {!Span.events}.
+
+    Observation cost with telemetry enabled is an array store; the
+    caller is expected to gate on {!Control.enabled} alongside its
+    histogram observation (see [Mae_engine.estimate_one]). *)
+
+type t
+
+val create : ?help:string -> ?eps:float -> string -> t
+(** [create name] registers (or returns, idempotently) the sketch
+    called [name].  [name] must match [mae_[a-z0-9_]*] -- same lint as
+    {!Metrics}.  [eps] is the rank-error fraction (default [0.001],
+    i.e. p99.9 resolved to one part in a thousand); omitting it on a
+    re-registration accepts whatever the sketch was created with.
+    Raises [Invalid_argument] on a bad name, [eps] outside (0, 0.5),
+    or an explicit [eps] differing from the registered one. *)
+
+val observe : t -> float -> unit
+(** Record one sample from the calling domain. *)
+
+val observe_exemplar : t -> label:string -> float -> unit
+(** {!observe}, additionally offering [(label, value)] as an exemplar:
+    the sketch keeps the largest few labelled observations (e.g.
+    request ids of the slowest requests) so /metrics can cross-link to
+    /tracez.  Exemplar slots are global and racy-by-design; losing one
+    under contention is acceptable. *)
+
+val flush_local : unit -> unit
+(** Publish the calling domain's pending buffers for every registered
+    sketch.  Engine workers call this at the end of each batch, and it
+    runs automatically at domain exit. *)
+
+val quantile : t -> float -> float option
+(** [quantile t q] for [q] in [[0, 1]]: a value whose rank is within
+    the advertised bound of [q * n].  [None] when empty.  Flushes the
+    calling domain's buffer first. *)
+
+type snapshot = {
+  n : int;  (** published sample count *)
+  sum : float;
+  min_v : float;  (** [nan] when empty *)
+  max_v : float;  (** [nan] when empty *)
+  eps : float;
+  quantiles : (float * float) list;  (** [(q, value)] pairs *)
+  exemplars : (float * string * float) list;
+      (** [(value, label, wall_ts)], largest first *)
+  tuples : int;  (** resident summary tuples across all domains *)
+}
+
+val snapshot : ?qs:float list -> t -> snapshot
+(** Merged view across domains.  Default [qs] are
+    [0.5; 0.9; 0.95; 0.99; 0.999]. *)
+
+val rank_error_bound : t -> n:int -> domains:int -> float
+(** The advertised worst-case rank error for a merged query:
+    [eps * n + domains] (the additive term covers per-summary integer
+    rounding).  Property tests assert against exactly this. *)
+
+val name : t -> string
+val eps : t -> float
+
+val all : unit -> t list
+(** Registered sketches, sorted by name. *)
+
+val reset : t -> unit
+(** Drop all published summaries, exemplars and the calling domain's
+    pending buffer.  Other domains' pending buffers survive until
+    their next flush; tests reset between joined phases. *)
+
+val to_prometheus : unit -> string
+(** Prometheus [summary]-typed exposition for every registered
+    sketch, with exemplars as trailing comment lines.  Appended to
+    {!Metrics.to_prometheus} output via the exposition hook. *)
+
+val to_json_body : unit -> string
+(** The sketches section as a JSON object body:
+    [{"name": {"count": .., "quantiles": {..}, ..}, ..}]. *)

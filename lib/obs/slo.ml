@@ -1,0 +1,244 @@
+(* Rolling-window burn-rate accounting.
+
+   One ring of (good, bad) slices per objective, sliced on the
+   monotonic clock so wall-clock steps can't smear a window.  The ring
+   covers the slow window; the fast window is the most recent prefix
+   of the same ring, so both windows advance together and cost O(ring)
+   to read -- rings are ~hundreds of slots, read a few times per
+   scrape, so no cleverness is warranted. *)
+
+type kind = Latency of float | Error_rate
+
+type spec = {
+  slo_name : string;
+  description : string;
+  kind : kind;
+  target : float;
+  fast_window_s : float;
+  slow_window_s : float;
+  min_events : int;
+}
+
+let spec ?(description = "") ?(target = 0.99) ?(fast_window_s = 300.)
+    ?(slow_window_s = 3600.) ?(min_events = 20) ~kind name =
+  {
+    slo_name = name;
+    description;
+    kind;
+    target;
+    fast_window_s;
+    slow_window_s;
+    min_events;
+  }
+
+type t = {
+  t_spec : spec;
+  slice_s : float;
+  fast_slices : int;  (* prefix of the ring forming the fast window *)
+  lock : Mutex.t;
+  good : int array;  (* ring, one slot per slice *)
+  bad : int array;
+  mutable cur_slice : int;  (* absolute slice index of ring position *)
+  mutable lifetime_good : int;
+  mutable lifetime_bad : int;
+}
+
+let registry_lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let validate s =
+  Metrics.lint_name ~what:"Mae_obs.Slo" s.slo_name;
+  if not (s.target > 0. && s.target < 1.) then
+    invalid_arg "Mae_obs.Slo: target must be in (0, 1)";
+  if not (s.fast_window_s > 0.) then
+    invalid_arg "Mae_obs.Slo: fast_window_s must be positive";
+  if s.slow_window_s < s.fast_window_s then
+    invalid_arg "Mae_obs.Slo: slow window shorter than fast window";
+  (match s.kind with
+  | Latency th when not (th > 0.) ->
+      invalid_arg "Mae_obs.Slo: latency threshold must be positive"
+  | _ -> ());
+  if s.min_events < 1 then invalid_arg "Mae_obs.Slo: min_events < 1"
+
+let register s =
+  validate s;
+  Mutex.lock registry_lock;
+  let t =
+    match Hashtbl.find_opt registry s.slo_name with
+    | Some t -> t
+    | None ->
+        (* The fast window gets 20 slices of resolution; the ring
+           extends the same slice width out to the slow window. *)
+        let slice_s = s.fast_window_s /. 20. in
+        let ring = int_of_float (Float.ceil (s.slow_window_s /. slice_s)) in
+        let t =
+          {
+            t_spec = s;
+            slice_s;
+            fast_slices = 20;
+            lock = Mutex.create ();
+            good = Array.make ring 0;
+            bad = Array.make ring 0;
+            cur_slice = int_of_float (Clock.monotonic () /. slice_s);
+            lifetime_good = 0;
+            lifetime_bad = 0;
+          }
+        in
+        Hashtbl.add registry s.slo_name t;
+        t
+  in
+  Mutex.unlock registry_lock;
+  t
+
+(* Caller holds t.lock.  Zero the slots between the last-seen slice
+   and now (bounded by the ring size), then point cur_slice at now. *)
+let advance t =
+  let ring = Array.length t.good in
+  let now_slice = int_of_float (Clock.monotonic () /. t.slice_s) in
+  if now_slice > t.cur_slice then begin
+    let steps = min ring (now_slice - t.cur_slice) in
+    for i = 1 to steps do
+      let idx = (t.cur_slice + i) mod ring in
+      t.good.(idx) <- 0;
+      t.bad.(idx) <- 0
+    done;
+    t.cur_slice <- now_slice
+  end
+
+let record t ~good =
+  Mutex.lock t.lock;
+  advance t;
+  let idx = t.cur_slice mod Array.length t.good in
+  if good then begin
+    t.good.(idx) <- t.good.(idx) + 1;
+    t.lifetime_good <- t.lifetime_good + 1
+  end
+  else begin
+    t.bad.(idx) <- t.bad.(idx) + 1;
+    t.lifetime_bad <- t.lifetime_bad + 1
+  end;
+  Mutex.unlock t.lock
+
+let record_latency t v =
+  match t.t_spec.kind with
+  | Latency threshold -> record t ~good:(v <= threshold)
+  | Error_rate ->
+      invalid_arg "Mae_obs.Slo.record_latency: error-rate objective"
+
+type window_report = {
+  window_s : float;
+  good : int;
+  bad : int;
+  bad_fraction : float;
+  burn_rate : float;
+}
+
+type report = {
+  r_spec : spec;
+  lifetime_good : int;
+  lifetime_bad : int;
+  fast : window_report;
+  slow : window_report;
+  r_healthy : bool;
+}
+
+(* Caller holds t.lock. *)
+let window_sum (t : t) slices =
+  let ring = Array.length t.good in
+  let slices = min slices ring in
+  let g = ref 0 and b = ref 0 in
+  for i = 0 to slices - 1 do
+    let idx = (t.cur_slice - i + (ring * 2)) mod ring in
+    g := !g + t.good.(idx);
+    b := !b + t.bad.(idx)
+  done;
+  (!g, !b)
+
+let window_report t ~window_s ~slices =
+  let good, bad = window_sum t slices in
+  let total = good + bad in
+  let bad_fraction =
+    if total = 0 then 0. else float_of_int bad /. float_of_int total
+  in
+  let budget = 1. -. t.t_spec.target in
+  { window_s; good; bad; bad_fraction; burn_rate = bad_fraction /. budget }
+
+let report t =
+  Mutex.lock t.lock;
+  advance t;
+  let fast =
+    window_report t ~window_s:t.t_spec.fast_window_s ~slices:t.fast_slices
+  in
+  let slow =
+    window_report t ~window_s:t.t_spec.slow_window_s
+      ~slices:(Array.length t.good)
+  in
+  let lifetime_good = t.lifetime_good and lifetime_bad = t.lifetime_bad in
+  Mutex.unlock t.lock;
+  let r_healthy =
+    fast.good + fast.bad < t.t_spec.min_events || fast.burn_rate < 1.0
+  in
+  { r_spec = t.t_spec; lifetime_good; lifetime_bad; fast; slow; r_healthy }
+
+let all () =
+  Mutex.lock registry_lock;
+  let l = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> String.compare a.t_spec.slo_name b.t_spec.slo_name) l
+
+let reports () = List.map report (all ())
+let healthy () = List.for_all (fun r -> r.r_healthy) (reports ())
+
+let window_to_json w =
+  Json.Object
+    [
+      ("window_s", Json.Number w.window_s);
+      ("good", Json.Number (float_of_int w.good));
+      ("bad", Json.Number (float_of_int w.bad));
+      ("bad_fraction", Json.Number w.bad_fraction);
+      ("burn_rate", Json.Number w.burn_rate);
+    ]
+
+let report_to_json r =
+  let kind_fields =
+    match r.r_spec.kind with
+    | Latency th ->
+        [
+          ("kind", Json.String "latency");
+          ("threshold_s", Json.Number th);
+        ]
+    | Error_rate -> [ ("kind", Json.String "error_rate") ]
+  in
+  Json.Object
+    ([
+       ("name", Json.String r.r_spec.slo_name);
+       ("description", Json.String r.r_spec.description);
+     ]
+    @ kind_fields
+    @ [
+        ("target", Json.Number r.r_spec.target);
+        ("budget", Json.Number (1. -. r.r_spec.target));
+        ("min_events", Json.Number (float_of_int r.r_spec.min_events));
+        ("lifetime_good", Json.Number (float_of_int r.lifetime_good));
+        ("lifetime_bad", Json.Number (float_of_int r.lifetime_bad));
+        ("fast", window_to_json r.fast);
+        ("slow", window_to_json r.slow);
+        ("healthy", Json.Bool r.r_healthy);
+      ])
+
+let to_json () =
+  let rs = reports () in
+  Json.Object
+    [
+      ("healthy", Json.Bool (List.for_all (fun r -> r.r_healthy) rs));
+      ("slos", Json.Array (List.map report_to_json rs));
+    ]
+
+let reset t =
+  Mutex.lock t.lock;
+  Array.fill t.good 0 (Array.length t.good) 0;
+  Array.fill t.bad 0 (Array.length t.bad) 0;
+  t.lifetime_good <- 0;
+  t.lifetime_bad <- 0;
+  t.cur_slice <- int_of_float (Clock.monotonic () /. t.slice_s);
+  Mutex.unlock t.lock

@@ -1,0 +1,95 @@
+(** Declarative service-level objectives with multi-window burn rates.
+
+    An objective classifies each event as good or bad -- a latency SLO
+    counts a request bad when it exceeds its threshold, an error-rate
+    SLO counts failures -- and promises that at least [target] of
+    events are good.  The interesting output is the {e burn rate}: the
+    observed bad fraction divided by the error budget [1 - target].
+    Burn 1.0 means the budget is being consumed exactly as fast as it
+    is provisioned; burn 20 on a 99.9% objective means the monthly
+    budget disappears in ~36 hours.
+
+    Events are bucketed into fixed-width time slices on the monotonic
+    clock and summed over two rolling windows -- a fast window (default
+    5 min) that reacts to incidents, and a slow window (default 1 h)
+    that separates blips from sustained regressions.  {!healthy} is
+    the admission-control hook: it trips only when the fast window has
+    both enough events to be meaningful ([min_events]) and a burn rate
+    at or above 1.0, which is what flips /healthz to 503. *)
+
+type kind =
+  | Latency of float
+      (** threshold in seconds; an event is good iff [latency <= threshold] *)
+  | Error_rate  (** an event is good iff the caller says it succeeded *)
+
+type spec = {
+  slo_name : string;  (** [mae_[a-z0-9_]+], same lint as metrics *)
+  description : string;
+  kind : kind;
+  target : float;  (** required good fraction, in (0, 1) *)
+  fast_window_s : float;
+  slow_window_s : float;
+  min_events : int;
+      (** fast-window events required before {!healthy} may trip *)
+}
+
+val spec :
+  ?description:string ->
+  ?target:float ->
+  ?fast_window_s:float ->
+  ?slow_window_s:float ->
+  ?min_events:int ->
+  kind:kind ->
+  string ->
+  spec
+(** Smart constructor: target 0.99, windows 300 s / 3600 s,
+    min_events 20. *)
+
+type t
+
+val register : spec -> t
+(** Idempotent by name (an explicit respec of an existing name keeps
+    the original).  Raises [Invalid_argument] on a bad name, target
+    outside (0, 1), non-positive windows, or slow < fast. *)
+
+val record : t -> good:bool -> unit
+(** Count one event.  Safe from any domain (slice updates are
+    mutex-protected; events are request-grained, not module-grained). *)
+
+val record_latency : t -> float -> unit
+(** For [Latency] objectives: classify against the threshold and
+    {!record}.  Raises [Invalid_argument] on an [Error_rate] SLO. *)
+
+type window_report = {
+  window_s : float;
+  good : int;
+  bad : int;
+  bad_fraction : float;  (** 0 when the window is empty *)
+  burn_rate : float;  (** [bad_fraction / (1 - target)] *)
+}
+
+type report = {
+  r_spec : spec;
+  lifetime_good : int;
+  lifetime_bad : int;
+  fast : window_report;
+  slow : window_report;
+  r_healthy : bool;
+      (** false iff fast window has [>= min_events] events and
+          [burn_rate >= 1.0] *)
+}
+
+val report : t -> report
+val reports : unit -> report list
+(** All registered objectives, sorted by name. *)
+
+val healthy : unit -> bool
+(** Conjunction over every registered objective; [true] when none are
+    registered. *)
+
+val report_to_json : report -> Json.t
+val to_json : unit -> Json.t
+(** [{"healthy": bool, "slos": [report, ...]}]. *)
+
+val reset : t -> unit
+(** Zero all slices and lifetime totals (for tests). *)

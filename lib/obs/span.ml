@@ -17,7 +17,7 @@ type event = {
   attrs : (string * string) list;
   domain : int;  (* Domain.id of the recording domain *)
   depth : int;  (* 0 = root span of its lane *)
-  ts : float;  (* wall-clock start, seconds since the epoch *)
+  ts : float;  (* monotonic start (Clock.monotonic); never steps *)
   dur : float;  (* seconds *)
   self : float;  (* [dur] minus time spent in child spans *)
 }
@@ -71,7 +71,10 @@ let key =
       Mutex.unlock registry_lock;
       buf)
 
-let now = Unix.gettimeofday
+(* Monotonic: a wall-clock step mid-span must not produce negative or
+   inflated durations.  Exporters needing epoch timestamps convert via
+   Clock.wall_of_monotonic. *)
+let now = Clock.monotonic
 
 let with_ ?(attrs = []) ~name f =
   if not (Control.enabled ()) then f ()
@@ -123,6 +126,29 @@ let events () =
   let bufs = !buffers in
   Mutex.unlock registry_lock;
   List.concat_map (fun b -> List.rev b.events) bufs
+  |> List.sort (fun a b ->
+         match Int.compare a.domain b.domain with
+         | 0 -> Float.compare a.ts b.ts
+         | c -> c)
+
+(* Spans recorded at or after a monotonic instant.  Lane lists are
+   newest-closed first and every span starting at ts >= since closes
+   after any span from earlier work, so a per-lane take-while is exact
+   -- the scan stops at the first older span instead of walking the
+   whole retention window.  Serve uses this to pull out exactly the
+   span tree of the request that just finished. *)
+let events_since since =
+  Mutex.lock registry_lock;
+  let bufs = !buffers in
+  Mutex.unlock registry_lock;
+  List.concat_map
+    (fun b ->
+      let rec take acc = function
+        | e :: rest when e.ts >= since -> take (e :: acc) rest
+        | _ -> acc
+      in
+      take [] b.events)
+    bufs
   |> List.sort (fun a b ->
          match Int.compare a.domain b.domain with
          | 0 -> Float.compare a.ts b.ts

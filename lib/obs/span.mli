@@ -15,7 +15,8 @@ type event = {
   attrs : (string * string) list;
   domain : int;  (** [Domain.id] of the recording domain *)
   depth : int;  (** 0 for the root span of its lane *)
-  ts : float;  (** wall-clock start, seconds since the epoch *)
+  ts : float;  (** monotonic start ({!Clock.monotonic}); convert with
+                   {!Clock.wall_of_monotonic} for display *)
   dur : float;  (** seconds *)
   self : float;  (** [dur] minus the time spent in child spans *)
 }
@@ -28,6 +29,13 @@ val events : unit -> event list
 (** Every recorded span across all domains, sorted by domain then
     start time.  Call after in-flight estimation has finished (the
     engine joins its workers before returning). *)
+
+val events_since : float -> event list
+(** Spans whose start is at or after the given {!Clock.monotonic}
+    instant, same ordering as {!events}.  Cost is proportional to the
+    number of matching spans, not the retention window -- the serve
+    plane calls this once per finished request for tail-based trace
+    capture. *)
 
 val reset : unit -> unit
 (** Drop all recorded spans.  Do not call while spans are open on

@@ -65,6 +65,25 @@ let parse_addr s =
                  "bad address %S (want PORT, HOST:PORT or unix:PATH)" s)
       end
 
+type slo_config = {
+  latency_threshold_s : float;  (** a request is "good" iff at or under *)
+  latency_target : float;  (** required good fraction for latency *)
+  error_target : float;  (** required non-server-error fraction *)
+  fast_window_s : float;
+  slow_window_s : float;
+  min_events : int;  (** fast-window events before /healthz may degrade *)
+}
+
+let default_slo =
+  {
+    latency_threshold_s = 0.25;
+    latency_target = 0.99;
+    error_target = 0.999;
+    fast_window_s = 300.;
+    slow_window_s = 3600.;
+    min_events = 20;
+  }
+
 type config = {
   request_addr : addr;
   obs_addr : addr option;
@@ -74,6 +93,14 @@ type config = {
   metrics_out : string option;  (** metrics dump flushed at shutdown *)
   max_line_bytes : int;
   span_retention : int;  (** recent-span window backing /tracez *)
+  slo : slo_config;
+  capture_slow_k : int;  (** slowest-k span trees kept per window *)
+  capture_errored_cap : int;  (** errored span trees kept (FIFO ring) *)
+  capture_max_spans : int;  (** spans kept per captured request *)
+  inject_sleep_field : bool;
+      (** honour a "sleep_s" request field by sleeping before
+          estimation -- an overload injector for the serve smoke gate;
+          never enable in production *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
 }
 
@@ -87,6 +114,11 @@ let default_config ~registry ~request_addr =
     metrics_out = None;
     max_line_bytes = 8 * 1024 * 1024;
     span_retention = 4096;
+    slo = default_slo;
+    capture_slow_k = 8;
+    capture_errored_cap = 32;
+    capture_max_spans = 256;
+    inject_sleep_field = false;
     on_ready = (fun ~request_addr:_ ~obs_addr:_ -> ());
   }
 
@@ -120,6 +152,13 @@ let request_latency =
   Metrics.histogram "mae_serve_request_seconds"
     ~help:"Per-request service latency (receipt of a line to its response)"
 
+(* The same samples as the histogram, without bucket-edge
+   quantization; exemplars carry the request ids of the slowest
+   requests so /metrics cross-links to /tracez. *)
+let request_latency_sketch =
+  Mae_obs.Sketch.create "mae_serve_request_seconds_summary"
+    ~help:"Per-request service latency quantiles (GK sketch)"
+
 (* --- protocol: one JSON request line -> one JSON response line --- *)
 
 type outcome = {
@@ -133,6 +172,10 @@ type outcome = {
           engine's domain-local accounting (not a before/after of the
           process-global counters, which other batches also move) *)
   cache_misses : int;
+  server_error : bool;
+      (** true when the failure is the server's fault (an estimator
+          crash), as opposed to a malformed request or bad circuit --
+          the distinction the error-budget SLO cares about *)
 }
 
 (* One JSON value per methodology outcome: the shared dimensions plus a
@@ -224,7 +267,7 @@ let estimate_outcome config ?methods ?pool text =
   | Error e ->
       let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
       ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
-        false, 0, 0, 0, 0, 0 )
+        false, 0, 0, 0, 0, 0, false )
   | Ok circuits -> begin
       match
         Mae_engine.run_circuits_with_stats ?methods ?pool ~jobs:config.jobs
@@ -233,6 +276,16 @@ let estimate_outcome config ?methods ?pool text =
       | results, stats ->
           let modules = List.length results in
           let modules_ok = List.length (List.filter Result.is_ok results) in
+          (* a module that crashed its estimator is a server fault; a
+             driver error (unknown process, invalid circuit) is the
+             request's *)
+          let crashed =
+            List.exists
+              (function
+                | Error (Mae_engine.Crashed _) -> true
+                | Ok _ | Error _ -> false)
+              results
+          in
           let rows =
             List.fold_left
               (fun acc -> function
@@ -249,14 +302,15 @@ let estimate_outcome config ?methods ?pool text =
               ("modules", Json.Array (List.map module_json results));
             ],
             modules_ok = modules, modules, modules_ok, rows,
-            stats.Mae_engine.cache_hits, stats.Mae_engine.cache_misses )
+            stats.Mae_engine.cache_hits, stats.Mae_engine.cache_misses,
+            crashed )
       | exception exn ->
           ( [
               ("ok", Json.Bool false);
               ( "error",
                 Json.String ("estimator crashed: " ^ Printexc.to_string exn) );
             ],
-            false, 0, 0, 0, 0, 0 )
+            false, 0, 0, 0, 0, 0, true )
     end
 
 (* The optional "methods" request field: a comma-separated string or an
@@ -293,14 +347,20 @@ let process_request config ?pool ~seq line =
     | Error e ->
         (Json.Null, ([ ("ok", Json.Bool false);
                        ("error", Json.String ("bad request JSON: " ^ e)) ],
-                     false, 0, 0, 0, 0, 0))
+                     false, 0, 0, 0, 0, 0, false))
     | Ok doc -> begin
         let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+        (* overload injector for the smoke gate: only a config built in
+           process (never the CLI) can turn this on *)
+        (if config.inject_sleep_field then
+           match Json.member "sleep_s" doc with
+           | Some (Json.Number s) when s > 0. && s <= 5. -> Unix.sleepf s
+           | _ -> ());
         match parse_methods doc with
         | Error e ->
             (id, ([ ("ok", Json.Bool false);
                     ("error", Json.String ("bad \"methods\": " ^ e)) ],
-                  false, 0, 0, 0, 0, 0))
+                  false, 0, 0, 0, 0, 0, false))
         | Ok methods -> begin
             match Json.member "hdl" doc with
             | Some (Json.String text) ->
@@ -308,16 +368,16 @@ let process_request config ?pool ~seq line =
             | Some _ ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "\"hdl\" must be a string") ],
-                      false, 0, 0, 0, 0, 0))
+                      false, 0, 0, 0, 0, 0, false))
             | None ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "request needs an \"hdl\" field") ],
-                      false, 0, 0, 0, 0, 0))
+                      false, 0, 0, 0, 0, 0, false))
           end
       end
   in
   let fields, ok, modules, modules_ok, rows_selected_total, cache_hits,
-      cache_misses =
+      cache_misses, server_error =
     body
   in
   let response =
@@ -327,7 +387,7 @@ let process_request config ?pool ~seq line =
       @ fields)
   in
   { response; ok; modules; modules_ok; rows_selected_total; cache_hits;
-    cache_misses }
+    cache_misses; server_error }
 
 (* --- connection bookkeeping --- *)
 
@@ -366,7 +426,10 @@ let counter_value name =
 
 type state = {
   config : config;
-  started : float;
+  started : float;  (** wall clock, for display (buildinfo started_ts) *)
+  started_mono : float;  (** monotonic, for uptime arithmetic *)
+  slo_latency : Mae_obs.Slo.t;
+  slo_errors : Mae_obs.Slo.t;
   pool : Mae_engine.Pool.t option;
       (** persistent worker domains when [config.jobs >= 2]: spawned
           once at startup so per-request batches skip domain creation *)
@@ -375,13 +438,21 @@ type state = {
   mutable next_seq : int;
 }
 
-let healthz_body st =
+let uptime_s st = Mae_obs.Clock.monotonic () -. st.started_mono
+
+let healthz_body st ~slo_healthy =
   let num n = Json.Number (Float.of_int n) in
+  let status =
+    if st.draining then "draining"
+    else if not slo_healthy then "degraded"
+    else "ok"
+  in
   Json.encode
     (Json.Object
        [
-         ("status", Json.String (if st.draining then "draining" else "ok"));
-         ("uptime_s", Json.Number (Unix.gettimeofday () -. st.started));
+         ("status", Json.String status);
+         ("slo_healthy", Json.Bool slo_healthy);
+         ("uptime_s", Json.Number (uptime_s st));
          ("pid", num (Unix.getpid ()));
          ("jobs", num st.config.jobs);
          ("recommended_domains", num (Mae_engine.default_jobs ()));
@@ -448,6 +519,36 @@ let methods_body () =
        ])
   ^ "\n"
 
+let span_json (e : Mae_obs.Span.event) =
+  Json.Object
+    [
+      ("name", Json.String e.name);
+      ("domain", Json.Number (Float.of_int e.domain));
+      ("depth", Json.Number (Float.of_int e.depth));
+      (* span timestamps are monotonic; report an approximate epoch
+         time for readers and keep the raw monotonic instant for
+         ordering against other spans *)
+      ("ts", Json.Number (Mae_obs.Clock.wall_of_monotonic e.ts));
+      ("ts_mono", Json.Number e.ts);
+      ("dur_s", Json.Number e.dur);
+      ("self_s", Json.Number e.self);
+    ]
+
+let capture_json (c : Mae_obs.Capture.capture) =
+  Json.Object
+    ([
+       ("rid", Json.String c.cap_rid);
+       ( "kind",
+         Json.String
+           (match c.cap_kind with `Errored -> "errored" | `Slow -> "slow") );
+       ("ts", Json.Number c.cap_wall);
+       ("latency_s", Json.Number c.cap_latency);
+     ]
+    @ (match c.cap_error with
+      | None -> []
+      | Some e -> [ ("error", Json.String e) ])
+    @ [ ("spans", Json.Array (List.map span_json c.cap_spans)) ])
+
 let tracez_body st =
   let events = Mae_obs.Span.events () in
   let recent =
@@ -464,17 +565,6 @@ let tracez_body st =
     in
     List.rev (take 100 by_ts_desc)
   in
-  let span_json (e : Mae_obs.Span.event) =
-    Json.Object
-      [
-        ("name", Json.String e.name);
-        ("domain", Json.Number (Float.of_int e.domain));
-        ("depth", Json.Number (Float.of_int e.depth));
-        ("ts", Json.Number e.ts);
-        ("dur_s", Json.Number e.dur);
-        ("self_s", Json.Number e.self);
-      ]
-  in
   let flame_json (r : Mae_obs.Trace.flame_row) =
     Json.Object
       [
@@ -490,10 +580,85 @@ let tracez_body st =
          ("telemetry", Json.Bool (Mae_obs.enabled ()));
          ( "retention",
            Json.Number (Float.of_int st.config.span_retention) );
+         (* tail-based capture: the span trees of errored and
+            slowest-k requests, the ones worth keeping; request ids
+            here match the exemplar labels in /metrics *)
+         ( "captures",
+           Json.Array (List.map capture_json (Mae_obs.Capture.captures ())) );
+         ( "capture_resident_spans",
+           Json.Number (Float.of_int (Mae_obs.Capture.resident_spans ())) );
+         ( "capture_max_resident_spans",
+           Json.Number (Float.of_int (Mae_obs.Capture.max_resident_spans ()))
+         );
          ("recent_spans", Json.Array (List.map span_json recent));
          ("flame", Json.Array (List.map flame_json (Mae_obs.Trace.flame ())));
        ])
   ^ "\n"
+
+let slo_body () = Json.encode (Mae_obs.Slo.to_json ()) ^ "\n"
+
+(* /statusz: the one-page human summary -- uptime, traffic, cache,
+   objectives, latency quantiles, captured tails. *)
+let statusz_body st =
+  let b = Buffer.create 1024 in
+  let reqs = Metrics.counter_value requests_total in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "mae serve status";
+  line "";
+  line "uptime_s: %.1f  pid: %d  jobs: %d  telemetry: %s  draining: %b"
+    (uptime_s st) (Unix.getpid ()) st.config.jobs
+    (if Mae_obs.enabled () then "on" else "off")
+    st.draining;
+  line "requests: %d total, %d ok, %d failed; open connections: %d" reqs
+    (Metrics.counter_value requests_ok)
+    (Metrics.counter_value requests_failed)
+    (List.length (List.filter (fun c -> c.kind = Request_plane) st.conns));
+  let hits = counter_value "mae_kernel_cache_hits_total" in
+  let misses = counter_value "mae_kernel_cache_misses_total" in
+  let lookups = hits + misses in
+  line "engine: %d modules (%d ok); kernel cache %d lookups, hit ratio %s"
+    (counter_value "mae_engine_modules_total")
+    (counter_value "mae_engine_modules_ok_total")
+    lookups
+    (if lookups = 0 then "n/a"
+     else Printf.sprintf "%.1f%%" (100. *. float_of_int hits /. float_of_int lookups));
+  line "";
+  List.iter
+    (fun (r : Mae_obs.Slo.report) ->
+      let kind =
+        match r.r_spec.kind with
+        | Mae_obs.Slo.Latency th -> Printf.sprintf "latency <= %gms" (th *. 1e3)
+        | Mae_obs.Slo.Error_rate -> "error rate"
+      in
+      line "slo %s [%s, target %g%%]: fast burn %.2f (%d/%d bad), slow burn %.2f -- %s"
+        r.r_spec.slo_name kind
+        (100. *. r.r_spec.target)
+        r.fast.burn_rate r.fast.bad
+        (r.fast.good + r.fast.bad)
+        r.slow.burn_rate
+        (if r.r_healthy then "healthy" else "BUDGET EXHAUSTED"))
+    (Mae_obs.Slo.reports ());
+  line "";
+  let s = Mae_obs.Sketch.snapshot request_latency_sketch in
+  if s.n = 0 then line "request latency: no samples yet"
+  else begin
+    let q p =
+      match List.assoc_opt p s.quantiles with
+      | Some v -> Printf.sprintf "%.0fus" (v *. 1e6)
+      | None -> "-"
+    in
+    line "request latency: p50 %s  p90 %s  p95 %s  p99 %s  p999 %s (n=%d, eps=%g)"
+      (q 0.5) (q 0.9) (q 0.95) (q 0.99) (q 0.999) s.n s.eps
+  end;
+  let caps = Mae_obs.Capture.captures () in
+  let errored =
+    List.length (List.filter (fun c -> c.Mae_obs.Capture.cap_kind = `Errored) caps)
+  in
+  line "captures: %d errored, %d slow (resident spans %d/%d)" errored
+    (List.length caps - errored)
+    (Mae_obs.Capture.resident_spans ())
+    (Mae_obs.Capture.max_resident_spans ());
+  Buffer.contents b
 
 let handle_http st raw =
   Metrics.incr scrapes_total;
@@ -517,7 +682,21 @@ let handle_http st raw =
           http_response ~content_type:"text/plain; version=0.0.4"
             (Metrics.to_prometheus ())
       | "/healthz" ->
-          http_response ~content_type:"application/json" (healthz_body st)
+          (* liveness degrades to 503 when the fast-window error budget
+             of any objective is exhausted: load balancers shed load
+             from an instance that is up but missing its SLOs. *)
+          let slo_healthy = Mae_obs.Slo.healthy () in
+          let status =
+            if (not st.draining) && not slo_healthy then
+              "503 Service Unavailable"
+            else "200 OK"
+          in
+          http_response ~status ~content_type:"application/json"
+            (healthz_body st ~slo_healthy)
+      | "/slo" ->
+          http_response ~content_type:"application/json" (slo_body ())
+      | "/statusz" ->
+          http_response ~content_type:"text/plain" (statusz_body st)
       | "/buildinfo" ->
           http_response ~content_type:"application/json" (buildinfo_body st)
       | "/tracez" ->
@@ -526,7 +705,8 @@ let handle_http st raw =
           http_response ~content_type:"application/json" (methods_body ())
       | _ ->
           http_response ~status:"404 Not Found" ~content_type:"text/plain"
-            "not found; try /metrics /healthz /buildinfo /tracez /methods\n"
+            "not found; try /metrics /healthz /slo /statusz /buildinfo \
+             /tracez /methods\n"
     end
   | "GET" :: _ ->
       http_response ~status:"400 Bad Request" ~content_type:"text/plain"
@@ -543,10 +723,29 @@ let answer_line st conn line =
   let rid = "r" ^ string_of_int seq in
   Log.with_request_id rid @@ fun () ->
   Metrics.incr requests_total;
-  let t0 = Unix.gettimeofday () in
-  let outcome = process_request st.config ?pool:st.pool ~seq line in
-  let latency = Unix.gettimeofday () -. t0 in
+  let t0 = Mae_obs.Clock.monotonic () in
+  let outcome =
+    Mae_obs.Span.with_ ~name:"serve.request" ~attrs:[ ("rid", rid) ] (fun () ->
+        process_request st.config ?pool:st.pool ~seq line)
+  in
+  let latency = Mae_obs.Clock.monotonic () -. t0 in
   Metrics.observe request_latency latency;
+  (* the sketch carries the request id as an exemplar so a bad
+     quantile in /metrics links back to a trace in /tracez *)
+  Mae_obs.Sketch.observe_exemplar request_latency_sketch ~label:rid latency;
+  Mae_obs.Slo.record_latency st.slo_latency latency;
+  (* only server faults (estimator crashes) burn the error budget;
+     malformed client requests are the client's problem *)
+  Mae_obs.Slo.record st.slo_errors ~good:(not outcome.server_error);
+  let error =
+    if outcome.ok then None
+    else begin
+      match Json.member "error" outcome.response with
+      | Some (Json.String e) -> Some e
+      | _ -> Some "request failed"
+    end
+  in
+  Mae_obs.Capture.record ~rid ~ok:outcome.ok ?error ~latency ~since:t0 ();
   Metrics.incr (if outcome.ok then requests_ok else requests_failed);
   Log.info ~event:"serve.request"
     [
@@ -743,7 +942,7 @@ let final_flush st =
   let reqs = Metrics.counter_value requests_total in
   Log.info ~event:"serve.shutdown"
     [
-      ("uptime_s", Log.Float (Unix.gettimeofday () -. st.started));
+      ("uptime_s", Log.Float (uptime_s st));
       ("requests_total", Log.Int reqs);
       ("requests_ok", Log.Int (Metrics.counter_value requests_ok));
       ("requests_failed", Log.Int (Metrics.counter_value requests_failed));
@@ -807,14 +1006,46 @@ let run (config : config) =
             if jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(jobs - 1))
             else None
           in
+          (* declarative objectives over the request plane; both ride
+             the same rolling multi-window burn-rate rings *)
+          let slo_latency =
+            Mae_obs.Slo.register
+              (Mae_obs.Slo.spec
+                 ~description:
+                   (Printf.sprintf "%.0f%% of requests under %gms"
+                      (100. *. config.slo.latency_target)
+                      (config.slo.latency_threshold_s *. 1e3))
+                 ~kind:(Mae_obs.Slo.Latency config.slo.latency_threshold_s)
+                 ~target:config.slo.latency_target
+                 ~fast_window_s:config.slo.fast_window_s
+                 ~slow_window_s:config.slo.slow_window_s
+                 ~min_events:config.slo.min_events "mae_serve_latency_slo")
+          in
+          let slo_errors =
+            Mae_obs.Slo.register
+              (Mae_obs.Slo.spec
+                 ~description:
+                   (Printf.sprintf "%.1f%% of requests without server errors"
+                      (100. *. config.slo.error_target))
+                 ~kind:Mae_obs.Slo.Error_rate ~target:config.slo.error_target
+                 ~fast_window_s:config.slo.fast_window_s
+                 ~slow_window_s:config.slo.slow_window_s
+                 ~min_events:config.slo.min_events "mae_serve_errors_slo")
+          in
+          Mae_obs.Capture.configure ~slow_k:config.capture_slow_k
+            ~errored_cap:config.capture_errored_cap
+            ~max_spans:config.capture_max_spans ();
           let st =
             {
               config;
               started = Unix.gettimeofday ();
+              started_mono = Mae_obs.Clock.monotonic ();
               pool;
               draining = false;
               conns = [];
               next_seq = 1;
+              slo_latency;
+              slo_errors;
             }
           in
           Log.info ~event:"serve.start"
@@ -878,3 +1109,5 @@ let run (config : config) =
           final_flush st;
           Ok ()
     end
+
+module Top = Top

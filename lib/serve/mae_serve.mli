@@ -19,19 +19,28 @@
       [{"ok": false, "error"}]) per selected methodology.
     - {e observability plane} (optional second socket): HTTP/1.0
       [GET /metrics] (Prometheus text from the {!Mae_obs.Metrics}
-      registry, including the per-methodology
-      [mae_method_<name>_runs_total] / [..._errors_total] counters and
-      [mae_method_<name>_seconds] latency histograms), [/healthz]
-      (liveness + engine/domain status), [/buildinfo], [/tracez]
-      (recent-span snapshot + flame rows), and [/methods] (the
-      methodology registry: names, docs, and the default set).
+      registry -- counters, histograms, and the {!Mae_obs.Sketch}
+      quantile summaries with request-id exemplars), [/healthz]
+      (liveness + engine/domain status; answers
+      [503 Service Unavailable] while any SLO's fast-window error
+      budget is exhausted), [/slo] (burn-rate reports for every
+      registered objective, JSON), [/statusz] (one-page human-readable
+      status: uptime, traffic, cache hit ratio, SLO burn table,
+      latency quantiles, captured tails), [/buildinfo], [/tracez]
+      (recent-span snapshot + flame rows + tail-based captures: full
+      span trees of errored and slowest-k requests), and [/methods]
+      (the methodology registry: names, docs, and the default set).
 
     Every request emits one [serve.request] access-log record through
     {!Mae_obs.Log} -- latency, rows selected, kernel-cache hit deltas
-    -- scoped to request id [r<seq>].  SIGINT/SIGTERM stop the accept
-    loop, drain request lines already received, emit a final
-    [serve.shutdown] record and flush the configured metrics/trace
-    dumps. *)
+    -- scoped to request id [r<seq>], feeds the
+    [mae_serve_request_seconds_summary] latency sketch (with the
+    request id as exemplar), and burns the two built-in objectives
+    ([mae_serve_latency_slo], [mae_serve_errors_slo]; only estimator
+    crashes count against the error budget, malformed client input
+    does not).  SIGINT/SIGTERM stop the accept loop, drain request
+    lines already received, emit a final [serve.shutdown] record and
+    flush the configured metrics/trace dumps. *)
 
 type addr = Tcp of { host : string; port : int } | Unix_sock of string
 
@@ -42,6 +51,23 @@ val parse_addr : string -> (addr, string) result
     port [0] lets the kernel pick -- the bound port is reported via
     [on_ready]); ["unix:PATH"] or any string containing a slash is a
     Unix-domain socket path. *)
+
+type slo_config = {
+  latency_threshold_s : float;
+      (** a request is good for the latency SLO iff it answers within
+          this many seconds *)
+  latency_target : float;  (** required good fraction, in (0, 1) *)
+  error_target : float;
+      (** required fraction of requests without server errors *)
+  fast_window_s : float;  (** incident-reaction window (default 5 min) *)
+  slow_window_s : float;  (** sustained-regression window (default 1 h) *)
+  min_events : int;
+      (** fast-window events required before /healthz may flip to 503 *)
+}
+
+val default_slo : slo_config
+(** 99% under 250 ms; 99.9% without server errors; 300 s / 3600 s
+    windows; 20 events minimum. *)
 
 type config = {
   request_addr : addr;
@@ -55,6 +81,14 @@ type config = {
   metrics_out : string option;  (** metrics dump flushed at shutdown *)
   max_line_bytes : int;
   span_retention : int;  (** recent-span window backing [/tracez] *)
+  slo : slo_config;
+  capture_slow_k : int;
+      (** slowest-k requests whose span trees are retained per window *)
+  capture_errored_cap : int;  (** errored-request capture FIFO size *)
+  capture_max_spans : int;  (** span-tree truncation per capture *)
+  inject_sleep_field : bool;
+      (** honor a ["sleep_s"] request field (test-only overload
+          injection; never exposed on the CLI) *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
       (** called once both listeners are bound, with kernel-assigned
           ports resolved *)
@@ -63,9 +97,13 @@ type config = {
 val default_config :
   registry:Mae_tech.Registry.t -> request_addr:addr -> config
 (** [jobs = 1], no obs plane, no dumps, 8 MiB line cap, 4096-span
-    retention, no-op [on_ready]. *)
+    retention, {!default_slo}, capture 8 slow / 32 errored / 256 spans,
+    no sleep injection, no-op [on_ready]. *)
 
 val run : config -> (unit, string) result
 (** Serve until SIGINT/SIGTERM, then drain and flush.  [Error] means
     the listeners could not be bound (nothing was served).  Installs
     handlers for SIGINT/SIGTERM and ignores SIGPIPE. *)
+
+module Top = Top
+(** The [mae top] dashboard client (see {!Top}). *)

@@ -327,13 +327,13 @@ let test_c17_end_to_end () =
 (* Runtime sanity (the paper quotes seconds-level runtimes for the
    estimator; ours should be well under that on modern hardware). *)
 let test_estimator_fast () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mae_obs.Clock.monotonic () in
   List.iter
     (fun (e : Mae_workload.Bench_circuits.entry) ->
       ignore (Mae.Stdcell.estimate_auto e.circuit S.nmos);
       ignore (Mae.Fullcustom.estimate_both e.circuit S.nmos))
     (Mae_workload.Bench_circuits.table1 () @ Mae_workload.Bench_circuits.table2 ());
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Mae_obs.Clock.monotonic () -. t0 in
   Alcotest.(check bool) "under 1.5s (the paper's Sun 3/50 budget)" true
     (elapsed < 1.5)
 

@@ -186,23 +186,23 @@ let test_trace_par () = trace_roundtrip ~jobs:4 ()
 (* --- metrics --- *)
 
 let test_metrics_registry () =
-  let c = Metrics.counter "test_obs_counter_total" in
-  let c' = Metrics.counter "test_obs_counter_total" in
+  let c = Metrics.counter "mae_test_obs_counter_total" in
+  let c' = Metrics.counter "mae_test_obs_counter_total" in
   Metrics.reset_counter c;
   Metrics.incr c;
   Metrics.add c' 4;
   Alcotest.(check int) "idempotent registration shares state" 5
     (Metrics.counter_value c);
-  (match Metrics.gauge "test_obs_counter_total" with
+  (match Metrics.gauge "mae_test_obs_counter_total" with
   | _ -> Alcotest.fail "kind clash must raise"
   | exception Invalid_argument _ -> ());
   (match Metrics.counter "bad name!" with
   | _ -> Alcotest.fail "invalid name must raise"
   | exception Invalid_argument _ -> ());
-  let g = Metrics.gauge "test_obs_gauge" in
+  let g = Metrics.gauge "mae_test_obs_gauge" in
   Metrics.set g 2.5;
   Alcotest.(check (float 0.)) "gauge set/get" 2.5 (Metrics.gauge_value g);
-  let h = Metrics.histogram "test_obs_hist_seconds" ~buckets:[| 0.1; 1.; 10. |] in
+  let h = Metrics.histogram "mae_test_obs_hist_seconds" ~buckets:[| 0.1; 1.; 10. |] in
   List.iter (Metrics.observe h) [ 0.05; 0.5; 0.5; 5.; 50. ];
   Alcotest.(check int) "histogram count" 5 (Metrics.histogram_count h);
   Alcotest.(check (float 1e-9)) "histogram sum" 56.05 (Metrics.histogram_sum h)
@@ -307,15 +307,22 @@ let digest results =
 
 let test_disabled_identical () =
   let batch = random_batch 12 in
-  (* same registered instrument the engine observes into *)
+  (* same registered instruments the engine observes into *)
   let module_latency = Metrics.histogram "mae_engine_module_seconds" in
+  let module_sketch = Mae_obs.Sketch.create "mae_engine_module_seconds_summary" in
+  let sketch_count () = (Mae_obs.Sketch.snapshot module_sketch).Mae_obs.Sketch.n in
   Obs.set_enabled false;
   let count_before_off = Metrics.histogram_count module_latency in
+  let sketch_before_off = sketch_count () in
   let off = Mae_engine.run_circuits ~jobs:2 ~registry batch in
   Alcotest.(check int)
     "telemetry off records no per-module latency" count_before_off
     (Metrics.histogram_count module_latency);
+  Alcotest.(check int)
+    "telemetry off records no sketch samples" sketch_before_off
+    (sketch_count ());
   let count_before_on = Metrics.histogram_count module_latency in
+  let sketch_before_on = sketch_count () in
   let on =
     Obs.with_enabled true (fun () ->
         Mae_engine.run_circuits ~jobs:2 ~registry batch)
@@ -324,6 +331,10 @@ let test_disabled_identical () =
     "telemetry on records one observation per module"
     (count_before_on + List.length batch)
     (Metrics.histogram_count module_latency);
+  Alcotest.(check int)
+    "telemetry on records one sketch sample per module"
+    (sketch_before_on + List.length batch)
+    (sketch_count ());
   Span.reset ();
   Alcotest.(check (list (pair string (list int64))))
     "telemetry on/off bit-for-bit" (digest off) (digest on)
@@ -361,7 +372,7 @@ let test_flame_zero_duration () =
 
 let test_histogram_extremes () =
   let h =
-    Metrics.histogram "test_obs_extreme_seconds" ~buckets:[| 0.001; 1. |]
+    Metrics.histogram "mae_test_obs_extreme_seconds" ~buckets:[| 0.001; 1. |]
   in
   List.iter (Metrics.observe h) [ 0.; 1e308; -5.; Float.min_float ];
   Alcotest.(check int) "every observation counted" 4
@@ -373,7 +384,7 @@ let test_histogram_extremes () =
   let prom = Metrics.to_prometheus () in
   let bucket le =
     let needle =
-      Printf.sprintf "test_obs_extreme_seconds_bucket{le=\"%s\"} " le
+      Printf.sprintf "mae_test_obs_extreme_seconds_bucket{le=\"%s\"} " le
     in
     let n = String.length needle in
     String.split_on_char '\n' prom
@@ -470,6 +481,293 @@ let test_log_levels () =
       ("verbose", None);
     ]
 
+(* --- Clock: monotonic timebase for span/latency timing --- *)
+
+let test_clock_monotonic () =
+  let a = Mae_obs.Clock.monotonic () in
+  let b = Mae_obs.Clock.monotonic () in
+  Alcotest.(check bool) "never goes backwards" true (b >= a);
+  Alcotest.(check bool) "finite" true (Float.is_finite a);
+  (* converting the current monotonic instant lands near current wall *)
+  let wall_now = Mae_obs.Clock.wall () in
+  let converted = Mae_obs.Clock.wall_of_monotonic (Mae_obs.Clock.monotonic ()) in
+  Alcotest.(check bool) "wall_of_monotonic tracks wall clock" true
+    (Float.abs (converted -. wall_now) < 60.)
+
+(* --- Sketch: rank-error property against the exact sorted pool --- *)
+
+(* deterministic pseudo-random stream, no global Random state *)
+let lcg_stream seed n =
+  let state = ref (Int64.of_int seed) in
+  List.init n (fun _ ->
+      state :=
+        Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+      let bits = Int64.to_int (Int64.shift_right_logical !state 17) land 0xFFFFFF in
+      float_of_int bits /. 1e3)
+
+(* every queried quantile must land within the advertised rank-error
+   bound of its target rank in the exact pooled sorted sample set *)
+let assert_within_bound sk samples ~domains =
+  let sorted = Array.of_list (List.sort Float.compare samples) in
+  let n = Array.length sorted in
+  let bound = Mae_obs.Sketch.rank_error_bound sk ~n ~domains in
+  List.iter
+    (fun q ->
+      match Mae_obs.Sketch.quantile sk q with
+      | None -> Alcotest.failf "quantile %g of %d samples: empty sketch" q n
+      | Some v ->
+          let below = ref 0 and at_or_below = ref 0 in
+          Array.iter
+            (fun x ->
+              if x < v then incr below;
+              if x <= v then incr at_or_below)
+            sorted;
+          let target = q *. float_of_int n in
+          let dist =
+            if target < float_of_int !below then float_of_int !below -. target
+            else if target > float_of_int !at_or_below then
+              target -. float_of_int !at_or_below
+            else 0.
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%g: value %g rank error %.1f within bound %.1f"
+               q v dist bound)
+            true (dist <= bound))
+    [ 0.; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999; 1. ]
+
+let test_sketch_streams () =
+  let streams =
+    [
+      ("uniform", lcg_stream 42 20_000);
+      ("sorted", List.init 20_000 float_of_int);
+      ("reversed", List.init 20_000 (fun i -> float_of_int (20_000 - i)));
+      ("constant", List.init 5_000 (fun _ -> 7.5));
+      ( "two_spike",
+        List.init 10_000 (fun i -> if i mod 2 = 0 then 1. else 1000.) );
+    ]
+  in
+  List.iteri
+    (fun i (label, samples) ->
+      let sk =
+        Mae_obs.Sketch.create
+          (Printf.sprintf "mae_test_sketch_stream%d_seconds_summary" i)
+          ~eps:0.01
+      in
+      Mae_obs.Sketch.reset sk;
+      List.iter (Mae_obs.Sketch.observe sk) samples;
+      assert_within_bound sk samples ~domains:1;
+      let s = Mae_obs.Sketch.snapshot sk in
+      Alcotest.(check int) (label ^ ": count") (List.length samples) s.n;
+      Alcotest.(check (float 1e-6))
+        (label ^ ": exact min")
+        (List.fold_left Float.min Float.infinity samples)
+        s.min_v;
+      Alcotest.(check (float 1e-6))
+        (label ^ ": exact max")
+        (List.fold_left Float.max Float.neg_infinity samples)
+        s.max_v;
+      (* the point of a sketch: summary stays small however long the
+         stream (GK: O((1/eps) log(eps n)) tuples) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d tuples bounded" label s.tuples)
+        true
+        (s.tuples <= 2000))
+    streams
+
+let test_sketch_merged_domains () =
+  let sk = Mae_obs.Sketch.create "mae_test_sketch_merged_seconds_summary" ~eps:0.01 in
+  Mae_obs.Sketch.reset sk;
+  let domains = 4 in
+  let per_domain = 10_000 in
+  let chunks =
+    List.init domains (fun d -> lcg_stream (100 + d) per_domain)
+  in
+  (* concurrent hammer: four domains observe their chunks into the
+     same sketch; per-domain buffers flush at domain exit *)
+  let workers =
+    List.map
+      (fun chunk ->
+        Domain.spawn (fun () ->
+            List.iter (Mae_obs.Sketch.observe sk) chunk;
+            Mae_obs.Sketch.flush_local ()))
+      chunks
+  in
+  List.iter Domain.join workers;
+  let pooled = List.concat chunks in
+  let s = Mae_obs.Sketch.snapshot sk in
+  Alcotest.(check int) "merged count" (domains * per_domain) s.n;
+  assert_within_bound sk pooled ~domains
+
+let test_sketch_registry () =
+  let a = Mae_obs.Sketch.create "mae_test_sketch_reg_seconds_summary" ~eps:0.02 in
+  let b = Mae_obs.Sketch.create "mae_test_sketch_reg_seconds_summary" in
+  Alcotest.(check bool) "idempotent registration shares state" true (a == b);
+  Alcotest.(check (float 0.)) "eps preserved" 0.02 (Mae_obs.Sketch.eps b);
+  (match Mae_obs.Sketch.create "mae_test_sketch_reg_seconds_summary" ~eps:0.5 with
+  | _ -> Alcotest.fail "conflicting eps must raise"
+  | exception Invalid_argument _ -> ());
+  (* same lint as Metrics: names outside mae_[a-z0-9_]+ are rejected *)
+  List.iter
+    (fun bad ->
+      match Mae_obs.Sketch.create bad with
+      | _ -> Alcotest.failf "bad sketch name %S must raise" bad
+      | exception Invalid_argument _ -> ())
+    [ "latency"; "mae_Upper_seconds"; "mae_sp ace"; "mae-dash" ];
+  (* exemplars: the largest labelled observations survive *)
+  Mae_obs.Sketch.reset a;
+  Mae_obs.Sketch.observe_exemplar a ~label:"r1" 0.010;
+  Mae_obs.Sketch.observe_exemplar a ~label:"r2" 5.0;
+  Mae_obs.Sketch.observe_exemplar a ~label:"r3" 0.020;
+  let s = Mae_obs.Sketch.snapshot a in
+  (match s.exemplars with
+  | (v, label, _) :: _ ->
+      Alcotest.(check (float 0.)) "largest exemplar first" 5.0 v;
+      Alcotest.(check string) "exemplar label" "r2" label
+  | [] -> Alcotest.fail "exemplars missing");
+  (* the exposition hook makes sketches ride along in every dump *)
+  let prom = Metrics.to_prometheus () in
+  let contains needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec at i =
+      i + n <= m && (String.equal (String.sub hay i n) needle || at (i + 1))
+    in
+    at 0
+  in
+  Alcotest.(check bool) "summary in /metrics dump" true
+    (contains "mae_test_sketch_reg_seconds_summary{quantile=" prom);
+  Alcotest.(check bool) "exemplar comment in dump" true
+    (contains "# EXEMPLAR mae_test_sketch_reg_seconds_summary" prom)
+
+(* --- SLO burn-rate math and the /healthz trip condition --- *)
+
+let test_slo_burn () =
+  let sk =
+    Mae_obs.Slo.register
+      (Mae_obs.Slo.spec ~kind:(Mae_obs.Slo.Latency 0.1) ~target:0.9
+         ~min_events:20 "mae_test_slo_latency")
+  in
+  Mae_obs.Slo.reset sk;
+  (* 10 good, 10 bad: bad fraction 0.5 against a 0.1 budget = burn 5 *)
+  for _ = 1 to 10 do
+    Mae_obs.Slo.record_latency sk 0.01
+  done;
+  for _ = 1 to 10 do
+    Mae_obs.Slo.record_latency sk 0.5
+  done;
+  let r = Mae_obs.Slo.report sk in
+  Alcotest.(check int) "good" 10 r.fast.good;
+  Alcotest.(check int) "bad" 10 r.fast.bad;
+  Alcotest.(check (float 1e-9)) "bad fraction" 0.5 r.fast.bad_fraction;
+  Alcotest.(check (float 1e-9)) "burn = fraction / budget" 5. r.fast.burn_rate;
+  Alcotest.(check bool) "min_events reached + burn >= 1 trips" false
+    r.r_healthy;
+  (* same traffic below min_events stays healthy *)
+  Mae_obs.Slo.reset sk;
+  for _ = 1 to 9 do
+    Mae_obs.Slo.record_latency sk 0.5
+  done;
+  Alcotest.(check bool) "burning but under min_events" true
+    (Mae_obs.Slo.report sk).r_healthy;
+  (* all-good traffic: burn 0, healthy *)
+  Mae_obs.Slo.reset sk;
+  for _ = 1 to 50 do
+    Mae_obs.Slo.record_latency sk 0.01
+  done;
+  let r = Mae_obs.Slo.report sk in
+  Alcotest.(check (float 0.)) "burn 0 when clean" 0. r.fast.burn_rate;
+  Alcotest.(check bool) "healthy when clean" true r.r_healthy;
+  let er =
+    Mae_obs.Slo.register
+      (Mae_obs.Slo.spec ~kind:Mae_obs.Slo.Error_rate ~target:0.999
+         "mae_test_slo_errors")
+  in
+  Mae_obs.Slo.reset er;
+  (match Mae_obs.Slo.record_latency er 0.1 with
+  | () -> Alcotest.fail "record_latency on an error-rate SLO must raise"
+  | exception Invalid_argument _ -> ());
+  Mae_obs.Slo.record er ~good:true;
+  Mae_obs.Slo.record er ~good:false;
+  let r = Mae_obs.Slo.report er in
+  Alcotest.(check (float 1e-6)) "error burn" (0.5 /. 0.001) r.fast.burn_rate;
+  (* registration validation *)
+  (match
+     Mae_obs.Slo.register
+       (Mae_obs.Slo.spec ~kind:Mae_obs.Slo.Error_rate ~target:1.5
+          "mae_test_slo_badtarget")
+   with
+  | _ -> Alcotest.fail "target outside (0,1) must raise"
+  | exception Invalid_argument _ -> ());
+  match
+    Mae_obs.Slo.register
+      (Mae_obs.Slo.spec ~kind:Mae_obs.Slo.Error_rate "not a metric name")
+  with
+  | _ -> Alcotest.fail "bad SLO name must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- tail-based capture: bounded retention, errored always kept --- *)
+
+let test_capture_retention () =
+  Mae_obs.Capture.configure ~slow_k:4 ~errored_cap:8 ~max_spans:16 ();
+  Obs.with_enabled true @@ fun () ->
+  Span.reset ();
+  (* sustained load: 200 ok requests with span trees, a few errored *)
+  for i = 1 to 200 do
+    let since = Mae_obs.Clock.monotonic () in
+    Span.with_ ~name:"req.work" (fun () -> ignore (Sys.opaque_identity i));
+    let ok = i mod 50 <> 0 in
+    Mae_obs.Capture.record
+      ~rid:(Printf.sprintf "r%d" i)
+      ~ok
+      ?error:(if ok then None else Some "boom")
+      ~latency:(float_of_int i *. 1e-4)
+      ~since ()
+  done;
+  let caps = Mae_obs.Capture.captures () in
+  let errored =
+    List.filter (fun c -> c.Mae_obs.Capture.cap_kind = `Errored) caps
+  in
+  let slow =
+    List.filter (fun c -> c.Mae_obs.Capture.cap_kind = `Slow) caps
+  in
+  (* every errored request (4 of 200) retained, none evicted at cap 8 *)
+  Alcotest.(check (list string))
+    "all errored requests retained, newest first"
+    [ "r200"; "r150"; "r100"; "r50" ]
+    (List.map (fun c -> c.Mae_obs.Capture.cap_rid) errored);
+  Alcotest.(check bool)
+    (Printf.sprintf "slow captures bounded (%d <= 2k)" (List.length slow))
+    true
+    (List.length slow <= 2 * 4);
+  (* the slowest retained slow capture is the slowest ok request *)
+  (match slow with
+  | c :: _ ->
+      Alcotest.(check string) "slowest ok request captured" "r199"
+        c.Mae_obs.Capture.cap_rid
+  | [] -> Alcotest.fail "no slow captures");
+  Alcotest.(check bool)
+    (Printf.sprintf "resident %d within bound %d"
+       (Mae_obs.Capture.resident_spans ())
+       (Mae_obs.Capture.max_resident_spans ()))
+    true
+    (Mae_obs.Capture.resident_spans () <= Mae_obs.Capture.max_resident_spans ());
+  (* FIFO eviction: overflow the errored ring, oldest drop off *)
+  for i = 201 to 220 do
+    let since = Mae_obs.Clock.monotonic () in
+    Mae_obs.Capture.record
+      ~rid:(Printf.sprintf "r%d" i)
+      ~ok:false ~error:"boom" ~latency:1e-4 ~since ()
+  done;
+  let errored =
+    List.filter
+      (fun c -> c.Mae_obs.Capture.cap_kind = `Errored)
+      (Mae_obs.Capture.captures ())
+  in
+  Alcotest.(check int) "errored ring capped" 8 (List.length errored);
+  Alcotest.(check string) "newest errored kept" "r220"
+    (List.hd errored).Mae_obs.Capture.cap_rid;
+  Mae_obs.Capture.configure ();
+  Span.reset ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -506,6 +804,26 @@ let () =
           Alcotest.test_case "escaping + request ids round-trip" `Quick
             test_log_escaping;
           Alcotest.test_case "levels and thresholds" `Quick test_log_levels;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic timebase" `Quick test_clock_monotonic ]
+      );
+      ( "sketch",
+        [
+          Alcotest.test_case "rank bound on adversarial streams" `Quick
+            test_sketch_streams;
+          Alcotest.test_case "4-domain concurrent merge" `Quick
+            test_sketch_merged_domains;
+          Alcotest.test_case "registry, lint, exemplars" `Quick
+            test_sketch_registry;
+        ] );
+      ( "slo",
+        [ Alcotest.test_case "burn rates and healthy trip" `Quick test_slo_burn ]
+      );
+      ( "capture",
+        [
+          Alcotest.test_case "bounded tail retention" `Quick
+            test_capture_retention;
         ] );
       ( "invariance",
         [
