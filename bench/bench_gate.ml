@@ -1,8 +1,10 @@
 (* Perf regression gate: re-measure the engine's cached throughput and
    compare it against the most recent BENCH_history.jsonl entry from
    the same host profile.  A drop of more than 20% in [seq_cached] or
-   in the best parallel run fails the build; an empty history or a
-   different host profile (recommended domain count) skips the gate --
+   in the best parallel run fails the build; so does a p99 GC pause
+   that regressed more than 50% against the same entry.  An empty
+   history, or one whose entries all come from other host profiles
+   (recommended domain count), skips the gate with a logged reason --
    numbers from another machine prove nothing about this one.
 
    Noise control on shared/virtualized runners: each configuration is
@@ -15,6 +17,12 @@ module Json = Mae_obs.Json
 
 let threshold = 0.80
 let passes = 3
+
+(* GC gate: fail when the measured p99 pause exceeds the baseline by
+   more than 50%, with a small absolute slack so microsecond-scale
+   baselines do not flap on scheduler noise. *)
+let gc_threshold = 1.5
+let gc_slack_s = 5e-5
 
 (* same shape mix as bench/main.ml's engine workload, so the gate's
    modules/s is comparable with the history the bench appends *)
@@ -51,18 +59,17 @@ let read_lines path =
       in
       go []
 
-(* last parseable bench_engine entry; the freshest statement about this
-   host wins *)
-let last_engine_entry lines =
-  List.fold_left
-    (fun acc line ->
+(* all parseable bench_engine entries, oldest first *)
+let engine_entries lines =
+  List.filter_map
+    (fun line ->
       match Json.parse line with
-      | Error _ -> acc
+      | Error _ -> None
       | Ok doc -> (
           match Json.member "source" doc with
           | Some (Json.String "bench_engine") -> Some doc
-          | _ -> acc))
-    None lines
+          | _ -> None))
+    lines
 
 let number_member name doc =
   Option.bind (Json.member name doc) Json.to_number
@@ -95,19 +102,31 @@ let () =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
     else Bench_history.History.path
   in
+  let entries = engine_entries (read_lines history_path) in
+  if entries = [] then
+    skip (Printf.sprintf "no bench_engine entry in %s" history_path);
+  let here = Mae_engine.default_jobs () in
+  let same_host e =
+    match number_member "host_recommended_domains" e with
+    | Some recorded -> Float.to_int recorded = here
+    | None -> false
+  in
+  (* most recent entry from this host profile; older entries and other
+     machines' numbers are not a baseline for this run *)
   let entry =
-    match last_engine_entry (read_lines history_path) with
-    | None -> skip (Printf.sprintf "no bench_engine entry in %s" history_path)
+    match
+      List.fold_left
+        (fun acc e -> if same_host e then Some e else acc)
+        None entries
+    with
+    | None ->
+        skip
+          (Printf.sprintf
+             "no prior entry from a %d-domain host among %d bench_engine \
+              entries in %s"
+             here (List.length entries) history_path)
     | Some e -> e
   in
-  let here = Mae_engine.default_jobs () in
-  (match number_member "host_recommended_domains" entry with
-  | None -> skip "history entry lacks host_recommended_domains"
-  | Some recorded when Float.to_int recorded <> here ->
-      skip
-        (Printf.sprintf "host profile differs (history %d domains, here %d)"
-           (Float.to_int recorded) here)
-  | Some _ -> ());
   let modules =
     match number_member "workload_modules" entry with
     | Some m when m > 0. -> Float.to_int m
@@ -164,11 +183,44 @@ let () =
       check
         (Printf.sprintf "par%d_cached" jobs)
         ~baseline:mps ~current:par);
+  (* GC gate: re-run the workload once with the runtime lens riding
+     along and compare the measured p99 pause against the baseline
+     entry's.  Missing baseline data skips this check only, with the
+     reason logged -- the throughput verdicts above still decide. *)
+  (match
+     Option.bind (Json.member "gc" entry) (number_member "p99_pause_s")
+   with
+  | None ->
+      print_endline
+        "bench-gate: gc check skipped (baseline entry has no gc.p99_pause_s)"
+  | Some baseline_p99 ->
+      ignore (Mae_obs.Runtime.start ());
+      let jobs = match baseline_par with Some (j, _) -> j | None -> 1 in
+      let pool =
+        if jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(jobs - 1))
+        else None
+      in
+      ignore (measure ~pool ~jobs ~registry circuits);
+      Option.iter Mae_engine.Pool.shutdown pool;
+      Mae_obs.Runtime.stop ();
+      (match Mae_obs.Runtime.pause_quantile 0.99 with
+      | None ->
+          print_endline
+            "bench-gate: gc check skipped (no pauses observed this run)"
+      | Some current ->
+          let ceiling = (baseline_p99 *. gc_threshold) +. gc_slack_s in
+          let ok = current <= ceiling in
+          Printf.printf
+            "  %-12s baseline %7.0fus  now %7.0fus  ceiling %7.0fus  %s\n"
+            "gc_p99" (baseline_p99 *. 1e6) (current *. 1e6) (ceiling *. 1e6)
+            (if ok then "ok" else "REGRESSION");
+          verdicts := ok :: !verdicts));
   if List.for_all Fun.id !verdicts then print_endline "bench-gate: ok"
   else begin
     print_endline
-      "bench-gate: cached engine throughput regressed more than 20% against \
-       BENCH_history.jsonl; investigate (or re-baseline by re-running the \
-       engine bench on this host)";
+      "bench-gate: regression against BENCH_history.jsonl -- cached engine \
+       throughput dropped more than 20% or p99 GC pause grew more than 50%; \
+       investigate (or re-baseline by re-running the engine bench on this \
+       host)";
     exit 1
   end

@@ -980,6 +980,10 @@ let run_engine ~smoke () =
        modules);
   let circuits = engine_workload ~modules in
   let registry = Mae_tech.Registry.create () in
+  (* the runtime lens rides the whole bench so the history entry
+     carries pause quantiles next to the throughput numbers; it does
+     not require telemetry, so the measured spans stay unchanged *)
+  ignore (Mae_obs.Runtime.start ());
   let parallel_jobs = if smoke then [ 2 ] else [ 2; 4; 8 ] in
   let baseline_results, seq_uncached =
     time_engine ~label:"seq_uncached" ~jobs:1 ~cache:false ~registry circuits
@@ -1072,6 +1076,8 @@ let run_engine ~smoke () =
   let path = "BENCH_engine.json" in
   engine_json ~modules ~runs ~path;
   Printf.printf "throughput baseline written to %s\n" path;
+  (* drain the cursor so the history entry's gc object sees the run *)
+  Mae_obs.Runtime.stop ();
   (* one timestamped line per bench run, appended so the trajectory
      across commits survives BENCH_engine.json being overwritten *)
   let open Mae_obs.Json in
@@ -1098,11 +1104,80 @@ let run_engine ~smoke () =
              runs) );
     ]
 
+(* --gc-sweep: one row per jobs level -- cached throughput with the
+   runtime lens riding along, against the pooled GC pause quantiles the
+   lens observed during that run.  Feeds the EXPERIMENTS.md "GC pauses
+   vs parallelism" table. *)
+let run_gc_sweep ~smoke () =
+  let modules = if smoke then 48 else 500 in
+  section
+    (Printf.sprintf
+       "GC pauses vs --jobs throughput (%d modules, kernel cache on)" modules);
+  let circuits = engine_workload ~modules in
+  let registry = Mae_tech.Registry.create () in
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("jobs", Table.Right);
+          ("modules/s", Table.Right);
+          ("pauses", Table.Right);
+          ("p50 (us)", Table.Right);
+          ("p99 (us)", Table.Right);
+          ("max (us)", Table.Right);
+          ("gc total (ms)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun jobs ->
+      ignore (Mae_obs.Runtime.start ());
+      let pool =
+        if jobs >= 2 then Some (Mae_engine.Pool.create ~domains:(jobs - 1))
+        else None
+      in
+      let _, run =
+        time_engine ?pool
+          ~label:(Printf.sprintf "gc%d" jobs)
+          ~jobs ~cache:true ~registry circuits
+      in
+      Option.iter Mae_engine.Pool.shutdown pool;
+      Mae_obs.Runtime.stop ();
+      let us = Printf.sprintf "%.0f" in
+      let q p =
+        match Mae_obs.Runtime.pause_quantile p with
+        | Some v -> us (v *. 1e6)
+        | None -> "-"
+      in
+      let total_s =
+        List.fold_left
+          (fun acc d -> acc +. d.Mae_obs.Runtime.d_pause_total_s)
+          0.
+          (Mae_obs.Runtime.domains ())
+      in
+      Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.0f" (modules_per_s run);
+          string_of_int (Mae_obs.Runtime.pause_count ());
+          q 0.5;
+          q 0.99;
+          (match Mae_obs.Runtime.max_pause_seconds () with
+          | Some v -> us (v *. 1e6)
+          | None -> "-");
+          Printf.sprintf "%.1f" (total_s *. 1e3);
+        ];
+      (* each row measures its own run, not the process's history *)
+      Mae_obs.Runtime.reset ())
+    [ 1; 2; 4; 8 ];
+  Table.print t
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let engine_only = List.mem "--engine-only" args in
+  let gc_sweep = List.mem "--gc-sweep" args in
   let smoke = List.mem "--smoke" args in
-  if engine_only then run_engine ~smoke ()
+  if gc_sweep then run_gc_sweep ~smoke ()
+  else if engine_only then run_engine ~smoke ()
   else begin
     print_endline
       "Reproduction of: Chen & Bushnell, \"A Module Area Estimator for VLSI\n\

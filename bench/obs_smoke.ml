@@ -299,5 +299,100 @@ let () =
     && rejects (fun () -> Mae_obs.Sketch.create "mae_Upper_seconds"))
     "metric and sketch name lint rejects non-mae_[a-z0-9_]+ names";
 
+  (* (7) the runtime lens: gc.* slices land in the trace export, the
+     /runtimez document is well-shaped, and the labelled pause family
+     obeys the same lints as every other metric *)
+  check (Mae_obs.Runtime.start ()) "runtime lens starts";
+  let _ = run_batch ~jobs:2 in
+  (* churn enough to guarantee pauses even on a fast host *)
+  let junk = ref [] in
+  for i = 1 to 400_000 do
+    junk := (i, float_of_int i) :: !junk;
+    if i mod 10_000 = 0 then junk := []
+  done;
+  ignore (Sys.opaque_identity !junk);
+  Gc.minor ();
+  ignore (Mae_obs.Runtime.poll ());
+  let doc = Mae_obs.Runtime.to_json () in
+  (match Mae_obs.Json.member "enabled" doc with
+  | Some (Mae_obs.Json.Bool true) -> ()
+  | _ -> fail "/runtimez document lacks enabled: true");
+  (match Mae_obs.Json.member "domains" doc with
+  | Some (Mae_obs.Json.Array (_ :: _)) -> ()
+  | _ -> fail "/runtimez document has no domains");
+  (match
+     Option.bind (Mae_obs.Json.member "pause" doc)
+       (Mae_obs.Json.member "count")
+   with
+  | Some (Mae_obs.Json.Number n) when n > 0. -> ()
+  | _ -> fail "/runtimez pause.count is zero after an allocation storm");
+  check
+    (Option.is_some (Mae_obs.Json.member "process" doc))
+    "/runtimez is well-shaped (enabled, domains, pauses, process)";
+  Mae_obs.Runtime.stop ();
+  let gc_trace_path = "obs_smoke_trace_gc.json" in
+  (match Mae_obs.Trace.write_chrome ~path:gc_trace_path with
+  | Ok () -> ()
+  | Error e -> fail "gc trace write failed: %s" e);
+  let gc_trace =
+    match
+      Mae_obs.Json.parse
+        (In_channel.with_open_text gc_trace_path In_channel.input_all)
+    with
+    | Ok t -> t
+    | Error e -> fail "gc trace JSON unparseable: %s" e
+  in
+  let gc_slices =
+    List.filter
+      (fun e ->
+        match Mae_obs.Json.(Option.bind (member "name" e) to_string) with
+        | Some n -> String.length n >= 3 && String.equal (String.sub n 0 3) "gc."
+        | None -> false)
+      (span_events gc_trace)
+  in
+  check
+    (List.length gc_slices > 0)
+    "trace export interleaves %d gc.* slices with the pipeline spans"
+    (List.length gc_slices);
+  check
+    (List.exists
+       (fun e ->
+         match Mae_obs.Json.(Option.bind (member "cat" e) to_string) with
+         | Some "gc" -> true
+         | _ -> false)
+       gc_slices)
+    "gc slices carry their own trace category";
+  let prom_gc = Mae_obs.Metrics.to_prometheus () in
+  check
+    (contains prom_gc "mae_gc_pause_seconds_summary{domain=\""
+    && contains prom_gc "# TYPE mae_gc_pause_seconds_summary summary"
+    && contains prom_gc "# TYPE mae_gc_minor_collections_total counter"
+    && contains prom_gc "# TYPE mae_process_domains gauge")
+    "mae_gc_*/mae_process_* families exported with TYPE metadata";
+  let count_in prefix =
+    String.split_on_char '\n' prom_gc
+    |> List.filter (fun line ->
+           String.length line >= String.length prefix
+           && String.equal (String.sub line 0 (String.length prefix)) prefix)
+    |> List.length
+  in
+  check
+    (count_in "# HELP " = count_in "# TYPE ")
+    "HELP/TYPE parity holds with the labelled gc family present";
+  check
+    (rejects (fun () ->
+         Mae_obs.Sketch.create
+           ~labels:[ ("Domain", "0") ]
+           "mae_bad_label_seconds_summary")
+    && rejects (fun () ->
+           Mae_obs.Sketch.create
+             ~labels:[ ("d", "a\"b") ]
+             "mae_bad_value_seconds_summary")
+    && rejects (fun () ->
+           Mae_obs.Sketch.create
+             ~labels:[ ("d", "1"); ("d", "2") ]
+             "mae_dup_label_seconds_summary"))
+    "sketch label lint rejects bad keys, quoted values and duplicates";
+
   Mae_obs.set_enabled false;
   print_endline "obs-smoke: all checks passed"

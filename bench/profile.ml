@@ -103,6 +103,7 @@ let () =
   let json = Array.to_list Sys.argv |> List.mem "--json" in
   let registry = Mae_tech.Registry.create () in
   Mae_obs.set_enabled true;
+  ignore (Mae_obs.Runtime.start ());
   let off =
     run_pass ~label:"full driver, kernel cache off" ~cache:false
       ~methods:[ "default" ] ~registry
@@ -116,6 +117,7 @@ let () =
       ~methods:[ "all" ] ~registry
   in
   Mae_prob.Kernel_cache.set_enabled true;
+  Mae_obs.Runtime.stop ();
   Mae_obs.set_enabled false;
   Mae_obs.reset ();
   if json then

@@ -553,6 +553,51 @@ let () =
     && contains "request latency:" statusz_text)
     "/statusz renders uptime, SLO table and latency quantiles";
 
+  (* GET /runtimez: this daemon writes a trace, so telemetry -- and
+     with it the runtime lens -- is on; after 121 estimation requests
+     the per-domain GC statistics must be live *)
+  let rz_headers, rz_text = http_get ~port:obs_port "/runtimez" in
+  check
+    (String.length rz_headers >= 15
+    && String.equal (String.sub rz_headers 0 15) "HTTP/1.0 200 OK")
+    "/runtimez answers 200";
+  let rz_doc =
+    match Json.parse (String.trim rz_text) with
+    | Ok d -> d
+    | Error e -> fail "/runtimez not JSON (%s): %S" e rz_text
+  in
+  check
+    (Json.member "enabled" rz_doc = Some (Json.Bool true))
+    "/runtimez says the lens is running";
+  let rz_domains =
+    match Json.member "domains" rz_doc with
+    | Some (Json.Array (_ :: _ as ds)) -> ds
+    | _ -> fail "/runtimez lacks per-domain rows: %S" rz_text
+  in
+  check
+    (List.exists
+       (fun d ->
+         match
+           Option.bind (Json.member "minor_collections" d) Json.to_number
+         with
+         | Some n -> n > 0.
+         | None -> false)
+       rz_domains)
+    "/runtimez shows live GC activity across %d domain(s)"
+    (List.length rz_domains);
+  (match Option.bind (Json.member "process" rz_doc) (Json.member "uptime_s") with
+  | Some (Json.Number up) when up > 0. -> ()
+  | _ -> fail "/runtimez lacks process.uptime_s: %S" rz_text);
+  check true "/runtimez carries process telemetry";
+  let _, metrics_after = http_get ~port:obs_port "/metrics" in
+  check
+    (contains "mae_gc_minor_collections_total" metrics_after
+    && contains "mae_gc_pause_seconds_summary{domain=\"" metrics_after)
+    "/metrics exposes mae_gc_* families with per-domain pause summaries";
+  check
+    (contains "gc:" statusz_text)
+    "/statusz renders the GC line while the lens runs";
+
   (* 404 for unknown paths *)
   let headers404, _ = http_get ~port:obs_port "/nope" in
   check

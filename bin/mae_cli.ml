@@ -255,9 +255,13 @@ let run_estimate tech_files format input db_out verbose flatten_top jobs
     | None -> cli_default_methods
     | Some set -> or_die (Mae.Methodology.selection_of_string set)
   in
-  (* span tracing and latency sampling are paid for only when asked *)
-  if Option.is_some trace_out || Option.is_some metrics_out then
+  (* span tracing and latency sampling are paid for only when asked;
+     the runtime lens rides along so traces and metrics dumps carry
+     GC pauses interleaved with the estimation spans *)
+  if Option.is_some trace_out || Option.is_some metrics_out then begin
     Mae_obs.set_enabled true;
+    ignore (Mae_obs.Runtime.start ())
+  end;
   let registry = or_die (registry_of tech_files) in
   let circuits = or_die (read_circuits ?flatten_top ~format ~registry input) in
   let store = Mae_db.Store.create () in
@@ -266,6 +270,8 @@ let run_estimate tech_files format input db_out verbose flatten_top jobs
   let results, stats =
     Mae_engine.run_circuits_with_stats ~jobs ~methods ~registry circuits
   in
+  (* drain the GC cursor before any trace/metrics dump below *)
+  Mae_obs.Runtime.stop ();
   List.iter
     (function
       | Error e -> Format.eprintf "mae: %a@." Mae_engine.pp_error e
@@ -497,7 +503,7 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
           | Some a ->
               Format.eprintf
                 "mae: observability plane on %a (/metrics /healthz /slo \
-                 /statusz /buildinfo /tracez /methods)@."
+                 /statusz /buildinfo /tracez /runtimez /methods)@."
                 Mae_serve.pp_addr a
           | None -> ());
     }
@@ -525,8 +531,9 @@ let serve_cmd =
       & info [ "obs-listen" ] ~docv:"ADDR"
           ~doc:
             "Observability-plane address (same syntax as --listen): serves \
-             GET /metrics, /healthz, /slo, /statusz, /buildinfo, /tracez \
-             and /methods (the methodology registry) over HTTP/1.0.")
+             GET /metrics, /healthz, /slo, /statusz, /buildinfo, /tracez, \
+             /runtimez (per-domain GC statistics) and /methods (the \
+             methodology registry) over HTTP/1.0.")
   in
   let jobs =
     Arg.(
@@ -656,7 +663,8 @@ let top_cmd =
        ~doc:
          "Live dashboard for a running mae serve: throughput, cache hit \
           ratio, per-method latency quantiles, SLO burn rates and the worst \
-          captured traces, polled from /metrics, /slo and /tracez.")
+          captured traces and per-domain GC activity, polled from /metrics, \
+          /slo, /tracez and /runtimez.")
     Term.(const run_top $ obs $ interval $ iterations $ no_clear)
 
 (* check *)

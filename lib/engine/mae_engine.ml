@@ -316,9 +316,15 @@ let map_pool ~jobs ?pool ~t0 f inputs =
       drain ~ranges ~chunk ~workers results claimed f inputs w
     in
     (if Mae_obs.Control.enabled () then
-       (* one root span per worker: its lane in the Chrome trace *)
+       (* one root span per worker: its lane in the Chrome trace.  The
+          domain id lets the trace viewer correlate this lane with the
+          gc.* pause slices the runtime lens emits per domain. *)
        Mae_obs.Span.with_ ~name:"engine.worker"
-         ~attrs:[ ("worker", string_of_int w) ]
+         ~attrs:
+           [
+             ("worker", string_of_int w);
+             ("domain", string_of_int (Domain.self () :> int));
+           ]
          body
      else body ());
     let c1 = Mae_prob.Kernel_cache.local_counts () in

@@ -3,6 +3,7 @@ type capture = {
   cap_kind : [ `Errored | `Slow ];
   cap_wall : float;
   cap_latency : float;
+  cap_gc_s : float;
   cap_error : string option;
   cap_spans : Span.event list;
 }
@@ -92,7 +93,7 @@ let rotate_if_due now =
     st.window_start <- now
   end
 
-let record ~rid ~ok ?error ~latency ~since () =
+let record ~rid ~ok ?error ?(gc_s = 0.) ~latency ~since () =
   Mutex.lock lock;
   let now = Clock.monotonic () in
   rotate_if_due now;
@@ -111,6 +112,7 @@ let record ~rid ~ok ?error ~latency ~since () =
         cap_kind = (if ok then `Slow else `Errored);
         cap_wall = Clock.wall ();
         cap_latency = latency;
+        cap_gc_s = gc_s;
         cap_error = error;
         cap_spans = spans;
       }

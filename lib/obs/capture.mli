@@ -22,6 +22,9 @@ type capture = {
   cap_kind : [ `Errored | `Slow ];
   cap_wall : float;  (** wall-clock completion timestamp *)
   cap_latency : float;  (** seconds *)
+  cap_gc_s : float;
+      (** GC pause seconds that landed inside the request window, as
+          reported by the runtime lens; [0.] when the lens is off *)
   cap_error : string option;
   cap_spans : Span.event list;  (** ascending ts, truncated to the cap *)
 }
@@ -34,13 +37,14 @@ val configure :
     [Invalid_argument] on non-positive values. *)
 
 val record :
-  rid:string -> ok:bool -> ?error:string -> latency:float -> since:float ->
-  unit -> unit
+  rid:string -> ok:bool -> ?error:string -> ?gc_s:float -> latency:float ->
+  since:float -> unit -> unit
 (** Offer the request that just finished: gathers
     [Span.events_since since] (its span tree -- serve finishes each
     request, workers joined, before calling this), then keeps or drops
     it per the policy above.  [since] is the request's
-    {!Clock.monotonic} start. *)
+    {!Clock.monotonic} start.  [gc_s] tags the capture with the GC
+    pause time that fell inside the request (default [0.]). *)
 
 val captures : unit -> capture list
 (** Errored ring (newest first) followed by the slow captures of the

@@ -23,12 +23,18 @@
    - {!Log}: leveled JSON-lines structured logging with request-id
      scoping; the serve daemon's access log.  Off by default, and a
      single atomic check per disabled call site, like spans.
+   - {!Runtime}: the runtime lens -- a self-monitoring Runtime_events
+     consumer that attributes GC pauses, collections and allocation
+     pressure per domain (sketches on /metrics, gc.* spans in traces,
+     GET /runtimez), with {!Procstat} process gauges from /proc.
+     Explicitly started; a single atomic check when off.
    - {!Control} (re-exported below): the single [enabled] flag.  With
      telemetry off, every instrumented code path costs one atomic
      read -- the @obs-smoke bench holds the pipeline to that.
 
    The library depends on nothing outside the compiler distribution
-   (stdlib + unix for the wall clock). *)
+   (stdlib + unix for the wall clock + runtime_events for the GC
+   lens). *)
 
 module Control = Control
 module Clock = Clock
@@ -40,6 +46,8 @@ module Capture = Capture
 module Trace = Trace
 module Json = Json
 module Log = Log
+module Runtime = Runtime
+module Procstat = Procstat
 
 let enabled = Control.enabled
 let set_enabled = Control.set_enabled

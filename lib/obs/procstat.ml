@@ -1,0 +1,79 @@
+(* Process-level telemetry scraped from /proc.
+
+   Linux exposes everything we want as text files; on other systems
+   the readers return None and the gauges simply stay unset -- the
+   JSON view says so via "proc_available".  Gauges are registered
+   lazily on the first [sample], so a process that never turns the
+   runtime lens on registers no mae_process_* metrics at all. *)
+
+let start_mono = Clock.monotonic ()
+let start_wall = Clock.wall ()
+let available = Sys.file_exists "/proc/self/status"
+
+let read_file path =
+  try Some (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* "VmRSS:     12345 kB" -> bytes *)
+let status_bytes field =
+  match read_file "/proc/self/status" with
+  | None -> None
+  | Some body ->
+      let prefix = field ^ ":" in
+      let np = String.length prefix in
+      String.split_on_char '\n' body
+      |> List.find_map (fun line ->
+             if
+               String.length line > np
+               && String.equal (String.sub line 0 np) prefix
+             then
+               String.sub line np (String.length line - np)
+               |> String.split_on_char ' '
+               |> List.find_map int_of_string_opt
+               |> Option.map (fun kb -> kb * 1024)
+             else None)
+
+let rss_bytes () = status_bytes "VmRSS"
+let virtual_bytes () = status_bytes "VmSize"
+
+let open_fds () =
+  (* includes the fd readdir itself holds open; close enough *)
+  try Some (Array.length (Sys.readdir "/proc/self/fd")) with Sys_error _ -> None
+
+let uptime_s () = Clock.monotonic () -. start_mono
+let start_time_unix_s = start_wall
+
+let gauges =
+  lazy
+    ( Metrics.gauge ~help:"Resident set size in bytes (VmRSS)"
+        "mae_process_resident_memory_bytes",
+      Metrics.gauge ~help:"Virtual memory size in bytes (VmSize)"
+        "mae_process_virtual_memory_bytes",
+      Metrics.gauge ~help:"Open file descriptors" "mae_process_open_fds",
+      Metrics.gauge ~help:"Seconds since process start (monotonic)"
+        "mae_process_uptime_seconds",
+      Metrics.gauge ~help:"Process start time, seconds since the Unix epoch"
+        "mae_process_start_time_seconds" )
+
+let sample () =
+  let rss_g, vm_g, fds_g, up_g, st_g = Lazy.force gauges in
+  Metrics.set up_g (uptime_s ());
+  Metrics.set st_g start_time_unix_s;
+  Option.iter (fun b -> Metrics.set rss_g (float_of_int b)) (rss_bytes ());
+  Option.iter (fun b -> Metrics.set vm_g (float_of_int b)) (virtual_bytes ());
+  Option.iter (fun n -> Metrics.set fds_g (float_of_int n)) (open_fds ())
+
+let to_json () =
+  let opt_int = function
+    | None -> Json.Null
+    | Some v -> Json.Number (float_of_int v)
+  in
+  Json.Object
+    [
+      ("proc_available", Json.Bool available);
+      ("rss_bytes", opt_int (rss_bytes ()));
+      ("virtual_bytes", opt_int (virtual_bytes ()));
+      ("open_fds", opt_int (open_fds ()));
+      ("uptime_s", Json.Number (uptime_s ()));
+      ("start_time_unix_s", Json.Number start_time_unix_s);
+    ]

@@ -1,0 +1,37 @@
+(** Process-level telemetry (RSS, fd count, uptime) scraped from
+    /proc, exposed as [mae_process_*] gauges and a JSON fragment for
+    /runtimez.
+
+    On systems without a Linux-style /proc the readers return [None],
+    {!available} is false, and the memory/fd gauges are never set --
+    uptime and start time still work everywhere.  Gauges register
+    lazily on the first {!sample} (the runtime lens's sampler calls it
+    every tick), so telemetry-off processes register nothing. *)
+
+val available : bool
+(** Whether /proc/self/status exists (sampled at startup). *)
+
+val rss_bytes : unit -> int option
+(** VmRSS, in bytes. *)
+
+val virtual_bytes : unit -> int option
+(** VmSize, in bytes. *)
+
+val open_fds : unit -> int option
+(** Entries in /proc/self/fd (includes the directory handle the read
+    itself holds). *)
+
+val uptime_s : unit -> float
+(** Monotonic seconds since this module was initialized (module init
+    happens with the first use of Mae_obs, i.e. effectively process
+    start). *)
+
+val start_time_unix_s : float
+(** Wall-clock process start, seconds since the Unix epoch. *)
+
+val sample : unit -> unit
+(** Refresh every [mae_process_*] gauge (registering them on first
+    call). *)
+
+val to_json : unit -> Json.t
+(** The "process" object served inside GET /runtimez. *)

@@ -40,6 +40,7 @@ type exemplar = { ex_v : float; ex_label : string; ex_wall : float }
 
 type t = {
   sk_name : string;
+  sk_labels : (string * string) list;  (* sorted by key; [] = unlabeled *)
   sk_help : string;
   sk_eps : float;
   sk_lock : Mutex.t;  (* guards sk_locals *)
@@ -49,7 +50,38 @@ type t = {
 }
 
 let name t = t.sk_name
+let labels t = t.sk_labels
 let eps t = t.sk_eps
+
+(* Canonical "k=v,k=v" form: the registry key suffix and the sort key
+   that keeps a family's series adjacent in [all]. *)
+let label_key labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let lint_labels labels =
+  let ok_key k =
+    String.length k > 0
+    && String.for_all
+         (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+         k
+    && not (k.[0] >= '0' && k.[0] <= '9')
+  in
+  let ok_value v =
+    String.for_all (fun c -> c <> '"' && c <> '\\' && c <> '\n') v
+  in
+  List.iter
+    (fun (k, v) ->
+      if not (ok_key k) then
+        invalid_arg
+          (Printf.sprintf "Mae_obs.Sketch: invalid label name %S" k);
+      if not (ok_value v) then
+        invalid_arg
+          (Printf.sprintf "Mae_obs.Sketch: invalid label value %S" v))
+    labels;
+  if
+    List.length (List.sort_uniq String.compare (List.map fst labels))
+    <> List.length labels
+  then invalid_arg "Mae_obs.Sketch: duplicate label name"
 
 (* --- GK core --- *)
 
@@ -141,15 +173,20 @@ let flush_one t l =
     l.l_n <- 0
   end
 
-let create ?(help = "") ?eps name =
+let create ?(help = "") ?eps ?(labels = []) name =
   Metrics.lint_name ~what:"Mae_obs.Sketch" name;
+  lint_labels labels;
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
   (match eps with
   | Some e when not (e > 0. && e < 0.5) ->
       invalid_arg "Mae_obs.Sketch: eps must be in (0, 0.5)"
   | _ -> ());
+  let key = name ^ "{" ^ label_key labels ^ "}" in
   Mutex.lock registry_lock;
   let result =
-    match Hashtbl.find_opt registry name with
+    match Hashtbl.find_opt registry key with
     | Some t -> (
         match eps with
         | Some e when e <> t.sk_eps -> Error t.sk_eps
@@ -163,6 +200,7 @@ let create ?(help = "") ?eps name =
         let t =
           {
             sk_name = name;
+            sk_labels = labels;
             sk_help = help;
             sk_eps = eps;
             sk_lock = Mutex.create ();
@@ -187,7 +225,7 @@ let create ?(help = "") ?eps name =
           }
         in
         self := Some t;
-        Hashtbl.add registry name t;
+        Hashtbl.add registry key t;
         Ok t
   in
   Mutex.unlock registry_lock;
@@ -232,7 +270,12 @@ let all () =
   Mutex.lock registry_lock;
   let l = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
   Mutex.unlock registry_lock;
-  List.sort (fun a b -> String.compare a.sk_name b.sk_name) l
+  List.sort
+    (fun a b ->
+      match String.compare a.sk_name b.sk_name with
+      | 0 -> String.compare (label_key a.sk_labels) (label_key b.sk_labels)
+      | c -> c)
+    l
 
 let flush_local () =
   List.iter (fun t -> flush_one t (Domain.DLS.get t.sk_key)) (all ())
@@ -290,6 +333,18 @@ let quantile t q =
   let m = merged t in
   query_sorted m.m_tuples m.m_n q
 
+(* Pooled rank query across several sketches (e.g. one per domain
+   label): classic mergeable-summary argument again, total rank error
+   sum_i eps_i * n_i. *)
+let quantile_of_many ts q =
+  let ms = List.map merged ts in
+  let tuples =
+    List.concat_map (fun m -> m.m_tuples) ms
+    |> List.sort (fun a b -> Float.compare a.v b.v)
+  in
+  let n = List.fold_left (fun acc m -> acc + m.m_n) 0 ms in
+  query_sorted tuples n q
+
 type snapshot = {
   n : int;
   sum : float;
@@ -345,24 +400,48 @@ let float_repr v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* "{domain="0",quantile="0.5"}" -- the sketch's own labels plus an
+   optional quantile, or "" when there is neither. *)
+let render_labels ?quantile t =
+  let pairs =
+    t.sk_labels
+    @ match quantile with Some q -> [ ("quantile", float_repr q) ] | None -> []
+  in
+  match pairs with
+  | [] -> ""
+  | pairs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) pairs)
+      ^ "}"
+
 let to_prometheus () =
   let buf = Buffer.create 512 in
+  (* [all] sorts by (name, labels): a family's labelled series are
+     adjacent, and HELP/TYPE are emitted once per family name. *)
+  let last_family = ref "" in
   List.iter
     (fun t ->
       let s = snapshot t in
-      Buffer.add_string buf
-        (Printf.sprintf "# HELP %s %s\n" t.sk_name
-           (if String.equal t.sk_help "" then t.sk_name else t.sk_help));
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" t.sk_name);
+      if not (String.equal !last_family t.sk_name) then begin
+        last_family := t.sk_name;
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" t.sk_name
+             (if String.equal t.sk_help "" then t.sk_name else t.sk_help));
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" t.sk_name)
+      end;
       List.iter
         (fun (q, v) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s{quantile=\"%s\"} %s\n" t.sk_name
-               (float_repr q) (float_repr v)))
+            (Printf.sprintf "%s%s %s\n" t.sk_name
+               (render_labels ~quantile:q t)
+               (float_repr v)))
         s.quantiles;
       Buffer.add_string buf
-        (Printf.sprintf "%s_sum %s\n" t.sk_name (float_repr s.sum));
-      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" t.sk_name s.n);
+        (Printf.sprintf "%s_sum%s %s\n" t.sk_name (render_labels t)
+           (float_repr s.sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" t.sk_name (render_labels t) s.n);
       List.iter
         (fun (v, label, wall) ->
           (* OpenMetrics-flavoured exemplar, kept as a comment so plain
@@ -379,7 +458,14 @@ let to_json_body () =
   let sketch_json t =
     let s = snapshot t in
     let base =
-      [
+      (if t.sk_labels = [] then []
+       else
+         [
+           ( "labels",
+             Json.Object
+               (List.map (fun (k, v) -> (k, Json.String v)) t.sk_labels) );
+         ])
+      @ [
         ("eps", Json.Number s.eps);
         ("count", Json.Number (float_of_int s.n));
         ("sum", Json.Number s.sum);
@@ -409,7 +495,11 @@ let to_json_body () =
                  ])
              s.exemplars) )
     in
-    (t.sk_name, Json.Object (base @ extremes @ [ quantiles; exemplars ]))
+    let key =
+      if t.sk_labels = [] then t.sk_name
+      else t.sk_name ^ "{" ^ label_key t.sk_labels ^ "}"
+    in
+    (key, Json.Object (base @ extremes @ [ quantiles; exemplars ]))
   in
   Json.encode (Json.Object (List.map sketch_json (all ())))
 

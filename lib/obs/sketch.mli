@@ -24,14 +24,22 @@
 
 type t
 
-val create : ?help:string -> ?eps:float -> string -> t
+val create :
+  ?help:string -> ?eps:float -> ?labels:(string * string) list -> string -> t
 (** [create name] registers (or returns, idempotently) the sketch
     called [name].  [name] must match [mae_[a-z0-9_]*] -- same lint as
     {!Metrics}.  [eps] is the rank-error fraction (default [0.001],
     i.e. p99.9 resolved to one part in a thousand); omitting it on a
     re-registration accepts whatever the sketch was created with.
-    Raises [Invalid_argument] on a bad name, [eps] outside (0, 0.5),
-    or an explicit [eps] differing from the registered one. *)
+    [labels] attaches constant label pairs ([[("domain", "3")]]); the
+    registry keys on (name, labels), so differently-labelled sketches
+    with the same name form one Prometheus family whose series carry
+    the labels (merged with the [quantile] label) and whose HELP/TYPE
+    metadata is emitted once.  Label names must match
+    [[a-z_][a-z0-9_]*] and values must not contain quotes,
+    backslashes or newlines.
+    Raises [Invalid_argument] on a bad name or label, [eps] outside
+    (0, 0.5), or an explicit [eps] differing from the registered one. *)
 
 val observe : t -> float -> unit
 (** Record one sample from the calling domain. *)
@@ -52,6 +60,12 @@ val quantile : t -> float -> float option
 (** [quantile t q] for [q] in [[0, 1]]: a value whose rank is within
     the advertised bound of [q * n].  [None] when empty.  Flushes the
     calling domain's buffer first. *)
+
+val quantile_of_many : t list -> float -> float option
+(** Pooled rank query over the union of several sketches' streams --
+    used to answer "p99 GC pause across all domains" from the
+    per-domain labelled sketches.  Same mergeable-summary bound,
+    summed over members.  [None] when all are empty. *)
 
 type snapshot = {
   n : int;  (** published sample count *)
@@ -75,10 +89,14 @@ val rank_error_bound : t -> n:int -> domains:int -> float
     rounding).  Property tests assert against exactly this. *)
 
 val name : t -> string
+
+val labels : t -> (string * string) list
+(** Constant labels this sketch was created with, sorted by name. *)
+
 val eps : t -> float
 
 val all : unit -> t list
-(** Registered sketches, sorted by name. *)
+(** Registered sketches, sorted by (name, labels). *)
 
 val reset : t -> unit
 (** Drop all published summaries, exemplars and the calling domain's

@@ -4,6 +4,34 @@
 
 let us t = t *. 1e6
 
+(* Extra span sources merged into the Chrome export only -- the
+   runtime lens registers its GC phase events here, so flamegraph
+   lanes show collector pauses interleaved with the pipeline spans
+   without Trace depending on the consumer.  Providers must be cheap
+   and must return [] when they have nothing (export time only, never
+   on the hot path).  The flame summary deliberately excludes them:
+   GC pauses happen *inside* pipeline spans, and folding them in
+   would double-count self time. *)
+let providers : (unit -> Span.event list) list Atomic.t = Atomic.make []
+
+let register_provider f =
+  let rec add () =
+    let cur = Atomic.get providers in
+    if not (Atomic.compare_and_set providers cur (f :: cur)) then add ()
+  in
+  add ()
+
+let provider_events () =
+  List.concat_map (fun f -> f ()) (Atomic.get providers)
+
+(* Runtime-lens spans are named "gc.<phase>"; give them their own
+   category so viewers (and the smoke gates) can tell collector time
+   from pipeline time. *)
+let cat_of (e : Span.event) =
+  if String.length e.name >= 3 && String.equal (String.sub e.name 0 3) "gc."
+  then "gc"
+  else "mae"
+
 let attr_args attrs =
   match attrs with
   | [] -> ""
@@ -16,7 +44,7 @@ let attr_args attrs =
       Printf.sprintf ", \"args\": {%s}" (String.concat ", " fields)
 
 let to_chrome_string () =
-  let events = Span.events () in
+  let events = Span.events () @ provider_events () in
   (* rebase timestamps so the trace starts near zero -- keeps the
      microsecond values small and the viewer timeline readable. *)
   let t0 =
@@ -53,8 +81,8 @@ let to_chrome_string () =
       emit
         (Printf.sprintf
            "  {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": %s, \"cat\": \
-            \"mae\", \"ts\": %.3f, \"dur\": %.3f%s}"
-           e.domain (Json.escape e.name)
+            \"%s\", \"ts\": %.3f, \"dur\": %.3f%s}"
+           e.domain (Json.escape e.name) (cat_of e)
            (us (e.ts -. t0))
            (us e.dur) (attr_args e.attrs)))
     events;

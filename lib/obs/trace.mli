@@ -4,10 +4,20 @@
     its worker domains before returning, so any point after
     [run_circuits] is safe). *)
 
+val register_provider : (unit -> Span.event list) -> unit
+(** Add an extra span source consulted by {!to_chrome_string} /
+    {!write_chrome} at export time (the runtime lens registers its GC
+    phase events here).  Providers must be cheap and return [] when
+    idle.  Events named ["gc.*"] are exported under the ["gc"]
+    category; everything else under ["mae"].  The flame summary does
+    not include provider events (GC pauses land inside pipeline
+    spans, so folding them in would double-count self time). *)
+
 val to_chrome_string : unit -> string
 (** The whole trace as Chrome trace-event JSON ("X" complete events,
     one [tid] lane per domain, timestamps rebased to the earliest
-    span).  Load in [chrome://tracing] or Perfetto. *)
+    span), merged with every registered provider's events.  Load in
+    [chrome://tracing] or Perfetto. *)
 
 val write_chrome : path:string -> (unit, string) result
 

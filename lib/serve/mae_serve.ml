@@ -7,7 +7,8 @@
      through Mae_engine, in request order per connection.
    - the observability plane: a minimal HTTP/1.0 responder on a second
      socket serving GET /metrics (Prometheus text from the Mae_obs
-     registry), /healthz, /buildinfo and /tracez.
+     registry), /healthz, /buildinfo, /tracez and /runtimez (per-domain
+     GC statistics from the runtime lens).
 
    Estimation is CPU work measured in milliseconds per module, so the
    loop runs requests inline: while a batch estimates, the scrape plane
@@ -543,6 +544,7 @@ let capture_json (c : Mae_obs.Capture.capture) =
            (match c.cap_kind with `Errored -> "errored" | `Slow -> "slow") );
        ("ts", Json.Number c.cap_wall);
        ("latency_s", Json.Number c.cap_latency);
+       ("gc_s", Json.Number c.cap_gc_s);
      ]
     @ (match c.cap_error with
       | None -> []
@@ -596,6 +598,11 @@ let tracez_body st =
   ^ "\n"
 
 let slo_body () = Json.encode (Mae_obs.Slo.to_json ()) ^ "\n"
+
+(* /runtimez: the runtime lens document -- sampler state, per-domain
+   GC statistics, process telemetry.  Served even when the lens is
+   off (the document says so and still carries the process section). *)
+let runtimez_body () = Json.encode (Mae_obs.Runtime.to_json ()) ^ "\n"
 
 (* /statusz: the one-page human summary -- uptime, traffic, cache,
    objectives, latency quantiles, captured tails. *)
@@ -658,6 +665,20 @@ let statusz_body st =
     (List.length caps - errored)
     (Mae_obs.Capture.resident_spans ())
     (Mae_obs.Capture.max_resident_spans ());
+  if Mae_obs.Runtime.running () then begin
+    let q p =
+      match Mae_obs.Runtime.pause_quantile p with
+      | Some v -> Printf.sprintf "%.0fus" (v *. 1e6)
+      | None -> "-"
+    in
+    line "gc: %d pauses (p50 %s, p99 %s, max %s) across %d domains -- /runtimez"
+      (Mae_obs.Runtime.pause_count ())
+      (q 0.5) (q 0.99)
+      (match Mae_obs.Runtime.max_pause_seconds () with
+      | Some v -> Printf.sprintf "%.0fus" (v *. 1e6)
+      | None -> "-")
+      (List.length (Mae_obs.Runtime.domains ()))
+  end;
   Buffer.contents b
 
 let handle_http st raw =
@@ -703,10 +724,12 @@ let handle_http st raw =
           http_response ~content_type:"application/json" (tracez_body st)
       | "/methods" ->
           http_response ~content_type:"application/json" (methods_body ())
+      | "/runtimez" ->
+          http_response ~content_type:"application/json" (runtimez_body ())
       | _ ->
           http_response ~status:"404 Not Found" ~content_type:"text/plain"
             "not found; try /metrics /healthz /slo /statusz /buildinfo \
-             /tracez /methods\n"
+             /tracez /methods /runtimez\n"
     end
   | "GET" :: _ ->
       http_response ~status:"400 Bad Request" ~content_type:"text/plain"
@@ -745,7 +768,10 @@ let answer_line st conn line =
       | _ -> Some "request failed"
     end
   in
-  Mae_obs.Capture.record ~rid ~ok:outcome.ok ?error ~latency ~since:t0 ();
+  (* GC pause time that landed inside this request's window, from the
+     runtime lens; 0 (one atomic check) when the lens is off *)
+  let gc_s = Mae_obs.Runtime.pause_seconds_since t0 in
+  Mae_obs.Capture.record ~rid ~ok:outcome.ok ?error ~gc_s ~latency ~since:t0 ();
   Metrics.incr (if outcome.ok then requests_ok else requests_failed);
   Log.info ~event:"serve.request"
     [
@@ -756,6 +782,7 @@ let answer_line st conn line =
       ("modules_ok", Log.Int outcome.modules_ok);
       ("rows_selected", Log.Int outcome.rows_selected_total);
       ("latency_s", Log.Float latency);
+      ("gc_s", Log.Float gc_s);
       ("cache_hits", Log.Int outcome.cache_hits);
       ("cache_misses", Log.Int outcome.cache_misses);
       ("bytes_in", Log.Int (String.length line));
@@ -996,6 +1023,9 @@ let run (config : config) =
              window; the final dump and /tracez both read it. *)
           Mae_obs.Span.set_retention (Some config.span_retention);
           if Option.is_some config.trace_out then Mae_obs.set_enabled true;
+          (* the runtime lens rides with telemetry: GC pause sketches
+             per domain, /runtimez, gc.* spans in the final trace *)
+          if Mae_obs.enabled () then ignore (Mae_obs.Runtime.start ());
           let pool =
             (* [jobs = 0] means "the host's recommendation", like the
                engine's own resolution; 0 or 1 worker needs no pool *)
@@ -1106,6 +1136,9 @@ let run (config : config) =
           unlink_unix_addr config.request_addr;
           Option.iter unlink_unix_addr config.obs_addr;
           Option.iter Mae_engine.Pool.shutdown st.pool;
+          (* join the sampler and drain the cursor before the trace
+             flush so the export carries the last GC windows *)
+          Mae_obs.Runtime.stop ();
           final_flush st;
           Ok ()
     end

@@ -226,6 +226,50 @@ let parse_captures body =
       in
       Ok rows
 
+(* --- /runtimez JSON parsing --- *)
+
+type runtime_row = {
+  rt_domain : int;
+  rt_pauses : int;
+  rt_p50 : float option;
+  rt_p99 : float option;
+  rt_max_pause_s : float;
+  rt_minors : int;
+  rt_major_slices : int;
+  rt_alloc_words : float;
+  rt_heap_words : float;
+}
+
+let parse_runtimez body =
+  match Json.parse body with
+  | Error e -> Error ("bad /runtimez JSON: " ^ e)
+  | Ok doc ->
+      let rows =
+        match Option.bind (Json.member "domains" doc) Json.to_list with
+        | None -> []
+        | Some ds ->
+            List.filter_map
+              (fun d ->
+                match num "domain" d with
+                | None -> None
+                | Some dom ->
+                    let f field = Option.value ~default:0. (num field d) in
+                    Some
+                      {
+                        rt_domain = int_of_float dom;
+                        rt_pauses = int_of_float (f "pauses");
+                        rt_p50 = num "p50_pause_s" d;
+                        rt_p99 = num "p99_pause_s" d;
+                        rt_max_pause_s = f "max_pause_s";
+                        rt_minors = int_of_float (f "minor_collections");
+                        rt_major_slices = int_of_float (f "major_slices");
+                        rt_alloc_words = f "allocated_words";
+                        rt_heap_words = f "heap_words";
+                      })
+              ds
+      in
+      Ok rows
+
 (* --- one sampled frame --- *)
 
 type sample = {
@@ -234,6 +278,7 @@ type sample = {
   healthy : bool;
   slos : slo_row list;
   captures : capture_row list;
+  runtime : runtime_row list;
 }
 
 let fetch ~host ~port =
@@ -253,6 +298,16 @@ let fetch ~host ~port =
             | Ok rows -> rows
             | Error _ -> []
           in
+          let runtime =
+            (* /runtimez likewise: empty when the lens is off or the
+               daemon predates it *)
+            match
+              Result.bind (http_get ~host ~port ~path:"/runtimez")
+                parse_runtimez
+            with
+            | Ok rows -> rows
+            | Error _ -> []
+          in
           Ok
             {
               at = Mae_obs.Clock.monotonic ();
@@ -260,6 +315,7 @@ let fetch ~host ~port =
               healthy;
               slos;
               captures;
+              runtime;
             }
     end
 
@@ -341,6 +397,39 @@ let render ?prev (s : sample) =
         let p50, p90, p99, p999 = quantile_cells s.metrics name in
         line "%-40s %9s %9s %9s %9s" name p50 p90 p99 p999)
       summaries;
+    line ""
+  end;
+  if s.runtime <> [] then begin
+    line "%-10s %7s %9s %9s %9s %8s %8s %11s %8s" "gc domain" "pauses" "p50"
+      "p99" "max" "minor/s" "major/s" "alloc Mw/s" "heap Mw";
+    let dt =
+      match prev with
+      | Some p when s.at > p.at -> Some (p, s.at -. p.at)
+      | _ -> None
+    in
+    List.iter
+      (fun r ->
+        let opt_lat = function Some v -> fmt_latency v | None -> "-" in
+        let rate f =
+          match dt with
+          | Some (p, dt) -> begin
+              match
+                List.find_opt (fun q -> q.rt_domain = r.rt_domain) p.runtime
+              with
+              | Some pr ->
+                  Printf.sprintf "%.1f" (Float.max 0. (f r -. f pr) /. dt)
+              | None -> "-"
+            end
+          | None -> "-"
+        in
+        line "%-10d %7d %9s %9s %9s %8s %8s %11s %8.1f" r.rt_domain
+          r.rt_pauses (opt_lat r.rt_p50) (opt_lat r.rt_p99)
+          (fmt_latency r.rt_max_pause_s)
+          (rate (fun x -> float_of_int x.rt_minors))
+          (rate (fun x -> float_of_int x.rt_major_slices))
+          (rate (fun x -> x.rt_alloc_words /. 1e6))
+          (r.rt_heap_words /. 1e6))
+      s.runtime;
     line ""
   end;
   (match s.captures with

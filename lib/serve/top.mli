@@ -1,8 +1,9 @@
 (** The [mae top] live dashboard: poll a running serve instance's
-    observability plane ([/metrics], [/slo], [/tracez]) and render a
-    text frame per interval -- throughput, cache hit ratio, SLO burn
-    rates, per-method latency quantiles from the GK sketches, and the
-    worst recently captured traces.
+    observability plane ([/metrics], [/slo], [/tracez], [/runtimez])
+    and render a text frame per interval -- throughput, cache hit
+    ratio, SLO burn rates, per-method latency quantiles from the GK
+    sketches, a per-domain GC pane (pause quantiles, collections/s,
+    allocation rate), and the worst recently captured traces.
 
     The fetch/parse/render stages are exposed separately so tests can
     exercise the parsers and the renderer on canned payloads without a
@@ -52,17 +53,34 @@ type capture_row = {
 val parse_captures : string -> (capture_row list, string) result
 (** Parse the tail-based captures out of a [GET /tracez] body. *)
 
+type runtime_row = {
+  rt_domain : int;
+  rt_pauses : int;
+  rt_p50 : float option;  (** median pause, seconds; [None] when unset *)
+  rt_p99 : float option;
+  rt_max_pause_s : float;
+  rt_minors : int;
+  rt_major_slices : int;
+  rt_alloc_words : float;
+  rt_heap_words : float;
+}
+
+val parse_runtimez : string -> (runtime_row list, string) result
+(** Parse the per-domain GC rows out of a [GET /runtimez] body. *)
+
 type sample = {
   at : float;  (** monotonic sample instant, for rate arithmetic *)
   metrics : pm_sample list;
   healthy : bool;
   slos : slo_row list;
   captures : capture_row list;
+  runtime : runtime_row list;
 }
 
 val fetch : host:string -> port:int -> (sample, string) result
-(** One poll: [/metrics] and [/slo] are required, [/tracez] is
-    best-effort. *)
+(** One poll: [/metrics] and [/slo] are required, [/tracez] and
+    [/runtimez] are best-effort (the GC pane simply disappears when
+    the runtime lens is off). *)
 
 val render : ?prev:sample -> sample -> string
 (** Render one dashboard frame; [prev] enables the req/s rate. *)
