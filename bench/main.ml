@@ -184,7 +184,9 @@ let run_figure1 () =
         (fun r ->
           match Mae_db.Record.of_report r with
           | Ok record -> Mae_db.Store.add store record
-          | Error msg -> Printf.printf "no database entry: %s\n" msg)
+          | Error e ->
+              Printf.printf "no database entry: %s\n"
+                (Mae_db.Record.of_report_error_to_string e))
         reports;
       print_string (Mae_db.Store.to_string store);
       Printf.printf
@@ -1076,6 +1078,55 @@ let run_engine ~smoke () =
   let path = "BENCH_engine.json" in
   engine_json ~modules ~runs ~path;
   Printf.printf "throughput baseline written to %s\n" path;
+  (* the content-addressed estimate store: run the batch cold, then
+     repeat it -- the repeat must be answered entirely from the store
+     with bit-identical results, or the bench fails *)
+  let cas = Mae_db.Cas.create () in
+  let cold_results, cold_stats =
+    Mae_engine.run_circuits_with_stats ~jobs:1 ~cache:cas ~registry circuits
+  in
+  let warm_results, warm_stats =
+    Mae_engine.run_circuits_with_stats ~jobs:1 ~cache:cas ~registry circuits
+  in
+  let store_hit_ratio =
+    if modules > 0 then
+      Float.of_int warm_stats.Mae_engine.store_hits /. Float.of_int modules
+    else 0.
+  in
+  if warm_stats.Mae_engine.store_hits <> modules then begin
+    Printf.printf
+      "FAIL: repeat batch hit the estimate store %d/%d times (want 100%%)\n"
+      warm_stats.Mae_engine.store_hits modules;
+    exit 1
+  end;
+  let store_identical =
+    List.for_all2
+      (fun a b ->
+        match (a, b) with
+        | Ok (ra : Mae.Driver.module_report), Ok rb ->
+            let bits (r : Mae.Driver.module_report) =
+              List.map
+                (fun (mr : Mae.Driver.method_result) ->
+                  match mr.outcome with
+                  | Ok o ->
+                      Int64.bits_of_float (Mae.Methodology.dims o).Mae.Methodology.area
+                  | Error _ -> 0L)
+                r.results
+            in
+            bits ra = bits rb
+        | Error _, Error _ -> true
+        | _ -> false)
+      cold_results warm_results
+  in
+  if not store_identical then begin
+    print_endline "FAIL: estimate-store answers differ from the computed runs";
+    exit 1
+  end;
+  Printf.printf
+    "estimate store: cold %.3fs (%d misses), repeat %.3fs answered 100%%\n\
+     from the store, bit-identical\n"
+    cold_stats.Mae_engine.elapsed_s cold_stats.Mae_engine.store_misses
+    warm_stats.Mae_engine.elapsed_s;
   (* drain the cursor so the history entry's gc object sees the run *)
   Mae_obs.Runtime.stop ();
   (* one timestamped line per bench run, appended so the trajectory
@@ -1102,6 +1153,18 @@ let run_engine ~smoke () =
                    ("cache_misses", Number (Float.of_int r.stats.cache_misses));
                  ])
              runs) );
+      ( "estimate_store",
+        Object
+          [
+            ("cold_elapsed_s", Number cold_stats.Mae_engine.elapsed_s);
+            ("warm_elapsed_s", Number warm_stats.Mae_engine.elapsed_s);
+            ( "cold_misses",
+              Number (Float.of_int cold_stats.Mae_engine.store_misses) );
+            ( "warm_hits",
+              Number (Float.of_int warm_stats.Mae_engine.store_hits) );
+            ("warm_hit_ratio", Number store_hit_ratio);
+            ("warm_bit_identical", Bool store_identical);
+          ] );
     ]
 
 (* --gc-sweep: one row per jobs level -- cached throughput with the

@@ -22,7 +22,14 @@
       serve.shutdown record, and a final metrics dump whose counters
       still match;
    7. asserts estimates are bit-for-bit identical with logging off and
-      with logging at debug -- the logger must never touch a result.
+      with logging at debug -- the logger must never touch a result;
+   8. exercises the content-addressed estimate store: a repeated
+      request answers cached:true with byte-identical modules and bumps
+      mae_estimate_cache_hits_total; a slow client dribbling its
+      request one byte at a time is framed whole; a third daemon
+      started on a journal written by the parent process answers its
+      very first request from disk and flushes a Store snapshot on
+      SIGTERM.
 
      dune build @serve-smoke   (also pulled in by @bench-smoke) *)
 
@@ -44,6 +51,8 @@ let check cond fmt =
 let access_log_path = "serve_smoke_access.log"
 let metrics_path = "serve_smoke_metrics.json"
 let trace_path = "serve_smoke_trace.json"
+let journal_path = "serve_smoke_store.journal"
+let store_db_path = "serve_smoke_store.db"
 
 (* --- the request corpus --- *)
 
@@ -223,7 +232,32 @@ let check_log_invariance () =
 
 (* --- the daemon lifecycle --- *)
 
-let spawn_server ?(overload = false) () =
+(* the module pre-estimated into the journal by the parent and asked of
+   the warm daemon: its very first request must answer from disk *)
+let warm_hdl = hdl_of (Mae_workload.Generators.counter ~technology:"nmos25" 11)
+
+(* Estimate [warm_hdl] into a fresh journal, in-process (jobs:1 spawns
+   no domain, so the daemon forks below stay legal).  The daemon replays
+   this file at startup and must answer the same module without
+   computing. *)
+let prepopulate_journal () =
+  if Sys.file_exists journal_path then Sys.remove journal_path;
+  let registry = Mae_tech.Registry.create () in
+  let cas = Mae_db.Cas.create () in
+  (match Mae_db.Cas.open_journal cas ~path:journal_path with
+  | Ok (0, 0) -> ()
+  | Ok (l, s) -> fail "fresh journal loaded %d skipped %d" l s
+  | Error e -> fail "open_journal: %s" e);
+  (match Mae_engine.run_string ~jobs:1 ~cache:cas ~registry warm_hdl with
+  | Ok [ Ok _ ] -> ()
+  | Ok _ -> fail "prepopulate: expected one Ok module"
+  | Error _ -> fail "prepopulate: driver error");
+  Mae_db.Cas.close_journal cas;
+  check
+    (Mae_db.Cas.length cas = 1)
+    "parent pre-estimated 1 module into %s" journal_path
+
+let spawn_server ?(overload = false) ?journal ?store_out () =
   let r, w = Unix.pipe () in
   flush stdout;
   flush stderr;
@@ -231,7 +265,8 @@ let spawn_server ?(overload = false) () =
   | 0 ->
       (* child: become the daemon; announce bound ports on the pipe *)
       Unix.close r;
-      if overload then Mae_obs.Log.set_threshold None
+      let main = (not overload) && journal = None in
+      if not main then Mae_obs.Log.set_threshold None
       else begin
         Mae_obs.Log.set_threshold (Some Mae_obs.Log.Info);
         match Mae_obs.Log.set_sink_file access_log_path with
@@ -245,8 +280,10 @@ let spawn_server ?(overload = false) () =
              ~request_addr:(Mae_serve.Tcp { host = "127.0.0.1"; port = 0 }))
           with
           Mae_serve.obs_addr = Some (Mae_serve.Tcp { host = "127.0.0.1"; port = 0 });
-          metrics_out = (if overload then None else Some metrics_path);
-          trace_out = (if overload then None else Some trace_path);
+          metrics_out = (if main then Some metrics_path else None);
+          trace_out = (if main then Some trace_path else None);
+          store_journal = journal;
+          store_out;
           (* the overload daemon honours an injected per-request sleep
              and judges latency against a 5 ms objective, so a few
              slow requests deterministically exhaust the fast-window
@@ -292,13 +329,21 @@ let spawn_server ?(overload = false) () =
       | _ -> fail "bad ready line %S" ports)
 
 let () =
-  (* fork the daemon before anything spawns a domain: OCaml 5 forbids
+  (* estimate one module into the journal first: jobs:1 spawns no
+     domain, so the forks below stay legal under OCaml 5 *)
+  prepopulate_journal ();
+  (* fork the daemons before anything spawns a domain: OCaml 5 forbids
      Unix.fork once other domains exist, and the invariance check below
      runs the engine at jobs:2 *)
   let pid, req_port, obs_port = spawn_server () in
   (* the overload daemon forks now too, for the same reason; it idles
      until the burn-rate phase near the end *)
   let ov_pid, ov_req_port, ov_obs_port = spawn_server ~overload:true () in
+  (* the warm daemon replays the parent's journal at startup and flushes
+     a Store snapshot at shutdown *)
+  let warm_pid, warm_req_port, warm_obs_port =
+    spawn_server ~journal:journal_path ~store_out:store_db_path ()
+  in
   check_log_invariance ();
   check (req_port > 0 && obs_port > 0)
     "daemon bound request plane :%d and obs plane :%d" req_port obs_port;
@@ -392,9 +437,94 @@ let () =
     all_names;
   check true "methods=all request answered with all %d methodologies"
     (List.length all_names);
+
+  (* --- the estimate store: a repeated request is answered from it,
+     bit-for-bit, and the response says so --- *)
+  let send_and_parse line =
+    let line = line ^ "\n" in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    let reply = input_line ic in
+    incr sent_ok;
+    incr last_seq;
+    match Json.parse reply with
+    | Ok d -> d
+    | Error e -> fail "store-phase response not JSON (%s): %S" e reply
+  in
+  let cached_of doc tag =
+    match Json.member "cached" doc with
+    | Some (Json.Bool b) -> b
+    | _ -> fail "%s response lacks a cached field" tag
+  in
+  let modules_of doc tag =
+    match Json.member "modules" doc with
+    | Some m -> Json.encode m
+    | None -> fail "%s response lacks modules" tag
+  in
+  let fresh_line =
+    Json.encode
+      (Json.Object
+         [
+           ("id", Json.String "store-probe");
+           ( "hdl",
+             Json.String
+               (hdl_of (Mae_workload.Generators.counter ~technology:"nmos25" 16))
+           );
+         ])
+  in
+  let hits_metric () =
+    let _, body = http_get ~port:obs_port "/metrics" in
+    int_of_float (prom_value body "mae_estimate_cache_hits_total")
+  in
+  let cold_doc = send_and_parse fresh_line in
+  check (not (cached_of cold_doc "cold"))
+    "first sight of a module is not cached";
+  let hits_before = hits_metric () in
+  let warm_doc = send_and_parse fresh_line in
+  check (cached_of warm_doc "warm") "repeated request answers cached:true";
+  check
+    (hits_metric () = hits_before + 1)
+    "mae_estimate_cache_hits_total counted the repeat (%d -> %d)" hits_before
+    (hits_before + 1);
+  check
+    (String.equal (modules_of cold_doc "cold") (modules_of warm_doc "warm"))
+    "cached response is byte-identical to the computed one";
+
+  (* --- framing: a slow client dribbling one byte at a time must still
+     be answered (single-shot reads used to drop or split lines) --- *)
+  let slow_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect slow_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, req_port));
+  let slow_ic = Unix.in_channel_of_descr slow_fd in
+  let slow_line =
+    Json.encode
+      (Json.Object
+         [ ("id", Json.String "slow"); ("hdl", Json.String (valid_hdl 0)) ])
+    ^ "\n"
+  in
+  String.iteri
+    (fun i c ->
+      ignore (Unix.write_substring slow_fd (String.make 1 c) 0 1);
+      (* pause between dribbles so the server genuinely sees short
+         reads rather than one coalesced segment *)
+      if i mod 64 = 0 then Unix.sleepf 0.002)
+    slow_line;
+  let slow_doc =
+    match Json.parse (input_line slow_ic) with
+    | Ok d -> d
+    | Error e -> fail "slow-client response not JSON: %s" e
+  in
+  incr sent_ok;
+  incr last_seq;
+  (match Json.member "ok" slow_doc with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "slow-client request failed");
+  check
+    (cached_of slow_doc "slow")
+    "byte-at-a-time request framed whole and answered from the store";
+  Unix.close slow_fd;
+
   Unix.close fd;
   let total = !sent_ok + !sent_failed in
-  check (total = List.length corpus + 1 && !sent_ok = 101)
+  check (total = List.length corpus + 4 && !sent_ok = 104)
     "%d requests answered in order (%d ok, %d failed), seq monotone to %d"
     total !sent_ok !sent_failed !last_seq;
 
@@ -407,6 +537,12 @@ let () =
     && m "mae_serve_requests_failed_total" = !sent_failed)
     "/metrics counters match the client tally (%d/%d/%d)" total !sent_ok
     !sent_failed;
+  (* the 100 valid corpus requests cycle through 5 distinct modules, so
+     at least 95 of them were answered from the estimate store *)
+  check
+    (m "mae_estimate_cache_hits_total" >= 95)
+    "repeat-heavy corpus hit the estimate store %d times (>= 95)"
+    (m "mae_estimate_cache_hits_total");
   let p50 = prom_histogram_percentile metrics_body "mae_serve_request_seconds" 0.50 in
   let p99 = prom_histogram_percentile metrics_body "mae_serve_request_seconds" 0.99 in
   check
@@ -639,6 +775,57 @@ let () =
         [ "latency_s"; "rows_selected"; "cache_hits"; "cache_misses"; "ok" ])
     requests;
   check true "access-log request ids are r1..r%d in order" total;
+
+  (* --- the warm daemon: its journal was written by another process,
+     so its very first request must answer from disk --- *)
+  check
+    (warm_req_port > 0 && warm_obs_port > 0)
+    "warm daemon bound request plane :%d and obs plane :%d" warm_req_port
+    warm_obs_port;
+  (* the child inherits the parent's own counter values at fork, so
+     judge the warm request by counter deltas, not absolutes *)
+  let warm_counters () =
+    let _, body = http_get ~port:warm_obs_port "/metrics" in
+    ( int_of_float (prom_value body "mae_estimate_cache_hits_total"),
+      int_of_float (prom_value body "mae_estimate_cache_misses_total") )
+  in
+  let hits0, misses0 = warm_counters () in
+  let warm_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect warm_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, warm_req_port));
+  let warm_ic = Unix.in_channel_of_descr warm_fd in
+  let warm_line =
+    Json.encode
+      (Json.Object
+         [ ("id", Json.String "warm"); ("hdl", Json.String warm_hdl) ])
+    ^ "\n"
+  in
+  ignore (Unix.write_substring warm_fd warm_line 0 (String.length warm_line));
+  let warm_doc =
+    match Json.parse (input_line warm_ic) with
+    | Ok d -> d
+    | Error e -> fail "warm-daemon response not JSON: %s" e
+  in
+  Unix.close warm_fd;
+  (match Json.member "ok" warm_doc with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "warm-daemon request failed");
+  check
+    (Json.member "cached" warm_doc = Some (Json.Bool true))
+    "restarted daemon answers its first request from the replayed journal";
+  let hits1, misses1 = warm_counters () in
+  check
+    (hits1 = hits0 + 1 && misses1 = misses0)
+    "warm daemon counters moved by 1 store hit, 0 misses";
+  Unix.kill warm_pid Sys.sigterm;
+  let _, warm_status = Unix.waitpid [] warm_pid in
+  check (warm_status = Unix.WEXITED 0) "warm daemon drained and exited 0";
+  check (Sys.file_exists store_db_path) "store snapshot flushed at shutdown";
+  (match Mae_db.Store.load ~path:store_db_path with
+  | Error e -> fail "store snapshot does not load: %s" e
+  | Ok store ->
+      check
+        (List.length (Mae_db.Store.records store) = 1)
+        "store snapshot holds the journal-warmed module");
 
   (* overload: the second daemon judges latency against a 5 ms
      objective and honours injected sleeps, so ten 20 ms requests

@@ -181,7 +181,9 @@ let print_report ~verbose ~explicit ~compare ~db_requested store
   end;
   match Mae_db.Record.of_report report with
   | Ok record -> Mae_db.Store.add store record
-  | Error msg -> if db_requested then Format.eprintf "mae: %s@." msg
+  | Error e ->
+      if db_requested then
+        Format.eprintf "mae: %s@." (Mae_db.Record.of_report_error_to_string e)
 
 (* An output path is rejected before any estimation runs (like the
    --jobs validation): a typo'd directory must not cost a full batch. *)
@@ -434,7 +436,8 @@ let estimate_cmd =
 (* serve *)
 
 let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
-    metrics_out slo_latency_ms slo_latency_target slo_error_target =
+    metrics_out slo_latency_ms slo_latency_target slo_error_target store_journal
+    store_out no_estimate_cache =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
   if slo_latency_ms <= 0. then
@@ -452,10 +455,17 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
       ("--trace", trace_out);
       ("--metrics-out", metrics_out);
       ("--access-log", access_log);
+      ("--store", store_journal);
+      ("--store-db", store_out);
     ];
   validate_out_path ~flag:"--trace" trace_out;
   validate_out_path ~flag:"--metrics-out" metrics_out;
   validate_out_path ~flag:"--access-log" access_log;
+  validate_out_path ~flag:"--store" store_journal;
+  validate_out_path ~flag:"--store-db" store_out;
+  if no_estimate_cache && (store_journal <> None || store_out <> None) then
+    or_die
+      (Error "--no-estimate-cache conflicts with --store / --store-db");
   let registry = or_die (registry_of tech_files) in
   let request_addr = or_die (Mae_serve.parse_addr listen) in
   let obs_addr =
@@ -488,6 +498,9 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
       jobs;
       trace_out;
       metrics_out;
+      estimate_cache = not no_estimate_cache;
+      store_journal;
+      store_out;
       slo =
         {
           Mae_serve.default_slo with
@@ -597,6 +610,32 @@ let serve_cmd =
              (default 0.999).  Malformed client requests do not count \
              against this budget.")
   in
+  let store_journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Back the content-addressed estimate store with an append-only \
+             journal at $(docv): replayed at startup (a restarted daemon \
+             answers repeats warm, bit-for-bit) and appended on every new \
+             estimate.")
+  in
+  let store_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store-db" ] ~docv:"FILE"
+          ~doc:
+            "Write a mae_db Store snapshot of the estimate store to $(docv) \
+             on shutdown (loadable by the floor-planner).")
+  in
+  let no_estimate_cache =
+    Arg.(
+      value & flag
+      & info [ "no-estimate-cache" ]
+          ~doc:
+            "Disable the content-addressed estimate store: every request is \
+             recomputed even when an identical module was already answered.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -606,7 +645,8 @@ let serve_cmd =
     Term.(
       const run_serve $ tech_files_arg $ listen $ obs_listen $ jobs
       $ access_log $ log_level $ trace_out $ metrics_out $ slo_latency_ms
-      $ slo_latency_target $ slo_error_target)
+      $ slo_latency_target $ slo_error_target $ store_journal $ store_out
+      $ no_estimate_cache)
 
 (* top *)
 

@@ -61,7 +61,7 @@ let () =
             | None -> ()
           end;
           match Mae_db.Record.of_report r with
-          | Error msg -> Format.printf "no database entry: %s@." msg
+          | Error msg -> Format.printf "no database entry: %s@." (Mae_db.Record.of_report_error_to_string msg)
           | Ok record ->
               let store = Mae_db.Store.create () in
               Mae_db.Store.add store record;

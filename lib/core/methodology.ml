@@ -147,6 +147,21 @@ let find n = List.find_opt (fun t -> String.equal t.name n) !registry
 let all () = !registry
 let names () = List.map (fun t -> t.name) !registry
 
+(* The estimate store keys results partly by "which estimator code
+   produced them".  The registry version folds an explicit epoch (bumped
+   whenever estimator behaviour changes without a rename -- tests use it
+   to force invalidation) with the registered names, so registering,
+   removing or renaming a methodology changes every store key. *)
+let epoch = Atomic.make 0
+let registry_epoch () = Atomic.get epoch
+let bump_registry_epoch () = Atomic.incr epoch
+
+let registry_version () =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "mae-registry %d %s" (Atomic.get epoch)
+          (String.concat "," (names ()))))
+
 let valid_name n =
   String.length n > 0
   && String.for_all

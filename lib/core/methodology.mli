@@ -143,6 +143,19 @@ val default_names : string list
 (** [["stdcell"; "fullcustom-exact"; "fullcustom-average"]] — the method
     set that reproduces the pre-registry pipeline exactly. *)
 
+val registry_version : unit -> string
+(** Hex digest identifying the current estimator registry: the ordered
+    registered names plus an explicit epoch.  The estimate store folds
+    this into every key, so cached results are invalidated by
+    construction when estimators are added, removed, renamed -- or when
+    {!bump_registry_epoch} declares their behaviour changed. *)
+
+val registry_epoch : unit -> int
+
+val bump_registry_epoch : unit -> unit
+(** Declare that estimator behaviour changed without any rename (e.g. a
+    tuned model constant), invalidating previously stored estimates. *)
+
 val resolve : string list -> (t list, string) result
 (** Look every name up, preserving order; [Error name] on the first
     unknown one.  The aliases ["default"] and ["all"] expand to

@@ -1,0 +1,71 @@
+(* Token-level quoting for the line-oriented db formats.
+
+   Store's original format put module names bare on a space-tokenized
+   line ("record <name>"), so a name containing whitespace -- or one
+   that collides with a directive keyword -- failed or mis-parsed on
+   reload.  Writers now quote any name that is not a plain token;
+   [tokens] splits a line into fields understanding both bare tokens
+   and OCaml-style quoted strings, so old files (all-bare) and new
+   files (quoted where needed) parse through the same path. *)
+
+(* A bare token survives space-splitting and cannot be confused with a
+   quoted string or a directive: non-empty, printable, no spaces, no
+   quote or backslash lead. *)
+let is_bare s =
+  String.length s > 0
+  && s.[0] <> '"'
+  && String.for_all (fun c -> c > ' ' && c < '\x7f' && c <> '\\') s
+
+let quote s = if is_bare s then s else Printf.sprintf "%S" s
+
+(* Split a line into tokens; a token opening with '"' extends to its
+   closing unescaped quote and is unescaped.  Errors on an unterminated
+   quote or an escape %S cannot produce. *)
+let tokens line =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let rec skip i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip (i + 1) else i in
+  let rec bare i =
+    if i < n && line.[i] <> ' ' && line.[i] <> '\t' then begin
+      Buffer.add_char buf line.[i];
+      bare (i + 1)
+    end
+    else i
+  in
+  let rec quoted i =
+    if i >= n then Error "unterminated quoted token"
+    else
+      match line.[i] with
+      | '"' -> Ok (i + 1)
+      | '\\' when i + 1 < n ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf line.[i + 1];
+          quoted (i + 2)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  let rec go acc i =
+    let i = skip i in
+    if i >= n then Ok (List.rev acc)
+    else begin
+      Buffer.clear buf;
+      if line.[i] = '"' then begin
+        match quoted (i + 1) with
+        | Error _ as e -> e
+        | Ok j -> begin
+            (* re-wrap and unescape through Scanf so the writer's %S and
+               this reader agree on every escape form *)
+            let raw = "\"" ^ Buffer.contents buf ^ "\"" in
+            match Scanf.sscanf_opt raw "%S" (fun s -> s) with
+            | Some s -> go (s :: acc) j
+            | None -> Error ("bad escape in quoted token " ^ raw)
+          end
+      end
+      else begin
+        let j = bare i in
+        go (Buffer.contents buf :: acc) j
+      end
+    end
+  in
+  go [] 0

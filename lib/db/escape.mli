@@ -1,0 +1,21 @@
+(** Token quoting shared by the {!Store} text format and the {!Cas}
+    journal.
+
+    The formats are line-oriented with space-separated fields; any field
+    that is not a plain printable token (a module name with spaces, an
+    empty technology, a name that is itself a directive keyword would
+    still be fine -- position disambiguates) is written OCaml-quoted and
+    read back through the same tokenizer. *)
+
+val is_bare : string -> bool
+(** True when the string can be written unquoted: non-empty, printable
+    ASCII, no whitespace, not starting with a quote, no backslash. *)
+
+val quote : string -> string
+(** The string itself when {!is_bare}, otherwise its OCaml string
+    literal ([%S]). *)
+
+val tokens : string -> (string list, string) result
+(** Split a line into fields, treating ["..."] groups as single quoted
+    tokens (unescaped).  [Error] on an unterminated quote or malformed
+    escape. *)

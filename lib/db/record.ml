@@ -18,17 +18,35 @@ type t = {
   shapes : (float * float) list;
 }
 
+type of_report_error =
+  | Missing_methods of { module_name : string }
+  | Non_finite of { module_name : string; field : string; value : float }
+
+let of_report_error_to_string = function
+  | Missing_methods { module_name } ->
+      module_name
+      ^ ": the database row needs successful stdcell, fullcustom-exact and \
+         fullcustom-average results (run with the default method set)"
+  | Non_finite { module_name; field; value } ->
+      Printf.sprintf
+        "%s: estimate field %s is %h; a non-finite value must not reach the \
+         floor-planner feed"
+        module_name field value
+
 (* A record is the floor planner's input row, and the floor planner
    needs the standard-cell shape function plus both full-custom
    variants; a report estimated with a narrower method set cannot
-   produce one. *)
+   produce one.  Every float field is checked finite here -- %.17g in
+   the Store writer happily prints nan/inf, and a poisoned row would
+   otherwise round-trip silently into every packing that reads it. *)
 let of_report (r : Mae.Driver.module_report) =
+  let module_name = r.circuit.Mae_netlist.Circuit.name in
   match
     ( Mae.Driver.stdcell r,
       Mae.Driver.fullcustom_exact r,
       Mae.Driver.fullcustom_average r )
   with
-  | Some sc, Some fce, Some fca ->
+  | Some sc, Some fce, Some fca -> begin
       let sweep_shapes =
         List.map
           (fun (e : Mae.Estimate.stdcell) -> (e.width, e.height))
@@ -40,9 +58,9 @@ let of_report (r : Mae.Driver.module_report) =
           (fca.Mae.Estimate.width, fca.height);
         ]
       in
-      Ok
+      let record =
         {
-          module_name = r.circuit.Mae_netlist.Circuit.name;
+          module_name;
           technology = r.circuit.Mae_netlist.Circuit.technology;
           devices = Mae_netlist.Circuit.device_count r.circuit;
           nets = Mae_netlist.Circuit.net_count r.circuit;
@@ -60,12 +78,40 @@ let of_report (r : Mae.Driver.module_report) =
           fc_average_aspect = Mae_geom.Aspect.ratio fca.aspect;
           shapes = sweep_shapes @ fc_shapes;
         }
-  | _ ->
-      Error
-        (r.circuit.Mae_netlist.Circuit.name
-       ^ ": the database row needs successful stdcell, fullcustom-exact and \
-          fullcustom-average results (run with the default method set)")
+      in
+      let fields =
+        [
+          ("sc_width", record.sc_width);
+          ("sc_height", record.sc_height);
+          ("sc_area", record.sc_area);
+          ("sc_aspect", record.sc_aspect);
+          ("fc_exact_area", record.fc_exact_area);
+          ("fc_exact_aspect", record.fc_exact_aspect);
+          ("fc_average_area", record.fc_average_area);
+          ("fc_average_aspect", record.fc_average_aspect);
+        ]
+        @ List.concat
+            (List.mapi
+               (fun i (w, h) ->
+                 [
+                   (Printf.sprintf "shapes[%d].width" i, w);
+                   (Printf.sprintf "shapes[%d].height" i, h);
+                 ])
+               record.shapes)
+      in
+      match
+        List.find_opt (fun (_, v) -> not (Float.is_finite v)) fields
+      with
+      | Some (field, value) ->
+          Error (Non_finite { module_name; field; value })
+      | None -> Ok record
+    end
+  | _ -> Error (Missing_methods { module_name })
 
+(* Float fields compare with [Float.equal] (total order: nan equals
+   nan, unlike [=.]), so a record always equals itself even if a
+   non-finite value is forced in by hand -- the reflexivity the store's
+   replace-on-add semantics rely on. *)
 let equal a b =
   String.equal a.module_name b.module_name
   && String.equal a.technology b.technology

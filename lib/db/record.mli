@@ -26,12 +26,23 @@ type t = {
       (** candidate module shapes for the floor planner (width, height) *)
 }
 
-val of_report : Mae.Driver.module_report -> (t, string) result
+type of_report_error =
+  | Missing_methods of { module_name : string }
+      (** the report lacks a successful [stdcell], [fullcustom-exact] or
+          [fullcustom-average] result (a narrower [--methods] set cannot
+          feed the floor planner) *)
+  | Non_finite of { module_name : string; field : string; value : float }
+      (** an estimate field is nan or infinite; the text format would
+          round-trip it silently into the floor-planner feed *)
+
+val of_report_error_to_string : of_report_error -> string
+
+val of_report : Mae.Driver.module_report -> (t, of_report_error) result
 (** Shapes collect the standard-cell sweep plus the two full-custom
-    variants.  [Error] when the report lacks a successful [stdcell],
-    [fullcustom-exact] or [fullcustom-average] result (a narrower
-    [--methods] set cannot feed the floor planner). *)
+    variants.  Every float field is validated finite. *)
 
 val equal : t -> t -> bool
+(** Structural equality with NaN-safe float comparison ([Float.equal]'s
+    total order), so [equal r r] holds for every record. *)
 
 val pp : Format.formatter -> t -> unit

@@ -19,8 +19,11 @@ let to_string t =
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   List.iter
     (fun (r : Record.t) ->
-      addf "record %s\n" r.module_name;
-      addf "technology %s\n" r.technology;
+      (* names that are not plain tokens (spaces, control characters,
+         quotes) are OCaml-quoted; the parser reads both forms, so files
+         written before quoting existed still load *)
+      addf "record %s\n" (Escape.quote r.module_name);
+      addf "technology %s\n" (Escape.quote r.technology);
       addf "counts %d %d %d\n" r.devices r.nets r.ports;
       addf "stdcell %d %d %d %.17g %.17g %.17g %.17g\n" r.sc_rows r.sc_tracks
         r.sc_feed_throughs r.sc_width r.sc_height r.sc_area r.sc_aspect;
@@ -30,6 +33,15 @@ let to_string t =
       addf "end\n")
     (records t);
   Buffer.contents buf
+
+(* A stored estimate is the floor planner's input; a non-finite area or
+   aspect would poison every packing that reads it, so the parser
+   rejects nan/infinity where the old float_of_string let them
+   round-trip silently. *)
+let finite_of_string s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Some f
+  | Some _ | None -> None
 
 let of_string text =
   let t = create () in
@@ -43,10 +55,9 @@ let of_string text =
         | None -> Ok t
       end
     | line :: rest -> begin
-        let toks =
-          String.split_on_char ' ' (String.trim line)
-          |> List.filter (( <> ) "")
-        in
+        match Escape.tokens (String.trim line) with
+        | Error e -> error lineno e
+        | Ok toks ->
         match (toks, !partial) with
         | [], _ -> go (lineno + 1) rest
         | [ "record"; name ], None ->
@@ -95,10 +106,10 @@ let of_string text =
               ( int_of_string_opt rows,
                 int_of_string_opt tracks,
                 int_of_string_opt feeds,
-                float_of_string_opt w,
-                float_of_string_opt h,
-                float_of_string_opt a,
-                float_of_string_opt asp )
+                finite_of_string w,
+                finite_of_string h,
+                finite_of_string a,
+                finite_of_string asp )
             with
             | ( Some sc_rows,
                 Some sc_tracks,
@@ -120,14 +131,14 @@ let of_string text =
                       sc_aspect;
                     };
                 go (lineno + 1) rest
-            | _, _, _, _, _, _, _ -> error lineno "malformed stdcell"
+            | _, _, _, _, _, _, _ -> error lineno "malformed or non-finite stdcell"
           end
         | [ "fullcustom"; ea; easp; aa; aasp ], Some r -> begin
             match
-              ( float_of_string_opt ea,
-                float_of_string_opt easp,
-                float_of_string_opt aa,
-                float_of_string_opt aasp )
+              ( finite_of_string ea,
+                finite_of_string easp,
+                finite_of_string aa,
+                finite_of_string aasp )
             with
             | Some fc_exact_area, Some fc_exact_aspect, Some fc_average_area,
               Some fc_average_aspect ->
@@ -141,14 +152,14 @@ let of_string text =
                       fc_average_aspect;
                     };
                 go (lineno + 1) rest
-            | _, _, _, _ -> error lineno "malformed fullcustom"
+            | _, _, _, _ -> error lineno "malformed or non-finite fullcustom"
           end
         | [ "shape"; w; h ], Some r -> begin
-            match (float_of_string_opt w, float_of_string_opt h) with
+            match (finite_of_string w, finite_of_string h) with
             | Some w, Some h ->
                 partial := Some { r with shapes = (w, h) :: r.shapes };
                 go (lineno + 1) rest
-            | _, _ -> error lineno "malformed shape"
+            | _, _ -> error lineno "malformed or non-finite shape"
           end
         | _ :: _, Some _ -> error lineno ("unrecognized line: " ^ String.trim line)
       end

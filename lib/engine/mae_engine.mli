@@ -40,6 +40,8 @@ type error =
   | Driver_error of Mae.Driver.error
   | Crashed of { module_name : string; exn : string }
       (** an exception escaped the estimator for this module *)
+  | Invalid_edit of { module_name : string; reason : string }
+      (** {!reestimate} was handed an edit the circuit cannot take *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -54,6 +56,11 @@ type stats = {
           domain-local counts -- exact for this batch even when other
           batches run concurrently on other domains *)
   cache_misses : int;
+  store_hits : int;
+      (** estimate-store lookups answered from {!Mae_db.Cas} during this
+          batch (before/after deltas of the process-wide counters: exact
+          when batches run one at a time, as in the serve daemon) *)
+  store_misses : int;
   per_domain : int array;
       (** how many modules each worker estimated; slot 0 is the calling
           domain, the rest are pool/spawned domains in spawn order *)
@@ -109,6 +116,7 @@ val run_circuits :
   ?methods:string list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list
@@ -125,6 +133,7 @@ val run_circuits_with_stats :
   ?methods:string list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
   registry:Mae_tech.Registry.t ->
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list * stats
@@ -134,6 +143,7 @@ val run_design :
   ?methods:string list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
   registry:Mae_tech.Registry.t ->
   Mae_hdl.Ast.design ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
@@ -147,6 +157,7 @@ val run_string :
   ?methods:string list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
   registry:Mae_tech.Registry.t ->
   string ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
@@ -156,6 +167,79 @@ val run_file :
   ?methods:string list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
   registry:Mae_tech.Registry.t ->
   string ->
   ((Mae.Driver.module_report, error) result list, Mae.Driver.error) result
+
+(** {1 Estimate store}
+
+    Pass [?cache] (a {!Mae_db.Cas.t}) to any entry point and each module
+    is first looked up by its content address (canonical circuit +
+    process fingerprint + registry version + resolved method set); hits
+    return the stored report bit-for-bit and count into
+    [mae_estimate_cache_hits_total].  Runs with an explicit [?config]
+    bypass the store: a config changes results but is not part of the
+    address. *)
+
+(** {1 Incremental re-estimation}
+
+    The delta path: apply a netlist edit to an already-estimated module
+    and recompute only the methodologies whose inputs actually changed,
+    updating the shared statistics context incrementally where the edit
+    permits. *)
+
+type edit =
+  | Add_device of { name : string; kind : string; nets : string list }
+      (** pins connect to the named nets in order; unknown net names are
+          created (appended after the existing nets) *)
+  | Remove_device of { name : string }
+  | Add_net of { name : string }  (** a new floating net *)
+  | Remove_net of { name : string }
+      (** the net must be floating (degree 0) and not bound to a port *)
+
+val apply_edit :
+  Mae_netlist.Circuit.t -> edit -> (Mae_netlist.Circuit.t, string) result
+(** The edited circuit, rebuilt with net and device index order
+    preserved and additions appended last -- the property that makes the
+    [Add_*] statistics deltas exact. *)
+
+type reestimate_report = {
+  report : Mae.Driver.module_report;  (** for the edited circuit *)
+  reused : string list;
+      (** methodologies answered from the previous report because every
+          input they read was bit-for-bit unchanged *)
+  recomputed : string list;
+  stats_incremental : bool;
+      (** the shared stats context was updated by delta rather than by
+          rescanning the circuit *)
+  stats : Mae_netlist.Stats.t;
+      (** the edited circuit's statistics; feed back as
+          [?previous_stats] when chaining edits *)
+}
+
+val reestimate :
+  ?config:Mae.Config.t ->
+  ?methods:string list ->
+  ?cache:Mae_db.Cas.t ->
+  ?previous_stats:Mae_netlist.Stats.t ->
+  registry:Mae_tech.Registry.t ->
+  previous:Mae.Driver.module_report ->
+  edit ->
+  (reestimate_report, error) result
+(** Re-estimate [previous]'s module after [edit].
+
+    The result is {e bit-for-bit identical} to a full
+    {!Mae.Driver.run_circuit} on the edited circuit: statistics deltas
+    extend the original float folds exactly ([Add_device] appends the
+    new device's terms; add/remove of a floating net touches no float),
+    and a methodology's previous outcome is reused only when a bitwise
+    projection of everything it reads is unchanged.  [Remove_device]
+    breaks fold associativity, so its statistics are recomputed in full;
+    per-methodology reuse still applies.
+
+    [?previous_stats] supplies the raw statistics of [previous.circuit]
+    (e.g. from a prior {!reestimate_report}), making the stats update
+    O(edit); omitted, they are recomputed.  Runs with [?config] recompute
+    every methodology.  When [?cache] is given (and no config), the new
+    report is stored under the edited circuit's content address. *)

@@ -1,0 +1,64 @@
+(* The canonical, construction-order-independent serialization of a
+   circuit, and its digest -- the structural half of the estimate
+   store's content address.
+
+   Two circuits describing the same schematic must serialize (and so
+   hash) identically however their builders interleaved net creation
+   and device insertion.  Index-dependent state (net indices, device
+   indices, pin arrays of net numbers) is therefore replaced by names:
+   devices, nets and ports are each listed sorted by name (names are
+   unique within a circuit, so the sort is a total order), and device
+   pins reference nets by name in pin-position order (pin positions are
+   structural: swapping a transistor's gate and drain is a different
+   circuit). *)
+
+let add_quoted buf s =
+  Buffer.add_string buf (Printf.sprintf "%S" s)
+
+let add_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  add_line buf "mae-canonical 1";
+  add_line buf "circuit %S technology %S" c.name c.technology;
+  let net_name i = (c.nets.(i) : Net.t).name in
+  let devices =
+    Array.to_list c.devices
+    |> List.sort (fun (a : Device.t) (b : Device.t) ->
+           String.compare a.name b.name)
+  in
+  List.iter
+    (fun (d : Device.t) ->
+      Buffer.add_string buf "device ";
+      add_quoted buf d.name;
+      Buffer.add_string buf " kind ";
+      add_quoted buf d.kind;
+      Buffer.add_string buf " pins";
+      Array.iter
+        (fun n ->
+          Buffer.add_char buf ' ';
+          add_quoted buf (net_name n))
+        d.pins;
+      Buffer.add_char buf '\n')
+    devices;
+  (* every net is listed, connected or not: a floating net is real
+     structure (it contributes to H) and must change the hash *)
+  let nets =
+    Array.to_list c.nets
+    |> List.map (fun (n : Net.t) -> n.name)
+    |> List.sort String.compare
+  in
+  List.iter (fun n -> add_line buf "net %S" n) nets;
+  let ports =
+    Array.to_list c.ports
+    |> List.sort (fun (a : Port.t) (b : Port.t) -> String.compare a.name b.name)
+  in
+  List.iter
+    (fun (p : Port.t) ->
+      add_line buf "port %S %s %S" p.name
+        (Port.direction_to_string p.direction)
+        (net_name p.net))
+    ports;
+  Buffer.contents buf
+
+let digest c = Digest.to_hex (Digest.string (to_string c))

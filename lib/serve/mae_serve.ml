@@ -102,6 +102,17 @@ type config = {
       (** honour a "sleep_s" request field by sleeping before
           estimation -- an overload injector for the serve smoke gate;
           never enable in production *)
+  estimate_cache : bool;
+      (** consult and populate the content-addressed estimate store
+          ({!Mae_db.Cas}); repeats of a request batch are answered from
+          it bit-for-bit *)
+  store_journal : string option;
+      (** append-only journal backing the estimate store: replayed at
+          startup (a restarted daemon answers warm) and appended on
+          every store insert *)
+  store_out : string option;
+      (** {!Mae_db.Store}-format snapshot of the estimate store written
+          at shutdown (the floor-planner feed) *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
 }
 
@@ -120,6 +131,9 @@ let default_config ~registry ~request_addr =
     capture_errored_cap = 32;
     capture_max_spans = 256;
     inject_sleep_field = false;
+    estimate_cache = true;
+    store_journal = None;
+    store_out = None;
     on_ready = (fun ~request_addr:_ ~obs_addr:_ -> ());
   }
 
@@ -173,6 +187,10 @@ type outcome = {
           engine's domain-local accounting (not a before/after of the
           process-global counters, which other batches also move) *)
   cache_misses : int;
+  cached : bool;
+      (** every module of this request was answered from the estimate
+          store (exact: the daemon runs one batch at a time, so the
+          store-counter delta is this request's own traffic) *)
   server_error : bool;
       (** true when the failure is the server's fault (an estimator
           crash), as opposed to a malformed request or bad circuit --
@@ -263,16 +281,16 @@ let module_json = function
       Json.Object
         [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
 
-let estimate_outcome config ?methods ?pool text =
+let estimate_outcome config ?methods ?pool ?cache text =
   match Mae.Driver.string_circuits text with
   | Error e ->
       let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
       ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
-        false, 0, 0, 0, 0, 0, false )
+        false, 0, 0, 0, 0, 0, false, false )
   | Ok circuits -> begin
       match
-        Mae_engine.run_circuits_with_stats ?methods ?pool ~jobs:config.jobs
-          ~registry:config.registry circuits
+        Mae_engine.run_circuits_with_stats ?methods ?pool ?cache
+          ~jobs:config.jobs ~registry:config.registry circuits
       with
       | results, stats ->
           let modules = List.length results in
@@ -298,20 +316,26 @@ let estimate_outcome config ?methods ?pool text =
                 | Error _ -> acc)
               0 results
           in
+          let cached =
+            modules > 0
+            && stats.Mae_engine.store_hits = modules
+            && stats.Mae_engine.store_misses = 0
+          in
           ( [
               ("ok", Json.Bool (modules_ok = modules));
+              ("cached", Json.Bool cached);
               ("modules", Json.Array (List.map module_json results));
             ],
             modules_ok = modules, modules, modules_ok, rows,
             stats.Mae_engine.cache_hits, stats.Mae_engine.cache_misses,
-            crashed )
+            cached, crashed )
       | exception exn ->
           ( [
               ("ok", Json.Bool false);
               ( "error",
                 Json.String ("estimator crashed: " ^ Printexc.to_string exn) );
             ],
-            false, 0, 0, 0, 0, 0, true )
+            false, 0, 0, 0, 0, 0, false, true )
     end
 
 (* The optional "methods" request field: a comma-separated string or an
@@ -342,13 +366,13 @@ let parse_methods doc =
     end
   | Some _ -> Error "\"methods\" must be a string or an array of strings"
 
-let process_request config ?pool ~seq line =
+let process_request config ?pool ?cache ~seq line =
   let client_id, body =
     match Json.parse line with
     | Error e ->
         (Json.Null, ([ ("ok", Json.Bool false);
                        ("error", Json.String ("bad request JSON: " ^ e)) ],
-                     false, 0, 0, 0, 0, 0, false))
+                     false, 0, 0, 0, 0, 0, false, false))
     | Ok doc -> begin
         let id = Option.value (Json.member "id" doc) ~default:Json.Null in
         (* overload injector for the smoke gate: only a config built in
@@ -361,24 +385,24 @@ let process_request config ?pool ~seq line =
         | Error e ->
             (id, ([ ("ok", Json.Bool false);
                     ("error", Json.String ("bad \"methods\": " ^ e)) ],
-                  false, 0, 0, 0, 0, 0, false))
+                  false, 0, 0, 0, 0, 0, false, false))
         | Ok methods -> begin
             match Json.member "hdl" doc with
             | Some (Json.String text) ->
-                (id, estimate_outcome config ?methods ?pool text)
+                (id, estimate_outcome config ?methods ?pool ?cache text)
             | Some _ ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "\"hdl\" must be a string") ],
-                      false, 0, 0, 0, 0, 0, false))
+                      false, 0, 0, 0, 0, 0, false, false))
             | None ->
                 (id, ([ ("ok", Json.Bool false);
                         ("error", Json.String "request needs an \"hdl\" field") ],
-                      false, 0, 0, 0, 0, 0, false))
+                      false, 0, 0, 0, 0, 0, false, false))
           end
       end
   in
   let fields, ok, modules, modules_ok, rows_selected_total, cache_hits,
-      cache_misses, server_error =
+      cache_misses, cached, server_error =
     body
   in
   let response =
@@ -388,7 +412,7 @@ let process_request config ?pool ~seq line =
       @ fields)
   in
   { response; ok; modules; modules_ok; rows_selected_total; cache_hits;
-    cache_misses; server_error }
+    cache_misses; cached; server_error }
 
 (* --- connection bookkeeping --- *)
 
@@ -401,16 +425,31 @@ type conn = {
   peer : string;
 }
 
+(* Write the whole buffer or report failure.  A signal landing mid-frame
+   must not drop the rest of a response (the old catch-all did exactly
+   that), so EINTR retries at the same offset; EAGAIN on a non-blocking
+   peer waits for writability (bounded, so one stuck client cannot hang
+   the daemon forever).  Any other error is a dead peer: false. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
+  (* one write per iteration so a retry resumes at the exact offset the
+     short or interrupted write left off *)
   let rec go off =
-    if off < n then begin
-      let w = Unix.write fd b off (n - off) in
-      go (off + w)
-    end
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+          match Unix.select [] [ fd ] [] 30.0 with
+          | _, [ _ ], _ -> go off
+          | _ -> false (* writability never came: give up on the peer *)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error _ -> false)
+      | exception Unix.Unix_error _ -> false
   in
-  match go 0 with () -> true | exception Unix.Unix_error _ -> false
+  go 0
 
 (* --- the HTTP/1.0 observability plane --- *)
 
@@ -434,6 +473,7 @@ type state = {
   pool : Mae_engine.Pool.t option;
       (** persistent worker domains when [config.jobs >= 2]: spawned
           once at startup so per-request batches skip domain creation *)
+  cas : Mae_db.Cas.t option;  (** the estimate store, when enabled *)
   mutable draining : bool;
   mutable conns : conn list;
   mutable next_seq : int;
@@ -749,7 +789,7 @@ let answer_line st conn line =
   let t0 = Mae_obs.Clock.monotonic () in
   let outcome =
     Mae_obs.Span.with_ ~name:"serve.request" ~attrs:[ ("rid", rid) ] (fun () ->
-        process_request st.config ?pool:st.pool ~seq line)
+        process_request st.config ?pool:st.pool ?cache:st.cas ~seq line)
   in
   let latency = Mae_obs.Clock.monotonic () -. t0 in
   Metrics.observe request_latency latency;
@@ -785,6 +825,7 @@ let answer_line st conn line =
       ("gc_s", Log.Float gc_s);
       ("cache_hits", Log.Int outcome.cache_hits);
       ("cache_misses", Log.Int outcome.cache_misses);
+      ("cached", Log.Bool outcome.cached);
       ("bytes_in", Log.Int (String.length line));
     ];
   ignore (write_all conn.fd (Json.encode outcome.response ^ "\n"))
@@ -903,6 +944,9 @@ let accept_conn st listener kind =
             Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX _ -> "unix"
       in
+      (* non-blocking so the read loop can drain the socket fully and
+         stop exactly at EAGAIN instead of risking a block *)
+      (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
       let conn = { fd; kind; rbuf = Buffer.create 512; peer } in
       st.conns <- conn :: st.conns;
       if kind = Request_plane then begin
@@ -926,15 +970,32 @@ let http_request_complete raw =
 
 let service_readable st conn =
   let chunk = Bytes.create 65536 in
-  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-  | 0 ->
+  (* Loop on short reads: the socket is non-blocking, so keep reading
+     until EAGAIN (a partial chunk is taken as "drained" too -- anything
+     left wakes the next select) and retry EINTR at the same spot rather
+     than dropping the wakeup.  The old single-shot read serviced at
+     most 64 KiB per select round and treated a signal as "no data". *)
+  let rec fill total =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n ->
+        Buffer.add_subbytes conn.rbuf chunk 0 n;
+        if n = Bytes.length chunk then fill (total + n) else `Data (total + n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill total
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if total = 0 then `Nothing else `Data total
+    | exception Unix.Unix_error _ -> `Err
+  in
+  match fill 0 with
+  | `Nothing -> ()
+  | `Err -> close_conn st conn
+  | `Eof ->
       (* EOF: answer whatever complete lines are already buffered, then
          close.  (A client that shut down only its write side still
          reads its last responses.) *)
       if conn.kind = Request_plane then drain_complete_lines st conn;
       close_conn st conn
-  | n -> begin
-      Buffer.add_subbytes conn.rbuf chunk 0 n;
+  | `Data _ -> begin
       match conn.kind with
       | Request_plane ->
           if Buffer.length conn.rbuf > st.config.max_line_bytes then begin
@@ -960,10 +1021,6 @@ let service_readable st conn =
             close_conn st conn
           end
     end
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    ->
-      ()
-  | exception Unix.Unix_error _ -> close_conn st conn
 
 let final_flush st =
   let reqs = Metrics.counter_value requests_total in
@@ -1065,12 +1122,36 @@ let run (config : config) =
           Mae_obs.Capture.configure ~slow_k:config.capture_slow_k
             ~errored_cap:config.capture_errored_cap
             ~max_spans:config.capture_max_spans ();
+          let cas =
+            if config.estimate_cache then begin
+              let cas = Mae_db.Cas.create () in
+              (match config.store_journal with
+              | None -> ()
+              | Some path -> (
+                  match Mae_db.Cas.open_journal cas ~path with
+                  | Ok (loaded, skipped) ->
+                      Log.info ~event:"serve.store_warm"
+                        [
+                          ("journal", Log.Str path);
+                          ("loaded", Log.Int loaded);
+                          ("skipped", Log.Int skipped);
+                        ]
+                  | Error e ->
+                      (* estimation must not die with the journal; run
+                         cold and say so loudly *)
+                      Log.error ~event:"serve.store_journal_failed"
+                        [ ("journal", Log.Str path); ("error", Log.Str e) ]));
+              Some cas
+            end
+            else None
+          in
           let st =
             {
               config;
               started = Unix.gettimeofday ();
               started_mono = Mae_obs.Clock.monotonic ();
               pool;
+              cas;
               draining = false;
               conns = [];
               next_seq = 1;
@@ -1136,6 +1217,20 @@ let run (config : config) =
           unlink_unix_addr config.request_addr;
           Option.iter unlink_unix_addr config.obs_addr;
           Option.iter Mae_engine.Pool.shutdown st.pool;
+          (match st.cas with
+          | None -> ()
+          | Some cas ->
+              (match config.store_out with
+              | None -> ()
+              | Some path -> (
+                  match Mae_db.Store.save (Mae_db.Cas.to_store cas) ~path with
+                  | Ok () ->
+                      Log.info ~event:"serve.store_flush"
+                        [ ("store", Log.Str path) ]
+                  | Error e ->
+                      Log.error ~event:"serve.flush_failed"
+                        [ ("artifact", Log.Str "store"); ("error", Log.Str e) ]));
+              Mae_db.Cas.close_journal cas);
           (* join the sampler and drain the cursor before the trace
              flush so the export carries the last GC windows *)
           Mae_obs.Runtime.stop ();

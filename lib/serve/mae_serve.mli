@@ -89,6 +89,20 @@ type config = {
   inject_sleep_field : bool;
       (** honor a ["sleep_s"] request field (test-only overload
           injection; never exposed on the CLI) *)
+  estimate_cache : bool;
+      (** consult and populate the content-addressed estimate store
+          ({!Mae_db.Cas}): a repeated request batch is answered from the
+          store bit-for-bit and its response carries ["cached": true].
+          Hits and misses count into
+          [mae_estimate_cache_{hits,misses}_total]. *)
+  store_journal : string option;
+      (** append-only journal backing the estimate store, replayed at
+          startup so a restarted daemon answers warm; every store insert
+          appends.  A replay failure logs [serve.store_journal_failed]
+          and the daemon runs cold rather than refusing to start. *)
+  store_out : string option;
+      (** {!Mae_db.Store}-format snapshot of the estimate store written
+          at shutdown (a floor-planner feed) *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
       (** called once both listeners are bound, with kernel-assigned
           ports resolved *)
@@ -98,7 +112,8 @@ val default_config :
   registry:Mae_tech.Registry.t -> request_addr:addr -> config
 (** [jobs = 1], no obs plane, no dumps, 8 MiB line cap, 4096-span
     retention, {!default_slo}, capture 8 slow / 32 errored / 256 spans,
-    no sleep injection, no-op [on_ready]. *)
+    no sleep injection, estimate store on (no journal, no snapshot),
+    no-op [on_ready]. *)
 
 val run : config -> (unit, string) result
 (** Serve until SIGINT/SIGTERM, then drain and flush.  [Error] means

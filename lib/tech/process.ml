@@ -75,6 +75,27 @@ let with_devices t devices =
   check_unique_names devices;
   { t with devices; device_index = index_of_devices devices }
 
+let fingerprint t =
+  (* Every numeric parameter is rendered as a hex float (%h): exact,
+     locale-independent, and distinct for distinct bit patterns.  Kinds
+     are listed sorted by name so two processes built from the same set
+     in different orders fingerprint equal. *)
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "mae-process 1\nname %S\nlambda %h\nrow_height %h\ntrack_pitch %h\n\
+     feed_through_width %h\nport_pitch %h\nmin_spacing %h\n"
+    t.name t.lambda_microns t.row_height t.track_pitch t.feed_through_width
+    t.port_pitch t.min_spacing;
+  List.iter
+    (fun (k : Device_kind.t) ->
+      Printf.bprintf buf "device %S %s %h %h\n" k.name
+        (Device_kind.category_to_string k.category)
+        k.width k.height)
+    (List.sort
+       (fun (a : Device_kind.t) b -> String.compare a.name b.name)
+       t.devices);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>process %s (lambda=%.2fum, row=%.0fL, track=%.0fL, feed=%.0fL,@ \

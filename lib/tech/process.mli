@@ -53,4 +53,11 @@ val device_area : t -> string -> Mae_geom.Lambda.area option
 val with_devices : t -> Device_kind.t list -> t
 (** Replace the device table (used when a cell library contributes kinds). *)
 
+val fingerprint : t -> string
+(** Hex digest of every parameter that can influence an estimate: the
+    scalar extents (rendered as exact hex floats) plus each device
+    kind's name, category and geometry, sorted by kind name.  The
+    estimate store folds this into its keys, so retuning a process
+    invalidates stored results by construction. *)
+
 val pp : Format.formatter -> t -> unit

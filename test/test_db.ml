@@ -9,7 +9,7 @@ let report () =
 let record_of_report_exn r =
   match Mae_db.Record.of_report r with
   | Ok record -> record
-  | Error msg -> Alcotest.failf "of_report: %s" msg
+  | Error msg -> Alcotest.failf "of_report: %s" (Mae_db.Record.of_report_error_to_string msg)
 
 let test_record_of_report () =
   let r = report () in
@@ -106,6 +106,256 @@ let test_store_file_io () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected IO error"
 
+(* --- satellite: round-trip fidelity for names the old tokenizer
+   corrupted (spaces split one name into many tokens) and for keyword
+   collisions ("record", "end") --- *)
+
+let roundtrip_one (record : Mae_db.Record.t) =
+  let store = Mae_db.Store.create () in
+  Mae_db.Store.add store record;
+  match Mae_db.Store.of_string (Mae_db.Store.to_string store) with
+  | Error e -> Alcotest.failf "parse failed for %S: %s" record.module_name e
+  | Ok store' -> begin
+      match Mae_db.Store.records store' with
+      | [ r ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round trip of %S/%S" record.module_name
+               record.technology)
+            true
+            (Mae_db.Record.equal record r);
+          r
+      | rs ->
+          Alcotest.failf "expected 1 record for %S, got %d" record.module_name
+            (List.length rs)
+    end
+
+let test_store_adversarial_names () =
+  let base = record_of_report_exn (report ()) in
+  let names =
+    [
+      "two words";
+      "record";
+      "end";
+      "technology nmos";
+      "has\"quote";
+      "back\\slash";
+      "tab\there";
+      " leading";
+      "trailing ";
+      "";
+      "\"quoted\"";
+    ]
+  in
+  List.iter
+    (fun n ->
+      ignore (roundtrip_one { base with module_name = n });
+      ignore (roundtrip_one { base with technology = n }))
+    names
+
+let test_store_extreme_floats () =
+  let base = record_of_report_exn (report ()) in
+  let bits = Int64.bits_of_float in
+  let extremes =
+    [ -0.0; Float.min_float; Float.max_float; 4.9e-324; 1e-300; 3.5 ]
+  in
+  List.iter
+    (fun x ->
+      let record =
+        {
+          base with
+          sc_width = x;
+          sc_area = x;
+          fc_exact_area = x;
+          shapes = [ (x, 1.0); (2.0, x) ];
+        }
+      in
+      let r = roundtrip_one record in
+      (* Record.equal treats -0.0 = 0.0; the store must be stricter and
+         give the bits back untouched *)
+      Alcotest.(check int64)
+        (Printf.sprintf "sc_width bits of %h" x)
+        (bits record.sc_width) (bits r.sc_width);
+      Alcotest.(check int64)
+        (Printf.sprintf "fc_exact_area bits of %h" x)
+        (bits record.fc_exact_area)
+        (bits r.fc_exact_area);
+      List.iter2
+        (fun (w, h) (w', h') ->
+          Alcotest.(check int64) "shape width bits" (bits w) (bits w');
+          Alcotest.(check int64) "shape height bits" (bits h) (bits h'))
+        record.shapes r.shapes)
+    extremes
+
+(* --- satellite: non-finite estimates must be a typed refusal, not a
+   silent poison pill in the floor-planner feed --- *)
+
+let patch_fullcustom_area value (r : Mae.Driver.module_report) =
+  let results =
+    List.map
+      (fun (mr : Mae.Driver.method_result) ->
+        match mr.outcome with
+        | Ok (Mae.Methodology.Fullcustom fc) ->
+            {
+              mr with
+              outcome = Ok (Mae.Methodology.Fullcustom { fc with area = value });
+            }
+        | _ -> mr)
+      r.results
+  in
+  { r with results }
+
+let test_of_report_rejects_non_finite () =
+  List.iter
+    (fun bad ->
+      match Mae_db.Record.of_report (patch_fullcustom_area bad (report ())) with
+      | Ok _ -> Alcotest.failf "of_report accepted %h" bad
+      | Error (Mae_db.Record.Non_finite { module_name; field; value }) ->
+          Alcotest.(check string) "module" "full_adder" module_name;
+          Alcotest.(check bool)
+            (Printf.sprintf "field %s names a full-custom area" field)
+            true
+            (String.length field > 0);
+          Alcotest.(check bool) "value echoed" true
+            (Float.is_nan bad = Float.is_nan value
+            && (Float.is_nan bad || bad = value))
+      | Error e ->
+          Alcotest.failf "wrong error: %s"
+            (Mae_db.Record.of_report_error_to_string e))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_record_equal_nan_reflexive () =
+  let base = record_of_report_exn (report ()) in
+  let r = { base with sc_area = Float.nan; shapes = [ (Float.nan, 1.0) ] } in
+  Alcotest.(check bool) "equal r r with nans" true (Mae_db.Record.equal r r);
+  Alcotest.(check bool) "nan <> 0" false
+    (Mae_db.Record.equal r { r with sc_area = 0.0 })
+
+let test_store_parse_rejects_non_finite () =
+  let expect_error text =
+    match Mae_db.Store.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted non-finite in %S" text
+  in
+  List.iter
+    (fun tok ->
+      expect_error
+        (Printf.sprintf
+           "record \"m\"\ntechnology \"t\"\ncounts 1 1 1\nstdcell 0 0 0 %s 1 \
+            1 1\nend\n"
+           tok);
+      expect_error
+        (Printf.sprintf
+           "record \"m\"\ntechnology \"t\"\ncounts 1 1 1\nshape %s 2\nend\n" tok))
+    [ "nan"; "inf"; "infinity"; "-inf" ]
+
+(* --- tentpole: content-addressed estimate store --- *)
+
+let process () = Mae_tech.Registry.find_exn (Mae_tech.Registry.create ()) "nmos25"
+
+let report_bits (r : Mae.Driver.module_report) =
+  List.concat_map
+    (fun (mr : Mae.Driver.method_result) ->
+      let name = Mae.Methodology.name mr.methodology in
+      match mr.outcome with
+      | Ok o ->
+          let d = Mae.Methodology.dims o in
+          [
+            (name ^ ".area", Int64.bits_of_float d.area);
+            (name ^ ".width", Int64.bits_of_float d.width);
+            (name ^ ".height", Int64.bits_of_float d.height);
+          ]
+      | Error e ->
+          [ (name ^ ".error:" ^ Mae.Methodology.error_to_string e, 0L) ])
+    r.results
+
+let test_cas_hit_returns_same_report () =
+  let cas = Mae_db.Cas.create () in
+  let r = report () in
+  let key = Mae_db.Cas.key ~process:(process ()) S.full_adder in
+  Alcotest.(check bool) "cold miss" true
+    (Option.is_none
+       (Mae_db.Cas.find cas ~key ~circuit:S.full_adder ~process:(process ())));
+  Mae_db.Cas.store cas ~key r;
+  match Mae_db.Cas.find cas ~key ~circuit:S.full_adder ~process:(process ()) with
+  | None -> Alcotest.fail "stored entry not found"
+  | Some r' ->
+      Alcotest.(check (list (pair string int64)))
+        "hit is bit-for-bit" (report_bits r) (report_bits r')
+
+let test_cas_journal_roundtrip () =
+  let path = Filename.temp_file "mae_cas" ".journal" in
+  let r = report () in
+  let key = Mae_db.Cas.key ~process:(process ()) S.full_adder in
+  let cas1 = Mae_db.Cas.create () in
+  begin
+    match Mae_db.Cas.open_journal cas1 ~path with
+    | Ok (0, 0) -> ()
+    | Ok (l, s) -> Alcotest.failf "fresh journal loaded %d skipped %d" l s
+    | Error e -> Alcotest.failf "open_journal: %s" e
+  end;
+  Mae_db.Cas.store cas1 ~key r;
+  Mae_db.Cas.close_journal cas1;
+  (* a restarted process replays the journal and answers warm *)
+  let cas2 = Mae_db.Cas.create () in
+  begin
+    match Mae_db.Cas.open_journal cas2 ~path with
+    | Ok (1, 0) -> ()
+    | Ok (l, s) -> Alcotest.failf "replay loaded %d skipped %d" l s
+    | Error e -> Alcotest.failf "replay open_journal: %s" e
+  end;
+  Alcotest.(check int) "one warm entry" 1 (Mae_db.Cas.warm_pending cas2);
+  begin
+    match
+      Mae_db.Cas.find cas2 ~key ~circuit:S.full_adder ~process:(process ())
+    with
+    | None -> Alcotest.fail "warm entry not found"
+    | Some r' ->
+        Alcotest.(check (list (pair string int64)))
+          "journal replay is bit-for-bit" (report_bits r) (report_bits r')
+  end;
+  (* a torn tail (crash mid-append) skips, resyncs, and keeps serving *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "entry deadbeef\nmodule \"torn\"";
+  close_out oc;
+  let cas3 = Mae_db.Cas.create () in
+  begin
+    match Mae_db.Cas.open_journal cas3 ~path with
+    | Ok (1, 1) -> ()
+    | Ok (l, s) ->
+        Alcotest.failf "torn tail: loaded %d skipped %d (want 1 1)" l s
+    | Error e -> Alcotest.failf "torn-tail open_journal: %s" e
+  end;
+  Mae_db.Cas.close_journal cas3;
+  Sys.remove path
+
+let test_cas_version_bump_invalidates () =
+  let cas = Mae_db.Cas.create () in
+  let r = report () in
+  let p = process () in
+  let key = Mae_db.Cas.key ~process:p S.full_adder in
+  Mae_db.Cas.store cas ~key r;
+  Mae.Methodology.bump_registry_epoch ();
+  let key' = Mae_db.Cas.key ~process:p S.full_adder in
+  Alcotest.(check bool) "epoch bump changes every key" false
+    (String.equal key key');
+  Alcotest.(check bool) "old entry never looked up again" true
+    (Option.is_none
+       (Mae_db.Cas.find cas ~key:key' ~circuit:S.full_adder ~process:p));
+  (* the process fingerprint is in the key too *)
+  let retuned =
+    Mae_tech.Process.make ~name:p.name
+      ~lambda_microns:(p.lambda_microns *. 2.)
+      ~row_height:p.row_height ~track_pitch:p.track_pitch
+      ~feed_through_width:p.feed_through_width ~port_pitch:p.port_pitch
+      ~min_spacing:p.min_spacing ~devices:p.devices
+  in
+  Alcotest.(check bool) "retuned process changes the key" false
+    (String.equal key' (Mae_db.Cas.key ~process:retuned S.full_adder));
+  (* and so is the method set *)
+  Alcotest.(check bool) "method set changes the key" false
+    (String.equal key'
+       (Mae_db.Cas.key ~methods:[ "stdcell" ] ~process:p S.full_adder))
+
 let fuzz_props =
   let open QCheck2.Gen in
   let soup =
@@ -116,9 +366,54 @@ let fuzz_props =
               "counts x y z"; "shape 1 2"; "shape -"; "stdcell 1 2 3 4 5 6 7";
               "fullcustom 1 2 3 4"; "garbage"; "" ]))
   in
+  let base = lazy (record_of_report_exn (report ())) in
+  let name_gen =
+    (* anything a netlist name could carry: spaces, quotes, backslashes,
+       keywords, control characters *)
+    let open QCheck2.Gen in
+    oneof
+      [
+        string_size ~gen:printable (int_range 0 12);
+        string_size ~gen:(char_range '\000' '\255') (int_range 0 8);
+        oneofl [ "record"; "end"; "two words"; "a\"b"; "c\\d"; "" ];
+      ]
+  in
+  let float_gen =
+    let open QCheck2.Gen in
+    oneof
+      [
+        float;
+        oneofl
+          [ 0.0; -0.0; Float.min_float; Float.max_float; 4.9e-324; -1e308 ];
+      ]
+  in
   [
     Mae_test_support.Support.qtest ~count:300 "store parser total" soup
       (fun text -> match Mae_db.Store.of_string text with Ok _ | Error _ -> true);
+    Mae_test_support.Support.qtest ~count:300
+      "store round-trips adversarial names and extreme floats"
+      QCheck2.Gen.(tup3 name_gen name_gen (list_size (int_range 0 4) float_gen))
+      (fun (name, tech, floats) ->
+        let record =
+          {
+            (Lazy.force base) with
+            module_name = name;
+            technology = tech;
+            sc_area =
+              (match floats with x :: _ when Float.is_finite x -> x | _ -> 1.0);
+            shapes = List.map (fun x -> (Float.abs x, 1.0))
+                (List.filter Float.is_finite floats);
+          }
+        in
+        let store = Mae_db.Store.create () in
+        Mae_db.Store.add store record;
+        match Mae_db.Store.of_string (Mae_db.Store.to_string store) with
+        | Error _ -> false
+        | Ok store' -> begin
+            match Mae_db.Store.records store' with
+            | [ r ] -> Mae_db.Record.equal record r
+            | _ -> false
+          end);
   ]
 
 let () =
@@ -129,6 +424,10 @@ let () =
           Alcotest.test_case "of_report" `Quick test_record_of_report;
           Alcotest.test_case "of_report needs default methods" `Quick
             test_record_needs_default_methods;
+          Alcotest.test_case "of_report rejects non-finite" `Quick
+            test_of_report_rejects_non_finite;
+          Alcotest.test_case "equal is nan-reflexive" `Quick
+            test_record_equal_nan_reflexive;
         ] );
       ( "store",
         [
@@ -136,6 +435,21 @@ let () =
           Alcotest.test_case "replace" `Quick test_store_replaces;
           Alcotest.test_case "parse errors" `Quick test_store_parse_errors;
           Alcotest.test_case "file io" `Quick test_store_file_io;
+          Alcotest.test_case "adversarial names round trip" `Quick
+            test_store_adversarial_names;
+          Alcotest.test_case "extreme floats round trip bit-for-bit" `Quick
+            test_store_extreme_floats;
+          Alcotest.test_case "parser rejects non-finite text" `Quick
+            test_store_parse_rejects_non_finite;
+        ] );
+      ( "cas",
+        [
+          Alcotest.test_case "hit returns the stored report" `Quick
+            test_cas_hit_returns_same_report;
+          Alcotest.test_case "journal warm round trip" `Quick
+            test_cas_journal_roundtrip;
+          Alcotest.test_case "version bump invalidates" `Quick
+            test_cas_version_bump_invalidates;
         ] );
       ("fuzz", fuzz_props);
     ]

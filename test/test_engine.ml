@@ -182,6 +182,204 @@ let test_stats () =
     "repeated kernels hit the cache" true
     (stats.Mae_engine.cache_hits > 0)
 
+(* --- the content-addressed estimate store through the engine --- *)
+
+let test_estimate_store_hits () =
+  let batch = random_batch ~first_seed:3000 6 in
+  let cache = Mae_db.Cas.create () in
+  let cold, cold_stats =
+    Mae_engine.run_circuits_with_stats ~jobs:1 ~cache ~registry batch
+  in
+  Alcotest.(check int) "cold run misses every module" 6
+    cold_stats.Mae_engine.store_misses;
+  Alcotest.(check int) "cold run has no hits" 0
+    cold_stats.Mae_engine.store_hits;
+  let warm, warm_stats =
+    Mae_engine.run_circuits_with_stats ~jobs:1 ~cache ~registry batch
+  in
+  Alcotest.(check int) "warm run hits every module" 6
+    warm_stats.Mae_engine.store_hits;
+  Alcotest.(check int) "warm run misses nothing" 0
+    warm_stats.Mae_engine.store_misses;
+  Alcotest.check digests "warm answers are bit-for-bit the cold ones"
+    (List.map result_digest cold)
+    (List.map result_digest warm);
+  (* an explicit config changes results, so it must bypass the store *)
+  let config = { Mae.Config.default with two_component_free = false } in
+  let _, bypass =
+    Mae_engine.run_circuits_with_stats ~jobs:1 ~cache ~config ~registry batch
+  in
+  Alcotest.(check int) "config bypasses the store" 0
+    (bypass.Mae_engine.store_hits + bypass.Mae_engine.store_misses)
+
+(* --- incremental re-estimation: the delta path must be bit-for-bit the
+   full recomputation --- *)
+
+let previous_of circuit =
+  match Mae.Driver.run_circuit ~registry circuit with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "driver: %a" (fun ppf -> Mae.Driver.pp_error ppf) e
+
+let check_reestimate ?(expect_incremental = true) name circuit edit =
+  let previous = previous_of circuit in
+  match Mae_engine.reestimate ~registry ~previous edit with
+  | Error e -> Alcotest.failf "%s: reestimate: %a" name Mae_engine.pp_error e
+  | Ok rr ->
+      let edited =
+        match Mae_engine.apply_edit circuit edit with
+        | Ok c -> c
+        | Error msg -> Alcotest.failf "%s: apply_edit: %s" name msg
+      in
+      let full = previous_of edited in
+      Alcotest.check digests
+        (name ^ ": delta = full recomputation, bit for bit")
+        [ result_digest (Ok full) ]
+        [ result_digest (Ok rr.Mae_engine.report) ];
+      Alcotest.(check bool)
+        (name ^ ": stats updated incrementally")
+        expect_incremental rr.Mae_engine.stats_incremental;
+      Alcotest.(check bool)
+        (name ^ ": incremental stats match a fresh compute")
+        true
+        (Mae_netlist.Stats.equal rr.Mae_engine.stats
+           (Mae_netlist.Stats.compute edited full.Mae.Driver.process));
+      rr
+
+let test_reestimate_add_device () =
+  List.iter
+    (fun circuit ->
+      List.iter
+        (fun (name, edit) -> ignore (check_reestimate name circuit edit))
+        [
+          ( "add_device new net",
+            Mae_engine.Add_device
+              { name = "zz_new"; kind = "inv"; nets = [ "zz_net" ] } );
+          ( "add_device existing nets",
+            Mae_engine.Add_device
+              {
+                name = "zz_tap";
+                kind = "nand2";
+                nets =
+                  [
+                    circuit.Mae_netlist.Circuit.nets.(0).Mae_netlist.Net.name;
+                    circuit.Mae_netlist.Circuit.nets.(1).Mae_netlist.Net.name;
+                    circuit.Mae_netlist.Circuit.nets.(0).Mae_netlist.Net.name;
+                  ];
+              } );
+        ])
+    (random_batch ~first_seed:4000 3)
+
+let test_reestimate_nets_and_removal () =
+  let circuit = List.hd (random_batch ~first_seed:4100 1) in
+  let rr =
+    check_reestimate "add floating net" circuit
+      (Mae_engine.Add_net { name = "zz_float" })
+  in
+  (* adding a floating net changes no estimator input except the net
+     count: the structured methodologies are all reused *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "add_net reuses %s" m)
+        true
+        (List.mem m rr.Mae_engine.reused))
+    [ "stdcell"; "fullcustom-exact"; "fullcustom-average" ];
+  (* removing it again: first apply the add, then re-estimate the remove *)
+  let grown =
+    match
+      Mae_engine.apply_edit circuit (Mae_engine.Add_net { name = "zz_float" })
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "grow: %s" msg
+  in
+  ignore
+    (check_reestimate "remove floating net" grown
+       (Mae_engine.Remove_net { name = "zz_float" }));
+  (* device removal breaks fold associativity: full stats recompute,
+     same bit-for-bit contract *)
+  let victim = circuit.Mae_netlist.Circuit.devices.(2).Mae_netlist.Device.name in
+  ignore
+    (check_reestimate ~expect_incremental:false "remove device" circuit
+       (Mae_engine.Remove_device { name = victim }))
+
+let test_reestimate_chained_stats () =
+  (* ?previous_stats makes chaining O(edit): feed each report's stats
+     into the next call and stay bit-for-bit *)
+  let circuit = List.hd (random_batch ~first_seed:4200 1) in
+  let previous = previous_of circuit in
+  let e1 = Mae_engine.Add_net { name = "chain_a" } in
+  let rr1 =
+    match Mae_engine.reestimate ~registry ~previous e1 with
+    | Ok rr -> rr
+    | Error e -> Alcotest.failf "chain 1: %a" Mae_engine.pp_error e
+  in
+  let e2 =
+    Mae_engine.Add_device
+      { name = "chain_dev"; kind = "inv"; nets = [ "chain_a" ] }
+  in
+  let rr2 =
+    match
+      Mae_engine.reestimate ~registry ~previous:rr1.Mae_engine.report
+        ~previous_stats:rr1.Mae_engine.stats e2
+    with
+    | Ok rr -> rr
+    | Error e -> Alcotest.failf "chain 2: %a" Mae_engine.pp_error e
+  in
+  let full =
+    let c1 = Result.get_ok (Mae_engine.apply_edit circuit e1) in
+    previous_of (Result.get_ok (Mae_engine.apply_edit c1 e2))
+  in
+  Alcotest.check digests "chained deltas = full, bit for bit"
+    [ result_digest (Ok full) ]
+    [ result_digest (Ok rr2.Mae_engine.report) ]
+
+let test_apply_edit_errors () =
+  let circuit = S.tiny () in
+  let expect_err name edit =
+    match Mae_engine.apply_edit circuit edit with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected apply_edit to refuse" name
+  in
+  expect_err "duplicate device"
+    (Mae_engine.Add_device { name = "i1"; kind = "inv"; nets = [ "a" ] });
+  expect_err "no pins" (Mae_engine.Add_device { name = "x"; kind = "inv"; nets = [] });
+  expect_err "missing device" (Mae_engine.Remove_device { name = "ghost" });
+  expect_err "existing net" (Mae_engine.Add_net { name = "m" });
+  expect_err "missing net" (Mae_engine.Remove_net { name = "ghost" });
+  expect_err "connected net" (Mae_engine.Remove_net { name = "m" });
+  (* net "a" has degree 1 via i1 and is port-bound: both refusals *)
+  expect_err "port-bound net" (Mae_engine.Remove_net { name = "a" });
+  (* and reestimate surfaces the refusal as a typed error *)
+  let previous = previous_of circuit in
+  match
+    Mae_engine.reestimate ~registry ~previous
+      (Mae_engine.Remove_device { name = "ghost" })
+  with
+  | Error (Mae_engine.Invalid_edit { module_name; _ }) ->
+      Alcotest.(check string) "typed error names the module" "tiny" module_name
+  | Error e -> Alcotest.failf "wrong error: %a" Mae_engine.pp_error e
+  | Ok _ -> Alcotest.fail "expected Invalid_edit"
+
+let test_stats_delta_equals_compute () =
+  let process = Mae_tech.Registry.find_exn registry "nmos25" in
+  List.iter
+    (fun circuit ->
+      let stats = Mae_netlist.Stats.compute circuit process in
+      let edit =
+        Mae_engine.Add_device { name = "zz"; kind = "inv"; nets = [ "zz_n" ] }
+      in
+      let grown = Result.get_ok (Mae_engine.apply_edit circuit edit) in
+      let kind = Option.get (Mae_tech.Process.find_device process "inv") in
+      let delta =
+        Mae_netlist.Stats.add_device_delta stats ~kind
+          ~net_count:(Mae_netlist.Circuit.net_count grown)
+          ~net_transitions:[ (0, 1) ]
+      in
+      Alcotest.(check bool) "delta = compute, bitwise" true
+        (Mae_netlist.Stats.equal delta
+           (Mae_netlist.Stats.compute grown process)))
+    (random_batch ~first_seed:4300 4)
+
 let () =
   Alcotest.run "engine"
     [
@@ -195,5 +393,22 @@ let () =
           Alcotest.test_case "pool reuse is deterministic" `Slow
             test_pool_reuse_deterministic;
           Alcotest.test_case "batch stats" `Quick test_stats;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "repeat batch answers from the store" `Quick
+            test_estimate_store_hits;
+        ] );
+      ( "reestimate",
+        [
+          Alcotest.test_case "add_device delta = full" `Quick
+            test_reestimate_add_device;
+          Alcotest.test_case "net edits and removal delta = full" `Quick
+            test_reestimate_nets_and_removal;
+          Alcotest.test_case "chained previous_stats stays exact" `Quick
+            test_reestimate_chained_stats;
+          Alcotest.test_case "edit validation" `Quick test_apply_edit_errors;
+          Alcotest.test_case "stats delta = compute" `Quick
+            test_stats_delta_equals_compute;
         ] );
     ]

@@ -300,7 +300,7 @@ let chip_store () =
       | Ok r -> begin
           match Mae_db.Record.of_report r with
           | Ok record -> Mae_db.Store.add store record
-          | Error msg -> Alcotest.failf "of_report: %s" msg
+          | Error msg -> Alcotest.failf "of_report: %s" (Mae_db.Record.of_report_error_to_string msg)
         end
       | Error _ -> Alcotest.fail "driver failed")
     [ S.counter8; S.full_adder; Mae_workload.Generators.decoder 3 ];

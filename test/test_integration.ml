@@ -152,7 +152,7 @@ let test_figure1_pipeline () =
         (fun r ->
           match Mae_db.Record.of_report r with
           | Ok record -> Mae_db.Store.add store record
-          | Error msg -> Alcotest.failf "of_report: %s" msg)
+          | Error msg -> Alcotest.failf "of_report: %s" (Mae_db.Record.of_report_error_to_string msg))
         reports;
       (* feed the stored shapes to the floor planner *)
       let shapes =

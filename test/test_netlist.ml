@@ -190,6 +190,94 @@ let props =
             && stats.average_width <= last +. 1e-9);
   ]
 
+(* --- canonicalization: the estimate store's keying property --- *)
+
+(* Rebuild [c] with nets, devices and ports entered in a shuffled order:
+   structurally identical, construction-order different. *)
+let rebuild_permuted ~rng (c : Circuit.t) =
+  let b = Builder.create ~name:c.name ~technology:c.technology in
+  let shuffled a =
+    let a = Array.copy a in
+    Mae_prob.Rng.shuffle rng a;
+    a
+  in
+  Array.iter
+    (fun (n : Net.t) -> ignore (Builder.net b n.name))
+    (shuffled c.nets);
+  Array.iter
+    (fun (d : Device.t) ->
+      ignore
+        (Builder.add_device b ~name:d.name ~kind:d.kind
+           ~nets:
+             (Array.to_list (Array.map (fun i -> c.nets.(i).Net.name) d.pins))))
+    (shuffled c.devices);
+  Array.iter
+    (fun (p : Port.t) ->
+      Builder.add_port b ~name:p.name ~direction:p.direction
+        ~net:c.nets.(p.net).Net.name)
+    (shuffled c.ports);
+  Builder.build b
+
+let random_circuit seed =
+  Mae_workload.Random_circuit.generate
+    ~name:(Printf.sprintf "canon%d" seed)
+    ~rng:(S.rng seed)
+    { Mae_workload.Random_circuit.default_params with devices = 30 }
+
+let canonical_props =
+  let open QCheck2.Gen in
+  [
+    S.qtest ~count:100 "construction order does not change the digest"
+      (pair int int)
+      (fun (seed, perm_seed) ->
+        let c = random_circuit (abs seed mod 1000) in
+        let c' = rebuild_permuted ~rng:(S.rng perm_seed) c in
+        String.equal (Canonical.digest c) (Canonical.digest c'));
+    S.qtest ~count:100 "structural mutations change the digest" (pair int int)
+      (fun (seed, which) ->
+        let c = random_circuit (abs seed mod 1000) in
+        let d = Canonical.digest c in
+        let mutated =
+          match abs which mod 4 with
+          | 0 -> Mae_workload.Mutate.add_device c ~kind:"inv" ~nets:[ "n0" ]
+          | 1 ->
+              Mae_workload.Mutate.drop_device c
+                ~index:(abs which mod Circuit.device_count c)
+          | 2 -> Mae_workload.Mutate.duplicate c
+          | _ ->
+              Mae_workload.Mutate.widen_net c
+                ~net:c.nets.(abs seed mod Circuit.net_count c).Net.name
+                ~extra:1 ~kind:"inv"
+        in
+        not (String.equal d (Canonical.digest mutated)));
+  ]
+
+let test_canonical_is_structural () =
+  (* two independently built but identical tiny circuits *)
+  let a = S.tiny () and b = S.tiny () in
+  Alcotest.(check string) "same structure, same digest" (Canonical.digest a)
+    (Canonical.digest b);
+  (* entering nets in the opposite order changes nothing *)
+  let b2 = Builder.create ~name:"tiny" ~technology:"nmos25" in
+  ignore (Builder.net b2 "y");
+  ignore (Builder.net b2 "m");
+  ignore (Builder.net b2 "a");
+  ignore (Builder.add_device b2 ~name:"i2" ~kind:"inv" ~nets:[ "m"; "y" ]);
+  ignore (Builder.add_device b2 ~name:"i1" ~kind:"inv" ~nets:[ "a"; "m" ]);
+  Builder.add_port b2 ~name:"y" ~direction:Port.Output ~net:"y";
+  Builder.add_port b2 ~name:"a" ~direction:Port.Input ~net:"a";
+  Alcotest.(check string) "reversed construction, same digest"
+    (Canonical.digest a)
+    (Canonical.digest (Builder.build b2));
+  (* but rewiring a pin is a different circuit *)
+  let b3 = Builder.create ~name:"tiny" ~technology:"nmos25" in
+  Builder.add_port b3 ~name:"a" ~direction:Port.Input ~net:"a";
+  Builder.add_port b3 ~name:"y" ~direction:Port.Output ~net:"y";
+  ignore (Builder.add_device b3 ~name:"i1" ~kind:"inv" ~nets:[ "a"; "m" ]);
+  ignore (Builder.add_device b3 ~name:"i2" ~kind:"inv" ~nets:[ "y"; "m" ]);
+  Alcotest.(check bool) "rewired pins, different digest" false
+    (String.equal (Canonical.digest a) (Canonical.digest (Builder.build b3)))
+
 let () =
   Alcotest.run "netlist"
     [
@@ -212,5 +300,9 @@ let () =
           Alcotest.test_case "issues" `Quick test_validate;
           Alcotest.test_case "clean" `Quick test_validate_clean_circuit;
         ] );
+      ( "canonical",
+        Alcotest.test_case "digest is structural" `Quick
+          test_canonical_is_structural
+        :: canonical_props );
       ("properties", props);
     ]
