@@ -1,0 +1,398 @@
+(* @load-smoke: the serve-plane load gate, and a standalone open-loop
+   load generator.
+
+   --smoke forks its own daemon (loopback, kernel-assigned ports, a
+   deliberately small admission watermark) and runs three phases:
+
+   1. keep-alive: N HTTP/1.1 POST /estimate requests round-robined
+      across C persistent connections;
+   2. close: the same N requests, one fresh connection each
+      (Connection: close) -- keep-alive must win on req/s, since each
+      close-mode request pays socket setup + accept + teardown;
+   3. overload: a pipelined burst far past the queue watermark on one
+      connection -- some requests must answer 200, some must shed with
+      HTTP 503 + Retry-After, the obs plane must keep answering while
+      the burst drains, and the daemon must still exit 0 on SIGTERM.
+
+   One line goes to BENCH_history.jsonl (source "loadgen") with both
+   throughputs and the shed tally, so the keep-alive advantage is
+   tracked over time next to the engine benches.
+
+   Standalone: loadgen --addr HOST:PORT [--mode keepalive|close]
+   [--connections C] [--requests N] drives an already-running daemon
+   and prints req/s (nothing is forked, nothing is asserted). *)
+
+module Json = Mae_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("loadgen: " ^ msg);
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not cond then fail "%s" msg else Printf.printf "ok: %s\n%!" msg)
+    fmt
+
+(* --- tiny HTTP/1.1 client --- *)
+
+let index_sub hay needle from =
+  let nn = String.length needle and nh = String.length hay in
+  let rec at i =
+    if i + nn > nh then None
+    else if String.equal (String.sub hay i nn) needle then Some i
+    else at (i + 1)
+  in
+  at from
+
+let write_fully fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* one Content-Length-framed response; [leftover] carries bytes already
+   read past the previous response on this connection *)
+let recv_http fd leftover =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf leftover;
+  let chunk = Bytes.create 65536 in
+  let rec fill_until probe =
+    match probe (Buffer.contents buf) with
+    | Some v -> v
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> fail "EOF mid HTTP response (got %S)" (Buffer.contents buf)
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            fill_until probe)
+  in
+  let head_end = fill_until (fun s -> index_sub s "\r\n\r\n" 0) in
+  let head = String.sub (Buffer.contents buf) 0 head_end in
+  let content_length =
+    let lower = String.lowercase_ascii head in
+    match index_sub lower "content-length:" 0 with
+    | None -> fail "HTTP response without Content-Length: %S" head
+    | Some i -> (
+        let rest = String.sub lower (i + 15) (String.length lower - i - 15) in
+        match
+          int_of_string_opt (String.trim (List.hd (String.split_on_char '\r' rest)))
+        with
+        | Some n -> n
+        | None -> fail "bad Content-Length in %S" head)
+  in
+  let body_start = head_end + 4 in
+  let total_len = body_start + content_length in
+  ignore
+    (fill_until (fun s -> if String.length s >= total_len then Some 0 else None));
+  let raw = Buffer.contents buf in
+  let status =
+    match index_sub head " " 0 with
+    | Some sp when String.length head >= sp + 4 ->
+        Option.value ~default:0 (int_of_string_opt (String.sub head (sp + 1) 3))
+    | _ -> 0
+  in
+  ( status,
+    head,
+    String.sub raw body_start content_length,
+    String.sub raw total_len (String.length raw - total_len) )
+
+let connect_tcp host port =
+  let inet =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ -> Unix.inet_addr_loopback
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (inet, port));
+  fd
+
+(* --- the workload: one tiny module, warm in the estimate store after
+   the first request, so the measurement isolates the serve plane --- *)
+
+let hdl =
+  Mae_hdl.Printer.to_string
+    (Mae_workload.Generators.counter ~technology:"nmos25" 4)
+
+let post_request ?(close = false) id =
+  let body =
+    Json.encode
+      (Json.Object [ ("id", Json.Number (Float.of_int id)); ("hdl", Json.String hdl) ])
+  in
+  Printf.sprintf
+    "POST /estimate HTTP/1.1\r\nHost: loadgen\r\n%sContent-Length: %d\r\n\r\n%s"
+    (if close then "Connection: close\r\n" else "")
+    (String.length body) body
+
+let expect_ok status body =
+  if status <> 200 then fail "request answered %d: %S" status body;
+  match Json.parse (String.trim body) with
+  | Ok doc ->
+      if Json.member "ok" doc <> Some (Json.Bool true) then
+        fail "request answered ok:false: %S" body
+  | Error e -> fail "response not JSON (%s): %S" e body
+
+(* keep-alive: [requests] POSTs round-robined over [connections]
+   persistent sockets, lockstep per socket *)
+let run_keepalive ~host ~port ~connections ~requests =
+  let conns = Array.init connections (fun _ -> (connect_tcp host port, "")) in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let slot = i mod connections in
+    let fd, leftover = conns.(slot) in
+    write_fully fd (post_request i);
+    let status, _, body, rest = recv_http fd leftover in
+    expect_ok status body;
+    conns.(slot) <- (fd, rest)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Array.iter (fun (fd, _) -> Unix.close fd) conns;
+  float_of_int requests /. dt
+
+(* close: a fresh connection per request *)
+let run_close ~host ~port ~requests =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let fd = connect_tcp host port in
+    write_fully fd (post_request ~close:true i);
+    let status, _, body, _ = recv_http fd "" in
+    expect_ok status body;
+    Unix.close fd
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int requests /. dt
+
+(* --- the smoke daemon --- *)
+
+let spawn_server ~watermark =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      Mae_obs.Log.set_threshold None;
+      let registry = Mae_tech.Registry.create () in
+      let config =
+        {
+          (Mae_serve.default_config ~registry
+             ~request_addr:(Mae_serve.Tcp { host = "127.0.0.1"; port = 0 }))
+          with
+          Mae_serve.obs_addr =
+            Some (Mae_serve.Tcp { host = "127.0.0.1"; port = 0 });
+          queue_watermark = watermark;
+          max_batch = 4;
+          on_ready =
+            (fun ~request_addr ~obs_addr ->
+              let port = function
+                | Mae_serve.Tcp { port; _ } -> port
+                | Mae_serve.Unix_sock _ -> 0
+              in
+              let line =
+                Printf.sprintf "%d %d\n" (port request_addr)
+                  (match obs_addr with Some a -> port a | None -> 0)
+              in
+              ignore (Unix.write_substring w line 0 (String.length line));
+              Unix.close w);
+        }
+      in
+      (match Mae_serve.run config with
+      | Ok () -> Unix._exit 0
+      | Error e ->
+          prerr_endline ("loadgen daemon: " ^ e);
+          Unix._exit 1)
+  | pid ->
+      Unix.close w;
+      let buf = Bytes.create 64 in
+      let n = Unix.read r buf 0 64 in
+      Unix.close r;
+      if n = 0 then fail "daemon died before announcing its ports";
+      (match
+         String.split_on_char ' ' (String.trim (Bytes.sub_string buf 0 n))
+       with
+      | [ req; obs ] -> (pid, int_of_string req, int_of_string obs)
+      | _ -> fail "bad ready line")
+
+let prom_value body name =
+  let rec find = function
+    | [] -> fail "metric %s not in /metrics" name
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ n; v ] when String.equal n name -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> fail "metric %s has unparseable value %S" name v)
+        | _ -> find rest)
+  in
+  find (String.split_on_char '\n' body)
+
+let obs_get ~port path =
+  let fd = connect_tcp "127.0.0.1" port in
+  write_fully fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: loadgen\r\n\r\n" path);
+  let status, _, body, _ = recv_http fd "" in
+  Unix.close fd;
+  (status, body)
+
+let run_smoke () =
+  let watermark = 8 in
+  let pid, req_port, obs_port = spawn_server ~watermark in
+  check (req_port > 0 && obs_port > 0)
+    "daemon bound request plane :%d and obs plane :%d" req_port obs_port;
+  let host = "127.0.0.1" in
+  (* warm the estimate store so both measured phases compare serve-plane
+     overhead, not first-estimate cost *)
+  ignore (run_close ~host ~port:req_port ~requests:1);
+  let connections = 4 and requests = 240 in
+  let keepalive_rps =
+    run_keepalive ~host ~port:req_port ~connections ~requests
+  in
+  let close_rps = run_close ~host ~port:req_port ~requests in
+  Printf.printf "keep-alive: %.0f req/s over %d connections\n%!" keepalive_rps
+    connections;
+  Printf.printf "close:      %.0f req/s, one connection per request\n%!"
+    close_rps;
+  check
+    (keepalive_rps > close_rps)
+    "keep-alive beats connection-per-request (%.0f > %.0f req/s)"
+    keepalive_rps close_rps;
+
+  (* overload: pipeline a burst far past the watermark on one
+     connection; the prefix estimates, the excess answers 503 *)
+  let burst = 64 in
+  let fd = connect_tcp host req_port in
+  let b = Buffer.create 8192 in
+  for i = 1 to burst do
+    Buffer.add_string b (post_request i)
+  done;
+  write_fully fd (Buffer.contents b);
+  (* the obs plane must keep answering while the burst drains: scrapes
+     bypass the request queue *)
+  let health_status, _ = obs_get ~port:obs_port "/healthz" in
+  check
+    (health_status = 200 || health_status = 503)
+    "/healthz responsive during the burst (answered %d)" health_status;
+  let metrics_status, _ = obs_get ~port:obs_port "/metrics" in
+  check (metrics_status = 200) "/metrics responsive during the burst";
+  let oks = ref 0 and sheds = ref 0 in
+  let leftover = ref "" in
+  for i = 1 to burst do
+    let status, head, body, rest = recv_http fd !leftover in
+    leftover := rest;
+    (match status with
+    | 200 -> incr oks
+    | 503 ->
+        if index_sub head "Retry-After:" 0 = None then
+          fail "503 response %d lacks Retry-After: %S" i head;
+        incr sheds
+    | s -> fail "burst response %d answered %d: %S" i s body);
+    ignore body
+  done;
+  Unix.close fd;
+  check
+    (!oks >= 1 && !sheds >= 1 && !oks + !sheds = burst)
+    "burst of %d past watermark %d: %d answered 200, %d shed 503" burst
+    watermark !oks !sheds;
+  let _, metrics_body = obs_get ~port:obs_port "/metrics" in
+  check
+    (int_of_float (prom_value metrics_body "mae_serve_requests_shed_total")
+    = !sheds)
+    "mae_serve_requests_shed_total agrees with the client (%d)" !sheds;
+  check
+    (prom_value metrics_body "mae_serve_connections_reused_total" >= 1.)
+    "keep-alive connections counted as reused";
+
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  check (status = Unix.WEXITED 0) "daemon drained and exited 0 after the burst";
+
+  Bench_history.History.append ~source:"loadgen"
+    [
+      ("keepalive_rps", Json.Number keepalive_rps);
+      ("close_rps", Json.Number close_rps);
+      ("connections", Json.Number (Float.of_int connections));
+      ("requests", Json.Number (Float.of_int requests));
+      ("burst", Json.Number (Float.of_int burst));
+      ("shed", Json.Number (Float.of_int !sheds));
+    ];
+  print_endline "load-smoke: all checks passed"
+
+(* --- standalone mode --- *)
+
+let usage () =
+  prerr_endline
+    "usage: loadgen --smoke\n\
+    \       loadgen --addr HOST:PORT [--mode keepalive|close]\n\
+    \               [--connections C] [--requests N]";
+  exit 2
+
+let run_standalone ~addr ~mode ~connections ~requests =
+  let host, port =
+    match String.rindex_opt addr ':' with
+    | Some i -> (
+        let host = String.sub addr 0 i in
+        let p = String.sub addr (i + 1) (String.length addr - i - 1) in
+        match int_of_string_opt p with
+        | Some port -> ((if host = "" then "127.0.0.1" else host), port)
+        | None -> fail "bad port in --addr %s" addr)
+    | None -> (
+        match int_of_string_opt addr with
+        | Some port -> ("127.0.0.1", port)
+        | None -> fail "bad --addr %s (want HOST:PORT)" addr)
+  in
+  let rps =
+    match mode with
+    | "keepalive" -> run_keepalive ~host ~port ~connections ~requests
+    | "close" -> run_close ~host ~port ~requests
+    | m -> fail "bad --mode %s (want keepalive or close)" m
+  in
+  Printf.printf "%s: %.0f req/s (%d requests, %d connection%s)\n" mode rps
+    requests
+    (if mode = "close" then requests else connections)
+    (if mode = "close" || connections > 1 then "s" else "")
+
+let () =
+  let addr = ref None in
+  let mode = ref "keepalive" in
+  let connections = ref 4 in
+  let requests = ref 200 in
+  let smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--addr" :: v :: rest ->
+        addr := Some v;
+        parse rest
+    | "--mode" :: v :: rest ->
+        mode := v;
+        parse rest
+    | "--connections" :: v :: rest ->
+        connections := (match int_of_string_opt v with
+          | Some n when n >= 1 -> n
+          | _ -> fail "--connections wants a positive integer");
+        parse rest
+    | "--requests" :: v :: rest ->
+        requests := (match int_of_string_opt v with
+          | Some n when n >= 1 -> n
+          | _ -> fail "--requests wants a positive integer");
+        parse rest
+    | a :: _ ->
+        prerr_endline ("loadgen: unknown argument " ^ a);
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* SIGPIPE must not kill the client when the daemon sheds a
+     connection mid-write *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if !smoke then run_smoke ()
+  else
+    match !addr with
+    | None -> usage ()
+    | Some addr ->
+        run_standalone ~addr ~mode:!mode ~connections:!connections
+          ~requests:!requests

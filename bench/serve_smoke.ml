@@ -29,7 +29,18 @@
       request one byte at a time is framed whole; a third daemon
       started on a journal written by the parent process answers its
       very first request from disk and flushes a Store snapshot on
-      SIGTERM.
+      SIGTERM;
+   9. exercises the HTTP dialect of the request plane: keep-alive GETs
+      on the obs plane, two POST /estimate requests on one connection
+      (the second with Connection: close, which must be honored), and
+      a good-bad-good pipelined line burst where a malformed request
+      and a 9 MiB oversized line each answer their typed error while
+      the requests queued behind them still answer, in order;
+  10. before the overload phase, pipelines a 40-request burst at the
+      second daemon (queue watermark 2) and asserts deterministic
+      admission control: every response arrives in request order, the
+      overflow answers ok:false + retry_after_s, the shed count matches
+      mae_serve_requests_shed_total, and sheds burn neither SLO.
 
      dune build @serve-smoke   (also pulled in by @bench-smoke) *)
 
@@ -289,6 +300,9 @@ let spawn_server ?(overload = false) ?journal ?store_out () =
              slow requests deterministically exhaust the fast-window
              budget *)
           inject_sleep_field = overload;
+          (* a tiny watermark so a pipelined burst trips admission
+             control deterministically in the shed phase *)
+          queue_watermark = (if overload then 2 else 256);
           slo =
             (if overload then
                {
@@ -522,9 +536,182 @@ let () =
     "byte-at-a-time request framed whole and answered from the store";
   Unix.close slow_fd;
 
+  (* --- HTTP/1.1 keep-alive: one connection answers many requests,
+     framed by Content-Length --- *)
+  let index_sub hay needle =
+    let nn = String.length needle and nh = String.length hay in
+    let rec at i =
+      if i + nn > nh then None
+      else if String.equal (String.sub hay i nn) needle then Some i
+      else at (i + 1)
+    in
+    at 0
+  in
+  let write_fully wfd s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring wfd s off (n - off))
+    in
+    go 0
+  in
+  (* one Content-Length-framed response off [rfd]; [leftover] carries
+     bytes already read past the previous response on this connection *)
+  let recv_http rfd leftover =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf leftover;
+    let chunk = Bytes.create 65536 in
+    let rec fill_until probe =
+      match probe (Buffer.contents buf) with
+      | Some v -> v
+      | None -> (
+          match Unix.read rfd chunk 0 (Bytes.length chunk) with
+          | 0 -> fail "EOF mid HTTP response (got %S)" (Buffer.contents buf)
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              fill_until probe)
+    in
+    let head_end = fill_until (fun s -> index_sub s "\r\n\r\n") in
+    let head = String.sub (Buffer.contents buf) 0 head_end in
+    let content_length =
+      let lower = String.lowercase_ascii head in
+      match index_sub lower "content-length:" with
+      | None -> fail "HTTP response without Content-Length: %S" head
+      | Some i -> (
+          let rest = String.sub lower (i + 15) (String.length lower - i - 15) in
+          match int_of_string_opt (String.trim (List.hd (String.split_on_char '\r' rest))) with
+          | Some n -> n
+          | None -> fail "bad Content-Length in %S" head)
+    in
+    let body_start = head_end + 4 in
+    let total_len = body_start + content_length in
+    ignore
+      (fill_until (fun s -> if String.length s >= total_len then Some 0 else None));
+    let raw = Buffer.contents buf in
+    ( head,
+      String.sub raw body_start content_length,
+      String.sub raw total_len (String.length raw - total_len) )
+  in
+  let ka_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect ka_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, obs_port));
+  write_fully ka_fd "GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n";
+  let ka_head1, ka_body1, ka_rest = recv_http ka_fd "" in
+  check
+    (String.length ka_head1 >= 15
+    && String.equal (String.sub ka_head1 0 15) "HTTP/1.1 200 OK"
+    && index_sub ka_head1 "Connection: keep-alive" <> None
+    && (match Json.parse (String.trim ka_body1) with
+       | Ok _ -> true
+       | Error _ -> false))
+    "HTTP/1.1 scrape answers 200 and advertises keep-alive";
+  write_fully ka_fd "GET /buildinfo HTTP/1.1\r\nHost: smoke\r\n\r\n";
+  let ka_head2, ka_body2, _ = recv_http ka_fd ka_rest in
+  check
+    (String.length ka_head2 >= 15
+    && String.equal (String.sub ka_head2 0 15) "HTTP/1.1 200 OK"
+    && (match Json.parse (String.trim ka_body2) with
+       | Ok _ -> true
+       | Error _ -> false))
+    "second GET answered on the same obs connection (keep-alive)";
+  Unix.close ka_fd;
+
+  (* --- HTTP POST /estimate on the request plane: same estimates, HTTP
+     framing, connection reused until the client says close --- *)
+  let post_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect post_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, req_port));
+  let post_request ?(close = false) id =
+    let body =
+      Json.encode
+        (Json.Object
+           [ ("id", Json.String id); ("hdl", Json.String (valid_hdl 3)) ])
+    in
+    Printf.sprintf "POST /estimate HTTP/1.1\r\nHost: smoke\r\n%sContent-Length: %d\r\n\r\n%s"
+      (if close then "Connection: close\r\n" else "")
+      (String.length body) body
+  in
+  let parse_post tag body =
+    match Json.parse (String.trim body) with
+    | Ok doc ->
+        if Json.member "ok" doc <> Some (Json.Bool true) then
+          fail "%s answered ok:false: %S" tag body;
+        doc
+    | Error e -> fail "%s response not JSON (%s): %S" tag e body
+  in
+  write_fully post_fd (post_request "http-1");
+  let ph1, pbody1, post_rest = recv_http post_fd "" in
+  incr sent_ok;
+  incr last_seq;
+  let pdoc1 = parse_post "HTTP POST 1" pbody1 in
+  check
+    (String.length ph1 >= 15
+    && String.equal (String.sub ph1 0 15) "HTTP/1.1 200 OK"
+    && index_sub ph1 "Connection: keep-alive" <> None
+    && Option.bind (Json.member "seq" pdoc1) Json.to_number
+       = Some (Float.of_int !last_seq))
+    "HTTP POST /estimate answers the same JSON with the next seq";
+  write_fully post_fd (post_request ~close:true "http-2");
+  let ph2, pbody2, _ = recv_http post_fd post_rest in
+  incr sent_ok;
+  incr last_seq;
+  ignore (parse_post "HTTP POST 2" pbody2);
+  let post_eof =
+    let b = Bytes.create 1 in
+    match Unix.read post_fd b 0 1 with 0 -> true | _ -> false
+  in
+  Unix.close post_fd;
+  check
+    (index_sub ph2 "Connection: close" <> None && post_eof)
+    "Connection: close honoured after the second HTTP POST";
+
+  (* --- a malformed or oversized frame answers in order without
+     killing the connection: good, bad, huge, good -- pipelined --- *)
+  let pl_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect pl_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, req_port));
+  let pl_ic = Unix.in_channel_of_descr pl_fd in
+  let pl_line id =
+    Json.encode
+      (Json.Object
+         [ ("id", Json.String id); ("hdl", Json.String (valid_hdl 4)) ])
+    ^ "\n"
+  in
+  write_fully pl_fd (pl_line "pl-1" ^ "{\"id\": 901, \"hdl\": \n");
+  (* 9 MiB without a newline overflows the 8 MiB frame cap *)
+  write_fully pl_fd (String.make (9 * 1024 * 1024) 'x' ^ "\n");
+  write_fully pl_fd (pl_line "pl-2");
+  let pl_read tag =
+    match Json.parse (input_line pl_ic) with
+    | Ok d -> d
+    | Error e -> fail "%s response not JSON: %s" tag e
+  in
+  let pl1 = pl_read "pipelined good 1" in
+  if Json.member "ok" pl1 <> Some (Json.Bool true) then
+    fail "pipelined good request 1 failed";
+  incr sent_ok;
+  incr last_seq;
+  let pl2 = pl_read "pipelined malformed" in
+  if Json.member "ok" pl2 <> Some (Json.Bool false) then
+    fail "malformed frame should answer ok:false";
+  if Json.member "seq" pl2 = None then
+    fail "malformed frame should be a counted request with a seq";
+  incr sent_failed;
+  incr last_seq;
+  let pl3 = pl_read "pipelined oversized" in
+  (match (Json.member "seq" pl3, Json.member "error" pl3) with
+  | None, Some (Json.String e) when index_sub e "exceeds" <> None ->
+      (* answered but unaccounted: no seq, no counters, no SLO event *)
+      ()
+  | _ -> fail "oversized frame should answer an uncounted error");
+  let pl4 = pl_read "pipelined good 2" in
+  if Json.member "ok" pl4 <> Some (Json.Bool true) then
+    fail "pipelined good request 2 failed (connection should survive)";
+  incr sent_ok;
+  incr last_seq;
+  Unix.close pl_fd;
+  check true
+    "malformed and oversized frames answered in order, connection intact";
+
   Unix.close fd;
   let total = !sent_ok + !sent_failed in
-  check (total = List.length corpus + 4 && !sent_ok = 104)
+  check (total = List.length corpus + 9 && !sent_ok = 108)
     "%d requests answered in order (%d ok, %d failed), seq monotone to %d"
     total !sent_ok !sent_failed !last_seq;
 
@@ -537,6 +724,13 @@ let () =
     && m "mae_serve_requests_failed_total" = !sent_failed)
     "/metrics counters match the client tally (%d/%d/%d)" total !sent_ok
     !sent_failed;
+  check
+    (m "mae_serve_connections_reused_total" >= 1)
+    "keep-alive connections counted as reused (%d >= 1)"
+    (m "mae_serve_connections_reused_total");
+  check
+    (m "mae_serve_requests_shed_total" = 0)
+    "no requests shed under friendly load";
   (* the 100 valid corpus requests cycle through 5 distinct modules, so
      at least 95 of them were answered from the estimate store *)
   check
@@ -834,6 +1028,61 @@ let () =
     (ov_req_port > 0 && ov_obs_port > 0)
     "overload daemon bound request plane :%d and obs plane :%d" ov_req_port
     ov_obs_port;
+
+  (* admission control: this daemon's queue watermark is 2, so a
+     pipelined burst trips shedding -- the prefix estimates, the excess
+     answers 503-style with retry_after_s, and every response keeps its
+     request's place in line *)
+  let shed_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect shed_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ov_req_port));
+  let shed_ic = Unix.in_channel_of_descr shed_fd in
+  let burst = 40 in
+  let burst_buf = Buffer.create 4096 in
+  for i = 1 to burst do
+    Buffer.add_string burst_buf
+      (Json.encode
+         (Json.Object
+            [
+              ("id", Json.Number (Float.of_int i));
+              ("hdl", Json.String (valid_hdl 0));
+            ])
+      ^ "\n")
+  done;
+  write_fully shed_fd (Buffer.contents burst_buf);
+  let shed_oks = ref 0 and shed_dropped = ref 0 in
+  for i = 1 to burst do
+    let doc =
+      match Json.parse (input_line shed_ic) with
+      | Ok d -> d
+      | Error e -> fail "shed burst response %d not JSON: %s" i e
+    in
+    (match Option.bind (Json.member "id" doc) Json.to_number with
+    | Some f when int_of_float f = i -> ()
+    | _ -> fail "shed burst response %d out of order: %S" i (Json.encode doc));
+    match Json.member "ok" doc with
+    | Some (Json.Bool true) -> incr shed_oks
+    | Some (Json.Bool false) -> (
+        match (Json.member "retry_after_s" doc, Json.member "error" doc) with
+        | Some (Json.Number _), Some (Json.String e)
+          when String.length e >= 17
+               && String.equal (String.sub e 0 17) "server overloaded" ->
+            incr shed_dropped
+        | _ ->
+            fail "shed response %d lacks retry_after_s/overloaded error: %S" i
+              (Json.encode doc))
+    | _ -> fail "shed burst response %d lacks ok" i
+  done;
+  Unix.close shed_fd;
+  check
+    (!shed_oks >= 1 && !shed_dropped >= 1 && !shed_oks + !shed_dropped = burst)
+    "burst of %d past the watermark: %d estimated, %d shed, order kept" burst
+    !shed_oks !shed_dropped;
+  let _, ov_metrics = http_get ~port:ov_obs_port "/metrics" in
+  check
+    (int_of_float (prom_value ov_metrics "mae_serve_requests_shed_total")
+    = !shed_dropped)
+    "mae_serve_requests_shed_total agrees with the client (%d)" !shed_dropped;
+
   let ov_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect ov_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ov_req_port));
   let ov_ic = Unix.in_channel_of_descr ov_fd in
@@ -884,6 +1133,21 @@ let () =
   in
   check (ov_burn >= 1.)
     "latency SLO fast burn %.1f >= 1 under injected overload" ov_burn;
+  let ov_errors_bad =
+    match Option.bind (Json.member "slos" ov_slo_doc) Json.to_list with
+    | None -> fail "overload /slo lacks slos: %S" ov_slo_text
+    | Some slos -> (
+        match
+          List.find_opt
+            (fun s ->
+              Json.member "name" s = Some (Json.String "mae_serve_errors_slo"))
+            slos
+        with
+        | Some s -> window_field s "fast" "bad"
+        | None -> fail "overload /slo lacks the error objective")
+  in
+  check (ov_errors_bad = 0.)
+    "shed and slow requests burned no error budget (bad = %.0f)" ov_errors_bad;
   let ov_headers, ov_health_text = http_get ~port:ov_obs_port "/healthz" in
   check
     (String.length ov_headers >= 12

@@ -437,11 +437,23 @@ let estimate_cmd =
 
 let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
     metrics_out slo_latency_ms slo_latency_target slo_error_target store_journal
-    store_out no_estimate_cache =
+    store_out no_estimate_cache idle_timeout max_connections queue_watermark
+    max_batch store_cap =
   if jobs < 0 then
     or_die (Error "--jobs must be >= 0 (0 = one domain per core)");
   if slo_latency_ms <= 0. then
     or_die (Error "--slo-latency-ms must be positive");
+  if idle_timeout <= 0. then or_die (Error "--idle-timeout must be positive");
+  List.iter
+    (fun (flag, v) ->
+      if v < 1 then or_die (Error (flag ^ " must be >= 1")))
+    [
+      ("--max-connections", max_connections);
+      ("--queue-watermark", queue_watermark);
+      ("--max-batch", max_batch);
+    ];
+  if store_cap < 0 then
+    or_die (Error "--store-cap must be >= 0 (0 = unbounded)");
   List.iter
     (fun (flag, v) ->
       if not (v > 0. && v < 1.) then
@@ -501,6 +513,11 @@ let run_serve tech_files listen obs_listen jobs access_log log_level trace_out
       estimate_cache = not no_estimate_cache;
       store_journal;
       store_out;
+      store_live_cap = (if store_cap = 0 then None else Some store_cap);
+      idle_timeout_s = idle_timeout;
+      max_connections;
+      queue_watermark;
+      max_batch;
       slo =
         {
           Mae_serve.default_slo with
@@ -636,6 +653,50 @@ let serve_cmd =
             "Disable the content-addressed estimate store: every request is \
              recomputed even when an identical module was already answered.")
   in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close keep-alive connections idle longer than $(docv) with no \
+             response in flight (default 300).")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Open-connection cap across both planes (default 1024); beyond \
+             it new connections are accepted and immediately closed.")
+  in
+  let queue_watermark =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-watermark" ] ~docv:"N"
+          ~doc:
+            "Admission control: with $(docv) estimate requests already \
+             queued, new ones are shed with ok:false / HTTP 503 + \
+             Retry-After instead of estimated (default 256).  Shed requests \
+             burn neither SLO budget.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 32
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Coalesce up to $(docv) queued estimate requests into one \
+             engine batch (default 32); batches share the domain pool and \
+             the kernel cache warm-up.")
+  in
+  let store_cap =
+    Arg.(
+      value & opt int 65536
+      & info [ "store-cap" ] ~docv:"N"
+          ~doc:
+            "LRU bound on the estimate store's live tier (default 65536; 0 \
+             = unbounded).  Evictions count into \
+             mae_estimate_cache_evictions_total.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -646,7 +707,8 @@ let serve_cmd =
       const run_serve $ tech_files_arg $ listen $ obs_listen $ jobs
       $ access_log $ log_level $ trace_out $ metrics_out $ slo_latency_ms
       $ slo_latency_target $ slo_error_target $ store_journal $ store_out
-      $ no_estimate_cache)
+      $ no_estimate_cache $ idle_timeout $ max_connections $ queue_watermark
+      $ max_batch $ store_cap)
 
 (* top *)
 

@@ -39,10 +39,22 @@ type warm_entry = {
   w_results : (string * (M.outcome, M.error) result) list;
 }
 
+(* live-tier entries thread an intrusive doubly-linked recency list:
+   head is most recently touched, tail is the LRU eviction victim *)
+type node = {
+  n_key : string;
+  n_report : D.module_report;
+  mutable n_prev : node option;
+  mutable n_next : node option;
+}
+
 type t = {
   lock : Mutex.t;
-  table : (string, D.module_report) Hashtbl.t;
+  live_cap : int option;
+  table : (string, node) Hashtbl.t;
   warm : (string, warm_entry) Hashtbl.t;
+  mutable lru_head : node option;
+  mutable lru_tail : node option;
   mutable journal : out_channel option;
 }
 
@@ -54,16 +66,74 @@ let misses =
   Mae_obs.Metrics.counter "mae_estimate_cache_misses_total"
     ~help:"Estimate-store lookups that fell through to estimation"
 
+let evictions =
+  Mae_obs.Metrics.counter "mae_estimate_cache_evictions_total"
+    ~help:"Estimate-store live-tier entries evicted by the LRU cap"
+
 let hit_count () = Mae_obs.Metrics.counter_value hits
 let miss_count () = Mae_obs.Metrics.counter_value misses
+let eviction_count () = Mae_obs.Metrics.counter_value evictions
 
-let create () =
+let create ?live_cap () =
+  (match live_cap with
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Cas.create: live_cap %d < 1" c)
+  | _ -> ());
   {
     lock = Mutex.create ();
+    live_cap;
     table = Hashtbl.create 64;
     warm = Hashtbl.create 64;
+    lru_head = None;
+    lru_tail = None;
     journal = None;
   }
+
+(* --- recency list (call with t.lock held) --- *)
+
+let detach t n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> t.lru_head <- n.n_next);
+  (match n.n_next with
+  | Some s -> s.n_prev <- n.n_prev
+  | None -> t.lru_tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_next <- t.lru_head;
+  (match t.lru_head with Some h -> h.n_prev <- Some n | None -> ());
+  t.lru_head <- Some n;
+  if t.lru_tail = None then t.lru_tail <- Some n
+
+let touch t n =
+  if t.lru_head != Some n then begin
+    detach t n;
+    push_front t n
+  end
+
+let enforce_cap t =
+  match t.live_cap with
+  | None -> ()
+  | Some cap ->
+      let rec evict () =
+        if Hashtbl.length t.table > cap then
+          match t.lru_tail with
+          | None -> () (* unreachable: every live entry is on the list *)
+          | Some victim ->
+              detach t victim;
+              Hashtbl.remove t.table victim.n_key;
+              Mae_obs.Metrics.incr evictions;
+              evict ()
+      in
+      evict ()
+
+let insert_live t k report =
+  let n = { n_key = k; n_report = report; n_prev = None; n_next = None } in
+  Hashtbl.replace t.table k n;
+  push_front t n;
+  enforce_cap t
 
 let key ?(methods = M.default_names) ~process circuit =
   Digest.to_hex
@@ -257,7 +327,9 @@ let find t ~key:k ~circuit ~process =
   let r =
     locked t (fun () ->
         match Hashtbl.find_opt t.table k with
-        | Some report -> Some report
+        | Some n ->
+            touch t n;
+            Some n.n_report
         | None -> (
             match Hashtbl.find_opt t.warm k with
             | None -> None
@@ -266,7 +338,7 @@ let find t ~key:k ~circuit ~process =
                 match report_of_entry e ~circuit ~process with
                 | None -> None
                 | Some report ->
-                    Hashtbl.replace t.table k report;
+                    insert_live t k report;
                     Some report)))
   in
   (match r with
@@ -277,7 +349,7 @@ let find t ~key:k ~circuit ~process =
 let store t ~key:k report =
   locked t (fun () ->
       if not (Hashtbl.mem t.table k) then begin
-        Hashtbl.replace t.table k report;
+        insert_live t k report;
         Hashtbl.remove t.warm k;
         match t.journal with
         | None -> ()
@@ -411,8 +483,8 @@ let to_store t =
   let s = Store.create () in
   locked t (fun () ->
       Hashtbl.iter
-        (fun _ r ->
-          match Record.of_report r with
+        (fun _ n ->
+          match Record.of_report n.n_report with
           | Ok record -> Store.add s record
           | Error _ -> ())
         t.table);

@@ -18,7 +18,15 @@
 
 type t
 
-val create : unit -> t
+val create : ?live_cap:int -> unit -> t
+(** [?live_cap] bounds the live (promoted) tier: past the cap the
+    least-recently-used entry is evicted and counted into
+    [mae_estimate_cache_evictions_total].  Recency is updated on hit,
+    promotion, and insert.  Omitted means unbounded.  Raises
+    [Invalid_argument] on a cap below 1.  The warm (journal-replayed)
+    tier is not capped: warm entries are parsed text, an order of
+    magnitude lighter than live reports, and each leaves the tier on
+    its first lookup. *)
 
 val key :
   ?methods:string list ->
@@ -56,6 +64,9 @@ val hit_count : unit -> int
 (** Process-wide value of [mae_estimate_cache_hits_total]. *)
 
 val miss_count : unit -> int
+
+val eviction_count : unit -> int
+(** Process-wide value of [mae_estimate_cache_evictions_total]. *)
 
 val open_journal : t -> path:string -> (int * int, string) result
 (** Replay [path] (created if absent) into the warm tier, then keep it

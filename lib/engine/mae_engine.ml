@@ -178,7 +178,7 @@ module Pool = struct
     loop ()
 
   let create ~domains =
-    if domains < 0 then invalid_arg "Mae_engine.Pool.create: domains < 0";
+    if domains < 0 then invalid_arg "Mae_engine.Pool.create: domains < 0" (* invariant *);
     let p =
       {
         lock = Mutex.create ();
@@ -203,11 +203,11 @@ module Pool = struct
     Mutex.lock p.lock;
     if p.stop then begin
       Mutex.unlock p.lock;
-      invalid_arg "Mae_engine.Pool.run: pool is shut down"
+      invalid_arg "Mae_engine.Pool.run: pool is shut down" (* invariant *)
     end;
     if p.job <> None then begin
       Mutex.unlock p.lock;
-      invalid_arg "Mae_engine.Pool.run: a job is already running"
+      invalid_arg "Mae_engine.Pool.run: a job is already running" (* invariant *)
     end;
     p.job <- Some f;
     p.gen <- p.gen + 1;
@@ -374,7 +374,14 @@ let map_pool ~jobs ?pool ~t0 f inputs =
   let batch_misses = Array.fold_left ( + ) 0 miss_delta in
   (results, claimed, max_wait, batch_hits, batch_misses)
 
-let estimate_one ?config ?methods ?cache ~registry
+(* Like {!estimate_one} but also says how the estimate store answered
+   for this module: [`Hit]/[`Miss] when the store was consulted,
+   [`Bypass] when the lookup never happened (no cache, a [config]
+   override, or an unknown process/method that the driver will report).
+   The flag gives grouped batches exact per-request store accounting
+   where the process-counter delta of {!run_circuits_with_stats} would
+   lump every request in the batch together. *)
+let estimate_one_flagged ?config ?methods ?cache ~registry
     (circuit : Mae_netlist.Circuit.t) =
   let run_uncached () =
     match Mae.Driver.run_circuit ?config ?methods ~registry circuit with
@@ -389,26 +396,28 @@ let estimate_one ?config ?methods ?cache ~registry
     (* a [config] changes results but is not part of the content
        address (the store keys circuit + process + registry + methods),
        so configured runs bypass the store entirely *)
-    | None, _ | Some _, Some _ -> run_uncached ()
+    | None, _ | Some _, Some _ -> (run_uncached (), `Bypass)
     | Some cas, None -> (
         match Mae_tech.Registry.find registry circuit.technology with
-        | None -> run_uncached () (* the driver will report Unknown_process *)
+        | None ->
+            (run_uncached (), `Bypass)
+            (* the driver will report Unknown_process *)
         | Some process -> (
             match
               Mae.Methodology.resolve (Option.value methods ~default:[ "default" ])
             with
-            | Error _ -> run_uncached () (* ... or Unknown_method *)
+            | Error _ -> (run_uncached (), `Bypass) (* ... or Unknown_method *)
             | Ok selected -> (
                 let names = List.map Mae.Methodology.name selected in
                 let key = Mae_db.Cas.key ~methods:names ~process circuit in
                 match Mae_db.Cas.find cas ~key ~circuit ~process with
-                | Some report -> Ok report
+                | Some report -> (Ok report, `Hit)
                 | None -> (
                     let r = run_uncached () in
                     (match r with
                     | Ok report -> Mae_db.Cas.store cas ~key report
                     | Error _ -> ());
-                    r))))
+                    (r, `Miss)))))
   in
   (* latency sampling honours telemetry like spans do; with it off the
      per-module cost is one atomic read, no closures into [time], no
@@ -423,6 +432,9 @@ let estimate_one ?config ?methods ?cache ~registry
     r
   end
   else run ()
+
+let estimate_one ?config ?methods ?cache ~registry circuit =
+  fst (estimate_one_flagged ?config ?methods ?cache ~registry circuit)
 
 let run_circuits_with_stats ?config ?methods ?jobs ?pool ?cache ~registry
     circuits =
@@ -497,6 +509,89 @@ let run_circuits_with_stats ?config ?methods ?jobs ?pool ?cache ~registry
         ("cache_misses", Mae_obs.Log.Int stats.cache_misses);
       ];
   (Array.to_list results, stats)
+
+(* The coalescing batch entry point: several requests' circuit lists
+   run as one engine fan-out (one pool submission, one work-stealing
+   pass over the concatenation), and each group gets its own results
+   slice plus its own store hit/miss counts from the per-module flags.
+   One group is one request, so the dispatcher can answer each with an
+   exact "cached" field even though the engine saw a single batch. *)
+let run_grouped ?methods ?jobs ?pool ?cache ~registry groups =
+  let jobs = resolve_jobs jobs in
+  check_oversubscription jobs;
+  let inputs = Array.of_list (List.concat groups) in
+  Mae_obs.Span.with_ ~name:"engine.batch"
+    ~attrs:
+      [
+        ("modules", string_of_int (Array.length inputs));
+        ("jobs", string_of_int jobs);
+        ("groups", string_of_int (List.length groups));
+      ]
+  @@ fun () ->
+  let t0 = Mae_obs.Clock.monotonic () in
+  let flagged, per_domain, queue_wait, cache_hits, cache_misses =
+    map_pool ~jobs ?pool ~t0 (estimate_one_flagged ?methods ?cache ~registry)
+      inputs
+  in
+  let elapsed_s = Mae_obs.Clock.monotonic () -. t0 in
+  (* slice the flat result array back into the input groups, counting
+     each group's own store traffic as it goes *)
+  let grouped_rev, _ =
+    List.fold_left
+      (fun (acc, off) group ->
+        let len = List.length group in
+        let results = ref [] and hits = ref 0 and misses = ref 0 in
+        for i = off + len - 1 downto off do
+          let r, flag = flagged.(i) in
+          results := r :: !results;
+          match flag with
+          | `Hit -> incr hits
+          | `Miss -> incr misses
+          | `Bypass -> ()
+        done;
+        ((!results, !hits, !misses) :: acc, off + len))
+      ([], 0) groups
+  in
+  let grouped = List.rev grouped_rev in
+  let ok =
+    Array.fold_left
+      (fun acc (r, _) -> match r with Ok _ -> acc + 1 | Error _ -> acc)
+      0 flagged
+  in
+  let modules = Array.length inputs in
+  Mae_obs.Metrics.add modules_counter modules;
+  Mae_obs.Metrics.add ok_counter ok;
+  Mae_obs.Metrics.add failed_counter (modules - ok);
+  Mae_obs.Metrics.set queue_wait_gauge queue_wait;
+  let store_hits = List.fold_left (fun a (_, h, _) -> a + h) 0 grouped in
+  let store_misses = List.fold_left (fun a (_, _, m) -> a + m) 0 grouped in
+  let stats =
+    {
+      modules;
+      ok;
+      failed = modules - ok;
+      jobs;
+      elapsed_s;
+      cache_hits;
+      cache_misses;
+      store_hits;
+      store_misses;
+      per_domain;
+    }
+  in
+  if Mae_obs.Log.enabled Mae_obs.Log.Debug then
+    Mae_obs.Log.debug ~event:"engine.batch"
+      [
+        ("modules", Mae_obs.Log.Int modules);
+        ("groups", Mae_obs.Log.Int (List.length groups));
+        ("ok", Mae_obs.Log.Int ok);
+        ("failed", Mae_obs.Log.Int (modules - ok));
+        ("jobs", Mae_obs.Log.Int jobs);
+        ("elapsed_s", Mae_obs.Log.Float elapsed_s);
+        ("cache_hits", Mae_obs.Log.Int stats.cache_hits);
+        ("cache_misses", Mae_obs.Log.Int stats.cache_misses);
+      ];
+  (grouped, stats)
 
 let run_circuits ?config ?methods ?jobs ?pool ?cache ~registry circuits =
   fst

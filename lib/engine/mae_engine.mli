@@ -138,6 +138,23 @@ val run_circuits_with_stats :
   Mae_netlist.Circuit.t list ->
   (Mae.Driver.module_report, error) result list * stats
 
+val run_grouped :
+  ?methods:string list ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
+  ?cache:Mae_db.Cas.t ->
+  registry:Mae_tech.Registry.t ->
+  Mae_netlist.Circuit.t list list ->
+  (((Mae.Driver.module_report, error) result list * int * int) list * stats)
+(** The coalescing batch entry point: each inner list is one request's
+    circuits; the concatenation runs as a single engine fan-out (one
+    pool submission, one work-stealing pass) and each group comes back
+    as [(results, store_hits, store_misses)] with results in input
+    order and the store counts taken from per-module lookup flags --
+    exact per-group accounting even though the engine saw one batch.
+    [stats] covers the whole batch.  Per-module results are bit-for-bit
+    what per-request {!run_circuits_with_stats} calls would produce. *)
+
 val run_design :
   ?config:Mae.Config.t ->
   ?methods:string list ->

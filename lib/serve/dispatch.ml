@@ -1,0 +1,597 @@
+(* Dispatch: the bounded submission queue in front of the engine.
+
+   Every request-plane frame becomes a job in one FIFO queue, so each
+   connection's responses come back in its own arrival order even when
+   requests from many connections interleave.  A tick takes a queue
+   prefix, coalesces the estimate jobs in it into engine batches (one
+   {!Mae_engine.run_grouped} fan-out per method selection -- one pool
+   submission instead of one per request), and answers every job of
+   the prefix with the full per-request bookkeeping: seq/rid, latency
+   histogram + sketch exemplar, SLO events, tail capture, the access
+   log record, the response write.
+
+   Admission control lives at the front door: when the queued estimate
+   count is at the watermark, a new estimate is answered 503 +
+   Retry-After without touching the engine.  Shedding burns neither
+   SLO -- it is the server protecting its objectives, not missing
+   them -- but it does count into requests_total/failed and its own
+   shed counter, so overload is visible on every dashboard. *)
+
+module Json = Mae_obs.Json
+module Log = Mae_obs.Log
+module Metrics = Mae_obs.Metrics
+
+(* --- registry instruments (always live, like the engine's) --- *)
+
+let requests_total =
+  Metrics.counter "mae_serve_requests_total"
+    ~help:"Estimation requests received (one JSON line each)"
+
+let requests_ok =
+  Metrics.counter "mae_serve_requests_ok_total"
+    ~help:"Requests answered with ok:true (every module estimated)"
+
+let requests_failed =
+  Metrics.counter "mae_serve_requests_failed_total"
+    ~help:"Requests answered with ok:false (parse, protocol or module error)"
+
+let requests_shed =
+  Metrics.counter "mae_serve_requests_shed_total"
+    ~help:
+      "Estimation requests shed by admission control (queue at the \
+       watermark; answered 503 + Retry-After without estimation)"
+
+let queue_depth_gauge =
+  Metrics.gauge "mae_serve_queue_depth"
+    ~help:"Jobs waiting in the dispatch queue right now"
+
+let batch_requests =
+  Metrics.histogram "mae_serve_batch_requests"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+    ~help:"Requests coalesced into one engine batch"
+
+let request_latency =
+  Metrics.histogram "mae_serve_request_seconds"
+    ~help:"Per-request service latency (receipt of a line to its response)"
+
+(* The same samples as the histogram, without bucket-edge
+   quantization; exemplars carry the request ids of the slowest
+   requests so /metrics cross-links to /tracez. *)
+let request_latency_sketch =
+  Mae_obs.Sketch.create "mae_serve_request_seconds_summary"
+    ~help:"Per-request service latency quantiles (GK sketch)"
+
+(* --- response assembly (shared by the solo and coalesced paths) --- *)
+
+(* One JSON value per methodology outcome: the shared dimensions plus a
+   few kind-specific extras. *)
+let outcome_json (o : Mae.Methodology.outcome) =
+  let dims = Mae.Methodology.dims o in
+  let base =
+    [
+      ("ok", Json.Bool true);
+      ("kind", Json.String (Mae.Methodology.kind o));
+      ("area", Json.Number dims.Mae.Methodology.area);
+      ("width", Json.Number dims.Mae.Methodology.width);
+      ("height", Json.Number dims.Mae.Methodology.height);
+    ]
+  in
+  let extra =
+    match o with
+    | Mae.Methodology.Stdcell { auto; sweep } ->
+        [
+          ("rows", Json.Number (Float.of_int auto.Mae.Estimate.rows));
+          ( "sweep_rows",
+            Json.Array
+              (List.map
+                 (fun (s : Mae.Estimate.stdcell) ->
+                   Json.Number (Float.of_int s.Mae.Estimate.rows))
+                 sweep) );
+        ]
+    | Mae.Methodology.Gatearray g ->
+        [
+          ("sites", Json.Number (Float.of_int g.Mae.Gatearray.sites));
+          ("routable", Json.Bool g.Mae.Gatearray.routable);
+        ]
+    | Mae.Methodology.Fullcustom _ | Mae.Methodology.Scalar _ -> []
+  in
+  Json.Object (base @ extra)
+
+let method_result_json (r : Mae.Driver.method_result) =
+  ( Mae.Methodology.name r.methodology,
+    match r.outcome with
+    | Ok o -> outcome_json o
+    | Error e ->
+        Json.Object
+          [
+            ("ok", Json.Bool false);
+            ("error", Json.String (Mae.Methodology.error_to_string e));
+          ] )
+
+let module_json = function
+  | Ok (r : Mae.Driver.module_report) ->
+      (* the flat legacy fields stay (when their methodologies ran and
+         succeeded) so pre-registry clients keep working; the "methods"
+         object is the full per-methodology story. *)
+      let legacy =
+        (match Mae.Driver.stdcell r with
+        | Some sc ->
+            [
+              ("rows", Json.Number (Float.of_int sc.Mae.Estimate.rows));
+              ("stdcell_area", Json.Number sc.Mae.Estimate.area);
+              ("stdcell_height", Json.Number sc.Mae.Estimate.height);
+              ("stdcell_width", Json.Number sc.Mae.Estimate.width);
+            ]
+        | None -> [])
+        @ (match Mae.Driver.fullcustom_exact r with
+          | Some f -> [ ("fullcustom_exact_area", Json.Number f.Mae.Estimate.area) ]
+          | None -> [])
+        @
+        match Mae.Driver.fullcustom_average r with
+        | Some f -> [ ("fullcustom_average_area", Json.Number f.Mae.Estimate.area) ]
+        | None -> []
+      in
+      Json.Object
+        ([
+           ("name", Json.String r.circuit.Mae_netlist.Circuit.name);
+           ("technology", Json.String r.circuit.Mae_netlist.Circuit.technology);
+         ]
+        @ legacy
+        @ [
+            ("methods", Json.Object (List.map method_result_json r.results));
+            ( "method_errors",
+              Json.Number
+                (Float.of_int (List.length (Mae.Driver.method_failures r))) );
+          ])
+  | Error e ->
+      Json.Object
+        [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
+
+(* What one answered request amounts to, whichever path computed it. *)
+type prepared = {
+  fields : (string * Json.t) list;  (** after "seq" and "id" *)
+  p_ok : bool;
+  modules : int;
+  modules_ok : int;
+  rows_selected_total : int;
+  cache_hits : int;
+      (** kernel-cache traffic attributed to this request by the
+          engine's domain-local accounting; 0 for a coalesced request
+          (the shared batch's traffic is on the [serve.batch] record) *)
+  cache_misses : int;
+  cached : bool;
+      (** every module of this request was answered from the estimate
+          store -- per-request exact on both paths (the solo path's
+          counter delta and the grouped path's per-module flags) *)
+  server_error : bool;
+      (** true when the failure is the server's fault (an estimator
+          crash), as opposed to a malformed request or bad circuit --
+          the distinction the error-budget SLO cares about *)
+}
+
+let failure ?(server_error = false) msg =
+  {
+    fields = [ ("ok", Json.Bool false); ("error", Json.String msg) ];
+    p_ok = false;
+    modules = 0;
+    modules_ok = 0;
+    rows_selected_total = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cached = false;
+    server_error;
+  }
+
+(* Results (plus this request's own store traffic) to the response
+   fields -- the shape both engine paths share. *)
+let prepared_of_results ~cache_hits ~cache_misses ~store_hits ~store_misses
+    results =
+  let modules = List.length results in
+  let modules_ok = List.length (List.filter Result.is_ok results) in
+  (* a module that crashed its estimator is a server fault; a driver
+     error (unknown process, invalid circuit) is the request's *)
+  let crashed =
+    List.exists
+      (function Error (Mae_engine.Crashed _) -> true | Ok _ | Error _ -> false)
+      results
+  in
+  let rows =
+    List.fold_left
+      (fun acc -> function
+        | Ok (r : Mae.Driver.module_report) -> begin
+            match Mae.Driver.stdcell r with
+            | Some sc -> acc + sc.Mae.Estimate.rows
+            | None -> acc
+          end
+        | Error _ -> acc)
+      0 results
+  in
+  let cached = modules > 0 && store_hits = modules && store_misses = 0 in
+  {
+    fields =
+      [
+        ("ok", Json.Bool (modules_ok = modules));
+        ("cached", Json.Bool cached);
+        ("modules", Json.Array (List.map module_json results));
+      ];
+    p_ok = modules_ok = modules;
+    modules;
+    modules_ok;
+    rows_selected_total = rows;
+    cache_hits;
+    cache_misses;
+    cached;
+    server_error = crashed;
+  }
+
+(* --- the queue --- *)
+
+type job_kind =
+  | J_estimate of Protocol.estimate
+  | J_invalid of { id : Json.t; error : string }
+  | J_shed of { id : Json.t }
+  | J_reject of Protocol.response
+      (** answered with no request accounting (oversize, bad framing,
+          405) -- queued anyway so the response keeps its place in the
+          connection's FIFO order *)
+
+type job = {
+  conn : Transport.conn;
+  framing : Protocol.framing;
+  kind : job_kind;
+  t0 : float;  (** arrival instant: latency includes queue wait *)
+  bytes : int;
+}
+
+type config = {
+  jobs : int;
+  registry : Mae_tech.Registry.t;
+  inject_sleep_field : bool;
+  queue_watermark : int;  (** queued estimates at/over this shed *)
+  max_batch : int;  (** estimate jobs coalesced per engine batch *)
+}
+
+type t = {
+  config : config;
+  transport : Transport.t;
+  pool : Mae_engine.Pool.t option;
+  cas : Mae_db.Cas.t option;
+  slo_latency : Mae_obs.Slo.t;
+  slo_errors : Mae_obs.Slo.t;
+  queue : job Queue.t;
+  mutable next_seq : int;
+  mutable queued_estimates : int;
+}
+
+let create ~config ~transport ~pool ~cas ~slo_latency ~slo_errors =
+  {
+    config;
+    transport;
+    pool;
+    cas;
+    slo_latency;
+    slo_errors;
+    queue = Queue.create ();
+    next_seq = 1;
+    queued_estimates = 0;
+  }
+
+let sync_depth t =
+  Metrics.set queue_depth_gauge (Float.of_int (Queue.length t.queue))
+
+let enqueue t conn framing ~bytes kind =
+  let job =
+    { conn; framing; kind; t0 = Mae_obs.Clock.monotonic (); bytes }
+  in
+  Queue.add job t.queue;
+  conn.Transport.pending <- conn.Transport.pending + 1;
+  sync_depth t
+
+let submit_estimate t conn framing ~bytes (est : Protocol.estimate) =
+  if t.queued_estimates >= t.config.queue_watermark then begin
+    Metrics.incr requests_shed;
+    enqueue t conn framing ~bytes (J_shed { id = est.Protocol.id })
+  end
+  else begin
+    t.queued_estimates <- t.queued_estimates + 1;
+    enqueue t conn framing ~bytes (J_estimate est)
+  end
+
+let submit_invalid t conn framing ~bytes ~id ~error =
+  enqueue t conn framing ~bytes (J_invalid { id; error })
+
+let submit_reject t conn framing response =
+  enqueue t conn framing ~bytes:0 (J_reject response)
+
+let queue_length t = Queue.length t.queue
+
+(* --- answering --- *)
+
+let finish t job response =
+  job.conn.Transport.pending <- job.conn.Transport.pending - 1;
+  Transport.send t.transport job.conn job.framing response
+
+let seq_and_id seq id fields =
+  Json.Object
+    ((("seq", Json.Number (Float.of_int seq))
+      :: (match id with Json.Null -> [] | id -> [ ("id", id) ]))
+    @ fields)
+
+(* Full per-request bookkeeping around [outcome]: the thunk runs inside
+   the request's [serve.request] span (on the solo path it is the whole
+   parse + engine run; a coalesced request already estimated and just
+   returns).  Latency counts from frame arrival, so queue wait and any
+   shared batch the request rode are part of its SLO story. *)
+let answer t job ~id outcome =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let rid = "r" ^ string_of_int seq in
+  Log.with_request_id rid @@ fun () ->
+  Metrics.incr requests_total;
+  let t0 = job.t0 in
+  let p =
+    Mae_obs.Span.with_ ~name:"serve.request" ~attrs:[ ("rid", rid) ] outcome
+  in
+  let latency = Mae_obs.Clock.monotonic () -. t0 in
+  Metrics.observe request_latency latency;
+  (* the sketch carries the request id as an exemplar so a bad
+     quantile in /metrics links back to a trace in /tracez *)
+  Mae_obs.Sketch.observe_exemplar request_latency_sketch ~label:rid latency;
+  Mae_obs.Slo.record_latency t.slo_latency latency;
+  (* only server faults (estimator crashes) burn the error budget;
+     malformed client requests are the client's problem *)
+  Mae_obs.Slo.record t.slo_errors ~good:(not p.server_error);
+  let error =
+    if p.p_ok then None
+    else begin
+      match List.assoc_opt "error" p.fields with
+      | Some (Json.String e) -> Some e
+      | _ -> Some "request failed"
+    end
+  in
+  (* GC pause time that landed inside this request's window, from the
+     runtime lens; 0 (one atomic check) when the lens is off *)
+  let gc_s = Mae_obs.Runtime.pause_seconds_since t0 in
+  Mae_obs.Capture.record ~rid ~ok:p.p_ok ?error ~gc_s ~latency ~since:t0 ();
+  Metrics.incr (if p.p_ok then requests_ok else requests_failed);
+  Log.info ~event:"serve.request"
+    [
+      ("seq", Log.Int seq);
+      ("peer", Log.Str job.conn.Transport.peer);
+      ("ok", Log.Bool p.p_ok);
+      ("modules", Log.Int p.modules);
+      ("modules_ok", Log.Int p.modules_ok);
+      ("rows_selected", Log.Int p.rows_selected_total);
+      ("latency_s", Log.Float latency);
+      ("gc_s", Log.Float gc_s);
+      ("cache_hits", Log.Int p.cache_hits);
+      ("cache_misses", Log.Int p.cache_misses);
+      ("cached", Log.Bool p.cached);
+      ("bytes_in", Log.Int job.bytes);
+    ];
+  let status = if p.p_ok then 200 else if p.server_error then 500 else 400 in
+  finish t job
+    (Protocol.json_response ~status (seq_and_id seq id p.fields))
+
+let shed_retry_after_s = 1
+
+(* A shed request: counted (total + failed + its own counter) and
+   logged, but no latency/error SLO events and no capture -- admission
+   control protecting the objectives must not burn their budgets. *)
+let answer_shed t job ~id =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let rid = "r" ^ string_of_int seq in
+  Log.with_request_id rid @@ fun () ->
+  Metrics.incr requests_total;
+  Metrics.incr requests_failed;
+  let latency = Mae_obs.Clock.monotonic () -. job.t0 in
+  Log.info ~event:"serve.request"
+    [
+      ("seq", Log.Int seq);
+      ("peer", Log.Str job.conn.Transport.peer);
+      ("ok", Log.Bool false);
+      ("shed", Log.Bool true);
+      ("modules", Log.Int 0);
+      ("modules_ok", Log.Int 0);
+      ("rows_selected", Log.Int 0);
+      ("latency_s", Log.Float latency);
+      ("gc_s", Log.Float 0.);
+      ("cache_hits", Log.Int 0);
+      ("cache_misses", Log.Int 0);
+      ("cached", Log.Bool false);
+      ("bytes_in", Log.Int job.bytes);
+    ];
+  let fields =
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.String
+          (Printf.sprintf
+             "server overloaded: request queue at watermark; retry after %ds"
+             shed_retry_after_s) );
+      ("retry_after_s", Json.Number (Float.of_int shed_retry_after_s));
+    ]
+  in
+  finish t job
+    (Protocol.json_response ~status:503 ~retry_after_s:shed_retry_after_s
+       (seq_and_id seq id fields))
+
+(* --- the estimate paths --- *)
+
+let inject_sleep t (est : Protocol.estimate) =
+  if t.config.inject_sleep_field then
+    match est.Protocol.sleep_s with Some s -> Unix.sleepf s | None -> ()
+
+(* One request, one engine batch: the pre-coalescing hot path, kept
+   byte-identical in behavior (store-counter delta, per-request
+   kernel-cache attribution) for the common lockstep client. *)
+let solo_outcome t (est : Protocol.estimate) =
+  inject_sleep t est;
+  match Mae.Driver.string_circuits est.Protocol.hdl with
+  | Error e -> failure (Format.asprintf "%a" Mae.Driver.pp_error e)
+  | Ok circuits -> begin
+      match
+        Mae_engine.run_circuits_with_stats ?methods:est.Protocol.methods
+          ?pool:t.pool ?cache:t.cas ~jobs:t.config.jobs
+          ~registry:t.config.registry circuits
+      with
+      | results, stats ->
+          prepared_of_results ~cache_hits:stats.Mae_engine.cache_hits
+            ~cache_misses:stats.Mae_engine.cache_misses
+            ~store_hits:stats.Mae_engine.store_hits
+            ~store_misses:stats.Mae_engine.store_misses results
+      | exception exn ->
+          failure ~server_error:true
+            ("estimator crashed: " ^ Printexc.to_string exn)
+    end
+
+(* Coalescing: several estimate jobs from the queue prefix run as one
+   engine fan-out per method selection.  Sleep injection and hdl
+   parsing stay in arrival order; the grouped engine call gives each
+   request its own results slice and store hit/miss counts, so the
+   per-request "cached" field stays exact.  Per-request kernel-cache
+   attribution does not survive sharing a batch -- those totals go on
+   the [serve.batch] debug record instead. *)
+let prepare_batch t ests =
+  List.iter (fun (_, est) -> inject_sleep t est) ests;
+  let parsed =
+    List.map
+      (fun (job, est) ->
+        match Mae.Driver.string_circuits est.Protocol.hdl with
+        | Error e ->
+            (job, est, Error (Format.asprintf "%a" Mae.Driver.pp_error e))
+        | Ok circuits -> (job, est, Ok circuits))
+      ests
+  in
+  let groups = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (job, est, p) ->
+      match p with
+      | Error _ -> ()
+      | Ok circuits ->
+          let key =
+            match est.Protocol.methods with
+            | None -> "\x00default"
+            | Some names -> String.concat "," names
+          in
+          if not (Hashtbl.mem groups key) then order := key :: !order;
+          Hashtbl.replace groups key
+            ((job, est, circuits)
+            :: (try Hashtbl.find groups key with Not_found -> [])))
+    parsed;
+  let outcomes = ref [] in
+  List.iter
+    (fun key ->
+      let members = List.rev (Hashtbl.find groups key) in
+      let methods =
+        match members with (_, est, _) :: _ -> est.Protocol.methods | [] -> None
+      in
+      Metrics.observe batch_requests (Float.of_int (List.length members));
+      match
+        Mae_obs.Span.with_ ~name:"serve.batch"
+          ~attrs:[ ("requests", string_of_int (List.length members)) ]
+          (fun () ->
+            Mae_engine.run_grouped ?methods ~jobs:t.config.jobs ?pool:t.pool
+              ?cache:t.cas ~registry:t.config.registry
+              (List.map (fun (_, _, circuits) -> circuits) members))
+      with
+      | grouped, stats ->
+          if Log.enabled Log.Debug then
+            Log.debug ~event:"serve.batch"
+              [
+                ("requests", Log.Int (List.length members));
+                ("modules", Log.Int stats.Mae_engine.modules);
+                ("cache_hits", Log.Int stats.Mae_engine.cache_hits);
+                ("cache_misses", Log.Int stats.Mae_engine.cache_misses);
+                ("store_hits", Log.Int stats.Mae_engine.store_hits);
+                ("store_misses", Log.Int stats.Mae_engine.store_misses);
+              ];
+          List.iter2
+            (fun (job, _, _) (results, store_hits, store_misses) ->
+              outcomes :=
+                ( job,
+                  prepared_of_results ~cache_hits:0 ~cache_misses:0 ~store_hits
+                    ~store_misses results )
+                :: !outcomes)
+            members grouped
+      | exception exn ->
+          let p =
+            failure ~server_error:true
+              ("estimator crashed: " ^ Printexc.to_string exn)
+          in
+          List.iter (fun (job, _, _) -> outcomes := (job, p) :: !outcomes)
+            members)
+    (List.rev !order);
+  List.iter
+    (fun (job, _, p) ->
+      match p with
+      | Error msg -> outcomes := (job, failure msg) :: !outcomes
+      | Ok _ -> ())
+    parsed;
+  !outcomes
+
+(* --- the tick --- *)
+
+(* Pop a FIFO prefix holding at most [max_batch] estimate jobs (shed,
+   invalid and reject jobs ride along free -- they cost no engine
+   time).  Stops *before* the estimate that would overflow, so its
+   response order relative to its connection still holds. *)
+let take_prefix t =
+  let batch = ref [] in
+  let estimates = ref 0 in
+  let rec go () =
+    match Queue.peek_opt t.queue with
+    | None -> ()
+    | Some job -> begin
+        match job.kind with
+        | J_estimate _ when !estimates >= t.config.max_batch -> ()
+        | kind ->
+            ignore (Queue.pop t.queue);
+            (match kind with
+            | J_estimate _ ->
+                incr estimates;
+                t.queued_estimates <- t.queued_estimates - 1
+            | J_invalid _ | J_shed _ | J_reject _ -> ());
+            batch := job :: !batch;
+            go ()
+      end
+  in
+  go ();
+  List.rev !batch
+
+let process t jobs =
+  let ests =
+    List.filter_map
+      (fun job ->
+        match job.kind with J_estimate est -> Some (job, est) | _ -> None)
+      jobs
+  in
+  (* a lone estimate keeps the pre-coalescing solo path: its engine run
+     happens inside its own serve.request span with per-request
+     kernel-cache attribution, exactly as before the split *)
+  let prepared = match ests with [] | [ _ ] -> [] | _ -> prepare_batch t ests in
+  List.iter
+    (fun job ->
+      match job.kind with
+      | J_reject response -> finish t job response
+      | J_shed { id } -> answer_shed t job ~id
+      | J_invalid { id; error } ->
+          answer t job ~id (fun () -> failure error)
+      | J_estimate est -> begin
+          match List.assq_opt job prepared with
+          | Some p -> answer t job ~id:est.Protocol.id (fun () -> p)
+          | None ->
+              answer t job ~id:est.Protocol.id (fun () -> solo_outcome t est)
+        end)
+    jobs
+
+let tick t =
+  if Queue.is_empty t.queue then false
+  else begin
+    let batch = take_prefix t in
+    sync_depth t;
+    process t batch;
+    not (Queue.is_empty t.queue)
+  end

@@ -1,26 +1,33 @@
 (* Mae_serve: the resident estimation service.
 
-   Two planes, one single-threaded select loop:
+   Three layers, one single-threaded select loop:
 
-   - the request plane: line-delimited JSON over a TCP or Unix socket.
-     Each line is one estimation request; the answer is one JSON line
-     through Mae_engine, in request order per connection.
-   - the observability plane: a minimal HTTP/1.0 responder on a second
-     socket serving GET /metrics (Prometheus text from the Mae_obs
-     registry), /healthz, /buildinfo, /tracez and /runtimez (per-domain
-     GC statistics from the runtime lens).
+   - {!Transport}: listeners, accept, buffered non-blocking reads,
+     the write-everything loop, idle reaping, the max-connection cap;
+   - {!Protocol}: the pure codec.  Line-delimited JSON and HTTP
+     (1.1 keep-alive with Content-Length framing, 1.0 close-by-default
+     fallback) both decode to one typed request;
+   - {!Dispatch}: the bounded FIFO submission queue in front of the
+     persistent {!Mae_engine.Pool}.  Concurrently-arriving estimate
+     requests coalesce into engine batches; at the queue watermark
+     admission control answers 503 + Retry-After without estimating.
+
+   This module is the wiring: configuration, the SLO/capture/store
+   setup, the observability documents (/metrics, /healthz, /slo,
+   /statusz, /buildinfo, /tracez, /methods, /runtimez -- answered on
+   either plane, over the same transport), startup and drain.
 
    Estimation is CPU work measured in milliseconds per module, so the
    loop runs requests inline: while a batch estimates, the scrape plane
    waits -- the trade a sidecar-free stdlib+unix server makes.  Worker
-   parallelism still applies inside a request: when [config.jobs >= 2]
+   parallelism still applies inside a batch: when [config.jobs >= 2]
    the server spawns one persistent {!Mae_engine.Pool} at startup and
    reuses its domains for every batch, so request latency never pays
    domain creation.
 
    SIGINT/SIGTERM flip one atomic flag; the loop then stops accepting,
-   answers every request line already received (the drain), emits a
-   final [serve.shutdown] log record and flushes the configured
+   answers every request already received (the drain), emits a final
+   [serve.shutdown] log record and flushes the configured
    metrics/trace dumps before returning. *)
 
 module Json = Mae_obs.Json
@@ -32,39 +39,12 @@ module Metrics = Mae_obs.Metrics
    reference forces (Mae_engine does the same; twice is harmless). *)
 let () = Mae_baselines.Methods.ensure_registered ()
 
-type addr = Tcp of { host : string; port : int } | Unix_sock of string
+type addr = Transport.addr =
+  | Tcp of { host : string; port : int }
+  | Unix_sock of string
 
-let pp_addr ppf = function
-  | Tcp { host; port } -> Format.fprintf ppf "%s:%d" host port
-  | Unix_sock path -> Format.fprintf ppf "unix:%s" path
-
-(* "7788" | "host:7788" -> TCP (empty host = loopback); "unix:PATH" or
-   anything with a slash -> Unix-domain socket path. *)
-let parse_addr s =
-  let unix_prefix = "unix:" in
-  let n = String.length unix_prefix in
-  if String.length s > n && String.equal (String.sub s 0 n) unix_prefix then
-    Ok (Unix_sock (String.sub s n (String.length s - n)))
-  else if String.contains s '/' then Ok (Unix_sock s)
-  else
-    match String.rindex_opt s ':' with
-    | Some i -> begin
-        let host = String.sub s 0 i in
-        let port = String.sub s (i + 1) (String.length s - i - 1) in
-        match int_of_string_opt port with
-        | Some p when p >= 0 && p <= 65535 ->
-            Ok (Tcp { host = (if host = "" then "127.0.0.1" else host); port = p })
-        | _ -> Error (Printf.sprintf "bad port in address %S" s)
-      end
-    | None -> begin
-        match int_of_string_opt s with
-        | Some p when p >= 0 && p <= 65535 ->
-            Ok (Tcp { host = "127.0.0.1"; port = p })
-        | _ ->
-            Error
-              (Printf.sprintf
-                 "bad address %S (want PORT, HOST:PORT or unix:PATH)" s)
-      end
+let pp_addr = Transport.pp_addr
+let parse_addr = Transport.parse_addr
 
 type slo_config = {
   latency_threshold_s : float;  (** a request is "good" iff at or under *)
@@ -113,6 +93,16 @@ type config = {
   store_out : string option;
       (** {!Mae_db.Store}-format snapshot of the estimate store written
           at shutdown (the floor-planner feed) *)
+  store_live_cap : int option;
+      (** LRU bound on the store's live (promoted) tier; [None] is
+          unbounded *)
+  idle_timeout_s : float;
+      (** keep-alive connections idle this long are reaped *)
+  max_connections : int;
+      (** accept cap across both planes; over it, accept-then-close *)
+  queue_watermark : int;
+      (** queued estimates at/over this are shed (503 + Retry-After) *)
+  max_batch : int;  (** estimate requests coalesced per engine batch *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
 }
 
@@ -134,330 +124,17 @@ let default_config ~registry ~request_addr =
     estimate_cache = true;
     store_journal = None;
     store_out = None;
+    store_live_cap = Some 65536;
+    idle_timeout_s = 300.;
+    max_connections = 1024;
+    queue_watermark = 256;
+    max_batch = 32;
     on_ready = (fun ~request_addr:_ ~obs_addr:_ -> ());
   }
-
-(* --- registry instruments (always live, like the engine's) --- *)
-
-let requests_total =
-  Metrics.counter "mae_serve_requests_total"
-    ~help:"Estimation requests received (one JSON line each)"
-
-let requests_ok =
-  Metrics.counter "mae_serve_requests_ok_total"
-    ~help:"Requests answered with ok:true (every module estimated)"
-
-let requests_failed =
-  Metrics.counter "mae_serve_requests_failed_total"
-    ~help:"Requests answered with ok:false (parse, protocol or module error)"
-
-let connections_total =
-  Metrics.counter "mae_serve_connections_total"
-    ~help:"Request-plane connections accepted"
 
 let scrapes_total =
   Metrics.counter "mae_serve_scrapes_total"
     ~help:"Observability-plane HTTP requests answered"
-
-let open_connections_gauge =
-  Metrics.gauge "mae_serve_open_connections"
-    ~help:"Request-plane connections currently open"
-
-let request_latency =
-  Metrics.histogram "mae_serve_request_seconds"
-    ~help:"Per-request service latency (receipt of a line to its response)"
-
-(* The same samples as the histogram, without bucket-edge
-   quantization; exemplars carry the request ids of the slowest
-   requests so /metrics cross-links to /tracez. *)
-let request_latency_sketch =
-  Mae_obs.Sketch.create "mae_serve_request_seconds_summary"
-    ~help:"Per-request service latency quantiles (GK sketch)"
-
-(* --- protocol: one JSON request line -> one JSON response line --- *)
-
-type outcome = {
-  response : Json.t;
-  ok : bool;
-  modules : int;
-  modules_ok : int;
-  rows_selected_total : int;
-  cache_hits : int;
-      (** kernel-cache traffic attributed to this request by the
-          engine's domain-local accounting (not a before/after of the
-          process-global counters, which other batches also move) *)
-  cache_misses : int;
-  cached : bool;
-      (** every module of this request was answered from the estimate
-          store (exact: the daemon runs one batch at a time, so the
-          store-counter delta is this request's own traffic) *)
-  server_error : bool;
-      (** true when the failure is the server's fault (an estimator
-          crash), as opposed to a malformed request or bad circuit --
-          the distinction the error-budget SLO cares about *)
-}
-
-(* One JSON value per methodology outcome: the shared dimensions plus a
-   few kind-specific extras. *)
-let outcome_json (o : Mae.Methodology.outcome) =
-  let dims = Mae.Methodology.dims o in
-  let base =
-    [
-      ("ok", Json.Bool true);
-      ("kind", Json.String (Mae.Methodology.kind o));
-      ("area", Json.Number dims.Mae.Methodology.area);
-      ("width", Json.Number dims.Mae.Methodology.width);
-      ("height", Json.Number dims.Mae.Methodology.height);
-    ]
-  in
-  let extra =
-    match o with
-    | Mae.Methodology.Stdcell { auto; sweep } ->
-        [
-          ("rows", Json.Number (Float.of_int auto.Mae.Estimate.rows));
-          ( "sweep_rows",
-            Json.Array
-              (List.map
-                 (fun (s : Mae.Estimate.stdcell) ->
-                   Json.Number (Float.of_int s.Mae.Estimate.rows))
-                 sweep) );
-        ]
-    | Mae.Methodology.Gatearray g ->
-        [
-          ("sites", Json.Number (Float.of_int g.Mae.Gatearray.sites));
-          ("routable", Json.Bool g.Mae.Gatearray.routable);
-        ]
-    | Mae.Methodology.Fullcustom _ | Mae.Methodology.Scalar _ -> []
-  in
-  Json.Object (base @ extra)
-
-let method_result_json (r : Mae.Driver.method_result) =
-  ( Mae.Methodology.name r.methodology,
-    match r.outcome with
-    | Ok o -> outcome_json o
-    | Error e ->
-        Json.Object
-          [
-            ("ok", Json.Bool false);
-            ("error", Json.String (Mae.Methodology.error_to_string e));
-          ] )
-
-let module_json = function
-  | Ok (r : Mae.Driver.module_report) ->
-      (* the flat legacy fields stay (when their methodologies ran and
-         succeeded) so pre-registry clients keep working; the "methods"
-         object is the full per-methodology story. *)
-      let legacy =
-        (match Mae.Driver.stdcell r with
-        | Some sc ->
-            [
-              ("rows", Json.Number (Float.of_int sc.Mae.Estimate.rows));
-              ("stdcell_area", Json.Number sc.Mae.Estimate.area);
-              ("stdcell_height", Json.Number sc.Mae.Estimate.height);
-              ("stdcell_width", Json.Number sc.Mae.Estimate.width);
-            ]
-        | None -> [])
-        @ (match Mae.Driver.fullcustom_exact r with
-          | Some f -> [ ("fullcustom_exact_area", Json.Number f.Mae.Estimate.area) ]
-          | None -> [])
-        @
-        match Mae.Driver.fullcustom_average r with
-        | Some f -> [ ("fullcustom_average_area", Json.Number f.Mae.Estimate.area) ]
-        | None -> []
-      in
-      Json.Object
-        ([
-           ("name", Json.String r.circuit.Mae_netlist.Circuit.name);
-           ("technology", Json.String r.circuit.Mae_netlist.Circuit.technology);
-         ]
-        @ legacy
-        @ [
-            ("methods", Json.Object (List.map method_result_json r.results));
-            ( "method_errors",
-              Json.Number
-                (Float.of_int (List.length (Mae.Driver.method_failures r))) );
-          ])
-  | Error e ->
-      Json.Object
-        [ ("error", Json.String (Format.asprintf "%a" Mae_engine.pp_error e)) ]
-
-let estimate_outcome config ?methods ?pool ?cache text =
-  match Mae.Driver.string_circuits text with
-  | Error e ->
-      let msg = Format.asprintf "%a" Mae.Driver.pp_error e in
-      ( [ ("ok", Json.Bool false); ("error", Json.String msg) ],
-        false, 0, 0, 0, 0, 0, false, false )
-  | Ok circuits -> begin
-      match
-        Mae_engine.run_circuits_with_stats ?methods ?pool ?cache
-          ~jobs:config.jobs ~registry:config.registry circuits
-      with
-      | results, stats ->
-          let modules = List.length results in
-          let modules_ok = List.length (List.filter Result.is_ok results) in
-          (* a module that crashed its estimator is a server fault; a
-             driver error (unknown process, invalid circuit) is the
-             request's *)
-          let crashed =
-            List.exists
-              (function
-                | Error (Mae_engine.Crashed _) -> true
-                | Ok _ | Error _ -> false)
-              results
-          in
-          let rows =
-            List.fold_left
-              (fun acc -> function
-                | Ok (r : Mae.Driver.module_report) -> begin
-                    match Mae.Driver.stdcell r with
-                    | Some sc -> acc + sc.Mae.Estimate.rows
-                    | None -> acc
-                  end
-                | Error _ -> acc)
-              0 results
-          in
-          let cached =
-            modules > 0
-            && stats.Mae_engine.store_hits = modules
-            && stats.Mae_engine.store_misses = 0
-          in
-          ( [
-              ("ok", Json.Bool (modules_ok = modules));
-              ("cached", Json.Bool cached);
-              ("modules", Json.Array (List.map module_json results));
-            ],
-            modules_ok = modules, modules, modules_ok, rows,
-            stats.Mae_engine.cache_hits, stats.Mae_engine.cache_misses,
-            cached, crashed )
-      | exception exn ->
-          ( [
-              ("ok", Json.Bool false);
-              ( "error",
-                Json.String ("estimator crashed: " ^ Printexc.to_string exn) );
-            ],
-            false, 0, 0, 0, 0, 0, false, true )
-    end
-
-(* The optional "methods" request field: a comma-separated string or an
-   array of names, validated against the registry before estimation so a
-   typo answers with a request error listing what is registered. *)
-let parse_methods doc =
-  match Json.member "methods" doc with
-  | None -> Ok None
-  | Some (Json.String s) -> begin
-      match Mae.Methodology.selection_of_string s with
-      | Ok names -> Ok (Some names)
-      | Error e -> Error e
-    end
-  | Some (Json.Array items) -> begin
-      let rec strings acc = function
-        | [] -> Some (List.rev acc)
-        | Json.String s :: rest -> strings (s :: acc) rest
-        | _ -> None
-      in
-      match strings [] items with
-      | None -> Error "\"methods\" entries must be strings"
-      | Some [] -> Error "empty method set"
-      | Some names -> begin
-          match Mae.Methodology.selection_of_string (String.concat "," names) with
-          | Ok names -> Ok (Some names)
-          | Error e -> Error e
-        end
-    end
-  | Some _ -> Error "\"methods\" must be a string or an array of strings"
-
-let process_request config ?pool ?cache ~seq line =
-  let client_id, body =
-    match Json.parse line with
-    | Error e ->
-        (Json.Null, ([ ("ok", Json.Bool false);
-                       ("error", Json.String ("bad request JSON: " ^ e)) ],
-                     false, 0, 0, 0, 0, 0, false, false))
-    | Ok doc -> begin
-        let id = Option.value (Json.member "id" doc) ~default:Json.Null in
-        (* overload injector for the smoke gate: only a config built in
-           process (never the CLI) can turn this on *)
-        (if config.inject_sleep_field then
-           match Json.member "sleep_s" doc with
-           | Some (Json.Number s) when s > 0. && s <= 5. -> Unix.sleepf s
-           | _ -> ());
-        match parse_methods doc with
-        | Error e ->
-            (id, ([ ("ok", Json.Bool false);
-                    ("error", Json.String ("bad \"methods\": " ^ e)) ],
-                  false, 0, 0, 0, 0, 0, false, false))
-        | Ok methods -> begin
-            match Json.member "hdl" doc with
-            | Some (Json.String text) ->
-                (id, estimate_outcome config ?methods ?pool ?cache text)
-            | Some _ ->
-                (id, ([ ("ok", Json.Bool false);
-                        ("error", Json.String "\"hdl\" must be a string") ],
-                      false, 0, 0, 0, 0, 0, false, false))
-            | None ->
-                (id, ([ ("ok", Json.Bool false);
-                        ("error", Json.String "request needs an \"hdl\" field") ],
-                      false, 0, 0, 0, 0, 0, false, false))
-          end
-      end
-  in
-  let fields, ok, modules, modules_ok, rows_selected_total, cache_hits,
-      cache_misses, cached, server_error =
-    body
-  in
-  let response =
-    Json.Object
-      ((("seq", Json.Number (Float.of_int seq))
-        :: (match client_id with Json.Null -> [] | id -> [ ("id", id) ]))
-      @ fields)
-  in
-  { response; ok; modules; modules_ok; rows_selected_total; cache_hits;
-    cache_misses; cached; server_error }
-
-(* --- connection bookkeeping --- *)
-
-type kind = Request_plane | Obs_plane
-
-type conn = {
-  fd : Unix.file_descr;
-  kind : kind;
-  rbuf : Buffer.t;
-  peer : string;
-}
-
-(* Write the whole buffer or report failure.  A signal landing mid-frame
-   must not drop the rest of a response (the old catch-all did exactly
-   that), so EINTR retries at the same offset; EAGAIN on a non-blocking
-   peer waits for writability (bounded, so one stuck client cannot hang
-   the daemon forever).  Any other error is a dead peer: false. *)
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  (* one write per iteration so a retry resumes at the exact offset the
-     short or interrupted write left off *)
-  let rec go off =
-    if off >= n then true
-    else
-      match Unix.write fd b off (n - off) with
-      | w -> go (off + w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
-          match Unix.select [] [ fd ] [] 30.0 with
-          | _, [ _ ], _ -> go off
-          | _ -> false (* writability never came: give up on the peer *)
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-          | exception Unix.Unix_error _ -> false)
-      | exception Unix.Unix_error _ -> false
-  in
-  go 0
-
-(* --- the HTTP/1.0 observability plane --- *)
-
-let http_response ?(status = "200 OK") ~content_type body =
-  Printf.sprintf
-    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    status content_type (String.length body) body
 
 let counter_value name =
   match Metrics.find_counter name with
@@ -468,18 +145,14 @@ type state = {
   config : config;
   started : float;  (** wall clock, for display (buildinfo started_ts) *)
   started_mono : float;  (** monotonic, for uptime arithmetic *)
-  slo_latency : Mae_obs.Slo.t;
-  slo_errors : Mae_obs.Slo.t;
-  pool : Mae_engine.Pool.t option;
-      (** persistent worker domains when [config.jobs >= 2]: spawned
-          once at startup so per-request batches skip domain creation *)
-  cas : Mae_db.Cas.t option;  (** the estimate store, when enabled *)
+  transport : Transport.t;
+  dispatch : Dispatch.t;
   mutable draining : bool;
-  mutable conns : conn list;
-  mutable next_seq : int;
 }
 
 let uptime_s st = Mae_obs.Clock.monotonic () -. st.started_mono
+
+(* --- the observability documents --- *)
 
 let healthz_body st ~slo_healthy =
   let num n = Json.Number (Float.of_int n) in
@@ -502,13 +175,11 @@ let healthz_body st ~slo_healthy =
            match Log.current_threshold () with
            | None -> Json.Null
            | Some l -> Json.String (Log.level_name l) );
-         ("requests_total", num (Metrics.counter_value requests_total));
-         ("requests_ok", num (Metrics.counter_value requests_ok));
-         ("requests_failed", num (Metrics.counter_value requests_failed));
-         ( "open_connections",
-           num
-             (List.length
-                (List.filter (fun c -> c.kind = Request_plane) st.conns)) );
+         ("requests_total", num (Metrics.counter_value Dispatch.requests_total));
+         ("requests_ok", num (Metrics.counter_value Dispatch.requests_ok));
+         ( "requests_failed",
+           num (Metrics.counter_value Dispatch.requests_failed) );
+         ("open_connections", num (Transport.open_request_conns st.transport));
          ( "engine",
            Json.Object
              [
@@ -648,7 +319,7 @@ let runtimez_body () = Json.encode (Mae_obs.Runtime.to_json ()) ^ "\n"
    objectives, latency quantiles, captured tails. *)
 let statusz_body st =
   let b = Buffer.create 1024 in
-  let reqs = Metrics.counter_value requests_total in
+  let reqs = Metrics.counter_value Dispatch.requests_total in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "mae serve status";
   line "";
@@ -656,10 +327,12 @@ let statusz_body st =
     (uptime_s st) (Unix.getpid ()) st.config.jobs
     (if Mae_obs.enabled () then "on" else "off")
     st.draining;
-  line "requests: %d total, %d ok, %d failed; open connections: %d" reqs
-    (Metrics.counter_value requests_ok)
-    (Metrics.counter_value requests_failed)
-    (List.length (List.filter (fun c -> c.kind = Request_plane) st.conns));
+  line "requests: %d total, %d ok, %d failed (%d shed); open connections: %d"
+    reqs
+    (Metrics.counter_value Dispatch.requests_ok)
+    (Metrics.counter_value Dispatch.requests_failed)
+    (Metrics.counter_value Dispatch.requests_shed)
+    (Transport.open_request_conns st.transport);
   let hits = counter_value "mae_kernel_cache_hits_total" in
   let misses = counter_value "mae_kernel_cache_misses_total" in
   let lookups = hits + misses in
@@ -686,7 +359,7 @@ let statusz_body st =
         (if r.r_healthy then "healthy" else "BUDGET EXHAUSTED"))
     (Mae_obs.Slo.reports ());
   line "";
-  let s = Mae_obs.Sketch.snapshot request_latency_sketch in
+  let s = Mae_obs.Sketch.snapshot Dispatch.request_latency_sketch in
   if s.n = 0 then line "request latency: no samples yet"
   else begin
     let q p =
@@ -721,196 +394,76 @@ let statusz_body st =
   end;
   Buffer.contents b
 
-let handle_http st raw =
-  Metrics.incr scrapes_total;
-  let request_line =
-    match String.index_opt raw '\r' with
-    | Some i -> String.sub raw 0 i
-    | None -> (
-        match String.index_opt raw '\n' with
-        | Some i -> String.sub raw 0 i
-        | None -> raw)
-  in
-  match String.split_on_char ' ' request_line with
-  | [ "GET"; path; _version ] -> begin
-      let path =
-        match String.index_opt path '?' with
-        | Some i -> String.sub path 0 i
-        | None -> path
+let obs_response st path =
+  match path with
+  | "/metrics" ->
+      Protocol.text_response ~content_type:"text/plain; version=0.0.4"
+        (Metrics.to_prometheus ())
+  | "/healthz" ->
+      (* liveness degrades to 503 when the fast-window error budget
+         of any objective is exhausted: load balancers shed load
+         from an instance that is up but missing its SLOs. *)
+      let slo_healthy = Mae_obs.Slo.healthy () in
+      let status =
+        if (not st.draining) && not slo_healthy then 503 else 200
       in
-      match path with
-      | "/metrics" ->
-          http_response ~content_type:"text/plain; version=0.0.4"
-            (Metrics.to_prometheus ())
-      | "/healthz" ->
-          (* liveness degrades to 503 when the fast-window error budget
-             of any objective is exhausted: load balancers shed load
-             from an instance that is up but missing its SLOs. *)
-          let slo_healthy = Mae_obs.Slo.healthy () in
-          let status =
-            if (not st.draining) && not slo_healthy then
-              "503 Service Unavailable"
-            else "200 OK"
-          in
-          http_response ~status ~content_type:"application/json"
-            (healthz_body st ~slo_healthy)
-      | "/slo" ->
-          http_response ~content_type:"application/json" (slo_body ())
-      | "/statusz" ->
-          http_response ~content_type:"text/plain" (statusz_body st)
-      | "/buildinfo" ->
-          http_response ~content_type:"application/json" (buildinfo_body st)
-      | "/tracez" ->
-          http_response ~content_type:"application/json" (tracez_body st)
-      | "/methods" ->
-          http_response ~content_type:"application/json" (methods_body ())
-      | "/runtimez" ->
-          http_response ~content_type:"application/json" (runtimez_body ())
-      | _ ->
-          http_response ~status:"404 Not Found" ~content_type:"text/plain"
-            "not found; try /metrics /healthz /slo /statusz /buildinfo \
-             /tracez /methods /runtimez\n"
-    end
-  | "GET" :: _ ->
-      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
-        "bad request line\n"
+      Protocol.text_response ~status ~content_type:"application/json"
+        (healthz_body st ~slo_healthy)
+  | "/slo" ->
+      Protocol.text_response ~content_type:"application/json" (slo_body ())
+  | "/statusz" -> Protocol.text_response (statusz_body st)
+  | "/buildinfo" ->
+      Protocol.text_response ~content_type:"application/json"
+        (buildinfo_body st)
+  | "/tracez" ->
+      Protocol.text_response ~content_type:"application/json" (tracez_body st)
+  | "/methods" ->
+      Protocol.text_response ~content_type:"application/json" (methods_body ())
+  | "/runtimez" ->
+      Protocol.text_response ~content_type:"application/json"
+        (runtimez_body ())
   | _ ->
-      http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
-        "only GET is served here\n"
+      Protocol.text_response ~status:404
+        "not found; try /metrics /healthz /slo /statusz /buildinfo /tracez \
+         /methods /runtimez\n"
 
-(* --- the request plane --- *)
-
-let answer_line st conn line =
-  let seq = st.next_seq in
-  st.next_seq <- seq + 1;
-  let rid = "r" ^ string_of_int seq in
-  Log.with_request_id rid @@ fun () ->
-  Metrics.incr requests_total;
-  let t0 = Mae_obs.Clock.monotonic () in
-  let outcome =
-    Mae_obs.Span.with_ ~name:"serve.request" ~attrs:[ ("rid", rid) ] (fun () ->
-        process_request st.config ?pool:st.pool ?cache:st.cas ~seq line)
-  in
-  let latency = Mae_obs.Clock.monotonic () -. t0 in
-  Metrics.observe request_latency latency;
-  (* the sketch carries the request id as an exemplar so a bad
-     quantile in /metrics links back to a trace in /tracez *)
-  Mae_obs.Sketch.observe_exemplar request_latency_sketch ~label:rid latency;
-  Mae_obs.Slo.record_latency st.slo_latency latency;
-  (* only server faults (estimator crashes) burn the error budget;
-     malformed client requests are the client's problem *)
-  Mae_obs.Slo.record st.slo_errors ~good:(not outcome.server_error);
-  let error =
-    if outcome.ok then None
-    else begin
-      match Json.member "error" outcome.response with
-      | Some (Json.String e) -> Some e
-      | _ -> Some "request failed"
-    end
-  in
-  (* GC pause time that landed inside this request's window, from the
-     runtime lens; 0 (one atomic check) when the lens is off *)
-  let gc_s = Mae_obs.Runtime.pause_seconds_since t0 in
-  Mae_obs.Capture.record ~rid ~ok:outcome.ok ?error ~gc_s ~latency ~since:t0 ();
-  Metrics.incr (if outcome.ok then requests_ok else requests_failed);
-  Log.info ~event:"serve.request"
-    [
-      ("seq", Log.Int seq);
-      ("peer", Log.Str conn.peer);
-      ("ok", Log.Bool outcome.ok);
-      ("modules", Log.Int outcome.modules);
-      ("modules_ok", Log.Int outcome.modules_ok);
-      ("rows_selected", Log.Int outcome.rows_selected_total);
-      ("latency_s", Log.Float latency);
-      ("gc_s", Log.Float gc_s);
-      ("cache_hits", Log.Int outcome.cache_hits);
-      ("cache_misses", Log.Int outcome.cache_misses);
-      ("cached", Log.Bool outcome.cached);
-      ("bytes_in", Log.Int (String.length line));
-    ];
-  ignore (write_all conn.fd (Json.encode outcome.response ^ "\n"))
-
-(* Consume every complete line in the connection buffer, in order. *)
-let drain_complete_lines st conn =
-  let data = Buffer.contents conn.rbuf in
-  let rec go start =
-    match String.index_from_opt data start '\n' with
-    | None ->
-        Buffer.clear conn.rbuf;
-        Buffer.add_substring conn.rbuf data start (String.length data - start)
-    | Some nl ->
-        let line = String.sub data start (nl - start) in
-        let line =
-          (* tolerate CRLF clients *)
-          if String.length line > 0 && line.[String.length line - 1] = '\r'
-          then String.sub line 0 (String.length line - 1)
-          else line
-        in
-        if String.length line > 0 then answer_line st conn line;
-        go (nl + 1)
-  in
-  go 0
-
-(* --- sockets --- *)
-
-let socket_of_addr = function
-  | Tcp { host; port } ->
-      let inet =
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found | Invalid_argument _ -> Unix.inet_addr_loopback
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Ok (fd, Unix.ADDR_INET (inet, port))
-  | Unix_sock path ->
-      let stale =
-        if Sys.file_exists path then begin
-          match (Unix.stat path).Unix.st_kind with
-          | Unix.S_SOCK ->
-              Sys.remove path;
-              Ok ()
-          | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
-        end
-        else Ok ()
-      in
-      begin
-        match stale with
-        | Error _ as e -> e
-        | Ok () ->
-            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-            Ok (fd, Unix.ADDR_UNIX path)
-      end
-
-let bound_addr fd = function
-  | Unix_sock path -> Unix_sock path
-  | Tcp { host; port = _ } -> (
-      (* learn the kernel-assigned port when binding port 0 *)
-      match Unix.getsockname fd with
-      | Unix.ADDR_INET (_, port) -> Tcp { host; port }
-      | _ -> Tcp { host; port = 0 })
-
-let listen_on addr =
-  match socket_of_addr addr with
-  | Error msg -> Error msg
-  | exception Unix.Unix_error (e, _, _) ->
-      Error
-        (Format.asprintf "cannot listen on %a: %s" pp_addr addr
-           (Unix.error_message e))
-  | Ok (fd, sockaddr) -> (
-      match
-        Unix.bind fd sockaddr;
-        Unix.listen fd 64
-      with
-      | () -> Ok (fd, bound_addr fd addr)
-      | exception Unix.Unix_error (e, _, _) ->
-          Unix.close fd;
-          Error
-            (Format.asprintf "cannot listen on %a: %s" pp_addr addr
-               (Unix.error_message e)))
-
-let unlink_unix_addr = function
-  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
-  | Tcp _ -> ()
+(* One decoded frame: scrapes and framing errors answer inline (the
+   obs documents stay responsive under a request backlog -- the point
+   of admission control); estimation and request errors queue so each
+   connection's responses keep arrival order. *)
+let handle st conn (frame : Protocol.frame) =
+  let framing = frame.Protocol.framing in
+  match frame.Protocol.request with
+  | Protocol.Scrape { path } ->
+      Metrics.incr scrapes_total;
+      Transport.send st.transport conn framing (obs_response st path)
+  | Protocol.Not_allowed _ ->
+      Metrics.incr scrapes_total;
+      Transport.send st.transport conn framing
+        (Protocol.text_response ~status:405 "only GET is served here\n")
+  | Protocol.Malformed { status; error } ->
+      Metrics.incr scrapes_total;
+      Transport.send st.transport conn framing
+        (Protocol.text_response ~status (error ^ "\n"))
+  | Protocol.Too_large { limit } ->
+      (* answered in queue order, counted nowhere -- and, unlike the
+         pre-split daemon, the connection survives: a line connection
+         resynchronizes at the next newline *)
+      Dispatch.submit_reject st.dispatch conn framing
+        (Protocol.json_response ~status:413
+           (Json.Object
+              [
+                ("ok", Json.Bool false);
+                ( "error",
+                  Json.String
+                    (Printf.sprintf "request line exceeds %d bytes" limit) );
+              ]))
+  | Protocol.Invalid { id; error } ->
+      Dispatch.submit_invalid st.dispatch conn framing
+        ~bytes:frame.Protocol.bytes ~id ~error
+  | Protocol.Estimate est ->
+      Dispatch.submit_estimate st.dispatch conn framing
+        ~bytes:frame.Protocol.bytes est
 
 (* --- shutdown flag --- *)
 
@@ -925,111 +478,15 @@ let install_signal_handlers () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ -> ()
 
-(* --- the loop --- *)
-
-let close_conn st conn =
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  st.conns <- List.filter (fun c -> c.fd != conn.fd) st.conns;
-  if conn.kind = Request_plane then
-    Metrics.set open_connections_gauge
-      (Float.of_int
-         (List.length (List.filter (fun c -> c.kind = Request_plane) st.conns)))
-
-let accept_conn st listener kind =
-  match Unix.accept listener with
-  | fd, peer_addr ->
-      let peer =
-        match peer_addr with
-        | Unix.ADDR_INET (a, p) ->
-            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
-        | Unix.ADDR_UNIX _ -> "unix"
-      in
-      (* non-blocking so the read loop can drain the socket fully and
-         stop exactly at EAGAIN instead of risking a block *)
-      (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
-      let conn = { fd; kind; rbuf = Buffer.create 512; peer } in
-      st.conns <- conn :: st.conns;
-      if kind = Request_plane then begin
-        Metrics.incr connections_total;
-        Metrics.set open_connections_gauge
-          (Float.of_int
-             (List.length
-                (List.filter (fun c -> c.kind = Request_plane) st.conns)))
-      end
-  | exception Unix.Unix_error _ -> ()
-
-let http_request_complete raw =
-  let contains_sub hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec at i =
-      i + nn <= nh && (String.equal (String.sub hay i nn) needle || at (i + 1))
-    in
-    at 0
-  in
-  contains_sub raw "\r\n\r\n" || contains_sub raw "\n\n"
-
-let service_readable st conn =
-  let chunk = Bytes.create 65536 in
-  (* Loop on short reads: the socket is non-blocking, so keep reading
-     until EAGAIN (a partial chunk is taken as "drained" too -- anything
-     left wakes the next select) and retry EINTR at the same spot rather
-     than dropping the wakeup.  The old single-shot read serviced at
-     most 64 KiB per select round and treated a signal as "no data". *)
-  let rec fill total =
-    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> `Eof
-    | n ->
-        Buffer.add_subbytes conn.rbuf chunk 0 n;
-        if n = Bytes.length chunk then fill (total + n) else `Data (total + n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill total
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        if total = 0 then `Nothing else `Data total
-    | exception Unix.Unix_error _ -> `Err
-  in
-  match fill 0 with
-  | `Nothing -> ()
-  | `Err -> close_conn st conn
-  | `Eof ->
-      (* EOF: answer whatever complete lines are already buffered, then
-         close.  (A client that shut down only its write side still
-         reads its last responses.) *)
-      if conn.kind = Request_plane then drain_complete_lines st conn;
-      close_conn st conn
-  | `Data _ -> begin
-      match conn.kind with
-      | Request_plane ->
-          if Buffer.length conn.rbuf > st.config.max_line_bytes then begin
-            ignore
-              (write_all conn.fd
-                 (Json.encode
-                    (Json.Object
-                       [
-                         ("ok", Json.Bool false);
-                         ( "error",
-                           Json.String
-                             (Printf.sprintf "request line exceeds %d bytes"
-                                st.config.max_line_bytes) );
-                       ])
-                 ^ "\n"));
-            close_conn st conn
-          end
-          else drain_complete_lines st conn
-      | Obs_plane ->
-          let raw = Buffer.contents conn.rbuf in
-          if http_request_complete raw || Buffer.length conn.rbuf > 65536 then begin
-            ignore (write_all conn.fd (handle_http st raw));
-            close_conn st conn
-          end
-    end
-
 let final_flush st =
-  let reqs = Metrics.counter_value requests_total in
+  let reqs = Metrics.counter_value Dispatch.requests_total in
   Log.info ~event:"serve.shutdown"
     [
       ("uptime_s", Log.Float (uptime_s st));
       ("requests_total", Log.Int reqs);
-      ("requests_ok", Log.Int (Metrics.counter_value requests_ok));
-      ("requests_failed", Log.Int (Metrics.counter_value requests_failed));
+      ("requests_ok", Log.Int (Metrics.counter_value Dispatch.requests_ok));
+      ( "requests_failed",
+        Log.Int (Metrics.counter_value Dispatch.requests_failed) );
     ];
   begin
     match st.config.metrics_out with
@@ -1055,21 +512,21 @@ let final_flush st =
             [ ("artifact", Log.Str "trace"); ("error", Log.Str e) ])
 
 let run (config : config) =
-  match listen_on config.request_addr with
+  match Transport.listen_on config.request_addr with
   | Error _ as e -> e
   | Ok (req_listener, request_addr) -> begin
       let obs =
         match config.obs_addr with
         | None -> Ok None
         | Some addr -> (
-            match listen_on addr with
+            match Transport.listen_on addr with
             | Ok (fd, bound) -> Ok (Some (fd, bound))
             | Error _ as e -> e)
       in
       match obs with
       | Error e ->
           Unix.close req_listener;
-          unlink_unix_addr config.request_addr;
+          Transport.unlink_unix_addr config.request_addr;
           Error e
       | Ok obs ->
           let obs_listener = Option.map fst obs in
@@ -1124,7 +581,7 @@ let run (config : config) =
             ~max_spans:config.capture_max_spans ();
           let cas =
             if config.estimate_cache then begin
-              let cas = Mae_db.Cas.create () in
+              let cas = Mae_db.Cas.create ?live_cap:config.store_live_cap () in
               (match config.store_journal with
               | None -> ()
               | Some path -> (
@@ -1145,18 +602,40 @@ let run (config : config) =
             end
             else None
           in
+          let transport =
+            Transport.create
+              ~config:
+                {
+                  Transport.max_request_bytes = config.max_line_bytes;
+                  idle_timeout_s = config.idle_timeout_s;
+                  max_connections = config.max_connections;
+                }
+              ~listeners:
+                ((req_listener, Transport.Request_plane)
+                :: (match obs_listener with
+                   | None -> []
+                   | Some l -> [ (l, Transport.Obs_plane) ]))
+          in
+          let dispatch =
+            Dispatch.create
+              ~config:
+                {
+                  Dispatch.jobs = config.jobs;
+                  registry = config.registry;
+                  inject_sleep_field = config.inject_sleep_field;
+                  queue_watermark = config.queue_watermark;
+                  max_batch = config.max_batch;
+                }
+              ~transport ~pool ~cas ~slo_latency ~slo_errors
+          in
           let st =
             {
               config;
               started = Unix.gettimeofday ();
               started_mono = Mae_obs.Clock.monotonic ();
-              pool;
-              cas;
+              transport;
+              dispatch;
               draining = false;
-              conns = [];
-              next_seq = 1;
-              slo_latency;
-              slo_errors;
             }
           in
           Log.info ~event:"serve.start"
@@ -1171,53 +650,21 @@ let run (config : config) =
             | Some a ->
                 [ ("obs_addr", Log.Str (Format.asprintf "%a" pp_addr a)) ]);
           config.on_ready ~request_addr ~obs_addr;
-          let rec loop () =
-            if Atomic.get stop_requested then ()
-            else begin
-              let listeners =
-                req_listener :: Option.to_list obs_listener
-              in
-              let fds = listeners @ List.map (fun c -> c.fd) st.conns in
-              match Unix.select fds [] [] 1.0 with
-              | readable, _, _ ->
-                  List.iter
-                    (fun fd ->
-                      if fd == req_listener then
-                        accept_conn st req_listener Request_plane
-                      else
-                        match obs_listener with
-                        | Some l when fd == l -> accept_conn st l Obs_plane
-                        | _ -> (
-                            match
-                              List.find_opt (fun c -> c.fd == fd) st.conns
-                            with
-                            | Some conn -> service_readable st conn
-                            | None -> ()))
-                    readable;
-                  loop ()
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-            end
-          in
-          loop ();
-          (* drain: no new connections; answer every request line already
+          Transport.run_loop transport
+            ~stop:(fun () -> Atomic.get stop_requested)
+            ~handle:(handle st)
+            ~tick:(fun () -> Dispatch.tick st.dispatch);
+          (* drain: no new connections; answer every request already
              received, give scrape connections their response, close all. *)
           st.draining <- true;
           Unix.close req_listener;
           Option.iter Unix.close obs_listener;
-          List.iter
-            (fun conn ->
-              match conn.kind with
-              | Request_plane -> drain_complete_lines st conn
-              | Obs_plane ->
-                  let raw = Buffer.contents conn.rbuf in
-                  if http_request_complete raw then
-                    ignore (write_all conn.fd (handle_http st raw)))
-            st.conns;
-          List.iter (fun c -> close_conn st c) st.conns;
-          unlink_unix_addr config.request_addr;
-          Option.iter unlink_unix_addr config.obs_addr;
-          Option.iter Mae_engine.Pool.shutdown st.pool;
-          (match st.cas with
+          Transport.drain transport ~handle:(handle st)
+            ~tick:(fun () -> Dispatch.tick st.dispatch);
+          Transport.unlink_unix_addr config.request_addr;
+          Option.iter Transport.unlink_unix_addr config.obs_addr;
+          Option.iter Mae_engine.Pool.shutdown pool;
+          (match cas with
           | None -> ()
           | Some cas ->
               (match config.store_out with
@@ -1238,4 +685,7 @@ let run (config : config) =
           Ok ()
     end
 
+module Protocol = Protocol
+module Transport = Transport
+module Dispatch = Dispatch
 module Top = Top

@@ -1,11 +1,11 @@
 (** The resident estimation service behind [mae serve].
 
-    A single-threaded select loop runs two planes:
+    A single-threaded select loop runs two planes over one transport:
 
-    - {e request plane}: line-delimited JSON over TCP or a Unix-domain
-      socket.  One request line in, one response line out, answered
-      through {!Mae_engine} (so the kernel cache and domain pool
-      apply).  A request is
+    - {e request plane}: line-delimited JSON {e or} HTTP
+      ([POST /estimate]) over TCP or a Unix-domain socket, with
+      HTTP/1.1 keep-alive (Content-Length framing; HTTP/1.0 closes per
+      request unless the client asks otherwise).  A request is
       [{"hdl": "<module text>", "id": <any>, "methods": <set>}], where
       the optional ["methods"] is a comma-separated string or an array
       of registry names (see {!Mae.Methodology}; the aliases
@@ -16,8 +16,13 @@
       [stdcell_area], [fullcustom_exact_area], ...) when those
       methodologies ran, plus a ["methods"] object with one
       [{"ok", "kind", "area", "width", "height", ...}] value (or
-      [{"ok": false, "error"}]) per selected methodology.
-    - {e observability plane} (optional second socket): HTTP/1.0
+      [{"ok": false, "error"}]) per selected methodology.  Requests
+      queue through {!Dispatch}: concurrent arrivals coalesce into
+      engine batches, and past the queue watermark a request is shed
+      with ["ok": false] (HTTP [503] + [Retry-After]) without burning
+      either SLO's budget.
+    - {e observability plane} (optional second socket; the same
+      documents also answer to [GET] on the request plane):
       [GET /metrics] (Prometheus text from the {!Mae_obs.Metrics}
       registry -- counters, histograms, and the {!Mae_obs.Sketch}
       quantile summaries with request-id exemplars), [/healthz]
@@ -39,10 +44,17 @@
     ([mae_serve_latency_slo], [mae_serve_errors_slo]; only estimator
     crashes count against the error budget, malformed client input
     does not).  SIGINT/SIGTERM stop the accept loop, drain request
-    lines already received, emit a final [serve.shutdown] record and
-    flush the configured metrics/trace dumps. *)
+    frames already received, emit a final [serve.shutdown] record and
+    flush the configured metrics/trace dumps.
 
-type addr = Tcp of { host : string; port : int } | Unix_sock of string
+    The implementation is layered -- {!Protocol} (the pure codec),
+    {!Transport} (fds, buffers, timeouts), {!Dispatch} (queueing,
+    batching, admission control, per-request bookkeeping) -- and this
+    module is the wiring plus the observability documents. *)
+
+type addr = Transport.addr =
+  | Tcp of { host : string; port : int }
+  | Unix_sock of string
 
 val pp_addr : Format.formatter -> addr -> unit
 
@@ -103,6 +115,28 @@ type config = {
   store_out : string option;
       (** {!Mae_db.Store}-format snapshot of the estimate store written
           at shutdown (a floor-planner feed) *)
+  store_live_cap : int option;
+      (** LRU bound on the estimate store's live tier ({!Mae_db.Cas});
+          over the cap the least-recently-used entries demote out and
+          count into [mae_estimate_cache_evictions_total].  [None] is
+          unbounded. *)
+  idle_timeout_s : float;
+      (** keep-alive connections idle longer than this (with no pending
+          responses) are closed and counted into
+          [mae_serve_connections_idle_closed_total] *)
+  max_connections : int;
+      (** open-connection cap across both planes; beyond it new
+          connections are accepted and immediately closed
+          ([mae_serve_connections_rejected_total]) *)
+  queue_watermark : int;
+      (** queued (unstarted) estimate requests at/over this are shed:
+          answered ["ok": false] with ["retry_after_s"] (HTTP [503] +
+          [Retry-After]) without estimation; shed requests count into
+          [mae_serve_requests_shed_total] and requests_total/failed but
+          burn neither SLO *)
+  max_batch : int;
+      (** estimate requests coalesced into one engine batch per
+          dispatch tick *)
   on_ready : request_addr:addr -> obs_addr:addr option -> unit;
       (** called once both listeners are bound, with kernel-assigned
           ports resolved *)
@@ -112,13 +146,26 @@ val default_config :
   registry:Mae_tech.Registry.t -> request_addr:addr -> config
 (** [jobs = 1], no obs plane, no dumps, 8 MiB line cap, 4096-span
     retention, {!default_slo}, capture 8 slow / 32 errored / 256 spans,
-    no sleep injection, estimate store on (no journal, no snapshot),
-    no-op [on_ready]. *)
+    no sleep injection, estimate store on (no journal, no snapshot,
+    live tier capped at 65536), 300 s idle timeout, 1024 connections,
+    watermark 256, batches of 32, no-op [on_ready]. *)
 
 val run : config -> (unit, string) result
 (** Serve until SIGINT/SIGTERM, then drain and flush.  [Error] means
     the listeners could not be bound (nothing was served).  Installs
     handlers for SIGINT/SIGTERM and ignores SIGPIPE. *)
+
+module Protocol = Protocol
+(** The pure request/response codec (line-delimited JSON and HTTP
+    decode to one typed request; unit-testable without sockets). *)
+
+module Transport = Transport
+(** Fd lifecycle: listeners, buffered reads, keep-alive connections,
+    idle reaping, the connection cap. *)
+
+module Dispatch = Dispatch
+(** The bounded submission queue: engine batching and admission
+    control. *)
 
 module Top = Top
 (** The [mae top] dashboard client (see {!Top}). *)

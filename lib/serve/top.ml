@@ -376,6 +376,31 @@ let render ?prev (s : sample) =
     (v "mae_serve_scrapes_total")
     (if lookups = 0. then "n/a"
      else Printf.sprintf "%.1f%% hit of %.0f" (100. *. hits /. lookups) lookups);
+  (* connections pane: daemons predating the layered serve plane expose
+     none of these series; render nothing rather than a row of zeros *)
+  let conn_metric name = metric_value s.metrics name in
+  (match conn_metric "mae_serve_open_connections" with
+  | None -> ()
+  | Some open_conns ->
+      let shed = v "mae_serve_requests_shed_total" in
+      let shed_rate =
+        match prev with
+        | Some p when s.at > p.at ->
+            let dp =
+              shed -. Option.value ~default:0.
+                        (metric_value p.metrics "mae_serve_requests_shed_total")
+            in
+            Printf.sprintf "%.1f shed/s" (Float.max 0. dp /. (s.at -. p.at))
+        | _ -> "- shed/s"
+      in
+      line
+        "connections %.0f open (%.0f accepted, %.0f reused)   queue %.0f   \
+         shed %.0f (%s)"
+        open_conns
+        (v "mae_serve_connections_total")
+        (v "mae_serve_connections_reused_total")
+        (v "mae_serve_queue_depth")
+        shed shed_rate);
   line "";
   if s.slos <> [] then begin
     line "%-24s %-12s %8s %10s %10s  %s" "slo" "kind" "target" "fast burn"

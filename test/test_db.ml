@@ -356,6 +356,45 @@ let test_cas_version_bump_invalidates () =
     (String.equal key'
        (Mae_db.Cas.key ~methods:[ "stdcell" ] ~process:p S.full_adder))
 
+let test_cas_lru_eviction () =
+  let cas = Mae_db.Cas.create ~live_cap:8 () in
+  let r = report () in
+  let p = process () in
+  let before = Mae_db.Cas.eviction_count () in
+  let key i = Printf.sprintf "synthetic-%03d" i in
+  for i = 1 to 100 do
+    Mae_db.Cas.store cas ~key:(key i) r
+  done;
+  Alcotest.(check int) "live tier stays at the cap" 8 (Mae_db.Cas.length cas);
+  Alcotest.(check int) "every eviction counted" 92
+    (Mae_db.Cas.eviction_count () - before);
+  let find k = Mae_db.Cas.find cas ~key:k ~circuit:S.full_adder ~process:p in
+  Alcotest.(check bool) "churned-out key misses" true
+    (Option.is_none (find (key 1)));
+  Alcotest.(check bool) "recent key still hits" true
+    (Option.is_some (find (key 100)));
+  (* a hit refreshes recency: touch the oldest survivor, insert one
+     more, and the next-oldest is the victim -- not the touched entry *)
+  Alcotest.(check bool) "oldest survivor hits" true
+    (Option.is_some (find (key 93)));
+  Mae_db.Cas.store cas ~key:"one-more" r;
+  Alcotest.(check bool) "touched entry protected" true
+    (Option.is_some (find (key 93)));
+  Alcotest.(check bool) "true LRU evicted instead" true
+    (Option.is_none (find (key 94)));
+  (* uncapped stores never evict *)
+  let uncapped = Mae_db.Cas.create () in
+  let base = Mae_db.Cas.eviction_count () in
+  for i = 1 to 100 do
+    Mae_db.Cas.store uncapped ~key:(key i) r
+  done;
+  Alcotest.(check int) "uncapped keeps everything" 100
+    (Mae_db.Cas.length uncapped);
+  Alcotest.(check int) "uncapped never evicts" base
+    (Mae_db.Cas.eviction_count ());
+  (* a cap below one live entry is a programming error *)
+  S.raises_invalid (fun () -> Mae_db.Cas.create ~live_cap:0 ())
+
 let fuzz_props =
   let open QCheck2.Gen in
   let soup =
@@ -450,6 +489,7 @@ let () =
             test_cas_journal_roundtrip;
           Alcotest.test_case "version bump invalidates" `Quick
             test_cas_version_bump_invalidates;
+          Alcotest.test_case "lru cap churn" `Quick test_cas_lru_eviction;
         ] );
       ("fuzz", fuzz_props);
     ]
